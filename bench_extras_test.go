@@ -1,0 +1,117 @@
+// Benchmarks for the extension subsystems: concurrent sharded ingestion,
+// windowed rollup range queries, hierarchical heavy hitters and the SQL
+// group-by evaluator.
+package uss_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	uss "repro"
+)
+
+func BenchmarkShardedUpdateParallel(b *testing.B) {
+	s := uss.NewSharded(16, 512, uss.WithSeed(1))
+	rows := benchStream(1 << 14)
+	var cursor int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := atomic.AddInt64(&cursor, 1)
+			s.Update(rows[int(i)&(len(rows)-1)])
+		}
+	})
+}
+
+func BenchmarkShardedSnapshot(b *testing.B) {
+	s := uss.NewSharded(8, 512, uss.WithSeed(2))
+	for _, r := range benchStream(1 << 16) {
+		s.Update(r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Snapshot(1024).Size() == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+func BenchmarkRollupUpdate(b *testing.B) {
+	r, err := uss.NewRollup(uss.RollupConfig{Bins: 1024, WindowLength: 86400, Retain: 7, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := benchStream(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := int64(i) * 7 % (7 * 86400)
+		r.Update(rows[i&(len(rows)-1)], at)
+	}
+}
+
+func BenchmarkRollupRangeQuery(b *testing.B) {
+	const day = 86400
+	r, err := uss.NewRollup(uss.RollupConfig{Bins: 512, WindowLength: day, Retain: 7, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := benchStream(1 << 16)
+	for i, row := range rows {
+		r.Update(row, int64(i%(7*day)))
+	}
+	pred := func(s string) bool { return len(s)%2 == 0 }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.SubsetSumRange(0, 7*day, pred); !ok {
+			b.Fatal("range query failed")
+		}
+	}
+}
+
+func BenchmarkHierarchicalHeavyHitters(b *testing.B) {
+	sk := uss.New(4096, uss.WithSeed(5))
+	rows := benchStream(1 << 17)
+	for i, r := range rows {
+		// Path-structured relabeling: item-X → a.b.X hierarchy.
+		sk.Update(fmt.Sprintf("net%d.host%d.%s", i%8, i%64, r))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uss.HierarchicalHeavyHitters(sk, ".", 0.01)
+	}
+}
+
+func BenchmarkQueryGroupBy(b *testing.B) {
+	sk := uss.New(4096, uss.WithSeed(6))
+	for i := 0; i < 1<<17; i++ {
+		sk.Update(fmt.Sprintf("country=c%d|device=d%d|ad=a%d", i%20, i%3, i%997))
+	}
+	spec := uss.QuerySpec{
+		Where:   []uss.QueryFilter{{Dim: "device", In: []string{"d0", "d1"}}},
+		GroupBy: []string{"country"},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups, _, err := uss.RunQuery(sk, spec)
+		if err != nil || len(groups) == 0 {
+			b.Fatal("query failed")
+		}
+	}
+}
+
+func BenchmarkDecayedUpdate(b *testing.B) {
+	sk := uss.NewDecayed(1024, 0.001, uss.WithSeed(7))
+	rows := benchStream(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Update(rows[i&(len(rows)-1)], float64(i)*0.01, 1)
+	}
+}

@@ -1,0 +1,234 @@
+// Benchmarks: one per paper figure (running the corresponding experiment
+// driver at reduced scale — `go run ./cmd/ussbench -all` regenerates the
+// full-scale tables), plus ablation benches for the design decisions called
+// out in DESIGN.md and microbenchmarks for the core operations.
+package uss_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	uss "repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/samplehold"
+	"repro/internal/sampling"
+	"repro/internal/workload"
+)
+
+// benchCfg shrinks the experiment drivers so each bench iteration is
+// seconds, not minutes.
+func benchCfg(seed int64) experiments.Config {
+	return experiments.Config{Scale: 0.15, Reps: 0.05, Seed: seed}
+}
+
+func runExperiment(b *testing.B, run func(experiments.Config) []experiments.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables := run(benchCfg(int64(i + 1)))
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkFigure1Merge(b *testing.B)     { runExperiment(b, experiments.Figure1) }
+func BenchmarkFigure2Inclusion(b *testing.B) { runExperiment(b, experiments.Figure2) }
+func BenchmarkFigure3Error(b *testing.B)     { runExperiment(b, experiments.Figure3) }
+func BenchmarkFigure4BottomK(b *testing.B)   { runExperiment(b, experiments.Figure4) }
+func BenchmarkFigure5Scatter(b *testing.B)   { runExperiment(b, experiments.Figure5) }
+func BenchmarkFigure6Marginals(b *testing.B) {
+	runExperiment(b, experiments.Figure6)
+}
+func BenchmarkFigure7Pathological(b *testing.B) { runExperiment(b, experiments.Figure7) }
+func BenchmarkFigure8Coverage(b *testing.B) {
+	runExperiment(b, func(c experiments.Config) []experiments.Table { return experiments.Figure8(c, nil) })
+}
+func BenchmarkFigure9Variance(b *testing.B) {
+	runExperiment(b, func(c experiments.Config) []experiments.Table { return experiments.Figure9(c, nil) })
+}
+func BenchmarkFigure10Epochs(b *testing.B) {
+	runExperiment(b, func(c experiments.Config) []experiments.Table { return experiments.Figure10(c, nil) })
+}
+func BenchmarkTheorem11Adversarial(b *testing.B) { runExperiment(b, experiments.Theorem11) }
+
+// --- Ablation 1 (DESIGN.md): Stream-Summary bucket list vs heap for the
+// minimum-bin bookkeeping. Unit-weight updates through the bucket list are
+// O(1); the weighted sketch's heap pays O(log m) per update.
+
+func benchStream(n int) []string {
+	rng := rand.New(rand.NewSource(5))
+	zipf := rand.NewZipf(rng, 1.1, 1, 1<<20)
+	rows := make([]string, n)
+	for i := range rows {
+		rows[i] = fmt.Sprintf("item-%d", zipf.Uint64())
+	}
+	return rows
+}
+
+func BenchmarkUpdateStreamSummary(b *testing.B) {
+	rows := benchStream(1 << 16)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sk := core.New(1024, core.Unbiased, rng)
+		for _, r := range rows {
+			sk.Update(r)
+		}
+	}
+	b.SetBytes(int64(len(rows)))
+}
+
+func BenchmarkUpdateHeap(b *testing.B) {
+	rows := benchStream(1 << 16)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sk := core.NewWeighted(1024, rng)
+		for _, r := range rows {
+			sk.Update(r, 1)
+		}
+	}
+	b.SetBytes(int64(len(rows)))
+}
+
+func BenchmarkUpdateDeterministic(b *testing.B) {
+	rows := benchStream(1 << 16)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sk := core.New(1024, core.Deterministic, rng)
+		for _, r := range rows {
+			sk.Update(r)
+		}
+	}
+	b.SetBytes(int64(len(rows)))
+}
+
+// --- Ablation 2 (DESIGN.md): pairwise vs pivotal merge reduction.
+
+func benchBins(n int) []core.Bin {
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.2, 1, 1<<16)
+	bins := make([]core.Bin, n)
+	for i := range bins {
+		bins[i] = core.Bin{Item: fmt.Sprintf("b%d", i), Count: float64(zipf.Uint64() + 1)}
+	}
+	return bins
+}
+
+func BenchmarkMergePairwise(b *testing.B) {
+	bins := benchBins(4096)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.ReducePairwise(bins, 1024, rng)
+	}
+}
+
+func BenchmarkMergePivotal(b *testing.B) {
+	bins := benchBins(4096)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.ReducePivotal(bins, 1024, rng)
+	}
+}
+
+func BenchmarkMergeMisraGries(b *testing.B) {
+	bins := benchBins(4096)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.ReduceMisraGries(bins, 1024)
+	}
+}
+
+// --- Baseline comparisons: the competing sketches processing the same
+// disaggregated stream (adaptive sample-and-hold) and the pre-aggregated
+// samplers.
+
+func BenchmarkAdaptiveSampleHold(b *testing.B) {
+	rows := benchStream(1 << 16)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := samplehold.NewAdaptive(1024, 0.9, rng)
+		for _, r := range rows {
+			a.Update(r)
+		}
+	}
+	b.SetBytes(int64(len(rows)))
+}
+
+func BenchmarkPrioritySample(b *testing.B) {
+	pop := workload.DiscretizedWeibull(1<<14, 100, 0.32)
+	items := make([]sampling.Item, 0, len(pop.Counts))
+	for i, c := range pop.Counts {
+		if c > 0 {
+			items = append(items, sampling.Item{Key: workload.Label(i), Value: float64(c)})
+		}
+	}
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sampling.Priority(items, 1024, rng)
+	}
+}
+
+// --- Query-path microbenchmarks through the public API.
+
+func buildBenchSketch() *uss.Sketch {
+	sk := uss.New(4096, uss.WithSeed(9))
+	for _, r := range benchStream(1 << 17) {
+		sk.Update(r)
+	}
+	return sk
+}
+
+func BenchmarkSubsetSum(b *testing.B) {
+	sk := buildBenchSketch()
+	pred := func(s string) bool { return len(s)%2 == 0 }
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if e := sk.SubsetSum(pred); e.Value < 0 {
+			b.Fatal("negative estimate")
+		}
+	}
+}
+
+func BenchmarkTopK(b *testing.B) {
+	sk := buildBenchSketch()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(sk.TopK(100)) == 0 {
+			b.Fatal("empty TopK")
+		}
+	}
+}
+
+func BenchmarkMarshalRoundTrip(b *testing.B) {
+	sk := buildBenchSketch()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		blob, err := sk.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var back uss.Sketch
+		if err := back.UnmarshalBinary(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Command uss is a streaming sketch tool: it builds Unbiased Space Saving
+// sketches from delimited row streams, answers subset-sum and top-k queries
+// with confidence intervals, and merges sketch files.
+//
+// Usage:
+//
+//	uss build -m 4096 -field 0 -out clicks.sketch  < clicks.tsv
+//	uss query -sketch clicks.sketch -top 20
+//	uss query -sketch clicks.sketch -item user-42
+//	uss query -sketch clicks.sketch -prefix "us-east|" -level 0.95
+//	uss merge -m 4096 -out week.sketch day1.sketch day2.sketch ...
+//
+// Rows are read one per line; -field selects a tab-separated column as the
+// item key (-1 uses the whole line).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	uss "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = runBuild(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	case "merge":
+		err = runMerge(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uss:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  uss build -m <bins> [-field N] [-seed S] [-deterministic] -out FILE  < rows
+  uss query -sketch FILE [-top K] [-item X] [-prefix P] [-contains S] [-level L]
+  uss merge -m <bins> [-reduction pairwise|pivotal|misra-gries] -out FILE IN...`)
+	os.Exit(2)
+}
+
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	m := fs.Int("m", 4096, "number of bins")
+	field := fs.Int("field", -1, "tab-separated field to use as item key (-1 = whole line)")
+	seed := fs.Int64("seed", 0, "random seed (0 = random)")
+	det := fs.Bool("deterministic", false, "use classic (biased) Space Saving")
+	out := fs.String("out", "", "output sketch file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("build: -out is required")
+	}
+	var opts []uss.Option
+	if *seed != 0 {
+		opts = append(opts, uss.WithSeed(*seed))
+	}
+	if *det {
+		opts = append(opts, uss.WithDeterministic())
+	}
+	sk := uss.New(*m, opts...)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	rows := int64(0)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		key := line
+		if *field >= 0 {
+			parts := strings.Split(line, "\t")
+			if *field >= len(parts) {
+				continue
+			}
+			key = parts[*field]
+		}
+		sk.Update(key)
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("build: reading stdin: %w", err)
+	}
+	if err := writeSketch(*out, sk); err != nil {
+		return err
+	}
+	fmt.Printf("built sketch: %d rows, %d/%d bins, min count %.0f → %s\n",
+		rows, sk.Size(), sk.Capacity(), sk.MinCount(), *out)
+	return nil
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	path := fs.String("sketch", "", "sketch file (required)")
+	top := fs.Int("top", 0, "print the top-K items")
+	item := fs.String("item", "", "estimate one item's count")
+	prefix := fs.String("prefix", "", "subset sum over items with this prefix")
+	contains := fs.String("contains", "", "subset sum over items containing this substring")
+	level := fs.Float64("level", 0.95, "confidence level for intervals")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("query: -sketch is required")
+	}
+	sk, err := readSketch(*path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sketch: %d rows, %d/%d bins, total %.0f, min count %.0f\n",
+		sk.Rows(), sk.Size(), sk.Capacity(), sk.Total(), sk.MinCount())
+
+	printEst := func(label string, e uss.Estimate) {
+		lo, hi := e.ConfidenceInterval(*level)
+		fmt.Printf("%s: %.1f ± %.1f  (%.0f%% CI [%.1f, %.1f], %d matching bins)\n",
+			label, e.Value, e.StdErr, *level*100, lo, hi, e.SampleBins)
+	}
+	ran := false
+	if *item != "" {
+		printEst("item "+*item, sk.EstimateWithSE(*item))
+		ran = true
+	}
+	if *prefix != "" {
+		printEst("prefix "+*prefix, sk.SubsetSum(func(s string) bool { return strings.HasPrefix(s, *prefix) }))
+		ran = true
+	}
+	if *contains != "" {
+		printEst("contains "+*contains, sk.SubsetSum(func(s string) bool { return strings.Contains(s, *contains) }))
+		ran = true
+	}
+	if *top > 0 {
+		for i, b := range sk.TopK(*top) {
+			fmt.Printf("%3d. %-40s %12.1f\n", i+1, b.Item, b.Count)
+		}
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("query: give one of -top, -item, -prefix, -contains")
+	}
+	return nil
+}
+
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	m := fs.Int("m", 4096, "bins in the merged sketch")
+	red := fs.String("reduction", "pairwise", "pairwise | pivotal | misra-gries")
+	out := fs.String("out", "", "output sketch file (required)")
+	fs.Parse(args)
+	if *out == "" || fs.NArg() == 0 {
+		return fmt.Errorf("merge: need -out and at least one input sketch")
+	}
+	var reduction uss.Reduction
+	switch *red {
+	case "pairwise":
+		reduction = uss.Pairwise
+	case "pivotal":
+		reduction = uss.Pivotal
+	case "misra-gries":
+		reduction = uss.MisraGries
+	default:
+		return fmt.Errorf("merge: unknown reduction %q", *red)
+	}
+	lists := make([][]uss.Bin, 0, fs.NArg())
+	for _, p := range fs.Args() {
+		sk, err := readSketch(p)
+		if err != nil {
+			return err
+		}
+		lists = append(lists, sk.Bins())
+	}
+	bins := uss.MergeBins(*m, reduction, lists...)
+	merged := uss.NewWeighted(*m)
+	var total float64
+	for _, b := range bins {
+		if b.Count > 0 {
+			merged.Update(b.Item, b.Count)
+			total += b.Count
+		}
+	}
+	blob, err := merged.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return fmt.Errorf("merge: %w", err)
+	}
+	fmt.Printf("merged %d sketches: %d bins, total %.1f → %s\n", fs.NArg(), merged.Size(), total, *out)
+	return nil
+}
+
+func writeSketch(path string, sk *uss.Sketch) error {
+	blob, err := sk.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}
+
+func readSketch(path string) (*uss.Sketch, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	var sk uss.Sketch
+	if err := sk.UnmarshalBinary(blob); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &sk, nil
+}

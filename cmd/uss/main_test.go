@@ -1,0 +1,193 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	uss "repro"
+)
+
+// withStdin points os.Stdin at a temp file holding content for the
+// duration of fn.
+func withStdin(t *testing.T, content string, fn func()) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "stdin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(content); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdin
+	os.Stdin = f
+	defer func() {
+		os.Stdin = old
+		f.Close()
+	}()
+	fn()
+}
+
+func TestBuildAndQuery(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.sketch")
+	var rows strings.Builder
+	for i := 0; i < 50; i++ {
+		for j := 0; j <= i%5; j++ {
+			fmt.Fprintf(&rows, "key-%d\n", i)
+		}
+	}
+	withStdin(t, rows.String(), func() {
+		if err := runBuild([]string{"-m", "100", "-seed", "3", "-out", out}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	sk, err := readSketch(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Rows() != 150 { // Σ (i%5+1) over 50 = 10·15
+		t.Errorf("rows = %d, want 150", sk.Rows())
+	}
+	if sk.Estimate("key-4") != 5 {
+		t.Errorf("Estimate(key-4) = %v, want 5 (under capacity = exact)", sk.Estimate("key-4"))
+	}
+	for _, args := range [][]string{
+		{"-sketch", out, "-top", "3"},
+		{"-sketch", out, "-item", "key-4"},
+		{"-sketch", out, "-prefix", "key-1"},
+		{"-sketch", out, "-contains", "ey-2", "-level", "0.9"},
+	} {
+		if err := runQuery(args); err != nil {
+			t.Errorf("query %v: %v", args, err)
+		}
+	}
+}
+
+func TestBuildFieldSelection(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "f.sketch")
+	input := "u1\tclick\nu1\tview\nu2\tclick\n\nshort\n"
+	withStdin(t, input, func() {
+		if err := runBuild([]string{"-m", "10", "-field", "1", "-seed", "1", "-out", out}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	sk, err := readSketch(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "short" has no field 1 and is skipped; blank line skipped.
+	if sk.Rows() != 3 {
+		t.Errorf("rows = %d, want 3", sk.Rows())
+	}
+	if sk.Estimate("click") != 2 || sk.Estimate("view") != 1 {
+		t.Errorf("field counts wrong: click=%v view=%v", sk.Estimate("click"), sk.Estimate("view"))
+	}
+}
+
+func TestBuildDeterministicFlag(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "d.sketch")
+	withStdin(t, "a\nb\n", func() {
+		if err := runBuild([]string{"-m", "4", "-deterministic", "-out", out}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	sk, err := readSketch(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sk.Deterministic() {
+		t.Error("deterministic flag not persisted")
+	}
+}
+
+func TestBuildRequiresOut(t *testing.T) {
+	withStdin(t, "a\n", func() {
+		if err := runBuild([]string{"-m", "4"}); err == nil {
+			t.Error("missing -out accepted")
+		}
+	})
+}
+
+func TestQueryErrors(t *testing.T) {
+	if err := runQuery([]string{"-top", "3"}); err == nil {
+		t.Error("missing -sketch accepted")
+	}
+	if err := runQuery([]string{"-sketch", "/nonexistent/x.sketch", "-top", "3"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	// A sketch with no query selector.
+	dir := t.TempDir()
+	out := filepath.Join(dir, "q.sketch")
+	withStdin(t, "a\n", func() {
+		if err := runBuild([]string{"-m", "4", "-out", out}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := runQuery([]string{"-sketch", out}); err == nil {
+		t.Error("query without selector accepted")
+	}
+}
+
+func TestMergeCommand(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.sketch")
+	b := filepath.Join(dir, "b.sketch")
+	out := filepath.Join(dir, "m.sketch")
+	withStdin(t, "x\nx\ny\n", func() {
+		if err := runBuild([]string{"-m", "8", "-seed", "1", "-out", a}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withStdin(t, "x\nz\n", func() {
+		if err := runBuild([]string{"-m", "8", "-seed", "2", "-out", b}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, red := range []string{"pairwise", "pivotal", "misra-gries"} {
+		if err := runMerge([]string{"-m", "8", "-reduction", red, "-out", out, a, b}); err != nil {
+			t.Fatalf("merge %s: %v", red, err)
+		}
+	}
+	// Verify the pairwise-merged content (last loop wrote misra-gries;
+	// redo pairwise for the content check).
+	if err := runMerge([]string{"-m", "8", "-out", out, a, b}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged uss.WeightedSketch
+	if err := merged.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Estimate("x"); got != 3 {
+		t.Errorf("merged x = %v, want 3", got)
+	}
+	if got := merged.Total(); got != 5 {
+		t.Errorf("merged total = %v, want 5", got)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	if err := runMerge([]string{"-out", ""}); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := runMerge([]string{"-out", "/tmp/x.sketch"}); err == nil {
+		t.Error("no inputs accepted")
+	}
+	if err := runMerge([]string{"-reduction", "bogus", "-out", "/tmp/x.sketch", "/tmp/y"}); err == nil {
+		t.Error("bad reduction accepted")
+	}
+	if err := runMerge([]string{"-out", "/tmp/x.sketch", "/nonexistent.sketch"}); err == nil {
+		t.Error("missing input accepted")
+	}
+}

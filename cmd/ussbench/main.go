@@ -1,0 +1,91 @@
+// Command ussbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	ussbench -list
+//	ussbench -experiment figure-3
+//	ussbench -all -scale 1 -reps 1 -out results.txt
+//
+// Each experiment prints the same rows/series the corresponding paper
+// figure plots, plus a note stating the qualitative shape to expect. See
+// DESIGN.md for the per-experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		name  = flag.String("experiment", "", "experiment to run (e.g. figure-3)")
+		all   = flag.Bool("all", false, "run every experiment in paper order")
+		scale = flag.Float64("scale", 1, "workload size multiplier")
+		reps  = flag.Float64("reps", 1, "replicate count multiplier")
+		seed  = flag.Int64("seed", 20180614, "random seed")
+		out   = flag.String("out", "", "also write results to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-16s %s\n", r.Name, r.Description)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		fh, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer fh.Close()
+		w = io.MultiWriter(os.Stdout, fh)
+	}
+
+	cfg := experiments.Config{Scale: *scale, Reps: *reps, Seed: *seed}
+	var runners []experiments.Runner
+	switch {
+	case *all:
+		for _, r := range experiments.Registry() {
+			// The combined runner duplicates figures 8–10; skip the
+			// individual ones in -all mode to avoid re-running the
+			// epoch experiment three times.
+			if r.Name == "figure-8" || r.Name == "figure-9" || r.Name == "figure-10" {
+				continue
+			}
+			runners = append(runners, r)
+		}
+	case *name != "":
+		r, err := experiments.Lookup(*name)
+		if err != nil {
+			fatal(err)
+		}
+		runners = []experiments.Runner{r}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		fmt.Fprintf(w, "# %s — %s\n", r.Name, r.Description)
+		for _, tab := range r.Run(cfg) {
+			fmt.Fprintln(w, tab.Render())
+		}
+		fmt.Fprintf(w, "# %s completed in %v\n\n", r.Name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ussbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+// Command ussgen writes synthetic disaggregated row streams to stdout, one
+// item label per line, for feeding into `uss build` or other tools.
+//
+// Usage:
+//
+//	ussgen -dist weibull -n 1000 -scale 350 -shape 0.32 -order shuffled | uss build -m 1000 -out s.sketch
+//	ussgen -dist geometric -p 0.03 -order sorted
+//	ussgen -dist zipf -zipf-s 1.1 -max 10000 -order twohalves
+//	ussgen -ads -rows 100000 -features 0,3,8
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		dist     = flag.String("dist", "weibull", "count distribution: weibull | geometric | zipf | uniform")
+		n        = flag.Int("n", 1000, "number of distinct items")
+		scale    = flag.Float64("scale", 350, "weibull scale")
+		shape    = flag.Float64("shape", 0.32, "weibull shape")
+		p        = flag.Float64("p", 0.03, "geometric success probability")
+		zipfS    = flag.Float64("zipf-s", 1.1, "zipf exponent")
+		maxCount = flag.Int64("max", 10000, "zipf/uniform max count")
+		order    = flag.String("order", "shuffled", "arrival order: shuffled | sorted | sorted-desc | twohalves | adversarial | bursts")
+		seed     = flag.Int64("seed", 1, "random seed")
+		ads      = flag.Bool("ads", false, "emit the synthetic ad impression stream instead")
+		rows     = flag.Int64("rows", 100000, "ad impressions to generate (with -ads)")
+		features = flag.String("features", "0,1,2,3,4,5,6,7,8", "feature positions for the ad unit key (with -ads)")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if *ads {
+		if err := emitAds(w, *rows, *features, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var pop workload.Population
+	switch *dist {
+	case "weibull":
+		pop = workload.DiscretizedWeibull(*n, *scale, *shape)
+	case "geometric":
+		pop = workload.DiscretizedGeometric(*n, *p)
+	case "zipf":
+		pop = workload.Zipf(*n, *zipfS, *maxCount)
+	case "uniform":
+		pop = workload.Uniform(*n, *maxCount)
+	default:
+		fatal(fmt.Errorf("unknown distribution %q", *dist))
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var stream workload.Stream
+	switch *order {
+	case "shuffled":
+		stream = workload.Shuffled(pop, rng)
+	case "sorted":
+		stream = workload.SortedAscending(pop)
+	case "sorted-desc":
+		stream = workload.SortedDescending(pop)
+	case "twohalves":
+		stream = workload.TwoHalves(pop, *n/2, rng)
+	case "adversarial":
+		stream = workload.AdversarialDistinct(pop)
+	case "bursts":
+		stream = workload.PeriodicBursts(pop, 100, 10, rng)
+	default:
+		fatal(fmt.Errorf("unknown order %q", *order))
+	}
+	for {
+		item, ok := stream.Next()
+		if !ok {
+			break
+		}
+		fmt.Fprintln(w, item)
+	}
+}
+
+func emitAds(w *bufio.Writer, rows int64, featureSpec string, seed int64) error {
+	var feats []int
+	for _, part := range strings.Split(featureSpec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad -features %q: %w", featureSpec, err)
+		}
+		feats = append(feats, v)
+	}
+	cfg := workload.DefaultAdConfig(rows)
+	ads, err := workload.NewAdStream(cfg, seed)
+	if err != nil {
+		return err
+	}
+	for {
+		im, ok := ads.Next()
+		if !ok {
+			return nil
+		}
+		clicked := 0
+		if im.Clicked {
+			clicked = 1
+		}
+		fmt.Fprintf(w, "%s\t%d\n", im.Key(feats...), clicked)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ussgen:", err)
+	os.Exit(1)
+}

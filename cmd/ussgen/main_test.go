@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEmitAds(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := emitAds(w, 200, "0,3,8", 7); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 200 {
+		t.Fatalf("emitted %d lines", len(lines))
+	}
+	for i, l := range lines {
+		parts := strings.Split(l, "\t")
+		if len(parts) != 2 {
+			t.Fatalf("line %d: %q", i, l)
+		}
+		if parts[1] != "0" && parts[1] != "1" {
+			t.Fatalf("line %d label %q", i, parts[1])
+		}
+		kv := strings.Split(parts[0], "|")
+		if len(kv) != 3 {
+			t.Fatalf("line %d key %q has %d features", i, parts[0], len(kv))
+		}
+		for _, pair := range kv {
+			if !strings.Contains(pair, "=") {
+				t.Fatalf("bad key component %q", pair)
+			}
+		}
+	}
+}
+
+func TestEmitAdsDeterministic(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if err := emitAds(w, 50, "1,2", 42); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		return buf.String()
+	}
+	if run() != run() {
+		t.Error("same seed produced different ad streams")
+	}
+}
+
+func TestEmitAdsBadFeatures(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := emitAds(w, 10, "0,notanumber", 1); err == nil {
+		t.Error("bad feature spec accepted")
+	}
+}

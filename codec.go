@@ -1,0 +1,111 @@
+package uss
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// snapshot is the wire format shared by Sketch and WeightedSketch. Version
+// guards future layout changes.
+type snapshot struct {
+	Version       int
+	Capacity      int
+	Deterministic bool
+	Weighted      bool
+	Rows          int64
+	Bins          []Bin
+}
+
+const codecVersion = 1
+
+// MarshalBinary serializes the sketch (bins, capacity, mode). The random
+// source is not serialized; a restored sketch draws fresh randomness.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	snap := snapshot{
+		Version:       codecVersion,
+		Capacity:      s.Capacity(),
+		Deterministic: s.Deterministic(),
+		Rows:          s.Rows(),
+		Bins:          s.Bins(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("uss: encode sketch: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a sketch serialized by MarshalBinary, replacing
+// the receiver's state. Options on the receiver (its random source) are
+// kept.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	snap, err := decodeSnapshot(data)
+	if err != nil {
+		return err
+	}
+	if snap.Weighted {
+		return fmt.Errorf("uss: snapshot holds a weighted sketch; unmarshal into WeightedSketch")
+	}
+	mode := core.Unbiased
+	if snap.Deterministic {
+		mode = core.Deterministic
+	}
+	rng := rand.New(rand.NewSource(rand.Int63()))
+	restored := core.New(snap.Capacity, mode, rng)
+	if err := core.RestoreUnit(restored, snap.Bins, snap.Rows); err != nil {
+		return fmt.Errorf("uss: restore sketch: %w", err)
+	}
+	s.core = restored
+	return nil
+}
+
+// MarshalBinary serializes the weighted sketch.
+func (s *WeightedSketch) MarshalBinary() ([]byte, error) {
+	snap := snapshot{
+		Version:  codecVersion,
+		Capacity: s.Capacity(),
+		Weighted: true,
+		Bins:     s.Bins(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("uss: encode weighted sketch: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a weighted sketch. Unit-sketch snapshots load
+// fine (their integral counts become weights).
+func (s *WeightedSketch) UnmarshalBinary(data []byte) error {
+	snap, err := decodeSnapshot(data)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(rand.Int63()))
+	w := core.NewWeighted(snap.Capacity, rng)
+	for _, b := range snap.Bins {
+		if b.Count > 0 {
+			w.Update(b.Item, b.Count)
+		}
+	}
+	s.core = w
+	return nil
+}
+
+func decodeSnapshot(data []byte) (snapshot, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("uss: decode sketch: %w", err)
+	}
+	if snap.Version != codecVersion {
+		return snap, fmt.Errorf("uss: snapshot version %d, want %d", snap.Version, codecVersion)
+	}
+	if snap.Capacity <= 0 {
+		return snap, fmt.Errorf("uss: snapshot capacity %d", snap.Capacity)
+	}
+	return snap, nil
+}

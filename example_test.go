@@ -1,0 +1,106 @@
+package uss_test
+
+import (
+	"fmt"
+	"strings"
+
+	uss "repro"
+)
+
+// The examples below are deterministic (fixed seeds) so their output is
+// verified by `go test`.
+
+func ExampleSketch_SubsetSum() {
+	sk := uss.New(8, uss.WithSeed(1))
+	// Five users' clicks, disaggregated: one row per click.
+	for user, clicks := range map[string]int{"u1": 3, "u2": 1, "u3": 4, "u4": 2, "u5": 5} {
+		for i := 0; i < clicks; i++ {
+			sk.Update(user)
+		}
+	}
+	// Under capacity the sketch is exact; filters are arbitrary.
+	est := sk.SubsetSum(func(u string) bool { return u == "u1" || u == "u3" })
+	fmt.Printf("clicks from u1+u3: %.0f\n", est.Value)
+	// Output: clicks from u1+u3: 7
+}
+
+func ExampleSketch_TopK() {
+	sk := uss.New(4, uss.WithSeed(1))
+	for i := 0; i < 90; i++ {
+		sk.Update("whale")
+	}
+	for i := 0; i < 10; i++ {
+		sk.Update(fmt.Sprintf("minnow-%d", i))
+	}
+	top := sk.TopK(1)
+	fmt.Printf("%s ≈ %.0f of %.0f rows\n", top[0].Item, top[0].Count, sk.Total())
+	// Output: whale ≈ 90 of 100 rows
+}
+
+func ExampleMerge() {
+	east := uss.New(8, uss.WithSeed(2))
+	west := uss.New(8, uss.WithSeed(3))
+	for i := 0; i < 6; i++ {
+		east.Update("checkout")
+	}
+	for i := 0; i < 4; i++ {
+		west.Update("checkout")
+	}
+	west.Update("search")
+	merged := uss.Merge(8, uss.Pairwise, east, west)
+	fmt.Printf("checkout events across regions: %.0f\n", merged.Estimate("checkout"))
+	// Output: checkout events across regions: 10
+}
+
+func ExampleWeightedSketch_Update() {
+	sk := uss.NewWeighted(8, uss.WithSeed(4))
+	sk.Update("flow-a", 1500) // bytes
+	sk.Update("flow-b", 40)
+	sk.Update("flow-a", 9000)
+	fmt.Printf("flow-a bytes: %.0f\n", sk.Estimate("flow-a"))
+	// Output: flow-a bytes: 10500
+}
+
+func ExampleRunQuery() {
+	sk := uss.New(16, uss.WithSeed(5))
+	sk.UpdateAll([]string{
+		"country=us|device=ios",
+		"country=us|device=ios",
+		"country=us|device=android",
+		"country=de|device=ios",
+	})
+	groups, _, _ := uss.RunQuery(sk, uss.QuerySpec{
+		Where:   []uss.QueryFilter{uss.WhereEq("device", "ios")},
+		GroupBy: []string{"country"},
+	})
+	for _, g := range groups {
+		fmt.Printf("%s: %.0f\n", g.KeyString(), g.Sum.Value)
+	}
+	// Output:
+	// country=us: 2
+	// country=de: 1
+}
+
+func ExampleHierarchicalHeavyHitters() {
+	sk := uss.New(32, uss.WithSeed(6))
+	// One subnet is hot only in aggregate.
+	for i := 0; i < 6; i++ {
+		sk.Update(fmt.Sprintf("10.1.0.%d", i))
+	}
+	sk.Update("10.2.0.9")
+	for _, n := range uss.HierarchicalHeavyHitters(sk, ".", 0.5) {
+		fmt.Printf("%s (discounted %.0f)\n", n.Prefix, n.Discounted)
+	}
+	// Output: 10.1.0 (discounted 6)
+}
+
+func ExampleEstimate_ConfidenceInterval() {
+	sk := uss.New(64, uss.WithSeed(7))
+	for i := 0; i < 50000; i++ {
+		sk.Update(fmt.Sprintf("key-%d", i%1000))
+	}
+	est := sk.SubsetSum(func(k string) bool { return strings.HasPrefix(k, "key-1") })
+	lo, hi := est.ConfidenceInterval(0.95)
+	fmt.Printf("interval brackets the estimate: %v\n", lo <= est.Value && est.Value <= hi)
+	// Output: interval brackets the estimate: true
+}

@@ -1,0 +1,83 @@
+// Ad-click feature computation (the paper's motivating application): build
+// historical click and impression counts per (advertiser, ad) unit from a
+// disaggregated impression log, then read off the historical-CTR features a
+// click-prediction model would consume — including higher-level rollups
+// (per advertiser) obtained as subset sums, which is exactly where biased
+// frequent-item sketches accumulate error.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	uss "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	const rows = 300000
+	cfg := workload.DefaultAdConfig(rows)
+	ads, err := workload.NewAdStream(cfg, 99)
+	if err != nil {
+		panic(err)
+	}
+
+	// Two sketches over the same stream: impressions and clicks, keyed by
+	// the (feature0, feature3) pair standing in for (advertiser, ad).
+	// Exact per-unit aggregation would need one counter per pair — up to
+	// 50 × 1000 = 50k units here, trillions in the paper's setting.
+	impressions := uss.New(2048, uss.WithSeed(1))
+	clicks := uss.New(2048, uss.WithSeed(2))
+	exactImp := map[string]float64{}
+	exactClk := map[string]float64{}
+	for {
+		im, ok := ads.Next()
+		if !ok {
+			break
+		}
+		key := im.Key(0, 3)
+		impressions.Update(key)
+		exactImp[key]++
+		if im.Clicked {
+			clicks.Update(key)
+			exactClk[key]++
+		}
+	}
+	fmt.Printf("ingested %d impressions over %d distinct (advertiser, ad) units\n\n", rows, len(exactImp))
+
+	// Feature 1: historical CTR for the busiest ad units.
+	fmt.Println("historical CTR features for the top ad units (sketch vs exact):")
+	for _, b := range impressions.TopK(5) {
+		c := clicks.Estimate(b.Item)
+		fmt.Printf("  %-12s impressions %7.0f (exact %7.0f)   ctr %.4f (exact %.4f)\n",
+			b.Item, b.Count, exactImp[b.Item], c/b.Count, safeDiv(exactClk[b.Item], exactImp[b.Item]))
+	}
+
+	// Feature 2: a brand-new ad has no history, so the model backs off to
+	// the advertiser-level rollup — a subset sum over all the
+	// advertiser's ads. The unbiased sketch answers it with a CI.
+	advertiser := "0=0|" // feature0 value 0, the most common advertiser
+	advImp := impressions.SubsetSum(func(k string) bool { return strings.HasPrefix(k, advertiser) })
+	advClk := clicks.SubsetSum(func(k string) bool { return strings.HasPrefix(k, advertiser) })
+	var exactAdvImp, exactAdvClk float64
+	for k, v := range exactImp {
+		if strings.HasPrefix(k, advertiser) {
+			exactAdvImp += v
+			exactAdvClk += exactClk[k]
+		}
+	}
+	loI, hiI := advImp.ConfidenceInterval(0.95)
+	fmt.Printf("\nadvertiser rollup (%s*):\n", advertiser)
+	fmt.Printf("  impressions %.0f ± %.0f (95%% CI [%.0f, %.0f]; exact %.0f)\n",
+		advImp.Value, advImp.StdErr, loI, hiI, exactAdvImp)
+	fmt.Printf("  clicks      %.0f (exact %.0f)\n", advClk.Value, exactAdvClk)
+	fmt.Printf("  backoff CTR feature: %.4f (exact %.4f)\n",
+		safeDiv(advClk.Value, advImp.Value), safeDiv(exactAdvClk, exactAdvImp))
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

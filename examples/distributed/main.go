@@ -1,0 +1,98 @@
+// Distributed counting (paper §5.5): shard a stream across workers — as a
+// map-reduce mapper or per-region collector would — sketch each shard
+// independently and in parallel, then merge the small sketches with the
+// unbiased reduction. The merged sketch answers subset sums over the union
+// of all shards' data as if one sketch had seen everything, and the
+// serialization round-trip stands in for the network hop.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	uss "repro"
+)
+
+const (
+	workers = 8
+	bins    = 512
+)
+
+func main() {
+	// Global event stream partitioned by hash across 8 workers: sales
+	// events keyed by (country, product).
+	rng := rand.New(rand.NewSource(21))
+	zipf := rand.NewZipf(rng, 1.2, 1, 5000)
+	countries := []string{"de", "fr", "jp", "br", "us", "in"}
+	shards := make([][]string, workers)
+	exact := map[string]float64{}
+	for ev := 0; ev < 400000; ev++ {
+		c := countries[rng.Intn(len(countries))]
+		key := fmt.Sprintf("%s/product-%d", c, zipf.Uint64())
+		exact[key]++
+		h := hash(key) % workers
+		shards[h] = append(shards[h], key)
+	}
+
+	// Each worker sketches its shard concurrently.
+	var wg sync.WaitGroup
+	blobs := make([][]byte, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sk := uss.New(bins, uss.WithSeed(int64(1000+w)))
+			for _, key := range shards[w] {
+				sk.Update(key)
+			}
+			blob, err := sk.MarshalBinary()
+			if err != nil {
+				panic(err)
+			}
+			blobs[w] = blob // "send over the network"
+		}(w)
+	}
+	wg.Wait()
+
+	// The reducer deserializes and merges.
+	sketches := make([]*uss.Sketch, workers)
+	var wireBytes int
+	for w, blob := range blobs {
+		wireBytes += len(blob)
+		var sk uss.Sketch
+		if err := sk.UnmarshalBinary(blob); err != nil {
+			panic(err)
+		}
+		sketches[w] = &sk
+	}
+	merged := uss.Merge(bins, uss.Pairwise, sketches...)
+	fmt.Printf("merged %d worker sketches (%d KB on the wire) into %d bins; total mass %.0f\n\n",
+		workers, wireBytes/1024, merged.Size(), merged.Total())
+
+	// Cross-shard queries on the merged sketch.
+	for _, country := range []string{"jp", "de"} {
+		pred := func(k string) bool { return strings.HasPrefix(k, country+"/") }
+		est := merged.SubsetSum(pred)
+		var truth float64
+		for k, v := range exact {
+			if pred(k) {
+				truth += v
+			}
+		}
+		lo, hi := est.ConfidenceInterval(0.95)
+		fmt.Printf("sales in %s: %.0f ± %.0f (95%% CI [%.0f, %.0f]; exact %.0f)\n",
+			country, est.Value, est.StdErr, lo, hi, truth)
+	}
+}
+
+// hash is a tiny FNV-1a for shard routing.
+func hash(s string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return int(h & 0x7fffffff)
+}

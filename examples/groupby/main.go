@@ -1,0 +1,60 @@
+// SQL-style querying (paper §2): the paper's motivating template
+//
+//	SELECT sum(metric), dimensions FROM table WHERE filters GROUP BY dimensions
+//
+// answered from one sketch over composite-keyed rows, with filters and
+// group-by dimensions chosen only at query time.
+package main
+
+import (
+	"fmt"
+
+	uss "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Stream synthetic ad impressions keyed by a 3-feature tuple
+	// (advertiser-ish, placement-ish, country-ish positions 0, 2, 8).
+	ads, err := workload.NewAdStream(workload.DefaultAdConfig(200000), 31)
+	if err != nil {
+		panic(err)
+	}
+	sk := uss.New(2048, uss.WithSeed(8))
+	for {
+		im, ok := ads.Next()
+		if !ok {
+			break
+		}
+		sk.Update(im.Key(0, 2, 8))
+	}
+	fmt.Printf("sketch over %d impressions, %d bins\n\n", int(sk.Total()), sk.Size())
+
+	// SELECT sum(1), f2 FROM impressions WHERE f0 IN (0,1) GROUP BY f2
+	groups, skipped, err := uss.RunQuery(sk, uss.QuerySpec{
+		Where:   []uss.QueryFilter{{Dim: "0", In: []string{"0", "1"}}},
+		GroupBy: []string{"2"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("SELECT sum(1), f2 WHERE f0 IN (0,1) GROUP BY f2  — top groups:")
+	for i, g := range groups {
+		if i == 5 {
+			break
+		}
+		lo, hi := g.Sum.ConfidenceInterval(0.95)
+		fmt.Printf("  %-6s  %9.0f  (95%% CI [%.0f, %.0f], %d bins)\n",
+			g.KeyString(), g.Sum.Value, lo, hi, g.Sum.SampleBins)
+	}
+	fmt.Printf("  (%d groups total, %d foreign labels skipped)\n\n", len(groups), skipped)
+
+	// SELECT sum(1) WHERE f8 = 0 — a single filtered aggregate.
+	global, _, _ := uss.RunQuery(sk, uss.QuerySpec{
+		Where: []uss.QueryFilter{uss.WhereEq("8", "0")},
+	})
+	if len(global) == 1 {
+		g := global[0]
+		fmt.Printf("SELECT sum(1) WHERE f8=0 → %.0f ± %.0f\n", g.Sum.Value, g.Sum.StdErr)
+	}
+}

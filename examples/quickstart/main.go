@@ -1,0 +1,65 @@
+// Quickstart: build an Unbiased Space Saving sketch over a click stream,
+// then answer the two questions the paper targets — an arbitrary filtered
+// subset sum (with a confidence interval) and the frequent items — from one
+// small sketch, without ever pre-aggregating per-user counts.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	uss "repro"
+)
+
+func main() {
+	// Simulate a disaggregated click stream: one row per click, keyed by
+	// user. User i clicks roughly i/20+1 times, so user IDs near 2000
+	// are the heavy users.
+	rng := rand.New(rand.NewSource(7))
+	var clicks []string
+	for user := 0; user < 2000; user++ {
+		region := []string{"us", "eu", "apac"}[user%3]
+		id := fmt.Sprintf("%s/user-%04d", region, user)
+		for c := 0; c < user/20+1; c++ {
+			clicks = append(clicks, id)
+		}
+	}
+	// A few bot accounts dominate the stream — the frequent items.
+	for bot := 0; bot < 4; bot++ {
+		id := fmt.Sprintf("us/bot-%d", bot)
+		for c := 0; c < 4000+bot*1500; c++ {
+			clicks = append(clicks, id)
+		}
+	}
+	rng.Shuffle(len(clicks), func(i, j int) { clicks[i], clicks[j] = clicks[j], clicks[i] })
+	fmt.Printf("stream: %d clicks from 2004 users\n", len(clicks))
+
+	// One pass, 256 bins. O(1) per row.
+	sk := uss.New(256, uss.WithSeed(42))
+	for _, row := range clicks {
+		sk.Update(row)
+	}
+	fmt.Printf("sketch: %d bins, %d rows ingested, min bin %.0f\n\n",
+		sk.Size(), sk.Rows(), sk.MinCount())
+
+	// 1) Disaggregated subset sum with arbitrary filters: total clicks
+	// from EU users. The estimate is unbiased no matter how skewed the
+	// data or how the rows arrived.
+	var truth float64
+	for _, row := range clicks {
+		if strings.HasPrefix(row, "eu/") {
+			truth++
+		}
+	}
+	est := sk.SubsetSum(func(user string) bool { return strings.HasPrefix(user, "eu/") })
+	lo, hi := est.ConfidenceInterval(0.95)
+	fmt.Printf("EU clicks: estimate %.0f ± %.0f  (95%% CI [%.0f, %.0f])\n", est.Value, est.StdErr, lo, hi)
+	fmt.Printf("           truth    %.0f  (covered: %v)\n\n", truth, truth >= lo && truth <= hi)
+
+	// 2) Frequent items: the heaviest users, with unbiased counts.
+	fmt.Println("top 5 users by estimated clicks:")
+	for i, b := range sk.TopK(5) {
+		fmt.Printf("  %d. %-18s %.0f\n", i+1, b.Item, b.Count)
+	}
+}

@@ -1,0 +1,79 @@
+// Windowed rollups (paper §5.5): per-day sketches of a click stream merged
+// on demand into trailing-window features — "sketches for clicks may be
+// computed per day, but the final machine learning feature may combine the
+// last 7 days" — with old windows evicted automatically.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	uss "repro"
+)
+
+const day = 86400
+
+func main() {
+	r, err := uss.NewRollup(uss.RollupConfig{
+		Bins:         1024,
+		WindowLength: day,
+		Retain:       7, // keep one week
+		Seed:         17,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Ten days of clicks: ad volume is skewed, and ad-77 ramps up over
+	// time (a growing campaign).
+	rng := rand.New(rand.NewSource(17))
+	zipf := rand.NewZipf(rng, 1.2, 1, 500)
+	exactByDay := make([]map[string]float64, 10)
+	for d := 0; d < 10; d++ {
+		exactByDay[d] = map[string]float64{}
+		for i := 0; i < 50000; i++ {
+			var ad string
+			if rng.Intn(100) < d { // ramping campaign
+				ad = "ad-77"
+			} else {
+				ad = fmt.Sprintf("ad-%d", zipf.Uint64())
+			}
+			at := int64(d*day) + int64(rng.Intn(day))
+			r.Update(ad, at)
+			exactByDay[d][ad]++
+		}
+	}
+	fmt.Printf("ingested 10 days × 50k clicks; retained windows: %d (days 3..9)\n\n", len(r.Windows()))
+
+	// Trailing-7-day click feature for the ramping campaign, as of day 9.
+	pred := func(s string) bool { return s == "ad-77" }
+	est, _ := r.SubsetSumRange(3*day, 10*day-1, pred)
+	var truth float64
+	for d := 3; d < 10; d++ {
+		truth += exactByDay[d]["ad-77"]
+	}
+	lo, hi := est.ConfidenceInterval(0.95)
+	fmt.Printf("ad-77 clicks, trailing 7d: %.0f ± %.0f (95%% CI [%.0f, %.0f]; exact %.0f)\n",
+		est.Value, est.StdErr, lo, hi, truth)
+
+	// Same feature over just the last 2 days — the window boundaries are
+	// free to move, no re-ingestion needed.
+	est2, _ := r.SubsetSumRange(8*day, 10*day-1, pred)
+	var truth2 float64
+	for d := 8; d < 10; d++ {
+		truth2 += exactByDay[d]["ad-77"]
+	}
+	fmt.Printf("ad-77 clicks, trailing 2d: %.0f (exact %.0f)\n\n", est2.Value, truth2)
+
+	// Top ads over the retained week.
+	fmt.Println("top 5 ads, trailing 7d:")
+	for i, b := range r.TopKRange(3*day, 10*day-1, 5) {
+		marker := ""
+		if strings.HasPrefix(b.Item, "ad-77") {
+			marker = "  ← ramping campaign"
+		}
+		fmt.Printf("  %d. %-8s %9.0f%s\n", i+1, b.Item, b.Count, marker)
+	}
+	fmt.Printf("\nrows dropped for evicted windows: %d\n", r.DroppedRows())
+}

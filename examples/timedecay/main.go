@@ -1,0 +1,70 @@
+// Time-decayed aggregation (paper §5.3): a trending-topics feed where
+// recent events matter more. The DecayedSketch weights a row arriving at
+// time a by exp(−λ(now−a)) at query time, so yesterday's viral topic fades
+// as today's takes over — all in one fixed-size sketch, no per-topic state.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	uss "repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(13))
+	// Half-life of ~6 hours: λ = ln2 / 6h (time unit = hours).
+	const halfLife = 6.0
+	lambda := 0.693147 / halfLife
+	sk := uss.NewDecayed(256, lambda, uss.WithSeed(5))
+
+	// Hour 0–24: "election" dominates. Hour 24–48: "storm" takes over
+	// while background topics churn constantly.
+	background := func(hour float64, n int) {
+		for i := 0; i < n; i++ {
+			sk.Update(fmt.Sprintf("topic-%d", rng.Intn(5000)), hour+rng.Float64(), 1)
+		}
+	}
+	for h := 0; h < 24; h++ {
+		background(float64(h), 2000)
+		for i := 0; i < 800; i++ {
+			sk.Update("election", float64(h)+rng.Float64(), 1)
+		}
+	}
+	fmt.Println("after day 1 (election dominates):")
+	printTop(sk, 3)
+
+	for h := 24; h < 48; h++ {
+		background(float64(h), 2000)
+		for i := 0; i < 1000; i++ {
+			sk.Update("storm", float64(h)+rng.Float64(), 1)
+		}
+		// The election story dies down but doesn't vanish.
+		for i := 0; i < 50; i++ {
+			sk.Update("election", float64(h)+rng.Float64(), 1)
+		}
+	}
+	fmt.Println("\nafter day 2 (storm takes over, election decayed):")
+	printTop(sk, 3)
+
+	// Decayed subset sums still work: current attention on either story.
+	est := sk.SubsetSum(func(t string) bool { return t == "election" || t == "storm" })
+	fmt.Printf("\ndecayed attention on the two stories combined: %.0f (± %.0f)\n",
+		est.Value, est.StdErr)
+	fmt.Printf("decayed total attention across all topics:      %.0f\n", sk.Total())
+}
+
+func printTop(sk *uss.DecayedSketch, k int) {
+	bins := sk.Bins()
+	for i := 0; i < k; i++ {
+		// Simple selection of the k largest decayed bins.
+		best := i
+		for j := i + 1; j < len(bins); j++ {
+			if bins[j].Count > bins[best].Count {
+				best = j
+			}
+		}
+		bins[i], bins[best] = bins[best], bins[i]
+		fmt.Printf("  %d. %-12s %8.0f (decayed)\n", i+1, bins[i].Item, bins[i].Count)
+	}
+}

@@ -1,0 +1,142 @@
+package uss_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	uss "repro"
+)
+
+func TestHierarchicalHeavyHittersPublic(t *testing.T) {
+	sk := uss.New(128, uss.WithSeed(6))
+	rng := rand.New(rand.NewSource(6))
+	// One hot host plus one subnet that is only hot in aggregate.
+	for i := 0; i < 30000; i++ {
+		switch {
+		case i%10 < 3:
+			sk.Update("10.9.0.1")
+		case i%10 < 6:
+			sk.Update(fmt.Sprintf("172.16.4.%d", rng.Intn(200)))
+		default:
+			sk.Update(fmt.Sprintf("10.%d.%d.%d", rng.Intn(30), rng.Intn(30), rng.Intn(30)))
+		}
+	}
+	hhh := uss.HierarchicalHeavyHitters(sk, ".", 0.1)
+	var gotHost, gotSubnet bool
+	for _, n := range hhh {
+		if n.Prefix == "10.9.0.1" {
+			gotHost = true
+			if n.Count < 0.25*sk.Total() || n.Count > 0.35*sk.Total() {
+				t.Errorf("hot host count %v of total %v", n.Count, sk.Total())
+			}
+		}
+		if strings.HasPrefix(n.Prefix, "172.16.4") && n.Depth <= 3 {
+			gotSubnet = true
+		}
+	}
+	if !gotHost || !gotSubnet {
+		t.Errorf("HHH missing host(%v)/subnet(%v): %v", gotHost, gotSubnet, hhh)
+	}
+
+	lvl := uss.HierarchyLevel(sk, ".", 1)
+	if len(lvl) < 2 {
+		t.Fatalf("level-1 nodes: %v", lvl)
+	}
+	var sum float64
+	for _, n := range lvl {
+		sum += n.Count
+	}
+	if diff := sum - sk.Total(); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("level-1 sums to %v, total %v", sum, sk.Total())
+	}
+}
+
+func TestWeightedHierarchicalHeavyHitters(t *testing.T) {
+	sk := uss.NewWeighted(64, uss.WithSeed(7))
+	for i := 0; i < 500; i++ {
+		sk.Update("a.b", 10)
+		sk.Update(fmt.Sprintf("c.%d", i%40), 1)
+	}
+	hhh := uss.WeightedHierarchicalHeavyHitters(sk, ".", 0.3)
+	found := false
+	for _, n := range hhh {
+		if n.Prefix == "a.b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("weighted HHH missed a.b: %v", hhh)
+	}
+}
+
+func TestRollupPublicFlow(t *testing.T) {
+	const day = 86400
+	r, err := uss.NewRollup(uss.RollupConfig{Bins: 128, WindowLength: day, Retain: 7, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	truth := map[string]float64{}
+	for d := 0; d < 9; d++ {
+		for i := 0; i < 2000; i++ {
+			item := fmt.Sprintf("ad-%d", rng.Intn(80))
+			at := int64(d*day + rng.Intn(day))
+			r.Update(item, at)
+			if d >= 2 {
+				truth[item]++
+			}
+		}
+	}
+	if got := len(r.Windows()); got != 7 {
+		t.Fatalf("retained %d windows", got)
+	}
+	// Range over days 2..8 (everything retained).
+	pred := func(s string) bool { return strings.HasSuffix(s, "3") }
+	var want float64
+	for k, v := range truth {
+		if pred(k) {
+			want += v
+		}
+	}
+	est, ok := r.SubsetSumRange(2*day, 9*day-1, pred)
+	if !ok {
+		t.Fatal("range query failed")
+	}
+	if est.Value < 0.5*want || est.Value > 1.5*want {
+		t.Errorf("range estimate %v, truth %v", est.Value, want)
+	}
+	if tot := r.TotalRange(2*day, 9*day-1); tot != 14000 {
+		t.Errorf("TotalRange = %v, want 14000", tot)
+	}
+	top := r.TopKRange(2*day, 9*day-1, 5)
+	if len(top) != 5 {
+		t.Fatalf("TopKRange = %d bins", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatalf("TopKRange not descending: %v", top)
+		}
+	}
+	// Late row for an evicted window.
+	if r.Update("late", 0) {
+		t.Error("late row accepted")
+	}
+	if r.DroppedRows() != 1 {
+		t.Errorf("DroppedRows = %d", r.DroppedRows())
+	}
+	// Empty range.
+	if _, ok := r.SubsetSumRange(100*day, 101*day, pred); ok {
+		t.Error("empty range reported ok")
+	}
+	if got := r.TopKRange(100*day, 101*day, 3); got != nil {
+		t.Errorf("TopKRange over empty span = %v", got)
+	}
+}
+
+func TestRollupConfigValidation(t *testing.T) {
+	if _, err := uss.NewRollup(uss.RollupConfig{Bins: 0, WindowLength: 1}); err == nil {
+		t.Error("bad config accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package uss_test
+
+import (
+	"testing"
+
+	uss "repro"
+)
+
+// Fuzz targets run their seed corpus under plain `go test`; use
+// `go test -fuzz FuzzX .` for open-ended exploration.
+
+func FuzzSketchUpdate(f *testing.F) {
+	f.Add([]byte("abcabcddd"), int64(1))
+	f.Add([]byte(""), int64(2))
+	f.Add([]byte{0, 1, 2, 3, 255, 254, 0, 0, 7}, int64(3))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		sk := uss.New(4, uss.WithSeed(seed))
+		for _, b := range data {
+			sk.Update(string([]byte{b}))
+		}
+		if sk.Total() != float64(len(data)) {
+			t.Fatalf("Total = %v after %d rows", sk.Total(), len(data))
+		}
+		if sk.Size() > sk.Capacity() {
+			t.Fatalf("Size %d > Capacity %d", sk.Size(), sk.Capacity())
+		}
+		var mass float64
+		for _, bin := range sk.Bins() {
+			if bin.Count < 0 {
+				t.Fatalf("negative bin %v", bin)
+			}
+			mass += bin.Count
+		}
+		if mass != sk.Total() {
+			t.Fatalf("bin mass %v != total %v", mass, sk.Total())
+		}
+	})
+}
+
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte("hello world hello"), int64(5))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		sk := uss.New(8, uss.WithSeed(seed))
+		for i := 0; i+2 <= len(data); i += 2 {
+			sk.Update(string(data[i : i+2]))
+		}
+		blob, err := sk.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back uss.Sketch
+		if err := back.UnmarshalBinary(blob); err != nil {
+			t.Fatal(err)
+		}
+		if back.Total() != sk.Total() || back.Size() != sk.Size() {
+			t.Fatalf("round trip changed totals: %v/%d vs %v/%d",
+				back.Total(), back.Size(), sk.Total(), sk.Size())
+		}
+		for _, b := range sk.Bins() {
+			if got := back.Estimate(b.Item); got != b.Count {
+				t.Fatalf("round trip changed %q: %v vs %v", b.Item, got, b.Count)
+			}
+		}
+	})
+}
+
+func FuzzUnmarshalGarbage(f *testing.F) {
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	// A valid snapshot as a seed so mutations explore near-valid inputs.
+	sk := uss.New(4, uss.WithSeed(1))
+	sk.Update("x")
+	if blob, err := sk.MarshalBinary(); err == nil {
+		f.Add(blob)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var back uss.Sketch
+		// Must never panic; errors are fine. A successful decode must
+		// yield a structurally sound sketch.
+		if err := back.UnmarshalBinary(data); err == nil {
+			if back.Size() > back.Capacity() {
+				t.Fatalf("decoded sketch overfull: %d > %d", back.Size(), back.Capacity())
+			}
+			back.Update("post")
+			if back.Estimate("post") < 0 {
+				t.Fatal("decoded sketch broken")
+			}
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package uss
+
+import (
+	"repro/internal/hierarchy"
+)
+
+// HierarchyNode is one prefix in a key hierarchy with its aggregated
+// estimate; see HierarchicalHeavyHitters.
+type HierarchyNode = hierarchy.Node
+
+// HierarchicalHeavyHitters extracts the hierarchical heavy hitters from a
+// sketch whose item labels are separator-delimited paths (IP octets, domain
+// components, category paths): prefixes whose estimated count, after
+// discounting the mass of heavy-hitter prefixes below them, is at least
+// phi times the sketch's total. This realizes the paper's §3.1 observation
+// that a disaggregated subset-sum sketch "can compute the next level in a
+// hierarchy" — a subnet can be flagged even when no single flow in it is
+// frequent.
+//
+// Results are most-specific-first. phi·Total should sit comfortably above
+// the sketch's noise floor (a few multiples of MinCount) for reliable
+// discovery; counts inherit the sketch's unbiasedness.
+func HierarchicalHeavyHitters(s *Sketch, sep string, phi float64) []HierarchyNode {
+	return hierarchy.HeavyHitters(s.Bins(), sep, phi)
+}
+
+// WeightedHierarchicalHeavyHitters is HierarchicalHeavyHitters for a
+// weighted sketch.
+func WeightedHierarchicalHeavyHitters(s *WeightedSketch, sep string, phi float64) []HierarchyNode {
+	return hierarchy.HeavyHitters(s.Bins(), sep, phi)
+}
+
+// HierarchyLevel returns the estimated totals at one level of the key
+// hierarchy (depth = number of path components; 0 is the grand total),
+// sorted by descending count — e.g. per-/8 traffic from a sketch of
+// per-flow rows.
+func HierarchyLevel(s *Sketch, sep string, depth int) []HierarchyNode {
+	return hierarchy.Level(s.Bins(), sep, depth)
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCoverageCalibrationAcrossLevels checks §6.5 end to end: normal
+// intervals built from the equation-5 variance reach at least their
+// nominal coverage at several confidence levels, on an i.i.d. stream with
+// a subset large enough for the CLT.
+func TestCoverageCalibrationAcrossLevels(t *testing.T) {
+	// 300 items, counts 1..25 cycling; subset = 100 items (plenty of
+	// matched bins with m = 60).
+	var rows []string
+	var truth float64
+	pred := func(s string) bool {
+		var n int
+		fmt.Sscanf(s, "i%d", &n)
+		return n < 100
+	}
+	for i := 0; i < 300; i++ {
+		c := i%25 + 1
+		for j := 0; j < c; j++ {
+			rows = append(rows, fmt.Sprintf("i%d", i))
+		}
+		if i < 100 {
+			truth += float64(c)
+		}
+	}
+
+	levels := []float64{0.80, 0.90, 0.95, 0.99}
+	covered := make([]int, len(levels))
+	rng := newRng(71)
+	const reps = 1500
+	for r := 0; r < reps; r++ {
+		sk := New(60, Unbiased, rng)
+		perm := rng.Perm(len(rows))
+		for _, i := range perm {
+			sk.Update(rows[i])
+		}
+		e := sk.SubsetSum(pred)
+		for li, level := range levels {
+			if e.Covers(truth, level) {
+				covered[li]++
+			}
+		}
+	}
+	for li, level := range levels {
+		cov := float64(covered[li]) / reps
+		// Conservative intervals: coverage should meet or exceed the
+		// nominal level minus Monte-Carlo slack (~3 binomial SEs).
+		slack := 3 * 0.013 // sqrt(0.25/1500) ≈ 0.013
+		if cov < level-slack {
+			t.Errorf("level %.2f: coverage %.3f below nominal", level, cov)
+		}
+	}
+	// Sanity: coverage is monotone in the level.
+	for li := 1; li < len(levels); li++ {
+		if covered[li] < covered[li-1] {
+			t.Errorf("coverage not monotone: %v", covered)
+		}
+	}
+}

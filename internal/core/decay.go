@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DecayedSketch is the forward-decay generalization sketched in §5.3 of the
+// paper, following Cormode, Shkapenyuk, Srivastava and Xu ("Forward decay: a
+// practical time decay model for streaming systems", ICDE 2009).
+//
+// Under forward exponential decay with rate λ, a row arriving at time a has
+// weight g(a)/g(t) = exp(λa)/exp(λt) when queried at time t ≥ a. Because
+// every weight is scaled by the same g(t), it suffices to feed the sketch
+// the un-normalized weights exp(λ·(a−t₀)) and divide by exp(λ·(t−t₀)) at
+// query time. To keep the un-normalized weights within floating-point
+// range over long streams, the sketch renormalizes (Scale) whenever the
+// internal exponent grows past a threshold — a positive global scaling that
+// commutes with the update rule and so changes nothing statistically.
+type DecayedSketch struct {
+	w      *WeightedSketch
+	lambda float64
+	origin float64 // t₀ of the current normalization window
+	latest float64 // largest arrival time seen
+}
+
+// NewDecayed returns a forward-decayed Unbiased Space Saving sketch with m
+// bins and decay rate lambda ≥ 0 per unit time (0 disables decay).
+func NewDecayed(m int, lambda float64, rng *rand.Rand) *DecayedSketch {
+	if lambda < 0 {
+		panic(fmt.Sprintf("core: decay rate %v, want >= 0", lambda))
+	}
+	return &DecayedSketch{w: NewWeighted(m, rng), lambda: lambda}
+}
+
+// maxExponent bounds λ·(a−t₀) before renormalization kicks in. e^60 ≈ 1e26
+// leaves ample headroom in float64.
+const maxExponent = 60
+
+// Update processes a row for item arriving at time at. Arrival times must
+// be non-decreasing in spirit but small reorderings are tolerated (late
+// rows simply get slightly smaller weights). Weight w is the row's
+// undecayed metric contribution (1 for plain counting).
+func (d *DecayedSketch) Update(item string, at, w float64) {
+	if w <= 0 {
+		panic(fmt.Sprintf("core: decayed update with weight %v, want > 0", w))
+	}
+	if at > d.latest {
+		d.latest = at
+	}
+	exp := d.lambda * (at - d.origin)
+	if exp > maxExponent {
+		// Renormalize: divide all stored mass by e^(exp-1) and move the
+		// origin so the current row's exponent becomes 1.
+		shift := exp - 1
+		d.w.Scale(math.Exp(-shift))
+		d.origin += shift / maxNonZero(d.lambda)
+		exp = d.lambda * (at - d.origin)
+	}
+	d.w.Update(item, w*math.Exp(exp))
+}
+
+func maxNonZero(l float64) float64 {
+	if l == 0 {
+		return 1
+	}
+	return l
+}
+
+// norm is the factor converting stored mass to decayed mass at query time:
+// exp(−λ·(latest−origin)).
+func (d *DecayedSketch) norm() float64 {
+	return math.Exp(-d.lambda * (d.latest - d.origin))
+}
+
+// Estimate returns item's decayed weight as of the latest arrival time.
+func (d *DecayedSketch) Estimate(item string) float64 {
+	return d.w.Estimate(item) * d.norm()
+}
+
+// Total returns the decayed total mass as of the latest arrival time.
+func (d *DecayedSketch) Total() float64 { return d.w.Total() * d.norm() }
+
+// SubsetSum estimates the decayed weight of items satisfying pred.
+func (d *DecayedSketch) SubsetSum(pred func(string) bool) Estimate {
+	e := d.w.SubsetSum(pred)
+	n := d.norm()
+	e.Value *= n
+	e.StdErr *= n
+	return e
+}
+
+// Bins returns the bins with decayed counts.
+func (d *DecayedSketch) Bins() []Bin {
+	n := d.norm()
+	bins := d.w.Bins()
+	for i := range bins {
+		bins[i].Count *= n
+	}
+	return bins
+}
+
+// Size returns the number of occupied bins.
+func (d *DecayedSketch) Size() int { return d.w.Size() }
+
+// Lambda returns the decay rate.
+func (d *DecayedSketch) Lambda() float64 { return d.lambda }
+
+// CheckInvariants delegates to the underlying weighted sketch.
+func (d *DecayedSketch) CheckInvariants() error { return d.w.CheckInvariants() }

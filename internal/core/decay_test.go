@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestDecayedValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewDecayed(lambda<0) did not panic")
+			}
+		}()
+		NewDecayed(4, -1, newRng(1))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("decayed Update(w<=0) did not panic")
+			}
+		}()
+		d := NewDecayed(4, 0.1, newRng(1))
+		d.Update("a", 0, 0)
+	}()
+}
+
+func TestDecayZeroLambdaIsPlainCounting(t *testing.T) {
+	d := NewDecayed(8, 0, newRng(1))
+	for i := 0; i < 5; i++ {
+		d.Update("a", float64(i), 1)
+	}
+	d.Update("b", 5, 2)
+	if got := d.Estimate("a"); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Estimate(a) = %v, want 5", got)
+	}
+	if got := d.Estimate("b"); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Estimate(b) = %v, want 2", got)
+	}
+	if got := d.Total(); math.Abs(got-7) > 1e-9 {
+		t.Errorf("Total = %v, want 7", got)
+	}
+}
+
+// TestDecayMatchesBruteForce compares the sketch (with ample capacity, so
+// no randomized reduction happens) against directly computed exponentially
+// decayed sums.
+func TestDecayMatchesBruteForce(t *testing.T) {
+	const lambda = 0.25
+	type row struct {
+		item string
+		at   float64
+		w    float64
+	}
+	rows := []row{
+		{"a", 0, 1}, {"b", 1, 2}, {"a", 2, 1}, {"c", 3, 5}, {"a", 7, 1}, {"b", 9, 4},
+	}
+	d := NewDecayed(16, lambda, newRng(1))
+	for _, r := range rows {
+		d.Update(r.item, r.at, r.w)
+	}
+	latest := 9.0
+	want := map[string]float64{}
+	for _, r := range rows {
+		want[r.item] += r.w * math.Exp(-lambda*(latest-r.at))
+	}
+	for item, w := range want {
+		if got := d.Estimate(item); math.Abs(got-w) > 1e-9*(1+w) {
+			t.Errorf("Estimate(%s) = %v, want %v", item, got, w)
+		}
+	}
+	var totWant float64
+	for _, w := range want {
+		totWant += w
+	}
+	if got := d.Total(); math.Abs(got-totWant) > 1e-9*(1+totWant) {
+		t.Errorf("Total = %v, want %v", got, totWant)
+	}
+	e := d.SubsetSum(func(s string) bool { return s == "a" || s == "c" })
+	if wantS := want["a"] + want["c"]; math.Abs(e.Value-wantS) > 1e-9*(1+wantS) {
+		t.Errorf("SubsetSum = %v, want %v", e.Value, wantS)
+	}
+}
+
+func TestDecayRecentDominatesOld(t *testing.T) {
+	d := NewDecayed(4, 1.0, newRng(3))
+	for i := 0; i < 100; i++ {
+		d.Update("old", 0.001*float64(i), 1)
+	}
+	for i := 0; i < 10; i++ {
+		d.Update("new", 50+float64(i), 1)
+	}
+	if d.Estimate("new") <= d.Estimate("old") {
+		t.Errorf("decay failed: new=%v old=%v", d.Estimate("new"), d.Estimate("old"))
+	}
+}
+
+// TestDecayRenormalization streams long enough in time that the internal
+// exponent would overflow without renormalization; estimates must stay
+// finite and correct relative to each other.
+func TestDecayRenormalization(t *testing.T) {
+	const lambda = 1.0
+	d := NewDecayed(8, lambda, newRng(4))
+	// Arrival times spanning 500 time units: e^500 overflows float64, so
+	// renormalization must kick in.
+	for i := 0; i < 1000; i++ {
+		d.Update(fmt.Sprintf("i%d", i%4), float64(i)/2, 1)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	tot := d.Total()
+	if math.IsInf(tot, 0) || math.IsNaN(tot) || tot <= 0 {
+		t.Fatalf("Total = %v after long decayed stream", tot)
+	}
+	// With λ=1 and rows every 0.5 time units round-robin over 4 items,
+	// item j's rows sit at times j/2, 2+j/2, 4+j/2, …, 498+j/2 and the
+	// latest arrival is at 499.5, so the decayed count converges to
+	// exp(−(1.5 − j/2)) · Σ_k exp(−2k) = exp(−(1.5 − j/2))/(1−e⁻²).
+	for j := 0; j < 4; j++ {
+		want := math.Exp(-(1.5 - 0.5*float64(j))) / (1 - math.Exp(-2))
+		got := d.Estimate(fmt.Sprintf("i%d", j))
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Errorf("Estimate(i%d) = %v, want %v", j, got, want)
+		}
+	}
+	if d.Size() != 4 {
+		t.Errorf("Size = %d, want 4", d.Size())
+	}
+	if d.Lambda() != lambda {
+		t.Errorf("Lambda = %v", d.Lambda())
+	}
+	if got := len(d.Bins()); got != 4 {
+		t.Errorf("Bins len = %d", got)
+	}
+}

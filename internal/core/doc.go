@@ -1,0 +1,44 @@
+package core
+
+// Theory notes — how the implementation maps to the paper's results.
+//
+// Theorem 1 (unbiasedness of the streaming update). Sketch.Update realizes
+// Algorithm 1: a tracked item's counter increments exactly; an untracked
+// item bumps the minimum bin from N̂min to N̂min+1 and steals its label
+// with probability 1/(N̂min+1). Conditioning on the pre-update state, the
+// expected increment to any fixed item's estimate is exactly its indicator
+// in the row, so N̂ᵢ(t) − nᵢ(t) is a martingale. The same one-line argument
+// gives WeightedSketch.Update (steal with probability w/(N̂min+w)), the
+// pairwise merge collapse in ReducePairwise (keep a label with probability
+// proportional to its count), the Horvitz–Thompson-adjusted pivotal
+// reduction in ReducePivotal, and Shrink. Theorem 2 is exactly this
+// composition property and is what the merge/rollup/resize features rely
+// on.
+//
+// Theorem 3 / Corollaries 4–5 (frequent items stick). The analysis needs
+// the minimum bin to be chosen uniformly among ties; streamsummary's
+// bucket representation provides an O(1) uniform draw from the minimum
+// bucket (randomMin). The experiments package validates the stickiness
+// transition empirically (theorem-3 driver).
+//
+// Theorem 9 (approximate PPS). Tail bins equalize at t/m + O(log²t), so a
+// tail bin's label is a size-1 reservoir sample of the rows it absorbed;
+// inclusion probabilities converge to min(1, α·nᵢ). The Figure-2 driver
+// checks this against sampling.Probabilities.
+//
+// Theorem 10 (inclusion floor on adversarial orders). Tested directly in
+// pathological_test.go on the theorem's own worst-case sequence, both the
+// bound and its tightness.
+//
+// Equation 5 (variance estimate). newEstimate sets V̂ar(N̂_S) =
+// N̂min²·max(1, C_S) with C_S the number of sketch bins matching the
+// subset. The estimate is intentionally worst-case (upward biased): κ̂ for
+// a non-sticky bin is bounded by a Geometric(1/N̂min) argument, and sticky
+// bins contribute as if they were still randomized. Figure-9's driver
+// confirms σ̂/σ ≈ 1 with the expected upward drift on extreme epochs, and
+// Figure-8's that normal intervals from it reach nominal coverage wherever
+// the CLT holds.
+//
+// Space/time (§6.7). Unit updates are O(1) worst-case via streamsummary;
+// weighted, decayed and merged sketches pay O(log m) per update through a
+// binary heap; queries are linear scans over the m bins.

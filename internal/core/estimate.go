@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Estimate is a subset-sum point estimate with the paper's variance
+// estimate attached (Ting 2018, §6.4–6.5).
+type Estimate struct {
+	// Value is the point estimate N̂_S.
+	Value float64
+	// StdErr is sqrt(V̂ar(N̂_S)) with V̂ar = N̂min²·C_S (equation 5).
+	// It is upward biased, so intervals built from it are conservative.
+	StdErr float64
+	// SampleBins is the number of sketch bins that matched the subset
+	// (C_S before clamping to ≥ 1). Normal intervals are only trustworthy
+	// when this is large enough for the CLT; the paper's experiments show
+	// coverage degrading below roughly 10 matched bins.
+	SampleBins int
+}
+
+// newEstimate assembles an Estimate from a matched-bin sum, the number of
+// matched bins and the sketch's current minimum count.
+func newEstimate(sum float64, hits int, nmin float64) Estimate {
+	cs := hits
+	if cs < 1 {
+		cs = 1
+	}
+	return Estimate{
+		Value:      sum,
+		StdErr:     nmin * math.Sqrt(float64(cs)),
+		SampleBins: hits,
+	}
+}
+
+// ConfidenceInterval returns the two-sided normal interval
+// Value ± z·StdErr at the given confidence level in (0,1), truncated below
+// at zero (counts cannot be negative).
+func (e Estimate) ConfidenceInterval(level float64) (lo, hi float64) {
+	z := NormalQuantileTwoSided(level)
+	lo = e.Value - z*e.StdErr
+	hi = e.Value + z*e.StdErr
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, hi
+}
+
+// Variance returns StdErr².
+func (e Estimate) Variance() float64 { return e.StdErr * e.StdErr }
+
+// Covers reports whether the level-confidence interval contains truth.
+func (e Estimate) Covers(truth, level float64) bool {
+	lo, hi := e.ConfidenceInterval(level)
+	return truth >= lo && truth <= hi
+}
+
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.6g ± %.3g (bins=%d)", e.Value, e.StdErr, e.SampleBins)
+}
+
+// NormalQuantileTwoSided returns z such that P(|Z| ≤ z) = level for a
+// standard normal Z, e.g. ≈1.96 for level 0.95. It panics outside (0,1).
+func NormalQuantileTwoSided(level float64) float64 {
+	if level <= 0 || level >= 1 {
+		panic(fmt.Sprintf("core: confidence level %v outside (0,1)", level))
+	}
+	return math.Sqrt2 * math.Erfinv(level)
+}
+
+// NormalQuantile returns the standard normal quantile Φ⁻¹(p) for p in (0,1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("core: probability %v outside (0,1)", p))
+	}
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}

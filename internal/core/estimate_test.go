@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNormalQuantileTwoSided(t *testing.T) {
+	cases := []struct {
+		level, want float64
+	}{
+		{0.90, 1.6449},
+		{0.95, 1.9600},
+		{0.99, 2.5758},
+	}
+	for _, c := range cases {
+		if got := NormalQuantileTwoSided(c.level); math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("z(%v) = %v, want %v", c.level, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	if got := NormalQuantile(0.975); math.Abs(got-1.9600) > 1e-3 {
+		t.Errorf("Φ⁻¹(0.975) = %v, want 1.96", got)
+	}
+	if got := NormalQuantile(0.5); math.Abs(got) > 1e-12 {
+		t.Errorf("Φ⁻¹(0.5) = %v, want 0", got)
+	}
+	if got := NormalQuantile(0.025); math.Abs(got+1.9600) > 1e-3 {
+		t.Errorf("Φ⁻¹(0.025) = %v, want −1.96", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormalQuantileTwoSided(%v) did not panic", p)
+				}
+			}()
+			NormalQuantileTwoSided(p)
+		}()
+	}
+}
+
+func TestEstimateConfidenceInterval(t *testing.T) {
+	e := Estimate{Value: 100, StdErr: 10, SampleBins: 5}
+	lo, hi := e.ConfidenceInterval(0.95)
+	if math.Abs(lo-80.4) > 0.1 || math.Abs(hi-119.6) > 0.1 {
+		t.Errorf("CI = [%v, %v], want ≈ [80.4, 119.6]", lo, hi)
+	}
+	// Truncation at zero.
+	e = Estimate{Value: 5, StdErr: 10}
+	lo, _ = e.ConfidenceInterval(0.95)
+	if lo != 0 {
+		t.Errorf("CI lower bound %v, want truncated 0", lo)
+	}
+}
+
+func TestEstimateCovers(t *testing.T) {
+	e := Estimate{Value: 100, StdErr: 10}
+	if !e.Covers(100, 0.95) || !e.Covers(115, 0.95) {
+		t.Error("Covers false for values inside interval")
+	}
+	if e.Covers(200, 0.95) {
+		t.Error("Covers true for value far outside interval")
+	}
+}
+
+func TestEstimateVariance(t *testing.T) {
+	e := Estimate{StdErr: 3}
+	if e.Variance() != 9 {
+		t.Errorf("Variance = %v, want 9", e.Variance())
+	}
+}
+
+func TestNewEstimateClampsCS(t *testing.T) {
+	e := newEstimate(0, 0, 7)
+	if e.StdErr != 7 {
+		t.Errorf("C_S clamp: StdErr = %v, want Nmin = 7", e.StdErr)
+	}
+	e = newEstimate(50, 4, 7)
+	if want := 7 * math.Sqrt(4); math.Abs(e.StdErr-want) > 1e-12 {
+		t.Errorf("StdErr = %v, want %v", e.StdErr, want)
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	e := Estimate{Value: 12.5, StdErr: 1.25, SampleBins: 3}
+	s := e.String()
+	if !strings.Contains(s, "12.5") || !strings.Contains(s, "bins=3") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// TestVarianceEstimateConservative verifies the paper's §6.4 claim on an
+// i.i.d. stream: the equation-5 variance estimate upper-bounds the true
+// Monte-Carlo variance of the subset-sum estimator (it is upward biased).
+func TestVarianceEstimateConservative(t *testing.T) {
+	var stream []string
+	for i := 0; i < 60; i++ {
+		reps := 1 + i%7
+		for j := 0; j < reps; j++ {
+			stream = append(stream, "i"+string(rune('A'+i%26))+string(rune('a'+i/26)))
+		}
+	}
+	pred := func(s string) bool { return len(s) == 3 && s[1] <= 'M' }
+	var truth float64
+	cnt := map[string]int{}
+	for _, s := range stream {
+		cnt[s]++
+	}
+	for s, c := range cnt {
+		if pred(s) {
+			truth += float64(c)
+		}
+	}
+
+	rng := newRng(31)
+	const reps = 3000
+	var sum, sumsq, varHatSum float64
+	for r := 0; r < reps; r++ {
+		sk := New(10, Unbiased, rng)
+		perm := rng.Perm(len(stream))
+		for _, i := range perm {
+			sk.Update(stream[i])
+		}
+		e := sk.SubsetSum(pred)
+		sum += e.Value
+		sumsq += e.Value * e.Value
+		varHatSum += e.Variance()
+	}
+	mean := sum / reps
+	empVar := sumsq/reps - mean*mean
+	meanVarHat := varHatSum / reps
+	if math.Abs(mean-truth) > 0.1*truth {
+		t.Fatalf("estimator biased: mean %v vs truth %v", mean, truth)
+	}
+	// Upward bias: estimated variance should be ≥ ~80% of empirical
+	// variance (Monte-Carlo noise allowance) and typically larger.
+	if meanVarHat < 0.8*empVar {
+		t.Errorf("variance estimate %v below empirical variance %v", meanVarHat, empVar)
+	}
+}

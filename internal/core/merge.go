@@ -1,0 +1,343 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// This file implements the merge and size-reduction operations of §5.3 and
+// §5.5. All frequent-item sketches share the shape "exact increment, then
+// ReduceBins"; merging two sketches is summing their bins exactly and then
+// reducing back to m bins. Theorem 2 says any reduction whose post-reduction
+// expected counts equal the pre-reduction counts keeps the whole sketch
+// unbiased, so we provide two unbiased reductions (pairwise and pivotal) and
+// the biased Misra–Gries soft-threshold reduction for comparison.
+
+// sumBins adds bin lists item-wise, producing one exact bin per distinct
+// item in ascending count order.
+func sumBins(lists ...[]Bin) []Bin {
+	acc := make(map[string]float64)
+	for _, l := range lists {
+		for _, b := range l {
+			acc[b.Item] += b.Count
+		}
+	}
+	out := make([]Bin, 0, len(acc))
+	for it, c := range acc {
+		out = append(out, Bin{Item: it, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count < out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// binHeap is a min-heap over Bin by count used by the pairwise reduction.
+type binHeap []Bin
+
+func (h binHeap) Len() int            { return len(h) }
+func (h binHeap) Less(i, j int) bool  { return h[i].Count < h[j].Count }
+func (h binHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *binHeap) Push(x interface{}) { *h = append(*h, x.(Bin)) }
+func (h *binHeap) Pop() interface{} {
+	old := *h
+	n := len(old) - 1
+	b := old[n]
+	*h = old[:n]
+	return b
+}
+
+// ReducePairwise shrinks bins to at most m entries by repeatedly collapsing
+// the two smallest bins a ≤ b into one bin of count a+b that keeps b's label
+// with probability b/(a+b). Each collapse preserves each item's expected
+// count and the exact total, so the reduction satisfies Theorem 2. This is
+// exactly the view of the streaming update in §5.3 (a PPS sample on the two
+// smallest bins) applied repeatedly.
+func ReducePairwise(bins []Bin, m int, rng *rand.Rand) []Bin {
+	if m <= 0 {
+		panic(fmt.Sprintf("core: reduce to m = %d bins", m))
+	}
+	h := make(binHeap, len(bins))
+	copy(h, bins)
+	heap.Init(&h)
+	for h.Len() > m {
+		a := heap.Pop(&h).(Bin)
+		b := heap.Pop(&h).(Bin)
+		c := a.Count + b.Count
+		keep := b.Item
+		if c > 0 && rng.Float64()*c < a.Count {
+			keep = a.Item
+		}
+		heap.Push(&h, Bin{Item: keep, Count: c})
+	}
+	out := make([]Bin, h.Len())
+	copy(out, h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count < out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// ReducePivotal shrinks bins to exactly min(m, len(bins)) entries by drawing
+// a fixed-size probability-proportional-to-size sample with the splitting
+// (pivotal) method of Deville & Tillé (1998) and Horvitz–Thompson adjusting
+// the surviving counts: a bin with inclusion probability πᵢ < 1 that
+// survives is stored as count/πᵢ. Expected post-reduction counts equal the
+// pre-reduction counts, so this too satisfies Theorem 2, and it adds less
+// quadratic variation per step than the pairwise collapse because large bins
+// (πᵢ = 1) are never randomized.
+func ReducePivotal(bins []Bin, m int, rng *rand.Rand) []Bin {
+	if m <= 0 {
+		panic(fmt.Sprintf("core: reduce to m = %d bins", m))
+	}
+	if len(bins) <= m {
+		out := make([]Bin, len(bins))
+		copy(out, bins)
+		return out
+	}
+	values := make([]float64, len(bins))
+	for i, b := range bins {
+		values[i] = b.Count
+	}
+	pi := InclusionProbabilities(values, m)
+
+	out := make([]Bin, 0, m)
+	// Certain bins (π = 1) pass through untouched; the rest run the
+	// pivotal duel. Each fractional entry tracks both its current process
+	// probability (cur, which grows as duels are won) and the unit's
+	// original inclusion probability (orig, the divisor for the
+	// Horvitz–Thompson adjustment — the pivotal process guarantees the
+	// final selection probability equals orig).
+	type frac struct {
+		bin       Bin
+		cur, orig float64
+	}
+	var pool []frac
+	for i, b := range bins {
+		if pi[i] >= 1 {
+			out = append(out, b)
+		} else if pi[i] > 0 {
+			pool = append(pool, frac{bin: b, cur: pi[i], orig: pi[i]})
+		}
+	}
+	// Pivotal method: repeatedly combine two fractional probabilities;
+	// one of the pair resolves to 0 or 1, the other keeps the remainder.
+	for len(pool) >= 2 {
+		a, b := pool[len(pool)-1], pool[len(pool)-2]
+		pool = pool[:len(pool)-2]
+		s := a.cur + b.cur
+		if s < 1 {
+			// One of them dies; the survivor holds probability s.
+			if rng.Float64()*s < a.cur {
+				a.cur = s
+				pool = append(pool, a)
+			} else {
+				b.cur = s
+				pool = append(pool, b)
+			}
+		} else {
+			// One of them is selected outright; the other keeps s-1.
+			if rng.Float64()*(2-s) < 1-a.cur {
+				out = append(out, Bin{Item: b.bin.Item, Count: b.bin.Count / b.orig})
+				a.cur = s - 1
+				pool = append(pool, a)
+			} else {
+				out = append(out, Bin{Item: a.bin.Item, Count: a.bin.Count / a.orig})
+				b.cur = s - 1
+				pool = append(pool, b)
+			}
+		}
+	}
+	if len(pool) == 1 {
+		// Residual probability; with Σπ = m integral this is 0 or 1 up
+		// to rounding, resolve it by a final coin flip.
+		f := pool[0]
+		if rng.Float64() < f.cur {
+			out = append(out, Bin{Item: f.bin.Item, Count: f.bin.Count / f.orig})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count < out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// ReduceMisraGries shrinks bins to at most m entries with the biased
+// soft-threshold reduction of Agarwal et al. (2013): subtract the (m+1)-th
+// largest count from every bin and drop non-positive results. It preserves
+// the deterministic error guarantee but biases every count downward; the
+// paper's Figure 1 contrasts it with the unbiased reductions.
+func ReduceMisraGries(bins []Bin, m int) []Bin {
+	if m <= 0 {
+		panic(fmt.Sprintf("core: reduce to m = %d bins", m))
+	}
+	if len(bins) <= m {
+		out := make([]Bin, len(bins))
+		copy(out, bins)
+		return out
+	}
+	sorted := make([]Bin, len(bins))
+	copy(sorted, bins)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Count > sorted[j].Count })
+	thresh := sorted[m].Count
+	out := make([]Bin, 0, m)
+	for _, b := range sorted[:m] {
+		if c := b.Count - thresh; c > 0 {
+			out = append(out, Bin{Item: b.Item, Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count < out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// InclusionProbabilities returns the thresholded-PPS inclusion probabilities
+// πᵢ = min(1, α·xᵢ) with α chosen so that Σπᵢ = min(m, #positive values)
+// (§5.1). Zero values get probability zero.
+func InclusionProbabilities(values []float64, m int) []float64 {
+	n := len(values)
+	pi := make([]float64, n)
+	positive := 0
+	for _, v := range values {
+		if v > 0 {
+			positive++
+		}
+	}
+	if m >= positive {
+		for i, v := range values {
+			if v > 0 {
+				pi[i] = 1
+			}
+		}
+		return pi
+	}
+	// Sort value indices descending; find the number k of certain items
+	// such that α = (m-k)/Σ_{rest} gives α·x ≤ 1 for all the rest.
+	idx := make([]int, 0, positive)
+	for i, v := range values {
+		if v > 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
+	var tail float64
+	for _, i := range idx {
+		tail += values[i]
+	}
+	k := 0
+	for k < m {
+		alpha := (float64(m) - float64(k)) / tail
+		if alpha*values[idx[k]] <= 1 {
+			break
+		}
+		tail -= values[idx[k]]
+		k++
+	}
+	alpha := (float64(m) - float64(k)) / tail
+	for j, i := range idx {
+		if j < k {
+			pi[i] = 1
+		} else {
+			p := alpha * values[i]
+			if p > 1 {
+				p = 1
+			}
+			pi[i] = p
+		}
+	}
+	return pi
+}
+
+// ReduceKind selects a reduction operation for Merge.
+type ReduceKind int
+
+const (
+	// PairwiseReduction collapses the two smallest bins repeatedly
+	// (unbiased, integer-friendly, the default).
+	PairwiseReduction ReduceKind = iota
+	// PivotalReduction draws a fixed-size PPS sample with HT adjustment
+	// (unbiased, lower added variance, real-valued counts).
+	PivotalReduction
+	// MisraGriesReduction soft-thresholds (biased, deterministic bound).
+	MisraGriesReduction
+)
+
+func (k ReduceKind) String() string {
+	switch k {
+	case PairwiseReduction:
+		return "pairwise"
+	case PivotalReduction:
+		return "pivotal"
+	case MisraGriesReduction:
+		return "misra-gries"
+	default:
+		return fmt.Sprintf("ReduceKind(%d)", int(k))
+	}
+}
+
+// MergeBins sums any number of bin lists exactly and reduces the result to
+// at most m bins with the chosen reduction. The output is in ascending
+// count order.
+func MergeBins(m int, kind ReduceKind, rng *rand.Rand, lists ...[]Bin) []Bin {
+	combined := sumBins(lists...)
+	switch kind {
+	case PairwiseReduction:
+		if len(combined) <= m {
+			return combined
+		}
+		return ReducePairwise(combined, m, rng)
+	case PivotalReduction:
+		return ReducePivotal(combined, m, rng)
+	case MisraGriesReduction:
+		return ReduceMisraGries(combined, m)
+	default:
+		panic(fmt.Sprintf("core: unknown reduction %v", kind))
+	}
+}
+
+// MergeSketches merges unit sketches into a fresh WeightedSketch of size m
+// using the given reduction. The result is weighted because merged counts
+// need not stay integral under HT adjustment; with PairwiseReduction they
+// do stay integral but are stored as float64 regardless.
+func MergeSketches(m int, kind ReduceKind, rng *rand.Rand, sketches ...*Sketch) *WeightedSketch {
+	lists := make([][]Bin, len(sketches))
+	for i, sk := range sketches {
+		lists[i] = sk.Bins()
+	}
+	return sketchFromBins(m, rng, MergeBins(m, kind, rng, lists...))
+}
+
+// MergeWeighted merges weighted sketches into a fresh WeightedSketch.
+func MergeWeighted(m int, kind ReduceKind, rng *rand.Rand, sketches ...*WeightedSketch) *WeightedSketch {
+	lists := make([][]Bin, len(sketches))
+	for i, sk := range sketches {
+		lists[i] = sk.Bins()
+	}
+	return sketchFromBins(m, rng, MergeBins(m, kind, rng, lists...))
+}
+
+// sketchFromBins loads pre-reduced bins into a WeightedSketch.
+func sketchFromBins(m int, rng *rand.Rand, bins []Bin) *WeightedSketch {
+	s := NewWeighted(m, rng)
+	for _, b := range bins {
+		if b.Count > 0 {
+			s.Update(b.Item, b.Count)
+		}
+	}
+	return s
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func mkBins(counts ...float64) []Bin {
+	out := make([]Bin, len(counts))
+	for i, c := range counts {
+		out[i] = Bin{Item: fmt.Sprintf("b%d", i), Count: c}
+	}
+	return out
+}
+
+func totalOf(bins []Bin) float64 {
+	var s float64
+	for _, b := range bins {
+		s += b.Count
+	}
+	return s
+}
+
+func TestReducePairwisePreservesTotalExactly(t *testing.T) {
+	rng := newRng(5)
+	bins := mkBins(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	out := ReducePairwise(bins, 4, rng)
+	if len(out) != 4 {
+		t.Fatalf("reduced to %d bins, want 4", len(out))
+	}
+	if got, want := totalOf(out), totalOf(bins); got != want {
+		t.Errorf("total %v, want %v (exact)", got, want)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Count < out[i-1].Count {
+			t.Errorf("output not ascending: %v", out)
+		}
+	}
+}
+
+func TestReducePairwiseNoOpWhenSmall(t *testing.T) {
+	rng := newRng(5)
+	bins := mkBins(1, 2)
+	out := ReducePairwise(bins, 5, rng)
+	if len(out) != 2 {
+		t.Fatalf("ReducePairwise grew/shrank: %v", out)
+	}
+}
+
+// TestReducePairwiseUnbiased verifies E[post] = pre for each item over many
+// replicates (Theorem 2 hypothesis).
+func TestReducePairwiseUnbiased(t *testing.T) {
+	rng := newRng(6)
+	bins := mkBins(1, 2, 3, 10, 20)
+	const reps = 60000
+	sums := map[string]float64{}
+	for r := 0; r < reps; r++ {
+		for _, b := range ReducePairwise(bins, 2, rng) {
+			sums[b.Item] += b.Count
+		}
+	}
+	for _, b := range bins {
+		mean := sums[b.Item] / reps
+		if math.Abs(mean-b.Count) > 0.05*totalOf(bins) {
+			t.Errorf("E[post] for %s = %.3f, want %.0f", b.Item, mean, b.Count)
+		}
+	}
+}
+
+func TestReducePivotalSizeAndUnbiasedness(t *testing.T) {
+	rng := newRng(8)
+	bins := mkBins(1, 2, 3, 4, 100) // the 100 should always survive (π=1)
+	const m = 3
+	const reps = 60000
+	sums := map[string]float64{}
+	for r := 0; r < reps; r++ {
+		out := ReducePivotal(bins, m, rng)
+		if len(out) != m {
+			t.Fatalf("pivotal produced %d bins, want %d", len(out), m)
+		}
+		found := false
+		for _, b := range out {
+			sums[b.Item] += b.Count
+			if b.Item == "b4" {
+				found = true
+				if b.Count != 100 {
+					t.Fatalf("certain bin HT-adjusted: %v", b.Count)
+				}
+			}
+		}
+		if !found {
+			t.Fatal("certain bin (count 100) dropped by pivotal reduction")
+		}
+	}
+	for _, b := range bins {
+		mean := sums[b.Item] / reps
+		if math.Abs(mean-b.Count) > 0.05*b.Count+0.2 {
+			t.Errorf("pivotal E[post] for %s = %.3f, want %.0f", b.Item, mean, b.Count)
+		}
+	}
+}
+
+func TestReducePivotalNoOpWhenSmall(t *testing.T) {
+	rng := newRng(8)
+	bins := mkBins(5, 6)
+	out := ReducePivotal(bins, 4, rng)
+	if len(out) != 2 || totalOf(out) != 11 {
+		t.Fatalf("pivotal no-op wrong: %v", out)
+	}
+}
+
+func TestReduceMisraGries(t *testing.T) {
+	bins := mkBins(1, 2, 3, 4, 10)
+	out := ReduceMisraGries(bins, 2)
+	// Sorted descending: 10,4,3,2,1; threshold = 3rd largest = 3.
+	// Survivors: 10−3=7, 4−3=1.
+	if len(out) != 2 {
+		t.Fatalf("MG reduce kept %d bins, want 2", len(out))
+	}
+	if out[0].Count != 1 || out[1].Count != 7 {
+		t.Errorf("MG reduce = %v, want counts 1 and 7", out)
+	}
+	// Every output is ≤ its input count (downward bias).
+	in := map[string]float64{}
+	for _, b := range bins {
+		in[b.Item] = b.Count
+	}
+	for _, b := range out {
+		if b.Count > in[b.Item] {
+			t.Errorf("MG increased %s: %v > %v", b.Item, b.Count, in[b.Item])
+		}
+	}
+}
+
+func TestReduceMisraGriesDropsTies(t *testing.T) {
+	bins := mkBins(5, 5, 5)
+	out := ReduceMisraGries(bins, 2)
+	// Threshold = 5 ⇒ everything zeroes out.
+	if len(out) != 0 {
+		t.Errorf("MG reduce of equal bins = %v, want empty", out)
+	}
+}
+
+func TestInclusionProbabilities(t *testing.T) {
+	vals := []float64{1, 1, 10}
+	pi := InclusionProbabilities(vals, 2)
+	// The paper's example (§5.1): with values 1,1,10 and k=2, the big
+	// item is certain and α = 1/2 over the remaining mass 2.
+	if pi[2] != 1 {
+		t.Errorf("π(10) = %v, want 1", pi[2])
+	}
+	if math.Abs(pi[0]-0.5) > 1e-12 || math.Abs(pi[1]-0.5) > 1e-12 {
+		t.Errorf("π(1) = %v,%v, want 0.5", pi[0], pi[1])
+	}
+	var sum float64
+	for _, p := range pi {
+		sum += p
+	}
+	if math.Abs(sum-2) > 1e-9 {
+		t.Errorf("Σπ = %v, want 2", sum)
+	}
+}
+
+func TestInclusionProbabilitiesEdgeCases(t *testing.T) {
+	// k ≥ #positive: everything certain, zeros stay zero.
+	pi := InclusionProbabilities([]float64{3, 0, 5}, 7)
+	if pi[0] != 1 || pi[1] != 0 || pi[2] != 1 {
+		t.Errorf("π = %v, want [1 0 1]", pi)
+	}
+	// Uniform values: all equal k/n.
+	pi = InclusionProbabilities([]float64{2, 2, 2, 2}, 2)
+	for i, p := range pi {
+		if math.Abs(p-0.5) > 1e-12 {
+			t.Errorf("π[%d] = %v, want 0.5", i, p)
+		}
+	}
+	// Heavy skew: multiple certain items.
+	pi = InclusionProbabilities([]float64{100, 100, 1, 1}, 3)
+	if pi[0] != 1 || pi[1] != 1 {
+		t.Errorf("heavy items not certain: %v", pi)
+	}
+	if math.Abs(pi[2]-0.5) > 1e-12 || math.Abs(pi[3]-0.5) > 1e-12 {
+		t.Errorf("tail π = %v, want 0.5 each", pi[2:])
+	}
+}
+
+func TestMergeBinsKinds(t *testing.T) {
+	rng := newRng(9)
+	a := []Bin{{"x", 3}, {"y", 1}}
+	b := []Bin{{"x", 2}, {"z", 4}}
+	for _, kind := range []ReduceKind{PairwiseReduction, PivotalReduction, MisraGriesReduction} {
+		out := MergeBins(10, kind, rng, a, b)
+		// Capacity is generous: merge must be exact.
+		got := map[string]float64{}
+		for _, bin := range out {
+			got[bin.Item] = bin.Count
+		}
+		if got["x"] != 5 || got["y"] != 1 || got["z"] != 4 {
+			t.Errorf("%v: exact merge wrong: %v", kind, got)
+		}
+	}
+}
+
+func TestMergeSketchesUnbiased(t *testing.T) {
+	// Two shards with overlapping items; merged subset sums should be
+	// unbiased across replicates.
+	shard1 := make([]string, 0, 300)
+	shard2 := make([]string, 0, 300)
+	for i := 0; i < 20; i++ {
+		for j := 0; j <= i; j++ {
+			shard1 = append(shard1, fmt.Sprintf("i%d", i))
+		}
+	}
+	for i := 10; i < 30; i++ {
+		for j := 0; j < 5; j++ {
+			shard2 = append(shard2, fmt.Sprintf("i%d", i))
+		}
+	}
+	truth := map[string]float64{}
+	for _, it := range shard1 {
+		truth[it]++
+	}
+	for _, it := range shard2 {
+		truth[it]++
+	}
+	pred := func(s string) bool { return s == "i15" || s == "i25" }
+	want := truth["i15"] + truth["i25"]
+
+	rng := newRng(99)
+	const reps = 3000
+	var sum float64
+	for r := 0; r < reps; r++ {
+		s1 := New(8, Unbiased, rng)
+		s2 := New(8, Unbiased, rng)
+		p1, p2 := rng.Perm(len(shard1)), rng.Perm(len(shard2))
+		for _, i := range p1 {
+			s1.Update(shard1[i])
+		}
+		for _, i := range p2 {
+			s2.Update(shard2[i])
+		}
+		merged := MergeSketches(8, PairwiseReduction, rng, s1, s2)
+		if merged.Size() > 8 {
+			t.Fatalf("merged size %d > 8", merged.Size())
+		}
+		sum += merged.SubsetSum(pred).Value
+	}
+	mean := sum / reps
+	if math.Abs(mean-want) > 0.15*want {
+		t.Errorf("merged subset mean %v, want ≈ %v", mean, want)
+	}
+}
+
+func TestMergeWeighted(t *testing.T) {
+	rng := newRng(4)
+	s1 := NewWeighted(4, rng)
+	s2 := NewWeighted(4, rng)
+	s1.Update("a", 2.5)
+	s2.Update("a", 1.5)
+	s2.Update("b", 3)
+	merged := MergeWeighted(4, PairwiseReduction, rng, s1, s2)
+	if got := merged.Estimate("a"); got != 4 {
+		t.Errorf("merged Estimate(a) = %v, want 4", got)
+	}
+	if got := merged.Estimate("b"); got != 3 {
+		t.Errorf("merged Estimate(b) = %v, want 3", got)
+	}
+}
+
+func TestMergePreservesTotalPairwise(t *testing.T) {
+	rng := newRng(13)
+	s1 := New(6, Unbiased, rng)
+	s2 := New(6, Unbiased, rng)
+	for i := 0; i < 700; i++ {
+		s1.Update(fmt.Sprintf("a%d", rng.Intn(60)))
+		s2.Update(fmt.Sprintf("b%d", rng.Intn(60)))
+	}
+	merged := MergeSketches(6, PairwiseReduction, rng, s1, s2)
+	if got, want := merged.Total(), s1.Total()+s2.Total(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("merged total %v, want %v", got, want)
+	}
+}
+
+func TestReduceKindString(t *testing.T) {
+	if PairwiseReduction.String() != "pairwise" ||
+		PivotalReduction.String() != "pivotal" ||
+		MisraGriesReduction.String() != "misra-gries" {
+		t.Error("ReduceKind.String wrong")
+	}
+	if ReduceKind(9).String() != "ReduceKind(9)" {
+		t.Error("unknown ReduceKind.String wrong")
+	}
+}
+
+func TestReducePanicsOnBadM(t *testing.T) {
+	rng := newRng(1)
+	for name, fn := range map[string]func(){
+		"pairwise": func() { ReducePairwise(mkBins(1, 2), 0, rng) },
+		"pivotal":  func() { ReducePivotal(mkBins(1, 2), 0, rng) },
+		"mg":       func() { ReduceMisraGries(mkBins(1, 2), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: m=0 did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

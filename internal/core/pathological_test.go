@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// Tests in this file exercise the non-i.i.d. guarantees of §6.3 and
+// Theorem 10: unbiasedness holds for every arrival order, and inclusion
+// probabilities never fall below the simple-random-sampling floor.
+
+// streamOrders builds one fixed multiset of rows in several pathological
+// arrangements.
+func streamOrders() map[string][]string {
+	// 40 items, item i occurs i+1 times (820 rows).
+	var sortedAsc []string
+	for i := 0; i < 40; i++ {
+		for j := 0; j <= i; j++ {
+			sortedAsc = append(sortedAsc, fmt.Sprintf("i%d", i))
+		}
+	}
+	sortedDesc := make([]string, len(sortedAsc))
+	for i, r := range sortedAsc {
+		sortedDesc[len(sortedAsc)-1-i] = r
+	}
+	// Round-robin bursts: items interleaved in repeating blocks.
+	var bursts []string
+	remaining := map[string]int{}
+	for i := 0; i < 40; i++ {
+		remaining[fmt.Sprintf("i%d", i)] = i + 1
+	}
+	for len(remaining) > 0 {
+		for i := 0; i < 40; i++ {
+			item := fmt.Sprintf("i%d", i)
+			if remaining[item] == 0 {
+				continue
+			}
+			take := 3
+			if remaining[item] < take {
+				take = remaining[item]
+			}
+			for j := 0; j < take; j++ {
+				bursts = append(bursts, item)
+			}
+			remaining[item] -= take
+			if remaining[item] == 0 {
+				delete(remaining, item)
+			}
+		}
+	}
+	return map[string][]string{
+		"sorted-ascending":  sortedAsc,
+		"sorted-descending": sortedDesc,
+		"bursty":            bursts,
+	}
+}
+
+// TestUnbiasedOnPathologicalOrders z-tests subset-sum unbiasedness on each
+// fixed pathological order (no shuffling — the order itself is the test).
+func TestUnbiasedOnPathologicalOrders(t *testing.T) {
+	pred := func(s string) bool {
+		var n int
+		fmt.Sscanf(s, "i%d", &n)
+		return n%4 == 0
+	}
+	var truth float64
+	for i := 0; i < 40; i++ {
+		if i%4 == 0 {
+			truth += float64(i + 1)
+		}
+	}
+	for name, rows := range streamOrders() {
+		rng := newRng(int64(len(name)))
+		const reps = 4000
+		var sum, sumsq float64
+		for r := 0; r < reps; r++ {
+			s := New(8, Unbiased, rng)
+			for _, it := range rows {
+				s.Update(it)
+			}
+			e := s.SubsetSum(pred).Value
+			sum += e
+			sumsq += e * e
+		}
+		mean := sum / reps
+		varr := sumsq/reps - mean*mean
+		se := math.Sqrt(varr / reps)
+		if se == 0 {
+			se = 1e-12
+		}
+		if z := math.Abs(mean-truth) / se; z > 4.5 {
+			t.Errorf("%s: mean %.2f vs truth %.0f, |z| = %.1f", name, mean, truth, z)
+		}
+	}
+}
+
+// TestDeterministicFailsOnSortedAscending contrasts: classic Space Saving
+// on the ascending order estimates 0 for every early item (the §6.3
+// failure the randomization repairs).
+func TestDeterministicFailsOnSortedAscending(t *testing.T) {
+	rows := streamOrders()["sorted-ascending"]
+	s := New(8, Deterministic, newRng(1))
+	for _, it := range rows {
+		s.Update(it)
+	}
+	for i := 0; i < 20; i++ {
+		if est := s.Estimate(fmt.Sprintf("i%d", i)); est != 0 {
+			t.Errorf("deterministic Estimate(i%d) = %v on sorted stream, want 0", i, est)
+		}
+	}
+}
+
+// TestInclusionLowerBound verifies Theorem 10: an item occurring nᵢ times
+// in a stream of ntot rows has inclusion probability at least
+// 1 − (1 − nᵢ/ntot)^m, for the theorem's own worst-case sequence (ntot−nᵢ
+// distinct rows followed by the item nᵢ times).
+func TestInclusionLowerBound(t *testing.T) {
+	const m = 5
+	const ntot = 200
+	for _, ni := range []int{5, 20, 50} {
+		var rows []string
+		for j := 0; j < ntot-ni; j++ {
+			rows = append(rows, fmt.Sprintf("noise%d", j))
+		}
+		for j := 0; j < ni; j++ {
+			rows = append(rows, "target")
+		}
+		rng := newRng(int64(ni))
+		const reps = 6000
+		hits := 0
+		for r := 0; r < reps; r++ {
+			s := New(m, Unbiased, rng)
+			for _, it := range rows {
+				s.Update(it)
+			}
+			if s.Contains("target") {
+				hits++
+			}
+		}
+		pi := float64(hits) / reps
+		bound := 1 - math.Pow(1-float64(ni)/float64(ntot), m)
+		// Monte-Carlo slack: 4 binomial standard errors.
+		slack := 4 * math.Sqrt(bound*(1-bound)/reps)
+		if pi < bound-slack-0.01 {
+			t.Errorf("ni=%d: inclusion %.4f below theorem-10 bound %.4f", ni, pi, bound)
+		}
+	}
+}
+
+// TestTheorem10BoundTight verifies the tightness claim: on the theorem's
+// worst-case sequence the inclusion probability is close to the bound, not
+// far above it (the bins all grow to ntot/m before the target arrives).
+func TestTheorem10BoundTight(t *testing.T) {
+	const m = 5
+	const ntot = 1000
+	const ni = 50
+	var rows []string
+	for j := 0; j < ntot-ni; j++ {
+		rows = append(rows, fmt.Sprintf("noise%d", j))
+	}
+	for j := 0; j < ni; j++ {
+		rows = append(rows, "target")
+	}
+	rng := newRng(99)
+	const reps = 6000
+	hits := 0
+	for r := 0; r < reps; r++ {
+		s := New(m, Unbiased, rng)
+		for _, it := range rows {
+			s.Update(it)
+		}
+		if s.Contains("target") {
+			hits++
+		}
+	}
+	pi := float64(hits) / reps
+	bound := 1 - math.Pow(1-float64(ni)/float64(ntot), m)
+	if pi > bound+0.1 {
+		t.Errorf("inclusion %.4f far above the supposedly tight bound %.4f", pi, bound)
+	}
+}
+
+// TestBurstyItemStaysEstimable: an item arriving in periodic bursts (below
+// the guaranteed-inclusion threshold between bursts) keeps an unbiased
+// estimate under the randomized sketch.
+func TestBurstyItemStaysEstimable(t *testing.T) {
+	// 20 cycles of: 50 distinct noise rows, then 10 "burst" rows.
+	var rows []string
+	nid := 0
+	for c := 0; c < 20; c++ {
+		for j := 0; j < 50; j++ {
+			rows = append(rows, fmt.Sprintf("n%d", nid))
+			nid++
+		}
+		for j := 0; j < 10; j++ {
+			rows = append(rows, "burst")
+		}
+	}
+	truth := 200.0
+	rng := newRng(5)
+	const reps = 4000
+	var sum float64
+	for r := 0; r < reps; r++ {
+		s := New(10, Unbiased, rng)
+		for _, it := range rows {
+			s.Update(it)
+		}
+		sum += s.Estimate("burst")
+	}
+	mean := sum / reps
+	if math.Abs(mean-truth) > 0.1*truth {
+		t.Errorf("bursty item mean estimate %v, truth %v", mean, truth)
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Shrink reduces the weighted sketch in place to at most m bins using the
+// given unbiased reduction, and lowers its capacity to m. This implements
+// the §5.3 generalization of "adaptively varying the sketch size in order
+// to only remove items with small estimated frequency": shrinking is just
+// another reduction step, so every post-shrink estimate remains unbiased
+// (Theorem 2) as long as an unbiased ReduceKind is used.
+func (s *WeightedSketch) Shrink(m int, kind ReduceKind) {
+	if m <= 0 {
+		panic(fmt.Sprintf("core: shrink to m = %d bins", m))
+	}
+	if m >= s.m {
+		// Capacity can only shrink here; growing is free (see Grow).
+		s.m = m
+		return
+	}
+	var reduced []Bin
+	switch kind {
+	case PairwiseReduction:
+		reduced = ReducePairwise(s.Bins(), m, s.rng)
+	case PivotalReduction:
+		reduced = ReducePivotal(s.Bins(), m, s.rng)
+	case MisraGriesReduction:
+		reduced = ReduceMisraGries(s.Bins(), m)
+	default:
+		panic(fmt.Sprintf("core: unknown reduction %v", kind))
+	}
+	s.m = m
+	s.h = s.h[:0]
+	s.index = make(map[string]*wbin, m)
+	s.total = 0
+	for _, b := range reduced {
+		if b.Count <= 0 {
+			continue
+		}
+		wb := &wbin{item: b.Item, count: b.Count}
+		heap.Push(&s.h, wb)
+		s.index[b.Item] = wb
+		s.total += b.Count
+	}
+}
+
+// Grow raises the sketch's capacity to m (a no-op when m ≤ current
+// capacity). Existing bins are untouched; new capacity simply delays the
+// next reduction, which only improves accuracy.
+func (s *WeightedSketch) Grow(m int) {
+	if m > s.m {
+		s.m = m
+	}
+}
+
+// ToWeighted converts a unit sketch into a weighted sketch with the same
+// bins and capacity, sharing no state. Useful before Shrink/Grow or for
+// mixing unit history with weighted updates.
+func (s *Sketch) ToWeighted() *WeightedSketch {
+	w := NewWeighted(s.m, s.rng)
+	for _, b := range s.Bins() {
+		if b.Count > 0 {
+			w.Update(b.Item, b.Count)
+		}
+	}
+	return w
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestShrinkBasic(t *testing.T) {
+	rng := newRng(3)
+	s := NewWeighted(16, rng)
+	for i := 0; i < 16; i++ {
+		s.Update(fmt.Sprintf("i%d", i), float64(i+1))
+	}
+	totalBefore := s.Total()
+	s.Shrink(6, PairwiseReduction)
+	if s.Capacity() != 6 {
+		t.Fatalf("capacity %d after shrink", s.Capacity())
+	}
+	if s.Size() > 6 {
+		t.Fatalf("size %d after shrink", s.Size())
+	}
+	if math.Abs(s.Total()-totalBefore) > 1e-9 {
+		t.Errorf("pairwise shrink changed total: %v → %v", totalBefore, s.Total())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-shrink updates work under the new capacity.
+	for i := 0; i < 100; i++ {
+		s.Update(fmt.Sprintf("new%d", i), 1)
+		if s.Size() > 6 {
+			t.Fatalf("capacity not enforced after shrink")
+		}
+	}
+}
+
+func TestShrinkUnbiased(t *testing.T) {
+	rng := newRng(4)
+	const reps = 40000
+	sums := map[string]float64{}
+	for r := 0; r < reps; r++ {
+		s := NewWeighted(8, rng)
+		for i := 0; i < 8; i++ {
+			s.Update(fmt.Sprintf("i%d", i), float64(i+1))
+		}
+		s.Shrink(3, PairwiseReduction)
+		for _, b := range s.Bins() {
+			sums[b.Item] += b.Count
+		}
+	}
+	for i := 0; i < 8; i++ {
+		item := fmt.Sprintf("i%d", i)
+		mean := sums[item] / reps
+		if math.Abs(mean-float64(i+1)) > 0.15*36 { // tolerance vs total 36
+			t.Errorf("E[post-shrink %s] = %.3f, want %d", item, mean, i+1)
+		}
+	}
+}
+
+func TestShrinkPivotalAndMisraGries(t *testing.T) {
+	for _, kind := range []ReduceKind{PivotalReduction, MisraGriesReduction} {
+		rng := newRng(5)
+		s := NewWeighted(12, rng)
+		for i := 0; i < 12; i++ {
+			s.Update(fmt.Sprintf("i%d", i), float64(i+1))
+		}
+		s.Shrink(4, kind)
+		if s.Size() > 4 || s.Capacity() != 4 {
+			t.Errorf("%v: size/cap = %d/%d", kind, s.Size(), s.Capacity())
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+	}
+}
+
+func TestShrinkNoOpWhenLarger(t *testing.T) {
+	rng := newRng(6)
+	s := NewWeighted(4, rng)
+	s.Update("a", 1)
+	s.Shrink(10, PairwiseReduction)
+	if s.Capacity() != 10 || s.Estimate("a") != 1 {
+		t.Errorf("shrink-to-larger wrong: cap %d", s.Capacity())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Shrink(0) did not panic")
+			}
+		}()
+		s.Shrink(0, PairwiseReduction)
+	}()
+}
+
+func TestGrow(t *testing.T) {
+	rng := newRng(7)
+	s := NewWeighted(2, rng)
+	s.Update("a", 1)
+	s.Update("b", 1)
+	s.Grow(4)
+	if s.Capacity() != 4 {
+		t.Fatalf("capacity %d", s.Capacity())
+	}
+	s.Update("c", 1)
+	s.Update("d", 1)
+	if s.Size() != 4 {
+		t.Errorf("size %d, want 4 exact bins after grow", s.Size())
+	}
+	for _, item := range []string{"a", "b", "c", "d"} {
+		if s.Estimate(item) != 1 {
+			t.Errorf("Estimate(%s) = %v", item, s.Estimate(item))
+		}
+	}
+	s.Grow(2) // no-op shrinkwise
+	if s.Capacity() != 4 {
+		t.Errorf("Grow shrank capacity to %d", s.Capacity())
+	}
+}
+
+func TestToWeighted(t *testing.T) {
+	rng := newRng(8)
+	s := New(8, Unbiased, rng)
+	for i := 0; i < 500; i++ {
+		s.Update(fmt.Sprintf("i%d", i%20))
+	}
+	w := s.ToWeighted()
+	if w.Capacity() != s.Capacity() || w.Size() != s.Size() {
+		t.Fatalf("converted size/cap mismatch")
+	}
+	if math.Abs(w.Total()-s.Total()) > 1e-9 {
+		t.Errorf("converted total %v vs %v", w.Total(), s.Total())
+	}
+	for _, b := range s.Bins() {
+		if got := w.Estimate(b.Item); got != b.Count {
+			t.Errorf("converted Estimate(%s) = %v, want %v", b.Item, got, b.Count)
+		}
+	}
+	// Independence: updating the conversion does not touch the original.
+	w.Update("fresh", 5)
+	if s.Contains("fresh") {
+		t.Error("conversion shares state with the original")
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RestoreUnit loads serialized bins into s, which must be freshly
+// constructed and empty. Counts must be non-negative integers (unit
+// sketches only ever hold integral counts) and fit within s's capacity.
+// rows should be the original sketch's row count; for unit sketches that
+// always equals the total bin mass, and 0 is accepted as "recompute".
+func RestoreUnit(s *Sketch, bins []Bin, rows int64) error {
+	if s.Size() != 0 || s.rows != 0 {
+		return fmt.Errorf("core: restore into non-empty sketch")
+	}
+	if len(bins) > s.m {
+		return fmt.Errorf("core: %d bins exceed capacity %d", len(bins), s.m)
+	}
+	sorted := make([]Bin, len(bins))
+	copy(sorted, bins)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Count < sorted[j].Count })
+	var total int64
+	for _, b := range sorted {
+		if b.Count < 0 || b.Count != math.Trunc(b.Count) {
+			return fmt.Errorf("core: bin %q has non-integral count %v", b.Item, b.Count)
+		}
+		if b.Count == 0 {
+			continue
+		}
+		c := int64(b.Count)
+		s.sum.Insert(b.Item, c)
+		total += c
+	}
+	if rows == 0 {
+		rows = total
+	}
+	if rows != total {
+		return fmt.Errorf("core: snapshot rows %d disagree with bin mass %d", rows, total)
+	}
+	s.rows = rows
+	return nil
+}

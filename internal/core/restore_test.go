@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRestoreUnitRoundTrip(t *testing.T) {
+	rng := newRng(17)
+	orig := New(8, Unbiased, rng)
+	for i := 0; i < 900; i++ {
+		orig.Update(fmt.Sprintf("i%d", rng.Intn(40)))
+	}
+	restored := New(8, Unbiased, newRng(18))
+	if err := RestoreUnit(restored, orig.Bins(), orig.Rows()); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Rows() != orig.Rows() || restored.Total() != orig.Total() {
+		t.Errorf("rows/total = %d/%v, want %d/%v", restored.Rows(), restored.Total(), orig.Rows(), orig.Total())
+	}
+	for _, b := range orig.Bins() {
+		if got := restored.Estimate(b.Item); got != b.Count {
+			t.Errorf("Estimate(%s) = %v, want %v", b.Item, got, b.Count)
+		}
+	}
+	if err := restored.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Restored sketch keeps working.
+	restored.Update("fresh")
+	if restored.Rows() != orig.Rows()+1 {
+		t.Error("restored sketch does not accept updates")
+	}
+}
+
+func TestRestoreUnitValidation(t *testing.T) {
+	fresh := func() *Sketch { return New(2, Unbiased, newRng(1)) }
+
+	if err := RestoreUnit(fresh(), []Bin{{"a", 1}, {"b", 2}, {"c", 3}}, 6); err == nil {
+		t.Error("over-capacity restore accepted")
+	}
+	if err := RestoreUnit(fresh(), []Bin{{"a", 1.5}}, 1); err == nil {
+		t.Error("non-integral count accepted")
+	}
+	if err := RestoreUnit(fresh(), []Bin{{"a", -1}}, -1); err == nil {
+		t.Error("negative count accepted")
+	}
+	if err := RestoreUnit(fresh(), []Bin{{"a", 2}}, 5); err == nil {
+		t.Error("row/mass mismatch accepted")
+	}
+	s := fresh()
+	s.Update("x")
+	if err := RestoreUnit(s, []Bin{{"a", 1}}, 1); err == nil {
+		t.Error("restore into non-empty sketch accepted")
+	}
+	// rows == 0 means recompute from mass.
+	s2 := fresh()
+	if err := RestoreUnit(s2, []Bin{{"a", 4}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Rows() != 4 {
+		t.Errorf("Rows = %d, want 4", s2.Rows())
+	}
+	// Zero-count bins are skipped.
+	s3 := fresh()
+	if err := RestoreUnit(s3, []Bin{{"a", 0}, {"b", 3}}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if s3.Size() != 1 {
+		t.Errorf("Size = %d, want 1 (zero bin skipped)", s3.Size())
+	}
+}

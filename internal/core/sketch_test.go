@@ -1,0 +1,449 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestNewValidation(t *testing.T) {
+	for _, m := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", m)
+				}
+			}()
+			New(m, Unbiased, newRng(1))
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("New(Unbiased, nil rng) did not panic")
+			}
+		}()
+		New(4, Unbiased, nil)
+	}()
+	// Deterministic mode accepts a nil rng.
+	s := New(4, Deterministic, nil)
+	s.Update("a")
+	if s.Estimate("a") != 1 {
+		t.Error("deterministic sketch with nil rng broken")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Unbiased.String() != "unbiased" || Deterministic.String() != "deterministic" {
+		t.Error("Mode.String wrong")
+	}
+	if Mode(42).String() != "Mode(42)" {
+		t.Error("unknown Mode.String wrong")
+	}
+}
+
+func TestExactWhenUnderCapacity(t *testing.T) {
+	for _, mode := range []Mode{Unbiased, Deterministic} {
+		s := New(10, mode, newRng(1))
+		truth := map[string]float64{}
+		for i := 0; i < 5; i++ {
+			item := fmt.Sprintf("i%d", i)
+			for j := 0; j <= i; j++ {
+				s.Update(item)
+				truth[item]++
+			}
+		}
+		for item, want := range truth {
+			if got := s.Estimate(item); got != want {
+				t.Errorf("%v: Estimate(%s) = %v, want %v", mode, item, got, want)
+			}
+		}
+		if s.MinCount() != 0 {
+			t.Errorf("%v: MinCount = %v with spare capacity, want 0", mode, s.MinCount())
+		}
+		if s.Size() != 5 {
+			t.Errorf("%v: Size = %d, want 5", mode, s.Size())
+		}
+	}
+}
+
+func TestTotalMassPreserved(t *testing.T) {
+	for _, mode := range []Mode{Unbiased, Deterministic} {
+		rng := newRng(5)
+		s := New(8, mode, rng)
+		const n = 5000
+		for i := 0; i < n; i++ {
+			s.Update(fmt.Sprintf("i%d", rng.Intn(200)))
+		}
+		if got := s.Total(); got != n {
+			t.Errorf("%v: Total = %v after %d rows", mode, got, n)
+		}
+		if got := s.Rows(); got != n {
+			t.Errorf("%v: Rows = %d, want %d", mode, got, n)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Errorf("%v: %v", mode, err)
+		}
+	}
+}
+
+func TestSizeNeverExceedsCapacity(t *testing.T) {
+	rng := newRng(6)
+	s := New(16, Unbiased, rng)
+	for i := 0; i < 10000; i++ {
+		s.Update(fmt.Sprintf("i%d", rng.Intn(1000)))
+		if s.Size() > s.Capacity() {
+			t.Fatalf("size %d exceeds capacity %d", s.Size(), s.Capacity())
+		}
+	}
+}
+
+// TestUnbiasedness is the paper's Theorem 1: for any fixed item, the
+// estimated count is unbiased. We run many independent sketches over a
+// fixed stream that overflows capacity and check the Monte-Carlo mean
+// against the truth with a z-test.
+func TestUnbiasedness(t *testing.T) {
+	// Stream: item "hot" appears 30 times, 40 singletons, interleaved so
+	// hot items arrive early (worst case for staying in the sketch).
+	var stream []string
+	for i := 0; i < 30; i++ {
+		stream = append(stream, "hot")
+	}
+	for i := 0; i < 40; i++ {
+		stream = append(stream, fmt.Sprintf("cold%d", i))
+	}
+	targets := map[string]float64{"hot": 30, "cold7": 1, "cold39": 1}
+
+	const reps = 4000
+	rng := newRng(42)
+	sums := map[string]float64{}
+	sumsq := map[string]float64{}
+	for r := 0; r < reps; r++ {
+		s := New(5, Unbiased, rng)
+		// A fresh shuffle each rep: unbiasedness holds for any order,
+		// and shuffling exercises many orders.
+		perm := rng.Perm(len(stream))
+		for _, i := range perm {
+			s.Update(stream[i])
+		}
+		for item := range targets {
+			e := s.Estimate(item)
+			sums[item] += e
+			sumsq[item] += e * e
+		}
+	}
+	for item, truth := range targets {
+		mean := sums[item] / reps
+		varr := sumsq[item]/reps - mean*mean
+		se := math.Sqrt(varr / reps)
+		z := math.Abs(mean-truth) / se
+		if z > 4.5 {
+			t.Errorf("Estimate(%s): mean %.3f vs truth %.0f, |z| = %.1f", item, mean, truth, z)
+		}
+	}
+}
+
+// TestUnbiasednessExactTinyStream enumerates the martingale directly: for a
+// two-bin sketch and a three-row stream, compare the Monte-Carlo mean to
+// the exactly computed expectation.
+func TestUnbiasednessExactTinyStream(t *testing.T) {
+	// Stream: a, b, c with m = 2. After a,b the sketch is {a:1, b:1}.
+	// Row c hits a random min bin (each w.p. 1/2), increments it to 2,
+	// and relabels to c w.p. 1/2. So E[N̂_c] = 2·(1/2) = 1 = truth, and
+	// E[N̂_a] = 1 (untouched w.p. 1/2; touched-and-kept w.p. 1/4 → 2;
+	// relabeled w.p. 1/4 → 0) = 1/2·1 + 1/4·2 + 1/4·0 = 1. ✓ truth.
+	const reps = 200000
+	rng := newRng(9)
+	var sumA, sumC float64
+	for r := 0; r < reps; r++ {
+		s := New(2, Unbiased, rng)
+		s.Update("a")
+		s.Update("b")
+		s.Update("c")
+		sumA += s.Estimate("a")
+		sumC += s.Estimate("c")
+	}
+	if got := sumA / reps; math.Abs(got-1) > 0.01 {
+		t.Errorf("E[N̂_a] = %.4f, want 1", got)
+	}
+	if got := sumC / reps; math.Abs(got-1) > 0.01 {
+		t.Errorf("E[N̂_c] = %.4f, want 1", got)
+	}
+}
+
+func TestDeterministicErrorBound(t *testing.T) {
+	// Classic Space Saving guarantee: for every item,
+	// truth ≤ estimate (if tracked) ≤ truth + ntot/m, and untracked
+	// items have truth ≤ Nmin ≤ ntot/m.
+	rng := newRng(12)
+	s := New(20, Deterministic, rng)
+	truth := map[string]int{}
+	const n = 20000
+	zipf := rand.NewZipf(rng, 1.3, 1, 500)
+	var stream []string
+	for i := 0; i < n; i++ {
+		item := fmt.Sprintf("i%d", zipf.Uint64())
+		stream = append(stream, item)
+		truth[item]++
+	}
+	for _, it := range stream {
+		s.Update(it)
+	}
+	bound := float64(n) / float64(s.Capacity())
+	for item, tc := range truth {
+		est := s.Estimate(item)
+		if s.Contains(item) {
+			if est < float64(tc) {
+				t.Errorf("deterministic underestimates tracked %s: %v < %d", item, est, tc)
+			}
+			if est > float64(tc)+bound {
+				t.Errorf("deterministic overestimates %s: %v > %d + %v", item, est, tc, bound)
+			}
+		} else if float64(tc) > s.MinCount() {
+			t.Errorf("untracked item %s has truth %d > Nmin %v", item, tc, s.MinCount())
+		}
+	}
+}
+
+func TestFrequentItemsEventuallySticky(t *testing.T) {
+	// Theorem 3: p1 > 1/m means item 1 is in the sketch eventually.
+	// With p1 = 0.3, m = 10, and a long i.i.d. stream, the hot item must
+	// be tracked at the end with near-exact count.
+	rng := newRng(33)
+	s := New(10, Unbiased, rng)
+	hot := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.3 {
+			s.Update("hot")
+			hot++
+		} else {
+			s.Update(fmt.Sprintf("tail%d", rng.Intn(5000)))
+		}
+	}
+	if !s.Contains("hot") {
+		t.Fatal("frequent item not tracked after long i.i.d. stream")
+	}
+	est := s.Estimate("hot")
+	if rel := math.Abs(est-float64(hot)) / float64(hot); rel > 0.05 {
+		t.Errorf("frequent item estimate %v vs truth %d (rel err %.3f)", est, hot, rel)
+	}
+}
+
+func TestSubsetSumMatchesBins(t *testing.T) {
+	rng := newRng(2)
+	s := New(32, Unbiased, rng)
+	for i := 0; i < 3000; i++ {
+		s.Update(fmt.Sprintf("i%d", rng.Intn(100)))
+	}
+	all := s.SubsetSum(func(string) bool { return true })
+	if all.Value != s.Total() {
+		t.Errorf("SubsetSum(all) = %v, Total = %v", all.Value, s.Total())
+	}
+	if all.SampleBins != s.Size() {
+		t.Errorf("SubsetSum(all).SampleBins = %d, Size = %d", all.SampleBins, s.Size())
+	}
+	none := s.SubsetSum(func(string) bool { return false })
+	if none.Value != 0 || none.SampleBins != 0 {
+		t.Errorf("SubsetSum(none) = %+v", none)
+	}
+	// Empty subsets still get a nonzero (worst-case) standard error.
+	if none.StdErr != s.MinCount() {
+		t.Errorf("SubsetSum(none).StdErr = %v, want Nmin = %v", none.StdErr, s.MinCount())
+	}
+}
+
+func TestEstimateWithSE(t *testing.T) {
+	rng := newRng(2)
+	s := New(4, Unbiased, rng)
+	for i := 0; i < 100; i++ {
+		s.Update(fmt.Sprintf("i%d", rng.Intn(20)))
+	}
+	bins := s.Bins()
+	e := s.EstimateWithSE(bins[0].Item)
+	if e.Value != bins[0].Count {
+		t.Errorf("EstimateWithSE value %v, want %v", e.Value, bins[0].Count)
+	}
+	if e.SampleBins != 1 {
+		t.Errorf("SampleBins = %d, want 1", e.SampleBins)
+	}
+	if e.StdErr != s.MinCount() {
+		t.Errorf("StdErr = %v, want Nmin %v", e.StdErr, s.MinCount())
+	}
+	miss := s.EstimateWithSE("absent")
+	if miss.Value != 0 || miss.SampleBins != 0 {
+		t.Errorf("EstimateWithSE(absent) = %+v", miss)
+	}
+}
+
+func TestTopKOrderingAndTruncation(t *testing.T) {
+	rng := newRng(4)
+	s := New(8, Unbiased, rng)
+	for i := 0; i < 500; i++ {
+		s.Update(fmt.Sprintf("i%d", rng.Intn(10)))
+	}
+	top := s.TopK(3)
+	if len(top) != 3 {
+		t.Fatalf("TopK(3) returned %d bins", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Errorf("TopK not descending: %v", top)
+		}
+	}
+	if got := s.TopK(100); len(got) != s.Size() {
+		t.Errorf("TopK(100) returned %d, want Size %d", len(got), s.Size())
+	}
+}
+
+func TestFrequentItems(t *testing.T) {
+	rng := newRng(4)
+	s := New(10, Unbiased, rng)
+	for i := 0; i < 600; i++ {
+		s.Update("dominant")
+	}
+	for i := 0; i < 400; i++ {
+		s.Update(fmt.Sprintf("i%d", rng.Intn(50)))
+	}
+	freq := s.FrequentItems(0.5)
+	if len(freq) != 1 || freq[0].Item != "dominant" {
+		t.Errorf("FrequentItems(0.5) = %v, want [dominant]", freq)
+	}
+	if got := s.FrequentItems(0.999); len(got) != 0 {
+		t.Errorf("FrequentItems(0.999) = %v, want empty", got)
+	}
+	empty := New(4, Unbiased, newRng(1))
+	if got := empty.FrequentItems(0.1); got != nil {
+		t.Errorf("FrequentItems on empty sketch = %v", got)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	rng := newRng(8)
+	s := New(4, Deterministic, rng)
+	for i := 0; i < 200; i++ {
+		s.Update(fmt.Sprintf("i%d", rng.Intn(20)))
+	}
+	nmin := s.MinCount()
+	lo, hi := s.Bounds("absent")
+	if lo != 0 || hi != nmin {
+		t.Errorf("Bounds(absent) = [%v,%v], want [0,%v]", lo, hi, nmin)
+	}
+	bins := s.Bins()
+	top := bins[len(bins)-1]
+	lo, hi = s.Bounds(top.Item)
+	if hi != top.Count {
+		t.Errorf("Bounds hi = %v, want %v", hi, top.Count)
+	}
+	if lo != math.Max(0, top.Count-nmin) {
+		t.Errorf("Bounds lo = %v, want %v", lo, top.Count-nmin)
+	}
+}
+
+func TestBinsAscending(t *testing.T) {
+	rng := newRng(10)
+	s := New(16, Unbiased, rng)
+	for i := 0; i < 2000; i++ {
+		s.Update(fmt.Sprintf("i%d", rng.Intn(100)))
+	}
+	bins := s.Bins()
+	for i := 1; i < len(bins); i++ {
+		if bins[i].Count < bins[i-1].Count {
+			t.Fatalf("Bins not ascending: %v then %v", bins[i-1], bins[i])
+		}
+	}
+}
+
+func TestMinCountMonotoneOnOverflowingStream(t *testing.T) {
+	rng := newRng(14)
+	s := New(8, Unbiased, rng)
+	var prev float64
+	for i := 0; i < 5000; i++ {
+		s.Update(fmt.Sprintf("i%d", i)) // all distinct: constant turnover
+		if mc := s.MinCount(); mc < prev {
+			t.Fatalf("MinCount decreased from %v to %v at row %d", prev, mc, i)
+		} else {
+			prev = mc
+		}
+	}
+}
+
+// TestAdversarialTheorem11 reproduces the robustness result: for a stream
+// of v items followed by ntot distinct noise rows, Deterministic Space
+// Saving estimates 0 for every real item (when all nᵢ < 2·ntot/m), while
+// Unbiased Space Saving keeps unbiased (nonzero on average) estimates.
+func TestAdversarialTheorem11(t *testing.T) {
+	const m = 10
+	// 40 items × 25 rows = 1000 = ntot, each nᵢ = 25 < 2·1000/10 = 200.
+	var stream []string
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 25; j++ {
+			stream = append(stream, fmt.Sprintf("real%d", i))
+		}
+	}
+	for j := 0; j < 1000; j++ {
+		stream = append(stream, fmt.Sprintf("noise%d", j))
+	}
+
+	det := New(m, Deterministic, newRng(1))
+	for _, it := range stream {
+		det.Update(it)
+	}
+	for i := 0; i < 40; i++ {
+		if est := det.Estimate(fmt.Sprintf("real%d", i)); est != 0 {
+			t.Errorf("deterministic Estimate(real%d) = %v, theorem 11 predicts 0", i, est)
+		}
+	}
+
+	// Unbiased: average estimate of the real-item subset should stay near
+	// its true total 1000 (the noise merely halves the effective sample).
+	rng := newRng(77)
+	const reps = 300
+	var sum float64
+	for r := 0; r < reps; r++ {
+		u := New(m, Unbiased, rng)
+		for _, it := range stream {
+			u.Update(it)
+		}
+		sum += u.SubsetSum(func(item string) bool { return len(item) > 4 && item[:4] == "real" }).Value
+	}
+	mean := sum / reps
+	if mean < 800 || mean > 1200 {
+		t.Errorf("unbiased subset mean = %v, want ≈ 1000", mean)
+	}
+}
+
+// TestQuickInvariants property-tests structural invariants over arbitrary
+// short streams in both modes.
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed int64, items []uint8, det bool) bool {
+		mode := Unbiased
+		if det {
+			mode = Deterministic
+		}
+		s := New(4, mode, newRng(seed))
+		for _, b := range items {
+			s.Update(fmt.Sprintf("i%d", b%32))
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		return s.Total() == float64(len(items)) && s.Size() <= 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateAll(t *testing.T) {
+	s := New(4, Unbiased, newRng(3))
+	s.UpdateAll([]string{"a", "b", "a"})
+	if s.Estimate("a") != 2 || s.Estimate("b") != 1 {
+		t.Errorf("UpdateAll counts wrong: a=%v b=%v", s.Estimate("a"), s.Estimate("b"))
+	}
+}

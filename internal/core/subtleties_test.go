@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestConditionalUpwardBias documents the §4 remark: although every item's
+// estimate is unconditionally unbiased, conditional on the item being IN
+// the sketch its count is biased upward (untracked items report a
+// downward-biased 0, so the tracked side must compensate).
+func TestConditionalUpwardBias(t *testing.T) {
+	// A mid-frequency item that is tracked only sometimes.
+	var stream []string
+	for i := 0; i < 10; i++ {
+		stream = append(stream, "mid")
+	}
+	for i := 0; i < 190; i++ {
+		stream = append(stream, fmt.Sprintf("n%d", i))
+	}
+	rng := newRng(17)
+	const reps = 5000
+	var sumAll, sumTracked float64
+	tracked := 0
+	for r := 0; r < reps; r++ {
+		s := New(5, Unbiased, rng)
+		perm := rng.Perm(len(stream))
+		for _, i := range perm {
+			s.Update(stream[i])
+		}
+		e := s.Estimate("mid")
+		sumAll += e
+		if s.Contains("mid") {
+			sumTracked += e
+			tracked++
+		}
+	}
+	meanAll := sumAll / reps
+	if meanAll < 8 || meanAll > 12 {
+		t.Fatalf("unconditional mean %v, want ≈ 10", meanAll)
+	}
+	if tracked == 0 || tracked == reps {
+		t.Fatalf("degenerate tracking rate %d/%d — test needs a sometimes-tracked item", tracked, reps)
+	}
+	meanTracked := sumTracked / float64(tracked)
+	if meanTracked <= 10 {
+		t.Errorf("conditional-on-tracked mean %v, §4 predicts upward bias (> 10)", meanTracked)
+	}
+}
+
+// TestAllUniqueRows exercises the "most obvious pathological sequence"
+// (§6.3): every row distinct. Deterministic Space Saving then holds exactly
+// the last m items; the unbiased sketch holds a random sample (labels far
+// from the stream's tail survive with positive probability).
+func TestAllUniqueRows(t *testing.T) {
+	const n = 2000
+	const m = 10
+	rows := make([]string, n)
+	for i := range rows {
+		rows[i] = fmt.Sprintf("u%d", i)
+	}
+
+	det := New(m, Deterministic, newRng(1))
+	for _, r := range rows {
+		det.Update(r)
+	}
+	for i := n - m; i < n; i++ {
+		if !det.Contains(fmt.Sprintf("u%d", i)) {
+			t.Errorf("deterministic sketch missing recent item u%d", i)
+		}
+	}
+
+	// Unbiased: over replicates, early-half items appear in the sketch a
+	// non-negligible fraction of the time (≈ m/2 of the bins hold
+	// early-half labels in expectation, since all items are exchangeable
+	// in count).
+	rng := newRng(2)
+	const reps = 400
+	early := 0
+	for r := 0; r < reps; r++ {
+		u := New(m, Unbiased, rng)
+		for _, row := range rows {
+			u.Update(row)
+		}
+		for _, b := range u.Bins() {
+			var idx int
+			fmt.Sscanf(b.Item, "u%d", &idx)
+			if idx < n/2 {
+				early++
+			}
+		}
+	}
+	frac := float64(early) / float64(reps*m)
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("early-half label fraction %v, want ≈ 0.5 (uniform reservoir over rows)", frac)
+	}
+}

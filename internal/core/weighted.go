@@ -1,0 +1,227 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// WeightedSketch is the real-valued generalization of Unbiased Space Saving
+// described in §5.3 of the paper: rows arrive with arbitrary positive
+// weights, and the reduction step is a thresholded-PPS subsample of the
+// minimum bin. A row (item, w) whose item is untracked bumps the minimum
+// bin to Nmin+w and steals its label with probability w/(Nmin+w), which
+// keeps every per-item estimate an unbiased martingale exactly as in the
+// unit case.
+//
+// The price of real-valued counts is the loss of the O(1) bucket list:
+// WeightedSketch keeps its bins in a min-heap, so updates cost O(log m).
+// Exact count ties break arbitrarily rather than uniformly at random; with
+// continuous weights ties have probability zero.
+type WeightedSketch struct {
+	m     int
+	rng   *rand.Rand
+	h     wheap
+	index map[string]*wbin
+	total float64
+	rows  int64
+}
+
+// wbin is one heap entry.
+type wbin struct {
+	item  string
+	count float64
+	idx   int
+}
+
+// wheap is a min-heap of bins ordered by count.
+type wheap []*wbin
+
+func (h wheap) Len() int            { return len(h) }
+func (h wheap) Less(i, j int) bool  { return h[i].count < h[j].count }
+func (h wheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *wheap) Push(x interface{}) { b := x.(*wbin); b.idx = len(*h); *h = append(*h, b) }
+func (h *wheap) Pop() interface{} {
+	old := *h
+	n := len(old) - 1
+	b := old[n]
+	old[n] = nil
+	*h = old[:n]
+	return b
+}
+
+// NewWeighted returns a weighted Unbiased Space Saving sketch with m bins.
+// rng must be non-nil.
+func NewWeighted(m int, rng *rand.Rand) *WeightedSketch {
+	if m <= 0 {
+		panic(fmt.Sprintf("core: sketch size m = %d, want > 0", m))
+	}
+	if rng == nil {
+		panic("core: weighted sketch requires a random source")
+	}
+	return &WeightedSketch{m: m, rng: rng, index: make(map[string]*wbin, m)}
+}
+
+// Capacity returns m.
+func (s *WeightedSketch) Capacity() int { return s.m }
+
+// Size returns the number of occupied bins.
+func (s *WeightedSketch) Size() int { return len(s.h) }
+
+// Rows returns the number of Update calls processed.
+func (s *WeightedSketch) Rows() int64 { return s.rows }
+
+// Total returns the sum of all bin counts, which for positive weights
+// equals the exact sum of all update weights.
+func (s *WeightedSketch) Total() float64 { return s.total }
+
+// MinCount returns the smallest bin count (0 with spare capacity).
+func (s *WeightedSketch) MinCount() float64 {
+	if len(s.h) < s.m {
+		return 0
+	}
+	return s.h[0].count
+}
+
+// Update processes a row carrying weight w > 0 for item. It panics on
+// non-positive weights; use UpdateSigned for the signed extension.
+func (s *WeightedSketch) Update(item string, w float64) {
+	if w <= 0 {
+		panic(fmt.Sprintf("core: weighted update with weight %v, want > 0", w))
+	}
+	s.rows++
+	s.total += w
+	if b, ok := s.index[item]; ok {
+		b.count += w
+		heap.Fix(&s.h, b.idx)
+		return
+	}
+	if len(s.h) < s.m {
+		b := &wbin{item: item, count: w}
+		heap.Push(&s.h, b)
+		s.index[item] = b
+		return
+	}
+	min := s.h[0]
+	newCount := min.count + w
+	// Thresholded-PPS reduction over {existing label, new item}:
+	// the incoming row keeps the bin with probability w/(Nmin+w).
+	if s.rng.Float64()*newCount < w {
+		delete(s.index, min.item)
+		min.item = item
+		s.index[item] = min
+	}
+	min.count = newCount
+	heap.Fix(&s.h, 0)
+}
+
+// UpdateSigned applies a signed weight to an item already in the sketch and
+// returns true, or returns false (and applies nothing) when w < 0 and the
+// item is untracked — a negative update to an untracked item has no
+// unbiased single-bin treatment (§5.3 notes two-sided thresholding loses
+// the theoretical analysis). Positive weights defer to Update. Counts may
+// go negative; they are kept as-is so that further positive mass can cancel
+// them, matching the two-sided shrinkage discussion in the paper.
+func (s *WeightedSketch) UpdateSigned(item string, w float64) bool {
+	if w >= 0 {
+		if w > 0 {
+			s.Update(item, w)
+		}
+		return true
+	}
+	b, ok := s.index[item]
+	if !ok {
+		return false
+	}
+	s.rows++
+	s.total += w
+	b.count += w
+	heap.Fix(&s.h, b.idx)
+	return true
+}
+
+// Contains reports whether item labels a bin.
+func (s *WeightedSketch) Contains(item string) bool {
+	_, ok := s.index[item]
+	return ok
+}
+
+// Estimate returns item's estimated total weight (0 if untracked).
+func (s *WeightedSketch) Estimate(item string) float64 {
+	b, ok := s.index[item]
+	if !ok {
+		return 0
+	}
+	return b.count
+}
+
+// Bins returns the bins in heap (arbitrary) order.
+func (s *WeightedSketch) Bins() []Bin {
+	out := make([]Bin, len(s.h))
+	for i, b := range s.h {
+		out[i] = Bin{Item: b.item, Count: b.count}
+	}
+	return out
+}
+
+// SubsetSum estimates the total weight of items satisfying pred, with the
+// equation-5 variance estimate.
+func (s *WeightedSketch) SubsetSum(pred func(item string) bool) Estimate {
+	var sum float64
+	var hits int
+	for _, b := range s.h {
+		if pred(b.item) {
+			sum += b.count
+			hits++
+		}
+	}
+	return newEstimate(sum, hits, s.MinCount())
+}
+
+// Scale multiplies every bin count (and the running total) by c > 0. This
+// is the primitive behind forward decay: scaling commutes with the update
+// rule, so a decayed sketch is maintained by scaling before each query or
+// epoch boundary.
+func (s *WeightedSketch) Scale(c float64) {
+	if c <= 0 {
+		panic(fmt.Sprintf("core: scale factor %v, want > 0", c))
+	}
+	for _, b := range s.h {
+		b.count *= c
+	}
+	s.total *= c
+	// Order statistics are unchanged by a positive scaling; the heap
+	// remains valid.
+}
+
+// CheckInvariants verifies heap ordering and index consistency.
+func (s *WeightedSketch) CheckInvariants() error {
+	if len(s.h) > s.m {
+		return fmt.Errorf("weighted sketch holds %d bins, capacity %d", len(s.h), s.m)
+	}
+	if len(s.h) != len(s.index) {
+		return fmt.Errorf("heap holds %d bins, index %d", len(s.h), len(s.index))
+	}
+	var sum float64
+	for i, b := range s.h {
+		if b.idx != i {
+			return fmt.Errorf("bin %q has idx %d, want %d", b.item, b.idx, i)
+		}
+		if s.index[b.item] != b {
+			return fmt.Errorf("index disagrees for %q", b.item)
+		}
+		left, right := 2*i+1, 2*i+2
+		if left < len(s.h) && s.h[left].count < b.count {
+			return fmt.Errorf("heap violation at %d", i)
+		}
+		if right < len(s.h) && s.h[right].count < b.count {
+			return fmt.Errorf("heap violation at %d", i)
+		}
+		sum += b.count
+	}
+	const eps = 1e-6
+	if diff := sum - s.total; diff > eps || diff < -eps {
+		return fmt.Errorf("bin mass %v, running total %v", sum, s.total)
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewWeighted(0) did not panic")
+			}
+		}()
+		NewWeighted(0, newRng(1))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewWeighted(nil rng) did not panic")
+			}
+		}()
+		NewWeighted(4, nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Update(w<=0) did not panic")
+			}
+		}()
+		s := NewWeighted(4, newRng(1))
+		s.Update("a", 0)
+	}()
+}
+
+func TestWeightedExactUnderCapacity(t *testing.T) {
+	s := NewWeighted(10, newRng(1))
+	s.Update("a", 1.5)
+	s.Update("b", 2.25)
+	s.Update("a", 0.5)
+	if got := s.Estimate("a"); got != 2.0 {
+		t.Errorf("Estimate(a) = %v, want 2", got)
+	}
+	if got := s.Estimate("b"); got != 2.25 {
+		t.Errorf("Estimate(b) = %v, want 2.25", got)
+	}
+	if got := s.Estimate("zzz"); got != 0 {
+		t.Errorf("Estimate(zzz) = %v, want 0", got)
+	}
+	if got := s.Total(); got != 4.25 {
+		t.Errorf("Total = %v, want 4.25", got)
+	}
+	if s.MinCount() != 0 {
+		t.Errorf("MinCount = %v with spare capacity", s.MinCount())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedTotalPreserved(t *testing.T) {
+	rng := newRng(7)
+	s := NewWeighted(8, rng)
+	var want float64
+	for i := 0; i < 3000; i++ {
+		w := rng.Float64()*5 + 0.01
+		s.Update(fmt.Sprintf("i%d", rng.Intn(200)), w)
+		want += w
+	}
+	if got := s.Total(); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("Total = %v, want %v", got, want)
+	}
+	if s.Size() != 8 {
+		t.Errorf("Size = %d, want 8", s.Size())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeightedUnbiasedness checks Theorem 1 for the weighted update rule:
+// repeated runs over a weight-carrying stream must average to the truth.
+func TestWeightedUnbiasedness(t *testing.T) {
+	type row struct {
+		item string
+		w    float64
+	}
+	var stream []row
+	truth := map[string]float64{}
+	for i := 0; i < 25; i++ {
+		r := row{item: fmt.Sprintf("i%d", i), w: 1 + float64(i%5)}
+		for j := 0; j < 3; j++ {
+			stream = append(stream, r)
+			truth[r.item] += r.w
+		}
+	}
+	rng := newRng(21)
+	const reps = 5000
+	targets := []string{"i0", "i13", "i24"}
+	sums := map[string]float64{}
+	sumsq := map[string]float64{}
+	for r := 0; r < reps; r++ {
+		s := NewWeighted(6, rng)
+		perm := rng.Perm(len(stream))
+		for _, i := range perm {
+			s.Update(stream[i].item, stream[i].w)
+		}
+		for _, item := range targets {
+			e := s.Estimate(item)
+			sums[item] += e
+			sumsq[item] += e * e
+		}
+	}
+	for _, item := range targets {
+		mean := sums[item] / reps
+		varr := sumsq[item]/reps - mean*mean
+		se := math.Sqrt(varr / reps)
+		if se == 0 {
+			se = 1e-12
+		}
+		z := math.Abs(mean-truth[item]) / se
+		if z > 4.5 {
+			t.Errorf("weighted Estimate(%s): mean %.3f vs truth %.1f, |z| = %.1f", item, mean, truth[item], z)
+		}
+	}
+}
+
+func TestWeightedSubsetSum(t *testing.T) {
+	rng := newRng(3)
+	s := NewWeighted(16, rng)
+	for i := 0; i < 500; i++ {
+		s.Update(fmt.Sprintf("i%d", rng.Intn(50)), 1)
+	}
+	all := s.SubsetSum(func(string) bool { return true })
+	if math.Abs(all.Value-s.Total()) > 1e-9 {
+		t.Errorf("SubsetSum(all) = %v, Total = %v", all.Value, s.Total())
+	}
+}
+
+func TestUpdateSigned(t *testing.T) {
+	rng := newRng(3)
+	s := NewWeighted(4, rng)
+	s.Update("a", 5)
+	if !s.UpdateSigned("a", -2) {
+		t.Fatal("UpdateSigned on tracked item failed")
+	}
+	if got := s.Estimate("a"); got != 3 {
+		t.Errorf("after signed update Estimate(a) = %v, want 3", got)
+	}
+	if s.UpdateSigned("ghost", -1) {
+		t.Error("UpdateSigned on untracked negative succeeded")
+	}
+	if !s.UpdateSigned("b", 2) {
+		t.Error("UpdateSigned positive failed")
+	}
+	if got := s.Estimate("b"); got != 2 {
+		t.Errorf("Estimate(b) = %v, want 2", got)
+	}
+	// Zero weight is a no-op that reports success.
+	if !s.UpdateSigned("a", 0) {
+		t.Error("UpdateSigned(0) failed")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateSignedCanGoNegative(t *testing.T) {
+	rng := newRng(3)
+	s := NewWeighted(4, rng)
+	s.Update("a", 1)
+	s.UpdateSigned("a", -3)
+	if got := s.Estimate("a"); got != -2 {
+		t.Errorf("Estimate(a) = %v, want -2 (negative counts kept)", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	rng := newRng(3)
+	s := NewWeighted(4, rng)
+	s.Update("a", 2)
+	s.Update("b", 6)
+	s.Scale(0.5)
+	if got := s.Estimate("a"); got != 1 {
+		t.Errorf("after Scale Estimate(a) = %v, want 1", got)
+	}
+	if got := s.Total(); got != 4 {
+		t.Errorf("after Scale Total = %v, want 4", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Scale(0) did not panic")
+			}
+		}()
+		s.Scale(0)
+	}()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedMatchesUnitSketchDistribution(t *testing.T) {
+	// With all weights 1 the weighted sketch solves the same problem as
+	// the unit sketch; their estimates over replicates must agree in
+	// mean for a fixed subset.
+	var stream []string
+	for i := 0; i < 12; i++ {
+		for j := 0; j < i+1; j++ {
+			stream = append(stream, fmt.Sprintf("i%d", i))
+		}
+	}
+	pred := func(s string) bool { return s == "i3" || s == "i11" }
+	truth := 4.0 + 12.0
+
+	rng := newRng(55)
+	const reps = 4000
+	var sumUnit, sumWeighted float64
+	for r := 0; r < reps; r++ {
+		perm := rng.Perm(len(stream))
+		su := New(4, Unbiased, rng)
+		sw := NewWeighted(4, rng)
+		for _, i := range perm {
+			su.Update(stream[i])
+			sw.Update(stream[i], 1)
+		}
+		sumUnit += su.SubsetSum(pred).Value
+		sumWeighted += sw.SubsetSum(pred).Value
+	}
+	meanU, meanW := sumUnit/reps, sumWeighted/reps
+	if math.Abs(meanU-truth) > 0.12*truth {
+		t.Errorf("unit mean %v vs truth %v", meanU, truth)
+	}
+	if math.Abs(meanW-truth) > 0.12*truth {
+		t.Errorf("weighted mean %v vs truth %v", meanW, truth)
+	}
+}
+
+func TestQuickWeightedInvariants(t *testing.T) {
+	f := func(seed int64, weights []float64) bool {
+		s := NewWeighted(4, newRng(seed))
+		var want float64
+		for i, w := range weights {
+			w = math.Abs(w)
+			if w == 0 || math.IsNaN(w) || math.IsInf(w, 0) || w > 1e12 {
+				continue
+			}
+			s.Update(fmt.Sprintf("i%d", i%16), w)
+			want += w
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		tol := 1e-9 * (1 + want)
+		return math.Abs(s.Total()-want) < tol && s.Size() <= 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

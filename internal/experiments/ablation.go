@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AblationReductions quantifies the design choice called out in DESIGN.md
+// and §5.3/§5.5 of the paper: the merge/shrink reduction can be the simple
+// pairwise collapse, the pivotal fixed-size PPS sample, or the biased
+// Misra–Gries soft threshold. The table reports, per reduction, the bias
+// and RMSE of subset sums computed after merging two sketches, plus
+// whether the exact total survives. Expectation: pairwise and pivotal are
+// unbiased with pivotal adding slightly less variance; Misra–Gries is
+// biased low on every subset — the bias the paper's Figure 1 depicts.
+func AblationReductions(cfg Config) []Table {
+	rng := cfg.rng()
+	m := cfg.scaled(100)
+	reps := cfg.reps(400)
+	popA := workload.DiscretizedWeibull(800, 40*cfg.Scale+1, 0.32)
+	popB := workload.DiscretizedWeibull(800, 40*cfg.Scale+1, 0.32)
+
+	// Subsets over shard A's items (mid-frequency band, where the merge
+	// reduction actually matters) and over both shards.
+	predMid := func(s string) bool {
+		i := workload.ParseLabel(s)
+		return i >= 400 && i < 700
+	}
+	truthMid := float64(popA.SubsetSum(func(i int) bool { return i >= 400 && i < 700 }))
+	predAll := func(string) bool { return true }
+	truthAll := float64(popA.Total + popB.Total)
+
+	kinds := []core.ReduceKind{core.PairwiseReduction, core.PivotalReduction, core.MisraGriesReduction}
+	accMid := make([]*stats.Accumulator, len(kinds))
+	accAll := make([]*stats.Accumulator, len(kinds))
+	for i := range kinds {
+		accMid[i] = stats.NewAccumulator(truthMid)
+		accAll[i] = stats.NewAccumulator(truthAll)
+	}
+
+	rowsA := materialize(popA)
+	rowsB := make([]string, 0, popB.Total)
+	for i, c := range popB.Counts {
+		lbl := "b-" + workload.Label(i)
+		for j := int64(0); j < c; j++ {
+			rowsB = append(rowsB, lbl)
+		}
+	}
+	for r := 0; r < reps; r++ {
+		shuffleInPlace(rowsA, rng)
+		shuffleInPlace(rowsB, rng)
+		skA := core.New(m, core.Unbiased, rng)
+		skB := core.New(m, core.Unbiased, rng)
+		feedRows(skA, rowsA)
+		feedRows(skB, rowsB)
+		binsA, binsB := skA.Bins(), skB.Bins()
+		for i, kind := range kinds {
+			merged := core.MergeBins(m, kind, rng, binsA, binsB)
+			var mid, all float64
+			for _, b := range merged {
+				all += b.Count
+				if predMid(b.Item) {
+					mid += b.Count
+				}
+			}
+			_ = predAll
+			accMid[i].Add(mid)
+			accAll[i].Add(all)
+		}
+	}
+
+	t := Table{
+		ID:    "ablation-reductions",
+		Title: "Merge reduction ablation: bias and error of post-merge subset sums",
+		Columns: []string{"reduction", "subset", "truth", "mean estimate",
+			"bias", "rrmse", "|bias|/se"},
+		Notes: "expect: pairwise and pivotal unbiased (|bias|/se small), pivotal variance ≤ pairwise; misra-gries biased low on both subsets",
+	}
+	add := func(kind core.ReduceKind, label string, acc *stats.Accumulator) {
+		t.Rows = append(t.Rows, []string{
+			kind.String(), label, f(acc.Truth()), f(acc.Mean()),
+			f(acc.Bias()), f(acc.RRMSE()), f(acc.ZScore()),
+		})
+	}
+	for i, kind := range kinds {
+		add(kind, "mid-frequency", accMid[i])
+		add(kind, "grand total", accAll[i])
+	}
+
+	// Variance comparison row: pivotal vs pairwise on the mid band.
+	ratio := math.NaN()
+	if v := accMid[1].Variance(); v > 0 {
+		ratio = accMid[0].Variance() / v
+	}
+	t.Rows = append(t.Rows, []string{"(var pairwise)/(var pivotal)", "mid-frequency",
+		"", "", "", f(ratio), ""})
+	return []Table{t}
+}

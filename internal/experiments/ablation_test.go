@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+func TestAblationReductions(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Reps = 0.3
+	tabs := AblationReductions(cfg)
+	if len(tabs) != 1 {
+		t.Fatalf("%d tables", len(tabs))
+	}
+	tab := tabs[0]
+	for r := range tab.Rows {
+		red := cell(t, tab, r, "reduction")
+		subset := cell(t, tab, r, "subset")
+		switch red {
+		case "pairwise", "pivotal":
+			// Unbiased: the bias z-score should not be extreme — unless
+			// the absolute bias is floating-point dust (pivotal
+			// preserves totals to ~1e-10 relative, where the tiny SE
+			// makes z meaningless).
+			z := cellF(t, tab, r, "|bias|/se")
+			bias := cellF(t, tab, r, "bias")
+			truth := cellF(t, tab, r, "truth")
+			if z > 6 && (bias > 1e-6*truth || bias < -1e-6*truth) {
+				t.Errorf("%s/%s: bias %v (z-score %v)", red, subset, bias, z)
+			}
+			if red == "pairwise" && subset == "grand total" {
+				// Pairwise preserves the total exactly.
+				if b := cellF(t, tab, r, "bias"); b != 0 {
+					t.Errorf("pairwise total bias %v, want 0 exactly", b)
+				}
+			}
+		case "misra-gries":
+			// Biased low, decisively.
+			if b := cellF(t, tab, r, "bias"); b >= 0 {
+				t.Errorf("misra-gries %s bias %v, want < 0", subset, b)
+			}
+		}
+	}
+}

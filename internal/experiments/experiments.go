@@ -1,0 +1,177 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (§7). Each FigureN function is a self-contained driver that generates the
+// workload, runs the sketches and baselines, and returns the same rows or
+// series the paper plots, formatted as Tables. The cmd/ussbench binary and
+// the repository benchmarks are thin wrappers over these drivers.
+//
+// Scales are laptop-sized by default (the paper used up to 10⁹-row streams;
+// see DESIGN.md for the substitution argument) and can be adjusted through
+// Config.Scale / Config.Reps.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sampling"
+	"repro/internal/workload"
+)
+
+// Config controls experiment size.
+type Config struct {
+	// Scale multiplies stream/population sizes; 1.0 is the default
+	// laptop-scale setup described in DESIGN.md. Benchmarks use smaller
+	// values.
+	Scale float64
+	// Reps multiplies replicate counts (1.0 default).
+	Reps float64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the standard laptop-scale configuration.
+func DefaultConfig() Config { return Config{Scale: 1, Reps: 1, Seed: 20180614} }
+
+func (c Config) scaled(n int) int {
+	if c.Scale <= 0 {
+		return n
+	}
+	v := int(float64(n) * c.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (c Config) reps(n int) int {
+	if c.Reps <= 0 {
+		return n
+	}
+	v := int(float64(n) * c.Reps)
+	if v < 2 {
+		v = 2
+	}
+	return v
+}
+
+func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+// Table is one reproduced figure/table: column headers plus formatted rows,
+// ready to print or diff against the paper.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes records workload parameters and the paper-shape expectation
+	// this table should exhibit.
+	Notes string
+}
+
+// Render formats the table as aligned text.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "-- %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// f formats a float compactly for table cells.
+func f(v float64) string {
+	switch {
+	case v != v: // NaN
+		return "nan"
+	case v == 0:
+		return "0"
+	case v >= 10000 || v < 0.001 && v > -0.001:
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// populationItems converts a workload population into the aggregated
+// (item, value) view the pre-aggregated samplers consume.
+func populationItems(p workload.Population) []sampling.Item {
+	items := make([]sampling.Item, 0, len(p.Counts))
+	for i, c := range p.Counts {
+		if c > 0 {
+			items = append(items, sampling.Item{Key: workload.Label(i), Value: float64(c)})
+		}
+	}
+	return items
+}
+
+// buildSketch streams rows into a fresh sketch of the given mode.
+func buildSketch(m int, mode core.Mode, s workload.Stream, rng *rand.Rand) *core.Sketch {
+	sk := core.New(m, mode, rng)
+	for {
+		it, ok := s.Next()
+		if !ok {
+			return sk
+		}
+		sk.Update(it)
+	}
+}
+
+// materialize collects a population's shuffled rows once so replicates can
+// re-shuffle in place instead of rebuilding.
+func materialize(p workload.Population) []string {
+	rows := make([]string, 0, p.Total)
+	for i, c := range p.Counts {
+		lbl := workload.Label(i)
+		for j := int64(0); j < c; j++ {
+			rows = append(rows, lbl)
+		}
+	}
+	return rows
+}
+
+// shuffleInPlace re-randomizes a materialized row list.
+func shuffleInPlace(rows []string, rng *rand.Rand) {
+	rng.Shuffle(len(rows), func(a, b int) { rows[a], rows[b] = rows[b], rows[a] })
+}
+
+// feedRows streams a row slice into a sketch.
+func feedRows(sk *core.Sketch, rows []string) {
+	for _, r := range rows {
+		sk.Update(r)
+	}
+}

@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// smallCfg shrinks everything so the full driver suite runs in seconds.
+func smallCfg() Config { return Config{Scale: 0.4, Reps: 0.15, Seed: 7} }
+
+func cell(t *testing.T, tab Table, row int, col string) string {
+	t.Helper()
+	for c, name := range tab.Columns {
+		if name == col {
+			return tab.Rows[row][c]
+		}
+	}
+	t.Fatalf("table %s has no column %q (have %v)", tab.ID, col, tab.Columns)
+	return ""
+}
+
+func cellF(t *testing.T, tab Table, row int, col string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(t, tab, row, col), 64)
+	if err != nil {
+		t.Fatalf("table %s row %d col %s: %v", tab.ID, row, col, err)
+	}
+	return v
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		ID: "x", Title: "T", Columns: []string{"a", "bb"},
+		Rows:  [][]string{{"1", "2"}},
+		Notes: "note",
+	}
+	out := tab.Render()
+	for _, want := range []string{"== x: T ==", "a", "bb", "-- note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	cases := map[float64]string{0: "0", 12345678: "1.235e+07", 3.14159: "3.142", 0.0001: "1.000e-04"}
+	for in, want := range cases {
+		if got := f(in); got != want {
+			t.Errorf("f(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := itoa(42); got != "42" {
+		t.Errorf("itoa(42) = %q", got)
+	}
+}
+
+func TestRegistryAndLookup(t *testing.T) {
+	reg := Registry()
+	if len(reg) < 12 {
+		t.Fatalf("registry has %d entries", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, r := range reg {
+		if seen[r.Name] {
+			t.Errorf("duplicate runner %s", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Run == nil || r.Description == "" {
+			t.Errorf("runner %s incomplete", r.Name)
+		}
+	}
+	if _, err := Lookup("figure-3"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("figure-99"); err == nil {
+		t.Error("Lookup of unknown name succeeded")
+	}
+}
+
+func TestFigure1MergePreservation(t *testing.T) {
+	tabs := Figure1(smallCfg())
+	if len(tabs) != 1 {
+		t.Fatalf("%d tables", len(tabs))
+	}
+	tab := tabs[0]
+	last := len(tab.Rows) - 1
+	if cell(t, tab, last, "rank decile (0=head)") != "total" {
+		t.Fatal("missing total row")
+	}
+	ussMass := cellF(t, tab, last, "USS-merge mass")
+	mgMass := cellF(t, tab, last, "MG-merge mass")
+	if mgMass >= ussMass {
+		t.Errorf("MG merge mass %v not below unbiased merge mass %v", mgMass, ussMass)
+	}
+	// MG concentrates in the head: its decile-0 bin count should be at
+	// least its share in any later decile, and late deciles should be 0.
+	var mgLate int
+	for r := 5; r < 10; r++ {
+		mgLate += int(cellF(t, tab, r, "MG-merge bins"))
+	}
+	ussLate := 0
+	for r := 3; r < 10; r++ {
+		ussLate += int(cellF(t, tab, r, "USS-merge bins"))
+	}
+	if mgLate > ussLate {
+		t.Errorf("MG kept more tail bins (%d) than USS (%d)", mgLate, ussLate)
+	}
+}
+
+func TestFigure2InclusionMatchesPPS(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Reps = 0.5 // inclusion probabilities need replicates
+	tabs := Figure2(cfg)
+	if len(tabs) != 2 {
+		t.Fatalf("%d tables", len(tabs))
+	}
+	right := tabs[1]
+	if len(right.Rows) == 0 {
+		t.Fatal("no bucket rows")
+	}
+	for r := range right.Rows {
+		theo := cellF(t, right, r, "mean theoretical")
+		obs := cellF(t, right, r, "mean observed")
+		if d := obs - theo; d > 0.12 || d < -0.12 {
+			t.Errorf("bucket %d: observed %.3f vs theoretical %.3f", r, obs, theo)
+		}
+	}
+}
+
+// collectCurve extracts method → (truth, value) points from a curve table.
+func collectCurve(t *testing.T, tab Table, valueCol string) map[string][][2]float64 {
+	t.Helper()
+	out := map[string][][2]float64{}
+	for r := range tab.Rows {
+		m := cell(t, tab, r, "method")
+		out[m] = append(out[m], [2]float64{
+			cellF(t, tab, r, "true count (bin mean)"),
+			cellF(t, tab, r, valueCol),
+		})
+	}
+	return out
+}
+
+func TestFigure3USSCompetitiveWithPriority(t *testing.T) {
+	tabs := Figure3(smallCfg())
+	if len(tabs) != 3 {
+		t.Fatalf("%d tables", len(tabs))
+	}
+	for _, tab := range tabs {
+		curves := collectCurve(t, tab, "rrmse")
+		uss, prio := curves["unbiased-space-saving"], curves["priority"]
+		if len(uss) == 0 || len(prio) == 0 {
+			t.Fatalf("%s: missing curves", tab.ID)
+		}
+		// Aggregate comparison: mean rrmse within 3x of priority (the
+		// paper finds USS matches or beats priority; small-scale noise
+		// allowed for).
+		mean := func(pts [][2]float64) float64 {
+			var s float64
+			for _, p := range pts {
+				s += p[1]
+			}
+			return s / float64(len(pts))
+		}
+		if mu, mp := mean(uss), mean(prio); mu > 3*mp+0.02 {
+			t.Errorf("%s: USS mean rrmse %.4f vs priority %.4f", tab.ID, mu, mp)
+		}
+		// Error decreases with count: first-bin rrmse ≥ last-bin rrmse.
+		if uss[0][1] < uss[len(uss)-1][1] {
+			t.Errorf("%s: USS error grows with count (%.4f → %.4f)", tab.ID, uss[0][1], uss[len(uss)-1][1])
+		}
+	}
+}
+
+func TestFigure4BottomKMuchWorse(t *testing.T) {
+	tabs := Figure4(smallCfg())
+	// On the most skewed distribution (last table) bottom-k must be far
+	// worse than USS in aggregate.
+	tab := tabs[len(tabs)-1]
+	curves := collectCurve(t, tab, "rrmse")
+	mean := func(pts [][2]float64) float64 {
+		var s float64
+		for _, p := range pts {
+			s += p[1]
+		}
+		return s / float64(len(pts))
+	}
+	uss, bk := mean(curves["unbiased-space-saving"]), mean(curves["bottom-k"])
+	if bk < 3*uss {
+		t.Errorf("bottom-k mean rrmse %.4f not ≫ USS %.4f on skewed data", bk, uss)
+	}
+}
+
+func TestFigure5EfficiencyNearOne(t *testing.T) {
+	tabs := Figure5(smallCfg())
+	if len(tabs) != 2 {
+		t.Fatalf("%d tables", len(tabs))
+	}
+	eff := tabs[1]
+	var median, coverage float64
+	var wins float64
+	for r := range eff.Rows {
+		switch cell(t, eff, r, "statistic") {
+		case "efficiency median":
+			median = cellF(t, eff, r, "value")
+		case "USS 95% CI mean coverage":
+			coverage = cellF(t, eff, r, "value")
+		case "USS wins (MSE ≤ priority)":
+			wins = cellF(t, eff, r, "value")
+		}
+	}
+	if median < 0.4 || median > 6 {
+		t.Errorf("efficiency median %v far from 1", median)
+	}
+	if coverage < 0.85 {
+		t.Errorf("USS CI coverage %v below nominal ballpark", coverage)
+	}
+	if wins < 0.2 {
+		t.Errorf("USS wins only %.0f%% of subsets", 100*wins)
+	}
+}
+
+func TestFigure6MarginalsAccurate(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Scale = 0.15
+	tabs := Figure6(cfg)
+	if len(tabs) != 2 {
+		t.Fatalf("%d tables", len(tabs))
+	}
+	// Thresholds at this reduced test scale (m, rows ≪ defaults): 1-way
+	// marginals are huge relative to the sketch noise floor; 2-way ones
+	// are smaller, so allow proportionally more relative MSE.
+	thresholds := map[string]float64{"figure-6-1way": 0.05, "figure-6-2way": 0.15}
+	for _, tab := range tabs {
+		curves := collectCurve(t, tab, "relative MSE")
+		uss := curves["unbiased-space-saving"]
+		if len(uss) == 0 {
+			t.Fatalf("%s: no USS curve", tab.ID)
+		}
+		// Largest marginals should be accurately estimated.
+		last := uss[len(uss)-1]
+		if last[1] > thresholds[tab.ID] {
+			t.Errorf("%s: relMSE %.4f for largest marginals (count %.0f), want < %v",
+				tab.ID, last[1], last[0], thresholds[tab.ID])
+		}
+	}
+}
+
+func TestFigure7DeterministicForgetsFirstHalf(t *testing.T) {
+	tabs := Figure7(smallCfg())
+	inclusion, errTab := tabs[0], tabs[1]
+	// First-half rows (half == 1): deterministic inclusion must be ≈ 0
+	// for all but possibly the head decile; unbiased must track the
+	// theoretical PPS within Monte-Carlo noise.
+	for r := range inclusion.Rows {
+		if cell(t, inclusion, r, "half") != "1" {
+			continue
+		}
+		det := cellF(t, inclusion, r, "deterministic observed")
+		unb := cellF(t, inclusion, r, "unbiased observed")
+		theo := cellF(t, inclusion, r, "theoretical pps")
+		decile := cell(t, inclusion, r, "count decile (9=head)")
+		if decile != "9" && det > 0.05 {
+			t.Errorf("first-half decile %s: deterministic inclusion %.3f, want ≈ 0", decile, det)
+		}
+		if d := unb - theo; d > 0.2 || d < -0.2 {
+			t.Errorf("first-half decile %s: unbiased %.3f vs theoretical %.3f", decile, unb, theo)
+		}
+	}
+	// Error panel: on the LARGEST first-half items (the paper's plotted
+	// range) deterministic rrmse is ≈ 1 — it estimates 0 for items it
+	// forgot — while unbiased is clearly lower. (Averaged over tiny
+	// items, rrmse is dominated by sampling noise and favours the
+	// all-zeros estimator, which is exactly the paper's point about
+	// why unbiasedness matters for subsequent aggregation.)
+	curves := collectCurve(t, errTab, "rrmse")
+	lastOf := func(pts [][2]float64) float64 { return pts[len(pts)-1][1] }
+	d, u := lastOf(curves["deterministic"]), lastOf(curves["unbiased"])
+	// The paper's panel shows deterministic error in the 0.2–1.0 band on
+	// the head counts with unbiased clearly below it.
+	if d < 0.2 {
+		t.Errorf("deterministic head rrmse %.3f, paper band is 0.2–1.0", d)
+	}
+	if u >= d {
+		t.Errorf("unbiased head rrmse %.3f not below deterministic %.3f", u, d)
+	}
+}
+
+func TestFigures8910Shapes(t *testing.T) {
+	cfg := smallCfg()
+	ex := runEpochExperiment(cfg)
+	f8 := Figure8(cfg, ex)[0]
+	if len(f8.Rows) != 10 {
+		t.Fatalf("figure 8 rows = %d", len(f8.Rows))
+	}
+	// Coverage: average across epochs should be near or above nominal
+	// (upward-biased variance ⇒ conservative), allowing CLT failures on
+	// sparse epochs.
+	var covSum float64
+	n := 0
+	for r := range f8.Rows {
+		c := cellF(t, f8, r, "coverage")
+		if c == c { // skip NaN
+			covSum += c
+			n++
+		}
+	}
+	if avg := covSum / float64(n); avg < 0.85 {
+		t.Errorf("mean coverage %.3f, want ≳ 0.9", avg)
+	}
+
+	f9 := Figure9(cfg, ex)[0]
+	// σ̂/σ should be ≥ ~0.8 (upward bias) on epochs where σ > 0, and
+	// σ/σ_pps within an order of magnitude of 1.
+	for r := range f9.Rows {
+		r1 := cellF(t, f9, r, "sigma-hat/sigma")
+		if r1 == r1 && r1 < 0.6 {
+			t.Errorf("epoch %d: σ̂/σ = %.3f, variance estimate not conservative", r+1, r1)
+		}
+		r2 := cellF(t, f9, r, "sigma/sigma-pps")
+		if r2 == r2 && (r2 < 0.1 || r2 > 10) {
+			t.Errorf("epoch %d: σ/σ_pps = %.3f, not PPS-like", r+1, r2)
+		}
+	}
+
+	f10 := Figure10(cfg, ex)[0]
+	// Deterministic is catastrophically wrong: early epochs ≈ 100%
+	// rrmse; late epochs much worse than unbiased.
+	if d := cellF(t, f10, 0, "deterministic %rrmse"); d < 99 {
+		t.Errorf("epoch 1 deterministic %%rrmse = %.1f, want ≈ 100", d)
+	}
+	lastRatio := cellF(t, f10, 9, "det/unb")
+	if lastRatio == lastRatio && lastRatio < 3 {
+		t.Errorf("epoch 10 det/unb ratio %.2f, paper sees ≈ 50×", lastRatio)
+	}
+}
+
+func TestTheorem11Poisoning(t *testing.T) {
+	tabs := Theorem11(smallCfg())
+	tab := tabs[0]
+	for r := range tab.Rows {
+		variant := cell(t, tab, r, "variant")
+		truth := cellF(t, tab, r, "true count")
+		poisoned := cellF(t, tab, r, "poisoned mean")
+		clean := cellF(t, tab, r, "clean mean")
+		switch variant {
+		case "deterministic":
+			if poisoned != 0 {
+				t.Errorf("deterministic poisoned mean %v, theorem predicts exactly 0", poisoned)
+			}
+		case "unbiased":
+			if rel := (poisoned - truth) / truth; rel > 0.25 || rel < -0.25 {
+				t.Errorf("unbiased poisoned mean %v vs truth %v", poisoned, truth)
+			}
+			if rel := (clean - truth) / truth; rel > 0.25 || rel < -0.25 {
+				t.Errorf("unbiased clean mean %v vs truth %v", clean, truth)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Figure1 reproduces the merge illustration: merging two Space-Saving
+// sketches with the biased Misra–Gries reduction simply truncates the tail,
+// while the unbiased (pairwise) reduction moves tail mass onto the labels of
+// moderately frequent items. The table reports, per decile of the true item
+// rank, how many merged bins land there and how much estimated mass they
+// carry, for both reductions — the paper's expectation is that Misra–Gries
+// keeps only head deciles while Unbiased Space Saving spreads mass further
+// down yet preserves the total.
+func Figure1(cfg Config) []Table {
+	rng := cfg.rng()
+	const nItems = 1000
+	m := cfg.scaled(100)
+	// Two shards over the same skewed population shape but disjoint item
+	// ranges, as in a country-sharded trending-news rollup.
+	popA := workload.DiscretizedWeibull(nItems, 60, 0.32)
+	popB := workload.DiscretizedWeibull(nItems, 60, 0.32)
+
+	skA := buildSketch(m, core.Unbiased, workload.Shuffled(popA, rng), rng)
+	rowsB := make([]string, 0, popB.Total)
+	for i, c := range popB.Counts {
+		lbl := "shard2-" + workload.Label(i)
+		for j := int64(0); j < c; j++ {
+			rowsB = append(rowsB, lbl)
+		}
+	}
+	shuffleInPlace(rowsB, rng)
+	skB := core.New(m, core.Unbiased, rng)
+	feedRows(skB, rowsB)
+
+	totalIn := skA.Total() + skB.Total()
+	pairwise := core.MergeBins(m, core.PairwiseReduction, rng, skA.Bins(), skB.Bins())
+	mg := core.MergeBins(m, core.MisraGriesReduction, rng, skA.Bins(), skB.Bins())
+
+	// Rank every merged label by its true count percentile within its
+	// shard (rank 0 = most frequent). Deciles of rank; foreign labels
+	// cannot occur.
+	rankDecile := func(label string) int {
+		idx := workload.ParseLabel(label)
+		pop := popA
+		if idx < 0 {
+			idx = workload.ParseLabel(label[len("shard2-"):])
+			pop = popB
+		}
+		// Populations are ascending in count; invert so decile 0 is the
+		// head.
+		_ = pop
+		rankFromTop := nItems - 1 - idx
+		d := rankFromTop * 10 / nItems
+		if d > 9 {
+			d = 9
+		}
+		return d
+	}
+	type agg struct {
+		bins int
+		mass float64
+	}
+	summarize := func(bins []core.Bin) ([10]agg, float64) {
+		var out [10]agg
+		var tot float64
+		for _, b := range bins {
+			d := rankDecile(b.Item)
+			out[d].bins++
+			out[d].mass += b.Count
+			tot += b.Count
+		}
+		return out, tot
+	}
+	pwAgg, pwTot := summarize(pairwise)
+	mgAgg, mgTot := summarize(mg)
+
+	t := Table{
+		ID:    "figure-1",
+		Title: "Merge reductions: bins and estimated mass by true-rank decile",
+		Columns: []string{"rank decile (0=head)", "USS-merge bins", "USS-merge mass",
+			"MG-merge bins", "MG-merge mass"},
+		Notes: "expect: MG keeps only head deciles and loses total mass (" +
+			f(mgTot) + " of " + f(totalIn) + "); unbiased merge preserves the total (" +
+			f(pwTot) + ") and places bins beyond the head",
+	}
+	for d := 0; d < 10; d++ {
+		t.Rows = append(t.Rows, []string{
+			itoa(d), itoa(pwAgg[d].bins), f(pwAgg[d].mass),
+			itoa(mgAgg[d].bins), f(mgAgg[d].mass),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"total", itoa(len(pairwise)), f(pwTot), itoa(len(mg)), f(mgTot)})
+	return []Table{t}
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Figure6 reproduces the ad-data marginal experiment: a single sketch is
+// built at the finest unit of analysis (the full 9-feature tuple of each
+// impression — the disaggregated regime, since no per-tuple aggregate ever
+// exists) and then queried for 1-way and 2-way marginal counts, i.e. subset
+// sums over all tuples matching feature=value conditions. The baseline is
+// priority sampling over the exactly pre-aggregated tuples. Expectation
+// (paper Figure 6): relative MSE falls quickly with the marginal's true
+// count and USS performs comparably to priority sampling; large marginals
+// are estimated to well under 1% error.
+func Figure6(cfg Config) []Table {
+	rng := cfg.rng()
+	rowsN := int64(cfg.scaled(400000))
+	m := cfg.scaled(2000)
+	reps := cfg.reps(8)
+	adCfg := workload.DefaultAdConfig(rowsN)
+
+	// The unit of analysis is the tuple over these feature positions.
+	// (The paper's 45M-row dataset supports a 9-feature unit; at laptop
+	// row counts a 9-feature unit is almost all singletons, so the scaled
+	// reproduction uses a 5-feature unit — still far too many tuples to
+	// pre-aggregate in a production setting, which is the regime being
+	// modeled.)
+	unitFeatures := []int{0, 2, 5, 6, 8}
+	nUnit := len(unitFeatures)
+	cardOf := func(pos int) int { return adCfg.Cardinalities[unitFeatures[pos]] }
+
+	// Ground truth from one canonical pass (seeded separately from the
+	// sketch replicates): exact tuple aggregation plus marginal counts.
+	tupleCounts := map[string]int64{}
+	{
+		ads, err := workload.NewAdStream(adCfg, cfg.Seed)
+		if err != nil {
+			panic(err)
+		}
+		for {
+			im, ok := ads.Next()
+			if !ok {
+				break
+			}
+			tupleCounts[im.Key(unitFeatures...)]++
+		}
+	}
+	items := make([]sampling.Item, 0, len(tupleCounts))
+	for k, c := range tupleCounts {
+		items = append(items, sampling.Item{Key: k, Value: float64(c)})
+	}
+
+	// Marginal query sets. A 1-way query is (feature, value); a 2-way
+	// query is a pair. True counts come from the exact tuple aggregation.
+	type query struct {
+		desc  string
+		match func(vals []int) bool
+		truth float64
+	}
+	parse := func(key string) []int {
+		parts := strings.Split(key, "|")
+		vals := make([]int, len(parts))
+		for i, p := range parts {
+			eq := strings.IndexByte(p, '=')
+			v, _ := strconv.Atoi(p[eq+1:])
+			vals[i] = v
+		}
+		return vals
+	}
+	truthOf := func(match func([]int) bool) float64 {
+		var s int64
+		for k, c := range tupleCounts {
+			if match(parse(k)) {
+				s += c
+			}
+		}
+		return float64(s)
+	}
+
+	var oneWay, twoWay []query
+	for ft := 0; ft < nUnit; ft++ {
+		card := cardOf(ft)
+		step := card / 8
+		if step < 1 {
+			step = 1
+		}
+		for v := 0; v < card; v += step {
+			ft, v := ft, v
+			q := query{
+				desc:  fmt.Sprintf("f%d=%d", ft, v),
+				match: func(vals []int) bool { return vals[ft] == v },
+			}
+			q.truth = truthOf(q.match)
+			if q.truth > 0 {
+				oneWay = append(oneWay, q)
+			}
+		}
+	}
+	for i := 0; i < 40; i++ {
+		f1 := rng.Intn(nUnit)
+		f2 := rng.Intn(nUnit)
+		for f2 == f1 {
+			f2 = rng.Intn(nUnit)
+		}
+		v1 := rng.Intn(maxInt(1, cardOf(f1)/4))
+		v2 := rng.Intn(maxInt(1, cardOf(f2)/4))
+		f1c, f2c, v1c, v2c := f1, f2, v1, v2
+		q := query{
+			desc:  fmt.Sprintf("f%d=%d&f%d=%d", f1, v1, f2, v2),
+			match: func(vals []int) bool { return vals[f1c] == v1c && vals[f2c] == v2c },
+		}
+		q.truth = truthOf(q.match)
+		if q.truth > 0 {
+			twoWay = append(twoWay, q)
+		}
+	}
+
+	// Replicated estimation. Each replicate streams the same impression
+	// data (arrival order stays partially campaign-sorted — the realistic
+	// non-exchangeable order) into a USS sketch with fresh randomness,
+	// and draws a fresh priority sample from the pre-aggregated truth.
+	newAccs := func(qs []query) []*stats.Accumulator {
+		out := make([]*stats.Accumulator, len(qs))
+		for i, q := range qs {
+			out[i] = stats.NewAccumulator(q.truth)
+		}
+		return out
+	}
+	oneAccU := newAccs(oneWay)
+	oneAccP := newAccs(oneWay)
+	twoAccU := newAccs(twoWay)
+	twoAccP := newAccs(twoWay)
+	for r := 0; r < reps; r++ {
+		ads, err := workload.NewAdStream(adCfg, cfg.Seed) // same data, fresh sketch randomness
+		if err != nil {
+			panic(err)
+		}
+		sk := core.New(m, core.Unbiased, rng)
+		for {
+			im, ok := ads.Next()
+			if !ok {
+				break
+			}
+			sk.Update(im.Key(unitFeatures...))
+		}
+		prio := sampling.Priority(items, m, rng)
+
+		record := func(qs []query, accU, accP []*stats.Accumulator) {
+			// One pass per estimator over its bins, testing all queries.
+			estU := make([]float64, len(qs))
+			for _, b := range sk.Bins() {
+				vals := parse(b.Item)
+				for qi, q := range qs {
+					if q.match(vals) {
+						estU[qi] += b.Count
+					}
+				}
+			}
+			estP := make([]float64, len(qs))
+			for _, it := range prio.Items {
+				vals := parse(it.Key)
+				for qi, q := range qs {
+					if q.match(vals) {
+						estP[qi] += it.AdjustedValue
+					}
+				}
+			}
+			for qi := range qs {
+				accU[qi].Add(estU[qi])
+				accP[qi].Add(estP[qi])
+			}
+		}
+		record(oneWay, oneAccU, oneAccP)
+		record(twoWay, twoAccU, twoAccP)
+	}
+
+	mk := func(id, title string, qs []query, accU, accP []*stats.Accumulator) Table {
+		t := Table{
+			ID:      id,
+			Title:   title,
+			Columns: []string{"method", "true count (bin mean)", "relative MSE", "queries"},
+			Notes:   "expect: relMSE falls with marginal size; USS ≈ priority sampling",
+		}
+		curve := func(name string, accs []*stats.Accumulator) {
+			var xs, ys []float64
+			for _, a := range accs {
+				xs = append(xs, a.Truth())
+				ys = append(ys, a.RelativeMSE())
+			}
+			for _, p := range stats.BinnedCurve(xs, ys, 6) {
+				t.Rows = append(t.Rows, []string{name, f(p.X), f(p.Y), itoa(p.N)})
+			}
+		}
+		curve("unbiased-space-saving", accU)
+		curve("priority", accP)
+		return t
+	}
+	return []Table{
+		mk("figure-6-1way", "1-way marginal relative MSE on synthetic ad impressions", oneWay, oneAccU, oneAccP),
+		mk("figure-6-2way", "2-way marginal relative MSE on synthetic ad impressions", twoWay, twoAccU, twoAccP),
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner is one registered experiment driver.
+type Runner struct {
+	// Name is the CLI identifier, e.g. "figure-3".
+	Name string
+	// Description summarizes what the driver reproduces.
+	Description string
+	// Run executes the experiment.
+	Run func(Config) []Table
+}
+
+// Registry lists every reproducible figure/table in paper order.
+func Registry() []Runner {
+	return []Runner{
+		{"figure-1", "merge reductions: Misra–Gries truncation vs unbiased mass movement", Figure1},
+		{"figure-2", "empirical inclusion probabilities vs theoretical PPS on i.i.d. streams", Figure2},
+		{"figure-3", "relative error vs true count, m=200, USS vs priority, three distributions", Figure3},
+		{"figure-4", "relative error vs true count, m=100, adding the bottom-k uniform baseline", Figure4},
+		{"figure-5", "per-subset relative MSE scatter and relative efficiency vs priority sampling", Figure5},
+		{"figure-6", "1-way and 2-way marginal estimation on synthetic ad impression data", Figure6},
+		{"figure-7", "two-half pathological stream: inclusion probabilities and first-half error", Figure7},
+		{"figure-8", "sorted-stream epochs: confidence interval width and coverage", func(c Config) []Table { return Figure8(c, nil) }},
+		{"figure-9", "sorted-stream epochs: variance estimate vs empirical and PPS variance", func(c Config) []Table { return Figure9(c, nil) }},
+		{"figure-10", "sorted-stream epochs: %RRMSE of Deterministic vs Unbiased Space Saving", func(c Config) []Table { return Figure10(c, nil) }},
+		{"figures-8-9-10", "all three epoch figures from one shared run", Figures8910},
+		{"theorem-11", "adversarial robustness: noise suffix zeroes Deterministic Space Saving", Theorem11},
+		{"ablation-reductions", "merge-reduction ablation: pairwise vs pivotal vs Misra–Gries", AblationReductions},
+		{"theorem-3", "frequent-item stickiness transition on i.i.d. streams", Theorem3},
+		{"comparison-samplehold", "USS vs sample-and-hold family at equal counter budgets", SampleHoldComparison},
+	}
+}
+
+// Lookup finds a runner by name.
+func Lookup(name string) (Runner, error) {
+	for _, r := range Registry() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	names := make([]string, 0)
+	for _, r := range Registry() {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return Runner{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, names)
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import "testing"
+
+func TestTheorem3Stickiness(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Reps = 0.4
+	tabs := Theorem3(cfg)
+	if len(tabs) != 1 {
+		t.Fatalf("%d tables", len(tabs))
+	}
+	tab := tabs[0]
+	n := len(tab.Rows)
+	if n < 4 {
+		t.Fatalf("rows = %d", n)
+	}
+	// Heavy item: inclusion climbs to ≈1 and proportion error shrinks.
+	firstInc := cellF(t, tab, 0, "heavy(p=3/m) inclusion")
+	lastInc := cellF(t, tab, n-1, "heavy(p=3/m) inclusion")
+	if lastInc < 0.99 {
+		t.Errorf("heavy item inclusion %.3f at the longest stream, want → 1", lastInc)
+	}
+	if lastInc < firstInc-0.01 {
+		t.Errorf("heavy inclusion decreased: %.3f → %.3f", firstInc, lastInc)
+	}
+	firstErr := cellF(t, tab, 0, "heavy rel err of p-hat")
+	lastErr := cellF(t, tab, n-1, "heavy rel err of p-hat")
+	if lastErr > firstErr/2 || lastErr > 0.1 {
+		t.Errorf("heavy proportion error not shrinking: %.4f → %.4f", firstErr, lastErr)
+	}
+	// Light item: inclusion stays fractional (well below 1).
+	lightInc := cellF(t, tab, n-1, "light(p=0.2/m) inclusion")
+	if lightInc > 0.8 {
+		t.Errorf("light item inclusion %.3f, want fractional (below threshold)", lightInc)
+	}
+}
+
+func TestSampleHoldComparison(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Reps = 0.25
+	tabs := SampleHoldComparison(cfg)
+	tab := tabs[0]
+	means := map[string]float64{}
+	bias := map[string]float64{}
+	for r := range tab.Rows {
+		name := cell(t, tab, r, "method")
+		means[name] = cellF(t, tab, r, "mean rrmse")
+		bias[name] = cellF(t, tab, r, "mean |bias|/truth")
+	}
+	uss := means["unbiased-space-saving"]
+	if uss <= 0 {
+		t.Fatalf("means = %v", means)
+	}
+	// §5.4/§7 ordering: USS beats both sample-and-hold variants and
+	// uniform sampling, and is within noise of pre-aggregated priority.
+	if means["adaptive-sample-hold"] < uss*0.9 {
+		t.Errorf("adaptive S&H (%.4f) beats USS (%.4f)", means["adaptive-sample-hold"], uss)
+	}
+	if means["streaming-bottom-k"] < uss {
+		t.Errorf("uniform sampling (%.4f) beats USS (%.4f)", means["streaming-bottom-k"], uss)
+	}
+	if p := means["priority (pre-aggregated)"]; uss > 2.5*p {
+		t.Errorf("USS (%.4f) far worse than priority (%.4f)", uss, p)
+	}
+	// All unbiased methods: small relative bias.
+	for _, name := range []string{"unbiased-space-saving", "adaptive-sample-hold", "step-sample-hold"} {
+		if bias[name] > 0.25 {
+			t.Errorf("%s relative bias %.3f", name, bias[name])
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package freq
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// CountMin is the Count-Min sketch of Cormode & Muthukrishnan (2005): a
+// d×w array of counters, each row indexed by an independent hash. Point
+// queries return the minimum over rows and overestimate by at most
+// ε·N with probability 1−δ for w = ⌈e/ε⌉, d = ⌈ln(1/δ)⌉.
+//
+// The paper cites CountMin as the right tool when filter conditions are
+// known in advance (§3); it cannot answer arbitrary subset sums because it
+// stores no labels, which is the gap Unbiased Space Saving fills.
+type CountMin struct {
+	d, w  int
+	table [][]uint64
+	rows  uint64
+	seeds []uint64
+}
+
+// NewCountMin returns a sketch with the given depth (number of hash rows)
+// and width (counters per row).
+func NewCountMin(depth, width int) *CountMin {
+	if depth <= 0 || width <= 0 {
+		panic(fmt.Sprintf("freq: countmin %dx%d", depth, width))
+	}
+	t := make([][]uint64, depth)
+	seeds := make([]uint64, depth)
+	for i := range t {
+		t[i] = make([]uint64, width)
+		seeds[i] = 0x9e3779b97f4a7c15 * uint64(i+1)
+	}
+	return &CountMin{d: depth, w: width, table: t, seeds: seeds}
+}
+
+// NewCountMinWithError returns a sketch sized for additive error ε·N with
+// failure probability δ.
+func NewCountMinWithError(epsilon, delta float64) *CountMin {
+	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("freq: countmin eps=%v delta=%v", epsilon, delta))
+	}
+	w := int(math.Ceil(math.E / epsilon))
+	d := int(math.Ceil(math.Log(1 / delta)))
+	return NewCountMin(d, w)
+}
+
+// hash returns the bucket for item in row r, using FNV-1a mixed with a
+// per-row seed.
+func (cm *CountMin) hash(item string, r int) int {
+	h := fnv.New64a()
+	h.Write([]byte(item))
+	v := h.Sum64() ^ cm.seeds[r]
+	// Final avalanche (splitmix64 tail) so the per-row seeds decorrelate.
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return int(v % uint64(cm.w))
+}
+
+// Update adds weight w (≥ 0) to item's counters.
+func (cm *CountMin) Update(item string, w uint64) {
+	cm.rows += w
+	for r := 0; r < cm.d; r++ {
+		cm.table[r][cm.hash(item, r)] += w
+	}
+}
+
+// Estimate returns the upward-biased point estimate for item.
+func (cm *CountMin) Estimate(item string) uint64 {
+	min := uint64(math.MaxUint64)
+	for r := 0; r < cm.d; r++ {
+		if c := cm.table[r][cm.hash(item, r)]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Total returns the total weight inserted.
+func (cm *CountMin) Total() uint64 { return cm.rows }
+
+// Depth and Width report the table dimensions.
+func (cm *CountMin) Depth() int { return cm.d }
+
+// Width reports the number of counters per row.
+func (cm *CountMin) Width() int { return cm.w }
+
+// Merge adds other's counters into cm. Panics on dimension mismatch.
+func (cm *CountMin) Merge(other *CountMin) {
+	if cm.d != other.d || cm.w != other.w {
+		panic(fmt.Sprintf("freq: merging countmin %dx%d with %dx%d", cm.d, cm.w, other.d, other.w))
+	}
+	for r := range cm.table {
+		for c := range cm.table[r] {
+			cm.table[r][c] += other.table[r][c]
+		}
+	}
+	cm.rows += other.rows
+}

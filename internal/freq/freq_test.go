@@ -1,0 +1,325 @@
+package freq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func zipfStream(n int, seed int64) ([]string, map[string]int64) {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.2, 1, 1000)
+	stream := make([]string, n)
+	truth := map[string]int64{}
+	for i := range stream {
+		item := fmt.Sprintf("i%d", z.Uint64())
+		stream[i] = item
+		truth[item]++
+	}
+	return stream, truth
+}
+
+func TestMisraGriesErrorBound(t *testing.T) {
+	const m = 20
+	stream, truth := zipfStream(30000, 1)
+	mg := NewMisraGries(m)
+	for _, it := range stream {
+		mg.Update(it)
+	}
+	bound := mg.Rows() / int64(m)
+	for item, tc := range truth {
+		est := mg.Estimate(item)
+		if est > tc {
+			t.Errorf("MG overestimates %s: %d > %d", item, est, tc)
+		}
+		if tc-est > bound {
+			t.Errorf("MG error for %s: %d−%d > %d", item, tc, est, bound)
+		}
+	}
+	if mg.Size() > m {
+		t.Errorf("MG size %d > m %d", mg.Size(), m)
+	}
+	if mg.Decrements() > bound {
+		t.Errorf("decrements %d exceed ntot/m %d", mg.Decrements(), bound)
+	}
+}
+
+func TestMisraGriesExactUnderCapacity(t *testing.T) {
+	mg := NewMisraGries(10)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			mg.Update(fmt.Sprintf("i%d", i))
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if got := mg.Estimate(fmt.Sprintf("i%d", i)); got != int64(i+1) {
+			t.Errorf("Estimate(i%d) = %d, want %d", i, got, i+1)
+		}
+	}
+	if mg.Decrements() != 0 {
+		t.Errorf("decrements = %d, want 0", mg.Decrements())
+	}
+}
+
+func TestMisraGriesSpaceSavingEstimate(t *testing.T) {
+	stream, truth := zipfStream(20000, 2)
+	mg := NewMisraGries(16)
+	for _, it := range stream {
+		mg.Update(it)
+	}
+	// The Space-Saving view overestimates: counter + decrements ≥ truth,
+	// and counter ≤ truth (MG view underestimates).
+	for _, c := range mg.Counters() {
+		ss, ok := mg.SpaceSavingEstimate(c.Item)
+		if !ok {
+			t.Fatalf("tracked item %s missing SS estimate", c.Item)
+		}
+		if ss < truth[c.Item] {
+			t.Errorf("SS view underestimates %s: %d < %d", c.Item, ss, truth[c.Item])
+		}
+		if c.Count > truth[c.Item] {
+			t.Errorf("MG view overestimates %s: %d > %d", c.Item, c.Count, truth[c.Item])
+		}
+	}
+	if _, ok := mg.SpaceSavingEstimate("never-seen"); ok {
+		t.Error("SS estimate for untracked item")
+	}
+}
+
+func TestMisraGriesCountersSorted(t *testing.T) {
+	stream, _ := zipfStream(5000, 3)
+	mg := NewMisraGries(8)
+	for _, it := range stream {
+		mg.Update(it)
+	}
+	cs := mg.Counters()
+	for i := 1; i < len(cs); i++ {
+		if cs[i].Count > cs[i-1].Count {
+			t.Fatalf("Counters not descending: %v", cs)
+		}
+	}
+}
+
+func TestMisraGriesMerge(t *testing.T) {
+	const m = 10
+	s1, t1 := zipfStream(10000, 4)
+	s2, t2 := zipfStream(10000, 5)
+	a, b := NewMisraGries(m), NewMisraGries(m)
+	for _, it := range s1 {
+		a.Update(it)
+	}
+	for _, it := range s2 {
+		b.Update(it)
+	}
+	a.Merge(b)
+	if a.Size() > m {
+		t.Fatalf("merged size %d > m", a.Size())
+	}
+	if a.Rows() != 20000 {
+		t.Fatalf("merged rows %d", a.Rows())
+	}
+	// Combined error bound: 2·ntot/m covers the merged sketch.
+	bound := a.Rows() / int64(m) * 2
+	truth := map[string]int64{}
+	for k, v := range t1 {
+		truth[k] += v
+	}
+	for k, v := range t2 {
+		truth[k] += v
+	}
+	for item, tc := range truth {
+		est := a.Estimate(item)
+		if est > tc {
+			t.Errorf("merged MG overestimates %s: %d > %d", item, est, tc)
+		}
+		if tc-est > bound {
+			t.Errorf("merged MG error for %s: %d−%d > %d", item, tc, est, bound)
+		}
+	}
+}
+
+func TestMisraGriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMisraGries(0) did not panic")
+		}
+	}()
+	NewMisraGries(0)
+}
+
+func TestLossyCountingBounds(t *testing.T) {
+	const m = 50
+	stream, truth := zipfStream(40000, 6)
+	lc := NewLossyCounting(m)
+	for _, it := range stream {
+		lc.Update(it)
+	}
+	// Raw estimates never overestimate; error ≤ epochs ≤ rows/m.
+	if lc.Epochs() > lc.Rows()/int64(m) {
+		t.Fatalf("epochs %d > rows/m", lc.Epochs())
+	}
+	for item, tc := range truth {
+		est := lc.Estimate(item)
+		if est > tc {
+			t.Errorf("lossy overestimates %s: %d > %d", item, est, tc)
+		}
+		if tc-est > lc.Epochs() {
+			t.Errorf("lossy error for %s: %d−%d > %d", item, tc, est, lc.Epochs())
+		}
+	}
+	// Corrected estimates overestimate by at most epochs.
+	for _, c := range lc.Counters() {
+		corr, ok := lc.CorrectedEstimate(c.Item)
+		if !ok {
+			t.Fatalf("tracked item %s missing corrected estimate", c.Item)
+		}
+		if corr < truth[c.Item] {
+			t.Errorf("corrected underestimates %s: %d < %d", c.Item, corr, truth[c.Item])
+		}
+	}
+	if _, ok := lc.CorrectedEstimate("never-seen"); ok {
+		t.Error("corrected estimate for untracked item")
+	}
+}
+
+func TestLossyCountingSizeStaysModest(t *testing.T) {
+	const m = 100
+	stream, _ := zipfStream(100000, 7)
+	lc := NewLossyCounting(m)
+	maxSize := 0
+	for _, it := range stream {
+		lc.Update(it)
+		if lc.Size() > maxSize {
+			maxSize = lc.Size()
+		}
+	}
+	// Worst case m·log(N/m) ≈ 100·10 = 1000; typical zipf far less.
+	if maxSize > 1000 {
+		t.Errorf("lossy counting grew to %d counters", maxSize)
+	}
+}
+
+func TestStickySamplingTracksHeavyHitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ss := NewStickySampling(64, rng)
+	hot := int64(0)
+	for i := 0; i < 50000; i++ {
+		if rng.Float64() < 0.2 {
+			ss.Update("hot")
+			hot++
+		} else {
+			ss.Update(fmt.Sprintf("cold%d", rng.Intn(10000)))
+		}
+	}
+	if ss.Estimate("hot") == 0 {
+		t.Fatal("sticky sampling lost the heavy hitter")
+	}
+	if est := ss.Estimate("hot"); est > hot {
+		t.Errorf("sticky estimate %d exceeds truth %d", est, hot)
+	}
+	if ss.Rate() >= 1 {
+		t.Errorf("rate %v never decreased over 50k rows", ss.Rate())
+	}
+	if ss.Rows() != 50000 {
+		t.Errorf("Rows = %d", ss.Rows())
+	}
+	cs := ss.Counters()
+	for i := 1; i < len(cs); i++ {
+		if cs[i].Count > cs[i-1].Count {
+			t.Fatalf("Counters not descending")
+		}
+	}
+}
+
+func TestStickySamplingValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewStickySampling(0) did not panic")
+		}
+	}()
+	NewStickySampling(0, rand.New(rand.NewSource(1)))
+}
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	stream, truth := zipfStream(20000, 9)
+	cm := NewCountMin(4, 256)
+	for _, it := range stream {
+		cm.Update(it, 1)
+	}
+	if cm.Total() != 20000 {
+		t.Fatalf("Total = %d", cm.Total())
+	}
+	for item, tc := range truth {
+		if est := cm.Estimate(item); est < uint64(tc) {
+			t.Errorf("countmin underestimates %s: %d < %d", item, est, tc)
+		}
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	// ε = e/width; overestimate ≤ ε·N with prob ≥ 1−δ per item. Check
+	// that the overwhelming majority of items respect the bound.
+	stream, truth := zipfStream(30000, 10)
+	const width = 512
+	cm := NewCountMin(5, width)
+	for _, it := range stream {
+		cm.Update(it, 1)
+	}
+	bound := uint64(float64(cm.Total()) * 2.718281828 / width)
+	violations := 0
+	for item, tc := range truth {
+		if cm.Estimate(item)-uint64(tc) > bound {
+			violations++
+		}
+	}
+	if frac := float64(violations) / float64(len(truth)); frac > 0.01 {
+		t.Errorf("%.2f%% of items violate the CountMin bound", 100*frac)
+	}
+}
+
+func TestCountMinWithError(t *testing.T) {
+	cm := NewCountMinWithError(0.01, 0.01)
+	if cm.Width() < 271 || cm.Depth() < 5 {
+		t.Errorf("sizing wrong: %dx%d", cm.Depth(), cm.Width())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad eps did not panic")
+			}
+		}()
+		NewCountMinWithError(0, 0.1)
+	}()
+}
+
+func TestCountMinMerge(t *testing.T) {
+	a := NewCountMin(3, 64)
+	b := NewCountMin(3, 64)
+	a.Update("x", 5)
+	b.Update("x", 7)
+	b.Update("y", 2)
+	a.Merge(b)
+	if got := a.Estimate("x"); got < 12 {
+		t.Errorf("merged Estimate(x) = %d, want ≥ 12", got)
+	}
+	if a.Total() != 14 {
+		t.Errorf("merged Total = %d, want 14", a.Total())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("dimension mismatch merge did not panic")
+			}
+		}()
+		a.Merge(NewCountMin(2, 64))
+	}()
+}
+
+func TestCountMinValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCountMin(0, 0) did not panic")
+		}
+	}()
+	NewCountMin(0, 0)
+}

@@ -1,0 +1,80 @@
+package freq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LossyCounting is the (simplified) Lossy Counting sketch of Manku &
+// Motwani (2002) as described in §5.2: the same decrement reduction as
+// Misra–Gries but on a fixed schedule — after every m rows, all counters
+// decrement — independent of the data. Unlike Misra–Gries it does not bound
+// the number of live counters by m; the worst case is m·log(N/m).
+type LossyCounting struct {
+	m        int
+	counters map[string]int64
+	rows     int64
+	epochs   int64 // number of decrement sweeps so far
+}
+
+// NewLossyCounting returns a sketch targeting items with frequency > N/m.
+func NewLossyCounting(m int) *LossyCounting {
+	if m <= 0 {
+		panic(fmt.Sprintf("freq: lossy counting with m = %d", m))
+	}
+	return &LossyCounting{m: m, counters: make(map[string]int64, m)}
+}
+
+// Update processes one row.
+func (lc *LossyCounting) Update(item string) {
+	lc.rows++
+	lc.counters[item]++
+	if lc.rows%int64(lc.m) == 0 {
+		lc.epochs++
+		for k, v := range lc.counters {
+			if v <= 1 {
+				delete(lc.counters, k)
+			} else {
+				lc.counters[k] = v - 1
+			}
+		}
+	}
+}
+
+// Estimate returns the downward-biased count estimate for item.
+func (lc *LossyCounting) Estimate(item string) int64 { return lc.counters[item] }
+
+// CorrectedEstimate adds back the number of decrement sweeps for tracked
+// items, recovering the original Lossy Counting guarantee
+// truth − N/m ≤ estimate ≤ truth + epochs.
+func (lc *LossyCounting) CorrectedEstimate(item string) (int64, bool) {
+	c, ok := lc.counters[item]
+	if !ok {
+		return 0, false
+	}
+	return c + lc.epochs, true
+}
+
+// Rows returns the number of rows processed.
+func (lc *LossyCounting) Rows() int64 { return lc.rows }
+
+// Size returns the number of live counters (may exceed m transiently).
+func (lc *LossyCounting) Size() int { return len(lc.counters) }
+
+// Epochs returns the number of decrement sweeps performed.
+func (lc *LossyCounting) Epochs() int64 { return lc.epochs }
+
+// Counters returns live counters in descending count order.
+func (lc *LossyCounting) Counters() []Counter {
+	out := make([]Counter, 0, len(lc.counters))
+	for k, v := range lc.counters {
+		out = append(out, Counter{Item: k, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}

@@ -1,0 +1,96 @@
+package freq
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// StickySampling is the randomized Sticky Sampling sketch of Manku &
+// Motwani (2002). Items are admitted by coin flips at a sampling rate that
+// halves as the stream grows; admitted ("sticky") items are counted
+// exactly from admission onward. The paper dismisses it as dominated by
+// the other sketches (§5.2); it is included as a baseline for completeness.
+type StickySampling struct {
+	rate     float64 // current sampling probability
+	window   int64   // rows per rate-halving window
+	seen     int64   // rows in the current window
+	counters map[string]int64
+	rows     int64
+	rng      *rand.Rand
+}
+
+// NewStickySampling returns a sketch whose initial window is m rows at
+// sampling rate 1; each subsequent window doubles in length and halves the
+// rate, targeting support thresholds around 1/m.
+func NewStickySampling(m int, rng *rand.Rand) *StickySampling {
+	if m <= 0 {
+		panic(fmt.Sprintf("freq: sticky sampling with m = %d", m))
+	}
+	if rng == nil {
+		panic("freq: sticky sampling requires a random source")
+	}
+	return &StickySampling{
+		rate:     1,
+		window:   int64(m),
+		counters: make(map[string]int64, m),
+		rng:      rng,
+	}
+}
+
+// Update processes one row.
+func (ss *StickySampling) Update(item string) {
+	ss.rows++
+	ss.seen++
+	if ss.seen > ss.window {
+		// New window: halve the rate and re-toss every counter with
+		// geometric thinning, the original algorithm's correction for
+		// items admitted at the old, higher rate.
+		ss.window *= 2
+		ss.seen = 1
+		ss.rate /= 2
+		for k := range ss.counters {
+			for ss.counters[k] > 0 && ss.rng.Float64() < 0.5 {
+				ss.counters[k]--
+			}
+			if ss.counters[k] <= 0 {
+				delete(ss.counters, k)
+			}
+		}
+	}
+	if _, ok := ss.counters[item]; ok {
+		ss.counters[item]++
+		return
+	}
+	if ss.rng.Float64() < ss.rate {
+		ss.counters[item] = 1
+	}
+}
+
+// Estimate returns the count accumulated since admission (a downward-biased
+// estimate of the true count).
+func (ss *StickySampling) Estimate(item string) int64 { return ss.counters[item] }
+
+// Rate returns the current sampling rate.
+func (ss *StickySampling) Rate() float64 { return ss.rate }
+
+// Rows returns the number of rows processed.
+func (ss *StickySampling) Rows() int64 { return ss.rows }
+
+// Size returns the number of live counters.
+func (ss *StickySampling) Size() int { return len(ss.counters) }
+
+// Counters returns live counters in descending count order.
+func (ss *StickySampling) Counters() []Counter {
+	out := make([]Counter, 0, len(ss.counters))
+	for k, v := range ss.counters {
+		out = append(out, Counter{Item: k, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}

@@ -1,0 +1,165 @@
+// Package hierarchy computes hierarchical aggregates and hierarchical
+// heavy hitters (HHH) from a Space-Saving sketch's bins.
+//
+// The paper (§3.1) points out that because a disaggregated subset-sum
+// sketch answers arbitrary group-by conditions, it "can compute the next
+// level in a hierarchy": network administrators want both individual hosts
+// with excess traffic and aggregated statistics per subnet (Zhang et al.
+// 2004; Mitzenmacher, Steinke & Thaler 2012). This package implements that
+// post-processing: given bins whose labels are separator-delimited paths
+// (IP octets, domain components, product categories), it aggregates counts
+// at every prefix and extracts the classic discounted hierarchical heavy
+// hitters.
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Node is one prefix in the hierarchy with its aggregated estimates.
+type Node struct {
+	// Prefix is the path, e.g. "10.0" for the 10.0.*.* subnet with
+	// separator ".". The empty prefix is the root.
+	Prefix string
+	// Depth is the number of path components (root = 0).
+	Depth int
+	// Count is the estimated total over all items under the prefix — an
+	// unbiased subset sum when the bins come from an Unbiased Space
+	// Saving sketch.
+	Count float64
+	// Discounted is Count minus the mass already covered by
+	// hierarchical heavy hitters strictly below this prefix; only
+	// populated by HeavyHitters.
+	Discounted float64
+}
+
+// Aggregate sums bin counts at every prefix of every bin label, including
+// the root (empty prefix) and the full labels themselves. Prefixes are in
+// map form keyed by path.
+func Aggregate(bins []core.Bin, sep string) map[string]float64 {
+	agg := make(map[string]float64)
+	for _, b := range bins {
+		agg[""] += b.Count
+		parts := strings.Split(b.Item, sep)
+		prefix := ""
+		for i, p := range parts {
+			if i == 0 {
+				prefix = p
+			} else {
+				prefix = prefix + sep + p
+			}
+			agg[prefix] += b.Count
+		}
+	}
+	return agg
+}
+
+// Level returns the nodes at the given depth (number of components),
+// sorted by descending count. Depth 0 returns just the root.
+func Level(bins []core.Bin, sep string, depth int) []Node {
+	if depth < 0 {
+		panic(fmt.Sprintf("hierarchy: depth %d", depth))
+	}
+	agg := Aggregate(bins, sep)
+	var out []Node
+	for prefix, c := range agg {
+		if depthOf(prefix, sep) == depth {
+			out = append(out, Node{Prefix: prefix, Depth: depth, Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Prefix < out[j].Prefix
+	})
+	return out
+}
+
+func depthOf(prefix, sep string) int {
+	if prefix == "" {
+		return 0
+	}
+	return strings.Count(prefix, sep) + 1
+}
+
+func parentOf(prefix, sep string) string {
+	i := strings.LastIndex(prefix, sep)
+	if i < 0 {
+		return ""
+	}
+	return prefix[:i]
+}
+
+// HeavyHitters extracts the hierarchical heavy hitters at threshold phi:
+// working bottom-up, a prefix is an HHH when its count, after discounting
+// the mass of HHH prefixes strictly below it, is at least phi times the
+// total. Results are sorted by depth descending (most specific first),
+// then by discounted count descending.
+//
+// With phi·total above the sketch's noise floor (a few multiples of the
+// minimum bin count), the discovered prefixes are reliable; counts inherit
+// the sketch's unbiasedness.
+func HeavyHitters(bins []core.Bin, sep string, phi float64) []Node {
+	if phi <= 0 || phi > 1 {
+		panic(fmt.Sprintf("hierarchy: phi = %v outside (0,1]", phi))
+	}
+	agg := Aggregate(bins, sep)
+	total := agg[""]
+	if total <= 0 {
+		return nil
+	}
+	threshold := phi * total
+
+	// Group prefixes by depth.
+	maxDepth := 0
+	byDepth := map[int][]string{}
+	for prefix := range agg {
+		d := depthOf(prefix, sep)
+		byDepth[d] = append(byDepth[d], prefix)
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+
+	// covered[p] = mass under p already claimed by HHH descendants.
+	covered := make(map[string]float64)
+	var hhh []Node
+	for d := maxDepth; d >= 0; d-- {
+		prefixes := byDepth[d]
+		sort.Strings(prefixes) // determinism
+		for _, p := range prefixes {
+			disc := agg[p] - covered[p]
+			if disc < 0 {
+				disc = 0
+			}
+			parent := parentOf(p, sep)
+			if disc >= threshold {
+				hhh = append(hhh, Node{Prefix: p, Depth: d, Count: agg[p], Discounted: disc})
+				// p claims its whole subtree: the parent sees all of
+				// agg[p] as covered (subsuming anything HHH
+				// descendants had claimed).
+				if p != "" {
+					covered[parent] += agg[p]
+				}
+			} else if p != "" {
+				// Pass through whatever p's descendants claimed.
+				covered[parent] += covered[p]
+			}
+		}
+	}
+	sort.Slice(hhh, func(i, j int) bool {
+		if hhh[i].Depth != hhh[j].Depth {
+			return hhh[i].Depth > hhh[j].Depth
+		}
+		if hhh[i].Discounted != hhh[j].Discounted {
+			return hhh[i].Discounted > hhh[j].Discounted
+		}
+		return hhh[i].Prefix < hhh[j].Prefix
+	})
+	return hhh
+}

@@ -1,0 +1,216 @@
+package hierarchy
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func bin(item string, c float64) core.Bin { return core.Bin{Item: item, Count: c} }
+
+func TestAggregate(t *testing.T) {
+	bins := []core.Bin{
+		bin("a.b.c", 3),
+		bin("a.b.d", 2),
+		bin("a.e", 5),
+		bin("f", 1),
+	}
+	agg := Aggregate(bins, ".")
+	want := map[string]float64{
+		"": 11, "a": 10, "a.b": 5, "a.b.c": 3, "a.b.d": 2, "a.e": 5, "f": 1,
+	}
+	if len(agg) != len(want) {
+		t.Fatalf("agg = %v", agg)
+	}
+	for k, v := range want {
+		if agg[k] != v {
+			t.Errorf("agg[%q] = %v, want %v", k, agg[k], v)
+		}
+	}
+}
+
+func TestLevel(t *testing.T) {
+	bins := []core.Bin{bin("a.b", 3), bin("a.c", 2), bin("d.e", 7)}
+	l1 := Level(bins, ".", 1)
+	if len(l1) != 2 || l1[0].Prefix != "d" || l1[0].Count != 7 || l1[1].Prefix != "a" || l1[1].Count != 5 {
+		t.Fatalf("Level 1 = %v", l1)
+	}
+	l0 := Level(bins, ".", 0)
+	if len(l0) != 1 || l0[0].Count != 12 {
+		t.Fatalf("Level 0 = %v", l0)
+	}
+	l2 := Level(bins, ".", 2)
+	if len(l2) != 3 {
+		t.Fatalf("Level 2 = %v", l2)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative depth did not panic")
+		}
+	}()
+	Level(bins, ".", -1)
+}
+
+func TestHeavyHittersBasic(t *testing.T) {
+	// One dominant leaf, one dominant subnet made of small leaves.
+	bins := []core.Bin{
+		bin("10.0.0.1", 500),                                          // individual heavy hitter
+		bin("10.1.0.1", 60), bin("10.1.0.2", 70), bin("10.1.1.3", 80), // subnet 10.1 heavy in aggregate
+		bin("20.0.0.1", 40),
+	}
+	hhh := HeavyHitters(bins, ".", 0.25) // threshold = 0.25 × 750 = 187.5
+	got := map[string]float64{}
+	for _, n := range hhh {
+		got[n.Prefix] = n.Discounted
+	}
+	if _, ok := got["10.0.0.1"]; !ok {
+		t.Errorf("leaf heavy hitter missing: %v", hhh)
+	}
+	// 10.1 has 210 aggregate from leaves each below threshold.
+	if d, ok := got["10.1"]; !ok || d != 210 {
+		t.Errorf("subnet HHH missing or wrong discount: %v", hhh)
+	}
+	// 10 should NOT be an HHH: its 710 is covered by 10.0.0.1's chain and
+	// 10.1 → discounted 0... (10.0.0.1 covers via its ancestors).
+	if _, ok := got["10"]; ok {
+		t.Errorf("prefix 10 reported despite full coverage: %v", hhh)
+	}
+	// Root not an HHH either (750 − 500 − 210 = 40 < 187.5).
+	if _, ok := got[""]; ok {
+		t.Errorf("root reported: %v", hhh)
+	}
+}
+
+func TestHeavyHittersDiscounting(t *testing.T) {
+	// A chain where every level adds a bit of its own mass.
+	bins := []core.Bin{
+		bin("a.b.c", 100),
+		bin("a.b.x", 30),
+		bin("a.y", 30),
+		bin("z", 40),
+	}
+	// total 200, phi 0.5 → threshold 100: only a.b.c qualifies at leaf
+	// level; then a.b discounted = 130−100 = 30 < 100; a = 160−100 = 60
+	// < 100; root = 200−100 = 100 ≥ 100 → root is an HHH.
+	hhh := HeavyHitters(bins, ".", 0.5)
+	if len(hhh) != 2 {
+		t.Fatalf("hhh = %v", hhh)
+	}
+	if hhh[0].Prefix != "a.b.c" || hhh[0].Discounted != 100 {
+		t.Errorf("first hhh = %+v", hhh[0])
+	}
+	if hhh[1].Prefix != "" || hhh[1].Discounted != 100 {
+		t.Errorf("second hhh = %+v", hhh[1])
+	}
+}
+
+func TestHeavyHittersOrdering(t *testing.T) {
+	bins := []core.Bin{
+		bin("a.a", 100), bin("b.b", 150), bin("c", 120),
+	}
+	hhh := HeavyHitters(bins, ".", 0.2)
+	for i := 1; i < len(hhh); i++ {
+		if hhh[i].Depth > hhh[i-1].Depth {
+			t.Fatalf("not depth-descending: %v", hhh)
+		}
+		if hhh[i].Depth == hhh[i-1].Depth && hhh[i].Discounted > hhh[i-1].Discounted {
+			t.Fatalf("not discount-descending within depth: %v", hhh)
+		}
+	}
+}
+
+func TestHeavyHittersValidation(t *testing.T) {
+	if got := HeavyHitters(nil, ".", 0.5); got != nil {
+		t.Errorf("empty bins → %v", got)
+	}
+	for _, phi := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("phi=%v did not panic", phi)
+				}
+			}()
+			HeavyHitters([]core.Bin{bin("a", 1)}, ".", phi)
+		}()
+	}
+}
+
+// TestHeavyHittersDiscountInvariant property-checks the defining HHH
+// invariant on random hierarchies: the sum of discounted counts of all HHH
+// nodes never exceeds the total, and every reported node meets the
+// threshold.
+func TestHeavyHittersDiscountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		var bins []core.Bin
+		var total float64
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			depth := 1 + rng.Intn(3)
+			parts := make([]string, depth)
+			for d := range parts {
+				parts[d] = fmt.Sprintf("n%d", rng.Intn(3))
+			}
+			c := float64(1 + rng.Intn(100))
+			bins = append(bins, bin(strings.Join(parts, "."), c))
+			total += c
+		}
+		phi := 0.05 + rng.Float64()*0.5
+		hhh := HeavyHitters(bins, ".", phi)
+		var discSum float64
+		for _, node := range hhh {
+			if node.Discounted < phi*total-1e-9 {
+				t.Fatalf("trial %d: node %q discounted %v below threshold %v",
+					trial, node.Prefix, node.Discounted, phi*total)
+			}
+			if node.Discounted > node.Count+1e-9 {
+				t.Fatalf("trial %d: node %q discounted %v exceeds count %v",
+					trial, node.Prefix, node.Discounted, node.Count)
+			}
+			discSum += node.Discounted
+		}
+		if discSum > total+1e-6 {
+			t.Fatalf("trial %d: Σ discounted %v exceeds total %v", trial, discSum, total)
+		}
+	}
+}
+
+// TestEndToEndWithSketch drives the full pipeline: stream → Unbiased Space
+// Saving sketch → hierarchy post-processing, verifying the scanner subnet
+// is found as an HHH even though no single flow in it is frequent — the
+// disaggregated use case from the paper's intro.
+func TestEndToEndWithSketch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sk := core.New(256, core.Unbiased, rng)
+	// 40% of rows: scanner subnet 172.16.9.* spread over 256 hosts.
+	// 10%: one hot flow. 50%: background noise across many subnets.
+	for i := 0; i < 60000; i++ {
+		switch {
+		case i%10 < 4:
+			sk.Update(fmt.Sprintf("172.16.9.%d", rng.Intn(256)))
+		case i%10 < 5:
+			sk.Update("10.0.0.1")
+		default:
+			sk.Update(fmt.Sprintf("10.%d.%d.%d", rng.Intn(32), rng.Intn(16), rng.Intn(16)))
+		}
+	}
+	hhh := HeavyHitters(sk.Bins(), ".", 0.08)
+	foundScanner, foundHot := false, false
+	for _, n := range hhh {
+		if strings.HasPrefix(n.Prefix, "172.16.9") {
+			foundScanner = true
+		}
+		if n.Prefix == "10.0.0.1" {
+			foundHot = true
+		}
+	}
+	if !foundScanner {
+		t.Errorf("scanner subnet not detected: %v", hhh)
+	}
+	if !foundHot {
+		t.Errorf("hot flow not detected: %v", hhh)
+	}
+}

@@ -1,0 +1,189 @@
+// Package query evaluates the paper's motivating query template (§2)
+//
+//	SELECT sum(metric), dimensions
+//	FROM table
+//	WHERE filters
+//	GROUP BY dimensions
+//
+// against a Space-Saving sketch instead of the raw table. Item labels are
+// expected to encode dimension tuples as "dim=value" pairs joined by "|"
+// (the encoding produced by workload.Impression.Key and common for
+// composite units of analysis). Filters are arbitrary equality or set
+// conditions on dimensions, chosen at query time; group-by emits one
+// unbiased estimated sum per observed group, each with the equation-5
+// standard error.
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Row is a parsed item label: dimension → value.
+type Row map[string]string
+
+// ParseRow splits an item label like "country=us|device=ios" into a Row.
+// Malformed components are reported as errors.
+func ParseRow(label string) (Row, error) {
+	parts := strings.Split(label, "|")
+	row := make(Row, len(parts))
+	for _, p := range parts {
+		eq := strings.IndexByte(p, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("query: malformed label component %q in %q", p, label)
+		}
+		row[p[:eq]] = p[eq+1:]
+	}
+	return row, nil
+}
+
+// Filter is one WHERE condition.
+type Filter struct {
+	// Dim is the dimension name.
+	Dim string
+	// In is the set of accepted values (OR within a filter; filters AND
+	// together).
+	In []string
+}
+
+// matches reports whether row passes the filter. A row lacking the
+// dimension fails it.
+func (f Filter) matches(row Row) bool {
+	v, ok := row[f.Dim]
+	if !ok {
+		return false
+	}
+	for _, want := range f.In {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Eq is shorthand for a single-value equality filter.
+func Eq(dim, value string) Filter { return Filter{Dim: dim, In: []string{value}} }
+
+// Query is one SELECT over a sketch.
+type Query struct {
+	// Where filters AND together; empty means all rows.
+	Where []Filter
+	// GroupBy lists the dimensions to group on; empty means one global
+	// aggregate.
+	GroupBy []string
+}
+
+// Group is one output row.
+type Group struct {
+	// Key maps group-by dimensions to values; nil for the global group.
+	Key map[string]string
+	// Sum is the estimated total with its standard error.
+	Sum core.Estimate
+}
+
+// KeyString renders the group key deterministically ("country=us|device=ios").
+func (g Group) KeyString() string {
+	if len(g.Key) == 0 {
+		return "*"
+	}
+	dims := make([]string, 0, len(g.Key))
+	for d := range g.Key {
+		dims = append(dims, d)
+	}
+	sort.Strings(dims)
+	var b strings.Builder
+	for i, d := range dims {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(d)
+		b.WriteByte('=')
+		b.WriteString(g.Key[d])
+	}
+	return b.String()
+}
+
+// Binner is the sketch-side interface the evaluator needs; both
+// core.Sketch and core.WeightedSketch satisfy it.
+type Binner interface {
+	Bins() []core.Bin
+	MinCount() float64
+}
+
+// Run evaluates q against the sketch's bins. Labels that fail to parse are
+// skipped and counted in the returned skipped tally (foreign labels in a
+// mixed sketch are not an error). Groups are returned sorted by descending
+// estimate, ties broken by key.
+func Run(s Binner, q Query) (groups []Group, skipped int, err error) {
+	type agg struct {
+		sum  float64
+		hits int
+		key  map[string]string
+	}
+	byKey := map[string]*agg{}
+	nmin := s.MinCount()
+
+bins:
+	for _, b := range s.Bins() {
+		row, perr := ParseRow(b.Item)
+		if perr != nil {
+			skipped++
+			continue
+		}
+		for _, f := range q.Where {
+			if !f.matches(row) {
+				continue bins
+			}
+		}
+		key := make(map[string]string, len(q.GroupBy))
+		var sb strings.Builder
+		for _, d := range q.GroupBy {
+			v, ok := row[d]
+			if !ok {
+				// Rows lacking a group-by dimension fall out of the
+				// result, mirroring SQL semantics for missing columns
+				// in strict mode.
+				continue bins
+			}
+			key[d] = v
+			sb.WriteString(d)
+			sb.WriteByte('=')
+			sb.WriteString(v)
+			sb.WriteByte('|')
+		}
+		ks := sb.String()
+		a, ok := byKey[ks]
+		if !ok {
+			a = &agg{key: key}
+			byKey[ks] = a
+		}
+		a.sum += b.Count
+		a.hits++
+	}
+
+	for _, a := range byKey {
+		cs := a.hits
+		if cs < 1 {
+			cs = 1
+		}
+		groups = append(groups, Group{
+			Key: a.key,
+			Sum: core.Estimate{
+				Value:      a.sum,
+				StdErr:     nmin * math.Sqrt(float64(cs)),
+				SampleBins: a.hits,
+			},
+		})
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].Sum.Value != groups[j].Sum.Value {
+			return groups[i].Sum.Value > groups[j].Sum.Value
+		}
+		return groups[i].KeyString() < groups[j].KeyString()
+	})
+	return groups, skipped, nil
+}

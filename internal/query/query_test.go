@@ -1,0 +1,215 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func newSketch(t *testing.T, rows []string) *core.Sketch {
+	t.Helper()
+	sk := core.New(1024, core.Unbiased, rand.New(rand.NewSource(1)))
+	for _, r := range rows {
+		sk.Update(r)
+	}
+	return sk
+}
+
+func label(country, device string) string {
+	return "country=" + country + "|device=" + device
+}
+
+func testRows() []string {
+	var rows []string
+	add := func(c, d string, n int) {
+		for i := 0; i < n; i++ {
+			rows = append(rows, label(c, d))
+		}
+	}
+	add("us", "ios", 30)
+	add("us", "android", 20)
+	add("de", "ios", 10)
+	add("de", "android", 40)
+	add("jp", "ios", 5)
+	return rows
+}
+
+func TestParseRow(t *testing.T) {
+	row, err := ParseRow("a=1|b=two|c=x=y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row["a"] != "1" || row["b"] != "two" || row["c"] != "x=y" {
+		t.Errorf("row = %v", row)
+	}
+	for _, bad := range []string{"", "noequals", "=value", "a=1|bad"} {
+		if _, err := ParseRow(bad); err == nil {
+			t.Errorf("ParseRow(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	sk := newSketch(t, testRows())
+	groups, skipped, err := Run(sk, Query{})
+	if err != nil || skipped != 0 {
+		t.Fatalf("err=%v skipped=%d", err, skipped)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if groups[0].Sum.Value != 105 {
+		t.Errorf("global sum = %v, want 105", groups[0].Sum.Value)
+	}
+	if groups[0].KeyString() != "*" {
+		t.Errorf("global key = %q", groups[0].KeyString())
+	}
+}
+
+func TestWhereFilter(t *testing.T) {
+	sk := newSketch(t, testRows())
+	groups, _, _ := Run(sk, Query{Where: []Filter{Eq("country", "us")}})
+	if len(groups) != 1 || groups[0].Sum.Value != 50 {
+		t.Fatalf("us sum = %v", groups)
+	}
+	// OR within a filter.
+	groups, _, _ = Run(sk, Query{Where: []Filter{{Dim: "country", In: []string{"us", "jp"}}}})
+	if groups[0].Sum.Value != 55 {
+		t.Errorf("us|jp sum = %v, want 55", groups[0].Sum.Value)
+	}
+	// AND across filters.
+	groups, _, _ = Run(sk, Query{Where: []Filter{Eq("country", "de"), Eq("device", "ios")}})
+	if groups[0].Sum.Value != 10 {
+		t.Errorf("de∧ios sum = %v, want 10", groups[0].Sum.Value)
+	}
+	// Filter on a missing dimension matches nothing: the single global
+	// group exists with sum 0... actually no bins pass, so no groups.
+	groups, _, _ = Run(sk, Query{Where: []Filter{Eq("browser", "ff")}})
+	if len(groups) != 0 {
+		t.Errorf("missing-dim filter produced %v", groups)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	sk := newSketch(t, testRows())
+	groups, _, _ := Run(sk, Query{GroupBy: []string{"country"}})
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	want := map[string]float64{"country=us": 50, "country=de": 50, "country=jp": 5}
+	for _, g := range groups {
+		if got := want[g.KeyString()]; g.Sum.Value != got {
+			t.Errorf("%s = %v, want %v", g.KeyString(), g.Sum.Value, got)
+		}
+	}
+	// Descending order.
+	for i := 1; i < len(groups); i++ {
+		if groups[i].Sum.Value > groups[i-1].Sum.Value {
+			t.Errorf("groups not descending")
+		}
+	}
+}
+
+func TestGroupByTwoDims(t *testing.T) {
+	sk := newSketch(t, testRows())
+	groups, _, _ := Run(sk, Query{
+		Where:   []Filter{{Dim: "device", In: []string{"ios", "android"}}},
+		GroupBy: []string{"country", "device"},
+	})
+	if len(groups) != 5 {
+		t.Fatalf("%d groups", len(groups))
+	}
+	if groups[0].KeyString() != "country=de|device=android" || groups[0].Sum.Value != 40 {
+		t.Errorf("top group = %s %v", groups[0].KeyString(), groups[0].Sum.Value)
+	}
+}
+
+func TestSkippedForeignLabels(t *testing.T) {
+	rows := append(testRows(), "rawlabel", "rawlabel")
+	sk := newSketch(t, rows)
+	groups, skipped, err := Run(sk, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 { // one bin holds "rawlabel"
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if groups[0].Sum.Value != 105 {
+		t.Errorf("sum = %v", groups[0].Sum.Value)
+	}
+}
+
+func TestStdErrUsesEquationFive(t *testing.T) {
+	// Saturated sketch so MinCount > 0, then check StdErr = Nmin·√C_S.
+	var rows []string
+	for i := 0; i < 5000; i++ {
+		rows = append(rows, fmt.Sprintf("k=%d", i%300))
+	}
+	sk := core.New(64, core.Unbiased, rand.New(rand.NewSource(2)))
+	for _, r := range rows {
+		sk.Update(r)
+	}
+	groups, _, _ := Run(sk, Query{})
+	if len(groups) != 1 {
+		t.Fatalf("groups = %v", groups)
+	}
+	g := groups[0]
+	want := sk.MinCount() * math.Sqrt(float64(g.Sum.SampleBins))
+	if math.Abs(g.Sum.StdErr-want) > 1e-9 {
+		t.Errorf("StdErr = %v, want %v", g.Sum.StdErr, want)
+	}
+	if g.Sum.SampleBins != sk.Size() {
+		t.Errorf("SampleBins = %d, want %d", g.Sum.SampleBins, sk.Size())
+	}
+}
+
+// TestGroupByUnbiased checks end-to-end unbiasedness of grouped sums under
+// sketch randomness on an overflowing sketch.
+func TestGroupByUnbiased(t *testing.T) {
+	var rows []string
+	truth := map[string]float64{}
+	for i := 0; i < 120; i++ {
+		c := fmt.Sprintf("c%d", i%6)
+		n := 1 + i%13
+		for j := 0; j < n; j++ {
+			rows = append(rows, "country="+c+"|user="+fmt.Sprintf("u%d", i))
+		}
+		truth["country="+c] += float64(n)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const reps = 3000
+	sums := map[string]float64{}
+	for r := 0; r < reps; r++ {
+		sk := core.New(16, core.Unbiased, rng)
+		perm := rng.Perm(len(rows))
+		for _, i := range perm {
+			sk.Update(rows[i])
+		}
+		groups, _, _ := Run(sk, Query{GroupBy: []string{"country"}})
+		for _, g := range groups {
+			sums[g.KeyString()] += g.Sum.Value
+		}
+	}
+	for key, want := range truth {
+		mean := sums[key] / reps
+		if math.Abs(mean-want) > 0.15*want {
+			t.Errorf("%s: mean %v, truth %v", key, mean, want)
+		}
+	}
+}
+
+func TestWeightedSketchSatisfiesBinner(t *testing.T) {
+	sk := core.NewWeighted(16, rand.New(rand.NewSource(4)))
+	sk.Update("k=a", 2.5)
+	sk.Update("k=b", 1.5)
+	groups, _, err := Run(sk, Query{GroupBy: []string{"k"}})
+	if err != nil || len(groups) != 2 {
+		t.Fatalf("groups=%v err=%v", groups, err)
+	}
+	if groups[0].Sum.Value != 2.5 {
+		t.Errorf("weighted group sum = %v", groups[0].Sum.Value)
+	}
+}

@@ -1,0 +1,186 @@
+// Package rollup maintains per-window Unbiased Space Saving sketches and
+// answers queries over arbitrary ranges of recent windows by merging them
+// with an unbiased reduction — the paper's §5.5 scenario: "Sketches for
+// clicks may be computed per day, but the final machine learning feature
+// may combine the last 7 days."
+//
+// A Rollup owns a ring of at most Retain window sketches. Rows are routed
+// to the window of their timestamp; closed windows become immutable; range
+// queries merge the covered windows on demand. Because the merge reduction
+// preserves expected counts (Theorem 2 of the paper), a range estimate is
+// unbiased for the true range total.
+package rollup
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Config parameterizes a Rollup.
+type Config struct {
+	// Bins is the sketch size per window and for merged query results.
+	Bins int
+	// WindowLength is the duration of one window in the caller's time
+	// unit (e.g. 86400 for daily windows with Unix-second timestamps).
+	WindowLength int64
+	// Retain is how many most-recent windows are kept; older windows are
+	// evicted. Zero means keep everything.
+	Retain int
+	// Seed drives all sketch randomness; 0 picks a random seed.
+	Seed int64
+}
+
+// Rollup is a windowed collection of sketches. Not safe for concurrent use.
+type Rollup struct {
+	cfg     Config
+	rng     *rand.Rand
+	windows map[int64]*core.Sketch // window start → sketch
+	order   []int64                // sorted window starts
+	dropped int64                  // rows routed to evicted windows
+}
+
+// New validates cfg and returns an empty Rollup.
+func New(cfg Config) (*Rollup, error) {
+	if cfg.Bins <= 0 {
+		return nil, fmt.Errorf("rollup: bins = %d, want > 0", cfg.Bins)
+	}
+	if cfg.WindowLength <= 0 {
+		return nil, fmt.Errorf("rollup: window length = %d, want > 0", cfg.WindowLength)
+	}
+	if cfg.Retain < 0 {
+		return nil, fmt.Errorf("rollup: retain = %d, want >= 0", cfg.Retain)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = rand.Int63()
+	}
+	return &Rollup{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(seed)),
+		windows: make(map[int64]*core.Sketch),
+	}, nil
+}
+
+// windowStart floors a timestamp to its window's start.
+func (r *Rollup) windowStart(at int64) int64 {
+	w := at / r.cfg.WindowLength
+	if at < 0 && at%r.cfg.WindowLength != 0 {
+		w--
+	}
+	return w * r.cfg.WindowLength
+}
+
+// Update routes one row with the given timestamp into its window, creating
+// the window if needed and evicting the oldest windows beyond Retain. It
+// reports false if the row's window was already evicted (late data beyond
+// the retention horizon is dropped, and counted in DroppedRows).
+func (r *Rollup) Update(item string, at int64) bool {
+	start := r.windowStart(at)
+	sk, ok := r.windows[start]
+	if !ok {
+		if len(r.order) > 0 && start < r.order[0] && r.retained() {
+			r.dropped++
+			return false
+		}
+		sk = core.New(r.cfg.Bins, core.Unbiased, r.rng)
+		r.windows[start] = sk
+		r.order = insertSorted(r.order, start)
+		r.evict()
+		if _, still := r.windows[start]; !still {
+			// The new window itself was beyond retention (possible
+			// when a very old timestamp creates then loses it).
+			r.dropped++
+			return false
+		}
+	}
+	sk.Update(item)
+	return true
+}
+
+func (r *Rollup) retained() bool {
+	return r.cfg.Retain > 0 && len(r.order) >= r.cfg.Retain
+}
+
+func insertSorted(xs []int64, v int64) []int64 {
+	i := sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
+func (r *Rollup) evict() {
+	if r.cfg.Retain <= 0 {
+		return
+	}
+	for len(r.order) > r.cfg.Retain {
+		oldest := r.order[0]
+		r.order = r.order[1:]
+		delete(r.windows, oldest)
+	}
+}
+
+// Windows returns the retained window start times in ascending order.
+func (r *Rollup) Windows() []int64 {
+	out := make([]int64, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// DroppedRows returns how many rows arrived for already-evicted windows.
+func (r *Rollup) DroppedRows() int64 { return r.dropped }
+
+// Window returns the sketch for the window containing at, or nil.
+func (r *Rollup) Window(at int64) *core.Sketch {
+	return r.windows[r.windowStart(at)]
+}
+
+// Range merges all windows intersecting [from, to] (inclusive timestamps)
+// into one weighted sketch of Bins bins. The result is unbiased for subset
+// sums over the rows in those windows. Returns nil when no window
+// intersects the range.
+func (r *Rollup) Range(from, to int64) *core.WeightedSketch {
+	if from > to {
+		return nil
+	}
+	lo := r.windowStart(from)
+	var picked []*core.Sketch
+	for _, start := range r.order {
+		if start >= lo && start <= to {
+			picked = append(picked, r.windows[start])
+		}
+	}
+	if len(picked) == 0 {
+		return nil
+	}
+	return core.MergeSketches(r.cfg.Bins, core.PairwiseReduction, r.rng, picked...)
+}
+
+// SubsetSumRange is a convenience wrapper: estimate the subset sum over the
+// rows in windows intersecting [from, to].
+func (r *Rollup) SubsetSumRange(from, to int64, pred func(string) bool) (core.Estimate, bool) {
+	m := r.Range(from, to)
+	if m == nil {
+		return core.Estimate{}, false
+	}
+	return m.SubsetSum(pred), true
+}
+
+// TotalRange returns the exact total number of rows in the covered windows
+// (Space Saving preserves totals exactly, so this is not an estimate).
+func (r *Rollup) TotalRange(from, to int64) float64 {
+	if from > to {
+		return 0
+	}
+	lo := r.windowStart(from)
+	var tot float64
+	for _, start := range r.order {
+		if start >= lo && start <= to {
+			tot += r.windows[start].Total()
+		}
+	}
+	return tot
+}

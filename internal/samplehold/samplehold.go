@@ -1,0 +1,288 @@
+// Package samplehold implements the Sample-and-Hold family of disaggregated
+// subset-sum sketches (§5.4 of Ting 2018): adaptive sample and hold (Cohen,
+// Duffield, Kaplan, Lund & Thorup 2007) with the geometric resampling that
+// makes it an unbiased reduction in the sense of Theorem 2, and the simpler
+// step sample and hold (Gibbons & Matias 1998; Estan & Varghese 2003).
+//
+// These are the prior state of the art for the disaggregated subset sum
+// problem; the paper shows Unbiased Space Saving strictly dominates them
+// because Sample-and-Hold discards the first ~nᵢ(1−p) occurrences of every
+// item and replaces them with a high-variance Geometric(p) correction.
+package samplehold
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Adaptive is the adaptive sample-and-hold sketch. It holds at most m
+// counters; when a row would overflow the sketch the sampling rate p is
+// lowered and every counter is resampled: kept unchanged with probability
+// p'/p, otherwise decremented by a Geometric(p') variate (dropped if the
+// counter is exhausted). Tracked items report count + (1−p)/p, which is
+// unbiased for the true count.
+type Adaptive struct {
+	m        int
+	p        float64 // current sampling rate
+	shrink   float64 // multiplicative rate decrease per resampling pass
+	counters map[string]int64
+	rows     int64
+	rng      *rand.Rand
+}
+
+// NewAdaptive returns an adaptive sample-and-hold sketch with m counters.
+// shrink in (0,1) controls how aggressively the rate drops when the sketch
+// overflows; 0.9 reproduces the gentle "one item leaves" behaviour the
+// paper describes.
+func NewAdaptive(m int, shrink float64, rng *rand.Rand) *Adaptive {
+	if m <= 0 {
+		panic(fmt.Sprintf("samplehold: adaptive with m = %d", m))
+	}
+	if shrink <= 0 || shrink >= 1 {
+		panic(fmt.Sprintf("samplehold: shrink factor %v outside (0,1)", shrink))
+	}
+	if rng == nil {
+		panic("samplehold: adaptive requires a random source")
+	}
+	return &Adaptive{m: m, p: 1, shrink: shrink, counters: make(map[string]int64, m+1), rng: rng}
+}
+
+// geometric draws G ~ Geometric(p) on {0,1,2,...} with mean (1−p)/p.
+func geometric(p float64, rng *rand.Rand) int64 {
+	if p >= 1 {
+		return 0
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return int64(math.Log(u) / math.Log(1-p))
+}
+
+// Update processes one row.
+func (a *Adaptive) Update(item string) {
+	a.rows++
+	if _, ok := a.counters[item]; ok {
+		a.counters[item]++
+		return
+	}
+	if a.p >= 1 || a.rng.Float64() < a.p {
+		a.counters[item] = 1
+		if len(a.counters) > a.m {
+			a.reduce()
+		}
+	}
+}
+
+// reduce lowers the sampling rate and resamples counters until the sketch
+// fits. Each pass keeps a counter with probability p'/p and otherwise
+// subtracts a Geometric(p') variate; exhausted counters drop. The paper
+// shows this reduction preserves expected estimates (Theorem 2 applies),
+// using the memorylessness of the geometric distribution.
+func (a *Adaptive) reduce() {
+	for len(a.counters) > a.m {
+		pNew := a.p * a.shrink
+		ratio := pNew / a.p
+		for k, c := range a.counters {
+			if a.rng.Float64() < ratio {
+				continue
+			}
+			c -= geometric(pNew, a.rng) + 1
+			if c <= 0 {
+				delete(a.counters, k)
+			} else {
+				a.counters[k] = c
+			}
+		}
+		a.p = pNew
+	}
+}
+
+// Estimate returns the unbiased count estimate for item: counter + (1−p)/p
+// for tracked items, 0 otherwise.
+func (a *Adaptive) Estimate(item string) float64 {
+	c, ok := a.counters[item]
+	if !ok {
+		return 0
+	}
+	return float64(c) + (1-a.p)/a.p
+}
+
+// SubsetSum estimates the total count of items satisfying pred.
+func (a *Adaptive) SubsetSum(pred func(string) bool) float64 {
+	var s float64
+	corr := (1 - a.p) / a.p
+	for k, c := range a.counters {
+		if pred(k) {
+			s += float64(c) + corr
+		}
+	}
+	return s
+}
+
+// Rate returns the current sampling rate.
+func (a *Adaptive) Rate() float64 { return a.p }
+
+// Rows returns the number of rows processed.
+func (a *Adaptive) Rows() int64 { return a.rows }
+
+// Size returns the number of live counters.
+func (a *Adaptive) Size() int { return len(a.counters) }
+
+// Entry is one tracked item with its unbiased estimate.
+type Entry struct {
+	Item     string
+	Estimate float64
+}
+
+// Entries returns tracked items in descending estimate order.
+func (a *Adaptive) Entries() []Entry {
+	out := make([]Entry, 0, len(a.counters))
+	for k := range a.counters {
+		out = append(out, Entry{Item: k, Estimate: a.Estimate(k)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimate != out[j].Estimate {
+			return out[i].Estimate > out[j].Estimate
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// Step is the step sample-and-hold sketch: the sampling rate decreases in
+// steps, and each tracked item keeps one exact counter per step in which it
+// was held. When the sketch overflows, a new step begins at rate p' and
+// every held item survives independently with probability p'/p (no
+// geometric re-randomization — the per-step counts carry the information
+// instead). Estimation is Horvitz–Thompson over the whole coin history:
+// the entering occurrence in step e is worth 1/p_e, each later counted
+// occurrence is worth 1, and surviving a step boundary scales the running
+// estimate by the inverse survival ratio, so the estimate is exactly the
+// unbiased-reduction form of Theorem 2. The paper notes this sketch's
+// per-item storage and estimation cost grow with the number of steps Jᵢ
+// the item spans, which is why adaptive sample-and-hold (and Unbiased
+// Space Saving) supersede it.
+type Step struct {
+	m      int
+	shrink float64
+	rates  []float64 // rate per step, rates[0] = 1
+	held   map[string]*stepRecord
+	rows   int64
+	rng    *rand.Rand
+}
+
+type stepRecord struct {
+	entryStep int
+	counts    []int64 // parallel to steps entryStep..current
+}
+
+// NewStep returns a step sample-and-hold sketch with m counters.
+func NewStep(m int, shrink float64, rng *rand.Rand) *Step {
+	if m <= 0 {
+		panic(fmt.Sprintf("samplehold: step with m = %d", m))
+	}
+	if shrink <= 0 || shrink >= 1 {
+		panic(fmt.Sprintf("samplehold: shrink factor %v outside (0,1)", shrink))
+	}
+	if rng == nil {
+		panic("samplehold: step requires a random source")
+	}
+	return &Step{m: m, shrink: shrink, rates: []float64{1}, held: make(map[string]*stepRecord, m+1), rng: rng}
+}
+
+func (s *Step) currentStep() int { return len(s.rates) - 1 }
+func (s *Step) rate() float64    { return s.rates[s.currentStep()] }
+func (s *Step) stepOf(r *stepRecord, step int) *int64 {
+	for len(r.counts) <= step-r.entryStep {
+		r.counts = append(r.counts, 0)
+	}
+	return &r.counts[step-r.entryStep]
+}
+
+// Update processes one row.
+func (s *Step) Update(item string) {
+	s.rows++
+	if r, ok := s.held[item]; ok {
+		*s.stepOf(r, s.currentStep())++
+		return
+	}
+	if p := s.rate(); p >= 1 || s.rng.Float64() < p {
+		s.held[item] = &stepRecord{entryStep: s.currentStep(), counts: []int64{1}}
+		if len(s.held) > s.m {
+			s.advance()
+		}
+	}
+}
+
+// advance starts new steps at geometrically decreasing rates, dropping each
+// held item with the complementary survival probability, until the sketch
+// fits.
+func (s *Step) advance() {
+	for len(s.held) > s.m {
+		pOld := s.rate()
+		pNew := pOld * s.shrink
+		s.rates = append(s.rates, pNew)
+		ratio := pNew / pOld
+		for k := range s.held {
+			if s.rng.Float64() >= ratio {
+				delete(s.held, k)
+			}
+		}
+	}
+}
+
+// Estimate returns the exactly-unbiased Horvitz–Thompson estimate for
+// item: Σⱼ (contribution in step j)·(pⱼ/p_now), where the contribution in
+// the entry step is 1/p_e + (c_e − 1) (the entering occurrence HT-adjusted
+// by its admission probability, the rest counted exactly) and cⱼ in later
+// steps. Every randomized transition of the process — admission coins,
+// re-admission after a drop, and the per-boundary survival coins — is
+// expectation-preserving under this weighting, so the estimator is an
+// unbiased martingale by the Theorem-2 argument.
+func (s *Step) Estimate(item string) float64 {
+	r, ok := s.held[item]
+	if !ok {
+		return 0
+	}
+	pNow := s.rate()
+	pe := s.rates[r.entryStep]
+	est := (1/pe + float64(r.counts[0]) - 1) * pe / pNow
+	for d := 1; d < len(r.counts); d++ {
+		pj := s.rates[r.entryStep+d]
+		est += float64(r.counts[d]) * pj / pNow
+	}
+	return est
+}
+
+// SubsetSum estimates the total count of items satisfying pred.
+func (s *Step) SubsetSum(pred func(string) bool) float64 {
+	var sum float64
+	for k := range s.held {
+		if pred(k) {
+			sum += s.Estimate(k)
+		}
+	}
+	return sum
+}
+
+// Rows returns the number of rows processed.
+func (s *Step) Rows() int64 { return s.rows }
+
+// Size returns the number of live counters.
+func (s *Step) Size() int { return len(s.held) }
+
+// Steps returns the number of rate steps so far.
+func (s *Step) Steps() int { return len(s.rates) }
+
+// StorageCells returns the total number of per-step counters stored, the
+// quantity the paper calls out as the sketch's storage cost Σᵢ Jᵢ.
+func (s *Step) StorageCells() int {
+	n := 0
+	for _, r := range s.held {
+		n += len(r.counts)
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package sampling
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Coordinated samples (Brewer, Early & Joyce 1972; Cohen & Kaplan 2013 —
+// both cited in the paper's introduction as the flexible-but-expensive end
+// of the sketching spectrum): bottom-k sketches built over different
+// datasets with the same hash seed share their randomness, which makes
+// cross-dataset set operations estimable — the k smallest union hashes are
+// exactly the union's bottom-k sample, and membership of those keys in each
+// input sample reveals the overlap.
+
+// Member is one retained (key, hash, count) triple exported for
+// coordination.
+type Member struct {
+	Key   string
+	Hash  uint64
+	Count int64
+}
+
+// Members returns the retained items with their hashes, sorted by hash
+// ascending.
+func (s *StreamingBottomK) Members() []Member {
+	out := make([]Member, 0, len(s.h))
+	for _, e := range s.h {
+		out = append(out, Member{Key: e.key, Hash: e.hash, Count: e.count})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hash < out[j].Hash })
+	return out
+}
+
+// Seed returns the hash seed, which must match across coordinated sketches.
+func (s *StreamingBottomK) Seed() uint64 { return s.seed }
+
+// K returns the sample-size parameter.
+func (s *StreamingBottomK) K() int { return s.k }
+
+// Coordinated wraps two same-seed bottom-k sketches and estimates set
+// relations between their distinct-item populations.
+type Coordinated struct {
+	a, b *StreamingBottomK
+	k    int
+}
+
+// NewCoordinated validates that the sketches share a seed and returns the
+// estimator. The effective sample size is min(a.K(), b.K()).
+func NewCoordinated(a, b *StreamingBottomK) (*Coordinated, error) {
+	if a.Seed() != b.Seed() {
+		return nil, fmt.Errorf("sampling: coordinated sketches need equal seeds (%d vs %d)", a.Seed(), b.Seed())
+	}
+	k := a.K()
+	if b.K() < k {
+		k = b.K()
+	}
+	return &Coordinated{a: a, b: b, k: k}, nil
+}
+
+// unionSample returns the ≤k smallest-hash distinct keys across both
+// samples, with flags for membership in each side, plus the k-th hash
+// (τ, or 0 when the union sample is not full).
+func (c *Coordinated) unionSample() (keys []string, inA, inB []bool, tau uint64) {
+	type ent struct {
+		hash   uint64
+		a, b   bool
+		exactA bool
+	}
+	m := map[string]*ent{}
+	for _, e := range c.a.Members() {
+		m[e.Key] = &ent{hash: e.Hash, a: true}
+	}
+	for _, e := range c.b.Members() {
+		if x, ok := m[e.Key]; ok {
+			x.b = true
+		} else {
+			m[e.Key] = &ent{hash: e.Hash, b: true}
+		}
+	}
+	type kv struct {
+		key string
+		e   *ent
+	}
+	all := make([]kv, 0, len(m))
+	for k2, e := range m {
+		all = append(all, kv{k2, e})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].e.hash < all[j].e.hash })
+	n := len(all)
+	full := n >= c.k
+	if full {
+		n = c.k
+	}
+	for i := 0; i < n; i++ {
+		keys = append(keys, all[i].key)
+		inA = append(inA, all[i].e.a)
+		inB = append(inB, all[i].e.b)
+	}
+	if full {
+		tau = all[c.k-1].e.hash
+	}
+	return keys, inA, inB, tau
+}
+
+// UnionDistinct estimates the number of distinct items in the union of the
+// two datasets.
+func (c *Coordinated) UnionDistinct() float64 {
+	keys, _, _, tau := c.unionSample()
+	if tau == 0 {
+		return float64(len(keys)) // census
+	}
+	t := float64(tau) / float64(^uint64(0))
+	return float64(c.k-1) / t
+}
+
+// Jaccard estimates the Jaccard similarity |A∩B| / |A∪B| of the two
+// distinct-item sets: the match rate within the union's bottom-k sample.
+// The estimate is exact (not just unbiased) when both populations fit in
+// the samples.
+//
+// Caveat: membership of a union-sample key in side A is read off A's
+// retained sample, which is valid because coordination guarantees any key
+// with hash below the union threshold is also below each side's own
+// threshold whenever that side contains the key.
+func (c *Coordinated) Jaccard() float64 {
+	keys, inA, inB, _ := c.unionSample()
+	if len(keys) == 0 {
+		return 0
+	}
+	match := 0
+	for i := range keys {
+		if inA[i] && inB[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(keys))
+}
+
+// IntersectionDistinct estimates |A∩B| as Jaccard × UnionDistinct.
+func (c *Coordinated) IntersectionDistinct() float64 {
+	return c.Jaccard() * c.UnionDistinct()
+}

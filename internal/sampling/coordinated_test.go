@@ -1,0 +1,106 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func buildCoordinated(t *testing.T, k int, seed uint64, aN, bN, overlap int) *Coordinated {
+	t.Helper()
+	a := NewStreamingBottomK(k, seed)
+	b := NewStreamingBottomK(k, seed)
+	// A holds items [0, aN); B holds [aN-overlap, aN-overlap+bN).
+	for i := 0; i < aN; i++ {
+		a.Update(fmt.Sprintf("item-%d", i))
+	}
+	for i := aN - overlap; i < aN-overlap+bN; i++ {
+		b.Update(fmt.Sprintf("item-%d", i))
+	}
+	c, err := NewCoordinated(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCoordinatedSeedMismatch(t *testing.T) {
+	a := NewStreamingBottomK(8, 1)
+	b := NewStreamingBottomK(8, 2)
+	if _, err := NewCoordinated(a, b); err == nil {
+		t.Fatal("mismatched seeds accepted")
+	}
+}
+
+func TestCoordinatedExactWhenSmall(t *testing.T) {
+	// Everything fits in the samples: estimates are exact.
+	c := buildCoordinated(t, 100, 7, 30, 30, 10)
+	if got := c.UnionDistinct(); got != 50 {
+		t.Errorf("UnionDistinct = %v, want exact 50", got)
+	}
+	if got := c.IntersectionDistinct(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("IntersectionDistinct = %v, want 10", got)
+	}
+	if got := c.Jaccard(); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("Jaccard = %v, want 0.2", got)
+	}
+}
+
+func TestCoordinatedDisjointAndIdentical(t *testing.T) {
+	dis := buildCoordinated(t, 64, 3, 20, 20, 0)
+	if got := dis.Jaccard(); got != 0 {
+		t.Errorf("disjoint Jaccard = %v", got)
+	}
+	same := buildCoordinated(t, 64, 3, 25, 25, 25)
+	if got := same.Jaccard(); got != 1 {
+		t.Errorf("identical Jaccard = %v", got)
+	}
+	if got := same.IntersectionDistinct(); got != 25 {
+		t.Errorf("identical intersection = %v", got)
+	}
+}
+
+func TestCoordinatedLargePopulations(t *testing.T) {
+	// 8000 ∪-distinct items, 2000 shared; k=400 samples. Average over
+	// seeds to beat sampling noise.
+	const aN, bN, overlap = 5000, 5000, 2000
+	union := float64(aN + bN - overlap)
+	jac := float64(overlap) / union
+	const reps = 20
+	var sumU, sumJ float64
+	for r := 0; r < reps; r++ {
+		c := buildCoordinated(t, 400, uint64(r*2654435761+17), aN, bN, overlap)
+		sumU += c.UnionDistinct()
+		sumJ += c.Jaccard()
+	}
+	if got := sumU / reps; math.Abs(got-union) > 0.07*union {
+		t.Errorf("mean UnionDistinct = %v, want ≈ %v", got, union)
+	}
+	if got := sumJ / reps; math.Abs(got-jac) > 0.05 {
+		t.Errorf("mean Jaccard = %v, want ≈ %v", got, jac)
+	}
+}
+
+func TestMembersSortedAndAccessors(t *testing.T) {
+	s := NewStreamingBottomK(16, 9)
+	for i := 0; i < 100; i++ {
+		s.Update(fmt.Sprintf("x%d", i%40))
+	}
+	ms := s.Members()
+	if len(ms) != 16 {
+		t.Fatalf("Members = %d", len(ms))
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Hash < ms[i-1].Hash {
+			t.Fatal("Members not hash-ascending")
+		}
+	}
+	for _, m := range ms {
+		if m.Count <= 0 {
+			t.Errorf("member %s count %d", m.Key, m.Count)
+		}
+	}
+	if s.Seed() != 9 || s.K() != 16 {
+		t.Error("accessors wrong")
+	}
+}

@@ -1,0 +1,346 @@
+// Package sampling implements the pre-aggregated subset-sum baselines the
+// paper compares against (§5.1, §7): priority sampling (Duffield, Lund &
+// Thorup 2007), bottom-k uniform item sampling (Cohen & Kaplan 2007),
+// Poisson probability-proportional-to-size sampling with thresholded
+// inclusion probabilities, systematic PPS, and the fixed-size splitting
+// (pivotal) PPS design of Deville & Tillé (1998), all queried through the
+// Horvitz–Thompson estimator.
+//
+// These samplers consume pre-aggregated data — (item, value) pairs with one
+// entry per unit of analysis — which is exactly the expensive step the
+// disaggregated sketches avoid. They serve as the accuracy gold standard in
+// the experiments.
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Item is one pre-aggregated unit: a key and its total value (e.g. a user
+// and their click count).
+type Item struct {
+	Key   string
+	Value float64
+}
+
+// SampledItem is an item retained by a sampler together with its
+// Horvitz–Thompson adjusted value Value/π. Subset sums are computed by
+// summing AdjustedValue over sampled items matching the filter.
+type SampledItem struct {
+	Item
+	// Pi is the (pseudo-)inclusion probability used in the adjustment.
+	Pi float64
+	// AdjustedValue is Value / Pi.
+	AdjustedValue float64
+}
+
+// Sample is the result of running a sampler: a set of retained items ready
+// for Horvitz–Thompson estimation.
+type Sample struct {
+	// Name identifies the design (for reports).
+	Name string
+	// Items are the retained units.
+	Items []SampledItem
+}
+
+// SubsetSum returns the HT estimate of Σ value over items whose key
+// satisfies pred, along with the number of sampled items matching.
+func (s Sample) SubsetSum(pred func(key string) bool) (est float64, matched int) {
+	for _, it := range s.Items {
+		if pred(it.Key) {
+			est += it.AdjustedValue
+			matched++
+		}
+	}
+	return est, matched
+}
+
+// Total returns the HT estimate of the population total.
+func (s Sample) Total() float64 {
+	var t float64
+	for _, it := range s.Items {
+		t += it.AdjustedValue
+	}
+	return t
+}
+
+// Contains reports whether key was retained.
+func (s Sample) Contains(key string) bool {
+	for _, it := range s.Items {
+		if it.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Priority draws a priority sample of size k from the aggregated items:
+// each item gets priority value/u with u ~ Uniform(0,1); the k largest
+// priorities are kept and every kept item's value is adjusted to
+// max(value, τ) where τ is the (k+1)-th largest priority. (Duffield et al.
+// state it with priorities u/value and smallest-k; the two are equivalent —
+// we keep the k items with the largest value/u.)
+func Priority(items []Item, k int, rng *rand.Rand) Sample {
+	if k <= 0 {
+		panic(fmt.Sprintf("sampling: priority sample of size %d", k))
+	}
+	type prio struct {
+		item Item
+		q    float64
+	}
+	ps := make([]prio, 0, len(items))
+	for _, it := range items {
+		if it.Value <= 0 {
+			continue
+		}
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		ps = append(ps, prio{item: it, q: it.Value / u})
+	}
+	if len(ps) <= k {
+		// Everything fits: the sample is exact.
+		out := make([]SampledItem, len(ps))
+		for i, p := range ps {
+			out[i] = SampledItem{Item: p.item, Pi: 1, AdjustedValue: p.item.Value}
+		}
+		return Sample{Name: "priority", Items: out}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].q > ps[j].q })
+	tau := ps[k].q
+	out := make([]SampledItem, k)
+	for i, p := range ps[:k] {
+		v := p.item.Value
+		adj := v
+		if tau > adj {
+			adj = tau
+		}
+		pi := v / tau
+		if pi > 1 {
+			pi = 1
+		}
+		out[i] = SampledItem{Item: p.item, Pi: pi, AdjustedValue: adj}
+	}
+	return Sample{Name: "priority", Items: out}
+}
+
+// BottomK draws a uniform without-replacement sample of k items (the
+// bottom-k sketch: keep the k smallest hash/random tags, which is a uniform
+// k-subset) and HT-adjusts with the common inclusion probability k/n.
+func BottomK(items []Item, k int, rng *rand.Rand) Sample {
+	if k <= 0 {
+		panic(fmt.Sprintf("sampling: bottom-k sample of size %d", k))
+	}
+	n := len(items)
+	if n <= k {
+		out := make([]SampledItem, n)
+		for i, it := range items {
+			out[i] = SampledItem{Item: it, Pi: 1, AdjustedValue: it.Value}
+		}
+		return Sample{Name: "bottom-k", Items: out}
+	}
+	// Partial Fisher–Yates: choose k distinct indices uniformly.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	pi := float64(k) / float64(n)
+	out := make([]SampledItem, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		it := items[idx[i]]
+		out[i] = SampledItem{Item: it, Pi: pi, AdjustedValue: it.Value / pi}
+	}
+	return Sample{Name: "bottom-k", Items: out}
+}
+
+// PoissonPPS draws a Poisson sample with inclusion probabilities
+// πᵢ = min(1, α·valueᵢ) where α solves Σπᵢ = k in expectation. Sample size
+// is random with mean k.
+func PoissonPPS(items []Item, k int, rng *rand.Rand) Sample {
+	pi := Probabilities(items, k)
+	var out []SampledItem
+	for i, it := range items {
+		p := pi[i]
+		if p <= 0 {
+			continue
+		}
+		if p >= 1 || rng.Float64() < p {
+			out = append(out, SampledItem{Item: it, Pi: p, AdjustedValue: it.Value / p})
+		}
+	}
+	return Sample{Name: "poisson-pps", Items: out}
+}
+
+// Pivotal draws a fixed-size-k PPS sample using the splitting method of
+// Deville & Tillé in its pivotal form: fractional inclusion probabilities
+// are resolved pairwise until each is 0 or 1. Exactly k items are selected
+// (up to the integrality of Σπ).
+func Pivotal(items []Item, k int, rng *rand.Rand) Sample {
+	pi := Probabilities(items, k)
+	var out []SampledItem
+	// cur is the evolving pivotal process probability; orig is the unit's
+	// original inclusion probability, which is its final selection
+	// probability and hence the Horvitz–Thompson divisor.
+	type frac struct {
+		item      Item
+		cur, orig float64
+	}
+	var pool []frac
+	for i, it := range items {
+		switch {
+		case pi[i] >= 1:
+			out = append(out, SampledItem{Item: it, Pi: 1, AdjustedValue: it.Value})
+		case pi[i] > 0:
+			pool = append(pool, frac{item: it, cur: pi[i], orig: pi[i]})
+		}
+	}
+	for len(pool) >= 2 {
+		a, b := pool[len(pool)-1], pool[len(pool)-2]
+		pool = pool[:len(pool)-2]
+		s := a.cur + b.cur
+		if s < 1 {
+			if rng.Float64()*s < a.cur {
+				a.cur = s
+				pool = append(pool, a)
+			} else {
+				b.cur = s
+				pool = append(pool, b)
+			}
+		} else {
+			if rng.Float64()*(2-s) < 1-a.cur {
+				out = append(out, SampledItem{Item: b.item, Pi: b.orig, AdjustedValue: b.item.Value / b.orig})
+				a.cur = s - 1
+				pool = append(pool, a)
+			} else {
+				out = append(out, SampledItem{Item: a.item, Pi: a.orig, AdjustedValue: a.item.Value / a.orig})
+				b.cur = s - 1
+				pool = append(pool, b)
+			}
+		}
+	}
+	if len(pool) == 1 && rng.Float64() < pool[0].cur {
+		f := pool[0]
+		out = append(out, SampledItem{Item: f.item, Pi: f.orig, AdjustedValue: f.item.Value / f.orig})
+	}
+	return Sample{Name: "pivotal-pps", Items: out}
+}
+
+// Systematic draws a fixed-size-k PPS sample by systematic sampling: lay
+// the πᵢ along a line in a random order and pick points at unit spacing
+// from a uniform start. Exactly k items (up to integrality) are selected.
+func Systematic(items []Item, k int, rng *rand.Rand) Sample {
+	pi := Probabilities(items, k)
+	order := rng.Perm(len(items))
+	var out []SampledItem
+	var cum float64
+	next := rng.Float64()
+	for _, i := range order {
+		p := pi[i]
+		if p <= 0 {
+			continue
+		}
+		lo := cum
+		cum += p
+		// Select once for every integer+u point inside [lo, cum); since
+		// p ≤ 1, at most one point lands inside.
+		if next >= lo && next < cum {
+			it := items[i]
+			out = append(out, SampledItem{Item: it, Pi: p, AdjustedValue: it.Value / p})
+			next++
+		}
+	}
+	return Sample{Name: "systematic-pps", Items: out}
+}
+
+// Probabilities returns thresholded PPS inclusion probabilities
+// πᵢ = min(1, α·valueᵢ) with α solving Σπᵢ = min(k, #positive items).
+func Probabilities(items []Item, k int) []float64 {
+	values := make([]float64, len(items))
+	for i, it := range items {
+		values[i] = it.Value
+	}
+	return probabilitiesFromValues(values, k)
+}
+
+func probabilitiesFromValues(values []float64, k int) []float64 {
+	n := len(values)
+	pi := make([]float64, n)
+	positive := 0
+	for _, v := range values {
+		if v > 0 {
+			positive++
+		}
+	}
+	if k >= positive {
+		for i, v := range values {
+			if v > 0 {
+				pi[i] = 1
+			}
+		}
+		return pi
+	}
+	idx := make([]int, 0, positive)
+	for i, v := range values {
+		if v > 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
+	var tail float64
+	for _, i := range idx {
+		tail += values[i]
+	}
+	certain := 0
+	for certain < k {
+		alpha := (float64(k) - float64(certain)) / tail
+		if alpha*values[idx[certain]] <= 1 {
+			break
+		}
+		tail -= values[idx[certain]]
+		certain++
+	}
+	alpha := (float64(k) - float64(certain)) / tail
+	for j, i := range idx {
+		if j < certain {
+			pi[i] = 1
+		} else {
+			p := alpha * values[i]
+			if p > 1 {
+				p = 1
+			}
+			pi[i] = p
+		}
+	}
+	return pi
+}
+
+// PPSVariance returns the Poisson-PPS variance upper bound of equation 1
+// for the subset of items matching pred: Σ_{i∈S} (value/π)·value·(1−π).
+// It is the benchmark the paper compares the sketch's variance estimate
+// against (Figure 9, right panel).
+func PPSVariance(items []Item, k int, pred func(string) bool) float64 {
+	pi := Probabilities(items, k)
+	var v float64
+	for i, it := range items {
+		if pi[i] > 0 && pi[i] < 1 && pred(it.Key) {
+			v += it.Value * it.Value * (1 - pi[i]) / pi[i]
+		}
+	}
+	return v
+}
+
+// ExactSubsetSum returns the true Σ value over items matching pred.
+func ExactSubsetSum(items []Item, pred func(string) bool) float64 {
+	var s float64
+	for _, it := range items {
+		if pred(it.Key) {
+			s += it.Value
+		}
+	}
+	return s
+}

@@ -1,0 +1,354 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// population builds a skewed aggregated population: value i+1 for item i.
+func population(n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Key: fmt.Sprintf("i%d", i), Value: float64(i + 1)}
+	}
+	return items
+}
+
+func popTotal(items []Item) float64 {
+	var s float64
+	for _, it := range items {
+		s += it.Value
+	}
+	return s
+}
+
+// checkUnbiased runs sampler reps times and z-tests the HT subset estimate
+// against the truth.
+func checkUnbiased(t *testing.T, name string, sampler func(*rand.Rand) Sample, pred func(string) bool, truth float64, reps int) {
+	t.Helper()
+	rng := newRng(101)
+	var sum, sumsq float64
+	for r := 0; r < reps; r++ {
+		est, _ := sampler(rng).SubsetSum(pred)
+		sum += est
+		sumsq += est * est
+	}
+	mean := sum / float64(reps)
+	varr := sumsq/float64(reps) - mean*mean
+	se := math.Sqrt(varr / float64(reps))
+	if se == 0 {
+		se = 1e-12
+	}
+	if z := math.Abs(mean-truth) / se; z > 4.5 {
+		t.Errorf("%s: mean %.2f vs truth %.2f, |z| = %.1f", name, mean, truth, z)
+	}
+}
+
+func TestPrioritySampleSizeAndCertainty(t *testing.T) {
+	items := population(50)
+	rng := newRng(1)
+	s := Priority(items, 10, rng)
+	if len(s.Items) != 10 {
+		t.Fatalf("priority sample size %d, want 10", len(s.Items))
+	}
+	for _, it := range s.Items {
+		if it.AdjustedValue < it.Value {
+			t.Errorf("adjusted %v below raw %v", it.AdjustedValue, it.Value)
+		}
+		if it.Pi <= 0 || it.Pi > 1 {
+			t.Errorf("π = %v outside (0,1]", it.Pi)
+		}
+	}
+}
+
+func TestPrioritySmallPopulationExact(t *testing.T) {
+	items := population(5)
+	s := Priority(items, 10, newRng(2))
+	if len(s.Items) != 5 {
+		t.Fatalf("size %d, want all 5", len(s.Items))
+	}
+	if got := s.Total(); got != popTotal(items) {
+		t.Errorf("Total = %v, want exact %v", got, popTotal(items))
+	}
+}
+
+func TestPriorityUnbiased(t *testing.T) {
+	items := population(60)
+	pred := func(k string) bool { return len(k) == 3 } // i10..i59: two digits+i = len 3
+	truth := ExactSubsetSum(items, pred)
+	checkUnbiased(t, "priority", func(r *rand.Rand) Sample { return Priority(items, 15, r) }, pred, truth, 6000)
+}
+
+func TestPriorityDropsNonPositive(t *testing.T) {
+	items := []Item{{"a", 0}, {"b", -2}, {"c", 5}}
+	s := Priority(items, 2, newRng(3))
+	if len(s.Items) != 1 || s.Items[0].Key != "c" {
+		t.Errorf("priority kept %v, want just c", s.Items)
+	}
+}
+
+func TestBottomKUnbiased(t *testing.T) {
+	items := population(40)
+	pred := func(k string) bool { return k == "i5" || k == "i35" }
+	truth := ExactSubsetSum(items, pred)
+	checkUnbiased(t, "bottom-k", func(r *rand.Rand) Sample { return BottomK(items, 10, r) }, pred, truth, 8000)
+}
+
+func TestBottomKSizeAndAdjustment(t *testing.T) {
+	items := population(40)
+	s := BottomK(items, 10, newRng(4))
+	if len(s.Items) != 10 {
+		t.Fatalf("bottom-k size %d, want 10", len(s.Items))
+	}
+	for _, it := range s.Items {
+		if it.Pi != 0.25 {
+			t.Errorf("π = %v, want 0.25", it.Pi)
+		}
+		if math.Abs(it.AdjustedValue-4*it.Value) > 1e-12 {
+			t.Errorf("adjusted %v, want %v", it.AdjustedValue, 4*it.Value)
+		}
+	}
+	// Distinctness.
+	seen := map[string]bool{}
+	for _, it := range s.Items {
+		if seen[it.Key] {
+			t.Fatalf("duplicate sampled key %s", it.Key)
+		}
+		seen[it.Key] = true
+	}
+}
+
+func TestBottomKSmallPopulation(t *testing.T) {
+	items := population(3)
+	s := BottomK(items, 10, newRng(4))
+	if len(s.Items) != 3 || s.Total() != popTotal(items) {
+		t.Errorf("small-population bottom-k wrong: %v", s.Items)
+	}
+}
+
+func TestPoissonPPSExpectedSize(t *testing.T) {
+	items := population(100)
+	rng := newRng(5)
+	const reps = 3000
+	const k = 20
+	var size int
+	for r := 0; r < reps; r++ {
+		size += len(PoissonPPS(items, k, rng).Items)
+	}
+	mean := float64(size) / reps
+	if math.Abs(mean-k) > 0.5 {
+		t.Errorf("Poisson PPS mean size %.2f, want ≈ %d", mean, k)
+	}
+}
+
+func TestPoissonPPSUnbiased(t *testing.T) {
+	items := population(50)
+	pred := func(k string) bool { return k < "i3" } // lexicographic: i0,i1,i2,i10..i29
+	truth := ExactSubsetSum(items, pred)
+	checkUnbiased(t, "poisson", func(r *rand.Rand) Sample { return PoissonPPS(items, 12, r) }, pred, truth, 8000)
+}
+
+func TestPivotalExactSize(t *testing.T) {
+	items := population(80)
+	rng := newRng(6)
+	for r := 0; r < 200; r++ {
+		s := Pivotal(items, 15, rng)
+		if len(s.Items) != 15 {
+			t.Fatalf("pivotal size %d, want exactly 15", len(s.Items))
+		}
+	}
+}
+
+func TestPivotalUnbiased(t *testing.T) {
+	items := population(50)
+	pred := func(k string) bool { return k == "i2" || k == "i30" || k == "i49" }
+	truth := ExactSubsetSum(items, pred)
+	checkUnbiased(t, "pivotal", func(r *rand.Rand) Sample { return Pivotal(items, 12, r) }, pred, truth, 8000)
+}
+
+func TestSystematicSizeAndUnbiasedness(t *testing.T) {
+	items := population(50)
+	rng := newRng(7)
+	for r := 0; r < 100; r++ {
+		s := Systematic(items, 10, rng)
+		if got := len(s.Items); got != 10 {
+			t.Fatalf("systematic size %d, want 10", got)
+		}
+	}
+	pred := func(k string) bool { return k >= "i4" } // i4..i9, i40..i49
+	truth := ExactSubsetSum(items, pred)
+	checkUnbiased(t, "systematic", func(r *rand.Rand) Sample { return Systematic(items, 10, r) }, pred, truth, 8000)
+}
+
+func TestProbabilitiesSumAndBounds(t *testing.T) {
+	items := population(30)
+	for _, k := range []int{1, 5, 15, 29, 30, 50} {
+		pi := Probabilities(items, k)
+		var sum float64
+		for _, p := range pi {
+			if p < 0 || p > 1 {
+				t.Fatalf("k=%d: π = %v outside [0,1]", k, p)
+			}
+			sum += p
+		}
+		want := float64(k)
+		if k >= len(items) {
+			want = float64(len(items))
+		}
+		if math.Abs(sum-want) > 1e-9 {
+			t.Errorf("k=%d: Σπ = %v, want %v", k, sum, want)
+		}
+	}
+}
+
+func TestProbabilitiesMonotoneInValue(t *testing.T) {
+	items := population(30)
+	pi := Probabilities(items, 10)
+	for i := 1; i < len(pi); i++ {
+		if pi[i] < pi[i-1]-1e-12 {
+			t.Fatalf("π not monotone in value at %d: %v < %v", i, pi[i], pi[i-1])
+		}
+	}
+}
+
+func TestProbabilitiesZeroValues(t *testing.T) {
+	items := []Item{{"a", 0}, {"b", 2}, {"c", 0}, {"d", 2}}
+	pi := Probabilities(items, 1)
+	if pi[0] != 0 || pi[2] != 0 {
+		t.Errorf("zero-value items got π > 0: %v", pi)
+	}
+	if math.Abs(pi[1]-0.5) > 1e-12 || math.Abs(pi[3]-0.5) > 1e-12 {
+		t.Errorf("π = %v, want 0.5 for b and d", pi)
+	}
+}
+
+func TestPPSVariance(t *testing.T) {
+	items := population(20)
+	all := func(string) bool { return true }
+	// With k ≥ n the sample is a census: variance 0.
+	if v := PPSVariance(items, 100, all); v != 0 {
+		t.Errorf("census variance = %v, want 0", v)
+	}
+	v := PPSVariance(items, 5, all)
+	if v <= 0 {
+		t.Errorf("variance = %v, want > 0", v)
+	}
+	// Subset variance is at most total variance.
+	sub := PPSVariance(items, 5, func(k string) bool { return k == "i0" })
+	if sub > v {
+		t.Errorf("subset variance %v exceeds total %v", sub, v)
+	}
+}
+
+func TestSampleHelpers(t *testing.T) {
+	s := Sample{Items: []SampledItem{
+		{Item: Item{Key: "a", Value: 2}, Pi: 0.5, AdjustedValue: 4},
+		{Item: Item{Key: "b", Value: 3}, Pi: 1, AdjustedValue: 3},
+	}}
+	if got := s.Total(); got != 7 {
+		t.Errorf("Total = %v, want 7", got)
+	}
+	est, n := s.SubsetSum(func(k string) bool { return k == "a" })
+	if est != 4 || n != 1 {
+		t.Errorf("SubsetSum = %v,%d, want 4,1", est, n)
+	}
+	if !s.Contains("a") || s.Contains("z") {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestExactSubsetSum(t *testing.T) {
+	items := population(10)
+	got := ExactSubsetSum(items, func(k string) bool { return k == "i0" || k == "i9" })
+	if got != 11 {
+		t.Errorf("ExactSubsetSum = %v, want 11", got)
+	}
+}
+
+func TestSamplersPanicOnBadK(t *testing.T) {
+	items := population(5)
+	rng := newRng(1)
+	for name, fn := range map[string]func(){
+		"priority": func() { Priority(items, 0, rng) },
+		"bottomk":  func() { BottomK(items, 0, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: k=0 did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestPriorityUniformTotalRelativeError reproduces the paper's §7 remark:
+// "A priority sample of size 100 when all items have the same count will
+// have relative error of ≈ 10% when estimating the total count." Fixed-size
+// PPS designs (pivotal) estimate the total exactly in that setting.
+func TestPriorityUniformTotalRelativeError(t *testing.T) {
+	n := 1000
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Key: fmt.Sprintf("i%d", i), Value: 1}
+	}
+	rng := newRng(55)
+	const reps = 2000
+	var sum, sumsq float64
+	for r := 0; r < reps; r++ {
+		tot := Priority(items, 100, rng).Total()
+		sum += tot
+		sumsq += tot * tot
+	}
+	mean := sum / reps
+	sd := math.Sqrt(sumsq/reps - mean*mean)
+	rel := sd / float64(n)
+	if rel < 0.07 || rel > 0.13 {
+		t.Errorf("priority uniform-total relative error %.3f, paper says ≈ 0.10", rel)
+	}
+	// Pivotal PPS on equal values is exact for the total.
+	for r := 0; r < 50; r++ {
+		if tot := Pivotal(items, 100, rng).Total(); math.Abs(tot-float64(n)) > 1e-6 {
+			t.Fatalf("pivotal uniform total %v, want exactly %d", tot, n)
+		}
+	}
+}
+
+// TestPPSBeatsUniformOnSkew verifies the headline ordering on skewed data:
+// both priority and pivotal PPS beat uniform item sampling, and pivotal
+// (fixed-size, certainty-aware) dominates on a subset containing all the
+// large items because those are included with probability 1.
+func TestPPSBeatsUniformOnSkew(t *testing.T) {
+	n := 200
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Key: fmt.Sprintf("i%d", i), Value: math.Pow(float64(i+1), 2)}
+	}
+	pred := func(k string) bool { return len(k)%2 == 0 } // i0..i9 and i100..i199
+	truth := ExactSubsetSum(items, pred)
+	rng := newRng(55)
+	mse := func(sampler func() Sample) float64 {
+		const reps = 1500
+		var sum float64
+		for r := 0; r < reps; r++ {
+			est, _ := sampler().SubsetSum(pred)
+			d := est - truth
+			sum += d * d
+		}
+		return sum / reps
+	}
+	msePriority := mse(func() Sample { return Priority(items, 30, rng) })
+	msePivotal := mse(func() Sample { return Pivotal(items, 30, rng) })
+	mseUniform := mse(func() Sample { return BottomK(items, 30, rng) })
+	if msePriority > mseUniform {
+		t.Errorf("priority (%v) worse than uniform (%v) on skewed data", msePriority, mseUniform)
+	}
+	if msePivotal > msePriority {
+		t.Errorf("pivotal (%v) worse than priority (%v) on a certainty-dominated subset", msePivotal, msePriority)
+	}
+}

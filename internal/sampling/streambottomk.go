@@ -1,0 +1,168 @@
+package sampling
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+)
+
+// StreamingBottomK is the bottom-k sketch of Cohen & Kaplan (2007) run
+// directly on a disaggregated row stream: it retains the k distinct items
+// with the smallest hash values and counts their rows exactly.
+//
+// Key property: the k-th smallest hash (the threshold) only decreases over
+// time, so any item in the final sample has been in the sample continuously
+// since its first occurrence — its counter is exact. The sample is a
+// uniform k-subset of the distinct items, which is why the paper's Figure 4
+// shows it losing by orders of magnitude to size-proportional designs on
+// skewed data: it spends its budget on the tail.
+//
+// Subset sums are Horvitz–Thompson estimated with the standard bottom-k
+// distinct-count machinery: D̂ = (k−1)/τ estimates the number of distinct
+// items (τ = k-th smallest hash mapped to (0,1)), and each sampled item has
+// inclusion probability ≈ k/D.
+type StreamingBottomK struct {
+	k     int
+	seed  uint64
+	items map[string]*skbEntry
+	h     skbHeap // max-heap on hash: root is the largest retained hash
+	rows  int64
+}
+
+type skbEntry struct {
+	key   string
+	hash  uint64
+	count int64
+	idx   int
+}
+
+// skbHeap is a max-heap over hash values.
+type skbHeap []*skbEntry
+
+func (h skbHeap) Len() int            { return len(h) }
+func (h skbHeap) Less(i, j int) bool  { return h[i].hash > h[j].hash }
+func (h skbHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *skbHeap) Push(x interface{}) { e := x.(*skbEntry); e.idx = len(*h); *h = append(*h, e) }
+func (h *skbHeap) Pop() interface{} {
+	old := *h
+	n := len(old) - 1
+	e := old[n]
+	old[n] = nil
+	*h = old[:n]
+	return e
+}
+
+// NewStreamingBottomK returns a sketch retaining k distinct items. The
+// seed perturbs the hash so independent replicates draw independent
+// samples.
+func NewStreamingBottomK(k int, seed uint64) *StreamingBottomK {
+	if k <= 1 {
+		panic(fmt.Sprintf("sampling: streaming bottom-k with k = %d, want > 1", k))
+	}
+	return &StreamingBottomK{k: k, seed: seed, items: make(map[string]*skbEntry, k+1)}
+}
+
+func (s *StreamingBottomK) hash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	v := h.Sum64() ^ s.seed
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}
+
+// Update processes one row.
+func (s *StreamingBottomK) Update(item string) {
+	s.rows++
+	if e, ok := s.items[item]; ok {
+		e.count++
+		return
+	}
+	hv := s.hash(item)
+	if len(s.h) >= s.k {
+		if hv >= s.h[0].hash {
+			// Hash too large to ever enter. (If this item was evicted
+			// earlier, its hash was already ≥ the then-threshold and
+			// thresholds only shrink, so it cannot be in the final
+			// sample — dropping its rows is exactly the design.)
+			return
+		}
+		evicted := heap.Pop(&s.h).(*skbEntry)
+		delete(s.items, evicted.key)
+	}
+	e := &skbEntry{key: item, hash: hv, count: 1}
+	heap.Push(&s.h, e)
+	s.items[item] = e
+}
+
+// Rows returns the number of rows processed.
+func (s *StreamingBottomK) Rows() int64 { return s.rows }
+
+// Size returns the number of retained items (≤ k).
+func (s *StreamingBottomK) Size() int { return len(s.h) }
+
+// Contains reports whether item is currently retained.
+func (s *StreamingBottomK) Contains(item string) bool {
+	_, ok := s.items[item]
+	return ok
+}
+
+// Count returns the exact row count for a retained item (0 otherwise).
+func (s *StreamingBottomK) Count(item string) int64 {
+	e, ok := s.items[item]
+	if !ok {
+		return 0
+	}
+	return e.count
+}
+
+// DistinctEstimate returns the bottom-k estimator (k−1)/τ of the number of
+// distinct items seen, where τ is the largest retained hash scaled to
+// (0,1). While the sample is not full it returns the exact count.
+func (s *StreamingBottomK) DistinctEstimate() float64 {
+	if len(s.h) < s.k {
+		return float64(len(s.h))
+	}
+	tau := float64(s.h[0].hash) / float64(^uint64(0))
+	if tau <= 0 {
+		return float64(s.k)
+	}
+	return float64(s.k-1) / tau
+}
+
+// SubsetSum estimates the total row count of items satisfying pred: the
+// exact counts of sampled matching items scaled by D̂/k (inverse inclusion
+// probability).
+func (s *StreamingBottomK) SubsetSum(pred func(string) bool) float64 {
+	var sum float64
+	for _, e := range s.h {
+		if pred(e.key) {
+			sum += float64(e.count)
+		}
+	}
+	if len(s.h) < s.k {
+		return sum // census
+	}
+	return sum * s.DistinctEstimate() / float64(s.k)
+}
+
+// Sample exports the retained items with HT adjustments, interoperating
+// with the aggregated-sample tooling.
+func (s *StreamingBottomK) Sample() Sample {
+	scale := 1.0
+	if len(s.h) >= s.k {
+		scale = s.DistinctEstimate() / float64(s.k)
+	}
+	out := make([]SampledItem, 0, len(s.h))
+	for _, e := range s.h {
+		out = append(out, SampledItem{
+			Item:          Item{Key: e.key, Value: float64(e.count)},
+			Pi:            1 / scale,
+			AdjustedValue: float64(e.count) * scale,
+		})
+	}
+	return Sample{Name: "streaming-bottom-k", Items: out}
+}

@@ -1,0 +1,271 @@
+// Package stats provides the evaluation machinery behind the paper's
+// experiments: exact aggregation for ground truth, error metrics (MSE,
+// relative root MSE, relative efficiency), confidence-interval coverage,
+// empirical inclusion probabilities over replicates, and binned smoothing
+// for error-versus-count curves.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Aggregate computes exact per-item counts for a materialized row stream —
+// the expensive pre-aggregation the disaggregated sketches avoid, used here
+// for ground truth and to feed the pre-aggregated baselines.
+func Aggregate(rows []string) map[string]int64 {
+	out := make(map[string]int64)
+	for _, r := range rows {
+		out[r]++
+	}
+	return out
+}
+
+// Accumulator tracks the moments of repeated estimates of one target.
+type Accumulator struct {
+	n          int64
+	mean, m2   float64 // Welford running mean and sum of squared deviations
+	sumSqErr   float64 // Σ (est − truth)²
+	sumErr     float64 // Σ (est − truth)
+	truth      float64
+	covered    int64 // CI coverage successes
+	ciAttempts int64
+}
+
+// NewAccumulator tracks estimates of the given true value.
+func NewAccumulator(truth float64) *Accumulator { return &Accumulator{truth: truth} }
+
+// Add records one estimate.
+func (a *Accumulator) Add(est float64) {
+	a.n++
+	d := est - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (est - a.mean)
+	e := est - a.truth
+	a.sumErr += e
+	a.sumSqErr += e * e
+}
+
+// AddCI additionally records whether a confidence interval covered truth.
+func (a *Accumulator) AddCI(lo, hi float64) {
+	a.ciAttempts++
+	if a.truth >= lo && a.truth <= hi {
+		a.covered++
+	}
+}
+
+// N returns the number of estimates recorded.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Truth returns the target value.
+func (a *Accumulator) Truth() float64 { return a.truth }
+
+// Mean returns the empirical mean estimate.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Bias returns mean(est) − truth.
+func (a *Accumulator) Bias() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sumErr / float64(a.n)
+}
+
+// Variance returns the empirical variance of the estimates.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns sqrt(Variance).
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// MSE returns the empirical mean squared error against truth.
+func (a *Accumulator) MSE() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sumSqErr / float64(a.n)
+}
+
+// RMSE returns sqrt(MSE).
+func (a *Accumulator) RMSE() float64 { return math.Sqrt(a.MSE()) }
+
+// RRMSE returns the relative root mean squared error RMSE/truth — the
+// paper's headline metric (§7). Zero truth yields NaN.
+func (a *Accumulator) RRMSE() float64 { return a.RMSE() / a.truth }
+
+// RelativeMSE returns MSE/truth² (the squared RRMSE, as plotted in Figures
+// 5 and 6).
+func (a *Accumulator) RelativeMSE() float64 { return a.MSE() / (a.truth * a.truth) }
+
+// Coverage returns the fraction of recorded intervals that covered truth.
+func (a *Accumulator) Coverage() float64 {
+	if a.ciAttempts == 0 {
+		return math.NaN()
+	}
+	return float64(a.covered) / float64(a.ciAttempts)
+}
+
+// StandardError returns the Monte-Carlo standard error of the mean.
+func (a *Accumulator) StandardError() float64 {
+	if a.n < 2 {
+		return math.Inf(1)
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// ZScore returns |Bias| / StandardError — the test statistic for the
+// unbiasedness property tests.
+func (a *Accumulator) ZScore() float64 {
+	se := a.StandardError()
+	if se == 0 {
+		if a.Bias() == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(a.Bias()) / se
+}
+
+// InclusionTracker estimates per-item inclusion probabilities over
+// replicated sketch runs (Figures 2 and 7).
+type InclusionTracker struct {
+	hits map[string]int64
+	reps int64
+}
+
+// NewInclusionTracker returns an empty tracker.
+func NewInclusionTracker() *InclusionTracker {
+	return &InclusionTracker{hits: make(map[string]int64)}
+}
+
+// Record marks one replicate's set of included items.
+func (t *InclusionTracker) Record(included []string) {
+	t.reps++
+	for _, it := range included {
+		t.hits[it]++
+	}
+}
+
+// Probability returns the empirical inclusion probability of item.
+func (t *InclusionTracker) Probability(item string) float64 {
+	if t.reps == 0 {
+		return 0
+	}
+	return float64(t.hits[item]) / float64(t.reps)
+}
+
+// Replicates returns the number of recorded runs.
+func (t *InclusionTracker) Replicates() int64 { return t.reps }
+
+// CurvePoint is one (x, y) pair on a reported series.
+type CurvePoint struct {
+	X float64
+	Y float64
+	N int // observations aggregated into this point
+}
+
+// BinnedCurve aggregates scattered (x, y) observations into numBins equal-
+// width bins over log10(x) (matching the paper's log-scaled smoothed error
+// plots) and returns the per-bin mean y at the mean x. Points with x ≤ 0
+// are dropped.
+func BinnedCurve(xs, ys []float64, numBins int) []CurvePoint {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: %d xs, %d ys", len(xs), len(ys)))
+	}
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		lx := math.Log10(x)
+		if lx < lo {
+			lo = lx
+		}
+		if lx > hi {
+			hi = lx
+		}
+	}
+	if lo > hi {
+		return nil
+	}
+	if hi == lo {
+		hi = lo + 1e-9
+	}
+	sumX := make([]float64, numBins)
+	sumY := make([]float64, numBins)
+	n := make([]int, numBins)
+	for i, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		b := int(float64(numBins) * (math.Log10(x) - lo) / (hi - lo))
+		if b >= numBins {
+			b = numBins - 1
+		}
+		sumX[b] += x
+		sumY[b] += ys[i]
+		n[b]++
+	}
+	var out []CurvePoint
+	for b := 0; b < numBins; b++ {
+		if n[b] == 0 {
+			continue
+		}
+		out = append(out, CurvePoint{X: sumX[b] / float64(n[b]), Y: sumY[b] / float64(n[b]), N: n[b]})
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation. It sorts a copy.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v", q))
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	if i >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := pos - float64(i)
+	return s[i]*(1-frac) + s[i+1]*frac
+}
+
+// Mean returns the arithmetic mean of xs (NaN when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeometricMean returns exp(mean(log x)); non-positive entries are skipped.
+func GeometricMean(xs []float64) float64 {
+	var s float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			s += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(s / float64(n))
+}

@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggregate(t *testing.T) {
+	got := Aggregate([]string{"a", "b", "a", "a"})
+	if got["a"] != 3 || got["b"] != 1 || len(got) != 2 {
+		t.Errorf("Aggregate = %v", got)
+	}
+	if n := Aggregate(nil); len(n) != 0 {
+		t.Errorf("Aggregate(nil) = %v", n)
+	}
+}
+
+func TestAccumulatorMoments(t *testing.T) {
+	a := NewAccumulator(10)
+	for _, x := range []float64{8, 10, 12} {
+		a.Add(x)
+	}
+	if a.N() != 3 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if a.Truth() != 10 {
+		t.Fatalf("Truth = %v", a.Truth())
+	}
+	if got := a.Mean(); math.Abs(got-10) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := a.Bias(); math.Abs(got) > 1e-12 {
+		t.Errorf("Bias = %v", got)
+	}
+	if got := a.Variance(); math.Abs(got-4) > 1e-12 { // sample var of 8,10,12
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := a.StdDev(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if got := a.MSE(); math.Abs(got-8.0/3) > 1e-12 {
+		t.Errorf("MSE = %v, want 8/3", got)
+	}
+	if got := a.RMSE(); math.Abs(got-math.Sqrt(8.0/3)) > 1e-12 {
+		t.Errorf("RMSE = %v", got)
+	}
+	if got := a.RRMSE(); math.Abs(got-math.Sqrt(8.0/3)/10) > 1e-12 {
+		t.Errorf("RRMSE = %v", got)
+	}
+	if got := a.RelativeMSE(); math.Abs(got-8.0/300) > 1e-12 {
+		t.Errorf("RelativeMSE = %v", got)
+	}
+}
+
+func TestAccumulatorBias(t *testing.T) {
+	a := NewAccumulator(5)
+	a.Add(7)
+	a.Add(7)
+	if got := a.Bias(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Bias = %v, want 2", got)
+	}
+	if a.ZScore() == 0 {
+		t.Error("ZScore = 0 for biased estimates")
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	a := NewAccumulator(5)
+	if a.Bias() != 0 || a.MSE() != 0 || a.Variance() != 0 {
+		t.Error("empty accumulator nonzero moments")
+	}
+	if !math.IsNaN(a.Coverage()) {
+		t.Error("Coverage without intervals should be NaN")
+	}
+	if !math.IsInf(a.StandardError(), 1) {
+		t.Error("StandardError with n<2 should be +Inf")
+	}
+}
+
+func TestAccumulatorCoverage(t *testing.T) {
+	a := NewAccumulator(10)
+	a.AddCI(8, 12)  // covers
+	a.AddCI(11, 15) // misses
+	a.AddCI(10, 10) // boundary covers
+	if got := a.Coverage(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Coverage = %v, want 2/3", got)
+	}
+}
+
+func TestAccumulatorZScoreDegenerate(t *testing.T) {
+	a := NewAccumulator(3)
+	a.Add(3)
+	a.Add(3)
+	a.Add(3)
+	// Zero variance, zero bias → z = 0.
+	if got := a.ZScore(); got != 0 {
+		t.Errorf("ZScore = %v, want 0", got)
+	}
+	b := NewAccumulator(5)
+	b.Add(3)
+	b.Add(3)
+	if !math.IsInf(b.ZScore(), 1) {
+		t.Errorf("ZScore = %v, want +Inf for zero-variance biased", b.ZScore())
+	}
+}
+
+func TestInclusionTracker(t *testing.T) {
+	tr := NewInclusionTracker()
+	tr.Record([]string{"a", "b"})
+	tr.Record([]string{"a"})
+	if got := tr.Probability("a"); got != 1 {
+		t.Errorf("P(a) = %v", got)
+	}
+	if got := tr.Probability("b"); got != 0.5 {
+		t.Errorf("P(b) = %v", got)
+	}
+	if got := tr.Probability("c"); got != 0 {
+		t.Errorf("P(c) = %v", got)
+	}
+	if tr.Replicates() != 2 {
+		t.Errorf("Replicates = %d", tr.Replicates())
+	}
+	empty := NewInclusionTracker()
+	if empty.Probability("x") != 0 {
+		t.Error("empty tracker probability nonzero")
+	}
+}
+
+func TestBinnedCurve(t *testing.T) {
+	xs := []float64{1, 10, 100, 1000, 1, 10}
+	ys := []float64{1, 2, 3, 4, 3, 4}
+	pts := BinnedCurve(xs, ys, 4)
+	if len(pts) != 4 {
+		t.Fatalf("points = %v", pts)
+	}
+	// First bin holds both x=1 observations: mean y = 2, n = 2.
+	if pts[0].N != 2 || math.Abs(pts[0].Y-2) > 1e-12 || math.Abs(pts[0].X-1) > 1e-12 {
+		t.Errorf("first bin = %+v", pts[0])
+	}
+	// X ascending across bins.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X {
+			t.Errorf("bins not ascending: %v", pts)
+		}
+	}
+}
+
+func TestBinnedCurveEdgeCases(t *testing.T) {
+	if pts := BinnedCurve(nil, nil, 5); pts != nil {
+		t.Errorf("empty input → %v", pts)
+	}
+	// Non-positive xs dropped.
+	pts := BinnedCurve([]float64{-1, 0, 5}, []float64{9, 9, 2}, 3)
+	if len(pts) != 1 || pts[0].Y != 2 {
+		t.Errorf("pts = %v", pts)
+	}
+	// Mismatched lengths panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths did not panic")
+		}
+	}()
+	BinnedCurve([]float64{1}, []float64{1, 2}, 2)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("median = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) not NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Quantile sorted the input in place")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile(q>1) did not panic")
+		}
+	}()
+	Quantile(xs, 1.5)
+}
+
+func TestMeanAndGeometricMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) not NaN")
+	}
+	if got := GeometricMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeometricMean = %v, want 10", got)
+	}
+	// Non-positive entries skipped.
+	if got := GeometricMean([]float64{-5, 0, 10}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeometricMean with junk = %v, want 10", got)
+	}
+	if !math.IsNaN(GeometricMean([]float64{0, -1})) {
+		t.Error("GeometricMean of non-positive not NaN")
+	}
+}

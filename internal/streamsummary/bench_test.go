@@ -1,0 +1,57 @@
+package streamsummary
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Microbenchmarks for the O(1) claims: increments and min operations must
+// not degrade with the number of bins.
+
+func benchSummary(bins int) (*Summary, []string) {
+	s := New(bins)
+	items := make([]string, bins)
+	for i := range items {
+		items[i] = fmt.Sprintf("i%d", i)
+		s.Insert(items[i], int64(i%17))
+	}
+	return s, items
+}
+
+func BenchmarkIncrement(b *testing.B) {
+	for _, bins := range []int{64, 1024, 16384} {
+		b.Run(fmt.Sprintf("bins=%d", bins), func(b *testing.B) {
+			s, items := benchSummary(bins)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Increment(items[i%len(items)])
+			}
+		})
+	}
+}
+
+func BenchmarkReplaceRandomMin(b *testing.B) {
+	for _, bins := range []int{64, 1024, 16384} {
+		b.Run(fmt.Sprintf("bins=%d", bins), func(b *testing.B) {
+			s, _ := benchSummary(bins)
+			rng := rand.New(rand.NewSource(1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ReplaceRandomMin(fmt.Sprintf("n%d", i), rng)
+			}
+		})
+	}
+}
+
+func BenchmarkIncrementRandomMin(b *testing.B) {
+	s, _ := benchSummary(4096)
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.IncrementRandomMin(rng)
+	}
+}

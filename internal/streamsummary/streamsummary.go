@@ -1,0 +1,348 @@
+// Package streamsummary implements the Stream-Summary data structure of
+// Metwally, Agrawal and El Abbadi ("Efficient computation of frequent and
+// top-k elements in data streams", ICDT 2005).
+//
+// A Summary maintains a set of (item, integer count) pairs supporting all the
+// operations a Space-Saving sketch needs in O(1) time per stream row:
+//
+//   - test whether an item is present and increment its counter,
+//   - find the minimum counter value,
+//   - pick a uniformly random bin among those with the minimum value
+//     (the random tie-breaking required by the consistency analysis of
+//     Unbiased Space Saving, Ting 2018 §6.1),
+//   - increment a minimum bin with or without replacing its label.
+//
+// The structure is a doubly-linked list of buckets in strictly increasing
+// count order. Each bucket owns the set of items whose counter equals the
+// bucket's count, stored in a slice so that a uniformly random member can be
+// chosen in O(1). Incrementing an item moves it from its bucket to the
+// adjacent bucket with count+1, creating or deleting buckets as needed; all
+// of this is O(1) because counts only ever grow by exactly one.
+package streamsummary
+
+import "fmt"
+
+// node is a single (item, count) bin. Its count is implied by the bucket it
+// currently belongs to.
+type node struct {
+	item   string
+	bucket *bucket
+	idx    int // position of this node in bucket.nodes
+}
+
+// bucket groups all bins sharing one counter value.
+type bucket struct {
+	count      int64
+	nodes      []*node
+	prev, next *bucket
+}
+
+func (b *bucket) add(n *node) {
+	n.bucket = b
+	n.idx = len(b.nodes)
+	b.nodes = append(b.nodes, n)
+}
+
+// remove deletes n from the bucket in O(1) by swapping with the last node.
+func (b *bucket) remove(n *node) {
+	last := len(b.nodes) - 1
+	if n.idx != last {
+		moved := b.nodes[last]
+		b.nodes[n.idx] = moved
+		moved.idx = n.idx
+	}
+	b.nodes[last] = nil
+	b.nodes = b.nodes[:last]
+}
+
+// Summary is a Stream-Summary structure. The zero value is not usable; call
+// New.
+type Summary struct {
+	index map[string]*node
+	head  *bucket // bucket with the minimum count, nil when empty
+	tail  *bucket // bucket with the maximum count, nil when empty
+	total int64   // sum of all counters
+}
+
+// New returns an empty Summary with capacity hint cap (the expected number of
+// bins; the structure itself does not enforce a maximum size — the sketch
+// layered on top does).
+func New(cap int) *Summary {
+	if cap < 0 {
+		cap = 0
+	}
+	return &Summary{index: make(map[string]*node, cap)}
+}
+
+// Len returns the number of bins currently stored.
+func (s *Summary) Len() int { return len(s.index) }
+
+// Total returns the sum of all counters.
+func (s *Summary) Total() int64 { return s.total }
+
+// Count returns item's counter and whether the item is present.
+func (s *Summary) Count(item string) (int64, bool) {
+	n, ok := s.index[item]
+	if !ok {
+		return 0, false
+	}
+	return n.bucket.count, true
+}
+
+// Contains reports whether item labels one of the bins.
+func (s *Summary) Contains(item string) bool {
+	_, ok := s.index[item]
+	return ok
+}
+
+// MinCount returns the smallest counter value, or 0 when the summary is
+// empty.
+func (s *Summary) MinCount() int64 {
+	if s.head == nil {
+		return 0
+	}
+	return s.head.count
+}
+
+// MaxCount returns the largest counter value, or 0 when the summary is empty.
+func (s *Summary) MaxCount() int64 {
+	if s.tail == nil {
+		return 0
+	}
+	return s.tail.count
+}
+
+// NumMin returns how many bins share the minimum counter value.
+func (s *Summary) NumMin() int {
+	if s.head == nil {
+		return 0
+	}
+	return len(s.head.nodes)
+}
+
+// Insert adds a new bin (item, count). It panics if the item is already
+// present; use Increment for existing items. Insert is O(1) when count is <=
+// the current minimum or >= the current maximum (the only cases Space-Saving
+// needs: fresh bins start at 0 or at Nmin+1) and O(#buckets) otherwise.
+func (s *Summary) Insert(item string, count int64) {
+	if _, ok := s.index[item]; ok {
+		panic(fmt.Sprintf("streamsummary: duplicate insert of %q", item))
+	}
+	n := &node{item: item}
+	s.index[item] = n
+	s.total += count
+	b := s.findOrMakeBucket(count)
+	b.add(n)
+}
+
+// findOrMakeBucket locates the bucket with the given count, creating and
+// splicing it into the list if absent.
+func (s *Summary) findOrMakeBucket(count int64) *bucket {
+	switch {
+	case s.head == nil:
+		b := &bucket{count: count}
+		s.head, s.tail = b, b
+		return b
+	case count < s.head.count:
+		b := &bucket{count: count, next: s.head}
+		s.head.prev = b
+		s.head = b
+		return b
+	case count > s.tail.count:
+		b := &bucket{count: count, prev: s.tail}
+		s.tail.next = b
+		s.tail = b
+		return b
+	}
+	// Walk from whichever end is nearer in count value. Fresh Space-Saving
+	// bins are always at one of the extremes, so this path is rare.
+	cur := s.head
+	for cur != nil && cur.count < count {
+		cur = cur.next
+	}
+	if cur != nil && cur.count == count {
+		return cur
+	}
+	// cur is the first bucket with count > target (cur may be nil only if
+	// count > tail.count, handled above). Insert before cur.
+	b := &bucket{count: count, prev: cur.prev, next: cur}
+	cur.prev.next = b
+	cur.prev = b
+	return b
+}
+
+// Increment adds 1 to item's counter, moving it to the adjacent bucket.
+// It reports whether the item was present.
+func (s *Summary) Increment(item string) bool {
+	n, ok := s.index[item]
+	if !ok {
+		return false
+	}
+	s.bump(n)
+	return true
+}
+
+// bump moves n from its bucket to the bucket with count+1, creating it if
+// needed and removing the old bucket if it became empty. O(1).
+func (s *Summary) bump(n *node) {
+	b := n.bucket
+	target := b.count + 1
+	b.remove(n)
+	next := b.next
+	if next == nil || next.count != target {
+		// Splice a fresh bucket right after b.
+		nb := &bucket{count: target, prev: b, next: next}
+		b.next = nb
+		if next != nil {
+			next.prev = nb
+		} else {
+			s.tail = nb
+		}
+		next = nb
+	}
+	next.add(n)
+	if len(b.nodes) == 0 {
+		s.unlink(b)
+	}
+	s.total++
+}
+
+// unlink removes an empty bucket from the list.
+func (s *Summary) unlink(b *bucket) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		s.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		s.tail = b.prev
+	}
+	b.prev, b.next = nil, nil
+}
+
+// IntN is the source of randomness used for tie-breaking: it must return a
+// uniform integer in [0, n). math/rand.Rand.Intn satisfies it.
+type IntN interface {
+	Intn(n int) int
+}
+
+// randomMin returns a uniformly random node among the minimum-count bins.
+func (s *Summary) randomMin(rng IntN) *node {
+	b := s.head
+	if b == nil {
+		return nil
+	}
+	if len(b.nodes) == 1 {
+		return b.nodes[0]
+	}
+	return b.nodes[rng.Intn(len(b.nodes))]
+}
+
+// IncrementRandomMin picks a uniformly random minimum bin and increments it,
+// keeping its current label. It returns the previous minimum count, or false
+// when the summary is empty.
+func (s *Summary) IncrementRandomMin(rng IntN) (prevMin int64, ok bool) {
+	n := s.randomMin(rng)
+	if n == nil {
+		return 0, false
+	}
+	prevMin = n.bucket.count
+	s.bump(n)
+	return prevMin, true
+}
+
+// ReplaceRandomMin picks a uniformly random minimum bin, increments it and
+// relabels it to newItem. It returns the previous minimum count and the
+// evicted label. It panics if newItem is already present.
+func (s *Summary) ReplaceRandomMin(newItem string, rng IntN) (prevMin int64, evicted string, ok bool) {
+	if _, dup := s.index[newItem]; dup {
+		panic(fmt.Sprintf("streamsummary: ReplaceRandomMin with existing item %q", newItem))
+	}
+	n := s.randomMin(rng)
+	if n == nil {
+		return 0, "", false
+	}
+	prevMin = n.bucket.count
+	evicted = n.item
+	delete(s.index, evicted)
+	n.item = newItem
+	s.index[newItem] = n
+	s.bump(n)
+	return prevMin, evicted, true
+}
+
+// Bin is one (item, count) pair exported from the summary.
+type Bin struct {
+	Item  string
+	Count int64
+}
+
+// Bins returns all bins in ascending count order. The slice is freshly
+// allocated.
+func (s *Summary) Bins() []Bin {
+	out := make([]Bin, 0, len(s.index))
+	for b := s.head; b != nil; b = b.next {
+		for _, n := range b.nodes {
+			out = append(out, Bin{Item: n.item, Count: b.count})
+		}
+	}
+	return out
+}
+
+// Each calls fn for every bin in ascending count order; it stops early if fn
+// returns false.
+func (s *Summary) Each(fn func(item string, count int64) bool) {
+	for b := s.head; b != nil; b = b.next {
+		for _, n := range b.nodes {
+			if !fn(n.item, b.count) {
+				return
+			}
+		}
+	}
+}
+
+// CheckInvariants validates internal consistency: strictly ascending bucket
+// counts, correct back-links, index agreement and total. It is exported for
+// tests and returns a descriptive error on the first violation found.
+func (s *Summary) CheckInvariants() error {
+	seen := 0
+	var sum int64
+	var prev *bucket
+	for b := s.head; b != nil; b = b.next {
+		if len(b.nodes) == 0 {
+			return fmt.Errorf("empty bucket with count %d", b.count)
+		}
+		if prev != nil && prev.count >= b.count {
+			return fmt.Errorf("bucket counts not strictly ascending: %d then %d", prev.count, b.count)
+		}
+		if b.prev != prev {
+			return fmt.Errorf("bad prev link at bucket count %d", b.count)
+		}
+		for i, n := range b.nodes {
+			if n.bucket != b {
+				return fmt.Errorf("node %q has stale bucket pointer", n.item)
+			}
+			if n.idx != i {
+				return fmt.Errorf("node %q has idx %d, want %d", n.item, n.idx, i)
+			}
+			if s.index[n.item] != n {
+				return fmt.Errorf("index disagrees for %q", n.item)
+			}
+			seen++
+			sum += b.count
+		}
+		prev = b
+	}
+	if s.tail != prev {
+		return fmt.Errorf("tail pointer stale")
+	}
+	if seen != len(s.index) {
+		return fmt.Errorf("list holds %d nodes, index holds %d", seen, len(s.index))
+	}
+	if sum != s.total {
+		return fmt.Errorf("total %d, want %d", s.total, sum)
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// A Stream yields disaggregated rows one item label at a time. Next returns
+// ok=false when the stream is exhausted. Streams are cheap, single-pass
+// iterators so experiments can run billions-row-shaped workloads without
+// materializing them.
+type Stream interface {
+	Next() (item string, ok bool)
+	// Len returns the total number of rows the stream will yield.
+	Len() int64
+}
+
+// sliceStream yields a materialized row list.
+type sliceStream struct {
+	rows []string
+	pos  int
+}
+
+func (s *sliceStream) Next() (string, bool) {
+	if s.pos >= len(s.rows) {
+		return "", false
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true
+}
+
+func (s *sliceStream) Len() int64 { return int64(len(s.rows)) }
+
+// FromRows wraps materialized rows as a Stream.
+func FromRows(rows []string) Stream { return &sliceStream{rows: rows} }
+
+// Collect drains a stream into a slice (test helper; avoid for huge streams).
+func Collect(s Stream) []string {
+	out := make([]string, 0, s.Len())
+	for {
+		it, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, it)
+	}
+}
+
+// Drain feeds every row of s to fn.
+func Drain(s Stream, fn func(item string)) {
+	for {
+		it, ok := s.Next()
+		if !ok {
+			return
+		}
+		fn(it)
+	}
+}
+
+// Shuffled returns the population's rows in uniformly random order — an
+// exchangeable sequence, which §7 notes is equivalent in the limit to an
+// i.i.d. stream by de Finetti's theorem. The rows are materialized;
+// populations at laptop scale (≤ ~10⁸ rows) fit comfortably.
+func Shuffled(p Population, rng *rand.Rand) Stream {
+	rows := make([]string, 0, p.Total)
+	for i, c := range p.Counts {
+		lbl := Label(i)
+		for j := int64(0); j < c; j++ {
+			rows = append(rows, lbl)
+		}
+	}
+	rng.Shuffle(len(rows), func(a, b int) { rows[a], rows[b] = rows[b], rows[a] })
+	return FromRows(rows)
+}
+
+// IID returns an i.i.d. stream of n rows where each row is item i with
+// probability Counts[i]/Total. Unlike Shuffled it does not reproduce counts
+// exactly — it is the literal i.i.d. model of §6.
+func IID(p Population, n int64, rng *rand.Rand) Stream {
+	// Build the cumulative distribution once; sample by binary search.
+	cum := make([]int64, len(p.Counts))
+	var run int64
+	for i, c := range p.Counts {
+		run += c
+		cum[i] = run
+	}
+	return &iidStream{cum: cum, total: run, n: n, rng: rng}
+}
+
+type iidStream struct {
+	cum   []int64
+	total int64
+	n     int64
+	done  int64
+	rng   *rand.Rand
+}
+
+func (s *iidStream) Next() (string, bool) {
+	if s.done >= s.n {
+		return "", false
+	}
+	s.done++
+	target := s.rng.Int63n(s.total)
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] > target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return Label(lo), true
+}
+
+func (s *iidStream) Len() int64 { return s.n }
+
+// TwoHalves builds the pathological-for-Deterministic-Space-Saving stream
+// of §7.1: the first half contains only items [0, splitAt) and the second
+// half only items [splitAt, n), each half independently shuffled. Items in
+// the first half never reappear, so Deterministic Space Saving forgets
+// them; an unbiased sketch must not.
+func TwoHalves(p Population, splitAt int, rng *rand.Rand) Stream {
+	var first, second []string
+	for i, c := range p.Counts {
+		lbl := Label(i)
+		for j := int64(0); j < c; j++ {
+			if i < splitAt {
+				first = append(first, lbl)
+			} else {
+				second = append(second, lbl)
+			}
+		}
+	}
+	rng.Shuffle(len(first), func(a, b int) { first[a], first[b] = first[b], first[a] })
+	rng.Shuffle(len(second), func(a, b int) { second[a], second[b] = second[b], second[a] })
+	return FromRows(append(first, second...))
+}
+
+// SortedAscending yields every item's rows contiguously, items ordered by
+// ascending count — the worst-case stream for Unbiased Space Saving used in
+// the epoch experiments (Figures 8–10). (Descending order would be the
+// optimal case.)
+func SortedAscending(p Population) Stream {
+	return &sortedStream{p: p}
+}
+
+// SortedDescending is the optimally favorable order: most frequent first.
+func SortedDescending(p Population) Stream {
+	return &sortedStream{p: p, desc: true}
+}
+
+type sortedStream struct {
+	p     Population
+	desc  bool
+	order []int // item indices sorted by count
+	pos   int   // index into order
+	left  int64 // rows remaining for the current item
+	init  bool
+}
+
+func (s *sortedStream) Next() (string, bool) {
+	if !s.init {
+		s.init = true
+		s.order = sortedIndices(s.p, s.desc)
+		s.pos = 0
+		if len(s.order) > 0 {
+			s.left = s.p.Counts[s.order[0]]
+		}
+	}
+	for s.pos < len(s.order) && s.left == 0 {
+		s.pos++
+		if s.pos < len(s.order) {
+			s.left = s.p.Counts[s.order[s.pos]]
+		}
+	}
+	if s.pos >= len(s.order) {
+		return "", false
+	}
+	s.left--
+	return Label(s.order[s.pos]), true
+}
+
+func (s *sortedStream) Len() int64 { return s.p.Total }
+
+func sortedIndices(p Population, desc bool) []int {
+	order := make([]int, len(p.Counts))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion-free stable sort by count; use sort.SliceStable semantics
+	// via a simple comparator.
+	lessThan := func(a, b int) bool {
+		if p.Counts[a] != p.Counts[b] {
+			if desc {
+				return p.Counts[a] > p.Counts[b]
+			}
+			return p.Counts[a] < p.Counts[b]
+		}
+		return a < b
+	}
+	sort.Slice(order, func(a, b int) bool { return lessThan(order[a], order[b]) })
+	return order
+}
+
+// AdversarialDistinct builds the Theorem-11 adversarial stream: the
+// population's rows sorted most-frequent-first, followed by extra distinct
+// one-row items ("noise-<j>") numbering the population's total count. The
+// theorem shows Deterministic Space Saving then estimates 0 for every real
+// item (provided nᵢ < 2·ntot/m), while Unbiased Space Saving degrades only
+// as if the sample size were halved.
+func AdversarialDistinct(p Population) Stream {
+	return &adversarialStream{p: p}
+}
+
+type adversarialStream struct {
+	p      Population
+	base   Stream
+	noise  int64
+	served int64
+	init   bool
+}
+
+func (s *adversarialStream) Next() (string, bool) {
+	if !s.init {
+		s.init = true
+		s.base = SortedDescending(s.p)
+		s.noise = s.p.Total
+	}
+	if it, ok := s.base.Next(); ok {
+		return it, true
+	}
+	if s.served < s.noise {
+		s.served++
+		return fmt.Sprintf("noise-%d", s.served), true
+	}
+	return "", false
+}
+
+func (s *adversarialStream) Len() int64 { return 2 * s.p.Total }
+
+// PeriodicBursts interleaves a bursty item into a base shuffled stream:
+// every period rows, the burst item occupies burstLen consecutive rows.
+// This realizes the "periodic bursts ... followed by periods in which its
+// frequency drops below the threshold of guaranteed inclusion" pathology of
+// §6.3. The burst item's label is "burst".
+func PeriodicBursts(p Population, period, burstLen int, rng *rand.Rand) Stream {
+	base := Collect(Shuffled(p, rng))
+	rows := make([]string, 0, len(base)+len(base)/max(1, period)*burstLen)
+	for i, r := range base {
+		rows = append(rows, r)
+		if period > 0 && (i+1)%period == 0 {
+			for j := 0; j < burstLen; j++ {
+				rows = append(rows, "burst")
+			}
+		}
+	}
+	return FromRows(rows)
+}
+
+// Concat chains streams end to end.
+func Concat(streams ...Stream) Stream { return &concatStream{streams: streams} }
+
+type concatStream struct {
+	streams []Stream
+	idx     int
+}
+
+func (c *concatStream) Next() (string, bool) {
+	for c.idx < len(c.streams) {
+		if it, ok := c.streams[c.idx].Next(); ok {
+			return it, true
+		}
+		c.idx++
+	}
+	return "", false
+}
+
+func (c *concatStream) Len() int64 {
+	var n int64
+	for _, s := range c.streams {
+		n += s.Len()
+	}
+	return n
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,411 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestLabelRoundTrip(t *testing.T) {
+	for _, i := range []int{0, 7, 999, 123456} {
+		if got := ParseLabel(Label(i)); got != i {
+			t.Errorf("ParseLabel(Label(%d)) = %d", i, got)
+		}
+	}
+	for _, bad := range []string{"", "item-", "item-x", "foo-3", "3"} {
+		if got := ParseLabel(bad); got != -1 {
+			t.Errorf("ParseLabel(%q) = %d, want -1", bad, got)
+		}
+	}
+}
+
+func TestDiscretizedWeibullShape(t *testing.T) {
+	p := DiscretizedWeibull(1000, 5e5, 0.15)
+	if len(p.Counts) != 1000 {
+		t.Fatalf("len = %d", len(p.Counts))
+	}
+	// Ascending in the grid.
+	for i := 1; i < len(p.Counts); i++ {
+		if p.Counts[i] < p.Counts[i-1] {
+			t.Fatalf("counts not ascending at %d", i)
+		}
+	}
+	// Heavy skew: §6.2 says sd ≈ 30× mean for Weibull(5e5, 0.15).
+	mean := float64(p.Total) / 1000
+	var varr float64
+	for _, c := range p.Counts {
+		d := float64(c) - mean
+		varr += d * d
+	}
+	sd := math.Sqrt(varr / 1000)
+	if ratio := sd / mean; ratio < 10 || ratio > 60 {
+		t.Errorf("sd/mean = %.1f, paper says ≈ 30", ratio)
+	}
+	if p.Total <= 0 {
+		t.Error("total not positive")
+	}
+}
+
+func TestDiscretizedGeometric(t *testing.T) {
+	p := DiscretizedGeometric(1000, 0.03)
+	// Mean of Geometric(0.03) on {0,1,...} is (1−p)/p ≈ 32.3.
+	mean := float64(p.Total) / 1000
+	if mean < 25 || mean < 0 || mean > 40 {
+		t.Errorf("geometric mean count %.1f, want ≈ 32", mean)
+	}
+	for i := 1; i < len(p.Counts); i++ {
+		if p.Counts[i] < p.Counts[i-1] {
+			t.Fatalf("counts not ascending at %d", i)
+		}
+	}
+}
+
+func TestZipf(t *testing.T) {
+	p := Zipf(100, 1.0, 1000)
+	if p.Counts[99] != 1000 {
+		t.Errorf("largest count = %d, want 1000", p.Counts[99])
+	}
+	if p.Counts[0] != 10 {
+		t.Errorf("smallest count = %d, want 1000/100 = 10", p.Counts[0])
+	}
+}
+
+func TestUniformPopulation(t *testing.T) {
+	p := Uniform(10, 7)
+	if p.Total != 70 {
+		t.Errorf("Total = %d", p.Total)
+	}
+	if p.Count(3) != 7 || p.Count(-1) != 0 || p.Count(10) != 0 {
+		t.Error("Count wrong")
+	}
+}
+
+func TestSubsetSumAndRandomSubset(t *testing.T) {
+	p := Uniform(100, 2)
+	rng := newRng(1)
+	pred, members := RandomSubset(p, 30, rng)
+	if len(members) != 30 {
+		t.Fatalf("members = %d", len(members))
+	}
+	if got := p.SubsetSum(pred); got != 60 {
+		t.Errorf("SubsetSum = %d, want 60", got)
+	}
+	// Oversized subset truncates.
+	_, all := RandomSubset(p, 500, rng)
+	if len(all) != 100 {
+		t.Errorf("oversized subset = %d members", len(all))
+	}
+	// LabelPred lifts correctly.
+	lp := LabelPred(pred)
+	hits := 0
+	for i := 0; i < 100; i++ {
+		if lp(Label(i)) {
+			hits++
+		}
+	}
+	if hits != 30 {
+		t.Errorf("LabelPred hits = %d, want 30", hits)
+	}
+	if lp("not-an-item") {
+		t.Error("LabelPred accepted foreign label")
+	}
+}
+
+func checkStreamMatchesPopulation(t *testing.T, s Stream, p Population) {
+	t.Helper()
+	if s.Len() != p.Total {
+		t.Fatalf("stream Len %d, population total %d", s.Len(), p.Total)
+	}
+	counts := map[string]int64{}
+	n := int64(0)
+	for {
+		it, ok := s.Next()
+		if !ok {
+			break
+		}
+		counts[it]++
+		n++
+	}
+	if n != p.Total {
+		t.Fatalf("stream yielded %d rows, want %d", n, p.Total)
+	}
+	for i, c := range p.Counts {
+		if c == 0 {
+			continue
+		}
+		if got := counts[Label(i)]; got != c {
+			t.Fatalf("item %d yielded %d times, want %d", i, got, c)
+		}
+	}
+}
+
+func TestShuffledStream(t *testing.T) {
+	p := DiscretizedWeibull(50, 100, 0.5)
+	checkStreamMatchesPopulation(t, Shuffled(p, newRng(2)), p)
+}
+
+func TestTwoHalvesStream(t *testing.T) {
+	p := Uniform(20, 5)
+	s := TwoHalves(p, 10, newRng(3))
+	rows := Collect(s)
+	if len(rows) != 100 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// First 50 rows only items < 10, last 50 only ≥ 10.
+	for i, r := range rows {
+		idx := ParseLabel(r)
+		if i < 50 && idx >= 10 {
+			t.Fatalf("row %d is item %d, want < 10", i, idx)
+		}
+		if i >= 50 && idx < 10 {
+			t.Fatalf("row %d is item %d, want ≥ 10", i, idx)
+		}
+	}
+	checkStreamMatchesPopulation(t, TwoHalves(p, 10, newRng(4)), p)
+}
+
+func TestSortedStreams(t *testing.T) {
+	p := NewPopulation([]int64{3, 1, 2})
+	asc := Collect(SortedAscending(p))
+	want := []string{"item-1", "item-2", "item-2", "item-0", "item-0", "item-0"}
+	if len(asc) != len(want) {
+		t.Fatalf("asc = %v", asc)
+	}
+	for i := range want {
+		if asc[i] != want[i] {
+			t.Fatalf("asc[%d] = %s, want %s", i, asc[i], want[i])
+		}
+	}
+	desc := Collect(SortedDescending(p))
+	if desc[0] != "item-0" || desc[len(desc)-1] != "item-1" {
+		t.Fatalf("desc = %v", desc)
+	}
+	checkStreamMatchesPopulation(t, SortedAscending(p), p)
+}
+
+func TestSortedSkipsZeroCounts(t *testing.T) {
+	p := NewPopulation([]int64{0, 2, 0, 1})
+	rows := Collect(SortedAscending(p))
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestIIDStream(t *testing.T) {
+	p := NewPopulation([]int64{100, 900})
+	s := IID(p, 20000, newRng(5))
+	counts := map[string]int64{}
+	Drain(s, func(item string) { counts[item]++ })
+	frac := float64(counts["item-1"]) / 20000
+	if math.Abs(frac-0.9) > 0.02 {
+		t.Errorf("item-1 frequency %.3f, want ≈ 0.9", frac)
+	}
+	if s.Len() != 20000 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestAdversarialDistinct(t *testing.T) {
+	p := Uniform(10, 10)
+	s := AdversarialDistinct(p)
+	rows := Collect(s)
+	if int64(len(rows)) != 2*p.Total {
+		t.Fatalf("rows = %d, want %d", len(rows), 2*p.Total)
+	}
+	// First half: population items; second half: distinct noise.
+	seen := map[string]bool{}
+	for i, r := range rows {
+		if i < 100 {
+			if ParseLabel(r) == -1 {
+				t.Fatalf("row %d = %q, want population item", i, r)
+			}
+		} else {
+			if !strings.HasPrefix(r, "noise-") {
+				t.Fatalf("row %d = %q, want noise", i, r)
+			}
+			if seen[r] {
+				t.Fatalf("noise row %q repeated", r)
+			}
+			seen[r] = true
+		}
+	}
+	if s.Len() != 200 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestPeriodicBursts(t *testing.T) {
+	p := Uniform(10, 10)
+	s := PeriodicBursts(p, 20, 5, newRng(6))
+	rows := Collect(s)
+	bursts := 0
+	for _, r := range rows {
+		if r == "burst" {
+			bursts++
+		}
+	}
+	if bursts != 25 { // 100 base rows / 20 × 5
+		t.Errorf("burst rows = %d, want 25", bursts)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := FromRows([]string{"x", "y"})
+	b := FromRows([]string{"z"})
+	c := Concat(a, b)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	got := Collect(c)
+	if got[0] != "x" || got[2] != "z" {
+		t.Fatalf("Concat order wrong: %v", got)
+	}
+}
+
+func TestGeneratorsPanicOnBadArgs(t *testing.T) {
+	cases := []func(){
+		func() { DiscretizedWeibull(0, 1, 1) },
+		func() { DiscretizedWeibull(5, -1, 1) },
+		func() { DiscretizedGeometric(5, 0) },
+		func() { DiscretizedGeometric(5, 1) },
+		func() { Zipf(0, 1, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAdStreamDeterministicAndValid(t *testing.T) {
+	cfg := DefaultAdConfig(5000)
+	a1, err := NewAdStream(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := NewAdStream(cfg, 42)
+	clicks := 0
+	for i := 0; i < 5000; i++ {
+		im1, ok1 := a1.Next()
+		im2, ok2 := a2.Next()
+		if !ok1 || !ok2 {
+			t.Fatalf("stream ended early at %d", i)
+		}
+		if im1.Key(0, 1, 2, 3, 4, 5, 6, 7, 8) != im2.Key(0, 1, 2, 3, 4, 5, 6, 7, 8) || im1.Clicked != im2.Clicked {
+			t.Fatal("same seed produced different impressions")
+		}
+		for f, v := range im1.Features {
+			if int(v) < 0 || int(v) >= cfg.Cardinalities[f] {
+				t.Fatalf("feature %d value %d out of range", f, v)
+			}
+		}
+		if im1.Clicked {
+			clicks++
+		}
+	}
+	if _, ok := a1.Next(); ok {
+		t.Error("stream yielded beyond Rows")
+	}
+	// CTR should be in a plausible band around BaseCTR.
+	ctr := float64(clicks) / 5000
+	if ctr < 0.005 || ctr > 0.2 {
+		t.Errorf("ctr = %.4f, config base %.4f", ctr, cfg.BaseCTR)
+	}
+}
+
+func TestAdStreamConfigValidation(t *testing.T) {
+	bad := DefaultAdConfig(100)
+	bad.Cardinalities = bad.Cardinalities[:3]
+	if _, err := NewAdStream(bad, 1); err == nil {
+		t.Error("mismatched cardinalities accepted")
+	}
+	bad2 := DefaultAdConfig(100)
+	bad2.Sortedness = 2
+	if _, err := NewAdStream(bad2, 1); err == nil {
+		t.Error("sortedness > 1 accepted")
+	}
+	bad3 := DefaultAdConfig(0)
+	if _, err := NewAdStream(bad3, 1); err == nil {
+		t.Error("zero rows accepted")
+	}
+	bad4 := DefaultAdConfig(100)
+	bad4.Cardinalities[2] = 0
+	if _, err := NewAdStream(bad4, 1); err == nil {
+		t.Error("zero cardinality accepted")
+	}
+}
+
+func TestAdStreamSkewedMarginals(t *testing.T) {
+	cfg := DefaultAdConfig(20000)
+	ads, err := NewAdStream(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int32]int{}
+	for {
+		im, ok := ads.Next()
+		if !ok {
+			break
+		}
+		counts[im.Features[3]]++ // cardinality 1000
+	}
+	// Zipf skew: the top value should dwarf the median.
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < 20000/100 {
+		t.Errorf("top feature value count %d — marginal not skewed", maxC)
+	}
+}
+
+func TestMarginalKeys(t *testing.T) {
+	im := Impression{Features: []int32{5, 7, 9}}
+	key := im.Key(0, 2)
+	if key != "0=5|2=9" {
+		t.Fatalf("Key = %q", key)
+	}
+	pairs, err := ParseMarginalKey(key)
+	if err != nil || len(pairs) != 2 || pairs[0] != [2]int{0, 5} || pairs[1] != [2]int{2, 9} {
+		t.Fatalf("ParseMarginalKey = %v, %v", pairs, err)
+	}
+	if _, err := ParseMarginalKey("garbage"); err == nil {
+		t.Error("garbage key parsed")
+	}
+	if _, err := ParseMarginalKey("a=b"); err == nil {
+		t.Error("non-numeric key parsed")
+	}
+}
+
+func TestMarginalStream(t *testing.T) {
+	cfg := DefaultAdConfig(100)
+	ads, _ := NewAdStream(cfg, 3)
+	ms := MarginalStream(ads, 1, 4)
+	if ms.Len() != 100 {
+		t.Fatalf("Len = %d", ms.Len())
+	}
+	n := 0
+	for {
+		key, ok := ms.Next()
+		if !ok {
+			break
+		}
+		if _, err := ParseMarginalKey(key); err != nil {
+			t.Fatalf("bad key %q", key)
+		}
+		n++
+	}
+	if n != 100 {
+		t.Errorf("yielded %d rows", n)
+	}
+}

@@ -1,0 +1,45 @@
+package uss
+
+import (
+	"repro/internal/query"
+)
+
+// This file exposes the SQL-template evaluator of §2 of the paper:
+//
+//	SELECT sum(1), dimensions FROM sketch WHERE filters GROUP BY dimensions
+//
+// over sketches whose item labels encode dimension tuples as
+// "dim=value|dim=value" (the natural encoding for composite units of
+// analysis such as (advertiser, ad) or (src, dst)).
+
+// QueryFilter is one WHERE condition: the dimension must take one of the
+// listed values. Filters AND together; values within a filter OR.
+type QueryFilter = query.Filter
+
+// QueryGroup is one output row of RunQuery.
+type QueryGroup = query.Group
+
+// QuerySpec describes a query: optional filters and optional group-by
+// dimensions (empty group-by returns one global aggregate).
+type QuerySpec = query.Query
+
+// WhereEq builds a single-value equality filter.
+func WhereEq(dim, value string) QueryFilter { return query.Eq(dim, value) }
+
+// RunQuery evaluates the query against a unit sketch. Labels that do not
+// parse as dimension tuples are skipped and tallied in skipped. Groups
+// carry unbiased estimated sums with equation-5 standard errors and are
+// sorted by descending estimate.
+func RunQuery(s *Sketch, q QuerySpec) (groups []QueryGroup, skipped int, err error) {
+	return query.Run(s.core, q)
+}
+
+// RunQueryWeighted evaluates the query against a weighted sketch.
+func RunQueryWeighted(s *WeightedSketch, q QuerySpec) (groups []QueryGroup, skipped int, err error) {
+	return query.Run(s.core, q)
+}
+
+// GuaranteedFrequent returns the bins certainly above frequency phi: their
+// deterministic lower bound count − MinCount exceeds phi·Total. See
+// FrequentItems for the inclusive (recall-oriented) variant.
+func (s *Sketch) GuaranteedFrequent(phi float64) []Bin { return s.core.GuaranteedFrequent(phi) }

@@ -1,0 +1,84 @@
+package uss
+
+import (
+	"repro/internal/rollup"
+)
+
+// RollupConfig parameterizes a windowed rollup; see NewRollup.
+type RollupConfig struct {
+	// Bins is the sketch size per window and for merged range queries.
+	Bins int
+	// WindowLength is one window's duration in the caller's time unit
+	// (86400 for daily windows over Unix-second timestamps).
+	WindowLength int64
+	// Retain keeps only the most recent windows (0 = keep all).
+	Retain int
+	// Seed fixes the randomness (0 = random).
+	Seed int64
+}
+
+// Rollup maintains one Unbiased Space Saving sketch per time window and
+// answers subset sums over arbitrary ranges of recent windows by merging
+// them unbiasedly — the paper's §5.5 use case ("sketches for clicks may be
+// computed per day, but the final machine learning feature may combine the
+// last 7 days"). Not safe for concurrent use.
+type Rollup struct {
+	inner *rollup.Rollup
+}
+
+// NewRollup validates cfg and returns an empty rollup.
+func NewRollup(cfg RollupConfig) (*Rollup, error) {
+	inner, err := rollup.New(rollup.Config{
+		Bins:         cfg.Bins,
+		WindowLength: cfg.WindowLength,
+		Retain:       cfg.Retain,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Rollup{inner: inner}, nil
+}
+
+// Update routes one row with timestamp at into its window. It reports
+// false when the row's window has already been evicted (late data past the
+// retention horizon is dropped).
+func (r *Rollup) Update(item string, at int64) bool { return r.inner.Update(item, at) }
+
+// SubsetSumRange estimates the subset sum over rows in windows
+// intersecting [from, to]; ok is false when no retained window intersects.
+func (r *Rollup) SubsetSumRange(from, to int64, pred func(string) bool) (est Estimate, ok bool) {
+	return r.inner.SubsetSumRange(from, to, pred)
+}
+
+// TopKRange returns the k heaviest items over the merged range.
+func (r *Rollup) TopKRange(from, to int64, k int) []Bin {
+	m := r.inner.Range(from, to)
+	if m == nil {
+		return nil
+	}
+	bins := m.Bins()
+	// Partial selection sort: k is small in practice.
+	if k > len(bins) {
+		k = len(bins)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(bins); j++ {
+			if bins[j].Count > bins[best].Count {
+				best = j
+			}
+		}
+		bins[i], bins[best] = bins[best], bins[i]
+	}
+	return bins[:k]
+}
+
+// TotalRange returns the exact row count over the covered windows.
+func (r *Rollup) TotalRange(from, to int64) float64 { return r.inner.TotalRange(from, to) }
+
+// Windows returns the retained window start times, ascending.
+func (r *Rollup) Windows() []int64 { return r.inner.Windows() }
+
+// DroppedRows counts rows that arrived for already-evicted windows.
+func (r *Rollup) DroppedRows() int64 { return r.inner.DroppedRows() }

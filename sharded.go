@@ -1,0 +1,146 @@
+package uss
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// ShardedSketch ingests rows concurrently: items hash to one of S shards,
+// each an independent Unbiased Space Saving sketch behind its own mutex,
+// and queries merge the shards unbiasedly on demand. This is the paper's
+// recommended concurrency story (§5.5) — a single sketch is inherently
+// sequential, but merges compose — packaged for in-process use.
+//
+// Because sharding is by item hash, each item's rows all land in one
+// shard, so per-shard estimates are unbiased for the items routed there
+// and the merged estimate is unbiased overall.
+type ShardedSketch struct {
+	shards []shard
+	m      int
+}
+
+type shard struct {
+	mu sync.Mutex
+	sk *Sketch
+}
+
+// NewSharded returns a sketch with the given number of shards, each with
+// binsPerShard bins. Total memory is shards × binsPerShard bins; merged
+// query results use shards × binsPerShard bins as well, so accuracy is
+// comparable to a single sketch of that total size.
+func NewSharded(shards, binsPerShard int, opts ...Option) *ShardedSketch {
+	if shards <= 0 {
+		panic(fmt.Sprintf("uss: %d shards", shards))
+	}
+	s := &ShardedSketch{shards: make([]shard, shards), m: shards * binsPerShard}
+	c := buildConfig(opts)
+	for i := range s.shards {
+		// Derive independent per-shard seeds from the configured source
+		// so WithSeed still yields reproducible behaviour.
+		s.shards[i].sk = New(binsPerShard, WithRand(rand.New(rand.NewSource(c.rng.Int63()))))
+	}
+	return s
+}
+
+func (s *ShardedSketch) shardFor(item string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(item))
+	return &s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// Update routes one row to its item's shard. Safe for concurrent use.
+func (s *ShardedSketch) Update(item string) {
+	sh := s.shardFor(item)
+	sh.mu.Lock()
+	sh.sk.Update(item)
+	sh.mu.Unlock()
+}
+
+// Rows returns the total rows ingested across shards.
+func (s *ShardedSketch) Rows() int64 {
+	var n int64
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		n += s.shards[i].sk.Rows()
+		s.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Estimate returns the item's estimate from its shard (no merge needed —
+// all of an item's mass lives in one shard).
+func (s *ShardedSketch) Estimate(item string) float64 {
+	sh := s.shardFor(item)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sk.Estimate(item)
+}
+
+// SubsetSum estimates the subset sum across all shards. Per-shard sums are
+// independent unbiased estimates of the per-shard truths, so their sum is
+// unbiased for the total; the standard errors combine in quadrature.
+func (s *ShardedSketch) SubsetSum(pred func(string) bool) Estimate {
+	var value, variance float64
+	var bins int
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		e := s.shards[i].sk.SubsetSum(pred)
+		s.shards[i].mu.Unlock()
+		value += e.Value
+		variance += e.Variance()
+		bins += e.SampleBins
+	}
+	return Estimate{Value: value, StdErr: math.Sqrt(variance), SampleBins: bins}
+}
+
+// Snapshot merges the shards into one weighted sketch of m bins (defaults
+// to the sharded sketch's total bin budget when m ≤ 0) for top-k queries,
+// serialization or further merging. Concurrent updates during Snapshot are
+// serialized per shard; the snapshot is a consistent-enough view for
+// monitoring use (each shard is copied atomically, shards at slightly
+// different times).
+func (s *ShardedSketch) Snapshot(m int) *WeightedSketch {
+	if m <= 0 {
+		m = s.m
+	}
+	lists := make([][]Bin, len(s.shards))
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		// Bins() copies, so the shard keeps moving after unlock.
+		lists[i] = s.shards[i].sk.Bins()
+		s.shards[i].mu.Unlock()
+	}
+	merged := MergeBins(m, Pairwise, lists...)
+	w := NewWeighted(m)
+	for _, b := range merged {
+		if b.Count > 0 {
+			w.Update(b.Item, b.Count)
+		}
+	}
+	return w
+}
+
+// TopK returns the k heaviest items across shards via a snapshot merge.
+func (s *ShardedSketch) TopK(k int) []Bin {
+	snap := s.Snapshot(0)
+	bins := snap.Bins()
+	if k > len(bins) {
+		k = len(bins)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(bins); j++ {
+			if bins[j].Count > bins[best].Count {
+				best = j
+			}
+		}
+		bins[i], bins[best] = bins[best], bins[i]
+	}
+	return bins[:k]
+}
+
+// Shards returns the shard count.
+func (s *ShardedSketch) Shards() int { return len(s.shards) }

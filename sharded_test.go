@@ -1,0 +1,147 @@
+package uss_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	uss "repro"
+)
+
+func TestShardedBasic(t *testing.T) {
+	s := uss.NewSharded(4, 64, uss.WithSeed(5))
+	if s.Shards() != 4 {
+		t.Fatalf("Shards = %d", s.Shards())
+	}
+	for i := 0; i < 1000; i++ {
+		s.Update(fmt.Sprintf("k%d", i%50))
+	}
+	if s.Rows() != 1000 {
+		t.Fatalf("Rows = %d", s.Rows())
+	}
+	// Under capacity everywhere: exact estimates.
+	if got := s.Estimate("k7"); got != 20 {
+		t.Errorf("Estimate(k7) = %v, want 20", got)
+	}
+	all := s.SubsetSum(func(string) bool { return true })
+	if all.Value != 1000 {
+		t.Errorf("SubsetSum(all) = %v", all.Value)
+	}
+	if got := s.Estimate("missing"); got != 0 {
+		t.Errorf("Estimate(missing) = %v", got)
+	}
+}
+
+func TestShardedPanicsOnZeroShards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSharded(0, ...) did not panic")
+		}
+	}()
+	uss.NewSharded(0, 8)
+}
+
+func TestShardedConcurrentIngestion(t *testing.T) {
+	s := uss.NewSharded(8, 128, uss.WithSeed(6))
+	const workers = 8
+	const perWorker = 20000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Update(fmt.Sprintf("user-%d", (i*7+w)%500))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Rows(); got != workers*perWorker {
+		t.Fatalf("Rows = %d, want %d", got, workers*perWorker)
+	}
+	est := s.SubsetSum(func(k string) bool { return strings.HasSuffix(k, "3") })
+	if est.Value <= 0 || est.StdErr < 0 {
+		t.Fatalf("subset estimate %+v", est)
+	}
+	// 500 distinct users in 8×128 = 1024 bins: everything exact, so the
+	// subset sum equals the truth exactly.
+	truth := 0.0
+	for u := 0; u < 500; u++ {
+		if strings.HasSuffix(fmt.Sprintf("user-%d", u), "3") {
+			// Each user appears workers·perWorker/500 times (i*7 mod 500
+			// is a bijection per worker cycle of 500).
+			truth += float64(workers * perWorker / 500)
+		}
+	}
+	if math.Abs(est.Value-truth) > 1e-9 {
+		t.Errorf("concurrent subset sum %v, want exact %v", est.Value, truth)
+	}
+}
+
+func TestShardedSnapshotAndTopK(t *testing.T) {
+	s := uss.NewSharded(4, 64, uss.WithSeed(7))
+	for i := 0; i < 5000; i++ {
+		s.Update("hot")
+	}
+	for i := 0; i < 5000; i++ {
+		s.Update(fmt.Sprintf("cold-%d", i%2000))
+	}
+	snap := s.Snapshot(0)
+	if snap.Capacity() != 4*64 {
+		t.Errorf("snapshot capacity %d", snap.Capacity())
+	}
+	if math.Abs(snap.Total()-10000) > 1e-9 {
+		t.Errorf("snapshot total %v", snap.Total())
+	}
+	top := s.TopK(3)
+	if len(top) != 3 || top[0].Item != "hot" {
+		t.Fatalf("TopK = %v", top)
+	}
+	if top[0].Count < 4500 || top[0].Count > 5500 {
+		t.Errorf("hot count %v", top[0].Count)
+	}
+	// Custom snapshot size.
+	small := s.Snapshot(16)
+	if small.Size() > 16 {
+		t.Errorf("Snapshot(16) holds %d bins", small.Size())
+	}
+	if math.Abs(small.Total()-10000) > 1e-9 {
+		t.Errorf("reduced snapshot lost mass: %v", small.Total())
+	}
+}
+
+// TestShardedUnbiased: merged estimates across shards stay unbiased under
+// sketch overflow.
+func TestShardedUnbiased(t *testing.T) {
+	var rows []string
+	truth := map[string]float64{}
+	for i := 0; i < 200; i++ {
+		item := fmt.Sprintf("i%d", i)
+		for j := 0; j <= i%15; j++ {
+			rows = append(rows, item)
+			truth[item]++
+		}
+	}
+	pred := func(k string) bool { return strings.HasSuffix(k, "9") }
+	var want float64
+	for k, c := range truth {
+		if pred(k) {
+			want += c
+		}
+	}
+	const reps = 800
+	var sum float64
+	for r := 0; r < reps; r++ {
+		s := uss.NewSharded(4, 8, uss.WithSeed(int64(r+1)))
+		for _, row := range rows {
+			s.Update(row)
+		}
+		sum += s.SubsetSum(pred).Value
+	}
+	mean := sum / reps
+	if math.Abs(mean-want) > 0.15*want {
+		t.Errorf("sharded subset mean %v, truth %v", mean, want)
+	}
+}

@@ -1,0 +1,363 @@
+package uss_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	uss "repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sk := uss.New(64, uss.WithSeed(42))
+	for i := 0; i < 10000; i++ {
+		sk.Update(fmt.Sprintf("user-%d", i%500))
+	}
+	if sk.Rows() != 10000 || sk.Total() != 10000 {
+		t.Fatalf("rows/total = %d/%v", sk.Rows(), sk.Total())
+	}
+	if sk.Size() != sk.Capacity() || sk.Capacity() != 64 {
+		t.Fatalf("size/capacity = %d/%d", sk.Size(), sk.Capacity())
+	}
+	est := sk.SubsetSum(func(u string) bool { return strings.HasSuffix(u, "7") })
+	if est.Value <= 0 {
+		t.Fatal("subset estimate not positive")
+	}
+	lo, hi := est.ConfidenceInterval(0.95)
+	if lo > est.Value || hi < est.Value || lo < 0 {
+		t.Fatalf("CI [%v,%v] does not bracket %v", lo, hi, est.Value)
+	}
+	if sk.MinCount() <= 0 {
+		t.Fatal("MinCount = 0 on saturated sketch")
+	}
+	top := sk.TopK(5)
+	if len(top) != 5 {
+		t.Fatalf("TopK(5) = %d bins", len(top))
+	}
+	if sk.Deterministic() {
+		t.Fatal("default sketch should be unbiased")
+	}
+}
+
+func TestDeterministicOption(t *testing.T) {
+	sk := uss.New(4, uss.WithDeterministic(), uss.WithSeed(1))
+	for i := 0; i < 100; i++ {
+		sk.Update(fmt.Sprintf("i%d", i))
+	}
+	if !sk.Deterministic() {
+		t.Fatal("WithDeterministic not applied")
+	}
+	// Always-replace: the last item is always tracked.
+	if !sk.Contains("i99") {
+		t.Fatal("deterministic sketch must contain the most recent item")
+	}
+	lo, hi := sk.Bounds("i99")
+	if lo < 0 || hi < lo {
+		t.Fatalf("Bounds = [%v,%v]", lo, hi)
+	}
+}
+
+func TestWithRand(t *testing.T) {
+	r1 := rand.New(rand.NewSource(9))
+	r2 := rand.New(rand.NewSource(9))
+	a := uss.New(8, uss.WithRand(r1))
+	b := uss.New(8, uss.WithRand(r2))
+	for i := 0; i < 2000; i++ {
+		item := fmt.Sprintf("i%d", i%100)
+		a.Update(item)
+		b.Update(item)
+	}
+	ba, bb := a.Bins(), b.Bins()
+	if len(ba) != len(bb) {
+		t.Fatal("same seed produced different sketch sizes")
+	}
+	for i := range ba {
+		if ba[i] != bb[i] {
+			t.Fatalf("same seed diverged at bin %d: %v vs %v", i, ba[i], bb[i])
+		}
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	build := func() []uss.Bin {
+		sk := uss.New(16, uss.WithSeed(77))
+		for i := 0; i < 5000; i++ {
+			sk.Update(fmt.Sprintf("k%d", (i*7)%300))
+		}
+		return sk.Bins()
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("WithSeed not deterministic")
+		}
+	}
+}
+
+func TestEstimateWithSEAndFrequentItems(t *testing.T) {
+	sk := uss.New(8, uss.WithSeed(5))
+	for i := 0; i < 900; i++ {
+		sk.Update("hot")
+	}
+	for i := 0; i < 100; i++ {
+		sk.Update(fmt.Sprintf("cold%d", i))
+	}
+	e := sk.EstimateWithSE("hot")
+	if e.Value < 850 {
+		t.Fatalf("hot estimate %v", e.Value)
+	}
+	fi := sk.FrequentItems(0.5)
+	if len(fi) != 1 || fi[0].Item != "hot" {
+		t.Fatalf("FrequentItems = %v", fi)
+	}
+	if got := sk.Estimate("never"); got != 0 {
+		t.Fatalf("Estimate(never) = %v", got)
+	}
+	if sk.Contains("never") {
+		t.Fatal("Contains(never)")
+	}
+}
+
+func TestWeightedSketchFlow(t *testing.T) {
+	sk := uss.NewWeighted(32, uss.WithSeed(3))
+	var want float64
+	for i := 0; i < 2000; i++ {
+		w := 0.5 + float64(i%10)
+		sk.Update(fmt.Sprintf("flow-%d", i%100), w)
+		want += w
+	}
+	if math.Abs(sk.Total()-want) > 1e-6 {
+		t.Fatalf("Total = %v, want %v", sk.Total(), want)
+	}
+	if sk.Size() != 32 || sk.Capacity() != 32 {
+		t.Fatalf("size/capacity = %d/%d", sk.Size(), sk.Capacity())
+	}
+	if sk.MinCount() <= 0 {
+		t.Fatal("MinCount = 0 on saturated weighted sketch")
+	}
+	est := sk.SubsetSum(func(s string) bool { return strings.HasPrefix(s, "flow-1") })
+	if est.Value <= 0 {
+		t.Fatal("weighted subset estimate not positive")
+	}
+	if !sk.UpdateSigned("ghost", -1) == true {
+		// UpdateSigned returns false for negative update on untracked.
+	}
+	if sk.UpdateSigned("ghost-2", -5) {
+		t.Fatal("negative update on untracked item accepted")
+	}
+	if len(sk.Bins()) != 32 {
+		t.Fatal("Bins length")
+	}
+}
+
+func TestDecayedSketchFlow(t *testing.T) {
+	sk := uss.NewDecayed(16, 0.1, uss.WithSeed(4))
+	for i := 0; i < 100; i++ {
+		sk.Update("old", float64(i)*0.1, 1)
+	}
+	for i := 0; i < 20; i++ {
+		sk.Update("new", 100+float64(i)*0.1, 1)
+	}
+	if sk.Estimate("new") <= sk.Estimate("old") {
+		t.Fatalf("decay inverted: new=%v old=%v", sk.Estimate("new"), sk.Estimate("old"))
+	}
+	if sk.Total() <= 0 || sk.Size() != 2 {
+		t.Fatalf("total/size = %v/%d", sk.Total(), sk.Size())
+	}
+	e := sk.SubsetSum(func(s string) bool { return s == "new" })
+	if e.Value <= 0 {
+		t.Fatal("decayed subset sum not positive")
+	}
+	if len(sk.Bins()) != 2 {
+		t.Fatal("Bins length")
+	}
+}
+
+func TestMergeShards(t *testing.T) {
+	shards := make([]*uss.Sketch, 4)
+	truth := map[string]float64{}
+	for s := range shards {
+		shards[s] = uss.New(32, uss.WithSeed(int64(s+1)))
+		for i := 0; i < 4000; i++ {
+			item := fmt.Sprintf("item-%d", (i+s*13)%200)
+			shards[s].Update(item)
+			truth[item]++
+		}
+	}
+	merged := uss.Merge(32, uss.Pairwise, shards...)
+	if merged.Size() > 32 {
+		t.Fatalf("merged size %d", merged.Size())
+	}
+	var wantTotal float64
+	for _, c := range truth {
+		wantTotal += c
+	}
+	if math.Abs(merged.Total()-wantTotal) > 1e-6 {
+		t.Fatalf("merged total %v, want %v", merged.Total(), wantTotal)
+	}
+	// All reductions accept the same inputs.
+	for _, red := range []uss.Reduction{uss.Pairwise, uss.Pivotal, uss.MisraGries} {
+		m := uss.Merge(32, red, shards...)
+		if m.Size() > 32 {
+			t.Fatalf("reduction %v overflowed: %d", red, m.Size())
+		}
+	}
+}
+
+func TestMergeWeightedAndBins(t *testing.T) {
+	a := uss.NewWeighted(8, uss.WithSeed(1))
+	b := uss.NewWeighted(8, uss.WithSeed(2))
+	a.Update("x", 5)
+	b.Update("x", 3)
+	b.Update("y", 1)
+	m := uss.MergeWeighted(8, uss.Pairwise, a, b)
+	if got := m.Estimate("x"); got != 8 {
+		t.Fatalf("merged x = %v", got)
+	}
+	bins := uss.MergeBins(1, uss.Pairwise, a.Bins(), b.Bins())
+	if len(bins) != 1 {
+		t.Fatalf("MergeBins(1) kept %d bins", len(bins))
+	}
+	if bins[0].Count != 9 {
+		t.Fatalf("MergeBins total %v, want 9", bins[0].Count)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	sk := uss.New(16, uss.WithSeed(8))
+	for i := 0; i < 3000; i++ {
+		sk.Update(fmt.Sprintf("i%d", i%90))
+	}
+	blob, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back uss.Sketch
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows() != sk.Rows() || back.Size() != sk.Size() || back.Capacity() != sk.Capacity() {
+		t.Fatalf("restored rows/size/cap = %d/%d/%d", back.Rows(), back.Size(), back.Capacity())
+	}
+	for _, b := range sk.Bins() {
+		if got := back.Estimate(b.Item); got != b.Count {
+			t.Fatalf("restored Estimate(%s) = %v, want %v", b.Item, got, b.Count)
+		}
+	}
+	if back.Deterministic() != sk.Deterministic() {
+		t.Fatal("mode lost in round trip")
+	}
+	// Restored sketch accepts updates.
+	back.Update("post-restore")
+	if back.Rows() != sk.Rows()+1 {
+		t.Fatal("restored sketch rejects updates")
+	}
+}
+
+func TestCodecDeterministicMode(t *testing.T) {
+	sk := uss.New(4, uss.WithDeterministic(), uss.WithSeed(1))
+	sk.Update("a")
+	blob, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back uss.Sketch
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Deterministic() {
+		t.Fatal("deterministic flag lost")
+	}
+}
+
+func TestCodecWeighted(t *testing.T) {
+	sk := uss.NewWeighted(8, uss.WithSeed(9))
+	sk.Update("a", 2.5)
+	sk.Update("b", 1.25)
+	blob, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back uss.WeightedSketch
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Estimate("a"); got != 2.5 {
+		t.Fatalf("restored a = %v", got)
+	}
+	if math.Abs(back.Total()-3.75) > 1e-9 {
+		t.Fatalf("restored total = %v", back.Total())
+	}
+	// A unit snapshot loads into a WeightedSketch too.
+	unit := uss.New(4, uss.WithSeed(2))
+	unit.Update("x")
+	ub, _ := unit.MarshalBinary()
+	var wback uss.WeightedSketch
+	if err := wback.UnmarshalBinary(ub); err != nil {
+		t.Fatal(err)
+	}
+	if wback.Estimate("x") != 1 {
+		t.Fatal("unit snapshot did not load into weighted sketch")
+	}
+	// But a weighted snapshot must not load into a unit Sketch.
+	var sback uss.Sketch
+	if err := sback.UnmarshalBinary(blob); err == nil {
+		t.Fatal("weighted snapshot loaded into unit sketch")
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	var sk uss.Sketch
+	if err := sk.UnmarshalBinary([]byte("not a sketch")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestMergeEqualsSingleSketchDistribution verifies the headline merge
+// property end to end through the public API: sharding a stream across 4
+// sketches and merging gives subset estimates centered on the same truth as
+// one big sketch.
+func TestMergeEqualsSingleSketchDistribution(t *testing.T) {
+	var rows []string
+	truth := map[string]float64{}
+	for i := 0; i < 150; i++ {
+		item := fmt.Sprintf("item-%d", i)
+		for j := 0; j <= i%20; j++ {
+			rows = append(rows, item)
+			truth[item]++
+		}
+	}
+	pred := func(s string) bool { return strings.HasSuffix(s, "7") }
+	var want float64
+	for k, c := range truth {
+		if pred(k) {
+			want += c
+		}
+	}
+	rng := rand.New(rand.NewSource(44))
+	const reps = 1200
+	var sumMerged, sumSingle float64
+	for r := 0; r < reps; r++ {
+		perm := rng.Perm(len(rows))
+		single := uss.New(16, uss.WithRand(rng))
+		shards := make([]*uss.Sketch, 4)
+		for s := range shards {
+			shards[s] = uss.New(16, uss.WithRand(rng))
+		}
+		for i, idx := range perm {
+			single.Update(rows[idx])
+			shards[i%4].Update(rows[idx])
+		}
+		sumSingle += single.SubsetSum(pred).Value
+		sumMerged += uss.Merge(16, uss.Pairwise, shards...).SubsetSum(pred).Value
+	}
+	meanS, meanM := sumSingle/reps, sumMerged/reps
+	if math.Abs(meanS-want) > 0.15*want {
+		t.Errorf("single-sketch mean %v vs truth %v", meanS, want)
+	}
+	if math.Abs(meanM-want) > 0.15*want {
+		t.Errorf("merged mean %v vs truth %v", meanM, want)
+	}
+}
