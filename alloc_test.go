@@ -1,0 +1,128 @@
+package uss_test
+
+import (
+	"fmt"
+	"testing"
+
+	uss "repro"
+)
+
+// Allocation regression tests for the ingest hot path. The slab-backed
+// Stream-Summary, the inlined shard hash and the pooled batch scratch
+// together make steady-state ingest allocation-free; these tests pin that
+// property so a future change that reintroduces a per-row allocation fails
+// loudly instead of silently costing throughput.
+
+// allocTestStream returns a skewed row stream drawn from a fixed label
+// pool, so updates exercise hits, random-min increments and label
+// replacements without allocating the row strings inside the measured loop.
+func allocTestStream(n int) []string {
+	rows := make([]string, n)
+	for i := range rows {
+		// A mix of hot keys (small residues) and a long tail.
+		rows[i] = fmt.Sprintf("item-%d", (i*i+i/3)%2048)
+	}
+	return rows
+}
+
+func TestUpdateZeroAllocsSteadyState(t *testing.T) {
+	rows := allocTestStream(1 << 14)
+	sk := uss.New(256, uss.WithSeed(11))
+	// Warm past the fill phase into steady state: capacity reached, bucket
+	// free-list populated, index map at its final size.
+	for _, r := range rows {
+		sk.Update(r)
+	}
+	var i int
+	if avg := testing.AllocsPerRun(100, func() {
+		for j := 0; j < 256; j++ {
+			sk.Update(rows[i&(len(rows)-1)])
+			i++
+		}
+	}); avg != 0 {
+		t.Errorf("steady-state Sketch.Update allocates %v per 256-row run, want 0", avg)
+	}
+}
+
+func TestUpdateAllZeroAllocsSteadyState(t *testing.T) {
+	rows := allocTestStream(1 << 14)
+	sk := uss.New(256, uss.WithSeed(12))
+	sk.UpdateAll(rows)
+	if avg := testing.AllocsPerRun(100, func() {
+		sk.UpdateAll(rows[:512])
+	}); avg != 0 {
+		t.Errorf("steady-state Sketch.UpdateAll allocates %v/run, want 0", avg)
+	}
+}
+
+func TestShardedUpdateZeroAllocsSteadyState(t *testing.T) {
+	rows := allocTestStream(1 << 14)
+	s := uss.NewSharded(8, 64, uss.WithSeed(13))
+	for _, r := range rows {
+		s.Update(r)
+	}
+	var i int
+	if avg := testing.AllocsPerRun(100, func() {
+		for j := 0; j < 256; j++ {
+			s.Update(rows[i&(len(rows)-1)])
+			i++
+		}
+	}); avg != 0 {
+		t.Errorf("steady-state ShardedSketch.Update allocates %v per 256-row run, want 0", avg)
+	}
+}
+
+func TestUpdateBatchZeroAllocsSteadyState(t *testing.T) {
+	rows := allocTestStream(1 << 14)
+	s := uss.NewSharded(8, 64, uss.WithSeed(14))
+	// Warm the shards and the pooled batch scratch at the measured batch
+	// size so the measured runs only reuse.
+	s.UpdateBatch(rows[:1024])
+	s.UpdateBatch(rows[1024:2048])
+	var off int
+	if avg := testing.AllocsPerRun(100, func() {
+		lo := off & (len(rows) - 1)
+		s.UpdateBatch(rows[lo : lo+1024])
+		off += 1024
+	}); avg != 0 {
+		t.Errorf("steady-state UpdateBatch allocates %v per 1024-row batch, want 0", avg)
+	}
+}
+
+// TestUpdateBatchMatchesUpdate: batched ingest must land every row in the
+// same shard as per-row ingest and preserve per-shard row order, so with a
+// fixed seed the resulting sketch state is identical.
+func TestUpdateBatchMatchesUpdate(t *testing.T) {
+	rows := allocTestStream(1 << 12)
+	a := uss.NewSharded(4, 128, uss.WithSeed(21))
+	b := uss.NewSharded(4, 128, uss.WithSeed(21))
+	for _, r := range rows {
+		a.Update(r)
+	}
+	for lo := 0; lo < len(rows); lo += 100 {
+		hi := lo + 100
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		b.UpdateBatch(rows[lo:hi])
+	}
+	if a.Rows() != b.Rows() {
+		t.Fatalf("Rows: per-row %d, batched %d", a.Rows(), b.Rows())
+	}
+	ta, tb := a.TopK(50), b.TopK(50)
+	if len(ta) != len(tb) {
+		t.Fatalf("TopK lengths differ: %d vs %d", len(ta), len(tb))
+	}
+	sa := a.SubsetSum(func(string) bool { return true })
+	sb := b.SubsetSum(func(string) bool { return true })
+	if sa.Value != sb.Value {
+		t.Errorf("total mass: per-row %v, batched %v", sa.Value, sb.Value)
+	}
+	// Per-item agreement on every tracked item of the per-row sketch: same
+	// seed + same per-shard row order ⇒ identical shard states.
+	for _, bin := range ta {
+		if got := b.Estimate(bin.Item); got != bin.Count {
+			t.Errorf("estimate for %q: per-row %v, batched %v", bin.Item, bin.Count, got)
+		}
+	}
+}

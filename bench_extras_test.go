@@ -25,6 +25,63 @@ func BenchmarkShardedUpdateParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkShardedUpdateBatch compares per-row against batched ingest of
+// one shared stream: workers claim work off a shared atomic cursor — the
+// per-row side one row at a time (per-row coordination is inherent to
+// per-row ingest of a shared feed), the batched side one 512-row span at
+// a time — and apply it via Update respectively UpdateBatch. Each side
+// thus pays its whole per-row protocol (work claim + shard lock vs
+// amortized claim + amortized lock) and nothing else differs: same
+// stream, an item universe that fits capacity (4096 items over 16×512
+// bins, the tracked regime a long-running sketch converges to) and
+// spreads evenly across shards, so per-row sketch work is constant. One
+// iteration is one row in both, making their ns/op directly comparable.
+// (BenchmarkShardedUpdateParallel above keeps the historical skewed
+// open-universe workload, where heavier per-row sketch work and the hot
+// item's home shard dilute the protocol difference.)
+func BenchmarkShardedUpdateBatch(b *testing.B) {
+	rows := make([]string, 1<<14)
+	for i := range rows {
+		rows[i] = fmt.Sprintf("item-%d", i&4095)
+	}
+	mask := len(rows) - 1
+	b.Run("PerRowLocked", func(b *testing.B) {
+		s := uss.NewSharded(16, 512, uss.WithSeed(1))
+		var cursor int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := atomic.AddInt64(&cursor, 1)
+				s.Update(rows[int(i)&mask])
+			}
+		})
+	})
+	b.Run("Batched", func(b *testing.B) {
+		const batch = 512
+		s := uss.NewSharded(16, 512, uss.WithSeed(1))
+		var cursor int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			buf := make([]string, 0, batch)
+			base := 0
+			for pb.Next() {
+				if len(buf) == 0 {
+					// Claim the next batch-sized span of the shared stream.
+					base = int(atomic.AddInt64(&cursor, batch)) - batch
+				}
+				buf = append(buf, rows[(base+len(buf))&mask])
+				if len(buf) == batch {
+					s.UpdateBatch(buf)
+					buf = buf[:0]
+				}
+			}
+			s.UpdateBatch(buf)
+		})
+	})
+}
+
 func BenchmarkShardedSnapshot(b *testing.B) {
 	s := uss.NewSharded(8, 512, uss.WithSeed(2))
 	for _, r := range benchStream(1 << 16) {

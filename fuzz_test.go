@@ -1,9 +1,12 @@
 package uss_test
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	uss "repro"
+	"repro/internal/streamsummary"
 )
 
 // Fuzz targets run their seed corpus under plain `go test`; use
@@ -33,6 +36,89 @@ func FuzzSketchUpdate(f *testing.F) {
 		}
 		if mass != sk.Total() {
 			t.Fatalf("bin mass %v != total %v", mass, sk.Total())
+		}
+	})
+}
+
+// FuzzStreamSummaryOps drives the slab-backed Stream-Summary through
+// arbitrary insert / increment / replace / remove sequences — the full
+// free-list churn surface — validating CheckInvariants (which audits slab
+// accounting, free-list integrity and mass conservation) after every
+// operation, and spot-checking counts against a map model at the end.
+func FuzzStreamSummaryOps(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 3, 0, 4}, int64(1))
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 3, 3, 3, 2, 2, 2}, int64(2))
+	f.Add([]byte{4, 4, 4, 0, 0, 4, 4, 1, 2, 3, 4}, int64(3))
+	f.Fuzz(func(t *testing.T, ops []byte, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		s := streamsummary.New(8)
+		model := map[string]int64{}
+		// live mirrors the model's keys as a slice so "a random live item"
+		// is drawn from rng, not from runtime-randomized map iteration —
+		// crashing inputs must replay deterministically.
+		var live []string
+		resync := func() {
+			model = map[string]int64{}
+			live = live[:0]
+			s.Each(func(item string, count int64) bool {
+				model[item] = count
+				live = append(live, item)
+				return true
+			})
+		}
+		nextID := 0
+		for step, op := range ops {
+			switch op % 5 {
+			case 0: // insert a fresh item at a small count
+				item := fmt.Sprintf("n%d", nextID)
+				nextID++
+				c := int64(op / 5 % 4)
+				s.Insert(item, c)
+				model[item] = c
+				live = append(live, item)
+			case 1: // increment a random live item
+				if len(live) > 0 {
+					item := live[rng.Intn(len(live))]
+					s.Increment(item)
+					model[item]++
+				}
+			case 2: // increment a random minimum bin
+				if _, ok := s.IncrementRandomMin(rng); ok != (len(model) > 0) {
+					t.Fatalf("step %d: IncrementRandomMin ok=%v with %d live", step, ok, len(model))
+				}
+				resync()
+			case 3: // replace a random minimum bin's label
+				item := fmt.Sprintf("r%d", nextID)
+				nextID++
+				if _, evicted, ok := s.ReplaceRandomMin(item, rng); ok {
+					if _, had := model[evicted]; !had {
+						t.Fatalf("step %d: evicted unknown item %q", step, evicted)
+					}
+				}
+				resync()
+			case 4: // remove a random live item, churning the node free-list
+				if len(live) > 0 {
+					j := rng.Intn(len(live))
+					item := live[j]
+					if _, ok := s.Remove(item); !ok {
+						t.Fatalf("step %d: Remove(%q) failed on live item", step, item)
+					}
+					delete(model, item)
+					live[j] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("step %d (op %d): %v", step, op%5, err)
+			}
+		}
+		if s.Len() != len(model) {
+			t.Fatalf("Len %d, model %d", s.Len(), len(model))
+		}
+		for item, want := range model {
+			if got, ok := s.Count(item); !ok || got != want {
+				t.Fatalf("Count(%q) = %d,%v, want %d", item, got, ok, want)
+			}
 		}
 	})
 }

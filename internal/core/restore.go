@@ -18,9 +18,11 @@ func RestoreUnit(s *Sketch, bins []Bin, rows int64) error {
 	if len(bins) > s.m {
 		return fmt.Errorf("core: %d bins exceed capacity %d", len(bins), s.m)
 	}
+	// Feed counts descending: each insert is then a new minimum, the O(1)
+	// path of the slab-backed summary.
 	sorted := make([]Bin, len(bins))
 	copy(sorted, bins)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Count < sorted[j].Count })
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Count > sorted[j].Count })
 	var total int64
 	for _, b := range sorted {
 		if b.Count < 0 || b.Count != math.Trunc(b.Count) {
@@ -28,6 +30,9 @@ func RestoreUnit(s *Sketch, bins []Bin, rows int64) error {
 		}
 		if b.Count == 0 {
 			continue
+		}
+		if s.sum.Contains(b.Item) {
+			return fmt.Errorf("core: snapshot lists %q twice", b.Item)
 		}
 		c := int64(b.Count)
 		s.sum.Insert(b.Item, c)

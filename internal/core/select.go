@@ -1,0 +1,114 @@
+package core
+
+import "sort"
+
+// Partial top-k selection shared by every top-k query in the repo: the unit
+// sketch (TopK, FrequentItems, GuaranteedFrequent), and the sharded
+// sketch's post-merge TopK in the public package. A bounded min-heap of
+// the k best candidates replaces both the full O(n log n) sort the unit
+// sketch used to pay and the O(k·n) selection sort the sharded sketch used
+// to pay, giving O(n log k) with a single output allocation.
+
+// rankAbove reports whether a outranks b in top-k order: higher count
+// first, ties broken by ascending item label for determinism.
+func rankAbove(a, b Bin) bool {
+	if a.Count != b.Count {
+		return a.Count > b.Count
+	}
+	return a.Item < b.Item
+}
+
+// topSelector accumulates streamed bins, retaining the k highest-ranked.
+// The heap is a min-heap under rankAbove: heap[0] is the weakest retained
+// bin, evicted first when a stronger candidate arrives.
+type topSelector struct {
+	heap []Bin
+	k    int
+}
+
+func newTopSelector(k int) topSelector {
+	if k < 0 {
+		k = 0
+	}
+	return topSelector{heap: make([]Bin, 0, k), k: k}
+}
+
+// offer considers one bin for the retained set. O(log k).
+func (t *topSelector) offer(b Bin) {
+	if t.k == 0 {
+		return
+	}
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, b)
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	if rankAbove(b, t.heap[0]) {
+		t.heap[0] = b
+		t.siftDown(0)
+	}
+}
+
+// take drains the selector, returning the retained bins in descending rank
+// order (strongest first). The selector is spent afterwards.
+func (t *topSelector) take() []Bin {
+	out := t.heap
+	for n := len(out) - 1; n > 0; n-- {
+		out[0], out[n] = out[n], out[0]
+		t.heap = out[:n]
+		t.siftDown(0)
+	}
+	t.heap = nil
+	return out
+}
+
+func (t *topSelector) siftUp(i int) {
+	h := t.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !rankAbove(h[parent], h[i]) {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func (t *topSelector) siftDown(i int) {
+	h := t.heap
+	for {
+		weakest := i
+		if l := 2*i + 1; l < len(h) && rankAbove(h[weakest], h[l]) {
+			weakest = l
+		}
+		if r := 2*i + 2; r < len(h) && rankAbove(h[weakest], h[r]) {
+			weakest = r
+		}
+		if weakest == i {
+			return
+		}
+		h[i], h[weakest] = h[weakest], h[i]
+		i = weakest
+	}
+}
+
+// sortBins sorts bins in place into descending rank order (count
+// descending, ties by ascending item) — for callers that keep everything
+// and only need the order, where a bounded heap would buy nothing.
+func sortBins(bins []Bin) {
+	sort.Slice(bins, func(i, j int) bool { return rankAbove(bins[i], bins[j]) })
+}
+
+// SelectTop returns the k highest-count bins in descending count order
+// (ties broken by ascending item label), without modifying bins. k larger
+// than len(bins) is truncated; the result is always a fresh slice.
+func SelectTop(bins []Bin, k int) []Bin {
+	if k > len(bins) {
+		k = len(bins)
+	}
+	sel := newTopSelector(k)
+	for _, b := range bins {
+		sel.offer(b)
+	}
+	return sel.take()
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// sortTop is the reference implementation SelectTop must agree with: full
+// sort by descending count, ties by ascending item, truncated to k.
+func sortTop(bins []Bin, k int) []Bin {
+	cp := make([]Bin, len(bins))
+	copy(cp, bins)
+	sort.Slice(cp, func(i, j int) bool { return rankAbove(cp[i], cp[j]) })
+	if k > len(cp) {
+		k = len(cp)
+	}
+	return cp[:k]
+}
+
+func TestSelectTopMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(50)
+		bins := make([]Bin, n)
+		for i := range bins {
+			// Few distinct counts so ties are common.
+			bins[i] = Bin{Item: fmt.Sprintf("i%02d", rng.Intn(30)), Count: float64(rng.Intn(6))}
+		}
+		for _, k := range []int{0, 1, 2, n / 2, n, n + 3} {
+			got := SelectTop(bins, k)
+			want := sortTop(bins, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d k=%d: len %d, want %d", trial, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d k=%d: got %v, want %v", trial, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectTopDoesNotMutateInput(t *testing.T) {
+	bins := []Bin{{"c", 1}, {"a", 9}, {"b", 5}}
+	orig := make([]Bin, len(bins))
+	copy(orig, bins)
+	SelectTop(bins, 2)
+	if !reflect.DeepEqual(bins, orig) {
+		t.Errorf("SelectTop mutated its input: %v", bins)
+	}
+}
+
+func TestSelectTopEdgeCases(t *testing.T) {
+	if got := SelectTop(nil, 5); len(got) != 0 {
+		t.Errorf("SelectTop(nil, 5) = %v", got)
+	}
+	if got := SelectTop([]Bin{{"a", 1}}, 0); len(got) != 0 {
+		t.Errorf("SelectTop(_, 0) = %v", got)
+	}
+	if got := SelectTop([]Bin{{"a", 1}}, -2); len(got) != 0 {
+		t.Errorf("SelectTop(_, -2) = %v", got)
+	}
+}
+
+// TestSketchTopKMatchesReference: the streaming selector behind
+// (*Sketch).TopK must agree with sorting the full bin dump.
+func TestSketchTopKMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	sk := New(64, Unbiased, rng)
+	for i := 0; i < 5000; i++ {
+		sk.Update(fmt.Sprintf("item-%d", rng.Intn(200)))
+	}
+	for _, k := range []int{0, 1, 10, 64, 100} {
+		got := sk.TopK(k)
+		want := sortTop(sk.Bins(), k)
+		if !reflect.DeepEqual(append([]Bin{}, got...), append([]Bin{}, want...)) {
+			t.Fatalf("TopK(%d) = %v, want %v", k, got, want)
+		}
+	}
+}

@@ -21,7 +21,6 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/streamsummary"
 )
@@ -145,6 +144,16 @@ func (s *Sketch) UpdateAll(items []string) {
 	}
 }
 
+// UpdateGather processes the rows items[idx[0]], items[idx[1]], … in
+// order: the scatter-free half of the sharded batch path. Callers group
+// row indices by destination sketch and feed each group through the same
+// per-row loop as UpdateAll without copying the row strings themselves.
+func (s *Sketch) UpdateGather(items []string, idx []int32) {
+	for _, j := range idx {
+		s.Update(items[j])
+	}
+}
+
 // Contains reports whether item currently labels a bin.
 func (s *Sketch) Contains(item string) bool { return s.sum.Contains(item) }
 
@@ -188,38 +197,39 @@ func (s *Sketch) Bins() []Bin {
 }
 
 // TopK returns the k largest bins in descending count order (ties broken by
-// item label for determinism). k larger than Size is truncated.
+// item label for determinism). k larger than Size is truncated. The
+// selection streams the bins through a bounded min-heap — O(m log k) and a
+// single allocation, shared with every other top-k query (select.go).
 func (s *Sketch) TopK(k int) []Bin {
-	bins := s.Bins()
-	sort.Slice(bins, func(i, j int) bool {
-		if bins[i].Count != bins[j].Count {
-			return bins[i].Count > bins[j].Count
-		}
-		return bins[i].Item < bins[j].Item
-	})
-	if k > len(bins) {
-		k = len(bins)
+	if k > s.Size() {
+		k = s.Size()
 	}
-	return bins[:k]
+	sel := newTopSelector(k)
+	s.sum.Each(func(item string, count int64) bool {
+		sel.offer(Bin{Item: item, Count: float64(count)})
+		return true
+	})
+	return sel.take()
 }
 
 // FrequentItems returns the bins whose estimated relative frequency
 // count/Total exceeds phi, in descending count order. With Deterministic
 // mode this is the classic heavy-hitters query; with Unbiased mode the
-// counts are additionally unbiased.
+// counts are additionally unbiased. The threshold is applied during the
+// scan, so only qualifying bins are sorted.
 func (s *Sketch) FrequentItems(phi float64) []Bin {
 	tot := s.Total()
 	if tot == 0 {
 		return nil
 	}
 	var out []Bin
-	for _, b := range s.TopK(s.Size()) {
-		if b.Count/tot > phi {
-			out = append(out, b)
-		} else {
-			break
+	s.sum.Each(func(item string, count int64) bool {
+		if float64(count)/tot > phi {
+			out = append(out, Bin{Item: item, Count: float64(count)})
 		}
-	}
+		return true
+	})
+	sortBins(out)
 	return out
 }
 
@@ -236,13 +246,13 @@ func (s *Sketch) GuaranteedFrequent(phi float64) []Bin {
 	}
 	nmin := s.MinCount()
 	var out []Bin
-	for _, b := range s.TopK(s.Size()) {
-		if b.Count-nmin > phi*tot {
-			out = append(out, b)
-		} else {
-			break
+	s.sum.Each(func(item string, count int64) bool {
+		if float64(count)-nmin > phi*tot {
+			out = append(out, Bin{Item: item, Count: float64(count)})
 		}
-	}
+		return true
+	})
+	sortBins(out)
 	return out
 }
 

@@ -337,7 +337,14 @@ func TestFigures8910Shapes(t *testing.T) {
 }
 
 func TestTheorem11Poisoning(t *testing.T) {
-	tabs := Theorem11(smallCfg())
+	// Run with more reps than smallCfg: the poisoned estimator's per-rep
+	// std is ≈ 0.9× truth (see the note in Theorem11), so the smallCfg rep
+	// count (9) puts one standard error of the mean above the ±25% band
+	// asserted below and pass/fail would be a seed lottery. ~100 reps puts
+	// the band at ≈ 2.9 standard errors. The band itself is unchanged.
+	cfg := smallCfg()
+	cfg.Reps = 1.7
+	tabs := Theorem11(cfg)
 	tab := tabs[0]
 	for r := range tab.Rows {
 		variant := cell(t, tab, r, "variant")

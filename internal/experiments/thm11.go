@@ -20,6 +20,11 @@ func Theorem11(cfg Config) []Table {
 	nItems := cfg.scaled(2000)
 	per := int64(50)
 	pop := workload.Uniform(nItems, per)
+	// Note for callers that scale Reps down: the poisoned estimator is
+	// unbiased but very noisy — the per-rep std of the smallest subset's
+	// estimate is roughly 0.9× its truth, so the mean over r reps has
+	// relative standard error ≈ 0.9/√r. Below a few dozen reps the mean
+	// column is mostly noise.
 	reps := cfg.reps(60)
 
 	// Subsets to estimate: three sizes of random item subsets.

@@ -2,8 +2,9 @@ package freq
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
+
+	"repro/internal/hashx"
 )
 
 // CountMin is the Count-Min sketch of Cormode & Muthukrishnan (2005): a
@@ -50,9 +51,9 @@ func NewCountMinWithError(epsilon, delta float64) *CountMin {
 // hash returns the bucket for item in row r, using FNV-1a mixed with a
 // per-row seed.
 func (cm *CountMin) hash(item string, r int) int {
-	h := fnv.New64a()
-	h.Write([]byte(item))
-	v := h.Sum64() ^ cm.seeds[r]
+	// Inlined FNV-1a (hashx) instead of a heap-allocated fnv.New64a per
+	// row; digests are identical, so bucket assignments are unchanged.
+	v := hashx.Sum64a(item) ^ cm.seeds[r]
 	// Final avalanche (splitmix64 tail) so the per-row seeds decorrelate.
 	v ^= v >> 30
 	v *= 0xbf58476d1ce4e5b9

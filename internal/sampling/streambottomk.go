@@ -3,7 +3,8 @@ package sampling
 import (
 	"container/heap"
 	"fmt"
-	"hash/fnv"
+
+	"repro/internal/hashx"
 )
 
 // StreamingBottomK is the bottom-k sketch of Cohen & Kaplan (2007) run
@@ -63,9 +64,9 @@ func NewStreamingBottomK(k int, seed uint64) *StreamingBottomK {
 }
 
 func (s *StreamingBottomK) hash(key string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	v := h.Sum64() ^ s.seed
+	// Inlined FNV-1a (hashx) instead of a heap-allocated fnv.New64a per
+	// row; digests are identical, so samples are unchanged.
+	v := hashx.Sum64a(key) ^ s.seed
 	v ^= v >> 30
 	v *= 0xbf58476d1ce4e5b9
 	v ^= v >> 27

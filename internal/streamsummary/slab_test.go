@@ -1,0 +1,141 @@
+package streamsummary
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Tests for the slab-backed storage layout: free-list recycling, Remove,
+// and the zero-allocation guarantee on the steady-state ingest path.
+
+func TestRemove(t *testing.T) {
+	s := New(8)
+	s.Insert("a", 1)
+	s.Insert("b", 2)
+	s.Insert("c", 2)
+	if c, ok := s.Remove("b"); !ok || c != 2 {
+		t.Fatalf("Remove(b) = %d,%v, want 2,true", c, ok)
+	}
+	if s.Contains("b") {
+		t.Error("removed item still present")
+	}
+	if s.Len() != 2 || s.Total() != 3 {
+		t.Errorf("Len/Total = %d/%d, want 2/3", s.Len(), s.Total())
+	}
+	if _, ok := s.Remove("missing"); ok {
+		t.Error("Remove(missing) reported success")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Removing the last member of a bucket retires the bucket too.
+	if c, ok := s.Remove("a"); !ok || c != 1 {
+		t.Fatalf("Remove(a) = %d,%v, want 1,true", c, ok)
+	}
+	if s.MinCount() != 2 {
+		t.Errorf("MinCount = %d after removing the count-1 bucket, want 2", s.MinCount())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Empty the summary entirely and rebuild on recycled slots.
+	if _, ok := s.Remove("c"); !ok {
+		t.Fatal("Remove(c) failed")
+	}
+	if s.Len() != 0 || s.Total() != 0 || s.MinCount() != 0 {
+		t.Errorf("summary not empty after removing all: Len=%d Total=%d", s.Len(), s.Total())
+	}
+	s.Insert("d", 4)
+	if c, ok := s.Count("d"); !ok || c != 4 {
+		t.Fatalf("Count(d) = %d,%v after rebuild on free-list", c, ok)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNodeFreeListReuse: churn through Remove+Insert and verify the node
+// slab does not grow past its high-water mark — vacated slots are reused.
+func TestNodeFreeListReuse(t *testing.T) {
+	s := New(16)
+	for i := 0; i < 16; i++ {
+		s.Insert(fmt.Sprintf("i%d", i), int64(i))
+	}
+	slab := len(s.nodes)
+	for round := 0; round < 100; round++ {
+		victim := fmt.Sprintf("i%d", round%16)
+		if _, ok := s.Remove(victim); !ok {
+			t.Fatalf("round %d: Remove(%s) failed", round, victim)
+		}
+		s.Insert(victim, int64(round))
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if len(s.nodes) != slab {
+		t.Errorf("node slab grew from %d to %d under remove/insert churn", slab, len(s.nodes))
+	}
+}
+
+// TestBucketFreeListReuse: a single item climbing through many counts must
+// recycle the one-bucket-per-count transitions rather than growing the
+// bucket slab without bound.
+func TestBucketFreeListReuse(t *testing.T) {
+	s := New(4)
+	s.Insert("a", 0)
+	s.Insert("b", 0)
+	for i := 0; i < 10000; i++ {
+		s.Increment("a")
+	}
+	// Live buckets: {0: b} and {10000: a}. Everything else must have been
+	// recycled through the free-list, so the slab stays tiny.
+	if len(s.buckets) > 4 {
+		t.Errorf("bucket slab holds %d slots after 10k bumps, want ≤ 4", len(s.buckets))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSteadyStateZeroAlloc is the core guarantee of the slab layout: once
+// warm, Increment / IncrementRandomMin / ReplaceRandomMin allocate nothing.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := New(256)
+	items := make([]string, 256)
+	labels := make([]string, 4096)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("label-%d", i)
+	}
+	for i := range items {
+		items[i] = labels[i]
+		s.Insert(items[i], int64(i%7))
+	}
+	next := len(items)
+	// Warm the structure through every transition shape once.
+	for i := 0; i < 10000; i++ {
+		s.Increment(items[i%len(items)])
+		s.IncrementRandomMin(rng)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 200; i++ {
+			s.Increment(items[(i*31)%len(items)])
+		}
+		s.IncrementRandomMin(rng)
+		_, evicted, _ := s.ReplaceRandomMin(labels[next%len(labels)], rng)
+		next++
+		// Keep items addressable so future Increments hit live labels.
+		for j, it := range items {
+			if it == evicted {
+				items[j] = labels[(next-1)%len(labels)]
+				break
+			}
+		}
+	}); avg != 0 {
+		t.Errorf("steady-state ingest allocates %v/run, want 0", avg)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

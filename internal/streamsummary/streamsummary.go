@@ -12,81 +12,139 @@
 //     Unbiased Space Saving, Ting 2018 §6.1),
 //   - increment a minimum bin with or without replacing its label.
 //
-// The structure is a doubly-linked list of buckets in strictly increasing
-// count order. Each bucket owns the set of items whose counter equals the
-// bucket's count, stored in a slice so that a uniformly random member can be
-// chosen in O(1). Incrementing an item moves it from its bucket to the
-// adjacent bucket with count+1, creating or deleting buckets as needed; all
-// of this is O(1) because counts only ever grow by exactly one.
+// Logically the structure is the classic one: buckets in strictly
+// increasing count order, each owning the set of items whose counter equals
+// the bucket's count. Incrementing an item moves it to the adjacent
+// count+1 bucket, creating or retiring buckets as needed; all O(1) because
+// counts only ever grow by exactly one.
+//
+// Storage layout (the part that differs from the textbook presentation):
+// everything lives in three flat slabs addressed by int32 —
+//
+//   - nodes:   one (item, bucket, pos) record per bin, with an intrusive
+//     free-list threading vacant slots through the bucket field;
+//   - perm:    a permutation of the live node indices, grouped by bucket in
+//     descending count order (maximum bucket first), so a bucket's members
+//     are the contiguous range perm[start:end], the minimum bucket is the
+//     final range, and a uniformly random minimum bin is one
+//     bounds-checked load away — no pointer chase. Descending order puts
+//     new minimums at the array's end, which keeps fill-phase inserts O(1);
+//   - buckets: one (count, start, end) range record per distinct count,
+//     recycled through an intrusive free-list (linked through the start
+//     field) when a count empties.
+//
+// Incrementing a bin is a swap to its bucket's boundary plus two range
+// adjustments; no memory is written outside the three slabs and the index
+// map. After the fill phase the ingest path therefore performs zero heap
+// allocations per row — there is nothing to allocate: no per-bucket
+// slices, no linked-list cells, just fixed-width slab entries — and the GC
+// never scans interior pointers.
 package streamsummary
 
 import "fmt"
 
-// node is a single (item, count) bin. Its count is implied by the bucket it
-// currently belongs to.
+// none marks an absent slab index (the nil of the int32-indexed layout).
+const none = int32(-1)
+
+// node is a single (item, count) bin stored in the node slab. Its count is
+// implied by the bucket it currently belongs to. While a node is on the
+// free-list, its bucket field holds the index of the next free node.
 type node struct {
 	item   string
-	bucket *bucket
-	idx    int // position of this node in bucket.nodes
+	bucket int32 // owning bucket slab index; free-list link when vacant
+	pos    int32 // position of this node in perm
 }
 
-// bucket groups all bins sharing one counter value.
+// bucket is one distinct counter value: the nodes holding it are
+// perm[start:end]; ranges partition perm with counts strictly descending
+// left to right. While a bucket is on the free-list, its start field holds
+// the index of the next free bucket.
 type bucket struct {
 	count      int64
-	nodes      []*node
-	prev, next *bucket
-}
-
-func (b *bucket) add(n *node) {
-	n.bucket = b
-	n.idx = len(b.nodes)
-	b.nodes = append(b.nodes, n)
-}
-
-// remove deletes n from the bucket in O(1) by swapping with the last node.
-func (b *bucket) remove(n *node) {
-	last := len(b.nodes) - 1
-	if n.idx != last {
-		moved := b.nodes[last]
-		b.nodes[n.idx] = moved
-		moved.idx = n.idx
-	}
-	b.nodes[last] = nil
-	b.nodes = b.nodes[:last]
+	start, end int32
 }
 
 // Summary is a Stream-Summary structure. The zero value is not usable; call
 // New.
 type Summary struct {
-	index map[string]*node
-	head  *bucket // bucket with the minimum count, nil when empty
-	tail  *bucket // bucket with the maximum count, nil when empty
-	total int64   // sum of all counters
+	index      map[string]int32 // item -> node slab index
+	nodes      []node
+	perm       []int32 // live node indices grouped by bucket, counts descending
+	buckets    []bucket
+	freeNode   int32 // head of the vacant-node free-list, none when empty
+	freeBucket int32 // head of the vacant-bucket free-list, none when empty
+	total      int64 // sum of all counters
 }
 
 // New returns an empty Summary with capacity hint cap (the expected number of
 // bins; the structure itself does not enforce a maximum size — the sketch
-// layered on top does).
+// layered on top does). All three slabs are pre-sized so a summary that
+// stays within the hint reaches steady state without any slab growth: the
+// bucket slab gets one extra slot because bump allocates the count+1 bucket
+// before retiring the emptied one.
 func New(cap int) *Summary {
 	if cap < 0 {
 		cap = 0
 	}
-	return &Summary{index: make(map[string]*node, cap)}
+	return &Summary{
+		index:      make(map[string]int32, cap),
+		nodes:      make([]node, 0, cap),
+		perm:       make([]int32, 0, cap),
+		buckets:    make([]bucket, 0, cap+1),
+		freeNode:   none,
+		freeBucket: none,
+	}
+}
+
+// allocNode pops a vacant slot off the free-list or grows the slab.
+func (s *Summary) allocNode(item string) int32 {
+	if ni := s.freeNode; ni != none {
+		s.freeNode = s.nodes[ni].bucket
+		s.nodes[ni] = node{item: item}
+		return ni
+	}
+	s.nodes = append(s.nodes, node{item: item})
+	return int32(len(s.nodes) - 1)
+}
+
+// releaseNode pushes a node slot onto the free-list, clearing its item so
+// the slab does not pin the string.
+func (s *Summary) releaseNode(ni int32) {
+	s.nodes[ni] = node{bucket: s.freeNode}
+	s.freeNode = ni
+}
+
+// allocBucket pops a recycled bucket record or grows the bucket slab.
+func (s *Summary) allocBucket(count int64, start, end int32) int32 {
+	if bi := s.freeBucket; bi != none {
+		s.freeBucket = s.buckets[bi].start
+		s.buckets[bi] = bucket{count: count, start: start, end: end}
+		return bi
+	}
+	s.buckets = append(s.buckets, bucket{count: count, start: start, end: end})
+	return int32(len(s.buckets) - 1)
+}
+
+// releaseBucket pushes an empty bucket record onto the free-list, linking
+// through the start field.
+func (s *Summary) releaseBucket(bi int32) {
+	s.buckets[bi] = bucket{start: s.freeBucket}
+	s.freeBucket = bi
 }
 
 // Len returns the number of bins currently stored.
-func (s *Summary) Len() int { return len(s.index) }
+func (s *Summary) Len() int { return len(s.perm) }
 
 // Total returns the sum of all counters.
 func (s *Summary) Total() int64 { return s.total }
 
 // Count returns item's counter and whether the item is present.
 func (s *Summary) Count(item string) (int64, bool) {
-	n, ok := s.index[item]
+	ni, ok := s.index[item]
 	if !ok {
 		return 0, false
 	}
-	return n.bucket.count, true
+	return s.buckets[s.nodes[ni].bucket].count, true
 }
 
 // Contains reports whether item labels one of the bins.
@@ -98,128 +156,182 @@ func (s *Summary) Contains(item string) bool {
 // MinCount returns the smallest counter value, or 0 when the summary is
 // empty.
 func (s *Summary) MinCount() int64 {
-	if s.head == nil {
+	if len(s.perm) == 0 {
 		return 0
 	}
-	return s.head.count
+	return s.buckets[s.nodes[s.perm[len(s.perm)-1]].bucket].count
 }
 
 // MaxCount returns the largest counter value, or 0 when the summary is empty.
 func (s *Summary) MaxCount() int64 {
-	if s.tail == nil {
+	if len(s.perm) == 0 {
 		return 0
 	}
-	return s.tail.count
+	return s.buckets[s.nodes[s.perm[0]].bucket].count
 }
 
 // NumMin returns how many bins share the minimum counter value.
 func (s *Summary) NumMin() int {
-	if s.head == nil {
+	L := int32(len(s.perm))
+	if L == 0 {
 		return 0
 	}
-	return len(s.head.nodes)
+	// The minimum bucket's range always ends at L.
+	return int(L - s.buckets[s.nodes[s.perm[L-1]].bucket].start)
 }
 
 // Insert adds a new bin (item, count). It panics if the item is already
-// present; use Increment for existing items. Insert is O(1) when count is <=
-// the current minimum or >= the current maximum (the only cases Space-Saving
-// needs: fresh bins start at 0 or at Nmin+1) and O(#buckets) otherwise.
+// present; use Increment for existing items. Insert is O(1) when count is
+// <= the current minimum — the only case Space-Saving's fill phase feeds
+// (fresh bins start at 0 or 1 while tracked bins are >= 1), and the order
+// RestoreUnit feeds (descending) — and O(#buckets with a smaller count)
+// otherwise: each such bucket rotates one element to open the slot.
 func (s *Summary) Insert(item string, count int64) {
 	if _, ok := s.index[item]; ok {
 		panic(fmt.Sprintf("streamsummary: duplicate insert of %q", item))
 	}
-	n := &node{item: item}
-	s.index[item] = n
+	ni := s.allocNode(item)
+	s.index[item] = ni
 	s.total += count
-	b := s.findOrMakeBucket(count)
-	b.add(n)
+
+	hole := int32(len(s.perm))
+	s.perm = append(s.perm, ni)
+	// Rotate every bucket with a smaller count one slot right: its first
+	// element moves into the hole past its end, and its range shifts.
+	// The hole climbs to the insertion point; a new minimum stops at once.
+	for hole > 0 {
+		gi := s.nodes[s.perm[hole-1]].bucket
+		g := &s.buckets[gi]
+		if g.count >= count {
+			break
+		}
+		first := s.perm[g.start]
+		s.perm[hole] = first
+		s.nodes[first].pos = hole
+		hole = g.start
+		g.start++
+		g.end++
+	}
+	var bi int32
+	if hole > 0 {
+		if above := s.nodes[s.perm[hole-1]].bucket; s.buckets[above].count == count {
+			bi = above
+			s.buckets[bi].end++
+		} else {
+			bi = s.allocBucket(count, hole, hole+1)
+		}
+	} else {
+		bi = s.allocBucket(count, 0, 1)
+	}
+	s.perm[hole] = ni
+	s.nodes[ni].pos = hole
+	s.nodes[ni].bucket = bi
 }
 
-// findOrMakeBucket locates the bucket with the given count, creating and
-// splicing it into the list if absent.
-func (s *Summary) findOrMakeBucket(count int64) *bucket {
-	switch {
-	case s.head == nil:
-		b := &bucket{count: count}
-		s.head, s.tail = b, b
-		return b
-	case count < s.head.count:
-		b := &bucket{count: count, next: s.head}
-		s.head.prev = b
-		s.head = b
-		return b
-	case count > s.tail.count:
-		b := &bucket{count: count, prev: s.tail}
-		s.tail.next = b
-		s.tail = b
-		return b
+// Remove deletes item's bin entirely, returning its counter value. The
+// vacated node (and bucket, if it emptied) go onto the free-lists for
+// reuse. O(#buckets with a smaller count): each rotates one element left
+// to close the gap.
+//
+// Space-Saving itself never removes bins (evictions relabel in place), so
+// no sketch path calls this; it exists for dynamic-universe maintenance
+// layered on top — expiring decayed bins, dropping blocklisted keys — and
+// it is what exercises the node free-list (see FuzzStreamSummaryOps).
+func (s *Summary) Remove(item string) (count int64, ok bool) {
+	ni, present := s.index[item]
+	if !present {
+		return 0, false
 	}
-	// Walk from whichever end is nearer in count value. Fresh Space-Saving
-	// bins are always at one of the extremes, so this path is rare.
-	cur := s.head
-	for cur != nil && cur.count < count {
-		cur = cur.next
+	bi := s.nodes[ni].bucket
+	b := &s.buckets[bi]
+	count = b.count
+	// Swap the node to the last slot of its bucket's range, shrink the
+	// range, then rotate every later bucket one slot left over the hole.
+	last := b.end - 1
+	if p := s.nodes[ni].pos; p != last {
+		other := s.perm[last]
+		s.perm[p] = other
+		s.nodes[other].pos = p
 	}
-	if cur != nil && cur.count == count {
-		return cur
+	hole := last
+	b.end--
+	emptied := b.start == b.end
+	top := int32(len(s.perm)) - 1
+	for hole < top {
+		gi := s.nodes[s.perm[hole+1]].bucket
+		g := &s.buckets[gi]
+		moved := s.perm[g.end-1]
+		s.perm[hole] = moved
+		s.nodes[moved].pos = hole
+		hole = g.end - 1
+		g.start--
+		g.end--
 	}
-	// cur is the first bucket with count > target (cur may be nil only if
-	// count > tail.count, handled above). Insert before cur.
-	b := &bucket{count: count, prev: cur.prev, next: cur}
-	cur.prev.next = b
-	cur.prev = b
-	return b
+	s.perm = s.perm[:top]
+	if emptied {
+		s.releaseBucket(bi)
+	}
+	delete(s.index, item)
+	s.releaseNode(ni)
+	s.total -= count
+	return count, true
 }
 
 // Increment adds 1 to item's counter, moving it to the adjacent bucket.
 // It reports whether the item was present.
 func (s *Summary) Increment(item string) bool {
-	n, ok := s.index[item]
+	ni, ok := s.index[item]
 	if !ok {
 		return false
 	}
-	s.bump(n)
+	s.bump(ni)
 	return true
 }
 
-// bump moves n from its bucket to the bucket with count+1, creating it if
-// needed and removing the old bucket if it became empty. O(1).
-func (s *Summary) bump(n *node) {
-	b := n.bucket
+// bump moves ni from its bucket to the count+1 bucket — the adjacent
+// range to the left: one swap to the bucket's first slot plus two range
+// adjustments. A needed bucket record is recycled off the free-list and
+// an emptied one retired to it, so the operation is O(1) and
+// allocation-free in steady state.
+func (s *Summary) bump(ni int32) {
+	// Slab headers don't change during a bump (only allocBucket can grow a
+	// slab, and only the bucket one), so hoist them out of the indexing.
+	nodes, perm := s.nodes, s.perm
+	n := &nodes[ni]
+	bi := n.bucket
+	b := &s.buckets[bi]
 	target := b.count + 1
-	b.remove(n)
-	next := b.next
-	if next == nil || next.count != target {
-		// Splice a fresh bucket right after b.
-		nb := &bucket{count: target, prev: b, next: next}
-		b.next = nb
-		if next != nil {
-			next.prev = nb
-		} else {
-			s.tail = nb
-		}
-		next = nb
+	first := b.start
+	if p := n.pos; p != first {
+		other := perm[first]
+		perm[p] = other
+		nodes[other].pos = p
+		perm[first] = ni
+		n.pos = first
 	}
-	next.add(n)
-	if len(b.nodes) == 0 {
-		s.unlink(b)
+	if first > 0 {
+		if nbi := nodes[perm[first-1]].bucket; s.buckets[nbi].count == target {
+			// Adjacent bucket already holds count+1: shift the boundary.
+			b.start = first + 1
+			s.buckets[nbi].end = first + 1
+			n.bucket = nbi
+			if b.start == b.end {
+				s.releaseBucket(bi)
+			}
+			s.total++
+			return
+		}
+	}
+	// Splice a single-slot bucket at the boundary. allocBucket may grow the
+	// bucket slab, so finish all reads/writes through b first.
+	b.start = first + 1
+	emptied := b.start == b.end
+	nbi := s.allocBucket(target, first, first+1)
+	n.bucket = nbi
+	if emptied {
+		s.releaseBucket(bi)
 	}
 	s.total++
-}
-
-// unlink removes an empty bucket from the list.
-func (s *Summary) unlink(b *bucket) {
-	if b.prev != nil {
-		b.prev.next = b.next
-	} else {
-		s.head = b.next
-	}
-	if b.next != nil {
-		b.next.prev = b.prev
-	} else {
-		s.tail = b.prev
-	}
-	b.prev, b.next = nil, nil
 }
 
 // IntN is the source of randomness used for tie-breaking: it must return a
@@ -228,28 +340,31 @@ type IntN interface {
 	Intn(n int) int
 }
 
-// randomMin returns a uniformly random node among the minimum-count bins.
-func (s *Summary) randomMin(rng IntN) *node {
-	b := s.head
-	if b == nil {
-		return nil
+// randomMin returns a uniformly random node index among the minimum-count
+// bins, or none when empty. The minimum bucket is the final range
+// perm[start:len(perm)], so the pick is a single indexed load.
+func (s *Summary) randomMin(rng IntN) int32 {
+	L := int32(len(s.perm))
+	if L == 0 {
+		return none
 	}
-	if len(b.nodes) == 1 {
-		return b.nodes[0]
+	start := s.buckets[s.nodes[s.perm[L-1]].bucket].start
+	if start == L-1 {
+		return s.perm[L-1]
 	}
-	return b.nodes[rng.Intn(len(b.nodes))]
+	return s.perm[start+int32(rng.Intn(int(L-start)))]
 }
 
 // IncrementRandomMin picks a uniformly random minimum bin and increments it,
 // keeping its current label. It returns the previous minimum count, or false
 // when the summary is empty.
 func (s *Summary) IncrementRandomMin(rng IntN) (prevMin int64, ok bool) {
-	n := s.randomMin(rng)
-	if n == nil {
+	ni := s.randomMin(rng)
+	if ni == none {
 		return 0, false
 	}
-	prevMin = n.bucket.count
-	s.bump(n)
+	prevMin = s.buckets[s.nodes[ni].bucket].count
+	s.bump(ni)
 	return prevMin, true
 }
 
@@ -260,16 +375,17 @@ func (s *Summary) ReplaceRandomMin(newItem string, rng IntN) (prevMin int64, evi
 	if _, dup := s.index[newItem]; dup {
 		panic(fmt.Sprintf("streamsummary: ReplaceRandomMin with existing item %q", newItem))
 	}
-	n := s.randomMin(rng)
-	if n == nil {
+	ni := s.randomMin(rng)
+	if ni == none {
 		return 0, "", false
 	}
-	prevMin = n.bucket.count
+	n := &s.nodes[ni]
+	prevMin = s.buckets[n.bucket].count
 	evicted = n.item
 	delete(s.index, evicted)
 	n.item = newItem
-	s.index[newItem] = n
-	s.bump(n)
+	s.index[newItem] = ni
+	s.bump(ni)
 	return prevMin, evicted, true
 }
 
@@ -279,14 +395,13 @@ type Bin struct {
 	Count int64
 }
 
-// Bins returns all bins in ascending count order. The slice is freshly
-// allocated.
+// Bins returns all bins in ascending count order (perm stores counts
+// descending, so this walks it backward). The slice is freshly allocated.
 func (s *Summary) Bins() []Bin {
-	out := make([]Bin, 0, len(s.index))
-	for b := s.head; b != nil; b = b.next {
-		for _, n := range b.nodes {
-			out = append(out, Bin{Item: n.item, Count: b.count})
-		}
+	out := make([]Bin, 0, len(s.perm))
+	for i := len(s.perm) - 1; i >= 0; i-- {
+		n := &s.nodes[s.perm[i]]
+		out = append(out, Bin{Item: n.item, Count: s.buckets[n.bucket].count})
 	}
 	return out
 }
@@ -294,55 +409,113 @@ func (s *Summary) Bins() []Bin {
 // Each calls fn for every bin in ascending count order; it stops early if fn
 // returns false.
 func (s *Summary) Each(fn func(item string, count int64) bool) {
-	for b := s.head; b != nil; b = b.next {
-		for _, n := range b.nodes {
-			if !fn(n.item, b.count) {
-				return
-			}
+	for i := len(s.perm) - 1; i >= 0; i-- {
+		n := &s.nodes[s.perm[i]]
+		if !fn(n.item, s.buckets[n.bucket].count) {
+			return
 		}
 	}
 }
 
-// CheckInvariants validates internal consistency: strictly ascending bucket
-// counts, correct back-links, index agreement and total. It is exported for
-// tests and returns a descriptive error on the first violation found.
+// CheckInvariants validates internal consistency: the perm array is a
+// permutation of the live nodes, partitioned into contiguous bucket ranges
+// with strictly ascending counts; positions, back-references, index and
+// total mass agree; and every slab slot is either live or on exactly one
+// free-list, with free slots properly scrubbed. It is exported for tests
+// and returns a descriptive error on the first violation found.
 func (s *Summary) CheckInvariants() error {
-	seen := 0
+	L := int32(len(s.perm))
+	if int(L) != len(s.index) {
+		return fmt.Errorf("perm holds %d nodes, index holds %d", L, len(s.index))
+	}
+	seenNode := make([]bool, len(s.nodes))
+	seenBucket := make([]bool, len(s.buckets))
+	liveBuckets := 0
 	var sum int64
-	var prev *bucket
-	for b := s.head; b != nil; b = b.next {
-		if len(b.nodes) == 0 {
-			return fmt.Errorf("empty bucket with count %d", b.count)
+	cur := none // bucket whose range we are inside
+	var curEnd int32
+	var prevCount int64
+	for i := int32(0); i < L; i++ {
+		ni := s.perm[i]
+		if ni < 0 || int(ni) >= len(s.nodes) {
+			return fmt.Errorf("perm[%d] = %d out of node slab range %d", i, ni, len(s.nodes))
 		}
-		if prev != nil && prev.count >= b.count {
-			return fmt.Errorf("bucket counts not strictly ascending: %d then %d", prev.count, b.count)
+		if seenNode[ni] {
+			return fmt.Errorf("node %d appears twice in perm", ni)
 		}
-		if b.prev != prev {
-			return fmt.Errorf("bad prev link at bucket count %d", b.count)
+		seenNode[ni] = true
+		n := &s.nodes[ni]
+		if n.pos != i {
+			return fmt.Errorf("node %q has pos %d, want %d", n.item, n.pos, i)
 		}
-		for i, n := range b.nodes {
-			if n.bucket != b {
-				return fmt.Errorf("node %q has stale bucket pointer", n.item)
+		if got, ok := s.index[n.item]; !ok || got != ni {
+			return fmt.Errorf("index disagrees for %q", n.item)
+		}
+		bi := n.bucket
+		if bi < 0 || int(bi) >= len(s.buckets) {
+			return fmt.Errorf("node %q has bucket %d out of slab range %d", n.item, bi, len(s.buckets))
+		}
+		if i == curEnd {
+			// A new bucket range must begin exactly here.
+			b := &s.buckets[bi]
+			if seenBucket[bi] {
+				return fmt.Errorf("bucket %d owns two ranges", bi)
 			}
-			if n.idx != i {
-				return fmt.Errorf("node %q has idx %d, want %d", n.item, n.idx, i)
+			seenBucket[bi] = true
+			liveBuckets++
+			if b.start != i {
+				return fmt.Errorf("bucket %d starts at %d, but its range begins at %d", bi, b.start, i)
 			}
-			if s.index[n.item] != n {
-				return fmt.Errorf("index disagrees for %q", n.item)
+			if b.end <= b.start || b.end > L {
+				return fmt.Errorf("bucket %d has bad range [%d,%d) with %d live", bi, b.start, b.end, L)
 			}
-			seen++
-			sum += b.count
+			if cur != none && b.count >= prevCount {
+				return fmt.Errorf("bucket counts not strictly descending: %d then %d", prevCount, b.count)
+			}
+			cur, curEnd, prevCount = bi, b.end, b.count
+		} else if bi != cur {
+			return fmt.Errorf("node %q sits inside bucket %d's range but claims bucket %d", n.item, cur, bi)
 		}
-		prev = b
+		sum += prevCount
 	}
-	if s.tail != prev {
-		return fmt.Errorf("tail pointer stale")
-	}
-	if seen != len(s.index) {
-		return fmt.Errorf("list holds %d nodes, index holds %d", seen, len(s.index))
+	if curEnd != L {
+		return fmt.Errorf("last bucket range ends at %d, want %d", curEnd, L)
 	}
 	if sum != s.total {
 		return fmt.Errorf("total %d, want %d", s.total, sum)
+	}
+	// Free-list accounting: walk each free-list; the seen arrays double as
+	// cycle and live/free-overlap detectors.
+	freeBuckets := 0
+	for bi := s.freeBucket; bi != none; bi = s.buckets[bi].start {
+		if bi < 0 || int(bi) >= len(s.buckets) {
+			return fmt.Errorf("free bucket index %d out of slab range %d", bi, len(s.buckets))
+		}
+		if seenBucket[bi] {
+			return fmt.Errorf("bucket %d is both live and free (or free-list cycle)", bi)
+		}
+		seenBucket[bi] = true
+		freeBuckets++
+	}
+	if liveBuckets+freeBuckets != len(s.buckets) {
+		return fmt.Errorf("bucket slab holds %d slots, %d live + %d free", len(s.buckets), liveBuckets, freeBuckets)
+	}
+	freeNodes := 0
+	for ni := s.freeNode; ni != none; ni = s.nodes[ni].bucket {
+		if ni < 0 || int(ni) >= len(s.nodes) {
+			return fmt.Errorf("free node index %d out of slab range %d", ni, len(s.nodes))
+		}
+		if seenNode[ni] {
+			return fmt.Errorf("node %d is both live and free (or free-list cycle)", ni)
+		}
+		seenNode[ni] = true
+		if s.nodes[ni].item != "" {
+			return fmt.Errorf("free node %d still pins item %q", ni, s.nodes[ni].item)
+		}
+		freeNodes++
+	}
+	if int(L)+freeNodes != len(s.nodes) {
+		return fmt.Errorf("node slab holds %d slots, %d live + %d free", len(s.nodes), L, freeNodes)
 	}
 	return nil
 }

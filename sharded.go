@@ -2,10 +2,12 @@ package uss
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"math/rand"
 	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hashx"
 )
 
 // ShardedSketch ingests rows concurrently: items hash to one of S shards,
@@ -17,6 +19,11 @@ import (
 // Because sharding is by item hash, each item's rows all land in one
 // shard, so per-shard estimates are unbiased for the items routed there
 // and the merged estimate is unbiased overall.
+//
+// Update takes the destination shard's lock for every row. Under heavy
+// concurrent traffic prefer UpdateBatch, which groups a caller-side batch
+// of rows by destination shard and takes each shard's lock once per batch,
+// amortizing the lock protocol over the batch (see DESIGN.md).
 type ShardedSketch struct {
 	shards []shard
 	m      int
@@ -45,10 +52,17 @@ func NewSharded(shards, binsPerShard int, opts ...Option) *ShardedSketch {
 	return s
 }
 
+// shardIndex routes an item to its shard with an inlined, allocation-free
+// FNV-1a (bit-identical to the hash/fnv digest, so routing is unchanged
+// from earlier versions that paid one hasher allocation per row). The
+// modulo is taken in uint32 so the index stays in range even where int is
+// 32 bits.
+func (s *ShardedSketch) shardIndex(item string) int {
+	return int(hashx.Sum32a(item) % uint32(len(s.shards)))
+}
+
 func (s *ShardedSketch) shardFor(item string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(item))
-	return &s.shards[int(h.Sum32())%len(s.shards)]
+	return &s.shards[s.shardIndex(item)]
 }
 
 // Update routes one row to its item's shard. Safe for concurrent use.
@@ -57,6 +71,98 @@ func (s *ShardedSketch) Update(item string) {
 	sh.mu.Lock()
 	sh.sk.Update(item)
 	sh.mu.Unlock()
+}
+
+// batchScratch holds the reusable buffers UpdateBatch needs to group a
+// batch by destination shard: per-row shard ids, per-shard cursors, and
+// the index permutation the rows are regrouped through (indices rather
+// than string headers: a quarter of the write traffic, and nothing that
+// pins caller memory between batches). Pooled so concurrent batches each
+// get their own scratch without per-batch allocation.
+type batchScratch struct {
+	shardOf []int32
+	cursor  []int32
+	idx     []int32
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func (sc *batchScratch) grow(rows, shards int) {
+	if cap(sc.shardOf) < rows {
+		sc.shardOf = make([]int32, rows)
+		sc.idx = make([]int32, rows)
+	}
+	sc.shardOf = sc.shardOf[:rows]
+	sc.idx = sc.idx[:rows]
+	if cap(sc.cursor) < shards {
+		sc.cursor = make([]int32, shards)
+	}
+	sc.cursor = sc.cursor[:shards]
+	for i := range sc.cursor {
+		sc.cursor[i] = 0
+	}
+}
+
+// UpdateBatch ingests a batch of rows. Rows are hashed once, regrouped by
+// destination shard (a stable counting sort, so each shard sees its rows
+// in original stream order), and each shard's rows are applied through the
+// same batched core path as (*Sketch).UpdateAll under a single
+// lock/unlock per shard per batch — instead of one mutex round-trip per
+// row. Safe for concurrent use with Update, UpdateBatch and all queries;
+// allocation-free in steady state.
+//
+// The resulting sketch state is distributionally identical to calling
+// Update row by row: an item's rows all land in one shard, and each shard
+// processes its subsequence in order.
+func (s *ShardedSketch) UpdateBatch(items []string) {
+	if len(items) == 0 {
+		return
+	}
+	ns := len(s.shards)
+	if ns == 1 {
+		sh := &s.shards[0]
+		sh.mu.Lock()
+		sh.sk.UpdateAll(items)
+		sh.mu.Unlock()
+		return
+	}
+	sc := batchPool.Get().(*batchScratch)
+	sc.grow(len(items), ns)
+	// Pass 1: hash every row once, counting rows per shard.
+	for i, it := range items {
+		sh := int32(s.shardIndex(it))
+		sc.shardOf[i] = sh
+		sc.cursor[sh]++
+	}
+	// Turn counts into starting offsets of each shard's segment.
+	var off int32
+	for sh := range sc.cursor {
+		n := sc.cursor[sh]
+		sc.cursor[sh] = off
+		off += n
+	}
+	// Pass 2: stable scatter of row indices into contiguous per-shard
+	// segments. After the pass each cursor has advanced to the end of its
+	// shard's segment.
+	for i := range items {
+		sh := sc.shardOf[i]
+		sc.idx[sc.cursor[sh]] = int32(i)
+		sc.cursor[sh]++
+	}
+	// Pass 3: one lock round-trip per non-empty shard, each segment fed
+	// through the same per-row core loop as (*Sketch).UpdateAll.
+	start := int32(0)
+	for sh := 0; sh < ns; sh++ {
+		end := sc.cursor[sh]
+		if end > start {
+			shd := &s.shards[sh]
+			shd.mu.Lock()
+			shd.sk.core.UpdateGather(items, sc.idx[start:end])
+			shd.mu.Unlock()
+		}
+		start = end
+	}
+	batchPool.Put(sc)
 }
 
 // Rows returns the total rows ingested across shards.
@@ -123,23 +229,12 @@ func (s *ShardedSketch) Snapshot(m int) *WeightedSketch {
 	return w
 }
 
-// TopK returns the k heaviest items across shards via a snapshot merge.
+// TopK returns the k heaviest items across shards via a snapshot merge,
+// selected with the shared O(n log k) partial heap select (the same
+// implementation backing the single-sketch TopK).
 func (s *ShardedSketch) TopK(k int) []Bin {
 	snap := s.Snapshot(0)
-	bins := snap.Bins()
-	if k > len(bins) {
-		k = len(bins)
-	}
-	for i := 0; i < k; i++ {
-		best := i
-		for j := i + 1; j < len(bins); j++ {
-			if bins[j].Count > bins[best].Count {
-				best = j
-			}
-		}
-		bins[i], bins[best] = bins[best], bins[i]
-	}
-	return bins[:k]
+	return core.SelectTop(snap.Bins(), k)
 }
 
 // Shards returns the shard count.
