@@ -7,10 +7,12 @@ import (
 	uss "repro"
 )
 
-// Allocation regression tests for the ingest hot path. The slab-backed
-// Stream-Summary, the inlined shard hash and the pooled batch scratch
-// together make steady-state ingest allocation-free; these tests pin that
-// property so a future change that reintroduces a per-row allocation fails
+// Allocation regression tests for the ingest and read hot paths. The
+// slab-backed Stream-Summary, the inlined shard hash and the pooled batch
+// scratch make steady-state ingest allocation-free; the columnar query
+// engine and the versioned snapshot cache make repeated reads against an
+// unchanged sketch allocation-free. These tests pin both properties so a
+// future change that reintroduces a per-row or per-query allocation fails
 // loudly instead of silently costing throughput.
 
 // allocTestStream returns a skewed row stream drawn from a fixed label
@@ -86,6 +88,91 @@ func TestUpdateBatchZeroAllocsSteadyState(t *testing.T) {
 		off += 1024
 	}); avg != 0 {
 		t.Errorf("steady-state UpdateBatch allocates %v per 1024-row batch, want 0", avg)
+	}
+}
+
+// dimLabelStream returns rows whose labels parse as dimension tuples, for
+// the query-path allocation tests.
+func dimLabelStream(n int) []string {
+	rows := make([]string, n)
+	for i := range rows {
+		rows[i] = fmt.Sprintf("country=c%d|device=d%d|ad=a%d", i%11, i%3, i%457)
+	}
+	return rows
+}
+
+func queryAllocSpec() uss.QuerySpec {
+	return uss.QuerySpec{
+		Where:   []uss.QueryFilter{{Dim: "device", In: []string{"d0", "d1"}}},
+		GroupBy: []string{"country"},
+	}
+}
+
+// TestPreparedQueryZeroAllocs: repeated evaluation of a prepared query
+// against an unchanged sketch must be allocation-free — the columnar
+// index, the compiled program, the group render cache and the output
+// buffers are all reused.
+func TestPreparedQueryZeroAllocs(t *testing.T) {
+	sk := uss.New(512, uss.WithSeed(15))
+	sk.UpdateAll(dimLabelStream(1 << 14))
+	p := sk.QueryEngine().Prepare(queryAllocSpec())
+	for i := 0; i < 2; i++ {
+		if groups, _, err := p.Run(); err != nil || len(groups) == 0 {
+			t.Fatalf("warm run: groups=%v err=%v", groups, err)
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if groups, _, _ := p.Run(); len(groups) == 0 {
+			t.Fatal("empty result")
+		}
+	}); avg != 0 {
+		t.Errorf("repeat PreparedQuery.Run allocates %v/op, want 0", avg)
+	}
+}
+
+// TestShardedPreparedQueryZeroAllocs: the same guarantee through the
+// sharded sketch's cached snapshot and shared label index.
+func TestShardedPreparedQueryZeroAllocs(t *testing.T) {
+	s := uss.NewSharded(8, 128, uss.WithSeed(16))
+	s.UpdateBatch(dimLabelStream(1 << 14))
+	p := s.QueryEngine().Prepare(queryAllocSpec())
+	for i := 0; i < 2; i++ {
+		if groups, _, err := p.Run(); err != nil || len(groups) == 0 {
+			t.Fatalf("warm run: groups=%v err=%v", groups, err)
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if groups, _, _ := p.Run(); len(groups) == 0 {
+			t.Fatal("empty result")
+		}
+	}); avg != 0 {
+		t.Errorf("repeat sharded PreparedQuery.Run allocates %v/op, want 0", avg)
+	}
+}
+
+// TestShardedTopKZeroAllocsQuiescent: TopK against an unchanged sharded
+// sketch must serve the cached descending order with no locks taken and
+// no allocations — and must still see new data once a shard moves.
+func TestShardedTopKZeroAllocsQuiescent(t *testing.T) {
+	s := uss.NewSharded(8, 64, uss.WithSeed(17))
+	s.UpdateBatch(allocTestStream(1 << 14))
+	if top := s.TopK(10); len(top) != 10 {
+		t.Fatalf("warm TopK returned %d bins", len(top))
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if top := s.TopK(10); len(top) != 10 {
+			t.Fatal("short TopK")
+		}
+	}); avg != 0 {
+		t.Errorf("quiescent ShardedSketch.TopK allocates %v/op, want 0", avg)
+	}
+	// Mutation invalidates: an item pushed far past the current leader
+	// must surface immediately.
+	for i := 0; i < 1<<15; i++ {
+		s.Update("usurper")
+	}
+	if top := s.TopK(1); len(top) != 1 || top[0].Item != "usurper" {
+		t.Fatalf("cache served stale TopK after updates: %v", top)
 	}
 }
 

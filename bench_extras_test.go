@@ -163,6 +163,67 @@ func BenchmarkQueryGroupBy(b *testing.B) {
 	}
 }
 
+// BenchmarkPreparedQuery is the amortized read path: index built once,
+// query compiled once, every iteration pure columnar evaluation
+// (0 allocs/op, pinned by TestPreparedQueryZeroAllocs).
+func BenchmarkPreparedQuery(b *testing.B) {
+	sk := uss.New(4096, uss.WithSeed(6))
+	for i := 0; i < 1<<17; i++ {
+		sk.Update(fmt.Sprintf("country=c%d|device=d%d|ad=a%d", i%20, i%3, i%997))
+	}
+	p := sk.QueryEngine().Prepare(uss.QuerySpec{
+		Where:   []uss.QueryFilter{{Dim: "device", In: []string{"d0", "d1"}}},
+		GroupBy: []string{"country"},
+	})
+	if _, _, err := p.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups, _, err := p.Run()
+		if err != nil || len(groups) == 0 {
+			b.Fatal("query failed")
+		}
+	}
+}
+
+// BenchmarkShardedTopK contrasts the cold path (a shard moved since the
+// last read: re-merge, re-sort) against the cached path (quiescent
+// sketch: version check plus a bounds-checked subslice).
+func BenchmarkShardedTopK(b *testing.B) {
+	build := func() *uss.ShardedSketch {
+		s := uss.NewSharded(8, 512, uss.WithSeed(2))
+		for _, r := range benchStream(1 << 16) {
+			s.Update(r)
+		}
+		return s
+	}
+	b.Run("Cold", func(b *testing.B) {
+		s := build()
+		rows := benchStream(1 << 10)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Update(rows[i&(len(rows)-1)]) // bust the snapshot cache
+			if len(s.TopK(100)) == 0 {
+				b.Fatal("empty TopK")
+			}
+		}
+	})
+	b.Run("Cached", func(b *testing.B) {
+		s := build()
+		s.TopK(100) // warm the snapshot cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(s.TopK(100)) == 0 {
+				b.Fatal("empty TopK")
+			}
+		}
+	})
+}
+
 func BenchmarkDecayedUpdate(b *testing.B) {
 	sk := uss.NewDecayed(1024, 0.001, uss.WithSeed(7))
 	rows := benchStream(1 << 14)

@@ -60,6 +60,7 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("uss: restore sketch: %w", err)
 	}
 	s.core = restored
+	s.qe = nil // any cached query engine is bound to the old core
 	return nil
 }
 
@@ -93,6 +94,7 @@ func (s *WeightedSketch) UnmarshalBinary(data []byte) error {
 		}
 	}
 	s.core = w
+	s.qe = nil // any cached query engine is bound to the old core
 	return nil
 }
 

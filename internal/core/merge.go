@@ -1,10 +1,11 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
+	"strings"
 )
 
 // This file implements the merge and size-reduction operations of §5.3 and
@@ -15,41 +16,187 @@ import (
 // unbiased, so we provide two unbiased reductions (pairwise and pivotal) and
 // the biased Misra–Gries soft-threshold reduction for comparison.
 
-// sumBins adds bin lists item-wise, producing one exact bin per distinct
-// item in ascending count order.
-func sumBins(lists ...[]Bin) []Bin {
-	acc := make(map[string]float64)
-	for _, l := range lists {
-		for _, b := range l {
-			acc[b.Item] += b.Count
+// sortAscending orders bins in place by count, ties broken by item — the
+// canonical bin-list order every reduction returns.
+func sortAscending(bins []Bin) {
+	slices.SortFunc(bins, func(a, b Bin) int {
+		if a.Count != b.Count {
+			if a.Count < b.Count {
+				return -1
+			}
+			return 1
 		}
-	}
-	out := make([]Bin, 0, len(acc))
-	for it, c := range acc {
-		out = append(out, Bin{Item: it, Count: c})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count < out[j].Count
-		}
-		return out[i].Item < out[j].Item
+		return strings.Compare(a.Item, b.Item)
 	})
+}
+
+// sumBins adds bin lists item-wise, producing one exact bin per distinct
+// item in ascending count order. Items are grouped by sorting the
+// concatenation rather than hashing into a map: one output allocation, no
+// per-item map churn, identical output.
+func sumBins(lists ...[]Bin) []Bin {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	out := make([]Bin, 0, n)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	if len(out) == 0 {
+		return out
+	}
+	slices.SortFunc(out, func(a, b Bin) int { return strings.Compare(a.Item, b.Item) })
+	w := 0
+	for r := 0; r < len(out); {
+		item := out[r].Item
+		c := out[r].Count
+		for r++; r < len(out) && out[r].Item == item; r++ {
+			c += out[r].Count
+		}
+		out[w] = Bin{Item: item, Count: c}
+		w++
+	}
+	out = out[:w]
+	sortAscending(out)
 	return out
 }
 
-// binHeap is a min-heap over Bin by count used by the pairwise reduction.
+// SumDisjointAscending sums bin lists known to share no items — the
+// shard-partitioned shape ShardedSketch produces, where each item's rows
+// all hash to one shard — via a k-way merge over the inputs' ascending bin
+// lists. With no item appearing twice, the exact item-wise sum needs no
+// aggregation at all, so the merge is a single pass: one output
+// allocation, no hashing, no re-sort. Each input must be in ascending
+// count order (the order Sketch.Bins returns); the output is in ascending
+// count order.
+func SumDisjointAscending(lists ...[]Bin) []Bin {
+	n := 0
+	live := 0
+	for _, l := range lists {
+		n += len(l)
+		if len(l) > 0 {
+			live++
+		}
+	}
+	out := make([]Bin, 0, n)
+	if live == 1 {
+		for _, l := range lists {
+			out = append(out, l...)
+		}
+		return out
+	}
+	k := kmerge{lists: lists, cur: make([]int, len(lists)), heap: make([]int32, 0, live)}
+	for i, l := range lists {
+		if len(l) > 0 {
+			k.heap = append(k.heap, int32(i))
+		}
+	}
+	for i := len(k.heap)/2 - 1; i >= 0; i-- {
+		k.down(i)
+	}
+	for len(k.heap) > 0 {
+		li := k.heap[0]
+		out = append(out, k.lists[li][k.cur[li]])
+		k.cur[li]++
+		if k.cur[li] == len(k.lists[li]) {
+			last := len(k.heap) - 1
+			k.heap[0] = k.heap[last]
+			k.heap = k.heap[:last]
+		}
+		k.down(0)
+	}
+	return out
+}
+
+// kmerge is the cursor min-heap behind SumDisjointAscending: heap entries
+// are input-list indices, ordered by each list's current head bin.
+type kmerge struct {
+	lists [][]Bin
+	cur   []int
+	heap  []int32
+}
+
+func (k *kmerge) less(a, b int32) bool {
+	ba, bb := k.lists[a][k.cur[a]], k.lists[b][k.cur[b]]
+	if ba.Count != bb.Count {
+		return ba.Count < bb.Count
+	}
+	return ba.Item < bb.Item
+}
+
+func (k *kmerge) down(i int) {
+	h := k.heap
+	for {
+		j := 2*i + 1
+		if j >= len(h) {
+			return
+		}
+		if j2 := j + 1; j2 < len(h) && k.less(h[j2], h[j]) {
+			j = j2
+		}
+		if !k.less(h[j], h[i]) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// binHeap is a min-heap over Bin by count used by the pairwise reduction:
+// an index-based slice heap whose operations mirror container/heap's
+// sift order exactly (so a fixed RNG stream reduces identically) without
+// boxing every Bin through interface{} on each collapse.
 type binHeap []Bin
 
-func (h binHeap) Len() int            { return len(h) }
-func (h binHeap) Less(i, j int) bool  { return h[i].Count < h[j].Count }
-func (h binHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *binHeap) Push(x interface{}) { *h = append(*h, x.(Bin)) }
-func (h *binHeap) Pop() interface{} {
+func (h binHeap) less(i, j int) bool { return h[i].Count < h[j].Count }
+
+func (h binHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h binHeap) down(i int) {
+	for {
+		j := 2*i + 1
+		if j >= len(h) {
+			return
+		}
+		if j2 := j + 1; j2 < len(h) && h.less(j2, j) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+func (h binHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !h.less(j, i) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h *binHeap) pop() Bin {
 	old := *h
 	n := len(old) - 1
-	b := old[n]
+	old[0], old[n] = old[n], old[0]
 	*h = old[:n]
-	return b
+	(*h).down(0)
+	return old[n]
+}
+
+func (h *binHeap) push(b Bin) {
+	*h = append(*h, b)
+	h.up(len(*h) - 1)
 }
 
 // ReducePairwise shrinks bins to at most m entries by repeatedly collapsing
@@ -64,25 +211,27 @@ func ReducePairwise(bins []Bin, m int, rng *rand.Rand) []Bin {
 	}
 	h := make(binHeap, len(bins))
 	copy(h, bins)
-	heap.Init(&h)
-	for h.Len() > m {
-		a := heap.Pop(&h).(Bin)
-		b := heap.Pop(&h).(Bin)
+	return reducePairwiseInPlace(h, m, rng)
+}
+
+// reducePairwiseInPlace runs the pairwise collapse on a heap the caller
+// hands over ownership of. The collapse loop works entirely inside the
+// slice — two pops and a push per step, no boxing, no per-collapse
+// allocation — and the surviving prefix is sorted and returned in place.
+func reducePairwiseInPlace(h binHeap, m int, rng *rand.Rand) []Bin {
+	h.init()
+	for len(h) > m {
+		a := h.pop()
+		b := h.pop()
 		c := a.Count + b.Count
 		keep := b.Item
 		if c > 0 && rng.Float64()*c < a.Count {
 			keep = a.Item
 		}
-		heap.Push(&h, Bin{Item: keep, Count: c})
+		h.push(Bin{Item: keep, Count: c})
 	}
-	out := make([]Bin, h.Len())
-	copy(out, h)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count < out[j].Count
-		}
-		return out[i].Item < out[j].Item
-	})
+	out := []Bin(h)
+	sortAscending(out)
 	return out
 }
 
@@ -164,12 +313,7 @@ func ReducePivotal(bins []Bin, m int, rng *rand.Rand) []Bin {
 			out = append(out, Bin{Item: f.bin.Item, Count: f.bin.Count / f.orig})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count < out[j].Count
-		}
-		return out[i].Item < out[j].Item
-	})
+	sortAscending(out)
 	return out
 }
 
@@ -197,12 +341,7 @@ func ReduceMisraGries(bins []Bin, m int) []Bin {
 			out = append(out, Bin{Item: b.Item, Count: c})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count < out[j].Count
-		}
-		return out[i].Item < out[j].Item
-	})
+	sortAscending(out)
 	return out
 }
 
@@ -300,7 +439,9 @@ func MergeBins(m int, kind ReduceKind, rng *rand.Rand, lists ...[]Bin) []Bin {
 		if len(combined) <= m {
 			return combined
 		}
-		return ReducePairwise(combined, m, rng)
+		// sumBins hands over a fresh slice, so the collapse can run in
+		// place without the defensive copy ReducePairwise makes.
+		return reducePairwiseInPlace(combined, m, rng)
 	case PivotalReduction:
 		return ReducePivotal(combined, m, rng)
 	case MisraGriesReduction:
@@ -319,7 +460,7 @@ func MergeSketches(m int, kind ReduceKind, rng *rand.Rand, sketches ...*Sketch) 
 	for i, sk := range sketches {
 		lists[i] = sk.Bins()
 	}
-	return sketchFromBins(m, rng, MergeBins(m, kind, rng, lists...))
+	return SketchFromBins(m, rng, MergeBins(m, kind, rng, lists...))
 }
 
 // MergeWeighted merges weighted sketches into a fresh WeightedSketch.
@@ -328,11 +469,13 @@ func MergeWeighted(m int, kind ReduceKind, rng *rand.Rand, sketches ...*Weighted
 	for i, sk := range sketches {
 		lists[i] = sk.Bins()
 	}
-	return sketchFromBins(m, rng, MergeBins(m, kind, rng, lists...))
+	return SketchFromBins(m, rng, MergeBins(m, kind, rng, lists...))
 }
 
-// sketchFromBins loads pre-reduced bins into a WeightedSketch.
-func sketchFromBins(m int, rng *rand.Rand, bins []Bin) *WeightedSketch {
+// SketchFromBins loads pre-reduced bins (non-positive counts are dropped)
+// into a fresh WeightedSketch of capacity m — the load half shared by
+// every merge and by ShardedSketch snapshots.
+func SketchFromBins(m int, rng *rand.Rand, bins []Bin) *WeightedSketch {
 	s := NewWeighted(m, rng)
 	for _, b := range bins {
 		if b.Count > 0 {

@@ -18,8 +18,10 @@ func (s *WeightedSketch) Shrink(m int, kind ReduceKind) {
 	if m >= s.m {
 		// Capacity can only shrink here; growing is free (see Grow).
 		s.m = m
+		s.version++
 		return
 	}
+	s.version++
 	var reduced []Bin
 	switch kind {
 	case PairwiseReduction:
@@ -52,6 +54,9 @@ func (s *WeightedSketch) Shrink(m int, kind ReduceKind) {
 func (s *WeightedSketch) Grow(m int) {
 	if m > s.m {
 		s.m = m
+		// Capacity feeds MinCount (and through it query standard errors),
+		// so growing invalidates cached derived state too.
+		s.version++
 	}
 }
 

@@ -45,5 +45,6 @@ func RestoreUnit(s *Sketch, bins []Bin, rows int64) error {
 		return fmt.Errorf("core: snapshot rows %d disagree with bin mass %d", rows, total)
 	}
 	s.rows = rows
+	s.version++
 	return nil
 }

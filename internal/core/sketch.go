@@ -61,11 +61,12 @@ type Bin struct {
 // A Sketch is not safe for concurrent use; wrap it or shard streams and
 // Merge the results.
 type Sketch struct {
-	mode Mode
-	m    int
-	sum  *streamsummary.Summary
-	rng  *rand.Rand
-	rows int64
+	mode    Mode
+	m       int
+	sum     *streamsummary.Summary
+	rng     *rand.Rand
+	rows    int64
+	version uint64
 }
 
 // New returns a sketch with m bins running the given mode. rng supplies the
@@ -97,6 +98,13 @@ func (s *Sketch) Size() int { return s.sum.Len() }
 // Rows returns the number of rows processed, t in the paper's notation.
 func (s *Sketch) Rows() int64 { return s.rows }
 
+// Version returns a counter that advances on every mutation. Readers that
+// cache derived structures (query indexes, merged snapshots) revalidate by
+// comparing versions; an unchanged version guarantees unchanged bins. Like
+// the sketch itself it is not synchronized — concurrent wrappers keep
+// their own atomic counters.
+func (s *Sketch) Version() uint64 { return s.version }
+
 // Total returns the sum of all bin counts. For unit updates this equals
 // Rows() exactly, in both modes — Space Saving never loses mass.
 func (s *Sketch) Total() float64 { return float64(s.sum.Total()) }
@@ -113,6 +121,7 @@ func (s *Sketch) MinCount() float64 {
 // Update processes one row whose unit of analysis is item.
 func (s *Sketch) Update(item string) {
 	s.rows++
+	s.version++
 	if s.sum.Increment(item) {
 		return
 	}

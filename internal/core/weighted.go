@@ -19,12 +19,13 @@ import (
 // Exact count ties break arbitrarily rather than uniformly at random; with
 // continuous weights ties have probability zero.
 type WeightedSketch struct {
-	m     int
-	rng   *rand.Rand
-	h     wheap
-	index map[string]*wbin
-	total float64
-	rows  int64
+	m       int
+	rng     *rand.Rand
+	h       wheap
+	index   map[string]*wbin
+	total   float64
+	rows    int64
+	version uint64
 }
 
 // wbin is one heap entry.
@@ -71,6 +72,11 @@ func (s *WeightedSketch) Size() int { return len(s.h) }
 // Rows returns the number of Update calls processed.
 func (s *WeightedSketch) Rows() int64 { return s.rows }
 
+// Version returns a counter that advances on every mutation (updates,
+// scaling, resizing), letting readers revalidate cached derived structures.
+// Not synchronized, like the sketch itself.
+func (s *WeightedSketch) Version() uint64 { return s.version }
+
 // Total returns the sum of all bin counts, which for positive weights
 // equals the exact sum of all update weights.
 func (s *WeightedSketch) Total() float64 { return s.total }
@@ -90,6 +96,7 @@ func (s *WeightedSketch) Update(item string, w float64) {
 		panic(fmt.Sprintf("core: weighted update with weight %v, want > 0", w))
 	}
 	s.rows++
+	s.version++
 	s.total += w
 	if b, ok := s.index[item]; ok {
 		b.count += w
@@ -134,6 +141,7 @@ func (s *WeightedSketch) UpdateSigned(item string, w float64) bool {
 		return false
 	}
 	s.rows++
+	s.version++
 	s.total += w
 	b.count += w
 	heap.Fix(&s.h, b.idx)
@@ -186,6 +194,7 @@ func (s *WeightedSketch) Scale(c float64) {
 	if c <= 0 {
 		panic(fmt.Sprintf("core: scale factor %v, want > 0", c))
 	}
+	s.version++
 	for _, b := range s.h {
 		b.count *= c
 	}

@@ -1,0 +1,295 @@
+// Package labelidx builds a dictionary-encoded columnar index over a
+// snapshot's bins for the §2 query template. Each bin label of the form
+// "dim=value|dim=value" is parsed exactly once: every dimension becomes a
+// column of int32 value ids (one slot per bin, -1 where the bin lacks the
+// dimension) backed by a per-dimension value dictionary. Compiled queries
+// then evaluate as integer comparisons — a WHERE filter is a bitmap probe
+// on a column, a GROUP BY key is the group columns' ids packed into one
+// uint64 — with no per-bin parsing, maps or string building.
+//
+// The index is immutable once built and safe for concurrent readers;
+// Programs compiled from it carry mutable evaluation scratch and are
+// single-owner.
+package labelidx
+
+import (
+	"math/bits"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Index is the columnar view of one bin snapshot.
+type Index struct {
+	dims     []dimension
+	dimID    map[string]int32
+	counts   []float64 // per bin
+	excluded []bool    // bins whose labels failed to parse
+	skipped  int
+	nbins    int
+}
+
+// dimension is one decoded column plus its value dictionary.
+type dimension struct {
+	name  string
+	col   []int32 // per bin: value id, or -1 when the bin lacks the dim
+	vals  []string
+	valID map[string]int32
+}
+
+// New parses bins into a columnar index. Labels that fail to parse (same
+// grammar as query.ParseRow: '|'-separated components, each with '=' after
+// a non-empty dimension name) are excluded from every query and tallied in
+// Skipped — foreign labels in a mixed sketch are not an error.
+func New(bins []core.Bin) *Index {
+	x := &Index{
+		dimID:    make(map[string]int32),
+		counts:   make([]float64, len(bins)),
+		excluded: make([]bool, len(bins)),
+		nbins:    len(bins),
+	}
+	for i, b := range bins {
+		x.counts[i] = b.Count
+		if !x.parseInto(i, b.Item) {
+			x.excluded[i] = true
+			x.skipped++
+		}
+	}
+	return x
+}
+
+// NumBins returns the number of indexed bins (including excluded ones).
+func (x *Index) NumBins() int { return x.nbins }
+
+// Skipped returns the number of bins whose labels failed to parse.
+func (x *Index) Skipped() int { return x.skipped }
+
+// parseInto decodes one label into the bin's column slots, creating
+// dimensions and dictionary entries on first sight. Returns false on a
+// malformed label; earlier components of a label that fails midway may
+// have been written, which is harmless because excluded bins are skipped
+// before any column is read.
+func (x *Index) parseInto(bin int, label string) bool {
+	rest := label
+	for {
+		comp := rest
+		sep := strings.IndexByte(rest, '|')
+		if sep >= 0 {
+			comp = rest[:sep]
+		}
+		eq := strings.IndexByte(comp, '=')
+		if eq <= 0 {
+			return false
+		}
+		x.set(bin, comp[:eq], comp[eq+1:])
+		if sep < 0 {
+			return true
+		}
+		rest = rest[sep+1:]
+	}
+}
+
+func (x *Index) set(bin int, dim, val string) {
+	di, ok := x.dimID[dim]
+	if !ok {
+		di = int32(len(x.dims))
+		col := make([]int32, x.nbins)
+		for i := range col {
+			col[i] = -1
+		}
+		x.dims = append(x.dims, dimension{name: dim, col: col, valID: make(map[string]int32)})
+		x.dimID[dim] = di
+	}
+	d := &x.dims[di]
+	vi, ok := d.valID[val]
+	if !ok {
+		vi = int32(len(d.vals))
+		d.vals = append(d.vals, val)
+		d.valID[val] = vi
+	}
+	// Duplicate dims in one label: last occurrence wins, matching
+	// query.ParseRow's map-overwrite semantics.
+	d.col[bin] = vi
+}
+
+// Filter is one WHERE condition in index terms: the dimension must take
+// one of the listed values. Filters AND together; values within one OR.
+type Filter struct {
+	Dim string
+	In  []string
+}
+
+// Agg is one aggregated output group: the packed group key, the exact sum
+// of matching bin counts and the number of contributing bins.
+type Agg struct {
+	Key  uint64
+	Sum  float64
+	Hits int32
+}
+
+// Program is a query compiled against one Index: filters resolved to
+// column+bitmap pairs, group-by dimensions resolved to column+shift pairs.
+// It owns reusable evaluation scratch, so repeated Run calls on an
+// unchanged index allocate nothing. Not safe for concurrent use.
+type Program struct {
+	idx     *Index
+	never   bool // some filter or group dim can never match
+	filters []progFilter
+	groups  []progGroup
+	aggs    []Agg
+	// Group slot lookup: when the packed key space is small the dense
+	// table maps key → agg slot directly (one bounds-checked load per
+	// bin); otherwise the map takes over.
+	dense []int32
+	slot  map[uint64]int32
+}
+
+// denseBits caps the packed key space routed to the dense slot table:
+// 2^12 int32 slots is 16 KiB per Program, cheap to hold and to reset.
+const denseBits = 12
+
+type progFilter struct {
+	col    []int32
+	accept []bool // indexed by value id
+}
+
+type progGroup struct {
+	col   []int32
+	vals  []string
+	shift uint
+	mask  uint64
+}
+
+// Compile resolves a query against the index. The second result is false
+// when the group-by key does not fit a packed uint64 (the sum of the group
+// dictionaries' bit widths exceeds 64) — callers should fall back to a
+// map-keyed evaluation. Filters or group dimensions the index has never
+// seen yield a valid Program that matches nothing, mirroring SQL strict
+// semantics for missing columns.
+func (x *Index) Compile(where []Filter, groupBy []string) (*Program, bool) {
+	p := &Program{idx: x}
+	for _, f := range where {
+		di, ok := x.dimID[f.Dim]
+		if !ok {
+			p.never = true
+			continue
+		}
+		d := &x.dims[di]
+		accept := make([]bool, len(d.vals))
+		any := false
+		for _, v := range f.In {
+			if vi, ok := d.valID[v]; ok {
+				accept[vi] = true
+				any = true
+			}
+		}
+		if !any {
+			p.never = true
+		}
+		p.filters = append(p.filters, progFilter{col: d.col, accept: accept})
+	}
+	var shift uint
+	for _, g := range groupBy {
+		di, ok := x.dimID[g]
+		if !ok {
+			p.never = true
+			continue
+		}
+		d := &x.dims[di]
+		width := uint(bits.Len(uint(len(d.vals) - 1)))
+		if shift+width > 64 {
+			return nil, false
+		}
+		p.groups = append(p.groups, progGroup{
+			col:   d.col,
+			vals:  d.vals,
+			shift: shift,
+			mask:  uint64(1)<<width - 1,
+		})
+		shift += width
+	}
+	if shift <= denseBits {
+		p.dense = make([]int32, 1<<shift)
+		for i := range p.dense {
+			p.dense[i] = -1
+		}
+	} else {
+		p.slot = make(map[uint64]int32)
+	}
+	return p, true
+}
+
+// Run evaluates the program, returning one Agg per observed group in
+// first-encounter order. The returned slice is the program's internal
+// scratch: it is valid until the next Run and must not be retained.
+func (p *Program) Run() []Agg {
+	if p.dense != nil {
+		// Reset only the slots the previous run touched.
+		for i := range p.aggs {
+			p.dense[p.aggs[i].Key] = -1
+		}
+	} else {
+		clear(p.slot)
+	}
+	p.aggs = p.aggs[:0]
+	if p.never {
+		return p.aggs
+	}
+	counts := p.idx.counts
+	excluded := p.idx.excluded
+bins:
+	for i := range counts {
+		if excluded[i] {
+			continue
+		}
+		for fi := range p.filters {
+			f := &p.filters[fi]
+			v := f.col[i]
+			if v < 0 || !f.accept[v] {
+				continue bins
+			}
+		}
+		var key uint64
+		for gi := range p.groups {
+			g := &p.groups[gi]
+			v := g.col[i]
+			if v < 0 {
+				// Rows lacking a group-by dimension fall out of the
+				// result, mirroring SQL strict-mode semantics.
+				continue bins
+			}
+			key |= uint64(v) << g.shift
+		}
+		var s int32
+		if p.dense != nil {
+			s = p.dense[key]
+			if s < 0 {
+				s = int32(len(p.aggs))
+				p.aggs = append(p.aggs, Agg{Key: key})
+				p.dense[key] = s
+			}
+		} else {
+			got, ok := p.slot[key]
+			if !ok {
+				got = int32(len(p.aggs))
+				p.aggs = append(p.aggs, Agg{Key: key})
+				p.slot[key] = got
+			}
+			s = got
+		}
+		p.aggs[s].Sum += counts[i]
+		p.aggs[s].Hits++
+	}
+	return p.aggs
+}
+
+// NumGroupDims returns the number of group-by dimensions the program
+// resolved (0 when the program can never match).
+func (p *Program) NumGroupDims() int { return len(p.groups) }
+
+// GroupValue decodes the gi-th group-by dimension's value from a packed
+// key produced by Run.
+func (p *Program) GroupValue(key uint64, gi int) string {
+	g := &p.groups[gi]
+	return g.vals[(key>>g.shift)&g.mask]
+}

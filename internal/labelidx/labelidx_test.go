@@ -1,0 +1,155 @@
+package labelidx
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func bins(items ...string) []core.Bin {
+	out := make([]core.Bin, len(items))
+	for i, it := range items {
+		out[i] = core.Bin{Item: it, Count: float64(i + 1)}
+	}
+	return out
+}
+
+func TestIndexParsesOnceAndSkipsMalformed(t *testing.T) {
+	x := New(bins(
+		"country=us|device=ios", // 1
+		"country=de|device=ios", // 2
+		"rawlabel",              // 3, malformed
+		"country=us",            // 4
+		"=bad|country=de",       // 5, malformed
+		"",                      // 6, malformed
+	))
+	if x.NumBins() != 6 {
+		t.Fatalf("NumBins = %d", x.NumBins())
+	}
+	if x.Skipped() != 3 {
+		t.Fatalf("Skipped = %d, want 3", x.Skipped())
+	}
+}
+
+func TestCompileAndRunGroupBy(t *testing.T) {
+	x := New(bins(
+		"c=us|d=ios",
+		"c=us|d=android",
+		"c=de|d=ios",
+		"junk",
+		"c=us|d=ios",
+	))
+	p, ok := x.Compile(nil, []string{"c"})
+	if !ok {
+		t.Fatal("Compile refused a 1-dim group-by")
+	}
+	aggs := p.Run()
+	if len(aggs) != 2 {
+		t.Fatalf("aggs = %+v", aggs)
+	}
+	got := map[string]float64{}
+	hits := map[string]int32{}
+	for _, a := range aggs {
+		got[p.GroupValue(a.Key, 0)] = a.Sum
+		hits[p.GroupValue(a.Key, 0)] = a.Hits
+	}
+	// counts are 1..5; bin 4 is malformed. us: 1+2+5=8, de: 3.
+	if got["us"] != 8 || got["de"] != 3 {
+		t.Errorf("sums = %v", got)
+	}
+	if hits["us"] != 3 || hits["de"] != 1 {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestCompileFilters(t *testing.T) {
+	x := New(bins(
+		"c=us|d=ios",
+		"c=us|d=android",
+		"c=de|d=ios",
+	))
+	p, ok := x.Compile([]Filter{{Dim: "d", In: []string{"ios"}}}, nil)
+	if !ok {
+		t.Fatal("compile failed")
+	}
+	aggs := p.Run()
+	if len(aggs) != 1 || aggs[0].Sum != 4 { // 1 + 3
+		t.Fatalf("aggs = %+v", aggs)
+	}
+	// Unknown filter value matches nothing.
+	p, _ = x.Compile([]Filter{{Dim: "d", In: []string{"webos"}}}, nil)
+	if got := p.Run(); len(got) != 0 {
+		t.Errorf("unknown value matched %+v", got)
+	}
+	// Unknown filter dimension matches nothing.
+	p, _ = x.Compile([]Filter{{Dim: "browser", In: []string{"ff"}}}, nil)
+	if got := p.Run(); len(got) != 0 {
+		t.Errorf("unknown dim matched %+v", got)
+	}
+	// Unknown group dimension yields no groups.
+	p, _ = x.Compile(nil, []string{"browser"})
+	if got := p.Run(); len(got) != 0 {
+		t.Errorf("unknown group dim produced %+v", got)
+	}
+}
+
+func TestRowsMissingGroupDimDrop(t *testing.T) {
+	x := New(bins("c=us|d=ios", "c=de"))
+	p, _ := x.Compile(nil, []string{"d"})
+	aggs := p.Run()
+	if len(aggs) != 1 || aggs[0].Sum != 1 {
+		t.Fatalf("aggs = %+v", aggs)
+	}
+}
+
+func TestDuplicateDimLastWins(t *testing.T) {
+	// query.ParseRow map semantics: the last occurrence of a duplicated
+	// dimension wins.
+	x := New(bins("a=1|a=2"))
+	p, _ := x.Compile([]Filter{{Dim: "a", In: []string{"2"}}}, nil)
+	if aggs := p.Run(); len(aggs) != 1 {
+		t.Fatalf("last-wins lookup failed: %+v", aggs)
+	}
+	p, _ = x.Compile([]Filter{{Dim: "a", In: []string{"1"}}}, nil)
+	if aggs := p.Run(); len(aggs) != 0 {
+		t.Fatalf("first value should have been overwritten: %+v", aggs)
+	}
+}
+
+func TestValueWithEquals(t *testing.T) {
+	x := New(bins("k=x=y"))
+	p, _ := x.Compile([]Filter{{Dim: "k", In: []string{"x=y"}}}, nil)
+	if aggs := p.Run(); len(aggs) != 1 {
+		t.Fatalf("value containing '=' lost: %+v", aggs)
+	}
+}
+
+func TestCompileOverflowFallsBack(t *testing.T) {
+	// Five dimensions with 8192 values each need 5×13 = 65 packed bits.
+	n := 8192
+	items := make([]core.Bin, n)
+	for i := range items {
+		items[i] = core.Bin{
+			Item:  fmt.Sprintf("a=v%d|b=v%d|c=v%d|d=v%d|e=v%d", i, i, i, i, i),
+			Count: 1,
+		}
+	}
+	x := New(items)
+	if _, ok := x.Compile(nil, []string{"a", "b", "c", "d", "e"}); ok {
+		t.Fatal("Compile accepted a >64-bit group key")
+	}
+	// Four of them (52 bits) still fit.
+	if _, ok := x.Compile(nil, []string{"a", "b", "c", "d"}); !ok {
+		t.Fatal("Compile refused a 52-bit group key")
+	}
+}
+
+func TestRepeatRunReusesScratch(t *testing.T) {
+	x := New(bins("c=us|d=ios", "c=de|d=ios", "c=us|d=android"))
+	p, _ := x.Compile([]Filter{{Dim: "d", In: []string{"ios"}}}, []string{"c"})
+	p.Run()
+	if avg := testing.AllocsPerRun(100, func() { p.Run() }); avg != 0 {
+		t.Errorf("repeat Program.Run allocates %v/op, want 0", avg)
+	}
+}

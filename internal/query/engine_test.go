@@ -1,0 +1,156 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// engineRows builds a deterministic 3-dim stream with an overflowing
+// sketch so MinCount > 0 and the equation-5 errors are non-trivial.
+func engineRows(n int) []string {
+	rows := make([]string, n)
+	for i := range rows {
+		rows[i] = fmt.Sprintf("country=c%d|device=d%d|ad=a%d", i%7, i%3, i%211)
+	}
+	return rows
+}
+
+func engineQueries() []Query {
+	return []Query{
+		{},
+		{GroupBy: []string{"country"}},
+		{GroupBy: []string{"country", "device"}},
+		{Where: []Filter{Eq("device", "d1")}, GroupBy: []string{"country"}},
+		{Where: []Filter{{Dim: "device", In: []string{"d0", "d2"}}}, GroupBy: []string{"ad"}},
+		{Where: []Filter{Eq("nosuchdim", "x")}, GroupBy: []string{"country"}},
+		{Where: []Filter{Eq("device", "nosuchvalue")}},
+		{GroupBy: []string{"nosuchdim"}},
+		{GroupBy: []string{"device", "country"}}, // non-alphabetical order
+	}
+}
+
+// TestEngineMatchesRun pins the columnar engine to the one-shot Run
+// evaluation: identical groups, order, key strings, estimates and skip
+// tallies for a spread of query shapes.
+func TestEngineMatchesRun(t *testing.T) {
+	sk := core.New(256, core.Unbiased, rand.New(rand.NewSource(17)))
+	for _, r := range engineRows(20000) {
+		sk.Update(r)
+	}
+	sk.Update("foreignlabel") // exercise the skip tally
+
+	eng := NewEngine(sk)
+	for qi, q := range engineQueries() {
+		want, wantSkip, err := Run(sk, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := eng.Prepare(q)
+		for rep := 0; rep < 3; rep++ {
+			got, gotSkip, err := p.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotSkip != wantSkip {
+				t.Errorf("q%d rep%d: skipped %d, want %d", qi, rep, gotSkip, wantSkip)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("q%d rep%d: %d groups, want %d", qi, rep, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].KeyString() != want[i].KeyString() {
+					t.Errorf("q%d rep%d group %d: key %q, want %q", qi, rep, i, got[i].KeyString(), want[i].KeyString())
+				}
+				if got[i].Sum != want[i].Sum {
+					t.Errorf("q%d rep%d group %q: %+v, want %+v", qi, rep, got[i].KeyString(), got[i].Sum, want[i].Sum)
+				}
+				if !reflect.DeepEqual(got[i].Key, want[i].Key) && len(got[i].Key)+len(want[i].Key) > 0 {
+					t.Errorf("q%d rep%d group %d: Key %v, want %v", qi, rep, i, got[i].Key, want[i].Key)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineInvalidation: updating the sketch between runs must be
+// reflected in the next result — version revalidation, not staleness.
+func TestEngineInvalidation(t *testing.T) {
+	sk := core.New(64, core.Unbiased, rand.New(rand.NewSource(5)))
+	sk.Update("k=a")
+	eng := NewEngine(sk)
+	p := eng.Prepare(Query{GroupBy: []string{"k"}})
+	got, _, _ := p.Run()
+	if len(got) != 1 || got[0].Sum.Value != 1 {
+		t.Fatalf("first run = %+v", got)
+	}
+	sk.Update("k=a")
+	sk.Update("k=b")
+	got, _, _ = p.Run()
+	if len(got) != 2 || got[0].Sum.Value != 2 {
+		t.Fatalf("post-update run = %+v", got)
+	}
+	// The same via Engine.Run's spec-identity fast path.
+	sk.Update("k=b")
+	got, _, _ = eng.Run(Query{GroupBy: []string{"k"}})
+	if len(got) != 2 || got[0].Sum.Value != 2 || got[1].Sum.Value != 2 {
+		t.Fatalf("Engine.Run post-update = %+v", got)
+	}
+}
+
+// TestEngineFallbackWideGroupBy: a group-by whose packed key exceeds 64
+// bits falls back to the map evaluator and still matches Run.
+func TestEngineFallbackWideGroupBy(t *testing.T) {
+	sk := core.NewWeighted(1<<14, rand.New(rand.NewSource(6)))
+	for i := 0; i < 9000; i++ {
+		sk.Update(fmt.Sprintf("a=v%d|b=v%d|c=v%d|d=v%d|e=v%d", i, i, i, i, i%4), 1)
+	}
+	q := Query{GroupBy: []string{"a", "b", "c", "d", "e"}}
+	want, _, _ := Run(sk, q)
+	eng := NewEngine(sk)
+	p := eng.Prepare(q)
+	got, _, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fallback: %d groups, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].KeyString() != want[i].KeyString() || got[i].Sum != want[i].Sum {
+			t.Fatalf("fallback group %d: %q %+v, want %q %+v",
+				i, got[i].KeyString(), got[i].Sum, want[i].KeyString(), want[i].Sum)
+		}
+	}
+}
+
+// TestKeyStringFallback: Groups built by hand (no evaluator) still render
+// sorted-dimension key strings.
+func TestKeyStringFallback(t *testing.T) {
+	g := Group{Key: map[string]string{"b": "2", "a": "1"}}
+	if got := g.KeyString(); got != "a=1|b=2" {
+		t.Errorf("KeyString = %q", got)
+	}
+	if got := (Group{}).KeyString(); got != "*" {
+		t.Errorf("empty KeyString = %q", got)
+	}
+}
+
+// TestPreparedSpecIsolation: mutating the caller's spec slices after
+// Prepare must not affect the compiled query.
+func TestPreparedSpecIsolation(t *testing.T) {
+	sk := core.New(64, core.Unbiased, rand.New(rand.NewSource(7)))
+	sk.Update("k=a|j=x")
+	sk.Update("k=b|j=x")
+	where := []Filter{Eq("k", "a")}
+	eng := NewEngine(sk)
+	p := eng.Prepare(Query{Where: where})
+	where[0].In[0] = "b"
+	got, _, _ := p.Run()
+	if len(got) != 1 || got[0].Sum.SampleBins != 1 || got[0].Sum.Value != 1 {
+		t.Fatalf("spec mutated after Prepare leaked: %+v", got)
+	}
+}

@@ -12,15 +12,24 @@
 // conditions on dimensions, chosen at query time; group-by emits one
 // unbiased estimated sum per observed group, each with the equation-5
 // standard error.
+//
+// Evaluation is columnar: an Engine parses a snapshot's labels once into
+// a dictionary-encoded index (internal/labelidx) and revalidates it
+// against the sketch's version counter, so filters run as integer
+// comparisons and group keys pack into a uint64. A Prepared query reuses
+// its compiled program and output buffers across runs — repeated
+// evaluation against an unchanged sketch allocates nothing.
 package query
 
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/labelidx"
 )
 
 // Row is a parsed item label: dimension → value.
@@ -83,15 +92,32 @@ type Group struct {
 	Key map[string]string
 	// Sum is the estimated total with its standard error.
 	Sum core.Estimate
+
+	// ks is the pre-rendered KeyString (dimensions in sorted order),
+	// filled in by the evaluator so KeyString and result ordering are
+	// O(1) per call instead of re-sorting dimensions each time.
+	ks string
 }
 
-// KeyString renders the group key deterministically ("country=us|device=ios").
+// KeyString renders the group key deterministically ("country=us|device=ios",
+// dimensions in sorted order). Groups produced by Run or a Prepared query
+// return a string rendered once at aggregation time; hand-built Groups
+// fall back to rendering from the Key map.
 func (g Group) KeyString() string {
+	if g.ks != "" {
+		return g.ks
+	}
 	if len(g.Key) == 0 {
 		return "*"
 	}
-	dims := make([]string, 0, len(g.Key))
-	for d := range g.Key {
+	return renderKeySorted(g.Key)
+}
+
+// renderKeySorted is the fallback KeyString path for Groups not built by
+// the evaluator: dimensions sorted, one pass to render.
+func renderKeySorted(key map[string]string) string {
+	dims := make([]string, 0, len(key))
+	for d := range key {
 		dims = append(dims, d)
 	}
 	sort.Strings(dims)
@@ -102,7 +128,7 @@ func (g Group) KeyString() string {
 		}
 		b.WriteString(d)
 		b.WriteByte('=')
-		b.WriteString(g.Key[d])
+		b.WriteString(key[d])
 	}
 	return b.String()
 }
@@ -114,24 +140,309 @@ type Binner interface {
 	MinCount() float64
 }
 
+// Versioned is implemented by sources whose mutations advance a counter
+// (core.Sketch, core.WeightedSketch). An Engine over a Versioned source
+// reuses its label index as long as the version stands still.
+type Versioned interface {
+	Version() uint64
+}
+
+// Snapshotter is implemented by sources that maintain an immutable cached
+// snapshot of their state (the sharded sketch's versioned merge). One call
+// returns a mutually consistent triple — bins, columnar index and min
+// count all from the same snapshot — so a query can never mix counts from
+// one epoch with the standard-error scale of another, even while the
+// source ingests concurrently. An Engine over a Snapshotter adopts the
+// index by pointer identity instead of building and versioning its own.
+type Snapshotter interface {
+	QuerySnapshot() (bins []core.Bin, idx *labelidx.Index, minCount float64)
+}
+
 // Run evaluates q against the sketch's bins. Labels that fail to parse are
 // skipped and counted in the returned skipped tally (foreign labels in a
 // mixed sketch are not an error). Groups are returned sorted by descending
 // estimate, ties broken by key.
+//
+// Run builds a fresh columnar index per call; callers issuing repeated
+// queries against the same sketch should hold an Engine, which amortizes
+// the index across queries and revalidates it by sketch version.
 func Run(s Binner, q Query) (groups []Group, skipped int, err error) {
+	return NewEngine(s).Run(q)
+}
+
+// Engine amortizes the columnar label index across queries against one
+// sketch. The index is rebuilt lazily whenever the source's version moves
+// (or adopted from the source itself when it maintains one); against a
+// quiescent sketch every query runs on the already-parsed columns. An
+// Engine is not safe for concurrent use — concurrent readers should each
+// hold their own engine (cheap when the source is Indexed, since the
+// underlying index is shared).
+type Engine struct {
+	src   Binner
+	idx   *labelidx.Index
+	ver   uint64
+	gen   uint64 // bumped whenever idx is replaced; Prepared recompiles
+	built bool
+	last  *Prepared // Run's cache for back-to-back identical specs
+
+	// Snapshotter sources: bins and min count of the snapshot e.idx was
+	// adopted from, refreshed together by ensure so every evaluation
+	// reads one consistent epoch.
+	snapshotted bool
+	snapBins    []core.Bin
+	snapNmin    float64
+}
+
+// NewEngine returns an engine over the sketch. The index is built on
+// first use.
+func NewEngine(src Binner) *Engine { return &Engine{src: src} }
+
+// ensure makes e.idx current, rebuilding (or re-adopting) it when the
+// source has moved. Allocation-free when the source is unchanged.
+func (e *Engine) ensure() {
+	if ss, ok := e.src.(Snapshotter); ok {
+		bins, idx, nmin := ss.QuerySnapshot()
+		e.snapshotted = true
+		e.snapBins, e.snapNmin = bins, nmin
+		if idx != e.idx {
+			e.idx = idx
+			e.gen++
+		}
+		e.built = true
+		return
+	}
+	if v, ok := e.src.(Versioned); ok {
+		// Read the version before the bins: if a mutation lands between
+		// the two reads the index is stamped with the older version and
+		// simply rebuilds on the next query.
+		ver := v.Version()
+		if e.built && ver == e.ver {
+			return
+		}
+		e.ver = ver
+	}
+	e.idx = labelidx.New(e.src.Bins())
+	e.built = true
+	e.gen++
+}
+
+// Run evaluates q, preparing it on the fly. Back-to-back calls with an
+// identical spec reuse the previous compilation, so a caller looping on
+// one query gets Prepared-level performance without holding a Prepared.
+func (e *Engine) Run(q Query) ([]Group, int, error) {
+	if e.last == nil || !specEqual(e.last.q, q) {
+		e.last = e.Prepare(q)
+	}
+	return e.last.Run()
+}
+
+// Prepare compiles q against the engine's index. The returned Prepared
+// revalidates (and recompiles) automatically when the engine's source
+// moves; repeated Runs against an unchanged source allocate nothing.
+func (e *Engine) Prepare(q Query) *Prepared {
+	p := &Prepared{e: e, q: copySpec(q)}
+	// Render-order: group dimensions sorted once here, so each group's
+	// KeyString is a single pass at aggregation time. Duplicate group-by
+	// dimensions collapse, matching the map semantics of the legacy path.
+	seen := make(map[string]bool, len(p.q.GroupBy))
+	for i, d := range p.q.GroupBy {
+		if !seen[d] {
+			seen[d] = true
+			p.renderIdx = append(p.renderIdx, i)
+		}
+	}
+	slices.SortFunc(p.renderIdx, func(a, b int) int {
+		return strings.Compare(p.q.GroupBy[a], p.q.GroupBy[b])
+	})
+	return p
+}
+
+// copySpec deep-copies a query spec so later caller-side mutation of the
+// slices cannot desynchronize a compiled program from its spec.
+func copySpec(q Query) Query {
+	out := Query{GroupBy: slices.Clone(q.GroupBy)}
+	if q.Where != nil {
+		out.Where = make([]Filter, len(q.Where))
+		for i, f := range q.Where {
+			out.Where[i] = Filter{Dim: f.Dim, In: slices.Clone(f.In)}
+		}
+	}
+	return out
+}
+
+// specEqual reports whether two query specs are semantically identical.
+func specEqual(a, b Query) bool {
+	if !slices.Equal(a.GroupBy, b.GroupBy) || len(a.Where) != len(b.Where) {
+		return false
+	}
+	for i := range a.Where {
+		if a.Where[i].Dim != b.Where[i].Dim || !slices.Equal(a.Where[i].In, b.Where[i].In) {
+			return false
+		}
+	}
+	return true
+}
+
+// Prepared is a query compiled against an Engine's index, carrying its
+// own output buffers and per-group render cache. Not safe for concurrent
+// use. The slice returned by Run is reused by the next Run on the same
+// Prepared; callers that retain results across runs must copy.
+type Prepared struct {
+	e   *Engine
+	q   Query
+	gen uint64
+
+	prog     *labelidx.Program
+	fallback bool // group key exceeds 64 packed bits: evaluate via maps
+
+	renderIdx []int // indices into q.GroupBy, name-sorted, deduped
+	cache     map[uint64]groupEntry
+	out       []Group
+	sb        []byte
+}
+
+// groupEntry is the per-distinct-group render cache: the Key map and the
+// sorted-order key string are built once per group, then reused by every
+// subsequent Run.
+type groupEntry struct {
+	key map[string]string
+	ks  string
+}
+
+// compile (re)compiles the prepared query against the engine's current
+// index and resets caches that depend on the old dictionaries.
+func (p *Prepared) compile() {
+	p.gen = p.e.gen
+	p.cache = make(map[uint64]groupEntry)
+	var filters []labelidx.Filter
+	if len(p.q.Where) > 0 {
+		filters = make([]labelidx.Filter, len(p.q.Where))
+		for i, f := range p.q.Where {
+			filters[i] = labelidx.Filter{Dim: f.Dim, In: f.In}
+		}
+	}
+	prog, ok := p.e.idx.Compile(filters, p.q.GroupBy)
+	if !ok {
+		p.fallback = true
+		p.prog = nil
+		return
+	}
+	p.fallback = false
+	p.prog = prog
+}
+
+// Run evaluates the prepared query against the engine's source, first
+// revalidating the index and compilation. Groups are sorted by descending
+// estimate, ties broken by KeyString. The returned slice and its Key maps
+// are reused across Runs of this Prepared; they are valid until the next
+// Run.
+func (p *Prepared) Run() ([]Group, int, error) {
+	p.e.ensure()
+	if p.gen != p.e.gen {
+		p.compile()
+	}
+	if p.fallback {
+		return runMaps(p.e.evalBins(), p.e.evalMinCount(), p.q, p.e.idx.Skipped())
+	}
+	aggs := p.prog.Run()
+	nmin := p.e.evalMinCount()
+	out := p.out[:0]
+	for i := range aggs {
+		a := &aggs[i]
+		ent, ok := p.cache[a.Key]
+		if !ok {
+			ent = p.newEntry(a.Key)
+			p.cache[a.Key] = ent
+		}
+		out = append(out, Group{
+			Key: ent.key,
+			ks:  ent.ks,
+			Sum: core.Estimate{
+				Value:      a.Sum,
+				StdErr:     nmin * math.Sqrt(float64(a.Hits)),
+				SampleBins: int(a.Hits),
+			},
+		})
+	}
+	sortGroups(out)
+	p.out = out
+	if len(out) == 0 {
+		return nil, p.e.idx.Skipped(), nil
+	}
+	return out, p.e.idx.Skipped(), nil
+}
+
+// evalMinCount and evalBins return the state to evaluate against: the
+// epoch captured by ensure for Snapshotter sources (so counts, min count
+// and bins all come from one snapshot even under concurrent ingest), the
+// live source for plain single-owner sources.
+func (e *Engine) evalMinCount() float64 {
+	if e.snapshotted {
+		return e.snapNmin
+	}
+	return e.src.MinCount()
+}
+
+func (e *Engine) evalBins() []core.Bin {
+	if e.snapshotted {
+		return e.snapBins
+	}
+	return e.src.Bins()
+}
+
+// newEntry materializes the Key map and sorted-order key string for one
+// packed group key — once per distinct group, cached thereafter.
+func (p *Prepared) newEntry(key uint64) groupEntry {
+	if len(p.q.GroupBy) == 0 {
+		return groupEntry{ks: "*"}
+	}
+	m := make(map[string]string, len(p.q.GroupBy))
+	for gi, dim := range p.q.GroupBy {
+		m[dim] = p.prog.GroupValue(key, gi)
+	}
+	buf := p.sb[:0]
+	for i, gi := range p.renderIdx {
+		if i > 0 {
+			buf = append(buf, '|')
+		}
+		dim := p.q.GroupBy[gi]
+		buf = append(buf, dim...)
+		buf = append(buf, '=')
+		buf = append(buf, m[dim]...)
+	}
+	p.sb = buf
+	return groupEntry{key: m, ks: string(buf)}
+}
+
+// sortGroups orders results by descending estimate, ties by key string.
+func sortGroups(groups []Group) {
+	slices.SortFunc(groups, func(a, b Group) int {
+		if a.Sum.Value != b.Sum.Value {
+			if a.Sum.Value > b.Sum.Value {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(a.ks, b.ks)
+	})
+}
+
+// runMaps is the row-at-a-time fallback evaluator, used only when a
+// group-by key cannot be packed into 64 bits (astronomically wide
+// group-bys). It re-parses every label per call. bins may be nil, in
+// which case they come straight from the engine's source.
+func runMaps(bins []core.Bin, nmin float64, q Query, skipped int) ([]Group, int, error) {
 	type agg struct {
 		sum  float64
 		hits int
 		key  map[string]string
 	}
 	byKey := map[string]*agg{}
-	nmin := s.MinCount()
 
 bins:
-	for _, b := range s.Bins() {
+	for _, b := range bins {
 		row, perr := ParseRow(b.Item)
 		if perr != nil {
-			skipped++
 			continue
 		}
 		for _, f := range q.Where {
@@ -144,9 +455,6 @@ bins:
 		for _, d := range q.GroupBy {
 			v, ok := row[d]
 			if !ok {
-				// Rows lacking a group-by dimension fall out of the
-				// result, mirroring SQL semantics for missing columns
-				// in strict mode.
 				continue bins
 			}
 			key[d] = v
@@ -165,25 +473,22 @@ bins:
 		a.hits++
 	}
 
+	var groups []Group
 	for _, a := range byKey {
-		cs := a.hits
-		if cs < 1 {
-			cs = 1
+		ks := "*"
+		if len(a.key) > 0 {
+			ks = renderKeySorted(a.key)
 		}
 		groups = append(groups, Group{
 			Key: a.key,
+			ks:  ks,
 			Sum: core.Estimate{
 				Value:      a.sum,
-				StdErr:     nmin * math.Sqrt(float64(cs)),
+				StdErr:     nmin * math.Sqrt(float64(a.hits)),
 				SampleBins: a.hits,
 			},
 		})
 	}
-	sort.Slice(groups, func(i, j int) bool {
-		if groups[i].Sum.Value != groups[j].Sum.Value {
-			return groups[i].Sum.Value > groups[j].Sum.Value
-		}
-		return groups[i].KeyString() < groups[j].KeyString()
-	})
+	sortGroups(groups)
 	return groups, skipped, nil
 }

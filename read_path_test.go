@@ -1,0 +1,154 @@
+package uss_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	uss "repro"
+)
+
+// Tests for the PR-2 read path: the columnar query engine, the versioned
+// sharded snapshot cache and the SnapshotWith variant.
+
+func readPathSketch() *uss.ShardedSketch {
+	s := uss.NewSharded(4, 128, uss.WithSeed(23))
+	for i := 0; i < 3000; i++ {
+		country := []string{"us", "de", "jp"}[i%3]
+		device := []string{"ios", "android"}[i%2]
+		s.Update(fmt.Sprintf("country=%s|device=%s", country, device))
+	}
+	return s
+}
+
+func TestShardedRunQuery(t *testing.T) {
+	s := readPathSketch()
+	groups, skipped, err := s.RunQuery(uss.QuerySpec{
+		Where:   []uss.QueryFilter{uss.WhereEq("device", "ios")},
+		GroupBy: []string{"country"},
+	})
+	if err != nil || skipped != 0 {
+		t.Fatalf("err=%v skipped=%d", err, skipped)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	var total float64
+	for _, g := range groups {
+		total += g.Sum.Value
+	}
+	// 6 distinct tuples in 512 bins: everything tracked exactly.
+	if total != 1500 {
+		t.Errorf("ios total = %v, want 1500", total)
+	}
+	// The sharded result must agree with querying a snapshot the long way.
+	long, _, err := uss.RunQueryWeighted(s.Snapshot(0), uss.QuerySpec{
+		Where:   []uss.QueryFilter{uss.WhereEq("device", "ios")},
+		GroupBy: []string{"country"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(long) != len(groups) {
+		t.Fatalf("snapshot query %d groups, sharded %d", len(long), len(groups))
+	}
+	for i := range long {
+		if long[i].KeyString() != groups[i].KeyString() || long[i].Sum.Value != groups[i].Sum.Value {
+			t.Errorf("group %d: sharded %q=%v, snapshot %q=%v",
+				i, groups[i].KeyString(), groups[i].Sum.Value, long[i].KeyString(), long[i].Sum.Value)
+		}
+	}
+}
+
+// TestShardedRunQuerySeesUpdates: the cached snapshot must be invalidated
+// by any shard mutation, through every read entry point.
+func TestShardedRunQuerySeesUpdates(t *testing.T) {
+	s := readPathSketch()
+	spec := uss.QuerySpec{GroupBy: []string{"country"}}
+	before, _, _ := s.RunQuery(spec)
+	for i := 0; i < 600; i++ {
+		s.Update("country=br|device=ios")
+	}
+	after, _, _ := s.RunQuery(spec)
+	if len(after) != len(before)+1 {
+		t.Fatalf("new group not visible: before %d, after %d groups", len(before), len(after))
+	}
+	found := false
+	for _, g := range after {
+		if g.KeyString() == "country=br" && g.Sum.Value == 600 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("country=br missing or wrong: %v", after)
+	}
+	if snap := s.Snapshot(0); math.Abs(snap.Total()-3600) > 1e-9 {
+		t.Errorf("snapshot total %v, want 3600", snap.Total())
+	}
+}
+
+// TestPreparedQueryTracksSketch: a prepared query is a live view, not a
+// point-in-time copy.
+func TestPreparedQueryTracksSketch(t *testing.T) {
+	sk := uss.New(256, uss.WithSeed(29))
+	sk.Update("k=a")
+	p := sk.QueryEngine().Prepare(uss.QuerySpec{GroupBy: []string{"k"}})
+	groups, _, _ := p.Run()
+	if len(groups) != 1 || groups[0].Sum.Value != 1 {
+		t.Fatalf("first run: %v", groups)
+	}
+	sk.Update("k=a")
+	sk.Update("k=b")
+	groups, _, _ = p.Run()
+	if len(groups) != 2 || groups[0].Sum.Value != 2 || groups[0].KeyString() != "k=a" {
+		t.Fatalf("post-update run: %v", groups)
+	}
+}
+
+func TestSnapshotWithReductions(t *testing.T) {
+	s := uss.NewSharded(4, 64, uss.WithSeed(31))
+	for i := 0; i < 20000; i++ {
+		s.Update(fmt.Sprintf("item-%d", i%1000))
+	}
+	for _, red := range []uss.Reduction{uss.Pairwise, uss.Pivotal} {
+		snap := s.SnapshotWith(16, red)
+		if snap.Size() > 16 || snap.Capacity() != 16 {
+			t.Errorf("%v: size %d capacity %d", red, snap.Size(), snap.Capacity())
+		}
+		// Unbiased reductions preserve the total exactly (pairwise) or to
+		// floating-point error (pivotal's HT adjustment).
+		if math.Abs(snap.Total()-20000) > 1e-6 {
+			t.Errorf("%v: total %v, want 20000", red, snap.Total())
+		}
+	}
+	mg := s.SnapshotWith(16, uss.MisraGries)
+	if mg.Size() > 16 {
+		t.Errorf("misra-gries: size %d", mg.Size())
+	}
+	if mg.Total() > 20000 {
+		t.Errorf("misra-gries total %v exceeds input mass", mg.Total())
+	}
+	// A full-size snapshot is exact regardless of reduction.
+	if full := s.SnapshotWith(0, uss.Pairwise); math.Abs(full.Total()-20000) > 1e-9 {
+		t.Errorf("full snapshot total %v", full.Total())
+	}
+}
+
+// TestSnapshotIndependent: mutating a returned snapshot must not corrupt
+// the shared cache serving later reads.
+func TestSnapshotIndependent(t *testing.T) {
+	s := readPathSketch()
+	snap := s.Snapshot(0)
+	for i := 0; i < 5000; i++ {
+		snap.Update("country=zz|device=tv", 1)
+	}
+	top := s.TopK(6)
+	for _, b := range top {
+		if b.Item == "country=zz|device=tv" {
+			t.Fatal("snapshot mutation leaked into the sharded sketch's cache")
+		}
+	}
+	if s.Rows() != 3000 {
+		t.Errorf("Rows = %d", s.Rows())
+	}
+}

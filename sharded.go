@@ -5,9 +5,12 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/hashx"
+	"repro/internal/labelidx"
+	"repro/internal/query"
 )
 
 // ShardedSketch ingests rows concurrently: items hash to one of S shards,
@@ -27,11 +30,27 @@ import (
 type ShardedSketch struct {
 	shards []shard
 	m      int
+
+	// snap caches the merged snapshot of all shards (bins, top-k order,
+	// label index), stamped with the per-shard versions it was built
+	// from. Readers validate it against the live version counters with
+	// atomic loads only — repeated TopK / RunQuery / Snapshot against a
+	// quiescent sketch touch no shard locks and allocate nothing (TopK)
+	// or defer all work to the shared cache (queries, snapshots).
+	snap atomic.Pointer[shardSnapshot]
+
+	// queryMu serializes the convenience RunQuery path's lazily built
+	// engine; see RunQuery.
+	queryMu sync.Mutex
+	qe      *query.Engine
 }
 
 type shard struct {
 	mu sync.Mutex
 	sk *Sketch
+	// version advances on every mutation of this shard. Written under
+	// mu, read without it by snapshot-cache validation.
+	version atomic.Uint64
 }
 
 // NewSharded returns a sketch with the given number of shards, each with
@@ -70,6 +89,7 @@ func (s *ShardedSketch) Update(item string) {
 	sh := s.shardFor(item)
 	sh.mu.Lock()
 	sh.sk.Update(item)
+	sh.version.Add(1)
 	sh.mu.Unlock()
 }
 
@@ -123,6 +143,7 @@ func (s *ShardedSketch) UpdateBatch(items []string) {
 		sh := &s.shards[0]
 		sh.mu.Lock()
 		sh.sk.UpdateAll(items)
+		sh.version.Add(1)
 		sh.mu.Unlock()
 		return
 	}
@@ -158,6 +179,7 @@ func (s *ShardedSketch) UpdateBatch(items []string) {
 			shd := &s.shards[sh]
 			shd.mu.Lock()
 			shd.sk.core.UpdateGather(items, sc.idx[start:end])
+			shd.version.Add(1)
 			shd.mu.Unlock()
 		}
 		start = end
@@ -202,39 +224,173 @@ func (s *ShardedSketch) SubsetSum(pred func(string) bool) Estimate {
 	return Estimate{Value: value, StdErr: math.Sqrt(variance), SampleBins: bins}
 }
 
+// shardSnapshot is one immutable merged view of all shards. bins is the
+// exact item-wise sum of the shard bin lists (ascending count order; no
+// reduction — items are disjoint across shards, so the merged list never
+// exceeds the total bin budget). sorted and idx are derived lazily and
+// published through atomic pointers so that concurrent readers never
+// lock and repeat reads never allocate.
+type shardSnapshot struct {
+	versions []uint64                       // per-shard versions the snapshot was built from
+	bins     []Bin                          // ascending count order
+	minCount float64                        // MinCount of the equivalent Snapshot(s.m)
+	sorted   atomic.Pointer[[]Bin]          // descending rank, for TopK
+	idx      atomic.Pointer[labelidx.Index] // columnar label index
+}
+
+// snapshot returns a merged view of the shards that is current with
+// respect to the per-shard version counters: the cached one when no shard
+// has moved (validated with atomic loads only — no locks), a freshly
+// built one otherwise.
+func (s *ShardedSketch) snapshot() *shardSnapshot {
+	if c := s.snap.Load(); c != nil && s.upToDate(c) {
+		return c
+	}
+	return s.rebuildSnapshot()
+}
+
+func (s *ShardedSketch) upToDate(c *shardSnapshot) bool {
+	for i := range s.shards {
+		if s.shards[i].version.Load() != c.versions[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuildSnapshot copies each shard's bins under its lock (recording the
+// version the copy corresponds to), k-way merges the item-disjoint lists
+// outside any lock, and publishes the result. Shards are copied at
+// slightly different times, the same consistency the uncached Snapshot
+// always had; concurrent rebuilds may race benignly, each publishing a
+// snapshot valid for the versions it recorded.
+func (s *ShardedSketch) rebuildSnapshot() *shardSnapshot {
+	c := &shardSnapshot{versions: make([]uint64, len(s.shards))}
+	lists := make([][]Bin, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		c.versions[i] = sh.version.Load()
+		// Bins() copies, so the shard keeps moving after unlock.
+		lists[i] = sh.sk.Bins()
+		sh.mu.Unlock()
+	}
+	c.bins = core.SumDisjointAscending(lists...)
+	if len(c.bins) >= s.m && len(c.bins) > 0 {
+		c.minCount = c.bins[0].Count
+	}
+	s.snap.Store(c)
+	return c
+}
+
+// topSorted returns the snapshot's bins in descending rank order (count
+// descending, ties by item), building them at most once per snapshot.
+func (c *shardSnapshot) topSorted() []Bin {
+	if p := c.sorted.Load(); p != nil {
+		return *p
+	}
+	sorted := core.SelectTop(c.bins, len(c.bins))
+	c.sorted.CompareAndSwap(nil, &sorted)
+	return *c.sorted.Load()
+}
+
+// labelIndex returns the snapshot's columnar label index, building it at
+// most once per snapshot.
+func (c *shardSnapshot) labelIndex() *labelidx.Index {
+	if p := c.idx.Load(); p != nil {
+		return p
+	}
+	idx := labelidx.New(c.bins)
+	c.idx.CompareAndSwap(nil, idx)
+	return c.idx.Load()
+}
+
+// shardedBinner adapts the cached snapshot to the query engine's source
+// interface. QuerySnapshot hands the engine one snapshot's bins, label
+// index and min count together, so a query never mixes epochs even while
+// shards ingest concurrently; the engine revalidates by label-index
+// identity, which changes exactly when a shard version moves.
+type shardedBinner struct{ s *ShardedSketch }
+
+func (b shardedBinner) Bins() []Bin       { return b.s.snapshot().bins }
+func (b shardedBinner) MinCount() float64 { return b.s.snapshot().minCount }
+
+func (b shardedBinner) QuerySnapshot() ([]Bin, *labelidx.Index, float64) {
+	c := b.s.snapshot()
+	return c.bins, c.labelIndex(), c.minCount
+}
+
 // Snapshot merges the shards into one weighted sketch of m bins (defaults
 // to the sharded sketch's total bin budget when m ≤ 0) for top-k queries,
-// serialization or further merging. Concurrent updates during Snapshot are
-// serialized per shard; the snapshot is a consistent-enough view for
-// monitoring use (each shard is copied atomically, shards at slightly
-// different times).
+// serialization or further merging, reducing with Pairwise when m is
+// below the merged size. The merge itself is served from the versioned
+// snapshot cache: on a quiescent sketch only the returned sketch is
+// built, with no shard locking or re-merging.
 func (s *ShardedSketch) Snapshot(m int) *WeightedSketch {
+	return s.SnapshotWith(m, Pairwise)
+}
+
+// SnapshotWith is Snapshot with an explicit reduction for the case where
+// the merged bins must shrink to m (Pairwise and Pivotal keep the
+// snapshot unbiased; MisraGries trades bias for the deterministic bound).
+func (s *ShardedSketch) SnapshotWith(m int, red Reduction) *WeightedSketch {
 	if m <= 0 {
 		m = s.m
 	}
-	lists := make([][]Bin, len(s.shards))
-	for i := range s.shards {
-		s.shards[i].mu.Lock()
-		// Bins() copies, so the shard keeps moving after unlock.
-		lists[i] = s.shards[i].sk.Bins()
-		s.shards[i].mu.Unlock()
-	}
-	merged := MergeBins(m, Pairwise, lists...)
-	w := NewWeighted(m)
-	for _, b := range merged {
-		if b.Count > 0 {
-			w.Update(b.Item, b.Count)
+	bins := s.snapshot().bins
+	cfg := buildConfig(nil)
+	if len(bins) > m {
+		switch red {
+		case Pivotal:
+			bins = core.ReducePivotal(bins, m, cfg.rng)
+		case MisraGries:
+			bins = core.ReduceMisraGries(bins, m)
+		default:
+			bins = core.ReducePairwise(bins, m, cfg.rng)
 		}
 	}
-	return w
+	return &WeightedSketch{core: core.SketchFromBins(m, cfg.rng, bins)}
 }
 
-// TopK returns the k heaviest items across shards via a snapshot merge,
-// selected with the shared O(n log k) partial heap select (the same
-// implementation backing the single-sketch TopK).
+// TopK returns the k heaviest items across shards in descending count
+// order (ties by item), served from the cached snapshot: on a quiescent
+// sketch repeat calls take no locks and allocate nothing. The returned
+// slice is a read-only view into the cache, valid indefinitely (snapshots
+// are immutable; later updates publish new ones) — callers that want to
+// mutate the bins must copy.
 func (s *ShardedSketch) TopK(k int) []Bin {
-	snap := s.Snapshot(0)
-	return core.SelectTop(snap.Bins(), k)
+	sorted := s.snapshot().topSorted()
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return sorted[:k:k]
+}
+
+// RunQuery evaluates the §2 query template against the merged snapshot,
+// exactly as RunQuery(sketch.Snapshot(0), q) would, but served from the
+// versioned snapshot cache: on a quiescent sketch no shard is locked and
+// no label is re-parsed. Safe for concurrent use (queries serialize on an
+// internal mutex; the heavy state is the shared immutable snapshot). For
+// lock-free concurrent querying, give each goroutine its own QueryEngine.
+func (s *ShardedSketch) RunQuery(q QuerySpec) (groups []QueryGroup, skipped int, err error) {
+	s.queryMu.Lock()
+	defer s.queryMu.Unlock()
+	if s.qe == nil {
+		s.qe = query.NewEngine(shardedBinner{s})
+	}
+	g, skipped, err := s.qe.Run(q)
+	return copyGroups(g), skipped, err
+}
+
+// QueryEngine returns a fresh engine over the sharded sketch's cached
+// snapshot for repeated or prepared queries. Engines are single-goroutine
+// owners of their buffers, but any number of them share the underlying
+// snapshot and label index, so per-goroutine engines are cheap.
+func (s *ShardedSketch) QueryEngine() *QueryEngine {
+	return &QueryEngine{eng: query.NewEngine(shardedBinner{s})}
 }
 
 // Shards returns the shard count.

@@ -38,8 +38,10 @@ package uss
 
 import (
 	"math/rand"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/query"
 )
 
 // Bin is one (item, estimated count) pair held by a sketch.
@@ -96,6 +98,13 @@ func buildConfig(opts []Option) config {
 // shard streams across sketches and Merge them instead.
 type Sketch struct {
 	core *core.Sketch
+	// qe lazily caches RunQuery's columnar engine; it revalidates
+	// against the core sketch's version counter, so it never serves
+	// stale results and is dropped whenever core is replaced. queryMu
+	// serializes RunQuery so concurrent read-only querying stays safe
+	// even though the engine mutates its caches.
+	queryMu sync.Mutex
+	qe      *query.Engine
 }
 
 // New returns a sketch with m bins. Memory use is Θ(m); estimation error
@@ -173,6 +182,9 @@ func (s *Sketch) ToWeighted() *WeightedSketch {
 // event). Updates are O(log m).
 type WeightedSketch struct {
 	core *core.WeightedSketch
+	// qe lazily caches RunQueryWeighted's columnar engine; see Sketch.qe.
+	queryMu sync.Mutex
+	qe      *query.Engine
 }
 
 // NewWeighted returns a weighted Unbiased Space Saving sketch with m bins.
