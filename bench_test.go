@@ -5,6 +5,8 @@
 package uss_test
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -254,4 +256,101 @@ func BenchmarkMarshalRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Codec benchmarks: v2 binary wire format vs the legacy gob format on
+// the acceptance-sized 64Ki-bin sketch. The gob side uses the same
+// synthesized v1 snapshot the compat tests use; its decode runs through
+// UnmarshalBinary's fallback path.
+
+func buildCodecBenchSketch(b *testing.B) *uss.Sketch {
+	b.Helper()
+	sk := uss.New(1<<16, uss.WithSeed(10))
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<18; i++ {
+		sk.Update(fmt.Sprintf("item-%08d", rng.Intn(1<<17)))
+	}
+	return sk
+}
+
+func gobEncodeBench(b *testing.B, sk *uss.Sketch) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	snap := v1Snapshot{Version: 1, Capacity: sk.Capacity(), Rows: sk.Rows(), Bins: sk.Bins()}
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkCodecEncode(b *testing.B) {
+	sk := buildCodecBenchSketch(b)
+	b.Run("GobV1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if blob := gobEncodeBench(b, sk); len(blob) == 0 {
+				b.Fatal("empty blob")
+			}
+		}
+	})
+	b.Run("V2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			blob, err := sk.MarshalBinary()
+			if err != nil || len(blob) == 0 {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("V2Reused", func(b *testing.B) {
+		buf, err := sk.AppendBinary(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf, err = sk.AppendBinary(buf[:0])
+			if err != nil || len(buf) == 0 {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkCodecDecode(b *testing.B) {
+	sk := buildCodecBenchSketch(b)
+	gobBlob := gobEncodeBench(b, sk)
+	v2Blob, err := sk.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("GobV1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var back uss.Sketch
+			if err := back.UnmarshalBinary(gobBlob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("V2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var back uss.Sketch
+			if err := back.UnmarshalBinary(v2Blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The merge path: bins only, no sketch materialized.
+	b.Run("V2Bins", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bins, err := uss.DecodeBins(v2Blob)
+			if err != nil || len(bins) == 0 {
+				b.Fatal(err)
+			}
+		}
+	})
 }

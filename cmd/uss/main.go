@@ -9,9 +9,16 @@
 //	uss query -sketch clicks.sketch -item user-42
 //	uss query -sketch clicks.sketch -prefix "us-east|" -level 0.95
 //	uss merge -m 4096 -out week.sketch day1.sketch day2.sketch ...
+//	uss roundtrip -sketch old.sketch -out new.sketch
 //
 // Rows are read one per line; -field selects a tab-separated column as the
 // item key (-1 uses the whole line).
+//
+// merge decodes only each input's bin list (no sketch is rebuilt per
+// input) and reduces the lists directly. roundtrip inspects a snapshot in
+// either wire format (v2 binary or legacy v1 gob), re-encodes it as v2,
+// verifies the round trip bin for bin, and optionally writes the upgraded
+// snapshot — the migration path for pre-v2 sketch files.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	uss "repro"
@@ -36,6 +44,8 @@ func main() {
 		err = runQuery(os.Args[2:])
 	case "merge":
 		err = runMerge(os.Args[2:])
+	case "roundtrip":
+		err = runRoundTrip(os.Args[2:])
 	default:
 		usage()
 	}
@@ -49,7 +59,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   uss build -m <bins> [-field N] [-seed S] [-deterministic] -out FILE  < rows
   uss query -sketch FILE [-top K] [-item X] [-prefix P] [-contains S] [-level L]
-  uss merge -m <bins> [-reduction pairwise|pivotal|misra-gries] -out FILE IN...`)
+  uss merge -m <bins> [-reduction pairwise|pivotal|misra-gries] -out FILE IN...
+  uss roundtrip -sketch FILE [-out FILE]`)
 	os.Exit(2)
 }
 
@@ -172,31 +183,127 @@ func runMerge(args []string) error {
 	default:
 		return fmt.Errorf("merge: unknown reduction %q", *red)
 	}
+	// Decode each input's bins directly off the wire — no per-input sketch
+	// is materialized; the lists feed the reduction as-is.
 	lists := make([][]uss.Bin, 0, fs.NArg())
 	for _, p := range fs.Args() {
-		sk, err := readSketch(p)
+		blob, err := os.ReadFile(p)
 		if err != nil {
-			return err
+			return fmt.Errorf("reading %s: %w", p, err)
 		}
-		lists = append(lists, sk.Bins())
+		bins, err := uss.DecodeBins(blob)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		lists = append(lists, bins)
 	}
 	bins := uss.MergeBins(*m, reduction, lists...)
-	merged := uss.NewWeighted(*m)
 	var total float64
 	for _, b := range bins {
-		if b.Count > 0 {
-			merged.Update(b.Item, b.Count)
-			total += b.Count
-		}
+		total += b.Count
 	}
-	blob, err := merged.MarshalBinary()
+	// The reduced bins ship directly as a weighted snapshot — the whole
+	// merge ran without materializing a single sketch.
+	blob, err := uss.EncodeBins(*m, bins)
 	if err != nil {
 		return err
 	}
 	if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		return fmt.Errorf("merge: %w", err)
 	}
-	fmt.Printf("merged %d sketches: %d bins, total %.1f → %s\n", fs.NArg(), merged.Size(), total, *out)
+	fmt.Printf("merged %d sketches: %d bins, total %.1f → %s\n", fs.NArg(), len(bins), total, *out)
+	return nil
+}
+
+func runRoundTrip(args []string) error {
+	fs := flag.NewFlagSet("roundtrip", flag.ExitOnError)
+	path := fs.String("sketch", "", "sketch file (required)")
+	out := fs.String("out", "", "write the re-encoded v2 snapshot here (optional)")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("roundtrip: -sketch is required")
+	}
+	blob, err := os.ReadFile(*path)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", *path, err)
+	}
+	info, err := uss.InspectSnapshot(blob)
+	if err != nil {
+		return fmt.Errorf("%s: %w", *path, err)
+	}
+	kind := "unit"
+	if info.Weighted {
+		kind = "weighted"
+	}
+	mode := "unbiased"
+	if info.Deterministic {
+		mode = "deterministic"
+	}
+	fmt.Printf("%s: format v%d, %s %s sketch, %d/%d bins, %d rows, %d bytes\n",
+		*path, info.Version, mode, kind, info.NumBins, info.Capacity, info.Rows, len(blob))
+
+	// Restore through the full unmarshal path, re-encode as v2, and verify
+	// the round trip by comparing decoded bin lists item for item.
+	var re []byte
+	if info.Weighted {
+		var sk uss.WeightedSketch
+		if err := sk.UnmarshalBinary(blob); err != nil {
+			return fmt.Errorf("%s: %w", *path, err)
+		}
+		if re, err = sk.MarshalBinary(); err != nil {
+			return err
+		}
+	} else {
+		var sk uss.Sketch
+		if err := sk.UnmarshalBinary(blob); err != nil {
+			return fmt.Errorf("%s: %w", *path, err)
+		}
+		if re, err = sk.MarshalBinary(); err != nil {
+			return err
+		}
+	}
+	if err := verifySameBins(blob, re); err != nil {
+		return fmt.Errorf("roundtrip verification failed: %w", err)
+	}
+	fmt.Printf("re-encoded v%d: %d bytes (%.2fx input), round trip verified\n",
+		2, len(re), float64(len(re))/float64(len(blob)))
+	if *out != "" {
+		if err := os.WriteFile(*out, re, 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", *out, err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+// verifySameBins checks that two snapshots carry the same bins.
+func verifySameBins(a, b []byte) error {
+	ab, err := uss.DecodeBins(a)
+	if err != nil {
+		return err
+	}
+	bb, err := uss.DecodeBins(b)
+	if err != nil {
+		return err
+	}
+	if len(ab) != len(bb) {
+		return fmt.Errorf("bin counts differ: %d vs %d", len(ab), len(bb))
+	}
+	canon := func(bins []uss.Bin) {
+		sort.Slice(bins, func(i, j int) bool {
+			if bins[i].Item != bins[j].Item {
+				return bins[i].Item < bins[j].Item
+			}
+			return bins[i].Count < bins[j].Count
+		})
+	}
+	canon(ab)
+	canon(bb)
+	for i := range ab {
+		if ab[i] != bb[i] {
+			return fmt.Errorf("bin %d differs: %+v vs %+v", i, ab[i], bb[i])
+		}
+	}
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -175,6 +177,92 @@ func TestMergeCommand(t *testing.T) {
 	if got := merged.Total(); got != 5 {
 		t.Errorf("merged total = %v, want 5", got)
 	}
+}
+
+func TestRoundTripCommand(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.sketch")
+	out := filepath.Join(dir, "out.sketch")
+	withStdin(t, "x\nx\ny\nz\nz\nz\n", func() {
+		if err := runBuild([]string{"-m", "8", "-seed", "4", "-out", in}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := runRoundTrip([]string{"-sketch", in, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	sk, err := readSketch(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Rows() != 6 || sk.Estimate("z") != 3 {
+		t.Errorf("round-tripped sketch wrong: rows=%d z=%v", sk.Rows(), sk.Estimate("z"))
+	}
+	// A legacy v1 gob snapshot upgrades through the same path.
+	v1 := filepath.Join(dir, "v1.sketch")
+	blob := gobEncodeV1Snapshot(t, 8, 3, []uss.Bin{{Item: "a", Count: 1}, {Item: "b", Count: 2}})
+	if err := os.WriteFile(v1, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	up := filepath.Join(dir, "v1-upgraded.sketch")
+	if err := runRoundTrip([]string{"-sketch", v1, "-out", up}); err != nil {
+		t.Fatalf("v1 roundtrip: %v", err)
+	}
+	upsk, err := readSketch(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upsk.Rows() != 3 || upsk.Estimate("b") != 2 {
+		t.Errorf("upgraded v1 sketch wrong: rows=%d b=%v", upsk.Rows(), upsk.Estimate("b"))
+	}
+	if info, err := uss.InspectSnapshot(mustRead(t, up)); err != nil || info.Version != 2 {
+		t.Errorf("upgraded snapshot version = %+v, %v", info, err)
+	}
+}
+
+func TestRoundTripErrors(t *testing.T) {
+	if err := runRoundTrip([]string{}); err == nil {
+		t.Error("missing -sketch accepted")
+	}
+	if err := runRoundTrip([]string{"-sketch", "/nonexistent/x.sketch"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	junk := filepath.Join(dir, "junk")
+	if err := os.WriteFile(junk, []byte("not a sketch"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRoundTrip([]string{"-sketch", junk}); err == nil {
+		t.Error("garbage input accepted")
+	}
+}
+
+// gobEncodeV1Snapshot synthesizes a legacy v1 snapshot (gob matches struct
+// fields by name).
+func gobEncodeV1Snapshot(t *testing.T, capacity int, rows int64, bins []uss.Bin) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	snap := struct {
+		Version       int
+		Capacity      int
+		Deterministic bool
+		Weighted      bool
+		Rows          int64
+		Bins          []uss.Bin
+	}{Version: 1, Capacity: capacity, Rows: rows, Bins: bins}
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
 
 func TestMergeErrors(t *testing.T) {

@@ -5,6 +5,8 @@
 //	ussbench -list
 //	ussbench -experiment figure-3
 //	ussbench -all -scale 1 -reps 1 -out results.txt
+//	ussbench -bench codec
+//	ussbench -bench rollup-range
 //
 // Each experiment prints the same rows/series the corresponding paper
 // figure plots, plus a note stating the qualitative shape to expect. See
@@ -27,6 +29,7 @@ func main() {
 		list  = flag.Bool("list", false, "list available experiments and exit")
 		name  = flag.String("experiment", "", "experiment to run (e.g. figure-3)")
 		all   = flag.Bool("all", false, "run every experiment in paper order")
+		bench = flag.String("bench", "", "run a perf comparison instead: codec | rollup-range")
 		scale = flag.Float64("scale", 1, "workload size multiplier")
 		reps  = flag.Float64("reps", 1, "replicate count multiplier")
 		seed  = flag.Int64("seed", 20180614, "random seed")
@@ -49,6 +52,13 @@ func main() {
 		}
 		defer fh.Close()
 		w = io.MultiWriter(os.Stdout, fh)
+	}
+
+	if *bench != "" {
+		if err := runPerf(w, *bench, *scale); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	cfg := experiments.Config{Scale: *scale, Reps: *reps, Seed: *seed}

@@ -1,0 +1,180 @@
+package main
+
+// Perf comparison modes (-bench) for the distributed-aggregation fast
+// path, separate from the paper-figure experiments:
+//
+//	ussbench -bench codec        gob (legacy v1) vs binary v2 encode/decode
+//	ussbench -bench rollup-range cold re-merge vs incremental cached ranges
+//
+// Each mode prints a small table of wall-clock per-op times and the
+// speedup, sized to the acceptance scenarios (a 64Ki-bin sketch; a
+// 90-window rollup). -scale multiplies the workload.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	uss "repro"
+	"repro/internal/rollup"
+)
+
+// runPerf dispatches a -bench mode.
+func runPerf(w io.Writer, mode string, scale float64) error {
+	switch mode {
+	case "codec":
+		return perfCodec(w, scale)
+	case "rollup-range":
+		return perfRollupRange(w, scale)
+	default:
+		return fmt.Errorf("unknown -bench mode %q (want codec or rollup-range)", mode)
+	}
+}
+
+// timeOp measures fn's per-op wall time, running it for at least minTime.
+func timeOp(fn func()) time.Duration {
+	const minTime = 300 * time.Millisecond
+	fn() // warm
+	reps := 0
+	start := time.Now()
+	for {
+		fn()
+		reps++
+		if d := time.Since(start); d >= minTime {
+			return d / time.Duration(reps)
+		}
+	}
+}
+
+// v1GobSnapshot mirrors the legacy gob wire format for the baseline side
+// of the codec comparison (the live codec no longer emits it).
+type v1GobSnapshot struct {
+	Version       int
+	Capacity      int
+	Deterministic bool
+	Weighted      bool
+	Rows          int64
+	Bins          []uss.Bin
+}
+
+func perfCodec(w io.Writer, scale float64) error {
+	bins := int(65536 * scale)
+	if bins < 16 {
+		bins = 16
+	}
+	sk := uss.New(bins, uss.WithSeed(20180614))
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < bins*4; i++ {
+		sk.Update(fmt.Sprintf("item-%08d", rng.Intn(bins*2)))
+	}
+	fmt.Fprintf(w, "# codec: %d-bin unit sketch (%d occupied), gob v1 vs binary v2\n", bins, sk.Size())
+
+	gobEncode := func() []byte {
+		var buf bytes.Buffer
+		snap := v1GobSnapshot{Version: 1, Capacity: sk.Capacity(), Rows: sk.Rows(), Bins: sk.Bins()}
+		if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	}
+	gobBlob := gobEncode()
+	v2Blob, err := sk.MarshalBinary()
+	if err != nil {
+		return err
+	}
+
+	tGobEnc := timeOp(func() { gobEncode() })
+	var reuse []byte
+	tV2Enc := timeOp(func() {
+		var err error
+		reuse, err = sk.AppendBinary(reuse[:0])
+		if err != nil {
+			panic(err)
+		}
+	})
+	tGobDec := timeOp(func() {
+		var back uss.Sketch
+		if err := back.UnmarshalBinary(gobBlob); err != nil {
+			panic(err)
+		}
+	})
+	tV2Dec := timeOp(func() {
+		var back uss.Sketch
+		if err := back.UnmarshalBinary(v2Blob); err != nil {
+			panic(err)
+		}
+	})
+	tV2DecBins := timeOp(func() {
+		if _, err := uss.DecodeBins(v2Blob); err != nil {
+			panic(err)
+		}
+	})
+
+	fmt.Fprintf(w, "%-34s %14s %14s %8s\n", "operation", "gob v1", "binary v2", "speedup")
+	row := func(name string, gob, v2 time.Duration) {
+		fmt.Fprintf(w, "%-34s %14v %14v %7.1fx\n", name, gob, v2, float64(gob)/float64(v2))
+	}
+	row("encode (reused buffer for v2)", tGobEnc, tV2Enc)
+	row("decode to sketch", tGobDec, tV2Dec)
+	row("decode bins only (merge path)", tGobDec, tV2DecBins)
+	fmt.Fprintf(w, "%-34s %13dB %13dB %7.2fx\n", "snapshot size", len(gobBlob), len(v2Blob),
+		float64(len(gobBlob))/float64(len(v2Blob)))
+	return nil
+}
+
+func perfRollupRange(w io.Writer, scale float64) error {
+	const windows = 90
+	rows := int(2000 * scale)
+	if rows < 10 {
+		rows = 10
+	}
+	build := func(noCache bool) *rollup.Rollup {
+		r, err := rollup.New(rollup.Config{
+			Bins: 256, WindowLength: 10, Retain: windows, Seed: 42, NoCache: noCache,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		zipf := rand.NewZipf(rng, 1.2, 1, 4096)
+		for day := 0; day < windows; day++ {
+			for i := 0; i < rows; i++ {
+				r.Update(fmt.Sprintf("item-%d", zipf.Uint64()), int64(day*10+i%10))
+			}
+		}
+		return r
+	}
+	pred := func(s string) bool { return strings.HasSuffix(s, "3") }
+	hi := int64(windows*10 - 1)
+
+	cold := build(true)
+	cached := build(false)
+	fmt.Fprintf(w, "# rollup-range: %d windows × %d rows, full-span SubsetSumRange\n", windows, rows)
+
+	tCold := timeOp(func() {
+		if _, ok := cold.SubsetSumRange(0, hi, pred); !ok {
+			panic("empty range")
+		}
+	})
+	tQuiescent := timeOp(func() {
+		if _, ok := cached.SubsetSumRange(0, hi, pred); !ok {
+			panic("empty range")
+		}
+	})
+	tLiveDelta := timeOp(func() {
+		cached.Update("fresh-row", hi-4)
+		if _, ok := cached.SubsetSumRange(0, hi, pred); !ok {
+			panic("empty range")
+		}
+	})
+
+	fmt.Fprintf(w, "%-34s %14s %8s\n", "query mode", "per op", "vs cold")
+	fmt.Fprintf(w, "%-34s %14v %7.1fx\n", "cold (re-merge all windows)", tCold, 1.0)
+	fmt.Fprintf(w, "%-34s %14v %7.1fx\n", "cached, quiescent windows", tQuiescent, float64(tCold)/float64(tQuiescent))
+	fmt.Fprintf(w, "%-34s %14v %7.1fx\n", "cached, live-window delta", tLiveDelta, float64(tCold)/float64(tLiveDelta))
+	return nil
+}

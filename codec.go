@@ -4,13 +4,31 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/wire"
 )
 
-// snapshot is the wire format shared by Sketch and WeightedSketch. Version
-// guards future layout changes.
+// Serialization speaks two formats:
+//
+//   - v2 (current): the length-prefixed binary format of internal/wire —
+//     fixed-width header, varint counts, all item strings in one arena.
+//     MarshalBinary/AppendBinary always emit v2; it is what the
+//     distributed pre-aggregation pipeline (sketch per shard per day,
+//     shipped and merged at query time) runs on.
+//   - v1 (legacy): the gob-based format earlier releases wrote.
+//     UnmarshalBinary and DecodeBins detect it by the missing v2 magic and
+//     still decode it, so snapshots on disk keep loading.
+//
+// Restores go through the direct-state constructors (core.RestoreUnit,
+// core.RestoreWeighted) rather than replaying Update per bin: no randomness
+// is drawn, zero-count bins keep their identity, and counts are validated
+// as non-negative and finite on the way in.
+
+// snapshot is the legacy v1 gob wire format shared by Sketch and
+// WeightedSketch, kept only for decode fallback.
 type snapshot struct {
 	Version       int
 	Capacity      int
@@ -20,43 +38,95 @@ type snapshot struct {
 	Bins          []Bin
 }
 
-const codecVersion = 1
+const gobCodecVersion = 1
 
-// MarshalBinary serializes the sketch (bins, capacity, mode). The random
-// source is not serialized; a restored sketch draws fresh randomness.
+// SnapshotInfo describes a serialized sketch without restoring it.
+type SnapshotInfo struct {
+	// Version is the snapshot's wire format: 1 (legacy gob) or 2 (binary).
+	Version int
+	// Weighted marks a WeightedSketch snapshot.
+	Weighted bool
+	// Deterministic marks classic (biased) Space Saving mode.
+	Deterministic bool
+	// Capacity is the sketch's bin budget m.
+	Capacity int
+	// Rows is the recorded row count (0 in v1 weighted snapshots, which
+	// never carried it, and in bare-bins snapshots from EncodeBins).
+	Rows int64
+	// NumBins is the number of serialized bins.
+	NumBins int
+}
+
+// MarshalBinary serializes the sketch (bins, capacity, mode) in the v2
+// binary format. The random source is not serialized; a restored sketch
+// draws fresh randomness. It reads only sketch state, so concurrent
+// snapshots of a quiescent sketch stay safe; for a steady-state encoder
+// that wants the allocation-free path, use AppendBinary with a reused
+// buffer.
 func (s *Sketch) MarshalBinary() ([]byte, error) {
-	snap := snapshot{
-		Version:       codecVersion,
-		Capacity:      s.Capacity(),
+	return s.encodeSnapshot(nil, s.core.AppendBins(nil))
+}
+
+// AppendBinary appends the v2 serialization of the sketch to dst and
+// returns the extended buffer. Encoding into a caller-reused buffer is
+// allocation-free in steady state: the bin scratch is owned by the sketch
+// and reused, which — unlike MarshalBinary — makes this a mutating call.
+// Like the sketch itself, not safe for concurrent use.
+func (s *Sketch) AppendBinary(dst []byte) ([]byte, error) {
+	s.enc = s.core.AppendBins(s.enc[:0])
+	return s.encodeSnapshot(dst, s.enc)
+}
+
+func (s *Sketch) encodeSnapshot(dst []byte, bins []core.Bin) ([]byte, error) {
+	out, err := wire.AppendSnapshot(dst, wire.Header{
 		Deterministic: s.Deterministic(),
+		Capacity:      s.Capacity(),
 		Rows:          s.Rows(),
-		Bins:          s.Bins(),
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+	}, bins)
+	if err != nil {
 		return nil, fmt.Errorf("uss: encode sketch: %w", err)
 	}
-	return buf.Bytes(), nil
+	return out, nil
+}
+
+// decodeAny decodes either wire format into the v2 header shape plus the
+// bin list — the one dispatch every decode entry point shares. Errors are
+// unprefixed; callers add their context.
+func decodeAny(data []byte) (wire.Header, []Bin, error) {
+	if wire.IsWire(data) {
+		return wire.Decode(data)
+	}
+	snap, err := decodeGobSnapshot(data)
+	if err != nil {
+		return wire.Header{}, nil, err
+	}
+	return wire.Header{
+		Weighted:      snap.Weighted,
+		Deterministic: snap.Deterministic,
+		Capacity:      snap.Capacity,
+		Rows:          snap.Rows,
+		NumBins:       len(snap.Bins),
+	}, snap.Bins, nil
 }
 
 // UnmarshalBinary restores a sketch serialized by MarshalBinary, replacing
-// the receiver's state. Options on the receiver (its random source) are
-// kept.
+// the receiver's state. Both the current v2 binary format and legacy v1
+// gob snapshots decode; the restored sketch draws fresh randomness.
 func (s *Sketch) UnmarshalBinary(data []byte) error {
-	snap, err := decodeSnapshot(data)
+	h, bins, err := decodeAny(data)
 	if err != nil {
-		return err
+		return fmt.Errorf("uss: decode sketch: %w", err)
 	}
-	if snap.Weighted {
+	if h.Weighted {
 		return fmt.Errorf("uss: snapshot holds a weighted sketch; unmarshal into WeightedSketch")
 	}
 	mode := core.Unbiased
-	if snap.Deterministic {
+	if h.Deterministic {
 		mode = core.Deterministic
 	}
 	rng := rand.New(rand.NewSource(rand.Int63()))
-	restored := core.New(snap.Capacity, mode, rng)
-	if err := core.RestoreUnit(restored, snap.Bins, snap.Rows); err != nil {
+	restored := core.New(h.Capacity, mode, rng)
+	if err := core.RestoreUnit(restored, bins, h.Rows); err != nil {
 		return fmt.Errorf("uss: restore sketch: %w", err)
 	}
 	s.core = restored
@@ -64,50 +134,139 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	return nil
 }
 
-// MarshalBinary serializes the weighted sketch.
+// MarshalBinary serializes the weighted sketch in the v2 binary format.
+// Read-only, like (*Sketch).MarshalBinary.
 func (s *WeightedSketch) MarshalBinary() ([]byte, error) {
-	snap := snapshot{
-		Version:  codecVersion,
-		Capacity: s.Capacity(),
-		Weighted: true,
-		Bins:     s.Bins(),
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
-		return nil, fmt.Errorf("uss: encode weighted sketch: %w", err)
-	}
-	return buf.Bytes(), nil
+	return s.encodeSnapshot(nil, s.core.AppendBins(nil))
 }
 
-// UnmarshalBinary restores a weighted sketch. Unit-sketch snapshots load
-// fine (their integral counts become weights).
-func (s *WeightedSketch) UnmarshalBinary(data []byte) error {
-	snap, err := decodeSnapshot(data)
+// AppendBinary appends the v2 serialization of the weighted sketch to dst
+// and returns the extended buffer; see (*Sketch).AppendBinary (mutating:
+// it reuses the sketch-owned bin scratch). Counts must be non-negative and
+// finite — a sketch driven negative through UpdateSigned does not
+// serialize.
+func (s *WeightedSketch) AppendBinary(dst []byte) ([]byte, error) {
+	s.enc = s.core.AppendBins(s.enc[:0])
+	return s.encodeSnapshot(dst, s.enc)
+}
+
+func (s *WeightedSketch) encodeSnapshot(dst []byte, bins []core.Bin) ([]byte, error) {
+	out, err := wire.AppendSnapshot(dst, wire.Header{
+		Weighted: true,
+		Capacity: s.Capacity(),
+		Rows:     s.core.Rows(),
+	}, bins)
 	if err != nil {
-		return err
+		return nil, fmt.Errorf("uss: encode weighted sketch: %w", err)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary restores a weighted sketch from a v2 or legacy v1
+// snapshot. Unit-sketch snapshots load fine (their integral counts become
+// weights). The restore loads bin state directly — zero-count bins keep
+// their identity rather than being dropped by an Update replay — and
+// rejects negative or non-finite counts.
+func (s *WeightedSketch) UnmarshalBinary(data []byte) error {
+	h, bins, err := decodeAny(data)
+	if err != nil {
+		return fmt.Errorf("uss: decode weighted sketch: %w", err)
 	}
 	rng := rand.New(rand.NewSource(rand.Int63()))
-	w := core.NewWeighted(snap.Capacity, rng)
-	for _, b := range snap.Bins {
-		if b.Count > 0 {
-			w.Update(b.Item, b.Count)
-		}
+	w := core.NewWeighted(h.Capacity, rng)
+	if err := core.RestoreWeighted(w, bins, h.Rows); err != nil {
+		return fmt.Errorf("uss: restore weighted sketch: %w", err)
 	}
 	s.core = w
 	s.qe = nil // any cached query engine is bound to the old core
 	return nil
 }
 
-func decodeSnapshot(data []byte) (snapshot, error) {
+// DecodeBins extracts just the bin list from a serialized sketch (v2 or
+// legacy v1), skipping sketch materialization entirely. It is the decode
+// half of the merge-from-wire fast path: decode each shipped snapshot's
+// bins and hand the lists straight to MergeBins — no heap rebuild, no
+// Update replay, no per-snapshot sketch. Counts are validated non-negative
+// and finite.
+func DecodeBins(data []byte) ([]Bin, error) {
+	_, bins, err := decodeAny(data)
+	if err != nil {
+		return nil, fmt.Errorf("uss: decode bins: %w", err)
+	}
+	// The v2 decoder validates counts inline; the gob path does not, so
+	// check here — the cost is trivial next to the decode.
+	for _, b := range bins {
+		if b.Count < 0 || math.IsNaN(b.Count) || math.IsInf(b.Count, 0) {
+			return nil, fmt.Errorf("uss: decode bins: bin %q has invalid count %v", b.Item, b.Count)
+		}
+	}
+	return bins, nil
+}
+
+// EncodeBins serializes a bare bin list as a v2 weighted snapshot of
+// capacity m — the encode half of the merge-from-wire fast path: reduce k
+// decoded snapshots with MergeBins and ship the result without ever
+// materializing a sketch. The snapshot restores into a WeightedSketch
+// (merged counts need not stay integral); zero-count bins keep their
+// identity. Counts must be non-negative and finite, len(bins) ≤ m. The
+// header's row count is 0 — bare bins carry no processed-rows history, and
+// fabricating one would misreport what InspectSnapshot shows.
+func EncodeBins(m int, bins []Bin) ([]byte, error) {
+	out, err := wire.AppendSnapshot(nil, wire.Header{
+		Weighted: true,
+		Capacity: m,
+	}, bins)
+	if err != nil {
+		return nil, fmt.Errorf("uss: encode bins: %w", err)
+	}
+	return out, nil
+}
+
+// InspectSnapshot reports a serialized sketch's format version and header
+// metadata without restoring it. v2 headers decode in constant time and
+// touch no payload; v1 gob snapshots are fully decoded to read their
+// fields.
+func InspectSnapshot(data []byte) (SnapshotInfo, error) {
+	if wire.IsWire(data) {
+		h, err := wire.DecodeHeader(data)
+		if err != nil {
+			return SnapshotInfo{}, fmt.Errorf("uss: inspect snapshot: %w", err)
+		}
+		return SnapshotInfo{
+			Version:       wire.Version,
+			Weighted:      h.Weighted,
+			Deterministic: h.Deterministic,
+			Capacity:      h.Capacity,
+			Rows:          h.Rows,
+			NumBins:       h.NumBins,
+		}, nil
+	}
+	snap, err := decodeGobSnapshot(data)
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("uss: inspect snapshot: %w", err)
+	}
+	return SnapshotInfo{
+		Version:       snap.Version,
+		Weighted:      snap.Weighted,
+		Deterministic: snap.Deterministic,
+		Capacity:      snap.Capacity,
+		Rows:          snap.Rows,
+		NumBins:       len(snap.Bins),
+	}, nil
+}
+
+// decodeGobSnapshot parses a legacy v1 gob snapshot. Errors carry no
+// "uss:" prefix; the public entry points add their own context.
+func decodeGobSnapshot(data []byte) (snapshot, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
-		return snap, fmt.Errorf("uss: decode sketch: %w", err)
+		return snap, fmt.Errorf("decode v1 snapshot: %w", err)
 	}
-	if snap.Version != codecVersion {
-		return snap, fmt.Errorf("uss: snapshot version %d, want %d", snap.Version, codecVersion)
+	if snap.Version != gobCodecVersion {
+		return snap, fmt.Errorf("snapshot version %d, want %d", snap.Version, gobCodecVersion)
 	}
 	if snap.Capacity <= 0 {
-		return snap, fmt.Errorf("uss: snapshot capacity %d", snap.Capacity)
+		return snap, fmt.Errorf("snapshot capacity %d", snap.Capacity)
 	}
 	return snap, nil
 }

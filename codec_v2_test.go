@@ -1,0 +1,282 @@
+package uss_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"testing"
+
+	uss "repro"
+)
+
+// v1Snapshot mirrors the legacy gob wire format field for field; gob
+// matches by field name, so encoding one produces a byte stream
+// indistinguishable from what the v1 codec wrote. The compat tests use it
+// to synthesize old snapshots.
+type v1Snapshot struct {
+	Version       int
+	Capacity      int
+	Deterministic bool
+	Weighted      bool
+	Rows          int64
+	Bins          []uss.Bin
+}
+
+func gobEncodeV1(t testing.TB, snap v1Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func sortedBins(bins []uss.Bin) []uss.Bin {
+	out := append([]uss.Bin(nil), bins...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count < out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// TestCodecV1GobFallback: legacy gob snapshots (the format every pre-v2
+// sketch file on disk is in) must keep decoding through UnmarshalBinary.
+func TestCodecV1GobFallback(t *testing.T) {
+	blob := gobEncodeV1(t, v1Snapshot{
+		Version:  1,
+		Capacity: 8,
+		Rows:     6,
+		Bins:     []uss.Bin{{Item: "a", Count: 1}, {Item: "b", Count: 2}, {Item: "c", Count: 3}},
+	})
+	var sk uss.Sketch
+	if err := sk.UnmarshalBinary(blob); err != nil {
+		t.Fatalf("v1 unit snapshot no longer decodes: %v", err)
+	}
+	if sk.Rows() != 6 || sk.Capacity() != 8 || sk.Estimate("b") != 2 {
+		t.Fatalf("v1 restore wrong: rows=%d cap=%d b=%v", sk.Rows(), sk.Capacity(), sk.Estimate("b"))
+	}
+	info, err := uss.InspectSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.Weighted || info.NumBins != 3 {
+		t.Fatalf("InspectSnapshot(v1) = %+v", info)
+	}
+	bins, err := uss.DecodeBins(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 3 {
+		t.Fatalf("DecodeBins(v1) returned %d bins", len(bins))
+	}
+
+	// Deterministic flag survives the fallback.
+	dblob := gobEncodeV1(t, v1Snapshot{
+		Version: 1, Capacity: 4, Deterministic: true, Rows: 1,
+		Bins: []uss.Bin{{Item: "x", Count: 1}},
+	})
+	var dsk uss.Sketch
+	if err := dsk.UnmarshalBinary(dblob); err != nil {
+		t.Fatal(err)
+	}
+	if !dsk.Deterministic() {
+		t.Fatal("v1 deterministic flag lost")
+	}
+
+	// Weighted v1 snapshot into WeightedSketch; zero-count bins now keep
+	// their identity instead of being dropped by the Update replay.
+	wblob := gobEncodeV1(t, v1Snapshot{
+		Version: 1, Capacity: 4, Weighted: true,
+		Bins: []uss.Bin{{Item: "ghost", Count: 0}, {Item: "w", Count: 2.5}},
+	})
+	var wsk uss.WeightedSketch
+	if err := wsk.UnmarshalBinary(wblob); err != nil {
+		t.Fatal(err)
+	}
+	if !wsk.Contains("ghost") {
+		t.Fatal("v1 weighted restore dropped zero-count bin identity")
+	}
+	if wsk.Estimate("w") != 2.5 || wsk.Size() != 2 {
+		t.Fatalf("v1 weighted restore wrong: w=%v size=%d", wsk.Estimate("w"), wsk.Size())
+	}
+
+	// Invalid counts in a v1 snapshot are now rejected, not replayed.
+	bad := gobEncodeV1(t, v1Snapshot{
+		Version: 1, Capacity: 4, Weighted: true,
+		Bins: []uss.Bin{{Item: "n", Count: -3}},
+	})
+	var bsk uss.WeightedSketch
+	if err := bsk.UnmarshalBinary(bad); err == nil {
+		t.Fatal("negative v1 count accepted")
+	}
+	if _, err := uss.DecodeBins(bad); err == nil {
+		t.Fatal("DecodeBins accepted negative v1 count")
+	}
+
+	// Weighted v1 snapshots must still refuse to load into a unit Sketch.
+	var cross uss.Sketch
+	if err := cross.UnmarshalBinary(wblob); err == nil {
+		t.Fatal("weighted v1 snapshot loaded into unit sketch")
+	}
+}
+
+// TestCodecV2WeightedRowsPreserved: v1 never carried the weighted row
+// count; v2 does.
+func TestCodecV2WeightedRowsPreserved(t *testing.T) {
+	w := uss.NewWeighted(8, uss.WithSeed(5))
+	for i := 0; i < 100; i++ {
+		w.Update(fmt.Sprintf("i%d", i%12), 1.5)
+	}
+	blob, err := w.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := uss.InspectSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 || !info.Weighted || info.Rows != 100 {
+		t.Fatalf("InspectSnapshot = %+v, want v2 weighted with 100 rows", info)
+	}
+}
+
+// TestCodecAppendBinary: encode appends after existing bytes and the result
+// decodes to the same sketch; repeated encodes of a quiescent sketch are
+// byte-identical.
+func TestCodecAppendBinary(t *testing.T) {
+	sk := uss.New(32, uss.WithSeed(6))
+	for i := 0; i < 5000; i++ {
+		sk.Update(fmt.Sprintf("i%d", i%80))
+	}
+	a, err := sk.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sk.AppendBinary(make([]byte, 0, len(a)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("repeated encode of quiescent sketch differs")
+	}
+	prefixed, err := sk.AppendBinary([]byte("head"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(prefixed, []byte("head")) || !bytes.Equal(prefixed[4:], a) {
+		t.Fatal("AppendBinary did not append cleanly after existing bytes")
+	}
+	var back uss.Sketch
+	if err := back.UnmarshalBinary(a); err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows() != sk.Rows() {
+		t.Fatalf("rows = %d, want %d", back.Rows(), sk.Rows())
+	}
+}
+
+// TestEncodeZeroAllocsSteadyState pins the headline encode property: once
+// the sketch's bin scratch and the caller's buffer are warm, AppendBinary
+// allocates nothing.
+func TestEncodeZeroAllocsSteadyState(t *testing.T) {
+	sk := uss.New(256, uss.WithSeed(7))
+	sk.UpdateAll(allocTestStream(1 << 14))
+	buf, err := sk.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		var err error
+		buf, err = sk.AppendBinary(buf[:0])
+		if err != nil || len(buf) == 0 {
+			t.Fatal("encode failed")
+		}
+	}); avg != 0 {
+		t.Errorf("steady-state AppendBinary allocates %v/op, want 0", avg)
+	}
+
+	w := uss.NewWeighted(256, uss.WithSeed(8))
+	for _, r := range allocTestStream(1 << 12) {
+		w.Update(r, 1.25)
+	}
+	wbuf, err := w.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		var err error
+		wbuf, err = w.AppendBinary(wbuf[:0])
+		if err != nil || len(wbuf) == 0 {
+			t.Fatal("encode failed")
+		}
+	}); avg != 0 {
+		t.Errorf("steady-state weighted AppendBinary allocates %v/op, want 0", avg)
+	}
+}
+
+// TestEncodeBins: the sketch-free reduce-and-ship path — decoded bins,
+// merged and re-encoded, restore into a weighted sketch with nothing
+// dropped.
+func TestEncodeBins(t *testing.T) {
+	bins := []uss.Bin{{Item: "ghost", Count: 0}, {Item: "a", Count: 1.5}, {Item: "b", Count: 4}}
+	blob, err := uss.EncodeBins(8, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := uss.InspectSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 || !info.Weighted || info.Capacity != 8 || info.NumBins != 3 {
+		t.Fatalf("InspectSnapshot = %+v", info)
+	}
+	var w uss.WeightedSketch
+	if err := w.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 3 || !w.Contains("ghost") || w.Estimate("a") != 1.5 {
+		t.Fatalf("restored: size=%d ghost=%v a=%v", w.Size(), w.Contains("ghost"), w.Estimate("a"))
+	}
+	if _, err := uss.EncodeBins(2, bins); err == nil {
+		t.Fatal("over-capacity EncodeBins accepted")
+	}
+	if _, err := uss.EncodeBins(8, []uss.Bin{{Item: "n", Count: -1}}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+// TestDecodeBinsMatchesSketchBins: the merge-from-wire path must see
+// exactly the bins a full restore would.
+func TestDecodeBinsMatchesSketchBins(t *testing.T) {
+	sk := uss.New(64, uss.WithSeed(9))
+	for i := 0; i < 9000; i++ {
+		sk.Update(fmt.Sprintf("k%d", i%200))
+	}
+	blob, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins, err := uss.DecodeBins(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sortedBins(sk.Bins())
+	got := sortedBins(bins)
+	if len(got) != len(want) {
+		t.Fatalf("DecodeBins returned %d bins, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bin %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Merging straight from decoded bins matches merging from sketches.
+	mergedBins := uss.MergeBins(64, uss.Pairwise, bins)
+	if len(mergedBins) != len(want) {
+		t.Fatalf("MergeBins over decoded bins: %d bins, want %d", len(mergedBins), len(want))
+	}
+}

@@ -147,18 +147,72 @@ func FuzzCodecRoundTrip(f *testing.F) {
 				t.Fatalf("round trip changed %q: %v vs %v", b.Item, got, b.Count)
 			}
 		}
+		// v2 encode → decode → re-encode is a fixed point: the restored
+		// sketch re-encodes to bytes that decode to the same bins, and a
+		// quiescent sketch marshals identically every time.
+		re1, err := back.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		re2, err := back.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(re1) != string(re2) {
+			t.Fatal("re-encode of quiescent restored sketch not byte-stable")
+		}
+		b1, err := uss.DecodeBins(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := uss.DecodeBins(re1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, s2 := sortedBins(b1), sortedBins(b2)
+		if len(s1) != len(s2) {
+			t.Fatalf("re-encode changed bin count: %d vs %d", len(s1), len(s2))
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("re-encode changed bin %d: %+v vs %+v", i, s1[i], s2[i])
+			}
+		}
+		// A v1 gob snapshot of the same state must still decode and agree
+		// with the v2 restore.
+		v1 := gobEncodeV1(t, v1Snapshot{
+			Version: 1, Capacity: sk.Capacity(), Deterministic: sk.Deterministic(),
+			Rows: sk.Rows(), Bins: sk.Bins(),
+		})
+		var old uss.Sketch
+		if err := old.UnmarshalBinary(v1); err != nil {
+			t.Fatalf("v1 gob snapshot no longer decodes: %v", err)
+		}
+		if old.Total() != sk.Total() || old.Size() != sk.Size() {
+			t.Fatalf("v1 decode changed totals: %v/%d vs %v/%d",
+				old.Total(), old.Size(), sk.Total(), sk.Size())
+		}
+		for _, b := range sk.Bins() {
+			if got := old.Estimate(b.Item); got != b.Count {
+				t.Fatalf("v1 decode changed %q: %v vs %v", b.Item, got, b.Count)
+			}
+		}
 	})
 }
 
 func FuzzUnmarshalGarbage(f *testing.F) {
 	f.Add([]byte("garbage"))
 	f.Add([]byte{})
-	// A valid snapshot as a seed so mutations explore near-valid inputs.
+	// Valid snapshots in both formats as seeds so mutations explore
+	// near-valid inputs on the v2 and the legacy gob decode paths.
 	sk := uss.New(4, uss.WithSeed(1))
 	sk.Update("x")
 	if blob, err := sk.MarshalBinary(); err == nil {
 		f.Add(blob)
 	}
+	f.Add(gobEncodeV1(f, v1Snapshot{
+		Version: 1, Capacity: 4, Rows: 1, Bins: []uss.Bin{{Item: "x", Count: 1}},
+	}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var back uss.Sketch
 		// Must never panic; errors are fine. A successful decode must

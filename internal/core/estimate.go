@@ -34,6 +34,29 @@ func newEstimate(sum float64, hits int, nmin float64) Estimate {
 	}
 }
 
+// SubsetSumBins estimates a subset sum directly over a merged bin list in
+// ascending count order (the canonical order MergeBins returns), for
+// callers that cache merged bins and never materialize a sketch. m is the
+// capacity the merge reduced to; as in a live sketch, N̂min is 0 while the
+// bin list is under capacity and the smallest bin count otherwise, so the
+// result is identical to loading bins into a WeightedSketch of capacity m
+// and calling SubsetSum.
+func SubsetSumBins(bins []Bin, m int, pred func(item string) bool) Estimate {
+	var sum float64
+	var hits int
+	for _, b := range bins {
+		if pred(b.Item) {
+			sum += b.Count
+			hits++
+		}
+	}
+	var nmin float64
+	if len(bins) >= m && len(bins) > 0 {
+		nmin = bins[0].Count
+	}
+	return newEstimate(sum, hits, nmin)
+}
+
 // ConfidenceInterval returns the two-sided normal interval
 // Value ± z·StdErr at the given confidence level in (0,1), truncated below
 // at zero (counts cannot be negative).

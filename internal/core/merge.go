@@ -30,11 +30,17 @@ func sortAscending(bins []Bin) {
 	})
 }
 
-// sumBins adds bin lists item-wise, producing one exact bin per distinct
+// SumBins adds bin lists item-wise, producing one exact bin per distinct
 // item in ascending count order. Items are grouped by sorting the
 // concatenation rather than hashing into a map: one output allocation, no
 // per-item map churn, identical output.
-func sumBins(lists ...[]Bin) []Bin {
+//
+// The operation is associative with a canonical result: summing partial
+// sums of sublists yields the same output as summing all the lists at once,
+// as long as per-item additions are exact (always true for the integral
+// counts unit sketches carry). The rollup's cached merge tree leans on this
+// to substitute precomputed segment sums for runs of window bin lists.
+func SumBins(lists ...[]Bin) []Bin {
 	n := 0
 	for _, l := range lists {
 		n += len(l)
@@ -433,13 +439,13 @@ func (k ReduceKind) String() string {
 // at most m bins with the chosen reduction. The output is in ascending
 // count order.
 func MergeBins(m int, kind ReduceKind, rng *rand.Rand, lists ...[]Bin) []Bin {
-	combined := sumBins(lists...)
+	combined := SumBins(lists...)
 	switch kind {
 	case PairwiseReduction:
 		if len(combined) <= m {
 			return combined
 		}
-		// sumBins hands over a fresh slice, so the collapse can run in
+		// SumBins hands over a fresh slice, so the collapse can run in
 		// place without the defensive copy ReducePairwise makes.
 		return reducePairwiseInPlace(combined, m, rng)
 	case PivotalReduction:

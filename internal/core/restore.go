@@ -1,9 +1,12 @@
 package core
 
 import (
+	"container/heap"
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/streamsummary"
 )
 
 // RestoreUnit loads serialized bins into s, which must be freshly
@@ -11,6 +14,12 @@ import (
 // sketches only ever hold integral counts) and fit within s's capacity.
 // rows should be the original sketch's row count; for unit sketches that
 // always equals the total bin mass, and 0 is accepted as "recompute".
+//
+// The load is a single slab-building pass with one map store per bin
+// (streamsummary.LoadDescending). Snapshots arrive in ascending count
+// order — the order Bins/AppendBins emit and both wire formats preserve —
+// so the descending feed is a reversal, not a sort; unordered input takes
+// a sort fallback.
 func RestoreUnit(s *Sketch, bins []Bin, rows int64) error {
 	if s.Size() != 0 || s.rows != 0 {
 		return fmt.Errorf("core: restore into non-empty sketch")
@@ -18,31 +27,89 @@ func RestoreUnit(s *Sketch, bins []Bin, rows int64) error {
 	if len(bins) > s.m {
 		return fmt.Errorf("core: %d bins exceed capacity %d", len(bins), s.m)
 	}
-	// Feed counts descending: each insert is then a new minimum, the O(1)
-	// path of the slab-backed summary.
-	sorted := make([]Bin, len(bins))
-	copy(sorted, bins)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Count > sorted[j].Count })
+	load := make([]streamsummary.Bin, 0, len(bins))
 	var total int64
-	for _, b := range sorted {
-		if b.Count < 0 || b.Count != math.Trunc(b.Count) {
+	ordered := true
+	for i := len(bins) - 1; i >= 0; i-- {
+		b := bins[i]
+		// The upper bound also rejects +Inf and any value whose int64
+		// conversion would overflow (float64(MaxInt64) == 2^63, itself
+		// out of range); NaN fails the Trunc equality.
+		if b.Count < 0 || b.Count >= math.MaxInt64 || b.Count != math.Trunc(b.Count) {
 			return fmt.Errorf("core: bin %q has non-integral count %v", b.Item, b.Count)
 		}
 		if b.Count == 0 {
 			continue
 		}
-		if s.sum.Contains(b.Item) {
-			return fmt.Errorf("core: snapshot lists %q twice", b.Item)
-		}
 		c := int64(b.Count)
-		s.sum.Insert(b.Item, c)
+		if n := len(load); n > 0 && c > load[n-1].Count {
+			ordered = false
+		}
+		load = append(load, streamsummary.Bin{Item: b.Item, Count: c})
 		total += c
+	}
+	if !ordered {
+		sort.Slice(load, func(i, j int) bool { return load[i].Count > load[j].Count })
+	}
+	if err := s.sum.LoadDescending(load); err != nil {
+		return fmt.Errorf("core: restore: %w", err)
 	}
 	if rows == 0 {
 		rows = total
 	}
 	if rows != total {
 		return fmt.Errorf("core: snapshot rows %d disagree with bin mass %d", rows, total)
+	}
+	s.rows = rows
+	s.version++
+	return nil
+}
+
+// RestoreWeighted loads serialized bins into s, which must be freshly
+// constructed and empty, by building the bin heap directly: O(n) heap
+// construction, no randomness drawn, no per-bin Update replay. Unlike the
+// update path it keeps zero-count bins — their labels are sketch state
+// (identity a reduction assigned to an emptied bin) that a replay through
+// Update would silently drop. Counts must be non-negative and finite;
+// duplicated items are rejected.
+//
+// rows should be the original sketch's Rows(); 0 falls back to the number
+// of restored bins (the best reconstruction available from bins alone, and
+// what the Update-replay path historically reported).
+func RestoreWeighted(s *WeightedSketch, bins []Bin, rows int64) error {
+	if len(s.h) != 0 || len(s.index) != 0 || s.rows != 0 {
+		return fmt.Errorf("core: restore into non-empty sketch")
+	}
+	if len(bins) > s.m {
+		return fmt.Errorf("core: %d bins exceed capacity %d", len(bins), s.m)
+	}
+	if rows < 0 {
+		return fmt.Errorf("core: negative row count %d", rows)
+	}
+	// Validate every count before touching sketch state, so a rejected
+	// snapshot leaves s empty and reusable.
+	var total float64
+	for _, b := range bins {
+		if b.Count < 0 || math.IsNaN(b.Count) || math.IsInf(b.Count, 0) {
+			return fmt.Errorf("core: bin %q has invalid count %v", b.Item, b.Count)
+		}
+		total += b.Count
+	}
+	h := make(wheap, 0, len(bins))
+	for _, b := range bins {
+		if _, dup := s.index[b.Item]; dup {
+			clear(s.index) // roll back: leave s empty, not half-indexed
+			return fmt.Errorf("core: snapshot lists %q twice", b.Item)
+		}
+		wb := &wbin{item: b.Item, count: b.Count, idx: len(h)}
+		h = append(h, wb)
+		s.index[b.Item] = wb
+	}
+	s.h = h
+	heap.Init(&s.h) // sift-down construction; Swap keeps idx back-references
+	s.total = total
+	if rows == 0 {
+		rows = int64(len(bins))
 	}
 	s.rows = rows
 	s.version++

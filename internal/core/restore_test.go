@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"testing"
 )
 
@@ -45,6 +47,17 @@ func TestRestoreUnitValidation(t *testing.T) {
 	if err := RestoreUnit(fresh(), []Bin{{"a", -1}}, -1); err == nil {
 		t.Error("negative count accepted")
 	}
+	if err := RestoreUnit(fresh(), []Bin{{"a", math.Inf(1)}}, 0); err == nil {
+		t.Error("+Inf count accepted")
+	}
+	if err := RestoreUnit(fresh(), []Bin{{"a", math.NaN()}}, 0); err == nil {
+		t.Error("NaN count accepted")
+	}
+	// float64(MaxInt64) == 2^63: integral, but its int64 conversion
+	// overflows — must be rejected, not converted.
+	if err := RestoreUnit(fresh(), []Bin{{"a", float64(math.MaxInt64)}}, 0); err == nil {
+		t.Error("int64-overflowing count accepted")
+	}
 	if err := RestoreUnit(fresh(), []Bin{{"a", 2}}, 5); err == nil {
 		t.Error("row/mass mismatch accepted")
 	}
@@ -68,5 +81,185 @@ func TestRestoreUnitValidation(t *testing.T) {
 	}
 	if s3.Size() != 1 {
 		t.Errorf("Size = %d, want 1 (zero bin skipped)", s3.Size())
+	}
+}
+
+func TestRestoreWeightedRoundTrip(t *testing.T) {
+	rng := newRng(23)
+	orig := NewWeighted(16, rng)
+	for i := 0; i < 800; i++ {
+		orig.Update(fmt.Sprintf("i%d", rng.Intn(60)), rng.Float64()*10+0.1)
+	}
+	restored := NewWeighted(16, newRng(24))
+	if err := RestoreWeighted(restored, orig.Bins(), orig.Rows()); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Rows() != orig.Rows() {
+		t.Errorf("Rows = %d, want %d", restored.Rows(), orig.Rows())
+	}
+	if math.Abs(restored.Total()-orig.Total()) > 1e-9 {
+		t.Errorf("Total = %v, want %v", restored.Total(), orig.Total())
+	}
+	if restored.MinCount() != orig.MinCount() {
+		t.Errorf("MinCount = %v, want %v", restored.MinCount(), orig.MinCount())
+	}
+	for _, b := range orig.Bins() {
+		if got := restored.Estimate(b.Item); got != b.Count {
+			t.Errorf("Estimate(%s) = %v, want %v", b.Item, got, b.Count)
+		}
+	}
+	if err := restored.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	restored.Update("fresh", 2)
+	if err := restored.CheckInvariants(); err != nil {
+		t.Fatalf("after post-restore update: %v", err)
+	}
+}
+
+// TestRestoreWeightedKeepsZeroBins: a zero-count bin's label is sketch
+// state; the Update-replay restore silently dropped it, the direct-state
+// restore must not.
+func TestRestoreWeightedKeepsZeroBins(t *testing.T) {
+	s := NewWeighted(4, newRng(3))
+	if err := RestoreWeighted(s, []Bin{{"ghost", 0}, {"a", 2}, {"b", 5}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 3 {
+		t.Fatalf("Size = %d, want 3 (zero bin kept)", s.Size())
+	}
+	if !s.Contains("ghost") {
+		t.Fatal("zero-count bin identity dropped")
+	}
+	if s.Estimate("ghost") != 0 {
+		t.Fatalf("ghost estimate = %v", s.Estimate("ghost"))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The zero bin is the minimum, so positive mass can land on it.
+	s.Update("newcomer", 1)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreWeightedValidation(t *testing.T) {
+	fresh := func() *WeightedSketch { return NewWeighted(2, newRng(1)) }
+	if err := RestoreWeighted(fresh(), []Bin{{"a", 1}, {"b", 2}, {"c", 3}}, 0); err == nil {
+		t.Error("over-capacity restore accepted")
+	}
+	if err := RestoreWeighted(fresh(), []Bin{{"a", -1}}, 0); err == nil {
+		t.Error("negative count accepted")
+	}
+	if err := RestoreWeighted(fresh(), []Bin{{"a", math.NaN()}}, 0); err == nil {
+		t.Error("NaN count accepted")
+	}
+	if err := RestoreWeighted(fresh(), []Bin{{"a", math.Inf(1)}}, 0); err == nil {
+		t.Error("Inf count accepted")
+	}
+	if err := RestoreWeighted(fresh(), []Bin{{"a", 1}, {"a", 2}}, 0); err == nil {
+		t.Error("duplicate item accepted")
+	}
+	// A rejected restore must leave the sketch empty and reusable — no
+	// half-filled index from the failed attempt.
+	reuse := fresh()
+	if err := RestoreWeighted(reuse, []Bin{{"a", 1}, {"b", math.NaN()}}, 0); err == nil {
+		t.Fatal("NaN mid-list accepted")
+	}
+	if err := RestoreWeighted(reuse, []Bin{{"a", 1}, {"b", 2}}, 0); err != nil {
+		t.Fatalf("retry after rejected restore failed: %v", err)
+	}
+	if reuse.Size() != 2 || reuse.Estimate("a") != 1 {
+		t.Fatalf("retry state wrong: size=%d a=%v", reuse.Size(), reuse.Estimate("a"))
+	}
+	reuse2 := NewWeighted(4, newRng(1))
+	if err := RestoreWeighted(reuse2, []Bin{{"a", 1}, {"b", 2}, {"a", 3}}, 0); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := RestoreWeighted(reuse2, []Bin{{"a", 1}, {"b", 2}}, 0); err != nil {
+		t.Fatalf("retry after duplicate-rejected restore failed: %v", err)
+	}
+	if err := RestoreWeighted(fresh(), []Bin{{"a", 1}}, -1); err == nil {
+		t.Error("negative rows accepted")
+	}
+	s := fresh()
+	s.Update("x", 1)
+	if err := RestoreWeighted(s, []Bin{{"a", 1}}, 0); err == nil {
+		t.Error("restore into non-empty sketch accepted")
+	}
+	// rows == 0 falls back to the bin count.
+	s2 := fresh()
+	if err := RestoreWeighted(s2, []Bin{{"a", 4}, {"b", 1}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Rows() != 2 {
+		t.Errorf("Rows = %d, want 2", s2.Rows())
+	}
+}
+
+// TestRestoreWeightedMatchesUpdateReplay: on snapshots without zero-count
+// bins the direct-state restore is observationally identical to the old
+// per-bin Update replay.
+func TestRestoreWeightedMatchesUpdateReplay(t *testing.T) {
+	rng := newRng(31)
+	orig := NewWeighted(8, rng)
+	for i := 0; i < 500; i++ {
+		orig.Update(fmt.Sprintf("k%d", rng.Intn(30)), rng.Float64()+0.5)
+	}
+	bins := orig.Bins()
+
+	direct := NewWeighted(8, newRng(1))
+	if err := RestoreWeighted(direct, bins, 0); err != nil {
+		t.Fatal(err)
+	}
+	replay := NewWeighted(8, newRng(2))
+	for _, b := range bins {
+		if b.Count > 0 {
+			replay.Update(b.Item, b.Count)
+		}
+	}
+	da, ra := direct.Bins(), replay.Bins()
+	sortAscending(da)
+	sortAscending(ra)
+	if len(da) != len(ra) {
+		t.Fatalf("bin counts differ: %d vs %d", len(da), len(ra))
+	}
+	for i := range da {
+		if da[i] != ra[i] {
+			t.Fatalf("bin %d: direct %+v, replay %+v", i, da[i], ra[i])
+		}
+	}
+	if direct.Total() != replay.Total() || direct.MinCount() != replay.MinCount() {
+		t.Fatalf("total/min: direct %v/%v, replay %v/%v",
+			direct.Total(), direct.MinCount(), replay.Total(), replay.MinCount())
+	}
+}
+
+// TestSubsetSumBins: the bin-level estimator must agree exactly with
+// loading the bins into a sketch and querying it.
+func TestSubsetSumBins(t *testing.T) {
+	rng := newRng(41)
+	for _, m := range []int{4, 8, 64} {
+		w := NewWeighted(m, rng)
+		for i := 0; i < 300; i++ {
+			w.Update(fmt.Sprintf("g%d/i%d", i%3, rng.Intn(50)), rng.Float64()+0.25)
+		}
+		bins := w.Bins()
+		sort.Slice(bins, func(i, j int) bool { return bins[i].Count < bins[j].Count })
+		pred := func(s string) bool { return s[1] == '1' }
+		got := SubsetSumBins(bins, m, pred)
+		want := w.SubsetSum(pred)
+		// Value can differ by float summation order (bins sorted vs heap
+		// order); StdErr and SampleBins must be exactly equal.
+		if math.Abs(got.Value-want.Value) > 1e-9*math.Abs(want.Value) ||
+			got.StdErr != want.StdErr || got.SampleBins != want.SampleBins {
+			t.Errorf("m=%d: SubsetSumBins = %+v, sketch SubsetSum = %+v", m, got, want)
+		}
+	}
+	// Under capacity: N̂min must be 0.
+	e := SubsetSumBins([]Bin{{"a", 5}}, 4, func(string) bool { return true })
+	if e.StdErr != 0 {
+		t.Errorf("under-capacity StdErr = %v, want 0", e.StdErr)
 	}
 }

@@ -205,6 +205,17 @@ func (s *Sketch) Bins() []Bin {
 	return out
 }
 
+// AppendBins appends all bins to dst in ascending count order and returns
+// the extended slice. With a caller-reused dst this is the allocation-free
+// variant of Bins, used by the steady-state wire encoder.
+func (s *Sketch) AppendBins(dst []Bin) []Bin {
+	s.sum.Each(func(item string, count int64) bool {
+		dst = append(dst, Bin{Item: item, Count: float64(count)})
+		return true
+	})
+	return dst
+}
+
 // TopK returns the k largest bins in descending count order (ties broken by
 // item label for determinism). k larger than Size is truncated. The
 // selection streams the bins through a bounded min-heap — O(m log k) and a

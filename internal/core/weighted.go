@@ -172,6 +172,16 @@ func (s *WeightedSketch) Bins() []Bin {
 	return out
 }
 
+// AppendBins appends the bins to dst in heap (arbitrary) order and returns
+// the extended slice. With a caller-reused dst this is the allocation-free
+// variant of Bins, used by the steady-state wire encoder.
+func (s *WeightedSketch) AppendBins(dst []Bin) []Bin {
+	for _, b := range s.h {
+		dst = append(dst, Bin{Item: b.item, Count: b.count})
+	}
+	return dst
+}
+
 // SubsetSum estimates the total weight of items satisfying pred, with the
 // equation-5 variance estimate.
 func (s *WeightedSketch) SubsetSum(pred func(item string) bool) Estimate {

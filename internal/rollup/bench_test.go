@@ -1,0 +1,99 @@
+package rollup
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// benchRollup builds a 90-window rollup (the paper's daily-sketch
+// pre-aggregation shape at a quarterly retention) with skewed traffic:
+// heavy items recur across windows, the tail is per-window.
+func benchRollup(b *testing.B, noCache bool) *Rollup {
+	b.Helper()
+	r, err := New(Config{Bins: 256, WindowLength: 10, Retain: 90, Seed: 42, NoCache: noCache})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.2, 1, 4096)
+	for day := 0; day < 90; day++ {
+		for i := 0; i < 2000; i++ {
+			r.Update(fmt.Sprintf("item-%d", zipf.Uint64()), int64(day*10+i%10))
+		}
+	}
+	return r
+}
+
+var benchPred = func(s string) bool { return strings.HasSuffix(s, "3") }
+
+// BenchmarkRollupRange contrasts the from-scratch merge with the
+// incremental path: Cold re-merges all 90 windows per query; the cached
+// variants revalidate versions and reuse segments/memos, re-merging only
+// what changed (nothing when quiescent, the live window's bins after a
+// live update).
+func BenchmarkRollupRange(b *testing.B) {
+	b.Run("Cold", func(b *testing.B) {
+		r := benchRollup(b, true)
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := r.SubsetSumRange(0, 899, benchPred); !ok {
+				b.Fatal("empty range")
+			}
+		}
+	})
+	b.Run("CachedQuiescent", func(b *testing.B) {
+		r := benchRollup(b, false)
+		if _, ok := r.SubsetSumRange(0, 899, benchPred); !ok {
+			b.Fatal("empty range")
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := r.SubsetSumRange(0, 899, benchPred); !ok {
+				b.Fatal("empty range")
+			}
+		}
+	})
+	b.Run("CachedLiveDelta", func(b *testing.B) {
+		r := benchRollup(b, false)
+		if _, ok := r.SubsetSumRange(0, 899, benchPred); !ok {
+			b.Fatal("empty range")
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Update("fresh-row", 895) // live window: memo invalid, segments hit
+			if _, ok := r.SubsetSumRange(0, 899, benchPred); !ok {
+				b.Fatal("empty range")
+			}
+		}
+	})
+}
+
+// BenchmarkRollupTopKRange measures the top-k read on both paths.
+func BenchmarkRollupTopKRange(b *testing.B) {
+	b.Run("Cold", func(b *testing.B) {
+		r := benchRollup(b, true)
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if top := r.TopKRange(0, 899, 20); len(top) != 20 {
+				b.Fatal("short top-k")
+			}
+		}
+	})
+	b.Run("Cached", func(b *testing.B) {
+		r := benchRollup(b, false)
+		r.TopKRange(0, 899, 20)
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if top := r.TopKRange(0, 899, 20); len(top) != 20 {
+				b.Fatal("short top-k")
+			}
+		}
+	})
+}

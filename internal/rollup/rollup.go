@@ -5,14 +5,49 @@
 // may combine the last 7 days."
 //
 // A Rollup owns a ring of at most Retain window sketches. Rows are routed
-// to the window of their timestamp; closed windows become immutable; range
-// queries merge the covered windows on demand. Because the merge reduction
-// preserves expected counts (Theorem 2 of the paper), a range estimate is
-// unbiased for the true range total.
+// to the window of their timestamp; range queries merge the covered
+// windows. Because the merge reduction preserves expected counts (Theorem
+// 2 of the paper), a range estimate is unbiased for the true range total.
+//
+// # Incremental range merging
+//
+// Merging every covered window from scratch on every query is the
+// re-merge disease: a trailing-90-day feature polled between row arrivals
+// pays an O(windows · bins) sort-and-fold per poll even though at most one
+// window — the live one — has changed. Queries instead run on three layers
+// of caching, maintaining the answer under updates instead of recomputing
+// it:
+//
+//  1. Window snapshots: each window caches its sorted bin list, stamped
+//     with the sketch's mutation version (core.Sketch.Version). Closed
+//     windows are quiescent, so their snapshots are taken once and never
+//     rebuilt; a window that takes late rows re-snapshots on next use.
+//  2. A binary-lifting merge tree: a level-l segment is the exact
+//     item-wise sum (core.SumBins) of 2^l consecutive closed windows'
+//     snapshots, built lazily from two level-(l-1) halves and memoized
+//     keyed by (first window start, level). SumBins is associative with a
+//     canonical result and window counts are integral, so summing cached
+//     segment sums is bit-identical to summing the raw window lists. A
+//     closed span of w windows decomposes greedily into O(log w) segments.
+//  3. A range memo: the final reduced bin list per (first, last) covered
+//     window pair, revalidated against every covered window's current
+//     version. A repeated query over unchanged windows is O(w) integer
+//     compares — no merging at all, and no randomness drawn.
+//
+// Every cache entry records the window starts and versions it was built
+// from and is revalidated against the live ring on each use, so evictions,
+// late rows into old windows, and windows created out of order all
+// invalidate exactly the entries they affect. When a query's range covers
+// the live (newest) window, that window enters the merge as a single
+// delta list on top of the cached closed segments — the O(windows)
+// re-merge is gone, only the live delta is merged per query.
+//
+// Not safe for concurrent use.
 package rollup
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sort"
 
@@ -31,15 +66,105 @@ type Config struct {
 	Retain int
 	// Seed drives all sketch randomness; 0 picks a random seed.
 	Seed int64
+	// NoCache disables the snapshot/segment/memo layers: every range
+	// query re-merges all covered windows from scratch, reproducing the
+	// pre-incremental behavior. Exists for cold-vs-cached benchmarks and
+	// equivalence tests.
+	NoCache bool
 }
+
+// window is one retained time window: its sketch plus a version-stamped
+// snapshot of the sketch's bins.
+type window struct {
+	start int64
+	sk    *core.Sketch
+	bins  []core.Bin // cached ascending bin snapshot, nil until first use
+	binsV uint64     // sk.Version() at snapshot time
+}
+
+// snapshot returns the window's bins, refreshing the cached copy when the
+// sketch has mutated since it was taken. The returned slice is shared with
+// the cache layers and must not be modified.
+func (w *window) snapshot() []core.Bin {
+	if w.bins == nil || w.binsV != w.sk.Version() {
+		w.bins = w.sk.Bins()
+		w.binsV = w.sk.Version()
+	}
+	return w.bins
+}
+
+// segKey addresses a merge-tree segment: 2^level consecutive windows
+// starting at the window with this start time.
+type segKey struct {
+	start int64
+	level uint8
+}
+
+// rangeKey addresses a memoized final range result by the first and last
+// covered window's start times.
+type rangeKey struct {
+	lo, hi int64
+}
+
+// cachedMerge is one cached merge result — a merge-tree segment (exact
+// item-wise sum of 2^level snapshots) or a range memo (final reduced
+// bins) — plus the window starts and versions it was built from. Both
+// cache layers share the one revalidation protocol.
+type cachedMerge struct {
+	starts   []int64
+	versions []uint64
+	bins     []core.Bin
+}
+
+// valid reports whether c still describes the windows at positions
+// [i, i+len(c.starts)) — same starts, same versions. Anything else —
+// eviction shifts, late rows, windows created inside the span — shows up
+// as a mismatch here.
+func (c *cachedMerge) valid(r *Rollup, i int) bool {
+	if i+len(c.starts) > len(r.order) {
+		return false
+	}
+	for j, start := range c.starts {
+		w := r.order[i+j]
+		if w.start != start || w.sk.Version() != c.versions[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// newCachedMerge stamps bins with the (start, version) pairs of the n
+// windows at positions [i, i+n).
+func (r *Rollup) newCachedMerge(i, n int, bins []core.Bin) *cachedMerge {
+	c := &cachedMerge{starts: make([]int64, n), versions: make([]uint64, n), bins: bins}
+	for j := 0; j < n; j++ {
+		w := r.order[i+j]
+		c.starts[j] = w.start
+		c.versions[j] = w.sk.Version()
+	}
+	return c
+}
+
+const (
+	// maxSegments and maxRangeMemos bound the cache maps; beyond them,
+	// arbitrary entries are dropped. Stale entries are also pruned on
+	// eviction, so these only bite under adversarial query/eviction
+	// churn.
+	maxSegments   = 512
+	maxRangeMemos = 128
+)
 
 // Rollup is a windowed collection of sketches. Not safe for concurrent use.
 type Rollup struct {
 	cfg     Config
 	rng     *rand.Rand
-	windows map[int64]*core.Sketch // window start → sketch
-	order   []int64                // sorted window starts
-	dropped int64                  // rows routed to evicted windows
+	byStart map[int64]*window // window start → window
+	order   []*window         // retained windows, ascending by start
+	dropped int64             // rows routed to evicted windows
+
+	segs    map[segKey]*cachedMerge
+	memos   map[rangeKey]*cachedMerge
+	scratch [][]core.Bin // reusable merge input list
 }
 
 // New validates cfg and returns an empty Rollup.
@@ -60,7 +185,9 @@ func New(cfg Config) (*Rollup, error) {
 	return &Rollup{
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(seed)),
-		windows: make(map[int64]*core.Sketch),
+		byStart: make(map[int64]*window),
+		segs:    make(map[segKey]*cachedMerge),
+		memos:   make(map[rangeKey]*cachedMerge),
 	}, nil
 }
 
@@ -79,24 +206,24 @@ func (r *Rollup) windowStart(at int64) int64 {
 // the retention horizon is dropped, and counted in DroppedRows).
 func (r *Rollup) Update(item string, at int64) bool {
 	start := r.windowStart(at)
-	sk, ok := r.windows[start]
+	w, ok := r.byStart[start]
 	if !ok {
-		if len(r.order) > 0 && start < r.order[0] && r.retained() {
+		if len(r.order) > 0 && start < r.order[0].start && r.retained() {
 			r.dropped++
 			return false
 		}
-		sk = core.New(r.cfg.Bins, core.Unbiased, r.rng)
-		r.windows[start] = sk
-		r.order = insertSorted(r.order, start)
+		w = &window{start: start, sk: core.New(r.cfg.Bins, core.Unbiased, r.rng)}
+		r.byStart[start] = w
+		r.insert(w)
 		r.evict()
-		if _, still := r.windows[start]; !still {
+		if _, still := r.byStart[start]; !still {
 			// The new window itself was beyond retention (possible
 			// when a very old timestamp creates then loses it).
 			r.dropped++
 			return false
 		}
 	}
-	sk.Update(item)
+	w.sk.Update(item)
 	return true
 }
 
@@ -104,29 +231,44 @@ func (r *Rollup) retained() bool {
 	return r.cfg.Retain > 0 && len(r.order) >= r.cfg.Retain
 }
 
-func insertSorted(xs []int64, v int64) []int64 {
-	i := sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
-	xs = append(xs, 0)
-	copy(xs[i+1:], xs[i:])
-	xs[i] = v
-	return xs
+func (r *Rollup) insert(w *window) {
+	i := sort.Search(len(r.order), func(i int) bool { return r.order[i].start >= w.start })
+	r.order = append(r.order, nil)
+	copy(r.order[i+1:], r.order[i:])
+	r.order[i] = w
 }
 
 func (r *Rollup) evict() {
-	if r.cfg.Retain <= 0 {
+	if r.cfg.Retain <= 0 || len(r.order) <= r.cfg.Retain {
 		return
 	}
 	for len(r.order) > r.cfg.Retain {
 		oldest := r.order[0]
+		r.order[0] = nil
 		r.order = r.order[1:]
-		delete(r.windows, oldest)
+		delete(r.byStart, oldest.start)
+	}
+	// Cache entries anchored before the new horizon can never validate
+	// again; drop them now so the maps track the retained ring.
+	horizon := r.order[0].start
+	for k := range r.segs {
+		if k.start < horizon {
+			delete(r.segs, k)
+		}
+	}
+	for k := range r.memos {
+		if k.lo < horizon {
+			delete(r.memos, k)
+		}
 	}
 }
 
 // Windows returns the retained window start times in ascending order.
 func (r *Rollup) Windows() []int64 {
 	out := make([]int64, len(r.order))
-	copy(out, r.order)
+	for i, w := range r.order {
+		out[i] = w.start
+	}
 	return out
 }
 
@@ -135,52 +277,178 @@ func (r *Rollup) DroppedRows() int64 { return r.dropped }
 
 // Window returns the sketch for the window containing at, or nil.
 func (r *Rollup) Window(at int64) *core.Sketch {
-	return r.windows[r.windowStart(at)]
+	w, ok := r.byStart[r.windowStart(at)]
+	if !ok {
+		return nil
+	}
+	return w.sk
+}
+
+// span locates the covered window indices [i0, i1] for timestamps
+// [from, to]; ok is false when no retained window intersects.
+func (r *Rollup) span(from, to int64) (i0, i1 int, ok bool) {
+	if from > to || len(r.order) == 0 {
+		return 0, 0, false
+	}
+	lo := r.windowStart(from)
+	i0 = sort.Search(len(r.order), func(i int) bool { return r.order[i].start >= lo })
+	i1 = sort.Search(len(r.order), func(i int) bool { return r.order[i].start > to }) - 1
+	if i0 > i1 || i0 == len(r.order) {
+		return 0, 0, false
+	}
+	return i0, i1, true
+}
+
+// segmentBins returns the exact summed bins of the 2^level windows at
+// positions [i, i+2^level), serving from the merge tree when the cached
+// node still matches the live windows and rebuilding just the stale nodes
+// otherwise. By the time a node is stamped, every covered window's
+// snapshot has been refreshed in this same query, so the recorded
+// versions are exactly the versions of the bins that were summed.
+func (r *Rollup) segmentBins(i, level int) []core.Bin {
+	if level == 0 {
+		return r.order[i].snapshot()
+	}
+	key := segKey{start: r.order[i].start, level: uint8(level)}
+	if s, ok := r.segs[key]; ok && s.valid(r, i) {
+		return s.bins
+	}
+	n := 1 << level
+	left := r.segmentBins(i, level-1)
+	right := r.segmentBins(i+n/2, level-1)
+	s := r.newCachedMerge(i, n, core.SumBins(left, right))
+	if len(r.segs) >= maxSegments {
+		for k := range r.segs {
+			delete(r.segs, k)
+			break
+		}
+	}
+	r.segs[key] = s
+	return s.bins
+}
+
+// rangeBins returns the merged-and-reduced bins over windows intersecting
+// [from, to] in canonical ascending (count, item) order, plus ok=false when
+// no retained window intersects. The returned slice is owned by the cache
+// and must not be modified.
+//
+// The merge input is identical to concatenating every covered window's bin
+// list, so for a fixed RNG state the result is bit-identical to the
+// from-scratch merge; on a memo hit no randomness is drawn at all.
+func (r *Rollup) rangeBins(from, to int64) ([]core.Bin, bool) {
+	i0, i1, ok := r.span(from, to)
+	if !ok {
+		return nil, false
+	}
+	if r.cfg.NoCache {
+		lists := r.scratch[:0]
+		for i := i0; i <= i1; i++ {
+			lists = append(lists, r.order[i].sk.Bins())
+		}
+		bins := core.MergeBins(r.cfg.Bins, core.PairwiseReduction, r.rng, lists...)
+		r.releaseScratch(lists)
+		return bins, true
+	}
+
+	key := rangeKey{lo: r.order[i0].start, hi: r.order[i1].start}
+	if m, ok := r.memos[key]; ok && m.valid(r, i0) {
+		return m.bins, true
+	}
+
+	// The newest window is live — it may take more rows — so it enters as
+	// a single delta list; everything older is closed and comes from the
+	// merge tree in O(log span) cached segments.
+	live := len(r.order) - 1
+	closedHi := i1
+	if i1 == live {
+		closedHi = i1 - 1
+	}
+	lists := r.scratch[:0]
+	for i := i0; i <= closedHi; {
+		span := closedHi - i + 1
+		level := bits.Len(uint(span)) - 1
+		lists = append(lists, r.segmentBins(i, level))
+		i += 1 << level
+	}
+	if i1 == live {
+		lists = append(lists, r.order[live].snapshot())
+	}
+	bins := core.MergeBins(r.cfg.Bins, core.PairwiseReduction, r.rng, lists...)
+	r.releaseScratch(lists)
+
+	if len(r.memos) >= maxRangeMemos {
+		for k := range r.memos {
+			delete(r.memos, k)
+			break
+		}
+	}
+	r.memos[key] = r.newCachedMerge(i0, i1-i0+1, bins)
+	return bins, true
+}
+
+// releaseScratch returns the merge input list for reuse, dropping the bin
+// slice references so the scratch pins nothing between queries.
+func (r *Rollup) releaseScratch(lists [][]core.Bin) {
+	for i := range lists {
+		lists[i] = nil
+	}
+	r.scratch = lists[:0]
 }
 
 // Range merges all windows intersecting [from, to] (inclusive timestamps)
 // into one weighted sketch of Bins bins. The result is unbiased for subset
-// sums over the rows in those windows. Returns nil when no window
+// sums over the rows in those windows and is independent of the rollup
+// (updating it does not touch rollup state). Returns nil when no window
 // intersects the range.
 func (r *Rollup) Range(from, to int64) *core.WeightedSketch {
-	if from > to {
+	bins, ok := r.rangeBins(from, to)
+	if !ok {
 		return nil
 	}
-	lo := r.windowStart(from)
-	var picked []*core.Sketch
-	for _, start := range r.order {
-		if start >= lo && start <= to {
-			picked = append(picked, r.windows[start])
-		}
+	// The materialized sketch gets its own random source (seeded off the
+	// rollup's, so fixed-seed runs stay reproducible): sharing r.rng would
+	// couple the caller's future updates to rollup randomness — and race
+	// if they happen on another goroutine.
+	w := core.NewWeighted(r.cfg.Bins, rand.New(rand.NewSource(r.rng.Int63())))
+	if err := core.RestoreWeighted(w, bins, 0); err != nil {
+		// Merged bins are unique-item, non-negative and finite by
+		// construction; a failure here is internal corruption.
+		panic(fmt.Sprintf("rollup: materialize range: %v", err))
 	}
-	if len(picked) == 0 {
-		return nil
-	}
-	return core.MergeSketches(r.cfg.Bins, core.PairwiseReduction, r.rng, picked...)
+	return w
 }
 
-// SubsetSumRange is a convenience wrapper: estimate the subset sum over the
-// rows in windows intersecting [from, to].
+// SubsetSumRange estimates the subset sum over the rows in windows
+// intersecting [from, to], straight off the cached merged bins.
 func (r *Rollup) SubsetSumRange(from, to int64, pred func(string) bool) (core.Estimate, bool) {
-	m := r.Range(from, to)
-	if m == nil {
+	bins, ok := r.rangeBins(from, to)
+	if !ok {
 		return core.Estimate{}, false
 	}
-	return m.SubsetSum(pred), true
+	return core.SubsetSumBins(bins, r.cfg.Bins, pred), true
+}
+
+// TopKRange returns the k heaviest items over the merged range in
+// descending count order (ties broken by item), via the shared O(n log k)
+// heap selection.
+func (r *Rollup) TopKRange(from, to int64, k int) []core.Bin {
+	bins, ok := r.rangeBins(from, to)
+	if !ok {
+		return nil
+	}
+	return core.SelectTop(bins, k)
 }
 
 // TotalRange returns the exact total number of rows in the covered windows
 // (Space Saving preserves totals exactly, so this is not an estimate).
 func (r *Rollup) TotalRange(from, to int64) float64 {
-	if from > to {
+	i0, i1, ok := r.span(from, to)
+	if !ok {
 		return 0
 	}
-	lo := r.windowStart(from)
 	var tot float64
-	for _, start := range r.order {
-		if start >= lo && start <= to {
-			tot += r.windows[start].Total()
-		}
+	for i := i0; i <= i1; i++ {
+		tot += r.order[i].sk.Total()
 	}
 	return tot
 }

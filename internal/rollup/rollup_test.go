@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 func mustNew(t *testing.T, cfg Config) *Rollup {
@@ -192,6 +195,292 @@ func TestSevenDayFeature(t *testing.T) {
 	mean := sum / reps
 	if math.Abs(mean-want) > 0.15*want {
 		t.Errorf("7-day feature mean %v, truth %v", mean, want)
+	}
+}
+
+// binsEqual compares two bin lists exactly, order included.
+func binsEqual(a, b []core.Bin) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedSketchBins(w *core.WeightedSketch) []core.Bin {
+	bins := w.Bins()
+	sort.Slice(bins, func(i, j int) bool {
+		if bins[i].Count != bins[j].Count {
+			return bins[i].Count < bins[j].Count
+		}
+		return bins[i].Item < bins[j].Item
+	})
+	return bins
+}
+
+// TestCachedMatchesColdExact: with every merge under capacity the range
+// results are deterministic, so the cached and the NoCache rollup must
+// agree bit-for-bit across an arbitrary interleaving of updates and
+// queries — every layer (window snapshots, segments, memos) must serve
+// exactly what a from-scratch merge computes.
+func TestCachedMatchesColdExact(t *testing.T) {
+	cached := mustNew(t, Config{Bins: 512, WindowLength: 10, Seed: 7})
+	cold := mustNew(t, Config{Bins: 512, WindowLength: 10, Seed: 7, NoCache: true})
+	update := func(item string, at int64) {
+		cached.Update(item, at)
+		cold.Update(item, at)
+	}
+	check := func(from, to int64) {
+		t.Helper()
+		ce, cok := cached.SubsetSumRange(from, to, func(s string) bool { return strings.HasPrefix(s, "u1") })
+		de, dok := cold.SubsetSumRange(from, to, func(s string) bool { return strings.HasPrefix(s, "u1") })
+		if cok != dok || ce != de {
+			t.Fatalf("SubsetSumRange(%d,%d): cached %+v,%v cold %+v,%v", from, to, ce, cok, de, dok)
+		}
+		ct := cached.TopKRange(from, to, 7)
+		dt := cold.TopKRange(from, to, 7)
+		if !binsEqual(ct, dt) {
+			t.Fatalf("TopKRange(%d,%d): cached %v, cold %v", from, to, ct, dt)
+		}
+		cr, dr := cached.Range(from, to), cold.Range(from, to)
+		if (cr == nil) != (dr == nil) {
+			t.Fatalf("Range(%d,%d): nil mismatch", from, to)
+		}
+		if cr != nil && !binsEqual(sortedSketchBins(cr), sortedSketchBins(dr)) {
+			t.Fatalf("Range(%d,%d): cached %v, cold %v", from, to, sortedSketchBins(cr), sortedSketchBins(dr))
+		}
+	}
+	// 12 windows, repeated + shifting queries + late data interleaved.
+	for day := 0; day < 12; day++ {
+		for i := 0; i < 30; i++ {
+			update(fmt.Sprintf("u%d", i%17), int64(day*10+i%10))
+		}
+		if day >= 2 {
+			check(0, int64(day*10+9))                 // full prefix, repeated often
+			check(int64((day-2)*10), int64(day*10+9)) // trailing 3 windows
+			check(0, int64(day*10+9))                 // immediate repeat → memo hit
+		}
+		if day == 7 {
+			// Late rows into two old windows invalidate their snapshots,
+			// any segment containing them, and every covering memo.
+			update("late-burst", 15)
+			update("late-burst", 35)
+			check(0, 79)
+			check(10, 39)
+		}
+	}
+}
+
+// TestCachedMatchesColdReduced: over capacity the merge draws randomness
+// for the reduction, but the cached path feeds the reduction an identical
+// exact sum and draws in the same order, so two rollups with the same seed
+// and row stream — one cached, one NoCache — produce bit-identical results
+// query for query. Repeats then serve the memo without drawing randomness
+// and must reproduce the first answer exactly.
+func TestCachedMatchesColdReduced(t *testing.T) {
+	const bins = 32 // far under the ~600 distinct items → every merge reduces
+	cached := mustNew(t, Config{Bins: bins, WindowLength: 10, Seed: 11})
+	cold := mustNew(t, Config{Bins: bins, WindowLength: 10, Seed: 11, NoCache: true})
+	rng := rand.New(rand.NewSource(99))
+	for day := 0; day < 8; day++ {
+		for i := 0; i < 400; i++ {
+			item := fmt.Sprintf("u%d", rng.Intn(600))
+			at := int64(day*10 + i%10)
+			cached.Update(item, at)
+			cold.Update(item, at)
+		}
+	}
+	pred := func(s string) bool { return strings.HasSuffix(s, "7") }
+	type result struct {
+		est core.Estimate
+		top []core.Bin
+	}
+	ranges := [][2]int64{{0, 79}, {20, 59}, {40, 79}, {0, 9}}
+	first := make([]result, len(ranges))
+	for i, rg := range ranges {
+		ce, _ := cached.SubsetSumRange(rg[0], rg[1], pred)
+		de, _ := cold.SubsetSumRange(rg[0], rg[1], pred)
+		if ce != de {
+			t.Fatalf("range %v: cached %+v, cold %+v", rg, ce, de)
+		}
+		top := cached.TopKRange(rg[0], rg[1], 10)
+		first[i] = result{est: ce, top: top}
+	}
+	// Repeats over unchanged windows: memo hits, bit-identical to the
+	// first (cold-equivalent) answers, in any order.
+	for rep := 0; rep < 3; rep++ {
+		for i := len(ranges) - 1; i >= 0; i-- {
+			rg := ranges[i]
+			ce, _ := cached.SubsetSumRange(rg[0], rg[1], pred)
+			if ce != first[i].est {
+				t.Fatalf("repeat %d range %v: %+v, want %+v", rep, rg, ce, first[i].est)
+			}
+			if top := cached.TopKRange(rg[0], rg[1], 10); !binsEqual(top, first[i].top) {
+				t.Fatalf("repeat %d range %v: top-k drifted", rep, rg)
+			}
+		}
+	}
+}
+
+// TestCacheInvalidationLiveWindow: new rows into the live window must show
+// up in the next range query — the memo is version-stamped, not timed.
+func TestCacheInvalidationLiveWindow(t *testing.T) {
+	r := mustNew(t, Config{Bins: 128, WindowLength: 10, Seed: 13})
+	for day := 0; day < 5; day++ {
+		for i := 0; i < 20; i++ {
+			r.Update(fmt.Sprintf("u%d", i%9), int64(day*10+i%10))
+		}
+	}
+	pred := func(s string) bool { return s == "hot" }
+	if est, _ := r.SubsetSumRange(0, 49, pred); est.Value != 0 {
+		t.Fatalf("pre-update estimate = %v", est.Value)
+	}
+	for i := 0; i < 7; i++ {
+		r.Update("hot", 45) // live window
+	}
+	if est, _ := r.SubsetSumRange(0, 49, pred); est.Value != 7 {
+		t.Fatalf("post-update estimate = %v, want 7 (stale memo served?)", est.Value)
+	}
+	// And again with only the closed windows covered: their memo is
+	// untouched by live-window rows.
+	if est, _ := r.SubsetSumRange(0, 39, pred); est.Value != 0 {
+		t.Fatalf("closed-range estimate = %v, want 0", est.Value)
+	}
+}
+
+// TestCacheInvalidationLateData: a late row into a *closed* window must
+// invalidate the segments and memos built over it.
+func TestCacheInvalidationLateData(t *testing.T) {
+	r := mustNew(t, Config{Bins: 128, WindowLength: 10, Seed: 17})
+	for day := 0; day < 6; day++ {
+		for i := 0; i < 20; i++ {
+			r.Update(fmt.Sprintf("u%d", i%9), int64(day*10+i%10))
+		}
+	}
+	pred := func(s string) bool { return s == "late" }
+	if est, _ := r.SubsetSumRange(0, 59, pred); est.Value != 0 {
+		t.Fatal("unexpected pre-late mass")
+	}
+	if !r.Update("late", 25) { // closed middle window, within retention
+		t.Fatal("late row within retention rejected")
+	}
+	if est, _ := r.SubsetSumRange(0, 59, pred); est.Value != 1 {
+		t.Fatalf("late row invisible to cached range: %v", est.Value)
+	}
+	if est, _ := r.SubsetSumRange(20, 29, pred); est.Value != 1 {
+		t.Fatalf("late row invisible to single-window range: %v", est.Value)
+	}
+}
+
+// TestCacheInvalidationGapFill: a late row creating a brand-new window
+// *between* existing ones changes which windows a cached span covers; the
+// start-list validation must catch it.
+func TestCacheInvalidationGapFill(t *testing.T) {
+	r := mustNew(t, Config{Bins: 64, WindowLength: 10, Seed: 19})
+	r.Update("a", 5)  // window 0
+	r.Update("a", 25) // window 20 (window 10 never created)
+	r.Update("a", 35) // window 30
+	if est, _ := r.SubsetSumRange(0, 39, func(s string) bool { return s == "a" }); est.Value != 3 {
+		t.Fatalf("pre-gap estimate = %v", est.Value)
+	}
+	r.Update("a", 15) // creates window 10 inside the cached span
+	if est, _ := r.SubsetSumRange(0, 39, func(s string) bool { return s == "a" }); est.Value != 4 {
+		t.Fatalf("gap-filled window invisible: %v, want 4", est.Value)
+	}
+}
+
+// TestCacheEvictionInteraction: eviction shifts the ring; cached results
+// must follow the retained set, and dropped late rows (DroppedRows) must
+// not perturb cached answers — a drop mutates no window.
+func TestCacheEvictionInteraction(t *testing.T) {
+	r := mustNew(t, Config{Bins: 64, WindowLength: 10, Retain: 3, Seed: 23})
+	all := func(string) bool { return true }
+	for day := 0; day < 3; day++ {
+		for i := 0; i < 10; i++ {
+			r.Update(fmt.Sprintf("d%d-%d", day, i), int64(day*10+i))
+		}
+	}
+	if est, _ := r.SubsetSumRange(0, 99, all); est.Value != 30 {
+		t.Fatalf("pre-eviction total = %v", est.Value)
+	}
+	// Day 3 evicts day 0.
+	for i := 0; i < 10; i++ {
+		r.Update(fmt.Sprintf("d3-%d", i), int64(30+i))
+	}
+	if got := len(r.Windows()); got != 3 {
+		t.Fatalf("retained %d windows", got)
+	}
+	est, _ := r.SubsetSumRange(0, 99, all)
+	if est.Value != 30 {
+		t.Fatalf("post-eviction total = %v, want 30 (days 1..3)", est.Value)
+	}
+	// A late row for the evicted window is dropped and must change
+	// nothing — not even through a stale cache path.
+	if r.Update("ghost", 5) {
+		t.Fatal("row for evicted window accepted")
+	}
+	if r.DroppedRows() != 1 {
+		t.Fatalf("DroppedRows = %d", r.DroppedRows())
+	}
+	if est2, _ := r.SubsetSumRange(0, 99, all); est2 != est {
+		t.Fatalf("dropped row changed cached answer: %+v vs %+v", est2, est)
+	}
+	if est2, _ := r.SubsetSumRange(0, 99, func(s string) bool { return s == "ghost" }); est2.Value != 0 {
+		t.Fatal("dropped row visible in range")
+	}
+}
+
+// TestRangeResultIndependent: the sketch Range returns is a materialized
+// copy; updating it must not corrupt the rollup's caches.
+func TestRangeResultIndependent(t *testing.T) {
+	r := mustNew(t, Config{Bins: 64, WindowLength: 10, Seed: 29})
+	for i := 0; i < 40; i++ {
+		r.Update(fmt.Sprintf("u%d", i%7), int64(i))
+	}
+	m := r.Range(0, 39)
+	if m == nil {
+		t.Fatal("nil range")
+	}
+	m.Update("intruder", 1000)
+	if est, _ := r.SubsetSumRange(0, 39, func(s string) bool { return s == "intruder" }); est.Value != 0 {
+		t.Fatal("mutating a Range result leaked into the rollup cache")
+	}
+	if m2 := r.Range(0, 39); m2.Contains("intruder") {
+		t.Fatal("second Range sees the first result's mutation")
+	}
+}
+
+// TestTopKRangeSelection: TopKRange must agree with a full descending sort
+// of the merged bins, both under and over capacity.
+func TestTopKRangeSelection(t *testing.T) {
+	for _, bins := range []int{8, 256} {
+		r := mustNew(t, Config{Bins: bins, WindowLength: 10, Seed: 31})
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 600; i++ {
+			r.Update(fmt.Sprintf("u%d", rng.Intn(40)), int64(rng.Intn(50)))
+		}
+		m := r.Range(0, 49)
+		full := m.Bins()
+		sort.Slice(full, func(i, j int) bool {
+			if full[i].Count != full[j].Count {
+				return full[i].Count > full[j].Count
+			}
+			return full[i].Item < full[j].Item
+		})
+		for _, k := range []int{0, 1, 3, len(full), len(full) + 5} {
+			got := r.TopKRange(0, 49, k)
+			want := full
+			if k < len(full) {
+				want = full[:k]
+			}
+			if !binsEqual(got, want) {
+				t.Fatalf("bins=%d k=%d: TopKRange %v, want %v", bins, k, got, want)
+			}
+		}
 	}
 }
 

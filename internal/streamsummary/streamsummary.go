@@ -41,7 +41,10 @@
 // never scans interior pointers.
 package streamsummary
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // none marks an absent slab index (the nil of the int32-indexed layout).
 const none = int32(-1)
@@ -105,6 +108,56 @@ func (s *Summary) allocNode(item string) int32 {
 	}
 	s.nodes = append(s.nodes, node{item: item})
 	return int32(len(s.nodes) - 1)
+}
+
+// LoadDescending bulk-loads (item, count) pairs — counts non-increasing,
+// all positive — into an empty summary in one pass: nodes and perm slots
+// are appended in order, each run of equal counts becomes one bucket, and
+// each item costs exactly one map store. Duplicate items are detected for
+// free after the fact (a duplicate leaves the index smaller than the node
+// count), so the load path performs a third of the map probes the
+// insert-per-bin path pays. On error the summary is left partially
+// loaded and must be discarded.
+func (s *Summary) LoadDescending(bins []Bin) error {
+	if len(s.perm) != 0 || len(s.nodes) != 0 {
+		return fmt.Errorf("streamsummary: load into non-empty summary")
+	}
+	prev := int64(math.MaxInt64)
+	bi := none
+	for _, b := range bins {
+		if b.Count <= 0 {
+			return fmt.Errorf("streamsummary: load count %d for %q, want > 0", b.Count, b.Item)
+		}
+		if b.Count > prev {
+			return fmt.Errorf("streamsummary: load input not in descending count order")
+		}
+		ni := int32(len(s.nodes))
+		pos := int32(len(s.perm))
+		// bi == none guards the first bin: a count of MaxInt64 collides
+		// with prev's sentinel but still needs its bucket.
+		if bi == none || b.Count < prev {
+			bi = s.allocBucket(b.Count, pos, pos)
+			prev = b.Count
+		}
+		s.nodes = append(s.nodes, node{item: b.Item, bucket: bi, pos: pos})
+		s.perm = append(s.perm, ni)
+		s.buckets[bi].end++
+		s.index[b.Item] = ni
+		s.total += b.Count
+	}
+	if len(s.index) != len(s.perm) {
+		// Size mismatch proves a duplicate exists; rescan (error path
+		// only) to name it for the caller's diagnostics.
+		seen := make(map[string]struct{}, len(bins))
+		for _, b := range bins {
+			if _, dup := seen[b.Item]; dup {
+				return fmt.Errorf("streamsummary: load lists %q twice", b.Item)
+			}
+			seen[b.Item] = struct{}{}
+		}
+		return fmt.Errorf("streamsummary: duplicate item in load")
+	}
+	return nil
 }
 
 // releaseNode pushes a node slot onto the free-list, clearing its item so

@@ -66,6 +66,73 @@ func TestInsertAndCount(t *testing.T) {
 	}
 }
 
+func TestLoadDescending(t *testing.T) {
+	s := New(8)
+	bins := []Bin{{"a", 9}, {"b", 5}, {"c", 5}, {"d", 5}, {"e", 2}, {"f", 1}, {"g", 1}}
+	if err := s.LoadDescending(bins); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after load: %v", err)
+	}
+	if s.Len() != 7 || s.Total() != 28 || s.MinCount() != 1 || s.MaxCount() != 9 {
+		t.Fatalf("len/total/min/max = %d/%d/%d/%d", s.Len(), s.Total(), s.MinCount(), s.MaxCount())
+	}
+	if s.NumMin() != 2 {
+		t.Fatalf("NumMin = %d, want 2", s.NumMin())
+	}
+	for _, b := range bins {
+		if c, ok := s.Count(b.Item); !ok || c != b.Count {
+			t.Fatalf("Count(%s) = %d,%v, want %d", b.Item, c, ok, b.Count)
+		}
+	}
+	// The loaded summary keeps working on the normal mutation paths.
+	rng := rand.New(rand.NewSource(1))
+	s.Increment("e")
+	s.Increment("f")
+	s.ReplaceRandomMin("h", rng)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after post-load mutations: %v", err)
+	}
+}
+
+func TestLoadDescendingRejects(t *testing.T) {
+	if err := New(4).LoadDescending([]Bin{{"a", 1}, {"b", 2}}); err == nil {
+		t.Error("ascending input accepted")
+	}
+	if err := New(4).LoadDescending([]Bin{{"a", 2}, {"b", 0}}); err == nil {
+		t.Error("zero count accepted")
+	}
+	if err := New(4).LoadDescending([]Bin{{"a", 2}, {"a", 1}}); err == nil {
+		t.Error("duplicate item accepted")
+	}
+	s := New(4)
+	s.Insert("x", 1)
+	if err := s.LoadDescending([]Bin{{"a", 2}}); err == nil {
+		t.Error("load into non-empty summary accepted")
+	}
+	// Empty load on an empty summary is fine.
+	s2 := New(4)
+	if err := s2.LoadDescending(nil); err != nil {
+		t.Errorf("empty load: %v", err)
+	}
+	if err := s2.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// MaxInt64 is a legal count and collides with the descending-order
+	// sentinel; the first bin must still get its bucket.
+	s3 := New(4)
+	if err := s3.LoadDescending([]Bin{{"big", 1<<63 - 1}, {"small", 1}}); err != nil {
+		t.Fatalf("MaxInt64 load: %v", err)
+	}
+	if err := s3.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if c, ok := s3.Count("big"); !ok || c != 1<<63-1 {
+		t.Errorf("Count(big) = %d,%v", c, ok)
+	}
+}
+
 func TestInsertDuplicatePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,290 @@
+// Package wire implements the versioned binary snapshot format (v2) for
+// sketches: the serialize → ship → merge pipeline's wire codec. It replaces
+// the gob-based v1 format, which paid reflection, type-descriptor framing
+// and one allocation per bin string on both ends of every network hop.
+//
+// A v2 frame is length-prefixed and laid out for one-pass decoding:
+//
+//	fixed 24-byte header (little-endian):
+//	  [0:4]   magic "USSB"
+//	  [4]     format version (2)
+//	  [5]     flags: bit0 weighted counts, bit1 deterministic mode
+//	  [6:8]   reserved, must be zero
+//	  [8:12]  uint32 payload length (bytes following the header)
+//	  [12:16] uint32 sketch capacity m
+//	  [16:24] uint64 rows processed
+//	payload:
+//	  uvarint                      number of bins n
+//	  counts   n × uvarint         (unit sketches: integral counts)
+//	           n × 8-byte float64  (weighted sketches: IEEE-754 bits)
+//	  lengths  n × uvarint         item byte lengths
+//	  arena    concatenated item bytes, in bin order
+//
+// All item strings live in a single arena at the tail. The decoder converts
+// the arena to one Go string and materializes every bin's Item as a
+// zero-copy slice of it, so decoding n bins costs two allocations (the bin
+// slice and the arena string) regardless of n. Encoding appends to a
+// caller-supplied buffer and performs no allocations of its own, so a
+// steady-state encoder that reuses its buffer runs at 0 allocs/op.
+//
+// The payload-length prefix makes frames self-delimiting: concatenated
+// snapshots can be split with FrameLen without decoding them.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Version is the format version this package encodes.
+const Version = 2
+
+// headerLen is the size of the fixed header.
+const headerLen = 24
+
+// magic identifies a v2+ binary snapshot.
+var magic = [4]byte{'U', 'S', 'S', 'B'}
+
+const (
+	flagWeighted      = 1 << 0
+	flagDeterministic = 1 << 1
+	flagsKnown        = flagWeighted | flagDeterministic
+)
+
+// Header carries the sketch-level metadata of a snapshot.
+type Header struct {
+	// Weighted marks real-valued counts (WeightedSketch); unit sketches
+	// store integral counts as varints instead of float bits.
+	Weighted bool
+	// Deterministic marks classic (biased) Space Saving mode. Only
+	// meaningful for unit sketches.
+	Deterministic bool
+	// Capacity is the sketch's bin budget m.
+	Capacity int
+	// Rows is the number of rows the sketch processed.
+	Rows int64
+	// NumBins is the number of encoded bins; populated on decode, ignored
+	// on encode (the bins slice's length is used).
+	NumBins int
+}
+
+// IsWire reports whether data begins with a v2+ binary snapshot header, as
+// opposed to a v1 gob stream or garbage.
+func IsWire(data []byte) bool {
+	return len(data) >= 4 && data[0] == magic[0] && data[1] == magic[1] &&
+		data[2] == magic[2] && data[3] == magic[3]
+}
+
+// FrameLen returns the total byte length of the frame starting at data
+// (header + payload), without decoding it. data needs to hold at least the
+// fixed header.
+func FrameLen(data []byte) (int, error) {
+	if len(data) < headerLen {
+		return 0, fmt.Errorf("wire: truncated header: %d bytes", len(data))
+	}
+	if !IsWire(data) {
+		return 0, fmt.Errorf("wire: bad magic")
+	}
+	payload := binary.LittleEndian.Uint32(data[8:12])
+	return headerLen + int(payload), nil
+}
+
+// AppendSnapshot encodes one snapshot frame onto dst and returns the
+// extended buffer. It validates counts on the way in: unit sketches must
+// hold non-negative integral counts, weighted sketches non-negative finite
+// counts. The encoder only appends — reusing dst across calls makes
+// steady-state encoding allocation-free.
+func AppendSnapshot(dst []byte, h Header, bins []core.Bin) ([]byte, error) {
+	if h.Capacity <= 0 || uint64(h.Capacity) > math.MaxUint32 {
+		return nil, fmt.Errorf("wire: capacity %d out of range", h.Capacity)
+	}
+	if len(bins) > h.Capacity {
+		return nil, fmt.Errorf("wire: %d bins exceed capacity %d", len(bins), h.Capacity)
+	}
+	if h.Rows < 0 {
+		return nil, fmt.Errorf("wire: negative row count %d", h.Rows)
+	}
+	var flags byte
+	if h.Weighted {
+		flags |= flagWeighted
+	}
+	if h.Deterministic {
+		flags |= flagDeterministic
+	}
+
+	start := len(dst)
+	dst = append(dst, magic[0], magic[1], magic[2], magic[3], Version, flags, 0, 0)
+	dst = append(dst, 0, 0, 0, 0) // payload length, patched below
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.Capacity))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(h.Rows))
+
+	dst = binary.AppendUvarint(dst, uint64(len(bins)))
+	if h.Weighted {
+		for _, b := range bins {
+			if math.IsNaN(b.Count) || math.IsInf(b.Count, 0) || b.Count < 0 {
+				return nil, fmt.Errorf("wire: bin %q has non-encodable count %v", b.Item, b.Count)
+			}
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(b.Count))
+		}
+	} else {
+		for _, b := range bins {
+			c := int64(b.Count)
+			if b.Count < 0 || float64(c) != b.Count {
+				return nil, fmt.Errorf("wire: bin %q has non-integral count %v", b.Item, b.Count)
+			}
+			dst = binary.AppendUvarint(dst, uint64(c))
+		}
+	}
+	for _, b := range bins {
+		dst = binary.AppendUvarint(dst, uint64(len(b.Item)))
+	}
+	for _, b := range bins {
+		dst = append(dst, b.Item...)
+	}
+
+	payload := len(dst) - start - headerLen
+	if int64(payload) > math.MaxUint32 {
+		return nil, fmt.Errorf("wire: payload %d bytes exceeds frame limit", payload)
+	}
+	binary.LittleEndian.PutUint32(dst[start+8:start+12], uint32(payload))
+	return dst, nil
+}
+
+// Decode decodes one complete snapshot frame. The whole buffer must be
+// consumed; trailing bytes are an error (use FrameLen to split concatenated
+// frames first). Bins come back in encode order with Item strings sliced
+// from one shared arena allocation.
+func Decode(data []byte) (Header, []core.Bin, error) {
+	return AppendDecodeBins(nil, data)
+}
+
+// DecodeHeader reads only the fixed header and the bin count — constant
+// work and zero payload allocation, for callers that inspect snapshots
+// without materializing them. The payload past the bin count is not
+// validated.
+func DecodeHeader(data []byte) (Header, error) {
+	var h Header
+	if len(data) < headerLen {
+		return h, fmt.Errorf("wire: truncated header: %d bytes", len(data))
+	}
+	if !IsWire(data) {
+		return h, fmt.Errorf("wire: bad magic")
+	}
+	if v := data[4]; v != Version {
+		return h, fmt.Errorf("wire: snapshot version %d, want %d", v, Version)
+	}
+	flags := data[5]
+	if flags&^byte(flagsKnown) != 0 {
+		return h, fmt.Errorf("wire: unknown flags %#x", flags)
+	}
+	if data[6] != 0 || data[7] != 0 {
+		return h, fmt.Errorf("wire: nonzero reserved bytes")
+	}
+	payload := int(binary.LittleEndian.Uint32(data[8:12]))
+	if headerLen+payload != len(data) {
+		return h, fmt.Errorf("wire: frame is %d bytes, buffer holds %d", headerLen+payload, len(data))
+	}
+	capacity := binary.LittleEndian.Uint32(data[12:16])
+	rows := binary.LittleEndian.Uint64(data[16:24])
+	if capacity == 0 {
+		return h, fmt.Errorf("wire: snapshot capacity 0")
+	}
+	if rows > math.MaxInt64 {
+		return h, fmt.Errorf("wire: row count %d overflows int64", rows)
+	}
+	n, off := binary.Uvarint(data[headerLen:])
+	if off <= 0 {
+		return h, fmt.Errorf("wire: bad bin count")
+	}
+	if n > uint64(capacity) {
+		return h, fmt.Errorf("wire: %d bins exceed capacity %d", n, capacity)
+	}
+	h.Weighted = flags&flagWeighted != 0
+	h.Deterministic = flags&flagDeterministic != 0
+	h.Capacity = int(capacity)
+	h.Rows = int64(rows)
+	h.NumBins = int(n)
+	return h, nil
+}
+
+// AppendDecodeBins is Decode appending into a caller-owned bins slice, for
+// merge pipelines that decode many snapshots back to back: decode k frames
+// into scratch, hand the lists to core.MergeBins, and no sketch is ever
+// materialized. When dst is nil a fresh slice sized to the bin count is
+// used.
+func AppendDecodeBins(dst []core.Bin, data []byte) (Header, []core.Bin, error) {
+	h, err := DecodeHeader(data)
+	if err != nil {
+		return h, dst, err
+	}
+	body := data[headerLen:]
+	n, off := binary.Uvarint(body) // re-read past the count DecodeHeader validated
+	if n > uint64(len(body)) {
+		// Each bin costs at least one counts byte and one length byte, so
+		// this rejects absurd counts before allocating anything.
+		return h, dst, fmt.Errorf("wire: %d bins cannot fit %d payload bytes", n, len(body))
+	}
+
+	if dst == nil {
+		dst = make([]core.Bin, 0, n)
+	}
+	first := len(dst)
+	if h.Weighted {
+		for i := uint64(0); i < n; i++ {
+			if off+8 > len(body) {
+				return h, dst[:first], fmt.Errorf("wire: truncated counts section")
+			}
+			c := math.Float64frombits(binary.LittleEndian.Uint64(body[off : off+8]))
+			off += 8
+			if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+				return h, dst[:first], fmt.Errorf("wire: bin %d has invalid count %v", i, c)
+			}
+			dst = append(dst, core.Bin{Count: c})
+		}
+	} else {
+		for i := uint64(0); i < n; i++ {
+			c, w := binary.Uvarint(body[off:])
+			if w <= 0 {
+				return h, dst[:first], fmt.Errorf("wire: truncated counts section")
+			}
+			off += w
+			if c > math.MaxInt64 {
+				return h, dst[:first], fmt.Errorf("wire: bin %d count %d overflows int64", i, c)
+			}
+			dst = append(dst, core.Bin{Count: float64(c)})
+		}
+	}
+	// Lengths, then slice every Item out of one arena string: the lengths
+	// are re-walked against the arena so each bin costs zero allocations.
+	// The sum accumulates in uint64 so crafted lengths cannot wrap a
+	// 32-bit int past the consistency check and panic the slicing pass.
+	lensAt := off
+	var total uint64
+	for i := uint64(0); i < n; i++ {
+		l, w := binary.Uvarint(body[off:])
+		if w <= 0 {
+			return h, dst[:first], fmt.Errorf("wire: truncated lengths section")
+		}
+		off += w
+		if l > uint64(len(body)-off) {
+			return h, dst[:first], fmt.Errorf("wire: item %d length %d exceeds arena", i, l)
+		}
+		total += l
+	}
+	if total != uint64(len(body)-off) {
+		return h, dst[:first], fmt.Errorf("wire: arena holds %d bytes, lengths sum to %d", len(body)-off, total)
+	}
+	arena := string(body[off:])
+	off = lensAt
+	pos := 0
+	for i := 0; i < int(n); i++ {
+		l, w := binary.Uvarint(body[off:])
+		off += w
+		dst[first+i].Item = arena[pos : pos+int(l)]
+		pos += int(l)
+	}
+	return h, dst, nil
+}

@@ -1,0 +1,267 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func unitBins(n int) []core.Bin {
+	bins := make([]core.Bin, n)
+	for i := range bins {
+		bins[i] = core.Bin{Item: fmt.Sprintf("item-%d", i), Count: float64(i + 1)}
+	}
+	return bins
+}
+
+func TestRoundTripUnit(t *testing.T) {
+	bins := unitBins(100)
+	var rows int64
+	for _, b := range bins {
+		rows += int64(b.Count)
+	}
+	h := Header{Capacity: 128, Rows: rows, Deterministic: true}
+	blob, err := AppendSnapshot(nil, h, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gh, got, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh.Weighted || !gh.Deterministic || gh.Capacity != 128 || gh.Rows != rows || gh.NumBins != 100 {
+		t.Fatalf("header = %+v", gh)
+	}
+	if len(got) != len(bins) {
+		t.Fatalf("decoded %d bins, want %d", len(got), len(bins))
+	}
+	for i := range bins {
+		if got[i] != bins[i] {
+			t.Fatalf("bin %d = %+v, want %+v", i, got[i], bins[i])
+		}
+	}
+	if fl, err := FrameLen(blob); err != nil || fl != len(blob) {
+		t.Fatalf("FrameLen = %d,%v, want %d", fl, err, len(blob))
+	}
+}
+
+func TestRoundTripWeighted(t *testing.T) {
+	bins := []core.Bin{
+		{Item: "", Count: 0},          // zero-count bin keeps its identity
+		{Item: "π", Count: math.Pi},   // exact float bits survive
+		{Item: "tiny", Count: 1e-300}, // subnormal-adjacent magnitude
+		{Item: "big", Count: 1e300},
+	}
+	h := Header{Weighted: true, Capacity: 8, Rows: 4}
+	blob, err := AppendSnapshot(nil, h, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gh, got, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gh.Weighted || gh.Capacity != 8 || gh.Rows != 4 {
+		t.Fatalf("header = %+v", gh)
+	}
+	for i := range bins {
+		if got[i] != bins[i] {
+			t.Fatalf("bin %d = %+v, want %+v (bit-exact)", i, got[i], bins[i])
+		}
+	}
+}
+
+func TestEncodeAppendsInPlace(t *testing.T) {
+	bins := unitBins(10)
+	h := Header{Capacity: 16, Rows: 55}
+	prefix := []byte("prefix")
+	buf := append([]byte(nil), prefix...)
+	out, err := AppendSnapshot(buf, h, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("AppendSnapshot clobbered existing bytes")
+	}
+	if _, _, err := Decode(out[len(prefix):]); err != nil {
+		t.Fatalf("decode after prefix: %v", err)
+	}
+}
+
+func TestEncodeDeterministicBytes(t *testing.T) {
+	bins := unitBins(64)
+	h := Header{Capacity: 64, Rows: 64 * 65 / 2}
+	a, err := AppendSnapshot(nil, h, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AppendSnapshot(nil, h, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same snapshot encoded to different bytes")
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	ok := []core.Bin{{Item: "a", Count: 1}}
+	cases := []struct {
+		name string
+		h    Header
+		bins []core.Bin
+	}{
+		{"zero capacity", Header{Capacity: 0}, ok},
+		{"negative rows", Header{Capacity: 4, Rows: -1}, ok},
+		{"overfull", Header{Capacity: 1}, unitBins(2)},
+		{"fractional unit count", Header{Capacity: 4}, []core.Bin{{Item: "a", Count: 1.5}}},
+		{"negative unit count", Header{Capacity: 4}, []core.Bin{{Item: "a", Count: -1}}},
+		{"negative weighted count", Header{Weighted: true, Capacity: 4}, []core.Bin{{Item: "a", Count: -0.5}}},
+		{"NaN weighted count", Header{Weighted: true, Capacity: 4}, []core.Bin{{Item: "a", Count: math.NaN()}}},
+		{"Inf weighted count", Header{Weighted: true, Capacity: 4}, []core.Bin{{Item: "a", Count: math.Inf(1)}}},
+	}
+	for _, c := range cases {
+		if _, err := AppendSnapshot(nil, c.h, c.bins); err == nil {
+			t.Errorf("%s: encoded without error", c.name)
+		}
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	blob, err := AppendSnapshot(nil, Header{Capacity: 8, Rows: 3}, []core.Bin{
+		{Item: "aa", Count: 1}, {Item: "bb", Count: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(fn func(b []byte)) []byte {
+		m := append([]byte(nil), blob...)
+		fn(m)
+		return m
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated header", blob[:10]},
+		{"bad magic", mutate(func(b []byte) { b[0] = 'X' })},
+		{"future version", mutate(func(b []byte) { b[4] = 3 })},
+		{"unknown flag", mutate(func(b []byte) { b[5] |= 0x80 })},
+		{"nonzero reserved", mutate(func(b []byte) { b[6] = 1 })},
+		{"payload length lies", mutate(func(b []byte) { b[8]++ })},
+		{"zero capacity", mutate(func(b []byte) { b[12], b[13], b[14], b[15] = 0, 0, 0, 0 })},
+		{"trailing bytes", append(append([]byte(nil), blob...), 0)},
+		{"truncated payload", blob[:len(blob)-1]},
+	}
+	for _, c := range cases {
+		if c.name == "payload length lies" || c.name == "truncated payload" {
+			// These change the frame/buffer length relation; both must fail.
+		}
+		if _, _, err := Decode(c.data); err == nil {
+			t.Errorf("%s: decoded without error", c.name)
+		}
+	}
+	// Corrupt interior: bin count exceeding capacity.
+	m := append([]byte(nil), blob...)
+	m[headerLen] = 200 // uvarint bin count
+	if _, _, err := Decode(m); err == nil {
+		t.Error("bin count over capacity decoded without error")
+	}
+}
+
+func TestAppendDecodeBinsReuse(t *testing.T) {
+	a, err := AppendSnapshot(nil, Header{Capacity: 4, Rows: 1}, []core.Bin{{Item: "x", Count: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AppendSnapshot(nil, Header{Capacity: 4, Rows: 2}, []core.Bin{{Item: "y", Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]core.Bin, 0, 8)
+	_, scratch, err = AppendDecodeBins(scratch, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, scratch, err = AppendDecodeBins(scratch, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.Bin{{Item: "x", Count: 1}, {Item: "y", Count: 2}}
+	if len(scratch) != 2 || scratch[0] != want[0] || scratch[1] != want[1] {
+		t.Fatalf("accumulated bins = %+v", scratch)
+	}
+}
+
+func TestDecodeSharesArena(t *testing.T) {
+	// All decoded Item strings must come from one arena: total allocations
+	// for a decode are the bins slice + the arena string, independent of n.
+	bins := unitBins(512)
+	blob, err := AppendSnapshot(nil, Header{Capacity: 512, Rows: 512 * 513 / 2}, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]core.Bin, 0, 512)
+	avg := testing.AllocsPerRun(50, func() {
+		_, _, err := AppendDecodeBins(scratch[:0], blob)
+		if err != nil {
+			panic(err)
+		}
+	})
+	if avg > 1.5 {
+		t.Errorf("decode of 512 bins allocates %v objects, want ~1 (arena only)", avg)
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	good, _ := AppendSnapshot(nil, Header{Capacity: 8, Rows: 6}, []core.Bin{
+		{Item: "alpha", Count: 1}, {Item: "beta", Count: 2}, {Item: "gamma", Count: 3},
+	})
+	f.Add(good)
+	wgood, _ := AppendSnapshot(nil, Header{Weighted: true, Capacity: 8, Rows: 2}, []core.Bin{
+		{Item: "w", Count: 0.5}, {Item: "v", Count: 0},
+	})
+	f.Add(wgood)
+	f.Add([]byte("USSB"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, bins, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must satisfy the format's invariants.
+		if h.Capacity <= 0 || len(bins) > h.Capacity || h.Rows < 0 {
+			t.Fatalf("invalid decoded state: %+v with %d bins", h, len(bins))
+		}
+		for _, b := range bins {
+			if math.IsNaN(b.Count) || math.IsInf(b.Count, 0) || b.Count < 0 {
+				t.Fatalf("invalid decoded count %v", b.Count)
+			}
+			if !h.Weighted && b.Count != math.Trunc(b.Count) {
+				t.Fatalf("non-integral unit count %v", b.Count)
+			}
+		}
+		// Re-encode → re-decode must be a fixed point.
+		re, err := AppendSnapshot(nil, h, bins)
+		if err != nil {
+			t.Fatalf("re-encode of decoded snapshot failed: %v", err)
+		}
+		h2, bins2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		h.NumBins = len(bins) // encoder ignores NumBins
+		h2.NumBins = len(bins2)
+		if h2 != h || len(bins2) != len(bins) {
+			t.Fatalf("round trip changed header: %+v vs %+v", h2, h)
+		}
+		for i := range bins {
+			if bins2[i] != bins[i] {
+				t.Fatalf("round trip changed bin %d: %+v vs %+v", i, bins2[i], bins[i])
+			}
+		}
+	})
+}

@@ -21,7 +21,11 @@ type RollupConfig struct {
 // answers subset sums over arbitrary ranges of recent windows by merging
 // them unbiasedly — the paper's §5.5 use case ("sketches for clicks may be
 // computed per day, but the final machine learning feature may combine the
-// last 7 days"). Not safe for concurrent use.
+// last 7 days"). Range queries are maintained incrementally: closed
+// windows are merged once into cached segments and revalidated by version,
+// so polling a trailing-window feature between row arrivals re-merges only
+// the live window's delta instead of every window (see internal/rollup).
+// Not safe for concurrent use.
 type Rollup struct {
 	inner *rollup.Rollup
 }
@@ -51,27 +55,11 @@ func (r *Rollup) SubsetSumRange(from, to int64, pred func(string) bool) (est Est
 	return r.inner.SubsetSumRange(from, to, pred)
 }
 
-// TopKRange returns the k heaviest items over the merged range.
+// TopKRange returns the k heaviest items over the merged range in
+// descending count order (ties broken by item label), selected with the
+// shared O(n log k) heap used by every other top-k path.
 func (r *Rollup) TopKRange(from, to int64, k int) []Bin {
-	m := r.inner.Range(from, to)
-	if m == nil {
-		return nil
-	}
-	bins := m.Bins()
-	// Partial selection sort: k is small in practice.
-	if k > len(bins) {
-		k = len(bins)
-	}
-	for i := 0; i < k; i++ {
-		best := i
-		for j := i + 1; j < len(bins); j++ {
-			if bins[j].Count > bins[best].Count {
-				best = j
-			}
-		}
-		bins[i], bins[best] = bins[best], bins[i]
-	}
-	return bins[:k]
+	return r.inner.TopKRange(from, to, k)
 }
 
 // TotalRange returns the exact row count over the covered windows.

@@ -105,6 +105,9 @@ type Sketch struct {
 	// even though the engine mutates its caches.
 	queryMu sync.Mutex
 	qe      *query.Engine
+	// enc is AppendBinary's reused bin scratch, so steady-state encoding
+	// into a caller-owned buffer allocates nothing.
+	enc []core.Bin
 }
 
 // New returns a sketch with m bins. Memory use is Θ(m); estimation error
@@ -185,6 +188,8 @@ type WeightedSketch struct {
 	// qe lazily caches RunQueryWeighted's columnar engine; see Sketch.qe.
 	queryMu sync.Mutex
 	qe      *query.Engine
+	// enc is AppendBinary's reused bin scratch; see Sketch.enc.
+	enc []core.Bin
 }
 
 // NewWeighted returns a weighted Unbiased Space Saving sketch with m bins.
