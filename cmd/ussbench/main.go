@@ -7,11 +7,12 @@
 //	ussbench -all -scale 1 -reps 1 -out results.txt
 //	ussbench -bench codec
 //	ussbench -bench rollup-range
+//	ussbench -bench server
 //
 // Each experiment prints the same rows/series the corresponding paper
 // figure plots, plus a note stating the qualitative shape to expect. See
-// DESIGN.md for the per-experiment index and EXPERIMENTS.md for recorded
-// paper-vs-measured comparisons.
+// internal/experiments for the per-figure drivers and DESIGN.md for the
+// engineering notes behind the perf modes.
 package main
 
 import (
@@ -29,7 +30,7 @@ func main() {
 		list  = flag.Bool("list", false, "list available experiments and exit")
 		name  = flag.String("experiment", "", "experiment to run (e.g. figure-3)")
 		all   = flag.Bool("all", false, "run every experiment in paper order")
-		bench = flag.String("bench", "", "run a perf comparison instead: codec | rollup-range")
+		bench = flag.String("bench", "", "run a perf comparison instead: codec | rollup-range | server")
 		scale = flag.Float64("scale", 1, "workload size multiplier")
 		reps  = flag.Float64("reps", 1, "replicate count multiplier")
 		seed  = flag.Int64("seed", 20180614, "random seed")

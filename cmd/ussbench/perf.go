@@ -5,10 +5,12 @@ package main
 //
 //	ussbench -bench codec        gob (legacy v1) vs binary v2 encode/decode
 //	ussbench -bench rollup-range cold re-merge vs incremental cached ranges
+//	ussbench -bench server       load-drive an in-process ussd over HTTP
 //
 // Each mode prints a small table of wall-clock per-op times and the
 // speedup, sized to the acceptance scenarios (a 64Ki-bin sketch; a
-// 90-window rollup). -scale multiplies the workload.
+// 90-window rollup; a 200k-row service workload). -scale multiplies the
+// workload.
 
 import (
 	"bytes"
@@ -30,8 +32,10 @@ func runPerf(w io.Writer, mode string, scale float64) error {
 		return perfCodec(w, scale)
 	case "rollup-range":
 		return perfRollupRange(w, scale)
+	case "server":
+		return perfServer(w, scale)
 	default:
-		return fmt.Errorf("unknown -bench mode %q (want codec or rollup-range)", mode)
+		return fmt.Errorf("unknown -bench mode %q (want codec, rollup-range or server)", mode)
 	}
 }
 

@@ -1,0 +1,92 @@
+// Command ussd serves Unbiased Space Saving sketches over HTTP: a
+// multi-tenant registry of named sketches (unit, weighted, sharded,
+// rollup) with batched async ingest, wire-format-v2 snapshot push/pull
+// for distributed aggregation, and query endpoints riding the cached
+// read paths. See internal/server for the endpoint table and DESIGN.md
+// §10 for the architecture.
+//
+// Usage:
+//
+//	ussd -addr :8632
+//	ussd -addr :8632 -create '{"name":"clicks","kind":"sharded","bins":4096,"shards":8}'
+//
+// A quick session against a running server:
+//
+//	curl -X POST localhost:8632/v1/sketches -d '{"name":"clicks","kind":"sharded","bins":1024}'
+//	printf 'country=us|ad=1\ncountry=de|ad=2\n' | curl --data-binary @- localhost:8632/v1/sketches/clicks/ingest
+//	curl localhost:8632/v1/sketches/clicks/topk?k=5
+//
+// ussd shuts down gracefully on SIGINT/SIGTERM: in-flight requests finish
+// and every ingest batch acknowledged with 202 is applied before exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// multiFlag collects repeated -create flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return fmt.Sprint(*m) }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8632", "listen address")
+		workers = flag.Int("ingest-workers", 4, "async ingest worker goroutines")
+		queue   = flag.Int("queue-depth", 256, "async ingest queue depth (batches)")
+		maxBody = flag.Int64("max-body-bytes", 32<<20, "request body size limit")
+		drain   = flag.Duration("shutdown-timeout", 10*time.Second, "connection drain deadline on shutdown")
+		creates multiFlag
+	)
+	flag.Var(&creates, "create", "pre-create a sketch from a SketchConfig JSON object (repeatable)")
+	flag.Parse()
+
+	s := server.New(server.Config{
+		Addr:          *addr,
+		IngestWorkers: *workers,
+		QueueDepth:    *queue,
+		MaxBodyBytes:  *maxBody,
+	})
+	for _, spec := range creates {
+		var cfg server.SketchConfig
+		if err := json.Unmarshal([]byte(spec), &cfg); err != nil {
+			log.Fatalf("ussd: -create %q: %v", spec, err)
+		}
+		if _, err := s.Registry().Create(cfg); err != nil {
+			log.Fatalf("ussd: -create: %v", err)
+		}
+		log.Printf("ussd: created sketch %q (%s)", cfg.Name, cfg.Kind)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe() }()
+	log.Printf("ussd: listening on %s", *addr)
+
+	select {
+	case sig := <-stop:
+		log.Printf("ussd: %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			log.Fatalf("ussd: shutdown: %v", err)
+		}
+		log.Printf("ussd: drained, bye")
+	case err := <-errc:
+		if err != nil {
+			log.Fatalf("ussd: %v", err)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+
+	uss "repro"
+	"repro/internal/server"
+)
+
+// startServer runs a Server on a loopback listener and returns its base
+// URL, shutting everything down with the test.
+func startServer(t *testing.T) (*server.Server, string) {
+	t.Helper()
+	s := server.New(server.Config{IngestWorkers: 2, QueueDepth: 16})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return s, "http://" + ln.Addr().String()
+}
+
+func mustPost(t *testing.T, url, contentType string, body []byte) []byte {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, data)
+	}
+	return data
+}
+
+func mustGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, data)
+	}
+	return data
+}
+
+// agentStream builds one agent's row stream: a skewed draw over a window
+// of the shared item universe, so the two agents overlap on part of it.
+func agentStream(seed int64, lo, hi int, rows int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, rows)
+	for i := range out {
+		// Quadratic skew keeps a heavy head without needing Zipf state.
+		span := hi - lo
+		v := rng.Intn(span) * rng.Intn(span) / span
+		out[i] = fmt.Sprintf("item-%04d", lo+v)
+	}
+	return out
+}
+
+// TestEndToEndPushMergeTopK is the acceptance scenario: two simulated
+// agents sketch disjoint shards of a stream locally, ship wire-v2
+// snapshots to ussd, the server merges them with MergeBins, and a top-k
+// query over HTTP matches the same merge done in-process bit-for-bit
+// (the accumulator is sized so the merge is the exact item-wise sum,
+// which draws no randomness).
+func TestEndToEndPushMergeTopK(t *testing.T) {
+	_, base := startServer(t)
+
+	const m = 2048 // accumulator capacity: > total agent bins, merge stays exact
+	mustPost(t, base+"/v1/sketches", "application/json",
+		[]byte(`{"name":"agg","kind":"weighted","bins":2048,"seed":5}`))
+
+	// Two agents over overlapping item ranges, each small enough that its
+	// sketch tracks every item exactly.
+	streams := [][]string{
+		agentStream(101, 0, 400, 30000),
+		agentStream(202, 250, 650, 30000),
+	}
+	blobs := make([][]byte, len(streams))
+	for i, rows := range streams {
+		sk := uss.New(512, uss.WithSeed(int64(1000+i)))
+		sk.UpdateAll(rows)
+		var err error
+		blobs[i], err = sk.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply := mustPost(t, base+"/v1/sketches/agg/snapshot", "application/octet-stream", blobs[i])
+		var pr struct {
+			MergedBins int `json:"merged_bins"`
+		}
+		if err := json.Unmarshal(reply, &pr); err != nil {
+			t.Fatal(err)
+		}
+		if pr.MergedBins == 0 {
+			t.Fatalf("push %d merged no bins: %s", i, reply)
+		}
+	}
+
+	// The same merge in-process: decode both shipped snapshots' bins and
+	// reduce them with the same kernel and capacity the server used.
+	lists := make([][]uss.Bin, len(blobs))
+	for i, blob := range blobs {
+		var err error
+		lists[i], err = uss.DecodeBins(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := uss.MergeBins(m, uss.Pairwise, lists...)
+	local, err := uss.NewWeightedFromBins(m, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const k = 100
+	want := local.TopK(k)
+
+	var got struct {
+		Items []struct {
+			Item  string  `json:"item"`
+			Count float64 `json:"count"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(mustGet(t, fmt.Sprintf("%s/v1/sketches/agg/topk?k=%d", base, k)), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != len(want) {
+		t.Fatalf("HTTP top-k returned %d items, in-process %d", len(got.Items), len(want))
+	}
+	for i := range want {
+		if got.Items[i].Item != want[i].Item || got.Items[i].Count != want[i].Count {
+			t.Fatalf("top-k[%d]: HTTP (%q, %v) != in-process (%q, %v)",
+				i, got.Items[i].Item, got.Items[i].Count, want[i].Item, want[i].Count)
+		}
+	}
+
+	// The served total must be the exact mass of both streams.
+	var info struct {
+		Total float64 `json:"total"`
+	}
+	if err := json.Unmarshal(mustGet(t, base+"/v1/sketches/agg"), &info); err != nil {
+		t.Fatal(err)
+	}
+	if wantTotal := float64(len(streams[0]) + len(streams[1])); info.Total != wantTotal {
+		t.Fatalf("merged total %v, want %v", info.Total, wantTotal)
+	}
+
+	// Pull the merged snapshot back and cross-check a few estimates.
+	pulled := mustGet(t, base+"/v1/sketches/agg/snapshot")
+	var back uss.WeightedSketch
+	if err := back.UnmarshalBinary(pulled); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range want[:5] {
+		if got := back.Estimate(b.Item); got != b.Count {
+			t.Fatalf("pulled estimate %q = %v, want %v", b.Item, got, b.Count)
+		}
+	}
+}
+
+// TestServerSmokeIngestQueryShutdown drives the CLI-shaped path: create a
+// sharded sketch, async-ingest text batches, query, then shut down and
+// confirm the drain applied everything.
+func TestServerSmokeIngestQueryShutdown(t *testing.T) {
+	s, base := startServer(t)
+	mustPost(t, base+"/v1/sketches", "application/json",
+		[]byte(`{"name":"clicks","kind":"sharded","bins":256,"shards":4,"seed":9}`))
+
+	var rows strings.Builder
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&rows, "country=%s|ad=ad-%d\n", []string{"us", "de", "jp", "br"}[i%4], i%50)
+	}
+	for batch := 0; batch < 5; batch++ {
+		mustPost(t, base+"/v1/sketches/clicks/ingest", "text/plain", []byte(rows.String()))
+	}
+	// Sync barrier: one empty-bodied sync ingest doesn't flush the queue,
+	// so issue a sync batch and then poll info until the rows land.
+	mustPost(t, base+"/v1/sketches/clicks/ingest?sync=1", "text/plain", []byte("country=us|ad=ad-0\n"))
+
+	deadline := 0
+	for {
+		var info struct {
+			Rows int64 `json:"rows"`
+		}
+		if err := json.Unmarshal(mustGet(t, base+"/v1/sketches/clicks"), &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Rows == 10001 {
+			break
+		}
+		if deadline++; deadline > 500 {
+			t.Fatalf("ingest never drained: %d rows applied", info.Rows)
+		}
+	}
+
+	var qr struct {
+		Groups []struct {
+			KeyString string  `json:"key_string"`
+			Value     float64 `json:"value"`
+		} `json:"groups"`
+	}
+	reply := mustPost(t, base+"/v1/sketches/clicks/query", "application/json",
+		[]byte(`{"group_by":["country"]}`))
+	if err := json.Unmarshal(reply, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Groups) != 4 {
+		t.Fatalf("group-by country: %d groups, want 4: %s", len(qr.Groups), reply)
+	}
+	var total float64
+	for _, g := range qr.Groups {
+		total += g.Value
+	}
+	if total != 10001 {
+		t.Fatalf("group sums total %v, want 10001", total)
+	}
+
+	// Cleanup's Shutdown asserts the drain; double-shutdown must be safe.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -188,6 +188,15 @@ func (s *WeightedSketch) UnmarshalBinary(data []byte) error {
 // bins and hand the lists straight to MergeBins — no heap rebuild, no
 // Update replay, no per-snapshot sketch. Counts are validated non-negative
 // and finite.
+//
+// Arena-backed strings: for a v2 snapshot every returned bin's Item is a
+// zero-copy slice of one shared arena string (that is what makes the
+// decode two allocations total). Retaining any single bin therefore pins
+// the whole arena — all item bytes of the snapshot — in memory. That is
+// the right trade for the merge pipeline, which consumes every bin anyway;
+// callers that keep only a few bins long-term should clone the items they
+// retain. The returned bins never alias the input data slice, which may be
+// reused immediately.
 func DecodeBins(data []byte) ([]Bin, error) {
 	_, bins, err := decodeAny(data)
 	if err != nil {

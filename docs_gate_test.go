@@ -1,0 +1,173 @@
+package uss_test
+
+// The docs gate: a go/ast checker that fails the build when documentation
+// regresses. Two rules, enforced by CI through the ordinary test run:
+//
+//  1. Every exported symbol in the root package — functions, types,
+//     methods on exported types, and each exported const/var — carries a
+//     doc comment.
+//  2. Every package in docsGatePackages carries a package-level doc
+//     comment (the package map README.md points into).
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// docsGatePackages lists the directories whose package comment is load-
+// bearing documentation: the root package plus every internal package
+// named in the architecture map.
+var docsGatePackages = []string{
+	".",
+	"internal/core",
+	"internal/streamsummary",
+	"internal/labelidx",
+	"internal/query",
+	"internal/rollup",
+	"internal/wire",
+	"internal/server",
+	"internal/hierarchy",
+	"internal/hashx",
+}
+
+// parseDir loads a directory's non-test files with comments attached.
+func parseDir(t *testing.T, dir string) map[string]*ast.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	return pkgs
+}
+
+func TestDocsGatePackageComments(t *testing.T) {
+	for _, dir := range docsGatePackages {
+		pkgs := parseDir(t, dir)
+		for name, pkg := range pkgs {
+			if strings.HasSuffix(name, "_test") {
+				continue
+			}
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (in %s) has no package-level doc comment", name, dir)
+			}
+		}
+	}
+}
+
+func TestDocsGateExportedSymbols(t *testing.T) {
+	pkgs := parseDir(t, ".")
+	pkg, ok := pkgs["uss"]
+	if !ok {
+		t.Fatalf("root package uss not found (got %v)", pkgs)
+	}
+	for file, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				// Methods count when their receiver type is exported.
+				if d.Recv != nil && !exportedReceiver(d.Recv) {
+					continue
+				}
+				if d.Doc == nil || strings.TrimSpace(d.Doc.Text()) == "" {
+					t.Errorf("%s: exported %s %s has no doc comment", file, declKind(d), symbolName(d))
+				}
+			case *ast.GenDecl:
+				checkGenDecl(t, file, d)
+			}
+		}
+	}
+}
+
+// checkGenDecl enforces docs on exported types, consts and vars. A doc
+// comment on the grouped decl covers ungrouped specs; within a grouped
+// const/var block each exported spec needs its own comment (or a line
+// comment) unless the block documents the group as one unit and the spec
+// is part of an iota run.
+func checkGenDecl(t *testing.T, file string, d *ast.GenDecl) {
+	groupDoc := d.Doc != nil && strings.TrimSpace(d.Doc.Text()) != ""
+	for _, spec := range d.Specs {
+		switch sp := spec.(type) {
+		case *ast.TypeSpec:
+			if !sp.Name.IsExported() {
+				continue
+			}
+			if !groupDoc && (sp.Doc == nil || strings.TrimSpace(sp.Doc.Text()) == "") {
+				t.Errorf("%s: exported type %s has no doc comment", file, sp.Name.Name)
+			}
+		case *ast.ValueSpec:
+			var exported []string
+			for _, n := range sp.Names {
+				if n.IsExported() {
+					exported = append(exported, n.Name)
+				}
+			}
+			if len(exported) == 0 {
+				continue
+			}
+			specDoc := (sp.Doc != nil && strings.TrimSpace(sp.Doc.Text()) != "") ||
+				(sp.Comment != nil && strings.TrimSpace(sp.Comment.Text()) != "")
+			if !groupDoc && !specDoc {
+				t.Errorf("%s: exported value %s has no doc comment", file, strings.Join(exported, ", "))
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver names an exported
+// type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr: // generic receiver
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func symbolName(d *ast.FuncDecl) string {
+	if d.Recv == nil {
+		return d.Name.Name
+	}
+	typ := d.Recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if id, ok := typ.(*ast.Ident); ok {
+		return "(" + id.Name + ")." + d.Name.Name
+	}
+	return d.Name.Name
+}

@@ -1,26 +1,58 @@
-// Distributed counting (paper §5.5): shard a stream across workers — as a
-// map-reduce mapper or per-region collector would — sketch each shard
-// independently and in parallel, then merge the small sketches with the
-// unbiased reduction. The merged sketch answers subset sums over the union
-// of all shards' data as if one sketch had seen everything, and the
-// serialization round-trip stands in for the network hop.
+// Distributed counting through ussd (paper §5.5): shard a stream across
+// workers — as a map-reduce mapper or per-region collector would — sketch
+// each shard independently and in parallel, then ship each worker's
+// wire-format-v2 snapshot to a ussd sketch service over HTTP, where the
+// snapshots merge into one weighted accumulator with the unbiased
+// reduction. Cross-shard top-k and subset-sum queries are then served by
+// the service as if one sketch had seen everything.
+//
+// The example runs the real server on a loopback listener, so the bytes
+// genuinely cross HTTP: POST /snapshot pushes, GET /topk and /sum query.
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"strings"
 	"sync"
 
 	uss "repro"
+	"repro/internal/server"
 )
 
 const (
 	workers = 8
-	bins    = 512
+	bins    = 512 // per worker sketch
+	accBins = 2048
 )
 
 func main() {
+	// Start a ussd instance on a loopback port.
+	srv := server.New(server.Config{IngestWorkers: 2, QueueDepth: 16})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	defer func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			panic(err)
+		}
+		<-done
+	}()
+
+	// One weighted accumulator on the server collects all pushes.
+	mustPost(base+"/v1/sketches", "application/json",
+		[]byte(fmt.Sprintf(`{"name":"sales","kind":"weighted","bins":%d}`, accBins)))
+
 	// Global event stream partitioned by hash across 8 workers: sales
 	// events keyed by (country, product).
 	rng := rand.New(rand.NewSource(21))
@@ -36,54 +68,107 @@ func main() {
 		shards[h] = append(shards[h], key)
 	}
 
-	// Each worker sketches its shard concurrently.
+	// Each worker sketches its shard concurrently and pushes its snapshot
+	// to the service — bins, not raw rows, cross the network.
 	var wg sync.WaitGroup
-	blobs := make([][]byte, workers)
+	var wireBytes int64
+	var mu sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			sk := uss.New(bins, uss.WithSeed(int64(1000+w)))
-			for _, key := range shards[w] {
-				sk.Update(key)
-			}
-			blob, err := sk.MarshalBinary()
+			sk.UpdateAll(shards[w])
+			blob, err := sk.AppendBinary(nil)
 			if err != nil {
 				panic(err)
 			}
-			blobs[w] = blob // "send over the network"
+			mustPost(base+"/v1/sketches/sales/snapshot", "application/octet-stream", blob)
+			mu.Lock()
+			wireBytes += int64(len(blob))
+			mu.Unlock()
 		}(w)
 	}
 	wg.Wait()
 
-	// The reducer deserializes and merges.
-	sketches := make([]*uss.Sketch, workers)
-	var wireBytes int
-	for w, blob := range blobs {
-		wireBytes += len(blob)
-		var sk uss.Sketch
-		if err := sk.UnmarshalBinary(blob); err != nil {
-			panic(err)
-		}
-		sketches[w] = &sk
+	var info struct {
+		Size  int     `json:"size"`
+		Total float64 `json:"total"`
 	}
-	merged := uss.Merge(bins, uss.Pairwise, sketches...)
-	fmt.Printf("merged %d worker sketches (%d KB on the wire) into %d bins; total mass %.0f\n\n",
-		workers, wireBytes/1024, merged.Size(), merged.Total())
+	mustDecode(mustGet(base+"/v1/sketches/sales"), &info)
+	fmt.Printf("pushed %d worker snapshots (%d KB on the wire); server merged to %d bins, total mass %.0f\n\n",
+		workers, wireBytes/1024, info.Size, info.Total)
 
-	// Cross-shard queries on the merged sketch.
+	// Cross-shard top sellers, served over HTTP.
+	var tk struct {
+		Items []struct {
+			Item  string  `json:"item"`
+			Count float64 `json:"count"`
+		} `json:"items"`
+	}
+	mustDecode(mustGet(base+"/v1/sketches/sales/topk?k=5"), &tk)
+	fmt.Println("top sellers across all shards:")
+	for i, b := range tk.Items {
+		fmt.Printf("  %d. %-18s est %8.0f  (exact %8.0f)\n", i+1, b.Item, b.Count, exact[b.Item])
+	}
+	fmt.Println()
+
+	// Cross-shard subset sums with confidence intervals, also over HTTP.
 	for _, country := range []string{"jp", "de"} {
-		pred := func(k string) bool { return strings.HasPrefix(k, country+"/") }
-		est := merged.SubsetSum(pred)
+		var est struct {
+			Value  float64    `json:"value"`
+			StdErr float64    `json:"std_err"`
+			CI95   [2]float64 `json:"ci95"`
+		}
+		mustDecode(mustGet(base+"/v1/sketches/sales/sum?prefix="+country+"/"), &est)
 		var truth float64
 		for k, v := range exact {
-			if pred(k) {
+			if strings.HasPrefix(k, country+"/") {
 				truth += v
 			}
 		}
-		lo, hi := est.ConfidenceInterval(0.95)
 		fmt.Printf("sales in %s: %.0f ± %.0f (95%% CI [%.0f, %.0f]; exact %.0f)\n",
-			country, est.Value, est.StdErr, lo, hi, truth)
+			country, est.Value, est.StdErr, est.CI95[0], est.CI95[1], truth)
+	}
+}
+
+// mustPost posts body and panics on any failure — example-grade error
+// handling.
+func mustPost(url, ct string, body []byte) []byte {
+	resp, err := http.Post(url, ct, bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		panic(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		panic(fmt.Sprintf("POST %s: status %d: %s", url, resp.StatusCode, data))
+	}
+	return data
+}
+
+func mustGet(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		panic(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		panic(fmt.Sprintf("GET %s: status %d: %s", url, resp.StatusCode, data))
+	}
+	return data
+}
+
+func mustDecode(data []byte, v any) {
+	if err := json.Unmarshal(data, v); err != nil {
+		panic(fmt.Sprintf("decode %q: %v", data, err))
 	}
 }
 

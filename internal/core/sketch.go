@@ -16,6 +16,21 @@
 // Unit-weight updates run in O(1) via the Stream-Summary structure
 // (internal/streamsummary). Real-valued and decayed updates are provided by
 // WeightedSketch, which trades the O(1) bucket list for an O(log m) heap.
+//
+// # Ownership and concurrency contracts
+//
+// Sketches are single-writer and unsynchronized: callers serialize
+// mutation externally (uss.ShardedSketch packages the standard pattern).
+// Both Sketch and WeightedSketch expose a Version counter that advances
+// on every mutation; the cached read paths (internal/query engines,
+// uss.ShardedSketch's snapshot cache, internal/rollup's merge tree)
+// revalidate derived state against it rather than re-reading the sketch.
+// Query-style results (Bins, TopK, SelectTop, the merge kernels) return
+// freshly allocated, caller-owned slices; the Append* variants
+// (AppendBins) write into a caller-supplied buffer instead and are the
+// allocation-free path. Item strings are shared, never copied: a bin's
+// Item is the same string the caller passed to Update (or, after a
+// restore, a slice of the decoded arena — see internal/wire).
 package core
 
 import (

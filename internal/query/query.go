@@ -19,6 +19,14 @@
 // comparisons and group keys pack into a uint64. A Prepared query reuses
 // its compiled program and output buffers across runs — repeated
 // evaluation against an unchanged sketch allocates nothing.
+//
+// Ownership: an Engine (and every Prepared compiled from it) is a
+// single-goroutine owner of its caches and scratch; concurrent use needs
+// one engine per goroutine (the underlying index is immutable and shared
+// safely). Run results — the group slice and each Group's Key map — are
+// engine-owned buffers reused by the next run on that engine: callers
+// that retain results across runs, or hand them across an API boundary,
+// must deep-copy them (uss.RunQuery does exactly that).
 package query
 
 import (

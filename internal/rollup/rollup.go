@@ -9,6 +9,12 @@
 // windows. Because the merge reduction preserves expected counts (Theorem
 // 2 of the paper), a range estimate is unbiased for the true range total.
 //
+// A Rollup is single-owner: updates and queries are unsynchronized, and
+// the caches below are mutated by queries too, so even read-only use from
+// multiple goroutines needs external locking. Results (TopKRange bins,
+// Range sketches) are caller-owned copies; cached segment bins are shared
+// internally but never escape.
+//
 // # Incremental range merging
 //
 // Merging every covered window from scratch on every query is the

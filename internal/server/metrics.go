@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the server's counters. Everything is an atomic so the hot
+// paths (ingest workers, query handlers) never share a lock with the
+// scrape endpoint.
+type metrics struct {
+	start time.Time
+
+	requests2xx atomic.Int64
+	requests4xx atomic.Int64
+	requests5xx atomic.Int64
+
+	rowsIngested   atomic.Int64 // rows applied to sketches
+	batchesQueued  atomic.Int64 // ingest batches accepted (sync + async)
+	queueDepth     atomic.Int64 // batches currently waiting for a worker
+	snapshotsIn    atomic.Int64 // push requests merged
+	snapshotsOut   atomic.Int64 // pull responses served
+	queriesServed  atomic.Int64 // query/topk/estimate/sum/range requests
+	ingestRejected atomic.Int64 // ingest requests refused (parse, size, kind)
+}
+
+// countStatus buckets one response code.
+func (m *metrics) countStatus(code int) {
+	switch {
+	case code >= 500:
+		m.requests5xx.Add(1)
+	case code >= 400:
+		m.requests4xx.Add(1)
+	default:
+		m.requests2xx.Add(1)
+	}
+}
+
+// statusRecorder captures the response code for the metrics middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps h so every response is counted by status class.
+func (m *metrics) instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(rec, req)
+		m.countStatus(rec.code)
+	})
+}
+
+// handleMetrics serves the counters in the Prometheus text exposition
+// format, plus per-sketch row counts from the registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.met
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# TYPE ussd_uptime_seconds gauge\n")
+	p("ussd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+	p("# TYPE ussd_http_requests_total counter\n")
+	p("ussd_http_requests_total{class=\"2xx\"} %d\n", m.requests2xx.Load())
+	p("ussd_http_requests_total{class=\"4xx\"} %d\n", m.requests4xx.Load())
+	p("ussd_http_requests_total{class=\"5xx\"} %d\n", m.requests5xx.Load())
+	p("# TYPE ussd_rows_ingested_total counter\n")
+	p("ussd_rows_ingested_total %d\n", m.rowsIngested.Load())
+	p("# TYPE ussd_ingest_batches_total counter\n")
+	p("ussd_ingest_batches_total %d\n", m.batchesQueued.Load())
+	p("# TYPE ussd_ingest_rejected_total counter\n")
+	p("ussd_ingest_rejected_total %d\n", m.ingestRejected.Load())
+	p("# TYPE ussd_ingest_queue_depth gauge\n")
+	p("ussd_ingest_queue_depth %d\n", m.queueDepth.Load())
+	p("# TYPE ussd_snapshots_pushed_total counter\n")
+	p("ussd_snapshots_pushed_total %d\n", m.snapshotsIn.Load())
+	p("# TYPE ussd_snapshots_pulled_total counter\n")
+	p("ussd_snapshots_pulled_total %d\n", m.snapshotsOut.Load())
+	p("# TYPE ussd_queries_total counter\n")
+	p("ussd_queries_total %d\n", m.queriesServed.Load())
+
+	entries := s.reg.List()
+	p("# TYPE ussd_sketches gauge\n")
+	p("ussd_sketches %d\n", len(entries))
+	p("# TYPE ussd_sketch_rows counter\n")
+	for _, e := range entries {
+		p("ussd_sketch_rows{name=%q,kind=%q} %d\n", e.cfg.Name, e.cfg.Kind, e.rows.Load())
+	}
+}
+
+// handleHealthz reports liveness. It never touches sketch state, so a
+// wedged merge cannot take the probe down with it.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.met.start).Seconds(),
+	})
+}

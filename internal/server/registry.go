@@ -1,0 +1,223 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	uss "repro"
+)
+
+// Kind names a sketch flavour the registry can host.
+type Kind string
+
+// The four hosted kinds. Unit and Weighted are single sketches behind the
+// entry mutex; Sharded is internally synchronized and takes concurrent
+// ingest without the entry lock; Rollup is windowed and adds the
+// range-query endpoints.
+const (
+	KindUnit     Kind = "unit"
+	KindWeighted Kind = "weighted"
+	KindSharded  Kind = "sharded"
+	KindRollup   Kind = "rollup"
+)
+
+// SketchConfig declares one named sketch. It is the create-request body
+// and is echoed back by the list and info endpoints.
+type SketchConfig struct {
+	// Name is the registry key, non-empty, unique.
+	Name string `json:"name"`
+	// Kind selects the sketch flavour; defaults to "sharded".
+	Kind Kind `json:"kind"`
+	// Bins is the bin budget: total for unit/weighted, per shard for
+	// sharded, per window for rollup.
+	Bins int `json:"bins"`
+	// Shards is the shard count for KindSharded (default 8, ignored
+	// otherwise).
+	Shards int `json:"shards,omitempty"`
+	// Seed fixes the sketch randomness for reproducible tests (0 = draw a
+	// random seed; always use 0 or distinct seeds in production).
+	Seed int64 `json:"seed,omitempty"`
+	// WindowLength is the rollup window duration in the caller's time
+	// unit (required for KindRollup, ignored otherwise).
+	WindowLength int64 `json:"window_length,omitempty"`
+	// Retain keeps only the most recent rollup windows (0 = keep all).
+	Retain int `json:"retain,omitempty"`
+}
+
+// validate normalizes defaults in place and rejects unusable configs.
+func (c *SketchConfig) validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("sketch name must be non-empty")
+	}
+	if c.Kind == "" {
+		c.Kind = KindSharded
+	}
+	if c.Bins <= 0 {
+		return fmt.Errorf("sketch %q: bins must be positive, got %d", c.Name, c.Bins)
+	}
+	switch c.Kind {
+	case KindUnit, KindWeighted:
+	case KindSharded:
+		if c.Shards == 0 {
+			c.Shards = 8
+		}
+		if c.Shards < 0 {
+			return fmt.Errorf("sketch %q: shards must be positive, got %d", c.Name, c.Shards)
+		}
+	case KindRollup:
+		if c.WindowLength <= 0 {
+			return fmt.Errorf("sketch %q: rollup needs a positive window_length", c.Name)
+		}
+		if c.Retain < 0 {
+			return fmt.Errorf("sketch %q: retain must be non-negative, got %d", c.Name, c.Retain)
+		}
+	default:
+		return fmt.Errorf("sketch %q: unknown kind %q (want unit, weighted, sharded or rollup)", c.Name, c.Kind)
+	}
+	return nil
+}
+
+// options renders the config's seed as construction options.
+func (c *SketchConfig) options() []uss.Option {
+	if c.Seed != 0 {
+		return []uss.Option{uss.WithSeed(c.Seed)}
+	}
+	return nil
+}
+
+// entry is one hosted sketch. Exactly one of the four sketch fields is
+// non-nil, matching cfg.Kind.
+//
+// Locking: mu guards the sketch state of unit, weighted and rollup
+// entries (single-writer types), the pull encode buffer, and the query
+// engine + prepared-query cache of every kind. Sharded entries take
+// ingest and cached reads (TopK) without mu — the ShardedSketch is
+// internally synchronized and its snapshot cache is lock-free — but their
+// query engine still lives behind mu because engines are single-goroutine
+// owners of their buffers. Counters are atomics so the metrics endpoint
+// never contends with ingest.
+type entry struct {
+	cfg SketchConfig
+
+	mu       sync.Mutex
+	unit     *uss.Sketch
+	weighted *uss.WeightedSketch
+	sharded  *uss.ShardedSketch
+	rollup   *uss.Rollup
+
+	// qe + prep are the PR 2 cached read path: one engine per entry, one
+	// prepared query per distinct spec, revalidated against sketch
+	// versions internally so ingest between queries only costs the delta.
+	// Both are dropped when push replaces the weighted sketch.
+	qe   *uss.QueryEngine
+	prep map[string]*uss.PreparedQuery
+
+	// enc is the pull endpoint's reused snapshot encode buffer.
+	enc []byte
+
+	rows    atomic.Int64 // rows applied (ingest)
+	pushes  atomic.Int64 // snapshots merged in
+	dropped atomic.Int64 // rollup rows past the retention horizon
+}
+
+// newEntry constructs the sketch for a validated config.
+func newEntry(cfg SketchConfig) (*entry, error) {
+	e := &entry{cfg: cfg}
+	switch cfg.Kind {
+	case KindUnit:
+		e.unit = uss.New(cfg.Bins, cfg.options()...)
+	case KindWeighted:
+		e.weighted = uss.NewWeighted(cfg.Bins, cfg.options()...)
+	case KindSharded:
+		e.sharded = uss.NewSharded(cfg.Shards, cfg.Bins, cfg.options()...)
+	case KindRollup:
+		r, err := uss.NewRollup(uss.RollupConfig{
+			Bins:         cfg.Bins,
+			WindowLength: cfg.WindowLength,
+			Retain:       cfg.Retain,
+			Seed:         cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sketch %q: %w", cfg.Name, err)
+		}
+		e.rollup = r
+	}
+	return e, nil
+}
+
+// capacity returns the entry's total bin budget.
+func (e *entry) capacity() int {
+	switch e.cfg.Kind {
+	case KindSharded:
+		return e.cfg.Shards * e.cfg.Bins
+	default:
+		return e.cfg.Bins
+	}
+}
+
+// Registry is the named-sketch table: a read-mostly map behind an RWMutex.
+// Lookups on the hot ingest/query path take the read lock only long enough
+// to fetch the entry pointer; all sketch work happens outside the registry
+// lock, so creating or deleting one sketch never stalls traffic to others.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// Create validates cfg, builds the sketch and registers it. It fails if
+// the name is taken.
+func (r *Registry) Create(cfg SketchConfig) (*entry, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e, err := newEntry(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, taken := r.entries[cfg.Name]; taken {
+		return nil, fmt.Errorf("sketch %q already exists", cfg.Name)
+	}
+	r.entries[cfg.Name] = e
+	return e, nil
+}
+
+// Get fetches an entry by name.
+func (r *Registry) Get(name string) (*entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Delete unregisters a sketch. In-flight requests holding the entry
+// pointer finish against the orphaned sketch; new lookups miss.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; !ok {
+		return false
+	}
+	delete(r.entries, name)
+	return true
+}
+
+// List returns all entries sorted by name.
+func (r *Registry) List() []*entry {
+	r.mu.RLock()
+	out := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].cfg.Name < out[j].cfg.Name })
+	return out
+}

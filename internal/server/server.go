@@ -1,0 +1,289 @@
+// Package server implements ussd, the multi-tenant HTTP sketch service:
+// a registry of named Unbiased Space Saving sketches (unit, weighted,
+// sharded, rollup) behind a REST-ish API for ingesting rows, shipping
+// snapshots and querying — the paper's §5.5 serialize → ship → merge
+// pipeline with a network in the middle.
+//
+// # Endpoints
+//
+//	POST   /v1/sketches                      create (SketchConfig JSON)
+//	GET    /v1/sketches                      list configs + stats
+//	GET    /v1/sketches/{name}               info/stats
+//	DELETE /v1/sketches/{name}               drop
+//	POST   /v1/sketches/{name}/ingest        batched rows (text or JSON)
+//	POST   /v1/sketches/{name}/snapshot      push a wire-v2 snapshot (merge in)
+//	GET    /v1/sketches/{name}/snapshot      pull the current state as wire v2
+//	GET    /v1/sketches/{name}/topk?k=       heavy hitters
+//	GET    /v1/sketches/{name}/estimate?item= per-item estimate
+//	GET    /v1/sketches/{name}/sum?prefix=|suffix=|items=  subset sum
+//	POST   /v1/sketches/{name}/query         §2 filter/group-by template
+//	GET    /v1/sketches/{name}/range/topk    rollup: top-k over [from,to]
+//	GET    /v1/sketches/{name}/range/sum     rollup: subset sum over [from,to]
+//	GET    /v1/sketches/{name}/range/total   rollup: exact row count
+//	GET    /healthz                          liveness
+//	GET    /metrics                          Prometheus text counters
+//
+// # Concurrency and ownership
+//
+// The registry is a read-mostly map: request handlers take its read lock
+// only to resolve a name to an entry pointer, never across sketch work.
+// Each entry owns its sketch behind an entry mutex — except sharded
+// entries, whose ShardedSketch is internally synchronized, so ingest
+// batches flow into ShardedSketch.UpdateBatch and top-k reads come off
+// its lock-free cached snapshot without the entry lock. Query evaluation
+// reuses the PR 2 cached read path: one engine and a prepared-query cache
+// per entry, revalidated against the sketch's version counters, so a
+// query against an unchanged sketch re-parses nothing. Rollup range
+// queries land on internal/rollup's incremental merge tree and memos.
+//
+// Ingest is batched and, by default, asynchronous: the handler decodes
+// the request body into a pooled batch (see ingestBatch), enqueues it and
+// replies 202; a fixed pool of worker goroutines applies batches in
+// arrival order per queue. `?sync=1` applies the batch inline and replies
+// 200 for read-after-write callers. Pushed snapshots are decoded with
+// uss.DecodeBins and merged under the entry lock with uss.MergeBins —
+// bins, never sketches, cross the wire.
+//
+// Shutdown drains: the HTTP server stops accepting, in-flight handlers
+// finish, the ingest queue runs dry, then workers exit. Rows accepted
+// with a 202 are therefore applied before Shutdown returns.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":8632").
+	Addr string
+	// IngestWorkers is the number of goroutines applying async ingest
+	// batches (default 4).
+	IngestWorkers int
+	// QueueDepth is the async ingest queue length in batches; a full
+	// queue applies backpressure by blocking the handler (default 256).
+	QueueDepth int
+	// MaxBodyBytes caps ingest/push request bodies (default 32 MiB).
+	MaxBodyBytes int64
+}
+
+func (c *Config) defaults() {
+	if c.Addr == "" {
+		c.Addr = ":8632"
+	}
+	if c.IngestWorkers <= 0 {
+		c.IngestWorkers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+}
+
+// ingestJob is one queued batch bound for one entry.
+type ingestJob struct {
+	e *entry
+	b *ingestBatch
+}
+
+// Server is one ussd instance: registry, router, metrics and the async
+// ingest worker pool. Create with New, serve with ListenAndServe (or
+// mount Handler in a test server), stop with Shutdown.
+type Server struct {
+	cfg Config
+	reg *Registry
+	met *metrics
+	mux *http.ServeMux
+
+	// hs is built in New (never nil), so Shutdown always has a server to
+	// stop even when it races a Serve goroutine that has not run yet —
+	// net/http makes Shutdown-before-Serve well-defined (the later Serve
+	// returns ErrServerClosed).
+	hs   *http.Server
+	lnMu sync.Mutex
+	ln   net.Listener
+
+	jobs    chan ingestJob
+	workers sync.WaitGroup
+	qmu     sync.RWMutex
+	closed  bool
+}
+
+// New builds a Server and starts its ingest workers. Callers must
+// eventually Shutdown it, even when it never listens.
+func New(cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{
+		cfg:  cfg,
+		reg:  NewRegistry(),
+		met:  &metrics{start: time.Now()},
+		mux:  http.NewServeMux(),
+		jobs: make(chan ingestJob, cfg.QueueDepth),
+	}
+	s.routes()
+	s.hs = &http.Server{Handler: s.Handler()}
+	s.workers.Add(cfg.IngestWorkers)
+	for i := 0; i < cfg.IngestWorkers; i++ {
+		go s.ingestWorker()
+	}
+	return s
+}
+
+// Registry exposes the sketch table, letting embedders (tests, the bench
+// driver, examples) pre-create sketches without an HTTP round-trip.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the routed handler with metrics instrumentation, for
+// mounting under httptest or an external server.
+func (s *Server) Handler() http.Handler { return s.met.instrument(s.mux) }
+
+// ListenAndServe binds cfg.Addr and serves until Shutdown. It returns
+// nil after a clean Shutdown.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on ln until Shutdown. A Serve that loses the race with
+// Shutdown returns nil without accepting anything.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	err := s.hs.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Addr returns the bound listen address, once Serve has been called.
+func (s *Server) Addr() string {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown stops accepting requests, waits for in-flight handlers, then
+// drains the async ingest queue so every batch acknowledged with 202 is
+// applied before it returns. ctx bounds only the HTTP connection drain;
+// queued sketch work always completes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.hs.Shutdown(ctx)
+	s.qmu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.jobs)
+	}
+	s.qmu.Unlock()
+	s.workers.Wait()
+	return err
+}
+
+// enqueue hands a batch to the worker pool, blocking for backpressure
+// when the queue is full. It reports false when the server is shutting
+// down, in which case the caller applies the batch inline.
+func (s *Server) enqueue(j ingestJob) bool {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.closed {
+		return false
+	}
+	s.met.queueDepth.Add(1)
+	s.jobs <- j
+	return true
+}
+
+// ingestWorker applies queued batches until the queue closes.
+func (s *Server) ingestWorker() {
+	defer s.workers.Done()
+	for j := range s.jobs {
+		s.met.queueDepth.Add(-1)
+		s.applyBatch(j.e, j.b)
+		putBatch(j.b)
+	}
+}
+
+// applyBatch routes one decoded batch into its entry's sketch, taking the
+// entry lock for the single-writer kinds and going straight to the
+// internally synchronized batched path for sharded entries.
+func (s *Server) applyBatch(e *entry, b *ingestBatch) {
+	switch e.cfg.Kind {
+	case KindSharded:
+		e.sharded.UpdateBatch(b.items)
+	case KindUnit:
+		e.mu.Lock()
+		e.unit.UpdateAll(b.items)
+		e.mu.Unlock()
+	case KindWeighted:
+		e.mu.Lock()
+		for i, it := range b.items {
+			w := 1.0
+			if i < len(b.ws) {
+				w = b.ws[i]
+			}
+			e.weighted.Update(it, w)
+		}
+		e.mu.Unlock()
+	case KindRollup:
+		var dropped int64
+		e.mu.Lock()
+		for i, it := range b.items {
+			if !e.rollup.Update(it, b.ats[i]) {
+				dropped++
+			}
+		}
+		e.mu.Unlock()
+		e.dropped.Add(dropped)
+	}
+	e.rows.Add(int64(len(b.items)))
+	s.met.rowsIngested.Add(int64(len(b.items)))
+}
+
+// routes wires the endpoint table. Method-qualified patterns need the
+// Go 1.22 ServeMux; {name} segments never match slashes.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	s.mux.HandleFunc("POST /v1/sketches", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sketches", s.handleList)
+	s.mux.HandleFunc("GET /v1/sketches/{name}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /v1/sketches/{name}", s.handleDelete)
+
+	s.mux.HandleFunc("POST /v1/sketches/{name}/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/sketches/{name}/snapshot", s.handlePush)
+	s.mux.HandleFunc("GET /v1/sketches/{name}/snapshot", s.handlePull)
+
+	s.mux.HandleFunc("GET /v1/sketches/{name}/topk", s.handleTopK)
+	s.mux.HandleFunc("GET /v1/sketches/{name}/estimate", s.handleEstimate)
+	s.mux.HandleFunc("GET /v1/sketches/{name}/sum", s.handleSum)
+	s.mux.HandleFunc("POST /v1/sketches/{name}/query", s.handleQuery)
+
+	s.mux.HandleFunc("GET /v1/sketches/{name}/range/topk", s.handleRangeTopK)
+	s.mux.HandleFunc("GET /v1/sketches/{name}/range/sum", s.handleRangeSum)
+	s.mux.HandleFunc("GET /v1/sketches/{name}/range/total", s.handleRangeTotal)
+}
+
+// lookup resolves {name} or writes a 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*entry, bool) {
+	name := r.PathValue("name")
+	e, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no sketch %q", name))
+	}
+	return e, ok
+}

@@ -12,6 +12,10 @@
 //     Unbiased Space Saving, Ting 2018 §6.1),
 //   - increment a minimum bin with or without replacing its label.
 //
+// A Summary is single-owner and unsynchronized; the slabs below are
+// reused in place across operations, so nothing a caller receives aliases
+// them — lookups return values, not slab references.
+//
 // Logically the structure is the classic one: buckets in strictly
 // increasing count order, each owning the set of items whose counter equals
 // the bucket's count. Incrementing an item moves it to the adjacent

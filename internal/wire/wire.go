@@ -29,6 +29,12 @@
 //
 // The payload-length prefix makes frames self-delimiting: concatenated
 // snapshots can be split with FrameLen without decoding them.
+//
+// Arena lifetime: because every decoded Item aliases the one arena
+// string, retaining any single bin keeps the whole snapshot's item bytes
+// alive. Consumers that keep only a few bins should clone those items.
+// The decoder copies the arena out of the input buffer, so the encoded
+// frame itself may be reused or freed as soon as Decode returns.
 package wire
 
 import (

@@ -62,8 +62,13 @@ func MergeWeighted(m int, red Reduction, sketches ...*WeightedSketch) *WeightedS
 }
 
 // MergeBins exposes the raw reduction: sum the bin lists exactly, then
-// reduce to at most m bins. Useful when transporting sketch state between
-// processes without the full Sketch type.
+// reduce to at most m bins. It is the merge step of the wire pipeline —
+// DecodeBins each shipped snapshot, MergeBins the lists, then EncodeBins
+// the result onward (or NewWeightedFromBins it into a queryable sketch) —
+// transporting sketch state between processes without ever materializing
+// a per-snapshot Sketch. When the summed lists already fit in m bins the
+// merge is the exact item-wise sum and draws no randomness; only a
+// reduction below the merged size randomizes.
 func MergeBins(m int, red Reduction, lists ...[]Bin) []Bin {
 	c := buildConfig(nil)
 	return core.MergeBins(m, red.kind(), c.rng, lists...)

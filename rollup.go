@@ -28,6 +28,7 @@ type RollupConfig struct {
 // Not safe for concurrent use.
 type Rollup struct {
 	inner *rollup.Rollup
+	cfg   RollupConfig
 }
 
 // NewRollup validates cfg and returns an empty rollup.
@@ -41,8 +42,14 @@ func NewRollup(cfg RollupConfig) (*Rollup, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Rollup{inner: inner}, nil
+	return &Rollup{inner: inner, cfg: cfg}, nil
 }
+
+// Config returns the configuration the rollup was built with, as passed to
+// NewRollup — window geometry for callers (such as a sketch server's info
+// endpoint) that need to describe the rollup without tracking its
+// construction parameters themselves.
+func (r *Rollup) Config() RollupConfig { return r.cfg }
 
 // Update routes one row with timestamp at into its window. It reports
 // false when the row's window has already been evicted (late data past the

@@ -187,6 +187,27 @@ func (s *ShardedSketch) UpdateBatch(items []string) {
 	batchPool.Put(sc)
 }
 
+// Capacity returns the total bin budget across shards
+// (shards × binsPerShard).
+func (s *ShardedSketch) Capacity() int { return s.m }
+
+// Size returns the number of occupied bins across shards, served from the
+// cached merged snapshot (items are disjoint across shards, so the merged
+// bin count is the sum of per-shard sizes).
+func (s *ShardedSketch) Size() int { return len(s.snapshot().bins) }
+
+// Total returns the total mass ingested across shards (== Rows for unit
+// updates).
+func (s *ShardedSketch) Total() float64 {
+	var t float64
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		t += s.shards[i].sk.Total()
+		s.shards[i].mu.Unlock()
+	}
+	return t
+}
+
 // Rows returns the total rows ingested across shards.
 func (s *ShardedSketch) Rows() int64 {
 	var n int64

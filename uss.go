@@ -26,6 +26,15 @@
 // shards of data (distributed ingestion, or rollups across time windows)
 // without losing unbiasedness.
 //
+// For concurrent ingestion use ShardedSketch (batched locking on the
+// write side, a lock-free cached snapshot on the read side); for windowed
+// data use Rollup (per-window sketches with incremental range queries);
+// for shipping sketch state between processes use the binary snapshot
+// codec (MarshalBinary, AppendBinary, DecodeBins, MergeBins). RunQuery
+// and the QueryEngine family evaluate SQL-template queries over labels
+// that encode dimension tuples. cmd/ussd serves all of this over HTTP as
+// a multi-tenant sketch service.
+//
 // Quick start:
 //
 //	sk := uss.New(1024, uss.WithSeed(42))
@@ -37,6 +46,7 @@
 package uss
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 
@@ -94,8 +104,10 @@ func buildConfig(opts []Option) config {
 }
 
 // Sketch is an Unbiased (or, optionally, Deterministic) Space Saving sketch
-// over unit-weight rows. Updates are O(1). Not safe for concurrent use;
-// shard streams across sketches and Merge them instead.
+// over unit-weight rows. Updates are O(1). Not safe for concurrent use:
+// writes need external synchronization, and only the read paths documented
+// as such (RunQuery) serialize internally. For concurrent ingestion use
+// ShardedSketch, or shard streams across sketches and Merge them.
 type Sketch struct {
 	core *core.Sketch
 	// qe lazily caches RunQuery's columnar engine; it revalidates
@@ -198,6 +210,23 @@ func NewWeighted(m int, opts ...Option) *WeightedSketch {
 	return &WeightedSketch{core: core.NewWeighted(m, c.rng)}
 }
 
+// NewWeightedFromBins builds a WeightedSketch of capacity m directly from a
+// bin list — the load half of the DecodeBins → MergeBins pipeline, for
+// callers (such as a sketch server) that aggregate shipped bins and then
+// need a queryable sketch. The load is direct-state, not an Update replay:
+// no randomness is drawn, zero-count bins keep their identity, and the
+// result is exactly the sketch a snapshot restore of the same bins would
+// produce. Counts must be non-negative and finite, items distinct, and
+// len(bins) ≤ m. The bins slice is not retained; the item strings are.
+func NewWeightedFromBins(m int, bins []Bin, opts ...Option) (*WeightedSketch, error) {
+	c := buildConfig(opts)
+	w := core.NewWeighted(m, c.rng)
+	if err := core.RestoreWeighted(w, bins, 0); err != nil {
+		return nil, fmt.Errorf("uss: sketch from bins: %w", err)
+	}
+	return &WeightedSketch{core: w}, nil
+}
+
 // Update processes a row carrying weight w > 0 for item.
 func (s *WeightedSketch) Update(item string, w float64) { s.core.Update(item, w) }
 
@@ -221,6 +250,12 @@ func (s *WeightedSketch) Contains(item string) bool { return s.core.Contains(ite
 
 // Bins returns the bins (arbitrary order).
 func (s *WeightedSketch) Bins() []Bin { return s.core.Bins() }
+
+// TopK returns the k largest bins in descending count order (ties broken
+// by ascending item label), selected with the shared O(n log k) heap used
+// by every other top-k path. The returned slice is freshly allocated and
+// caller-owned.
+func (s *WeightedSketch) TopK(k int) []Bin { return core.SelectTop(s.core.Bins(), k) }
 
 // Size returns the number of occupied bins; Capacity returns m.
 func (s *WeightedSketch) Size() int { return s.core.Size() }
