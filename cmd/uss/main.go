@@ -10,6 +10,8 @@
 //	uss query -sketch clicks.sketch -prefix "us-east|" -level 0.95
 //	uss merge -m 4096 -out week.sketch day1.sketch day2.sketch ...
 //	uss roundtrip -sketch old.sketch -out new.sketch
+//	uss wal inspect -dir /var/lib/ussd
+//	uss wal replay -dir /var/lib/ussd -top 10
 //
 // Rows are read one per line; -field selects a tab-separated column as the
 // item key (-1 uses the whole line).
@@ -19,6 +21,12 @@
 // either wire format (v2 binary or legacy v1 gob), re-encodes it as v2,
 // verifies the round trip bin for bin, and optionally writes the upgraded
 // snapshot — the migration path for pre-v2 sketch files.
+//
+// wal debugs a ussd durability directory offline, read-only: inspect
+// lists the checkpoint, segment health (torn tails, corruption) and
+// records; replay runs the full recovery path — checkpoint restore plus
+// log-tail replay — and reports each sketch's recovered state, its top-k,
+// and optionally writes recovered snapshots to files.
 package main
 
 import (
@@ -46,6 +54,8 @@ func main() {
 		err = runMerge(os.Args[2:])
 	case "roundtrip":
 		err = runRoundTrip(os.Args[2:])
+	case "wal":
+		err = runWAL(os.Args[2:])
 	default:
 		usage()
 	}
@@ -60,7 +70,9 @@ func usage() {
   uss build -m <bins> [-field N] [-seed S] [-deterministic] -out FILE  < rows
   uss query -sketch FILE [-top K] [-item X] [-prefix P] [-contains S] [-level L]
   uss merge -m <bins> [-reduction pairwise|pivotal|misra-gries] -out FILE IN...
-  uss roundtrip -sketch FILE [-out FILE]`)
+  uss roundtrip -sketch FILE [-out FILE]
+  uss wal inspect -dir DATADIR [-records]
+  uss wal replay -dir DATADIR [-top K] [-out-dir DIR]`)
 	os.Exit(2)
 }
 

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	uss "repro"
+	"repro/internal/store"
 )
 
 // withStdin points os.Stdin at a temp file holding content for the
@@ -277,5 +278,52 @@ func TestMergeErrors(t *testing.T) {
 	}
 	if err := runMerge([]string{"-out", "/tmp/x.sketch", "/nonexistent.sketch"}); err == nil {
 		t.Error("missing input accepted")
+	}
+}
+
+// TestWALInspectAndReplay drives the wal subcommands over a real store
+// directory: replay must reconstruct the logged state and export a
+// queryable snapshot; inspect must run clean on the same dir.
+func TestWALInspectAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(store.Options{Dir: dir, Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := []byte(`{"name":"clicks","kind":"unit","bins":64,"seed":7}`)
+	if _, err := st.AppendCreate(spec); err != nil {
+		t.Fatal(err)
+	}
+	items := []string{"a", "a", "a", "b", "b", "c"}
+	if _, err := st.AppendIngest("clicks", items, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := runWAL([]string{"inspect", "-dir", dir, "-records"}); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(t.TempDir(), "out")
+	if err := runWAL([]string{"replay", "-dir", dir, "-top", "3", "-out-dir", outDir}); err != nil {
+		t.Fatal(err)
+	}
+	sk, err := readSketch(filepath.Join(outDir, "clicks.sketch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Estimate("a") != 3 || sk.Estimate("b") != 2 || sk.Rows() != 6 {
+		t.Fatalf("replayed snapshot wrong: a=%v b=%v rows=%d", sk.Estimate("a"), sk.Estimate("b"), sk.Rows())
+	}
+
+	if err := runWAL([]string{"inspect"}); err == nil {
+		t.Error("inspect without -dir accepted")
+	}
+	if err := runWAL([]string{"bogus"}); err == nil {
+		t.Error("unknown wal subcommand accepted")
+	}
+	if err := runWAL(nil); err == nil {
+		t.Error("bare wal accepted")
 	}
 }

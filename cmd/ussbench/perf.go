@@ -6,6 +6,7 @@ package main
 //	ussbench -bench codec        gob (legacy v1) vs binary v2 encode/decode
 //	ussbench -bench rollup-range cold re-merge vs incremental cached ranges
 //	ussbench -bench server       load-drive an in-process ussd over HTTP
+//	ussbench -bench wal          WAL append throughput + recovery vs log size
 //
 // Each mode prints a small table of wall-clock per-op times and the
 // speedup, sized to the acceptance scenarios (a 64Ki-bin sketch; a
@@ -34,8 +35,10 @@ func runPerf(w io.Writer, mode string, scale float64) error {
 		return perfRollupRange(w, scale)
 	case "server":
 		return perfServer(w, scale)
+	case "wal":
+		return perfWAL(w, scale)
 	default:
-		return fmt.Errorf("unknown -bench mode %q (want codec, rollup-range or server)", mode)
+		return fmt.Errorf("unknown -bench mode %q (want codec, rollup-range, server or wal)", mode)
 	}
 }
 

@@ -5,10 +5,18 @@
 // read paths. See internal/server for the endpoint table and DESIGN.md
 // §10 for the architecture.
 //
+// With -data-dir the service is durable: every create, delete, ingest
+// batch and pushed snapshot is written to a segmented write-ahead log
+// before it is acknowledged, the live sketches are checkpointed on an
+// interval (and on drain), and a restart — graceful or kill -9 —
+// recovers the latest checkpoint plus the log tail. See internal/store
+// and DESIGN.md §11.
+//
 // Usage:
 //
 //	ussd -addr :8632
 //	ussd -addr :8632 -create '{"name":"clicks","kind":"sharded","bins":4096,"shards":8}'
+//	ussd -addr :8632 -data-dir /var/lib/ussd -fsync always -checkpoint-interval 1m
 //
 // A quick session against a running server:
 //
@@ -16,22 +24,26 @@
 //	printf 'country=us|ad=1\ncountry=de|ad=2\n' | curl --data-binary @- localhost:8632/v1/sketches/clicks/ingest
 //	curl localhost:8632/v1/sketches/clicks/topk?k=5
 //
-// ussd shuts down gracefully on SIGINT/SIGTERM: in-flight requests finish
-// and every ingest batch acknowledged with 202 is applied before exit.
+// ussd shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// finish, every ingest batch acknowledged with 202 is applied, and a
+// durable server takes a final checkpoint before exit.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // multiFlag collects repeated -create flags.
@@ -47,6 +59,9 @@ func main() {
 		queue   = flag.Int("queue-depth", 256, "async ingest queue depth (batches)")
 		maxBody = flag.Int64("max-body-bytes", 32<<20, "request body size limit")
 		drain   = flag.Duration("shutdown-timeout", 10*time.Second, "connection drain deadline on shutdown")
+		dataDir = flag.String("data-dir", "", "durability directory: WAL + checkpoints (empty = in-memory only)")
+		fsync   = flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
+		ckptInt = flag.Duration("checkpoint-interval", time.Minute, "periodic checkpoint interval (0 disables; drain always checkpoints)")
 		creates multiFlag
 	)
 	flag.Var(&creates, "create", "pre-create a sketch from a SketchConfig JSON object (repeatable)")
@@ -58,22 +73,57 @@ func main() {
 		QueueDepth:    *queue,
 		MaxBodyBytes:  *maxBody,
 	})
+
+	if *dataDir != "" {
+		policy, err := store.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("ussd: %v", err)
+		}
+		rebuilt, err := store.Rebuild(*dataDir)
+		if err != nil {
+			log.Fatalf("ussd: recover %s: %v", *dataDir, err)
+		}
+		st, err := store.Open(store.Options{Dir: *dataDir, Sync: policy})
+		if err != nil {
+			log.Fatalf("ussd: open store: %v", err)
+		}
+		if err := s.AttachStore(st, rebuilt, *ckptInt); err != nil {
+			log.Fatalf("ussd: attach store: %v", err)
+		}
+		log.Printf("ussd: durable in %s (fsync=%s): recovered %d sketches from checkpoint gen %d + %d log records (last LSN %d)",
+			*dataDir, policy, len(rebuilt.Sketches), rebuilt.Stats.CheckpointGen, rebuilt.Stats.Applied, rebuilt.Stats.LastLSN)
+		for _, warn := range rebuilt.Stats.Warnings {
+			log.Printf("ussd: recovery warning: %s", warn)
+		}
+		if rebuilt.Stats.TornTail {
+			log.Printf("ussd: recovery truncated a torn record at the log tail (crash artifact)")
+		}
+	}
+
 	for _, spec := range creates {
 		var cfg server.SketchConfig
 		if err := json.Unmarshal([]byte(spec), &cfg); err != nil {
 			log.Fatalf("ussd: -create %q: %v", spec, err)
 		}
-		if _, err := s.Registry().Create(cfg); err != nil {
+		switch err := s.CreateSketch(cfg); {
+		case err == nil:
+			log.Printf("ussd: created sketch %q (%s)", cfg.Name, cfg.Kind)
+		case errors.Is(err, server.ErrExists):
+			log.Printf("ussd: sketch %q already exists (recovered); keeping its state", cfg.Name)
+		default:
 			log.Fatalf("ussd: -create: %v", err)
 		}
-		log.Printf("ussd: created sketch %q (%s)", cfg.Name, cfg.Kind)
 	}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("ussd: %v", err)
+	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
-	go func() { errc <- s.ListenAndServe() }()
-	log.Printf("ussd: listening on %s", *addr)
+	go func() { errc <- s.Serve(ln) }()
+	log.Printf("ussd: listening on %s", ln.Addr())
 
 	select {
 	case sig := <-stop:

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -9,11 +10,16 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"os/exec"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	uss "repro"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // startServer runs a Server on a loopback listener and returns its base
@@ -185,6 +191,175 @@ func TestEndToEndPushMergeTopK(t *testing.T) {
 		if got := back.Estimate(b.Item); got != b.Count {
 			t.Fatalf("pulled estimate %q = %v, want %v", b.Item, got, b.Count)
 		}
+	}
+}
+
+// buildUssd compiles the real ussd binary for process-level tests.
+func buildUssd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ussd")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ussd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startUssd launches the binary and waits for its "listening on" line,
+// returning the process and base URL.
+func startUssd(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			t.Logf("ussd: %s", line)
+			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+				select {
+				case addrc <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		base := "http://" + addr
+		for i := 0; i < 100; i++ {
+			if resp, err := http.Get(base + "/healthz"); err == nil {
+				resp.Body.Close()
+				return cmd, base
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Fatalf("ussd at %s never became healthy", base)
+	case <-time.After(10 * time.Second):
+		t.Fatal("ussd never logged its listen address")
+	}
+	return nil, ""
+}
+
+// TestKillDashNineRecovery is the durability acceptance scenario against
+// the real binary: sync-ingest rows and push a snapshot with -fsync
+// always, SIGKILL the process mid-flight, restart on the same data dir,
+// and require the recovered top-k to match both the pre-kill answers and
+// an in-process replay of the same WAL records, bit for bit.
+func TestKillDashNineRecovery(t *testing.T) {
+	bin := buildUssd(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	args := []string{"-data-dir", dataDir, "-fsync", "always", "-checkpoint-interval", "0",
+		"-create", `{"name":"agg","kind":"weighted","bins":1024,"seed":21}`,
+		"-create", `{"name":"clicks","kind":"unit","bins":128,"seed":22}`,
+	}
+	cmd, base := startUssd(t, bin, args...)
+
+	// Acknowledged synchronous ingest: on disk before the 200.
+	var rows strings.Builder
+	for i := 0; i < 900; i++ {
+		fmt.Fprintf(&rows, "click-%03d\n", i%57)
+	}
+	mustPost(t, base+"/v1/sketches/clicks/ingest?sync=1", "text/plain", []byte(rows.String()))
+
+	// Acknowledged snapshot push: on disk before the 200.
+	agent := uss.New(256, uss.WithSeed(77))
+	for i := 0; i < 5000; i++ {
+		agent.Update(fmt.Sprintf("pushed-%04d", i%111))
+	}
+	blob, err := agent.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPost(t, base+"/v1/sketches/agg/snapshot", "application/octet-stream", blob)
+
+	var preKill, preKillAgg struct {
+		Items []struct {
+			Item  string  `json:"item"`
+			Count float64 `json:"count"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(mustGet(t, base+"/v1/sketches/clicks/topk?k=20"), &preKill); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mustGet(t, base+"/v1/sketches/agg/topk?k=20"), &preKillAgg); err != nil {
+		t.Fatal(err)
+	}
+
+	// kill -9: no drain, no checkpoint, no goodbye.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// In-process replay of the same records — the ground truth the
+	// recovered server must match bit for bit.
+	replay, err := store.Rebuild(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayTopK := replay.Sketches["clicks"].Unit.TopK(20)
+	replayAggTopK := replay.Sketches["agg"].Weighted.TopK(20)
+
+	cmd2, base2 := startUssd(t, bin, args...)
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+	var got, gotAgg struct {
+		Items []struct {
+			Item  string  `json:"item"`
+			Count float64 `json:"count"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(mustGet(t, base2+"/v1/sketches/clicks/topk?k=20"), &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mustGet(t, base2+"/v1/sketches/agg/topk?k=20"), &gotAgg); err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string, got []struct {
+		Item  string  `json:"item"`
+		Count float64 `json:"count"`
+	}, pre []struct {
+		Item  string  `json:"item"`
+		Count float64 `json:"count"`
+	}, replay []uss.Bin) {
+		t.Helper()
+		if len(got) != len(pre) || len(got) != len(replay) {
+			t.Fatalf("%s: top-k sizes diverge: got %d, pre-kill %d, replay %d", label, len(got), len(pre), len(replay))
+		}
+		for i := range got {
+			if got[i] != pre[i] {
+				t.Fatalf("%s[%d]: recovered (%q, %v) != pre-kill (%q, %v)",
+					label, i, got[i].Item, got[i].Count, pre[i].Item, pre[i].Count)
+			}
+			if got[i].Item != replay[i].Item || got[i].Count != replay[i].Count {
+				t.Fatalf("%s[%d]: recovered (%q, %v) != in-process replay (%q, %v)",
+					label, i, got[i].Item, got[i].Count, replay[i].Item, replay[i].Count)
+			}
+		}
+	}
+	check("clicks", got.Items, preKill.Items, replayTopK)
+	check("agg", gotAgg.Items, preKillAgg.Items, replayAggTopK)
+
+	// Row counters and totals survived too.
+	var info struct {
+		Rows  int64   `json:"rows"`
+		Total float64 `json:"total"`
+	}
+	if err := json.Unmarshal(mustGet(t, base2+"/v1/sketches/clicks"), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Rows != 900 || info.Total != 900 {
+		t.Fatalf("recovered clicks rows=%d total=%v, want 900", info.Rows, info.Total)
 	}
 }
 

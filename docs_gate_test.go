@@ -30,6 +30,7 @@ var docsGatePackages = []string{
 	"internal/rollup",
 	"internal/wire",
 	"internal/server",
+	"internal/store",
 	"internal/hierarchy",
 	"internal/hashx",
 }

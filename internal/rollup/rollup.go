@@ -281,6 +281,29 @@ func (r *Rollup) Windows() []int64 {
 // DroppedRows returns how many rows arrived for already-evicted windows.
 func (r *Rollup) DroppedRows() int64 { return r.dropped }
 
+// RestoreWindow loads one window's serialized bin state — the durability
+// restore path. start must be window-aligned and not already retained;
+// the window's sketch is rebuilt directly from the bins (core.RestoreUnit
+// semantics: integral counts, rows must equal the bin mass, no randomness
+// drawn). A restored window past the retention horizon is evicted
+// immediately, like a live row for it would be.
+func (r *Rollup) RestoreWindow(start int64, bins []core.Bin, rows int64) error {
+	if got := r.windowStart(start); got != start {
+		return fmt.Errorf("rollup: restore window start %d is not aligned (window start %d)", start, got)
+	}
+	if _, exists := r.byStart[start]; exists {
+		return fmt.Errorf("rollup: restore window %d already exists", start)
+	}
+	w := &window{start: start, sk: core.New(r.cfg.Bins, core.Unbiased, r.rng)}
+	if err := core.RestoreUnit(w.sk, bins, rows); err != nil {
+		return fmt.Errorf("rollup: restore window %d: %w", start, err)
+	}
+	r.byStart[start] = w
+	r.insert(w)
+	r.evict()
+	return nil
+}
+
 // Window returns the sketch for the window containing at, or nil.
 func (r *Rollup) Window(at int64) *core.Sketch {
 	w, ok := r.byStart[r.windowStart(at)]

@@ -76,7 +76,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode config: %w", err))
 		return
 	}
-	e, err := s.reg.Create(cfg)
+	e, err := s.createSketch(cfg)
 	if err != nil {
 		writeError(w, http.StatusConflict, err)
 		return
@@ -102,7 +102,12 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.reg.Delete(r.PathValue("name")) {
+	ok, err := s.deleteSketch(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no sketch %q", r.PathValue("name")))
 		return
 	}
@@ -141,8 +146,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.batchesQueued.Add(1)
-	if r.URL.Query().Get("sync") != "" {
-		s.applyBatch(e, b)
+	sync := r.URL.Query().Get("sync") != ""
+	if s.dur != nil {
+		s.ingestDurable(w, e, b, n, sync)
+		return
+	}
+	if sync {
+		s.applyBatch(e, b, 0)
 		putBatch(b)
 		writeJSON(w, http.StatusOK, map[string]any{"rows": n})
 		return
@@ -150,8 +160,50 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !s.enqueue(ingestJob{e: e, b: b}) {
 		// Shutting down: the queue is closed, apply inline rather than
 		// dropping accepted rows.
-		s.applyBatch(e, b)
+		s.applyBatch(e, b, 0)
 		putBatch(b)
+		writeJSON(w, http.StatusOK, map[string]any{"rows": n})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"rows": n, "queued": true})
+}
+
+// ingestDurable is the write-ahead ingest path: the batch's WAL record
+// and its queue slot are claimed in one walMu critical section (so the
+// entry's worker sees jobs in LSN order), and nothing is acknowledged
+// before the append — under -fsync always an acknowledged batch is on
+// disk. Sync callers wait for the worker to apply instead of applying
+// inline, which would break per-entry ordering.
+func (s *Server) ingestDurable(w http.ResponseWriter, e *entry, b *ingestBatch, n int, sync bool) {
+	var done chan applyResult
+	if sync {
+		done = make(chan applyResult, 1)
+	}
+	s.dur.walMu.Lock()
+	lsn, err := s.appendIngestWAL(e, b)
+	if err != nil {
+		s.dur.walMu.Unlock()
+		putBatch(b)
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("wal append: %w", err))
+		return
+	}
+	e.appendedLSN.Store(lsn)
+	queued := s.enqueue(ingestJob{e: e, b: b, lsn: lsn, done: done})
+	s.dur.walMu.Unlock()
+	if !queued {
+		// Shutting down after the drain deadline: the queues are closed.
+		// Applying inline here would race the entry's worker and could
+		// invert per-entry LSN order — the one invariant checkpoints
+		// stand on — so refuse instead. The record is already on the
+		// log above the entry's watermark, so the drain checkpoint's
+		// cutoff spares it and the next boot replays it: a 503 here
+		// still means at-least-once, never loss.
+		putBatch(b)
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("shutting down; batch is logged and will apply on restart"))
+		return
+	}
+	if sync {
+		<-done
 		writeJSON(w, http.StatusOK, map[string]any{"rows": n})
 		return
 	}
@@ -255,26 +307,41 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	m := e.cfg.Bins
-	e.mu.Lock()
-	merged := uss.MergeBins(m, red, e.weighted.Bins(), pushed)
-	nw, err := uss.NewWeightedFromBins(m, merged, e.cfg.options()...)
-	if err != nil {
-		e.mu.Unlock()
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("load merged bins: %w", err))
+	var res applyResult
+	if s.dur != nil {
+		// Write-ahead: log the validated snapshot and its reduction,
+		// then apply on the entry's worker in LSN order.
+		done := make(chan applyResult, 1)
+		s.dur.walMu.Lock()
+		lsn, err := s.dur.st.AppendSnapshot(e.cfg.Name, byte(red), b.buf)
+		if err != nil {
+			s.dur.walMu.Unlock()
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("wal append: %w", err))
+			return
+		}
+		e.appendedLSN.Store(lsn)
+		queued := s.enqueue(ingestJob{e: e, push: pushed, red: red, lsn: lsn, done: done})
+		s.dur.walMu.Unlock()
+		if !queued {
+			// See ingestDurable: applying inline post-drain could invert
+			// per-entry LSN order; the logged record replays on restart.
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("shutting down; snapshot is logged and will merge on restart"))
+			return
+		}
+		res = <-done
+	} else {
+		res = s.applyPush(e, pushed, red, 0)
+	}
+	if res.err != nil {
+		writeError(w, http.StatusInternalServerError, res.err)
 		return
 	}
-	e.weighted = nw
-	e.qe, e.prep = nil, nil // engines are bound to the replaced sketch
-	size, total := nw.Size(), nw.Total()
-	e.mu.Unlock()
-	e.pushes.Add(1)
-	s.met.snapshotsIn.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"merged_bins": len(pushed),
-		"size":        size,
-		"capacity":    m,
-		"total":       total,
+		"size":        res.size,
+		"capacity":    e.cfg.Bins,
+		"total":       res.total,
 	})
 }
 

@@ -24,6 +24,9 @@ type metrics struct {
 	snapshotsOut   atomic.Int64 // pull responses served
 	queriesServed  atomic.Int64 // query/topk/estimate/sum/range requests
 	ingestRejected atomic.Int64 // ingest requests refused (parse, size, kind)
+
+	checkpoints      atomic.Int64 // durable checkpoints committed
+	checkpointErrors atomic.Int64 // background checkpoint failures
 }
 
 // countStatus buckets one response code.
@@ -84,6 +87,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("ussd_snapshots_pulled_total %d\n", m.snapshotsOut.Load())
 	p("# TYPE ussd_queries_total counter\n")
 	p("ussd_queries_total %d\n", m.queriesServed.Load())
+
+	if d := s.dur; d != nil {
+		sm := d.st.Metrics()
+		p("# TYPE ussd_wal_appends_total counter\n")
+		p("ussd_wal_appends_total %d\n", sm.Appends.Load())
+		p("# TYPE ussd_wal_bytes_total counter\n")
+		p("ussd_wal_bytes_total %d\n", sm.Bytes.Load())
+		p("# TYPE ussd_wal_fsyncs_total counter\n")
+		p("ussd_wal_fsyncs_total %d\n", sm.Syncs.Load())
+		p("# TYPE ussd_wal_rotations_total counter\n")
+		p("ussd_wal_rotations_total %d\n", sm.Rotations.Load())
+		p("# TYPE ussd_wal_last_lsn gauge\n")
+		p("ussd_wal_last_lsn %d\n", d.st.LastLSN())
+		p("# TYPE ussd_checkpoints_total counter\n")
+		p("ussd_checkpoints_total %d\n", m.checkpoints.Load())
+		p("# TYPE ussd_checkpoint_errors_total counter\n")
+		p("ussd_checkpoint_errors_total %d\n", m.checkpointErrors.Load())
+	}
 
 	entries := s.reg.List()
 	p("# TYPE ussd_sketches gauge\n")

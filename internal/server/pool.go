@@ -22,6 +22,16 @@ type ingestBatch struct {
 
 var ingestPool = sync.Pool{New: func() any { return new(ingestBatch) }}
 
+// Pool retention high-water marks: a batch whose buffers grew past these
+// caps is dropped on put instead of pooled, so one giant request — a
+// 32 MiB snapshot push, a bulk backfill — cannot pin its buffers in the
+// pool for the rest of the process's life. Steady ingest traffic sits
+// far below both marks and keeps its zero-allocation reuse.
+const (
+	maxPooledBufBytes = 1 << 20 // raw body buffer cap, bytes
+	maxPooledRows     = 1 << 16 // parsed column caps, rows
+)
+
 // getBatch checks a reset batch out of the pool.
 func getBatch() *ingestBatch {
 	b := ingestPool.Get().(*ingestBatch)
@@ -32,9 +42,23 @@ func getBatch() *ingestBatch {
 	return b
 }
 
-// putBatch returns a batch to the pool. The item strings handed to the
-// sketch stay alive; only the slice headers are reused.
-func putBatch(b *ingestBatch) { ingestPool.Put(b) }
+// poolable reports whether the batch's buffers are under the retention
+// high-water marks.
+func (b *ingestBatch) poolable() bool {
+	return cap(b.buf) <= maxPooledBufBytes && cap(b.items) <= maxPooledRows &&
+		cap(b.ws) <= maxPooledRows && cap(b.ats) <= maxPooledRows
+}
+
+// putBatch returns a batch to the pool, unless its buffers outgrew the
+// high-water marks — those are dropped for the GC. The item strings
+// handed to the sketch stay alive either way; only the slice headers are
+// reused.
+func putBatch(b *ingestBatch) {
+	if !b.poolable() {
+		return
+	}
+	ingestPool.Put(b)
+}
 
 // readBody reads r into the batch's pooled buffer, rejecting bodies over
 // limit bytes.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,11 @@ import (
 
 	uss "repro"
 )
+
+// ErrExists reports a create for a name the registry already holds —
+// including names restored by durable recovery. Detect it with
+// errors.Is.
+var ErrExists = errors.New("sketch already exists")
 
 // Kind names a sketch flavour the registry can host.
 type Kind string
@@ -120,6 +126,21 @@ type entry struct {
 	rows    atomic.Int64 // rows applied (ingest)
 	pushes  atomic.Int64 // snapshots merged in
 	dropped atomic.Int64 // rollup rows past the retention horizon
+
+	// appliedLSN is the durable-mode watermark: the highest WAL record
+	// applied to this entry's sketch. Because a durable server routes an
+	// entry's mutations to one worker in LSN order, the sketch state
+	// holds exactly the records at or below it — the invariant
+	// checkpoints and recovery are built on. Written under mu; read
+	// atomically by the checkpointer (also under mu) and metrics.
+	appliedLSN atomic.Uint64
+	// appendedLSN is the highest WAL record appended for this entry
+	// (written under the durability walMu at append time). When it
+	// equals appliedLSN the entry has nothing in flight, which lets a
+	// checkpoint advance the entry's replay gate to the checkpoint's
+	// base LSN — otherwise an idle sketch would pin the truncation
+	// cutoff at its last write forever.
+	appendedLSN atomic.Uint64
 }
 
 // newEntry constructs the sketch for a validated config.
@@ -184,10 +205,22 @@ func (r *Registry) Create(cfg SketchConfig) (*entry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, taken := r.entries[cfg.Name]; taken {
-		return nil, fmt.Errorf("sketch %q already exists", cfg.Name)
+		return nil, fmt.Errorf("sketch %q: %w", cfg.Name, ErrExists)
 	}
 	r.entries[cfg.Name] = e
 	return e, nil
+}
+
+// adopt registers an already-built entry — the recovery path, which
+// restores sketch state instead of constructing it fresh.
+func (r *Registry) adopt(e *entry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, taken := r.entries[e.cfg.Name]; taken {
+		return fmt.Errorf("sketch %q: %w", e.cfg.Name, ErrExists)
+	}
+	r.entries[e.cfg.Name] = e
+	return nil
 }
 
 // Get fetches an entry by name.

@@ -56,6 +56,9 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	uss "repro"
+	"repro/internal/hashx"
 )
 
 // Config parameterizes a Server.
@@ -87,10 +90,26 @@ func (c *Config) defaults() {
 	}
 }
 
-// ingestJob is one queued batch bound for one entry.
+// ingestJob is one queued unit of sketch work bound for one entry:
+// either a decoded ingest batch (b non-nil) or a decoded snapshot push
+// (push non-nil). lsn is the job's WAL record on a durable server (0
+// otherwise); done, when non-nil, receives the apply's result so sync
+// callers can wait without applying inline (durable mode applies
+// everything on the entry's worker to keep per-entry LSN order).
 type ingestJob struct {
-	e *entry
-	b *ingestBatch
+	e    *entry
+	b    *ingestBatch
+	push []uss.Bin
+	red  uss.Reduction
+	lsn  uint64
+	done chan applyResult
+}
+
+// applyResult reports one applied job back to a waiting handler.
+type applyResult struct {
+	size  int
+	total float64
+	err   error
 }
 
 // Server is one ussd instance: registry, router, metrics and the async
@@ -110,10 +129,17 @@ type Server struct {
 	lnMu sync.Mutex
 	ln   net.Listener
 
-	jobs    chan ingestJob
+	// jobs is one queue per ingest worker; an entry's jobs always land
+	// on the same queue (by name hash), so each entry has a single
+	// applier and sees its jobs in enqueue order — the ordering durable
+	// mode's applied-LSN watermark relies on.
+	jobs    []chan ingestJob
 	workers sync.WaitGroup
 	qmu     sync.RWMutex
 	closed  bool
+
+	// dur is the durability harness, nil unless AttachStore was called.
+	dur *durableState
 }
 
 // New builds a Server and starts its ingest workers. Callers must
@@ -125,13 +151,20 @@ func New(cfg Config) *Server {
 		reg:  NewRegistry(),
 		met:  &metrics{start: time.Now()},
 		mux:  http.NewServeMux(),
-		jobs: make(chan ingestJob, cfg.QueueDepth),
+		jobs: make([]chan ingestJob, cfg.IngestWorkers),
+	}
+	depth := cfg.QueueDepth / cfg.IngestWorkers
+	if depth < 1 {
+		depth = 1
+	}
+	for i := range s.jobs {
+		s.jobs[i] = make(chan ingestJob, depth)
 	}
 	s.routes()
 	s.hs = &http.Server{Handler: s.Handler()}
 	s.workers.Add(cfg.IngestWorkers)
 	for i := 0; i < cfg.IngestWorkers; i++ {
-		go s.ingestWorker()
+		go s.ingestWorker(i)
 	}
 	return s
 }
@@ -178,24 +211,49 @@ func (s *Server) Addr() string {
 }
 
 // Shutdown stops accepting requests, waits for in-flight handlers, then
-// drains the async ingest queue so every batch acknowledged with 202 is
-// applied before it returns. ctx bounds only the HTTP connection drain;
-// queued sketch work always completes.
+// drains the async ingest queues so every batch acknowledged with 202 is
+// applied before it returns. On a durable server the drain is followed
+// by a final checkpoint — the SIGTERM checkpoint-on-drain — and the
+// store is closed. ctx bounds only the HTTP connection drain; queued
+// sketch work always completes.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.hs.Shutdown(ctx)
+	first := false
 	s.qmu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.jobs)
+		first = true
+		for _, q := range s.jobs {
+			close(q)
+		}
 	}
 	s.qmu.Unlock()
 	s.workers.Wait()
+	if d := s.dur; d != nil && first {
+		if d.every > 0 {
+			close(d.stop)
+			d.wg.Wait()
+		}
+		cerr := s.Checkpoint() // checkpoint-on-drain: the clean-exit baseline
+		s.dur = nil
+		if serr := d.st.Close(); cerr == nil {
+			cerr = serr
+		}
+		if err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
-// enqueue hands a batch to the worker pool, blocking for backpressure
-// when the queue is full. It reports false when the server is shutting
-// down, in which case the caller applies the batch inline.
+// queueFor routes an entry to its worker queue by name hash.
+func (s *Server) queueFor(e *entry) chan ingestJob {
+	return s.jobs[int(hashx.Sum32a(e.cfg.Name)%uint32(len(s.jobs)))]
+}
+
+// enqueue hands a job to its entry's worker, blocking for backpressure
+// when that queue is full. It reports false when the server is shutting
+// down, in which case the caller applies the job inline.
 func (s *Server) enqueue(j ingestJob) bool {
 	s.qmu.RLock()
 	defer s.qmu.RUnlock()
@@ -203,30 +261,68 @@ func (s *Server) enqueue(j ingestJob) bool {
 		return false
 	}
 	s.met.queueDepth.Add(1)
-	s.jobs <- j
+	s.queueFor(j.e) <- j
 	return true
 }
 
-// ingestWorker applies queued batches until the queue closes.
-func (s *Server) ingestWorker() {
+// ingestWorker applies its queue's jobs until the queue closes.
+func (s *Server) ingestWorker(i int) {
 	defer s.workers.Done()
-	for j := range s.jobs {
+	for j := range s.jobs[i] {
 		s.met.queueDepth.Add(-1)
-		s.applyBatch(j.e, j.b)
-		putBatch(j.b)
+		if j.b != nil {
+			s.applyBatch(j.e, j.b, j.lsn)
+			if j.done != nil {
+				j.done <- applyResult{}
+			}
+			putBatch(j.b)
+			continue
+		}
+		j.done <- s.applyPush(j.e, j.push, j.red, j.lsn)
 	}
 }
 
 // applyBatch routes one decoded batch into its entry's sketch, taking the
 // entry lock for the single-writer kinds and going straight to the
-// internally synchronized batched path for sharded entries.
-func (s *Server) applyBatch(e *entry, b *ingestBatch) {
+// internally synchronized batched path for sharded entries — except in
+// durable mode (lsn > 0), where sharded applies also take the entry lock
+// so the applied-LSN watermark and checkpoint encoding see one
+// consistent state. The row/dropped counters advance inside the same
+// locked region as the watermark: a checkpoint reading (appliedLSN,
+// rows) under e.mu must see a batch in both or in neither, or recovery
+// would gate the batch's record out while its rows are missing from the
+// persisted counter. This mirrors the per-kind replay in
+// internal/store's rebuild (RebuiltSketch.applyIngest) — the two must
+// stay in lockstep for recovery to be bit-identical, which
+// TestKillDashNineRecovery pins.
+//
+// Sketch-update semantics are identical with and without the lock; the
+// non-durable sharded path skips it so concurrent batches keep flowing
+// through UpdateBatch's per-shard locking.
+func (s *Server) applyBatch(e *entry, b *ingestBatch, lsn uint64) {
+	rows := int64(len(b.items))
+	finish := func(dropped int64) { // caller holds e.mu (or is lock-free sharded)
+		e.rows.Add(rows)
+		e.dropped.Add(dropped)
+		if lsn > 0 {
+			e.appliedLSN.Store(lsn)
+		}
+	}
 	switch e.cfg.Kind {
 	case KindSharded:
-		e.sharded.UpdateBatch(b.items)
+		if lsn > 0 {
+			e.mu.Lock()
+			e.sharded.UpdateBatch(b.items)
+			finish(0)
+			e.mu.Unlock()
+		} else {
+			e.sharded.UpdateBatch(b.items)
+			finish(0)
+		}
 	case KindUnit:
 		e.mu.Lock()
 		e.unit.UpdateAll(b.items)
+		finish(0)
 		e.mu.Unlock()
 	case KindWeighted:
 		e.mu.Lock()
@@ -237,6 +333,7 @@ func (s *Server) applyBatch(e *entry, b *ingestBatch) {
 			}
 			e.weighted.Update(it, w)
 		}
+		finish(0)
 		e.mu.Unlock()
 	case KindRollup:
 		var dropped int64
@@ -246,11 +343,10 @@ func (s *Server) applyBatch(e *entry, b *ingestBatch) {
 				dropped++
 			}
 		}
+		finish(dropped)
 		e.mu.Unlock()
-		e.dropped.Add(dropped)
 	}
-	e.rows.Add(int64(len(b.items)))
-	s.met.rowsIngested.Add(int64(len(b.items)))
+	s.met.rowsIngested.Add(rows)
 }
 
 // routes wires the endpoint table. Method-qualified patterns need the

@@ -182,6 +182,73 @@ func TestCreateIngestQueryLifecycle(t *testing.T) {
 	}
 }
 
+// TestListSketches covers GET /v1/sketches: every tenant enumerated
+// with its name, kind and row count, sorted by name, without any
+// out-of-band bookkeeping.
+func TestListSketches(t *testing.T) {
+	_, ts := testServer(t)
+	create(t, ts, SketchConfig{Name: "zeta", Kind: KindUnit, Bins: 16, Seed: 1})
+	create(t, ts, SketchConfig{Name: "alpha", Kind: KindSharded, Bins: 32, Shards: 2, Seed: 2})
+	create(t, ts, SketchConfig{Name: "mid", Kind: KindRollup, Bins: 16, WindowLength: 10, Seed: 3})
+
+	resp, err := http.Post(ts.URL+"/v1/sketches/zeta/ingest?sync=1", "text/plain", strings.NewReader("a\nb\nc\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var listed struct {
+		Sketches []sketchInfo `json:"sketches"`
+	}
+	doJSON(t, "GET", ts.URL+"/v1/sketches", nil, &listed)
+	if len(listed.Sketches) != 3 {
+		t.Fatalf("listed %d sketches, want 3", len(listed.Sketches))
+	}
+	wantOrder := []string{"alpha", "mid", "zeta"}
+	wantKind := map[string]Kind{"alpha": KindSharded, "mid": KindRollup, "zeta": KindUnit}
+	for i, info := range listed.Sketches {
+		if info.Name != wantOrder[i] {
+			t.Errorf("list[%d] = %q, want %q (sorted)", i, info.Name, wantOrder[i])
+		}
+		if info.Kind != wantKind[info.Name] {
+			t.Errorf("list %q kind = %q, want %q", info.Name, info.Kind, wantKind[info.Name])
+		}
+	}
+	if listed.Sketches[2].Rows != 3 {
+		t.Errorf("zeta rows = %d, want 3", listed.Sketches[2].Rows)
+	}
+	if listed.Sketches[0].Capacity != 64 {
+		t.Errorf("alpha capacity = %d, want 64", listed.Sketches[0].Capacity)
+	}
+}
+
+// TestBatchPoolHighWaterMark pins the pooled-buffer retention bound:
+// batches whose buffers outgrew the high-water marks are dropped instead
+// of pooled, so one giant snapshot cannot pin memory forever.
+func TestBatchPoolHighWaterMark(t *testing.T) {
+	small := getBatch()
+	small.buf = append(small.buf, make([]byte, 4096)...)
+	small.items = append(small.items, "x")
+	if !small.poolable() {
+		t.Fatal("small batch rejected from the pool")
+	}
+
+	big := getBatch()
+	big.buf = append(big.buf, make([]byte, maxPooledBufBytes+1)...)
+	if big.poolable() {
+		t.Fatal("oversized body buffer accepted into the pool")
+	}
+
+	wide := getBatch()
+	wide.items = append(wide.items, make([]string, maxPooledRows+1)...)
+	if wide.poolable() {
+		t.Fatal("oversized item column accepted into the pool")
+	}
+	putBatch(small)
+	putBatch(big)
+	putBatch(wide)
+}
+
 func TestAsyncIngestDrainsOnShutdown(t *testing.T) {
 	s := New(Config{IngestWorkers: 2, QueueDepth: 4})
 	ts := httptest.NewServer(s.Handler())

@@ -1,0 +1,70 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// benchItems builds one ingest batch's item column.
+func benchItems(rows int) []string {
+	items := make([]string, rows)
+	for i := range items {
+		items[i] = fmt.Sprintf("item-%06d", i%997)
+	}
+	return items
+}
+
+// BenchmarkWALAppend measures the append path (SyncNever: the encode +
+// write cost without the device's fsync latency).
+func BenchmarkWALAppend(b *testing.B) {
+	for _, rows := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			st, err := Open(Options{Dir: b.TempDir(), Sync: SyncNever})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			items := benchItems(rows)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.AppendIngest("bench", items, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(rows))
+		})
+	}
+}
+
+// BenchmarkRebuild measures recovery replay time against log size.
+func BenchmarkRebuild(b *testing.B) {
+	for _, batches := range []int{16, 128} {
+		b.Run(fmt.Sprintf("batches=%d", batches), func(b *testing.B) {
+			dir := b.TempDir()
+			st, err := Open(Options{Dir: dir, Sync: SyncNever})
+			if err != nil {
+				b.Fatal(err)
+			}
+			spec, _ := json.Marshal(SketchSpec{Name: "bench", Kind: "unit", Bins: 1024, Seed: 7})
+			if _, err := st.AppendCreate(spec); err != nil {
+				b.Fatal(err)
+			}
+			items := benchItems(512)
+			for i := 0; i < batches; i++ {
+				if _, err := st.AppendIngest("bench", items, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Rebuild(dir); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

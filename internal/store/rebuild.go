@@ -1,0 +1,298 @@
+package store
+
+import (
+	"fmt"
+
+	uss "repro"
+)
+
+// RebuiltSketch is one sketch reconstructed by Rebuild: its spec, the
+// LSN its state reflects, served-row counters, and exactly one non-nil
+// sketch field matching Spec.Kind.
+type RebuiltSketch struct {
+	// Spec is the sketch's configuration.
+	Spec SketchSpec
+	// LSN is the last log record applied to this sketch.
+	LSN uint64
+	// Rows is the served-row counter (checkpoint value plus replayed
+	// rows).
+	Rows int64
+	// Dropped counts replayed rollup rows past the retention horizon.
+	Dropped int64
+	// Pushes counts replayed snapshot merges.
+	Pushes int64
+
+	// The reconstructed sketch; one field per kind.
+	Unit     *uss.Sketch
+	Weighted *uss.WeightedSketch
+	Sharded  *uss.ShardedSketch
+	Rollup   *uss.Rollup
+}
+
+// RecoverStats summarizes one recovery pass.
+type RecoverStats struct {
+	// CheckpointGen is the loaded checkpoint generation (0 = none).
+	CheckpointGen uint64
+	// Cutoff is the loaded checkpoint's truncation LSN.
+	Cutoff uint64
+	// Segments is the number of log segments seen.
+	Segments int
+	// LastLSN is the highest LSN found in the log.
+	LastLSN uint64
+	// Applied and Skipped count replayed records: Skipped records were
+	// already covered by the checkpoint (LSN at or below their sketch's
+	// gate) or targeted a missing sketch.
+	Applied, Skipped int
+	// TornTail reports whether replay stopped at damage (a torn tail
+	// after a crash, or mid-log corruption).
+	TornTail bool
+	// Warnings lists non-fatal oddities (unknown names, duplicate
+	// creates, undecodable snapshots), capped at a few dozen.
+	Warnings []string
+}
+
+// RebuildResult is Rebuild's output: every live sketch plus the stats.
+type RebuildResult struct {
+	// Sketches maps sketch name to its reconstructed state.
+	Sketches map[string]*RebuiltSketch
+	// Stats summarizes the pass.
+	Stats RecoverStats
+}
+
+const maxWarnings = 32
+
+func (st *RecoverStats) warnf(format string, args ...any) {
+	if len(st.Warnings) < maxWarnings {
+		st.Warnings = append(st.Warnings, fmt.Sprintf(format, args...))
+	}
+}
+
+// options renders a spec's seed as sketch construction options.
+func (sp *SketchSpec) options() []uss.Option {
+	if sp.Seed != 0 {
+		return []uss.Option{uss.WithSeed(sp.Seed)}
+	}
+	return nil
+}
+
+// newRebuilt constructs an empty sketch for a spec.
+func newRebuilt(sp SketchSpec) (*RebuiltSketch, error) {
+	if sp.Name == "" || sp.Bins <= 0 {
+		return nil, fmt.Errorf("store: bad spec %+v", sp)
+	}
+	rb := &RebuiltSketch{Spec: sp}
+	switch sp.Kind {
+	case "unit":
+		rb.Unit = uss.New(sp.Bins, sp.options()...)
+	case "weighted":
+		rb.Weighted = uss.NewWeighted(sp.Bins, sp.options()...)
+	case "sharded":
+		shards := sp.Shards
+		if shards == 0 {
+			shards = 8
+		}
+		rb.Sharded = uss.NewSharded(shards, sp.Bins, sp.options()...)
+	case "rollup":
+		r, err := uss.NewRollup(uss.RollupConfig{
+			Bins: sp.Bins, WindowLength: sp.WindowLength, Retain: sp.Retain, Seed: sp.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("store: sketch %q: %w", sp.Name, err)
+		}
+		rb.Rollup = r
+	default:
+		return nil, fmt.Errorf("store: sketch %q has unknown kind %q", sp.Name, sp.Kind)
+	}
+	return rb, nil
+}
+
+// restoreState loads a checkpoint state blob into an empty rebuilt
+// sketch.
+func (rb *RebuiltSketch) restoreState(state []byte) error {
+	switch {
+	case rb.Unit != nil:
+		return rb.Unit.UnmarshalBinary(state)
+	case rb.Weighted != nil:
+		return rb.Weighted.UnmarshalBinary(state)
+	case rb.Sharded != nil:
+		return rb.Sharded.RestoreShards(state)
+	case rb.Rollup != nil:
+		return rb.Rollup.RestoreWindows(state)
+	}
+	return fmt.Errorf("store: restore into unconstructed sketch")
+}
+
+// applyIngest replays one ingest batch through the same per-kind update
+// paths the live server uses. This mirrors internal/server's applyBatch
+// (minus its locking and metrics) — the two dispatches must stay in
+// lockstep or recovery stops being bit-identical to live ingest; the
+// cross-process TestKillDashNineRecovery in cmd/ussd pins the pair.
+func (rb *RebuiltSketch) applyIngest(items []string, ws []float64, ats []int64) {
+	switch {
+	case rb.Unit != nil:
+		rb.Unit.UpdateAll(items)
+	case rb.Weighted != nil:
+		for i, it := range items {
+			w := 1.0
+			if i < len(ws) {
+				w = ws[i]
+			}
+			rb.Weighted.Update(it, w)
+		}
+	case rb.Sharded != nil:
+		rb.Sharded.UpdateBatch(items)
+	case rb.Rollup != nil:
+		for i, it := range items {
+			var at int64
+			if i < len(ats) {
+				at = ats[i]
+			}
+			if !rb.Rollup.Update(it, at) {
+				rb.Dropped++
+			}
+		}
+	}
+	rb.Rows += int64(len(items))
+}
+
+// applySnapshot replays one pushed snapshot through the DecodeBins →
+// MergeBins fast path, exactly as the live push handler does (the
+// lockstep twin of internal/server's applyPush — keep them identical).
+func (rb *RebuiltSketch) applySnapshot(red uss.Reduction, blob []byte) error {
+	if rb.Weighted == nil {
+		return fmt.Errorf("snapshot pushed into non-weighted sketch %q", rb.Spec.Name)
+	}
+	pushed, err := uss.DecodeBins(blob)
+	if err != nil {
+		return err
+	}
+	m := rb.Spec.Bins
+	merged := uss.MergeBins(m, red, rb.Weighted.Bins(), pushed)
+	nw, err := uss.NewWeightedFromBins(m, merged, rb.Spec.options()...)
+	if err != nil {
+		return err
+	}
+	rb.Weighted = nw
+	rb.Pushes++
+	return nil
+}
+
+// parseReduction validates a snapshot record's reduction byte.
+func parseReduction(b byte) (uss.Reduction, error) {
+	r := uss.Reduction(b)
+	switch r {
+	case uss.Pairwise, uss.Pivotal, uss.MisraGries:
+		return r, nil
+	default:
+		return 0, fmt.Errorf("unknown reduction byte %d", b)
+	}
+}
+
+// Rebuild reconstructs every sketch from dir's newest checkpoint plus
+// the log tail, read-only (nothing is truncated or written — safe on a
+// live or foreign data directory, though the result is then a snapshot
+// in time). Each sketch starts from its checkpoint state (when present)
+// and replays exactly the records with LSN above its checkpoint LSN, so
+// double-apply is impossible; records for unknown sketches or damaged
+// trailing log bytes are skipped and reported in Stats.
+func Rebuild(dir string) (*RebuildResult, error) {
+	res := &RebuildResult{Sketches: make(map[string]*RebuiltSketch)}
+	gate := make(map[string]uint64)
+
+	if gen := latestCheckpointGen(dir); gen != 0 {
+		man, err := loadManifest(dir, gen)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.CheckpointGen = gen
+		res.Stats.Cutoff = man.Cutoff
+		for i := range man.Sketches {
+			ms := &man.Sketches[i]
+			blob, err := loadCheckpointBlob(dir, gen, ms)
+			if err != nil {
+				return nil, err
+			}
+			rb, err := newRebuilt(ms.Spec)
+			if err != nil {
+				return nil, err
+			}
+			if err := rb.restoreState(blob); err != nil {
+				return nil, fmt.Errorf("store: restore %q from checkpoint: %w", ms.Spec.Name, err)
+			}
+			rb.LSN, rb.Rows, rb.Pushes, rb.Dropped = ms.LSN, ms.Rows, ms.Pushes, ms.Dropped
+			res.Sketches[ms.Spec.Name] = rb
+			gate[ms.Spec.Name] = ms.LSN
+		}
+	}
+
+	segs, lastLSN, err := scanLog(dir, func(rec *Record) error {
+		if rec.LSN <= gate[rec.Name] {
+			res.Stats.Skipped++
+			return nil
+		}
+		switch rec.Type {
+		case recCreate:
+			if _, taken := res.Sketches[rec.Name]; taken {
+				res.Stats.warnf("lsn %d: create %q: already exists, skipped", rec.LSN, rec.Name)
+				res.Stats.Skipped++
+				return nil
+			}
+			rb, err := newRebuilt(rec.Spec)
+			if err != nil {
+				res.Stats.warnf("lsn %d: create %q: %v", rec.LSN, rec.Name, err)
+				res.Stats.Skipped++
+				return nil
+			}
+			rb.LSN = rec.LSN
+			res.Sketches[rec.Name] = rb
+		case recDelete:
+			if _, ok := res.Sketches[rec.Name]; !ok {
+				res.Stats.warnf("lsn %d: delete %q: no such sketch", rec.LSN, rec.Name)
+				res.Stats.Skipped++
+				return nil
+			}
+			delete(res.Sketches, rec.Name)
+		case recIngest:
+			rb, ok := res.Sketches[rec.Name]
+			if !ok {
+				res.Stats.warnf("lsn %d: ingest into missing sketch %q", rec.LSN, rec.Name)
+				res.Stats.Skipped++
+				return nil
+			}
+			rb.applyIngest(rec.Items, rec.Weights, rec.Ats)
+			rb.LSN = rec.LSN
+		case recSnapshot:
+			rb, ok := res.Sketches[rec.Name]
+			if !ok {
+				res.Stats.warnf("lsn %d: snapshot push into missing sketch %q", rec.LSN, rec.Name)
+				res.Stats.Skipped++
+				return nil
+			}
+			red, err := parseReduction(rec.Reduction)
+			if err != nil {
+				res.Stats.warnf("lsn %d: snapshot push into %q: %v", rec.LSN, rec.Name, err)
+				res.Stats.Skipped++
+				return nil
+			}
+			if err := rb.applySnapshot(red, rec.Blob); err != nil {
+				res.Stats.warnf("lsn %d: snapshot push into %q: %v", rec.LSN, rec.Name, err)
+				res.Stats.Skipped++
+				return nil
+			}
+			rb.LSN = rec.LSN
+		}
+		res.Stats.Applied++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Segments = len(segs)
+	res.Stats.LastLSN = lastLSN
+	for i := range segs {
+		if segs[i].torn {
+			res.Stats.TornTail = true
+		}
+	}
+	return res, nil
+}

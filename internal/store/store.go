@@ -1,0 +1,385 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+// The three fsync policies. SyncAlways fsyncs before every append
+// returns — an acknowledged record survives power loss. SyncInterval
+// fsyncs on a timer (Options.SyncEvery), bounding loss to one interval.
+// SyncNever leaves flushing to the OS page cache.
+const (
+	SyncAlways SyncPolicy = iota
+	SyncInterval
+	SyncNever
+)
+
+// String renders the policy as its flag spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy parses the -fsync flag values always|interval|never.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+// Options parameterizes Open.
+type Options struct {
+	// Dir is the data directory (created if missing).
+	Dir string
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval flush period (default 100ms).
+	SyncEvery time.Duration
+	// SegmentBytes rotates the active segment past this size (default
+	// 64 MiB).
+	SegmentBytes int64
+}
+
+func (o *Options) defaults() {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+}
+
+// maxRetainedBuf is the encode buffer's high-water mark: one oversized
+// batch must not pin a giant buffer in the store forever.
+const maxRetainedBuf = 4 << 20
+
+// Metrics are the store's monotonic counters, safe to read concurrently.
+type Metrics struct {
+	// Appends counts records appended.
+	Appends atomic.Int64
+	// Bytes counts framed bytes written to the log.
+	Bytes atomic.Int64
+	// Syncs counts explicit fsyncs of the active segment.
+	Syncs atomic.Int64
+	// Rotations counts segment rotations.
+	Rotations atomic.Int64
+	// Checkpoints counts committed checkpoint generations.
+	Checkpoints atomic.Int64
+}
+
+// Store is the append side of the log: it owns the active segment and
+// the checkpoint directory. Appends are serialized internally; one Store
+// owns its data directory exclusively. Open recovers the torn tail of a
+// crashed log before appending continues.
+type Store struct {
+	opts Options
+	met  Metrics
+
+	mu       sync.Mutex
+	f        *os.File // active segment
+	fsize    int64
+	segFirst uint64 // first LSN of the active segment
+	segRecs  int    // records in the active segment
+	buf      []byte // reused frame encode buffer
+	cpGen    uint64 // last committed checkpoint generation
+	closed   bool
+
+	dirty    atomic.Bool // unsynced appends (SyncInterval)
+	loopDone chan struct{}
+	loopWG   sync.WaitGroup
+}
+
+// Open prepares dir for appending: it creates the directory layout if
+// missing, scans the existing log to find the next LSN, truncates a torn
+// record off the last segment (the expected crash artifact), and opens a
+// fresh or resumed active segment. Open does not replay state — use
+// Rebuild (offline) or the server's recovery for that, before appending.
+func Open(opts Options) (*Store, error) {
+	opts.defaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: Options.Dir is required")
+	}
+	if err := os.MkdirAll(walDir(opts.Dir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	segs, lastLSN, err := scanLog(opts.Dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{opts: opts, loopDone: make(chan struct{})}
+	s.cpGen = latestCheckpointGen(opts.Dir)
+
+	// Truncate the torn tail of the final segment so appends resume on a
+	// clean record boundary. Damage in earlier segments is left in place:
+	// replay already stops there, and rewriting history is not the append
+	// path's job.
+	if n := len(segs); n > 0 && segs[n-1].torn {
+		tail := segs[n-1]
+		if err := os.Truncate(tail.path, tail.validLen); err != nil {
+			return nil, fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+		if tail.validLen == 0 {
+			// Not even a magic header survived; rewrite it below by
+			// resuming into a fresh file at the same first LSN.
+			if err := os.Remove(tail.path); err != nil {
+				return nil, fmt.Errorf("store: drop empty torn segment: %w", err)
+			}
+			segs = segs[:n-1]
+			if lastLSN >= tail.firstLSN {
+				lastLSN = tail.firstLSN - 1
+			}
+		}
+	}
+
+	next := lastLSN + 1
+	if n := len(segs); n > 0 && !segs[n-1].torn && segs[n-1].size < opts.SegmentBytes {
+		// Resume appending into the last segment.
+		tail := segs[n-1]
+		f, err := os.OpenFile(tail.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("store: reopen segment: %w", err)
+		}
+		s.f, s.fsize, s.segFirst, s.segRecs = f, tail.validLen, tail.firstLSN, tail.records
+	} else if err := s.newSegment(next); err != nil {
+		return nil, err
+	}
+
+	if opts.Sync == SyncInterval {
+		s.loopWG.Add(1)
+		go s.syncLoop()
+	}
+	return s, nil
+}
+
+// newSegment rotates to a fresh segment whose first record will be lsn.
+// Caller holds mu (or is Open).
+func (s *Store) newSegment(lsn uint64) error {
+	if s.f != nil {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: sync rotated segment: %w", err)
+		}
+		if err := s.f.Close(); err != nil {
+			return fmt.Errorf("store: close rotated segment: %w", err)
+		}
+		s.met.Rotations.Add(1)
+	}
+	path := filepath.Join(walDir(s.opts.Dir), segName(lsn))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create segment: %w", err)
+	}
+	if _, err := f.Write(segMagic[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write segment header: %w", err)
+	}
+	if err := fsyncDir(walDir(s.opts.Dir)); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync wal dir: %w", err)
+	}
+	s.f, s.fsize, s.segFirst, s.segRecs = f, int64(len(segMagic)), lsn, 0
+	return nil
+}
+
+// append frames the payload staged in s.buf and writes it, returning the
+// record's LSN. Caller holds mu and has encoded the payload into
+// s.buf[frameOverhead:]; append patches the frame header in place so the
+// whole record is one Write.
+func (s *Store) append() (uint64, error) {
+	if s.closed {
+		return 0, fmt.Errorf("store: append to closed store")
+	}
+	lsn := s.segFirst + uint64(s.segRecs)
+	if s.fsize >= s.opts.SegmentBytes {
+		if err := s.newSegment(lsn); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := s.f.Write(s.buf); err != nil {
+		return 0, fmt.Errorf("store: append record: %w", err)
+	}
+	s.fsize += int64(len(s.buf))
+	s.segRecs++
+	s.met.Appends.Add(1)
+	s.met.Bytes.Add(int64(len(s.buf)))
+	switch s.opts.Sync {
+	case SyncAlways:
+		if err := s.f.Sync(); err != nil {
+			return 0, fmt.Errorf("store: fsync record: %w", err)
+		}
+		s.met.Syncs.Add(1)
+	case SyncInterval:
+		s.dirty.Store(true)
+	}
+	return lsn, nil
+}
+
+// stage resets the reused encode buffer, reserving the 8-byte frame
+// header as a placeholder, and returns it for payload appends. sealFrame
+// patches the header in once the payload is encoded, so each record is
+// staged and written without copying the payload twice.
+func (s *Store) stage() []byte {
+	if cap(s.buf) > maxRetainedBuf {
+		s.buf = nil
+	}
+	s.buf = append(s.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	return s.buf
+}
+
+// AppendCreate logs a sketch creation. cfg is the SketchSpec-shaped JSON
+// the sketch was created from.
+func (s *Store) AppendCreate(cfg []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	payload := append(s.stage(), recCreate)
+	payload = append(payload, cfg...)
+	s.sealFrame(payload)
+	return s.append()
+}
+
+// AppendDelete logs a sketch deletion.
+func (s *Store) AppendDelete(name string) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	payload := append(s.stage(), recDelete)
+	payload = append(payload, name...)
+	s.sealFrame(payload)
+	return s.append()
+}
+
+// AppendIngest logs one ingest batch for a sketch: the item column plus
+// optional weights and timestamps (pass nil for columns the kind does not
+// use). The encode reuses a store-owned buffer, so steady-state appends
+// stay allocation-free on the caller's side of the fsync.
+func (s *Store) AppendIngest(name string, items []string, ws []float64, ats []int64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	payload := appendIngestPayload(s.stage(), name, items, ws, ats)
+	s.sealFrame(payload)
+	return s.append()
+}
+
+// AppendSnapshot logs a pushed wire-v2 snapshot and the reduction it was
+// merged with.
+func (s *Store) AppendSnapshot(name string, reduction byte, blob []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	payload := append(s.stage(), recSnapshot)
+	payload = appendLenPrefixed(payload, name)
+	payload = append(payload, reduction)
+	payload = append(payload, blob...)
+	s.sealFrame(payload)
+	return s.append()
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.f == nil {
+		return nil
+	}
+	s.met.Syncs.Add(1)
+	return s.f.Sync()
+}
+
+// LastLSN returns the highest assigned LSN (0 when the log is empty).
+func (s *Store) LastLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.segFirst + uint64(s.segRecs) - 1
+}
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.opts.Dir }
+
+// Metrics returns the store's counters for scraping.
+func (s *Store) Metrics() *Metrics { return &s.met }
+
+// Close flushes and closes the active segment. The store is unusable
+// afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.opts.Sync == SyncInterval {
+		close(s.loopDone)
+		s.loopWG.Wait()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}
+
+// syncLoop is the SyncInterval flusher.
+func (s *Store) syncLoop() {
+	defer s.loopWG.Done()
+	t := time.NewTicker(s.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.loopDone:
+			return
+		case <-t.C:
+			if s.dirty.Swap(false) {
+				s.mu.Lock()
+				if !s.closed && s.f != nil {
+					s.f.Sync()
+					s.met.Syncs.Add(1)
+				}
+				s.mu.Unlock()
+			}
+		}
+	}
+}
+
+// sealFrame writes the length+CRC header into the placeholder stage
+// reserved, adopting buf as the staged record.
+func (s *Store) sealFrame(buf []byte) {
+	payload := buf[frameOverhead:]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	s.buf = buf
+}
+
+// appendLenPrefixed appends a uvarint-length-prefixed string.
+func appendLenPrefixed(dst []byte, v string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	return append(dst, v...)
+}

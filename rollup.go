@@ -1,7 +1,12 @@
 package uss
 
 import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
 	"repro/internal/rollup"
+	"repro/internal/wire"
 )
 
 // RollupConfig parameterizes a windowed rollup; see NewRollup.
@@ -77,3 +82,68 @@ func (r *Rollup) Windows() []int64 { return r.inner.Windows() }
 
 // DroppedRows counts rows that arrived for already-evicted windows.
 func (r *Rollup) DroppedRows() int64 { return r.inner.DroppedRows() }
+
+// AppendWindows appends every retained window's exact state to dst — a
+// varint window start followed by a wire-v2 frame of the window's bins,
+// in ascending window order — and returns the extended buffer. It is the
+// durability checkpoint encoding: RestoreWindows rebuilds a rollup with
+// identical per-window state, so range queries over the restored rollup
+// answer bit for bit. Like every Rollup method, not safe for concurrent
+// use with updates.
+func (r *Rollup) AppendWindows(dst []byte) ([]byte, error) {
+	var scratch []core.Bin
+	for _, start := range r.inner.Windows() {
+		sk := r.inner.Window(start)
+		scratch = sk.AppendBins(scratch[:0])
+		dst = binary.AppendVarint(dst, start)
+		var err error
+		dst, err = wire.AppendSnapshot(dst, wire.Header{
+			Capacity: sk.Capacity(),
+			Rows:     sk.Rows(),
+		}, scratch)
+		if err != nil {
+			return nil, fmt.Errorf("uss: encode rollup window %d: %w", start, err)
+		}
+	}
+	return dst, nil
+}
+
+// RestoreWindows loads an AppendWindows encoding into an empty rollup
+// (one with no retained windows). Window starts must align to the
+// rollup's window length and frame capacities must match its per-window
+// bin budget; windows past the configured retention are evicted exactly
+// as live rows for them would be.
+func (r *Rollup) RestoreWindows(data []byte) error {
+	if len(r.inner.Windows()) != 0 {
+		return fmt.Errorf("uss: restore windows into a non-empty rollup")
+	}
+	for len(data) > 0 {
+		start, w := binary.Varint(data)
+		if w <= 0 {
+			return fmt.Errorf("uss: restore windows: bad window start varint")
+		}
+		data = data[w:]
+		n, err := wire.FrameLen(data)
+		if err != nil {
+			return fmt.Errorf("uss: restore window %d: %w", start, err)
+		}
+		if n > len(data) {
+			return fmt.Errorf("uss: restore window %d: frame truncated (%d of %d bytes)", start, len(data), n)
+		}
+		h, bins, err := wire.Decode(data[:n])
+		if err != nil {
+			return fmt.Errorf("uss: restore window %d: %w", start, err)
+		}
+		if h.Weighted {
+			return fmt.Errorf("uss: restore window %d: weighted frame in a rollup checkpoint", start)
+		}
+		if h.Capacity != r.cfg.Bins {
+			return fmt.Errorf("uss: restore window %d: capacity %d, want %d", start, h.Capacity, r.cfg.Bins)
+		}
+		if err := r.inner.RestoreWindow(start, bins, h.Rows); err != nil {
+			return fmt.Errorf("uss: %w", err)
+		}
+		data = data[n:]
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/hashx"
 	"repro/internal/labelidx"
 	"repro/internal/query"
+	"repro/internal/wire"
 )
 
 // ShardedSketch ingests rows concurrently: items hash to one of S shards,
@@ -416,3 +417,67 @@ func (s *ShardedSketch) QueryEngine() *QueryEngine {
 
 // Shards returns the shard count.
 func (s *ShardedSketch) Shards() int { return len(s.shards) }
+
+// AppendShards appends every shard's exact state to dst as one wire-v2
+// frame per shard, in shard order, and returns the extended buffer —
+// the durability checkpoint encoding. Unlike Snapshot, nothing is merged
+// or reduced: RestoreShards rebuilds a sketch with identical per-shard
+// state, so item routing and every count round-trip bit for bit. Each
+// shard is encoded under its own lock; callers that need the frames to
+// be one consistent cut across shards must quiesce writers for the call.
+func (s *ShardedSketch) AppendShards(dst []byte) ([]byte, error) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		var err error
+		dst, err = sh.sk.AppendBinary(dst)
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("uss: encode shard %d: %w", i, err)
+		}
+	}
+	return dst, nil
+}
+
+// RestoreShards replaces every shard's state from an AppendShards
+// encoding. The frame count must match the shard count and each frame's
+// capacity must match the shard's bin budget — restoring into a sketch
+// with different geometry would silently re-route items. All frames are
+// decoded before any shard is touched, so a decode error leaves the
+// sketch unchanged. Safe for concurrent use; the cached merged snapshot
+// is invalidated.
+func (s *ShardedSketch) RestoreShards(data []byte) error {
+	restored := make([]*Sketch, 0, len(s.shards))
+	for len(data) > 0 {
+		n, err := wire.FrameLen(data)
+		if err != nil {
+			return fmt.Errorf("uss: restore shards: frame %d: %w", len(restored), err)
+		}
+		if n > len(data) {
+			return fmt.Errorf("uss: restore shards: frame %d truncated (%d of %d bytes)", len(restored), len(data), n)
+		}
+		if len(restored) >= len(s.shards) {
+			return fmt.Errorf("uss: restore shards: more frames than the %d shards", len(s.shards))
+		}
+		var sk Sketch
+		if err := sk.UnmarshalBinary(data[:n]); err != nil {
+			return fmt.Errorf("uss: restore shard %d: %w", len(restored), err)
+		}
+		if want := s.shards[len(restored)].sk.Capacity(); sk.Capacity() != want {
+			return fmt.Errorf("uss: restore shard %d: capacity %d, want %d", len(restored), sk.Capacity(), want)
+		}
+		restored = append(restored, &sk)
+		data = data[n:]
+	}
+	if len(restored) != len(s.shards) {
+		return fmt.Errorf("uss: restore shards: %d frames for %d shards", len(restored), len(s.shards))
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.sk = restored[i]
+		sh.version.Add(1)
+		sh.mu.Unlock()
+	}
+	return nil
+}
