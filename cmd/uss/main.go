@@ -12,6 +12,8 @@
 //	uss roundtrip -sketch old.sketch -out new.sketch
 //	uss wal inspect -dir /var/lib/ussd
 //	uss wal replay -dir /var/lib/ussd -top 10
+//	uss repl status -url http://127.0.0.1:8632
+//	uss repl promote -url http://follower:8633
 //
 // Rows are read one per line; -field selects a tab-separated column as the
 // item key (-1 uses the whole line).
@@ -56,6 +58,8 @@ func main() {
 		err = runRoundTrip(os.Args[2:])
 	case "wal":
 		err = runWAL(os.Args[2:])
+	case "repl":
+		err = runRepl(os.Args[2:])
 	default:
 		usage()
 	}
@@ -72,7 +76,9 @@ func usage() {
   uss merge -m <bins> [-reduction pairwise|pivotal|misra-gries] -out FILE IN...
   uss roundtrip -sketch FILE [-out FILE]
   uss wal inspect -dir DATADIR [-records]
-  uss wal replay -dir DATADIR [-top K] [-out-dir DIR]`)
+  uss wal replay -dir DATADIR [-top K] [-out-dir DIR]
+  uss repl status [-url URL]
+  uss repl promote -url URL`)
 	os.Exit(2)
 }
 

@@ -1,0 +1,77 @@
+package main
+
+// uss repl — operator commands against a running ussd's replication
+// endpoints: status prints a node's role, timeline and lag; promote
+// turns a follower into the primary (supervised failover).
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/replica"
+)
+
+// runRepl dispatches the repl subcommands.
+func runRepl(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("repl: need a subcommand: status or promote")
+	}
+	switch args[0] {
+	case "status":
+		return runReplStatus(args[1:])
+	case "promote":
+		return runReplPromote(args[1:])
+	default:
+		return fmt.Errorf("repl: unknown subcommand %q (want status or promote)", args[0])
+	}
+}
+
+func runReplStatus(args []string) error {
+	fs := flag.NewFlagSet("repl status", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8632", "ussd base URL")
+	timeout := fs.Duration("timeout", 5*time.Second, "request deadline")
+	fs.Parse(args)
+
+	cli := replica.NewClient(*url, *timeout)
+	st, err := cli.Status(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", *url)
+	fmt.Printf("  role        %s\n", st.Role)
+	fmt.Printf("  ready       %v\n", st.Ready)
+	fmt.Printf("  epoch       %d (promote lsn %d)\n", st.Epoch, st.PromoteLSN)
+	if !st.Durable {
+		fmt.Printf("  durable     no (in-memory only; replication unavailable)\n")
+		return nil
+	}
+	fmt.Printf("  log         last lsn %d, next %d\n", st.LastLSN, st.NextLSN)
+	fmt.Printf("  checkpoint  gen %d\n", st.CheckpointGen)
+	if st.Role == "follower" {
+		fmt.Printf("  lag         %d lsns, %.3fs\n", st.LagLSNs, st.LagSeconds)
+	}
+	return nil
+}
+
+func runReplPromote(args []string) error {
+	fs := flag.NewFlagSet("repl promote", flag.ExitOnError)
+	url := fs.String("url", "", "follower base URL (required)")
+	timeout := fs.Duration("timeout", 5*time.Second, "request deadline")
+	fs.Parse(args)
+	if *url == "" {
+		return fmt.Errorf("repl promote: -url is required")
+	}
+
+	cli := replica.NewClient(*url, *timeout)
+	if err := cli.Promote(context.Background()); err != nil {
+		return err
+	}
+	st, err := cli.Status(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("promoted %s: role=%s epoch=%d promote_lsn=%d\n", *url, st.Role, st.Epoch, st.PromoteLSN)
+	return nil
+}

@@ -7,6 +7,7 @@ package main
 //	ussbench -bench rollup-range cold re-merge vs incremental cached ranges
 //	ussbench -bench server       load-drive an in-process ussd over HTTP
 //	ussbench -bench wal          WAL append throughput + recovery vs log size
+//	ussbench -bench repl         follower catch-up rate over the WAL stream
 //
 // Each mode prints a small table of wall-clock per-op times and the
 // speedup, sized to the acceptance scenarios (a 64Ki-bin sketch; a
@@ -37,8 +38,10 @@ func runPerf(w io.Writer, mode string, scale float64) error {
 		return perfServer(w, scale)
 	case "wal":
 		return perfWAL(w, scale)
+	case "repl":
+		return perfRepl(w, scale)
 	default:
-		return fmt.Errorf("unknown -bench mode %q (want codec, rollup-range, server or wal)", mode)
+		return fmt.Errorf("unknown -bench mode %q (want codec, rollup-range, server, wal or repl)", mode)
 	}
 }
 

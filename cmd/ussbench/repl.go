@@ -1,0 +1,116 @@
+package main
+
+// -bench repl: what failover robustness costs — a follower's catch-up
+// rate when it joins a primary holding a populated WAL, measured through
+// the real HTTP stream and the real replicated-apply path.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// perfRepl populates a primary's log over HTTP, then times a cold
+// follower catching up from LSN 1 to the log end.
+func perfRepl(w io.Writer, scale float64) error {
+	rowsPerBatch := int(256 * scale)
+	if rowsPerBatch < 8 {
+		rowsPerBatch = 8
+	}
+	const batches = 200
+
+	pdir, err := os.MkdirTemp("", "ussbench-repl-p")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(pdir)
+	prim, primBase, err := durableNode(pdir)
+	if err != nil {
+		return err
+	}
+	defer prim.Shutdown(context.Background())
+
+	if err := prim.CreateSketch(server.SketchConfig{Name: "bench", Kind: "unit", Bins: 4096, Seed: 7}); err != nil {
+		return err
+	}
+	var rows strings.Builder
+	for i := 0; i < rowsPerBatch; i++ {
+		fmt.Fprintf(&rows, "item-%06d\n", i%997)
+	}
+	for i := 0; i < batches; i++ {
+		resp, err := http.Post(primBase+"/v1/sketches/bench/ingest?sync=1", "text/plain", strings.NewReader(rows.String()))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("repl bench: ingest status %d", resp.StatusCode)
+		}
+	}
+	total := rowsPerBatch * batches
+	target := prim.WALNextLSN()
+
+	fdir, err := os.MkdirTemp("", "ussbench-repl-f")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(fdir)
+	if err := replica.PrepareDataDir(context.Background(), replica.Options{Primary: primBase, DataDir: fdir}); err != nil {
+		return err
+	}
+	foll, _, err := durableNode(fdir)
+	if err != nil {
+		return err
+	}
+	defer foll.Shutdown(context.Background())
+	foll.SetRole(server.RoleFollower)
+	foll.SetReady(false)
+
+	start := time.Now()
+	fol, err := replica.Start(replica.Options{Primary: primBase, Server: foll, DataDir: fdir, Poll: 50 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer fol.Stop()
+	for foll.WALNextLSN() < target {
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(w, "# repl: cold follower catch-up over HTTP, %d-row batches\n", rowsPerBatch)
+	fmt.Fprintf(w, "%-34s %14s %14s\n", "catch-up", "total", "rows/s")
+	fmt.Fprintf(w, "%-34s %14v %14.0f\n",
+		fmt.Sprintf("%7d rows (%d records)", total, target-1), elapsed, float64(total)/elapsed.Seconds())
+	return nil
+}
+
+// durableNode boots a durable server over dir on a loopback listener.
+func durableNode(dir string) (*server.Server, string, error) {
+	rebuilt, err := store.Rebuild(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	st, err := store.Open(store.Options{Dir: dir, Sync: store.SyncNever})
+	if err != nil {
+		return nil, "", err
+	}
+	s := server.New(server.Config{IngestWorkers: 2, QueueDepth: 64})
+	if err := s.AttachStore(st, rebuilt, 0); err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	go s.Serve(ln)
+	return s, "http://" + ln.Addr().String(), nil
+}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// replStatus polls GET /v1/replication/status.
+func replStatus(t *testing.T, base string) (role string, ready bool, lag int64) {
+	t.Helper()
+	var st struct {
+		Role    string `json:"role"`
+		Ready   bool   `json:"ready"`
+		LagLSNs int64  `json:"lag_lsns"`
+	}
+	if err := json.Unmarshal(mustGet(t, base+"/v1/replication/status"), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Role, st.Ready, st.LagLSNs
+}
+
+// waitFor polls cond every 20ms until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// topkItems fetches a top-k as decoded items.
+func topkItems(t *testing.T, base, name string, k int) []struct {
+	Item  string  `json:"item"`
+	Count float64 `json:"count"`
+} {
+	t.Helper()
+	var out struct {
+		Items []struct {
+			Item  string  `json:"item"`
+			Count float64 `json:"count"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(mustGet(t, fmt.Sprintf("%s/v1/sketches/%s/topk?k=%d", base, name, k)), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Items
+}
+
+// TestFailoverKillPrimary is the replication acceptance scenario against
+// real processes with stream faults armed: a primary takes acknowledged
+// traffic while a follower tails its WAL through dropped, duplicated and
+// delayed frames; the primary is SIGKILLed; the follower auto-promotes
+// and its state must be bit-identical to an in-process replay of its own
+// log; the old primary then rejoins as a follower, merging the
+// acknowledged-but-unreplicated tail so row totals reconcile exactly.
+func TestFailoverKillPrimary(t *testing.T) {
+	bin := buildUssd(t)
+	primDir := filepath.Join(t.TempDir(), "primary")
+	follDir := filepath.Join(t.TempDir(), "follower")
+
+	// Checkpoint interval 0: nothing gets truncated, so the divergence
+	// window survives on disk in full and reconciliation is exact.
+	primArgs := []string{"-data-dir", primDir, "-fsync", "always", "-checkpoint-interval", "0",
+		"-create", `{"name":"clicks","kind":"unit","bins":128,"seed":22}`}
+	// Stream faults arm on the serving side: the primary drops,
+	// duplicates and delays frames; the follower must detect and recover
+	// from all three.
+	faults := "USS_FAULTPOINTS=repl.drop-frame:0.1,repl.dup-frame:0.1,repl.delay-frame:0.05"
+	prim, primBase := startUssdEnv(t, bin, []string{faults}, primArgs...)
+	defer func() {
+		prim.Process.Kill()
+		prim.Wait()
+	}()
+
+	foll, follBase := startUssd(t, bin,
+		"-data-dir", follDir, "-fsync", "always", "-checkpoint-interval", "0",
+		"-follow", primBase, "-auto-promote", "-heartbeat-timeout", "500ms")
+	defer func() {
+		foll.Process.Signal(syscall.SIGTERM)
+		foll.Wait()
+	}()
+
+	// Phase 1: acknowledged traffic while the follower tails through the
+	// armed faults.
+	var rows strings.Builder
+	for i := 0; i < 900; i++ {
+		fmt.Fprintf(&rows, "click-%03d\n", i%57)
+	}
+	mustPost(t, primBase+"/v1/sketches/clicks/ingest?sync=1", "text/plain", []byte(rows.String()))
+	waitFor(t, "follower catch-up", 15*time.Second, func() bool {
+		role, ready, lag := replStatus(t, follBase)
+		return role == "follower" && ready && lag == 0
+	})
+
+	// Phase 2: freeze the follower (SIGSTOP), then keep acking batches on
+	// the primary — rows only the primary's log knows about — and SIGKILL
+	// it. This pins the worst 202/ack window deterministically: the
+	// follower must promote without these rows and recover them later
+	// from the rejoining primary.
+	if err := syscall.Kill(foll.Process.Pid, syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		var late strings.Builder
+		for j := 0; j < 30; j++ {
+			fmt.Fprintf(&late, "late-%02d\n", j%11)
+		}
+		mustPost(t, primBase+"/v1/sketches/clicks/ingest?sync=1", "text/plain", []byte(late.String()))
+	}
+	const total = 900 + 10*30
+
+	if err := prim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	prim.Wait()
+	if err := syscall.Kill(foll.Process.Pid, syscall.SIGCONT); err != nil {
+		t.Fatal(err)
+	}
+
+	// The follower must notice the dead primary and promote itself.
+	waitFor(t, "auto-promotion", 20*time.Second, func() bool {
+		role, ready, _ := replStatus(t, follBase)
+		return role == "primary" && ready
+	})
+
+	// Bit-identical check: the promoted follower's served top-k against
+	// an in-process replay of its own (live, read-only-scanned) log.
+	replay, err := store.Rebuild(follDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayTopK := replay.Sketches["clicks"].Unit.TopK(70)
+	got := topkItems(t, follBase, "clicks", 70)
+	if len(got) != len(replayTopK) {
+		t.Fatalf("promoted top-k has %d items, replay %d", len(got), len(replayTopK))
+	}
+	for i := range got {
+		if got[i].Item != replayTopK[i].Item || got[i].Count != replayTopK[i].Count {
+			t.Fatalf("promoted top-k[%d] (%q, %v) != replay (%q, %v)",
+				i, got[i].Item, got[i].Count, replayTopK[i].Item, replayTopK[i].Count)
+		}
+	}
+
+	// The promoted follower takes writes now.
+	mustPost(t, follBase+"/v1/sketches/clicks/ingest?sync=1", "text/plain",
+		[]byte(strings.Repeat("fresh-after-failover\n", 40)))
+
+	// The old primary rejoins as a follower of the new one. Its log holds
+	// acknowledged records the follower never received; rejoin must merge
+	// them, not drop them.
+	prim2, prim2Base := startUssd(t, bin, "-data-dir", primDir, "-fsync", "always", "-checkpoint-interval", "0",
+		"-follow", follBase, "-heartbeat-timeout", "500ms")
+	defer func() {
+		prim2.Process.Signal(syscall.SIGTERM)
+		prim2.Wait()
+	}()
+	waitFor(t, "old primary re-sync", 20*time.Second, func() bool {
+		role, ready, lag := replStatus(t, prim2Base)
+		return role == "follower" && ready && lag == 0
+	})
+
+	// Row totals reconcile exactly: everything acked anywhere, once.
+	var info struct {
+		Total float64 `json:"total"`
+	}
+	if err := json.Unmarshal(mustGet(t, follBase+"/v1/sketches/clicks"), &info); err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(total + 40); info.Total != want {
+		t.Fatalf("new primary total %v after rejoin, want %v", info.Total, want)
+	}
+
+	// And both nodes serve the same answers again.
+	newPrim := topkItems(t, follBase, "clicks", 70)
+	rejoined := topkItems(t, prim2Base, "clicks", 70)
+	if len(newPrim) != len(rejoined) {
+		t.Fatalf("top-k sizes diverge after rejoin: primary %d, follower %d", len(newPrim), len(rejoined))
+	}
+	for i := range newPrim {
+		if newPrim[i] != rejoined[i] {
+			t.Fatalf("top-k[%d] diverges after rejoin: primary (%q, %v), follower (%q, %v)",
+				i, newPrim[i].Item, newPrim[i].Count, rejoined[i].Item, rejoined[i].Count)
+		}
+	}
+}

@@ -24,6 +24,16 @@
 //	printf 'country=us|ad=1\ncountry=de|ad=2\n' | curl --data-binary @- localhost:8632/v1/sketches/clicks/ingest
 //	curl localhost:8632/v1/sketches/clicks/topk?k=5
 //
+// With -follow the server boots as a replication follower: it catches
+// up from the primary's newest checkpoint, tails its WAL stream, applies
+// every record through the same paths recovery uses, and — with
+// -auto-promote — promotes itself to primary when the primary has been
+// unreachable past -heartbeat-timeout. A former primary restarted with
+// -follow reconciles the acknowledged-but-unreplicated tail of its old
+// timeline by merging it into the new primary. See DESIGN.md §12.
+//
+//	ussd -addr :8633 -data-dir /var/lib/ussd-b -follow http://primary:8632 -auto-promote
+//
 // ussd shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // finish, every ingest batch acknowledged with 202 is applied, and a
 // durable server takes a final checkpoint before exit.
@@ -42,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -62,17 +73,42 @@ func main() {
 		dataDir = flag.String("data-dir", "", "durability directory: WAL + checkpoints (empty = in-memory only)")
 		fsync   = flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
 		ckptInt = flag.Duration("checkpoint-interval", time.Minute, "periodic checkpoint interval (0 disables; drain always checkpoints)")
+		reqTO   = flag.Duration("request-timeout", time.Minute, "per-request deadline on every handler (0 = default, negative disables)")
+		follow  = flag.String("follow", "", "boot as a replication follower of this primary URL (requires -data-dir)")
+		autoPro = flag.Bool("auto-promote", false, "with -follow: promote to primary when the primary is unreachable past -heartbeat-timeout")
+		hbTO    = flag.Duration("heartbeat-timeout", 10*time.Second, "with -follow: primary-unreachable window before auto-promotion")
 		creates multiFlag
 	)
 	flag.Var(&creates, "create", "pre-create a sketch from a SketchConfig JSON object (repeatable)")
 	flag.Parse()
 
+	if *follow != "" && *dataDir == "" {
+		log.Fatalf("ussd: -follow requires -data-dir (the follower keeps a full replica of the primary's log)")
+	}
+
 	s := server.New(server.Config{
-		Addr:          *addr,
-		IngestWorkers: *workers,
-		QueueDepth:    *queue,
-		MaxBodyBytes:  *maxBody,
+		Addr:           *addr,
+		IngestWorkers:  *workers,
+		QueueDepth:     *queue,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *reqTO,
 	})
+
+	if *follow != "" {
+		// Catch up / reconcile the data dir against the primary before the
+		// store opens, so recovery below replays a log the stream can
+		// extend.
+		if err := replica.PrepareDataDir(context.Background(), replica.Options{
+			Primary: *follow,
+			Server:  s,
+			DataDir: *dataDir,
+			Logf:    log.Printf,
+		}); err != nil {
+			log.Fatalf("ussd: prepare follower data dir: %v", err)
+		}
+		s.SetRole(server.RoleFollower)
+		s.SetReady(false)
+	}
 
 	if *dataDir != "" {
 		policy, err := store.ParseSyncPolicy(*fsync)
@@ -100,6 +136,10 @@ func main() {
 		}
 	}
 
+	if *follow != "" && len(creates) > 0 {
+		log.Printf("ussd: ignoring -create flags on a follower (sketches replicate from the primary)")
+		creates = nil
+	}
 	for _, spec := range creates {
 		var cfg server.SketchConfig
 		if err := json.Unmarshal([]byte(spec), &cfg); err != nil {
@@ -125,9 +165,28 @@ func main() {
 	go func() { errc <- s.Serve(ln) }()
 	log.Printf("ussd: listening on %s", ln.Addr())
 
+	var fol *replica.Follower
+	if *follow != "" {
+		fol, err = replica.Start(replica.Options{
+			Primary:          *follow,
+			Server:           s,
+			DataDir:          *dataDir,
+			AutoPromote:      *autoPro,
+			HeartbeatTimeout: *hbTO,
+			Logf:             log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("ussd: start follower: %v", err)
+		}
+		log.Printf("ussd: following %s (auto-promote=%v, heartbeat-timeout=%v)", *follow, *autoPro, *hbTO)
+	}
+
 	select {
 	case sig := <-stop:
 		log.Printf("ussd: %v, draining", sig)
+		if fol != nil {
+			fol.Stop()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := s.Shutdown(ctx); err != nil {

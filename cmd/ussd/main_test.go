@@ -209,7 +209,17 @@ func buildUssd(t *testing.T) string {
 // returning the process and base URL.
 func startUssd(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
 	t.Helper()
+	return startUssdEnv(t, bin, nil, args...)
+}
+
+// startUssdEnv is startUssd with extra environment entries (the
+// fault-injection tests arm USS_FAULTPOINTS this way).
+func startUssdEnv(t *testing.T, bin string, env []string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
 	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	if len(env) > 0 {
+		cmd.Env = append(cmd.Environ(), env...)
+	}
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -31,6 +31,8 @@ var docsGatePackages = []string{
 	"internal/wire",
 	"internal/server",
 	"internal/store",
+	"internal/replica",
+	"internal/faultinject",
 	"internal/hierarchy",
 	"internal/hashx",
 }

@@ -21,8 +21,10 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	uss "repro"
+	"repro/internal/replica"
 	"repro/internal/server"
 )
 
@@ -83,7 +85,18 @@ func main() {
 			if err != nil {
 				panic(err)
 			}
-			mustPost(base+"/v1/sketches/sales/snapshot", "application/octet-stream", blob)
+			// Real collectors push over a flaky network: retry transient
+			// push failures with jittered exponential backoff. Safe here
+			// because a push only acks after the merge is applied — a
+			// retried request that never got its 2xx re-sends bins the
+			// server may merge twice only if the ack itself was lost,
+			// the usual at-least-once trade.
+			err = replica.Retry(context.Background(), 5, 100*time.Millisecond, 2*time.Second, func() error {
+				return tryPost(base+"/v1/sketches/sales/snapshot", "application/octet-stream", blob)
+			})
+			if err != nil {
+				panic(err)
+			}
 			mu.Lock()
 			wireBytes += int64(len(blob))
 			mu.Unlock()
@@ -148,6 +161,21 @@ func mustPost(url, ct string, body []byte) []byte {
 		panic(fmt.Sprintf("POST %s: status %d: %s", url, resp.StatusCode, data))
 	}
 	return data
+}
+
+// tryPost posts body and returns an error instead of panicking — the
+// retried snapshot-push path.
+func tryPost(url, ct string, body []byte) error {
+	resp, err := http.Post(url, ct, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, data)
+	}
+	return nil
 }
 
 func mustGet(url string) []byte {

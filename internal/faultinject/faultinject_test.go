@@ -1,0 +1,100 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDisabledNeverFires(t *testing.T) {
+	Reset()
+	for i := 0; i < 100; i++ {
+		if Hit("wal.torn-write") {
+			t.Fatal("inactive point fired")
+		}
+	}
+	if Hits("wal.torn-write") != 0 {
+		t.Fatal("inactive point counted a hit")
+	}
+}
+
+func TestAlwaysOnPoint(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("x.always"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !Hit("x.always") {
+			t.Fatal("always-on point did not fire")
+		}
+	}
+	if Hit("x.other") {
+		t.Fatal("unrelated point fired")
+	}
+	if Hits("x.always") != 10 {
+		t.Fatalf("hits = %d, want 10", Hits("x.always"))
+	}
+}
+
+func TestLimitedPoint(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("x.limited:1:3"); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 50; i++ {
+		if Hit("x.limited") {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("limited point fired %d times, want 3", fired)
+	}
+}
+
+func TestProbabilisticPointFiresSometimes(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("x.half:0.5"); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 2000; i++ {
+		if Hit("x.half") {
+			fired++
+		}
+	}
+	// The rng is deterministic; this bounds it loosely anyway.
+	if fired < 700 || fired > 1300 {
+		t.Fatalf("p=0.5 point fired %d/2000 times", fired)
+	}
+}
+
+func TestBadSpecsRejected(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	for _, spec := range []string{"a:2", "a:0", "a:x", "a:0.5:-1", "a:0.5:z", "a:1:2:3"} {
+		if err := Enable(spec); err == nil {
+			t.Errorf("Enable(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestSleepOnlyWhenFiring(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	start := time.Now()
+	Sleep("x.never", 200*time.Millisecond)
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("Sleep stalled on an inactive point")
+	}
+	if err := Enable("x.nap"); err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	Sleep("x.nap", 20*time.Millisecond)
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("Sleep did not stall on an active point")
+	}
+}

@@ -1,0 +1,81 @@
+// Package replica implements ussd's primary→follower replication: the
+// HTTP client for the primary's replication endpoints, the data-dir
+// preparation pass a follower runs before opening its store (catch-up
+// from a checkpoint bundle, divergence reconciliation by merging), and
+// the follower loop that tails the primary's WAL stream, applies
+// records through the server's own apply paths, heartbeats, and — when
+// enabled — promotes itself on primary death. See DESIGN.md §12 for the
+// protocol.
+package replica
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff produces jittered exponential delays: Min doubling towards
+// Max, each multiplied by a uniform jitter in [0.5, 1.0] so a fleet of
+// reconnecting followers never thunders in phase. The zero value is not
+// usable; fill Min and Max (NewBackoff applies the defaults).
+type Backoff struct {
+	// Min and Max bound the un-jittered delay.
+	Min, Max time.Duration
+
+	cur time.Duration
+}
+
+// NewBackoff returns a Backoff with the given bounds, defaulting to
+// 100ms..10s when zero.
+func NewBackoff(min, max time.Duration) *Backoff {
+	if min <= 0 {
+		min = 100 * time.Millisecond
+	}
+	if max < min {
+		max = 10 * time.Second
+		if max < min {
+			max = min
+		}
+	}
+	return &Backoff{Min: min, Max: max}
+}
+
+// Next returns the next jittered delay, doubling the base towards Max.
+func (b *Backoff) Next() time.Duration {
+	if b.cur == 0 {
+		b.cur = b.Min
+	} else {
+		b.cur *= 2
+		if b.cur > b.Max {
+			b.cur = b.Max
+		}
+	}
+	half := float64(b.cur) / 2
+	return time.Duration(half + rand.Float64()*half)
+}
+
+// Reset drops the delay back to Min after a success.
+func (b *Backoff) Reset() { b.cur = 0 }
+
+// Retry runs fn until it succeeds, ctx ends, or attempts are exhausted
+// (attempts <= 0 means unlimited), sleeping a jittered exponential
+// delay between tries. It returns the last error on give-up. The
+// snapshot-push example and the follower loop share it.
+func Retry(ctx context.Context, attempts int, min, max time.Duration, fn func() error) error {
+	b := NewBackoff(min, max)
+	var err error
+	for i := 0; attempts <= 0 || i < attempts; i++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(b.Next()):
+		}
+	}
+	return err
+}

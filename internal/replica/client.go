@@ -1,0 +1,284 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// ErrGone reports a WAL-stream position the primary has
+// checkpoint-truncated away: the follower must catch up from a
+// checkpoint bundle instead of the log.
+var ErrGone = errors.New("replica: stream position truncated on primary")
+
+// ErrDiverged reports a WAL-stream position past the primary's log end:
+// the follower's log is from another timeline and needs reconciliation.
+var ErrDiverged = errors.New("replica: follower log is ahead of primary")
+
+// Client calls a primary's replication (and, for tail reconciliation,
+// regular mutation) endpoints. Every RPC is bounded by the configured
+// per-request timeout on top of the caller's context — a hung primary
+// costs one deadline, never a stuck goroutine.
+type Client struct {
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+}
+
+// NewClient returns a client for the primary at base (e.g.
+// "http://10.0.0.1:8632"). timeout bounds each RPC (default 10s); the
+// WAL stream's long-poll gets its wait added on top.
+func NewClient(base string, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}, timeout: timeout}
+}
+
+// get issues a GET with the client deadline and returns the response.
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	return c.do(ctx, http.MethodGet, path, "", nil, c.timeout)
+}
+
+// do issues one deadlined request. The caller must close the body on
+// success.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, timeout time.Duration) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	// The context is cancelled when this function returns, which would
+	// kill the body mid-read; drain it here and hand back a detached
+	// body.
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(data))
+	return resp, nil
+}
+
+// errorFrom renders a non-2xx response as an error, decoding the
+// server's {"error": ...} shape when present.
+func errorFrom(resp *http.Response) error {
+	data, _ := io.ReadAll(resp.Body)
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &body) == nil && body.Error != "" {
+		return fmt.Errorf("replica: primary returned %d: %s", resp.StatusCode, body.Error)
+	}
+	return fmt.Errorf("replica: primary returned %d", resp.StatusCode)
+}
+
+// Status fetches the primary's replication status.
+func (c *Client) Status(ctx context.Context) (server.ReplStatus, error) {
+	var st server.ReplStatus
+	resp, err := c.get(ctx, "/v1/replication/status")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, errorFrom(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("replica: decode status: %w", err)
+	}
+	return st, nil
+}
+
+// Checkpoint fetches the primary's newest checkpoint bundle. gen 0 with
+// a nil bundle means the primary has no checkpoint yet.
+func (c *Client) Checkpoint(ctx context.Context) (bundle []byte, gen uint64, err error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/replication/checkpoint", "", nil, c.timeout+time.Minute)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil, 0, nil
+	case http.StatusOK:
+	default:
+		return nil, 0, errorFrom(resp)
+	}
+	gen, _ = strconv.ParseUint(resp.Header.Get("X-Uss-Checkpoint-Gen"), 10, 64)
+	bundle, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return bundle, gen, nil
+}
+
+// StreamResult is one WAL-stream response: the framed records plus the
+// primary's position and timeline from the response headers.
+type StreamResult struct {
+	// Frames is the raw framed stream body (cut with
+	// server.CutStreamFrame).
+	Frames []byte
+	// LastLSN is the primary's log end at response time.
+	LastLSN uint64
+	// Epoch and PromoteLSN are the primary's timeline.
+	Epoch      uint64
+	PromoteLSN uint64
+}
+
+// StreamWAL requests records from `from` onward, long-polling up to
+// wait when the primary has nothing new. ErrGone means the position was
+// checkpoint-truncated; ErrDiverged means the follower is ahead of the
+// primary's log.
+func (c *Client) StreamWAL(ctx context.Context, from uint64, wait time.Duration) (*StreamResult, error) {
+	path := fmt.Sprintf("/v1/replication/wal?from=%d&wait_ms=%d", from, wait.Milliseconds())
+	resp, err := c.do(ctx, http.MethodGet, path, "", nil, c.timeout+wait)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return nil, ErrGone
+	case http.StatusConflict:
+		return nil, ErrDiverged
+	default:
+		return nil, errorFrom(resp)
+	}
+	frames, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	res := &StreamResult{Frames: frames}
+	res.LastLSN, _ = strconv.ParseUint(resp.Header.Get("X-Uss-Last-Lsn"), 10, 64)
+	res.Epoch, _ = strconv.ParseUint(resp.Header.Get("X-Uss-Epoch"), 10, 64)
+	res.PromoteLSN, _ = strconv.ParseUint(resp.Header.Get("X-Uss-Promote-Lsn"), 10, 64)
+	return res, nil
+}
+
+// Promote asks the target to promote itself to primary.
+func (c *Client) Promote(ctx context.Context) error {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/replication/promote", "", nil, c.timeout)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return errorFrom(resp)
+	}
+	return nil
+}
+
+// CreateSketch re-submits a create record's spec JSON as an ordinary
+// create. A name the primary already has (shared history) is success.
+func (c *Client) CreateSketch(ctx context.Context, specJSON []byte) error {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/sketches", "application/json", specJSON, c.timeout)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusCreated || resp.StatusCode == http.StatusConflict {
+		return nil
+	}
+	return errorFrom(resp)
+}
+
+// DeleteSketch re-submits a delete. An already-missing sketch is
+// success.
+func (c *Client) DeleteSketch(ctx context.Context, name string) error {
+	resp, err := c.do(ctx, http.MethodDelete, "/v1/sketches/"+name, "", nil, c.timeout)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusNotFound {
+		return nil
+	}
+	return errorFrom(resp)
+}
+
+// ingestRow mirrors the server's JSON ingest row shape.
+type ingestRow struct {
+	Item   string  `json:"item"`
+	Weight float64 `json:"weight,omitempty"`
+	At     int64   `json:"at"`
+}
+
+// IngestSync re-submits an ingest record's rows synchronously (the
+// primary acks after apply), so reconciliation totals are immediately
+// visible.
+func (c *Client) IngestSync(ctx context.Context, name string, items []string, ws []float64, ats []int64) error {
+	rows := make([]ingestRow, len(items))
+	for i, it := range items {
+		rows[i].Item = it
+		if i < len(ws) {
+			rows[i].Weight = ws[i]
+		}
+		if i < len(ats) {
+			rows[i].At = ats[i]
+		}
+	}
+	body, err := json.Marshal(map[string]any{"rows": rows})
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/sketches/"+name+"/ingest?sync=1", "application/json", body, c.timeout)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	return errorFrom(resp)
+}
+
+// reductionName maps a snapshot record's reduction byte to the
+// ?reduction= parameter.
+func reductionName(b byte) string {
+	switch b {
+	case 1:
+		return "pivotal"
+	case 2:
+		return "misra-gries"
+	default:
+		return "pairwise"
+	}
+}
+
+// PushSnapshot re-submits a snapshot record's blob with its original
+// reduction.
+func (c *Client) PushSnapshot(ctx context.Context, name string, reduction byte, blob []byte) error {
+	path := "/v1/sketches/" + name + "/snapshot?reduction=" + reductionName(reduction)
+	resp, err := c.do(ctx, http.MethodPost, path, "application/octet-stream", blob, c.timeout)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	return errorFrom(resp)
+}

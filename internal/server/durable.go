@@ -89,6 +89,15 @@ func (s *Server) AttachStore(st *store.Store, rebuilt *store.RebuildResult, chec
 	}
 	d := &durableState{st: st, every: checkpointEvery, stop: make(chan struct{})}
 	s.dur = d
+	// Adopt the data dir's replication timeline so a restarted node knows
+	// which epoch its log belongs to (a dir that predates replication is
+	// on the zero timeline).
+	tl, err := store.LoadTimeline(st.Dir())
+	if err != nil {
+		return err
+	}
+	s.epoch.Store(tl.Epoch)
+	s.promoteLSN.Store(tl.PromoteLSN)
 	if checkpointEvery > 0 {
 		d.wg.Add(1)
 		go s.checkpointLoop()

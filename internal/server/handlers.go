@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"maps"
@@ -71,6 +72,9 @@ func (e *entry) info() sketchInfo {
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.followerRejects(w) {
+		return
+	}
 	var cfg SketchConfig
 	if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode config: %w", err))
@@ -102,6 +106,9 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.followerRejects(w) {
+		return
+	}
 	ok, err := s.deleteSketch(r.PathValue("name"))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -128,6 +135,9 @@ type ingestJSON struct {
 // handleIngest decodes a batch (pooled text fast path, or JSON) and either
 // queues it (default, 202) or applies it inline (?sync=1, 200).
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.followerRejects(w) {
+		return
+	}
 	e, ok := s.lookup(w, r)
 	if !ok {
 		return
@@ -148,7 +158,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.met.batchesQueued.Add(1)
 	sync := r.URL.Query().Get("sync") != ""
 	if s.dur != nil {
-		s.ingestDurable(w, e, b, n, sync)
+		s.ingestDurable(w, r, e, b, n, sync)
 		return
 	}
 	if sync {
@@ -157,7 +167,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"rows": n})
 		return
 	}
-	if !s.enqueue(ingestJob{e: e, b: b}) {
+	queued, err := s.enqueue(r.Context(), ingestJob{e: e, b: b})
+	if err != nil {
+		// Queue full until the client's deadline: shed the batch — the
+		// rows were never acknowledged, so dropping them here is the
+		// backpressure contract, not loss.
+		putBatch(b)
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("ingest queue full: %w", err))
+		return
+	}
+	if !queued {
 		// Shutting down: the queue is closed, apply inline rather than
 		// dropping accepted rows.
 		s.applyBatch(e, b, 0)
@@ -173,8 +192,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // entry's worker sees jobs in LSN order), and nothing is acknowledged
 // before the append — under -fsync always an acknowledged batch is on
 // disk. Sync callers wait for the worker to apply instead of applying
-// inline, which would break per-entry ordering.
-func (s *Server) ingestDurable(w http.ResponseWriter, e *entry, b *ingestBatch, n int, sync bool) {
+// inline, which would break per-entry ordering; the wait observes the
+// request context, so a dead client releases its handler while the
+// already-logged batch still applies in order.
+func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, e *entry, b *ingestBatch, n int, sync bool) {
 	var done chan applyResult
 	if sync {
 		done = make(chan applyResult, 1)
@@ -188,7 +209,11 @@ func (s *Server) ingestDurable(w http.ResponseWriter, e *entry, b *ingestBatch, 
 		return
 	}
 	e.appendedLSN.Store(lsn)
-	queued := s.enqueue(ingestJob{e: e, b: b, lsn: lsn, done: done})
+	// The record is on the log, so the batch must not be dropped on any
+	// path below: enqueue without a context deadline (the queue slot wait
+	// is bounded by shutdown, and the batch's worker never blocks on the
+	// buffered done channel).
+	queued, _ := s.enqueue(context.Background(), ingestJob{e: e, b: b, lsn: lsn, done: done})
 	s.dur.walMu.Unlock()
 	if !queued {
 		// Shutting down after the drain deadline: the queues are closed.
@@ -203,8 +228,15 @@ func (s *Server) ingestDurable(w http.ResponseWriter, e *entry, b *ingestBatch, 
 		return
 	}
 	if sync {
-		<-done
-		writeJSON(w, http.StatusOK, map[string]any{"rows": n})
+		select {
+		case <-done:
+			writeJSON(w, http.StatusOK, map[string]any{"rows": n})
+		case <-r.Context().Done():
+			// Client gone or deadline struck: free the handler. The batch
+			// is logged and queued, so it still applies in LSN order.
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("request context done before apply (%w); batch is logged and queued", r.Context().Err()))
+		}
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"rows": n, "queued": true})
@@ -280,6 +312,9 @@ func parseReduction(name string) (uss.Reduction, error) {
 // merge of arbitrary snapshots is weighted by nature, so the natural
 // aggregator is a KindWeighted sketch sized to hold the union.
 func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	if s.followerRejects(w) {
+		return
+	}
 	e, ok := s.lookup(w, r)
 	if !ok {
 		return
@@ -320,7 +355,7 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		e.appendedLSN.Store(lsn)
-		queued := s.enqueue(ingestJob{e: e, push: pushed, red: red, lsn: lsn, done: done})
+		queued, _ := s.enqueue(context.Background(), ingestJob{e: e, push: pushed, red: red, lsn: lsn, done: done})
 		s.dur.walMu.Unlock()
 		if !queued {
 			// See ingestDurable: applying inline post-drain could invert
@@ -329,7 +364,14 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("shutting down; snapshot is logged and will merge on restart"))
 			return
 		}
-		res = <-done
+		select {
+		case res = <-done:
+		case <-r.Context().Done():
+			// The push is logged and queued; it merges in order without us.
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("request context done before merge (%w); snapshot is logged and queued", r.Context().Err()))
+			return
+		}
 	} else {
 		res = s.applyPush(e, pushed, red, 0)
 	}

@@ -27,6 +27,20 @@ type metrics struct {
 
 	checkpoints      atomic.Int64 // durable checkpoints committed
 	checkpointErrors atomic.Int64 // background checkpoint failures
+
+	promotions      atomic.Int64 // follower→primary promotions
+	replApplied     atomic.Int64 // records applied from the replication stream
+	replReconnects  atomic.Int64 // replication stream reconnects
+	replResyncs     atomic.Int64 // full resyncs (checkpoint catch-up restarts)
+	replMergedTails atomic.Int64 // diverged-tail records merged on rejoin
+}
+
+// boolGauge renders a bool as a 0/1 gauge value.
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // countStatus buckets one response code.
@@ -104,6 +118,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		p("ussd_checkpoints_total %d\n", m.checkpoints.Load())
 		p("# TYPE ussd_checkpoint_errors_total counter\n")
 		p("ussd_checkpoint_errors_total %d\n", m.checkpointErrors.Load())
+	}
+
+	p("# TYPE ussd_replication_role gauge\n")
+	p("ussd_replication_role{role=%q} 1\n", s.Role())
+	p("# TYPE ussd_ready gauge\n")
+	p("ussd_ready %d\n", boolGauge(s.Ready()))
+	p("# TYPE ussd_replication_epoch gauge\n")
+	p("ussd_replication_epoch %d\n", s.Epoch())
+	p("# TYPE ussd_promotions_total counter\n")
+	p("ussd_promotions_total %d\n", m.promotions.Load())
+	p("# TYPE ussd_replication_merged_tail_total counter\n")
+	p("ussd_replication_merged_tail_total %d\n", m.replMergedTails.Load())
+	if s.Role() == RoleFollower {
+		lagLSNs, lagSec := s.replicationLag()
+		p("# TYPE ussd_replication_lag_lsns gauge\n")
+		p("ussd_replication_lag_lsns %d\n", lagLSNs)
+		p("# TYPE ussd_replication_lag_seconds gauge\n")
+		p("ussd_replication_lag_seconds %.3f\n", lagSec)
+		p("# TYPE ussd_replication_applied_total counter\n")
+		p("ussd_replication_applied_total %d\n", m.replApplied.Load())
+		p("# TYPE ussd_replication_reconnects_total counter\n")
+		p("ussd_replication_reconnects_total %d\n", m.replReconnects.Load())
+		p("# TYPE ussd_replication_resyncs_total counter\n")
+		p("ussd_replication_resyncs_total %d\n", m.replResyncs.Load())
 	}
 
 	entries := s.reg.List()

@@ -21,7 +21,12 @@
 //	GET    /v1/sketches/{name}/range/sum     rollup: subset sum over [from,to]
 //	GET    /v1/sketches/{name}/range/total   rollup: exact row count
 //	GET    /healthz                          liveness
+//	GET    /readyz                           readiness (recovery/catch-up done; follower lag)
 //	GET    /metrics                          Prometheus text counters
+//	GET    /v1/replication/status            role, timeline, log position
+//	GET    /v1/replication/wal?from=&wait_ms= WAL stream (long-poll, framed records)
+//	GET    /v1/replication/checkpoint        checkpoint bundle (follower catch-up)
+//	POST   /v1/replication/promote           promote this follower to primary
 //
 // # Concurrency and ownership
 //
@@ -55,6 +60,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	uss "repro"
@@ -73,6 +79,11 @@ type Config struct {
 	QueueDepth int
 	// MaxBodyBytes caps ingest/push request bodies (default 32 MiB).
 	MaxBodyBytes int64
+	// RequestTimeout bounds every request's context — handlers observe
+	// client disconnects and this deadline through r.Context(), so a
+	// dead client can no longer park a sync ingest on a worker slot
+	// forever (default 60s; < 0 disables).
+	RequestTimeout time.Duration
 }
 
 func (c *Config) defaults() {
@@ -87,6 +98,9 @@ func (c *Config) defaults() {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
 	}
 }
 
@@ -140,6 +154,16 @@ type Server struct {
 
 	// dur is the durability harness, nil unless AttachStore was called.
 	dur *durableState
+
+	// Replication state: role and readiness gates, the timeline this
+	// node's log belongs to, and the follower lag gauges (see
+	// replication.go). A fresh server is a ready primary on epoch 0.
+	role         atomic.Int32
+	ready        atomic.Bool
+	epoch        atomic.Uint64
+	promoteLSN   atomic.Uint64
+	replLagLSNs  atomic.Int64
+	replCaughtUp atomic.Int64 // unix nanos of the last caught-up moment
 }
 
 // New builds a Server and starts its ingest workers. Callers must
@@ -160,8 +184,9 @@ func New(cfg Config) *Server {
 	for i := range s.jobs {
 		s.jobs[i] = make(chan ingestJob, depth)
 	}
+	s.ready.Store(true) // a fresh in-memory server is immediately ready
 	s.routes()
-	s.hs = &http.Server{Handler: s.Handler()}
+	s.hs = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	s.workers.Add(cfg.IngestWorkers)
 	for i := 0; i < cfg.IngestWorkers; i++ {
 		go s.ingestWorker(i)
@@ -173,9 +198,21 @@ func New(cfg Config) *Server {
 // driver, examples) pre-create sketches without an HTTP round-trip.
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Handler returns the routed handler with metrics instrumentation, for
-// mounting under httptest or an external server.
-func (s *Server) Handler() http.Handler { return s.met.instrument(s.mux) }
+// Handler returns the routed handler with metrics instrumentation and
+// the request-timeout context wrapper, for mounting under httptest or
+// an external server.
+func (s *Server) Handler() http.Handler {
+	h := http.Handler(s.mux)
+	if s.cfg.RequestTimeout > 0 {
+		inner := h
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			inner.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+	return s.met.instrument(h)
+}
 
 // ListenAndServe binds cfg.Addr and serves until Shutdown. It returns
 // nil after a clean Shutdown.
@@ -252,17 +289,29 @@ func (s *Server) queueFor(e *entry) chan ingestJob {
 }
 
 // enqueue hands a job to its entry's worker, blocking for backpressure
-// when that queue is full. It reports false when the server is shutting
-// down, in which case the caller applies the job inline.
-func (s *Server) enqueue(j ingestJob) bool {
+// when that queue is full — but no further than ctx allows, so a dead
+// or timed-out client cannot park its handler on a full queue forever.
+// queued=false with a nil error means the server is shutting down;
+// queued=false with ctx's error means the deadline struck first.
+func (s *Server) enqueue(ctx context.Context, j ingestJob) (queued bool, err error) {
 	s.qmu.RLock()
 	defer s.qmu.RUnlock()
 	if s.closed {
-		return false
+		return false, nil
 	}
-	s.met.queueDepth.Add(1)
-	s.queueFor(j.e) <- j
-	return true
+	select {
+	case s.queueFor(j.e) <- j:
+		s.met.queueDepth.Add(1)
+		return true, nil
+	default:
+	}
+	select {
+	case s.queueFor(j.e) <- j:
+		s.met.queueDepth.Add(1)
+		return true, nil
+	case <-ctx.Done():
+		return false, ctx.Err()
+	}
 }
 
 // ingestWorker applies its queue's jobs until the queue closes.
@@ -353,7 +402,13 @@ func (s *Server) applyBatch(e *entry, b *ingestBatch, lsn uint64) {
 // Go 1.22 ServeMux; {name} segments never match slashes.
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	s.mux.HandleFunc("GET /v1/replication/status", s.handleReplStatus)
+	s.mux.HandleFunc("GET /v1/replication/wal", s.handleReplWAL)
+	s.mux.HandleFunc("GET /v1/replication/checkpoint", s.handleReplCheckpoint)
+	s.mux.HandleFunc("POST /v1/replication/promote", s.handleReplPromote)
 
 	s.mux.HandleFunc("POST /v1/sketches", s.handleCreate)
 	s.mux.HandleFunc("GET /v1/sketches", s.handleList)

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// EncodeCheckpointBundle serializes dir's newest committed checkpoint
+// generation for transport: the manifest JSON followed by each sketch's
+// state blob (manifest order), every piece framed with the log's
+// len|crc32 framing. gen is 0 (with a nil bundle) when the directory has
+// no checkpoint — a follower then starts from an empty state and streams
+// the log from LSN 1.
+func EncodeCheckpointBundle(dir string) (bundle []byte, gen uint64, err error) {
+	gen = latestCheckpointGen(dir)
+	if gen == 0 {
+		return nil, 0, nil
+	}
+	man, err := loadManifest(dir, gen)
+	if err != nil {
+		return nil, 0, err
+	}
+	data, err := json.Marshal(man)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: encode bundle manifest: %w", err)
+	}
+	bundle = AppendFramed(nil, data)
+	for i := range man.Sketches {
+		blob, err := loadCheckpointBlob(dir, gen, &man.Sketches[i])
+		if err != nil {
+			return nil, 0, err
+		}
+		bundle = AppendFramed(bundle, blob)
+	}
+	return bundle, gen, nil
+}
+
+// InstallCheckpointBundle writes a transported checkpoint bundle into dir
+// as a committed generation, with the same staging-then-rename discipline
+// local checkpoints use (manifest present = generation valid). Blobs are
+// CRC-checked against the manifest before anything is installed. The
+// caller opens the store afterwards; Open derives the next LSN from the
+// installed manifest when the log is empty.
+func InstallCheckpointBundle(dir string, bundle []byte) (gen uint64, err error) {
+	manData, rest, err := CutFrame(bundle)
+	if err != nil || manData == nil {
+		return 0, fmt.Errorf("store: bundle manifest frame: %v", err)
+	}
+	var man manifest
+	if err := json.Unmarshal(manData, &man); err != nil {
+		return 0, fmt.Errorf("store: parse bundle manifest: %w", err)
+	}
+	if man.Generation == 0 {
+		return 0, fmt.Errorf("store: bundle manifest has generation 0")
+	}
+	blobs := make([][]byte, 0, len(man.Sketches))
+	for i := range man.Sketches {
+		ms := &man.Sketches[i]
+		var blob []byte
+		blob, rest, err = CutFrame(rest)
+		if err != nil {
+			return 0, fmt.Errorf("store: bundle blob for %q: %w", ms.Spec.Name, err)
+		}
+		if blob == nil {
+			return 0, fmt.Errorf("store: bundle truncated before blob for %q", ms.Spec.Name)
+		}
+		if int64(len(blob)) != ms.Size || crc32.ChecksumIEEE(blob) != ms.CRC {
+			return 0, fmt.Errorf("store: bundle blob for %q fails its CRC", ms.Spec.Name)
+		}
+		blobs = append(blobs, blob)
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("store: bundle has %d trailing bytes", len(rest))
+	}
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	tmp := filepath.Join(dir, fmt.Sprintf(".tmp-%s", cpDirName(man.Generation)))
+	if err := os.RemoveAll(tmp); err != nil {
+		return 0, fmt.Errorf("store: clear bundle staging: %w", err)
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return 0, fmt.Errorf("store: bundle staging: %w", err)
+	}
+	for i := range man.Sketches {
+		ms := &man.Sketches[i]
+		if err := writeFileSync(filepath.Join(tmp, ms.File), blobs[i]); err != nil {
+			return 0, fmt.Errorf("store: write bundle state for %q: %w", ms.Spec.Name, err)
+		}
+	}
+	if err := writeFileSync(filepath.Join(tmp, manifestName), manData); err != nil {
+		return 0, fmt.Errorf("store: write bundle manifest: %w", err)
+	}
+	final := filepath.Join(dir, cpDirName(man.Generation))
+	if err := os.RemoveAll(final); err != nil {
+		return 0, fmt.Errorf("store: clear bundle target: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return 0, fmt.Errorf("store: install bundle: %w", err)
+	}
+	if err := fsyncDir(dir); err != nil {
+		return 0, fmt.Errorf("store: sync data dir: %w", err)
+	}
+	return man.Generation, nil
+}

@@ -6,7 +6,7 @@ import (
 	uss "repro"
 )
 
-// RebuiltSketch is one sketch reconstructed by Rebuild: its spec, the
+// RebuiltSketch is one sketch reconstructed by an Applier: its spec, the
 // LSN its state reflects, served-row counters, and exactly one non-nil
 // sketch field matching Spec.Kind.
 type RebuiltSketch struct {
@@ -75,8 +75,11 @@ func (sp *SketchSpec) options() []uss.Option {
 	return nil
 }
 
-// newRebuilt constructs an empty sketch for a spec.
-func newRebuilt(sp SketchSpec) (*RebuiltSketch, error) {
+// NewRebuilt constructs an empty sketch for a spec — the same
+// constructor dispatch boot recovery uses for create records, exported
+// so a replication follower builds replicated sketches through one code
+// path.
+func NewRebuilt(sp SketchSpec) (*RebuiltSketch, error) {
 	if sp.Name == "" || sp.Bins <= 0 {
 		return nil, fmt.Errorf("store: bad spec %+v", sp)
 	}
@@ -122,12 +125,14 @@ func (rb *RebuiltSketch) restoreState(state []byte) error {
 	return fmt.Errorf("store: restore into unconstructed sketch")
 }
 
-// applyIngest replays one ingest batch through the same per-kind update
+// ApplyIngest replays one ingest batch through the same per-kind update
 // paths the live server uses. This mirrors internal/server's applyBatch
 // (minus its locking and metrics) — the two dispatches must stay in
 // lockstep or recovery stops being bit-identical to live ingest; the
-// cross-process TestKillDashNineRecovery in cmd/ussd pins the pair.
-func (rb *RebuiltSketch) applyIngest(items []string, ws []float64, ats []int64) {
+// cross-process TestKillDashNineRecovery in cmd/ussd pins the pair. It
+// is exported because follower apply runs replicated ingest records
+// through it too (under the server's entry lock).
+func (rb *RebuiltSketch) ApplyIngest(items []string, ws []float64, ats []int64) {
 	switch {
 	case rb.Unit != nil:
 		rb.Unit.UpdateAll(items)
@@ -155,10 +160,12 @@ func (rb *RebuiltSketch) applyIngest(items []string, ws []float64, ats []int64) 
 	rb.Rows += int64(len(items))
 }
 
-// applySnapshot replays one pushed snapshot through the DecodeBins →
+// ApplySnapshot replays one pushed snapshot through the DecodeBins →
 // MergeBins fast path, exactly as the live push handler does (the
 // lockstep twin of internal/server's applyPush — keep them identical).
-func (rb *RebuiltSketch) applySnapshot(red uss.Reduction, blob []byte) error {
+// The weighted sketch is replaced; callers holding a pointer to the old
+// one must re-read rb.Weighted after a successful apply.
+func (rb *RebuiltSketch) ApplySnapshot(red uss.Reduction, blob []byte) error {
 	if rb.Weighted == nil {
 		return fmt.Errorf("snapshot pushed into non-weighted sketch %q", rb.Spec.Name)
 	}
@@ -188,111 +195,160 @@ func parseReduction(b byte) (uss.Reduction, error) {
 	}
 }
 
+// Applier is the transport-neutral record applier: a set of rebuilt
+// sketches plus per-sketch LSN gates, fed decoded WAL records in LSN
+// order from any source — the on-disk log tail (boot recovery, `uss wal
+// replay`) or a primary's replication stream (follower apply). Every
+// consumer shares the same dispatch, so "replayed" and "replicated"
+// state are bit-identical by construction. Not safe for concurrent use;
+// callers that serve reads from the same sketches (the follower) apply
+// under their own per-sketch locks.
+type Applier struct {
+	// Sketches maps sketch name to its reconstructed state.
+	Sketches map[string]*RebuiltSketch
+	// Stats accumulates apply bookkeeping across the Applier's life.
+	Stats RecoverStats
+
+	gate map[string]uint64
+}
+
+// NewApplier returns an empty Applier: no sketches, no gates.
+func NewApplier() *Applier {
+	return &Applier{
+		Sketches: make(map[string]*RebuiltSketch),
+		gate:     make(map[string]uint64),
+	}
+}
+
+// LoadCheckpoint seeds the applier from dir's newest committed
+// checkpoint generation, restoring every sketch's state and setting its
+// replay gate to its checkpoint LSN. A dir with no checkpoint is a
+// no-op. Call before Apply.
+func (a *Applier) LoadCheckpoint(dir string) error {
+	gen := latestCheckpointGen(dir)
+	if gen == 0 {
+		return nil
+	}
+	man, err := loadManifest(dir, gen)
+	if err != nil {
+		return err
+	}
+	a.Stats.CheckpointGen = gen
+	a.Stats.Cutoff = man.Cutoff
+	for i := range man.Sketches {
+		ms := &man.Sketches[i]
+		blob, err := loadCheckpointBlob(dir, gen, ms)
+		if err != nil {
+			return err
+		}
+		rb, err := NewRebuilt(ms.Spec)
+		if err != nil {
+			return err
+		}
+		if err := rb.restoreState(blob); err != nil {
+			return fmt.Errorf("store: restore %q from checkpoint: %w", ms.Spec.Name, err)
+		}
+		rb.LSN, rb.Rows, rb.Pushes, rb.Dropped = ms.LSN, ms.Rows, ms.Pushes, ms.Dropped
+		a.Sketches[ms.Spec.Name] = rb
+		a.gate[ms.Spec.Name] = ms.LSN
+	}
+	return nil
+}
+
+// Apply replays one decoded record, honouring the per-sketch LSN gate:
+// a record at or below its sketch's gate (already covered by the
+// checkpoint, or already applied) is skipped, so double-apply is
+// impossible no matter how the record stream resumes or repeats.
+// Records for unknown sketches and undecodable snapshots are skipped
+// and reported in Stats.Warnings, never fatal — the applier's contract
+// is salvage, not veto.
+func (a *Applier) Apply(rec *Record) {
+	if rec.LSN <= a.gate[rec.Name] {
+		a.Stats.Skipped++
+		return
+	}
+	switch rec.Type {
+	case TypeCreate:
+		if _, taken := a.Sketches[rec.Name]; taken {
+			a.Stats.warnf("lsn %d: create %q: already exists, skipped", rec.LSN, rec.Name)
+			a.Stats.Skipped++
+			return
+		}
+		rb, err := NewRebuilt(rec.Spec)
+		if err != nil {
+			a.Stats.warnf("lsn %d: create %q: %v", rec.LSN, rec.Name, err)
+			a.Stats.Skipped++
+			return
+		}
+		rb.LSN = rec.LSN
+		a.Sketches[rec.Name] = rb
+	case TypeDelete:
+		if _, ok := a.Sketches[rec.Name]; !ok {
+			a.Stats.warnf("lsn %d: delete %q: no such sketch", rec.LSN, rec.Name)
+			a.Stats.Skipped++
+			return
+		}
+		delete(a.Sketches, rec.Name)
+	case TypeIngest:
+		rb, ok := a.Sketches[rec.Name]
+		if !ok {
+			a.Stats.warnf("lsn %d: ingest into missing sketch %q", rec.LSN, rec.Name)
+			a.Stats.Skipped++
+			return
+		}
+		rb.ApplyIngest(rec.Items, rec.Weights, rec.Ats)
+		rb.LSN = rec.LSN
+	case TypeSnapshot:
+		rb, ok := a.Sketches[rec.Name]
+		if !ok {
+			a.Stats.warnf("lsn %d: snapshot push into missing sketch %q", rec.LSN, rec.Name)
+			a.Stats.Skipped++
+			return
+		}
+		red, err := parseReduction(rec.Reduction)
+		if err != nil {
+			a.Stats.warnf("lsn %d: snapshot push into %q: %v", rec.LSN, rec.Name, err)
+			a.Stats.Skipped++
+			return
+		}
+		if err := rb.ApplySnapshot(red, rec.Blob); err != nil {
+			a.Stats.warnf("lsn %d: snapshot push into %q: %v", rec.LSN, rec.Name, err)
+			a.Stats.Skipped++
+			return
+		}
+		rb.LSN = rec.LSN
+	default:
+		a.Stats.warnf("lsn %d: unknown record type %d", rec.LSN, rec.Type)
+		a.Stats.Skipped++
+		return
+	}
+	a.gate[rec.Name] = rec.LSN
+	a.Stats.Applied++
+}
+
 // Rebuild reconstructs every sketch from dir's newest checkpoint plus
 // the log tail, read-only (nothing is truncated or written — safe on a
 // live or foreign data directory, though the result is then a snapshot
-// in time). Each sketch starts from its checkpoint state (when present)
-// and replays exactly the records with LSN above its checkpoint LSN, so
-// double-apply is impossible; records for unknown sketches or damaged
-// trailing log bytes are skipped and reported in Stats.
+// in time). It is the boot-recovery and `uss wal replay` entry point:
+// an Applier seeded from the checkpoint, fed the log tail in LSN order.
 func Rebuild(dir string) (*RebuildResult, error) {
-	res := &RebuildResult{Sketches: make(map[string]*RebuiltSketch)}
-	gate := make(map[string]uint64)
-
-	if gen := latestCheckpointGen(dir); gen != 0 {
-		man, err := loadManifest(dir, gen)
-		if err != nil {
-			return nil, err
-		}
-		res.Stats.CheckpointGen = gen
-		res.Stats.Cutoff = man.Cutoff
-		for i := range man.Sketches {
-			ms := &man.Sketches[i]
-			blob, err := loadCheckpointBlob(dir, gen, ms)
-			if err != nil {
-				return nil, err
-			}
-			rb, err := newRebuilt(ms.Spec)
-			if err != nil {
-				return nil, err
-			}
-			if err := rb.restoreState(blob); err != nil {
-				return nil, fmt.Errorf("store: restore %q from checkpoint: %w", ms.Spec.Name, err)
-			}
-			rb.LSN, rb.Rows, rb.Pushes, rb.Dropped = ms.LSN, ms.Rows, ms.Pushes, ms.Dropped
-			res.Sketches[ms.Spec.Name] = rb
-			gate[ms.Spec.Name] = ms.LSN
-		}
+	a := NewApplier()
+	if err := a.LoadCheckpoint(dir); err != nil {
+		return nil, err
 	}
-
 	segs, lastLSN, err := scanLog(dir, func(rec *Record) error {
-		if rec.LSN <= gate[rec.Name] {
-			res.Stats.Skipped++
-			return nil
-		}
-		switch rec.Type {
-		case recCreate:
-			if _, taken := res.Sketches[rec.Name]; taken {
-				res.Stats.warnf("lsn %d: create %q: already exists, skipped", rec.LSN, rec.Name)
-				res.Stats.Skipped++
-				return nil
-			}
-			rb, err := newRebuilt(rec.Spec)
-			if err != nil {
-				res.Stats.warnf("lsn %d: create %q: %v", rec.LSN, rec.Name, err)
-				res.Stats.Skipped++
-				return nil
-			}
-			rb.LSN = rec.LSN
-			res.Sketches[rec.Name] = rb
-		case recDelete:
-			if _, ok := res.Sketches[rec.Name]; !ok {
-				res.Stats.warnf("lsn %d: delete %q: no such sketch", rec.LSN, rec.Name)
-				res.Stats.Skipped++
-				return nil
-			}
-			delete(res.Sketches, rec.Name)
-		case recIngest:
-			rb, ok := res.Sketches[rec.Name]
-			if !ok {
-				res.Stats.warnf("lsn %d: ingest into missing sketch %q", rec.LSN, rec.Name)
-				res.Stats.Skipped++
-				return nil
-			}
-			rb.applyIngest(rec.Items, rec.Weights, rec.Ats)
-			rb.LSN = rec.LSN
-		case recSnapshot:
-			rb, ok := res.Sketches[rec.Name]
-			if !ok {
-				res.Stats.warnf("lsn %d: snapshot push into missing sketch %q", rec.LSN, rec.Name)
-				res.Stats.Skipped++
-				return nil
-			}
-			red, err := parseReduction(rec.Reduction)
-			if err != nil {
-				res.Stats.warnf("lsn %d: snapshot push into %q: %v", rec.LSN, rec.Name, err)
-				res.Stats.Skipped++
-				return nil
-			}
-			if err := rb.applySnapshot(red, rec.Blob); err != nil {
-				res.Stats.warnf("lsn %d: snapshot push into %q: %v", rec.LSN, rec.Name, err)
-				res.Stats.Skipped++
-				return nil
-			}
-			rb.LSN = rec.LSN
-		}
-		res.Stats.Applied++
+		a.Apply(rec)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.Segments = len(segs)
-	res.Stats.LastLSN = lastLSN
+	a.Stats.Segments = len(segs)
+	a.Stats.LastLSN = lastLSN
 	for i := range segs {
 		if segs[i].torn {
-			res.Stats.TornTail = true
+			a.Stats.TornTail = true
 		}
 	}
-	return res, nil
+	return &RebuildResult{Sketches: a.Sketches, Stats: a.Stats}, nil
 }

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // SyncPolicy selects when appends reach stable storage.
@@ -109,6 +111,8 @@ type Store struct {
 	cpGen    uint64 // last committed checkpoint generation
 	closed   bool
 
+	notify chan struct{} // closed and replaced on every append (WaitForLSN)
+
 	dirty    atomic.Bool // unsynced appends (SyncInterval)
 	loopDone chan struct{}
 	loopWG   sync.WaitGroup
@@ -131,8 +135,25 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{opts: opts, loopDone: make(chan struct{})}
+	s := &Store{opts: opts, loopDone: make(chan struct{}), notify: make(chan struct{})}
 	s.cpGen = latestCheckpointGen(opts.Dir)
+
+	// A data dir with a checkpoint but no log (a follower that just
+	// installed a checkpoint bundle, or a log fully truncated by
+	// checkpointing and then lost) must not restart LSNs from 1: the
+	// checkpoint already covers LSNs up to its high watermark, and reusing
+	// them would make the gated replay skip new records. Resume numbering
+	// above everything the checkpoint covers.
+	if lastLSN == 0 && s.cpGen != 0 {
+		if man, err := loadManifest(opts.Dir, s.cpGen); err == nil {
+			lastLSN = man.Cutoff
+			for i := range man.Sketches {
+				if l := man.Sketches[i].LSN; l > lastLSN {
+					lastLSN = l
+				}
+			}
+		}
+	}
 
 	// Truncate the torn tail of the final segment so appends resume on a
 	// clean record boundary. Damage in earlier segments is left in place:
@@ -219,6 +240,17 @@ func (s *Store) append() (uint64, error) {
 			return 0, err
 		}
 	}
+	if faultinject.Hit("wal.torn-write") {
+		// Injected crash artifact: a prefix of the frame reaches the file,
+		// then the "process dies" — the store wedges so nothing appends
+		// after the tear, exactly like a real power cut mid-write.
+		s.f.Write(s.buf[:len(s.buf)/2])
+		s.f.Sync()
+		s.closed = true
+		close(s.notify)
+		s.notify = make(chan struct{})
+		return 0, fmt.Errorf("store: append record: injected torn write")
+	}
 	if _, err := s.f.Write(s.buf); err != nil {
 		return 0, fmt.Errorf("store: append record: %w", err)
 	}
@@ -228,6 +260,7 @@ func (s *Store) append() (uint64, error) {
 	s.met.Bytes.Add(int64(len(s.buf)))
 	switch s.opts.Sync {
 	case SyncAlways:
+		faultinject.Sleep("wal.stall-fsync", 50*time.Millisecond)
 		if err := s.f.Sync(); err != nil {
 			return 0, fmt.Errorf("store: fsync record: %w", err)
 		}
@@ -235,6 +268,9 @@ func (s *Store) append() (uint64, error) {
 	case SyncInterval:
 		s.dirty.Store(true)
 	}
+	// Wake WAL-stream long-polls blocked in WaitForLSN.
+	close(s.notify)
+	s.notify = make(chan struct{})
 	return lsn, nil
 }
 
@@ -255,7 +291,7 @@ func (s *Store) stage() []byte {
 func (s *Store) AppendCreate(cfg []byte) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	payload := append(s.stage(), recCreate)
+	payload := append(s.stage(), TypeCreate)
 	payload = append(payload, cfg...)
 	s.sealFrame(payload)
 	return s.append()
@@ -265,7 +301,7 @@ func (s *Store) AppendCreate(cfg []byte) (uint64, error) {
 func (s *Store) AppendDelete(name string) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	payload := append(s.stage(), recDelete)
+	payload := append(s.stage(), TypeDelete)
 	payload = append(payload, name...)
 	s.sealFrame(payload)
 	return s.append()
@@ -288,7 +324,7 @@ func (s *Store) AppendIngest(name string, items []string, ws []float64, ats []in
 func (s *Store) AppendSnapshot(name string, reduction byte, blob []byte) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	payload := append(s.stage(), recSnapshot)
+	payload := append(s.stage(), TypeSnapshot)
 	payload = appendLenPrefixed(payload, name)
 	payload = append(payload, reduction)
 	payload = append(payload, blob...)
@@ -329,6 +365,8 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.notify)
+	s.notify = make(chan struct{})
 	s.mu.Unlock()
 	if s.opts.Sync == SyncInterval {
 		close(s.loopDone)

@@ -1,0 +1,61 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// timelineName is the timeline file inside a data directory.
+const timelineName = "timeline.json"
+
+// Timeline records which replication epoch a data directory's log
+// belongs to. Every promotion starts a new epoch: the promoting follower
+// bumps Epoch and records PromoteLSN, the last LSN it had when it took
+// over. A returning node whose log extends past the new epoch's
+// PromoteLSN has diverged — those records were acknowledged by the old
+// primary but never replicated — and must reconcile them by merging
+// (mergeable-state semantics make this lossless) before resyncing onto
+// the new timeline.
+type Timeline struct {
+	// Epoch counts promotions; 0 is the initial, never-promoted timeline.
+	Epoch uint64 `json:"epoch"`
+	// PromoteLSN is the last LSN carried over from the previous epoch:
+	// records above it on the old timeline were never replicated.
+	PromoteLSN uint64 `json:"promote_lsn"`
+}
+
+// LoadTimeline reads dir's timeline. A missing file is the zero timeline
+// (epoch 0), not an error.
+func LoadTimeline(dir string) (Timeline, error) {
+	data, err := os.ReadFile(filepath.Join(dir, timelineName))
+	if os.IsNotExist(err) {
+		return Timeline{}, nil
+	}
+	if err != nil {
+		return Timeline{}, fmt.Errorf("store: read timeline: %w", err)
+	}
+	var tl Timeline
+	if err := json.Unmarshal(data, &tl); err != nil {
+		return Timeline{}, fmt.Errorf("store: parse timeline: %w", err)
+	}
+	return tl, nil
+}
+
+// SaveTimeline durably writes dir's timeline (file fsynced, directory
+// fsynced) — called on promotion and when a follower adopts a primary's
+// epoch.
+func SaveTimeline(dir string, tl Timeline) error {
+	data, err := json.Marshal(&tl)
+	if err != nil {
+		return fmt.Errorf("store: encode timeline: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := writeFileSync(filepath.Join(dir, timelineName), data); err != nil {
+		return fmt.Errorf("store: write timeline: %w", err)
+	}
+	return fsyncDir(dir)
+}

@@ -53,15 +53,18 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"math"
 )
 
-// Record types. The type byte leads every record payload.
+// Record types. The type byte leads every record payload. Exported so
+// transports (the replication follower) can dispatch decoded records
+// without round-tripping through display names.
 const (
-	recCreate   = byte(1) // sketch created: body = SketchSpec JSON
-	recDelete   = byte(2) // sketch deleted: body = name bytes
-	recIngest   = byte(3) // ingest batch: body = name + row columns
-	recSnapshot = byte(4) // pushed snapshot: body = name + reduction + wire-v2 blob
+	TypeCreate   = byte(1) // sketch created: body = SketchSpec JSON
+	TypeDelete   = byte(2) // sketch deleted: body = name bytes
+	TypeIngest   = byte(3) // ingest batch: body = name + row columns
+	TypeSnapshot = byte(4) // pushed snapshot: body = name + reduction + wire-v2 blob
 )
 
 // frameOverhead is the per-record framing cost: length + CRC.
@@ -107,7 +110,7 @@ type SketchSpec struct {
 type Record struct {
 	// LSN is the record's log sequence number.
 	LSN uint64
-	// Type is one of the rec* record types.
+	// Type is one of the Type* record types.
 	Type byte
 	// Spec is the created sketch's configuration (create records).
 	Spec SketchSpec
@@ -133,7 +136,7 @@ type Record struct {
 // columns. It only appends, so a caller-reused buffer makes steady-state
 // encoding allocation-free.
 func appendIngestPayload(dst []byte, name string, items []string, ws []float64, ats []int64) []byte {
-	dst = append(dst, recIngest)
+	dst = append(dst, TypeIngest)
 	dst = binary.AppendUvarint(dst, uint64(len(name)))
 	dst = append(dst, name...)
 	var flags byte
@@ -179,7 +182,7 @@ func decodeRecord(payload []byte, r *Record) error {
 	r.Type = payload[0]
 	body := payload[1:]
 	switch r.Type {
-	case recCreate:
+	case TypeCreate:
 		if err := json.Unmarshal(body, &r.Spec); err != nil {
 			return fmt.Errorf("store: create record: %w", err)
 		}
@@ -188,14 +191,14 @@ func decodeRecord(payload []byte, r *Record) error {
 		}
 		r.SpecJSON = body
 		r.Name = r.Spec.Name
-	case recDelete:
+	case TypeDelete:
 		if len(body) == 0 {
 			return fmt.Errorf("store: delete record without a name")
 		}
 		r.Name = string(body)
-	case recIngest:
+	case TypeIngest:
 		return decodeIngestBody(body, r)
-	case recSnapshot:
+	case TypeSnapshot:
 		name, rest, err := cutString(body)
 		if err != nil {
 			return fmt.Errorf("store: snapshot record: %w", err)
@@ -276,6 +279,52 @@ func decodeIngestBody(body []byte, r *Record) error {
 	return nil
 }
 
+// DecodePayload parses one record payload (type byte + body, without
+// the length/CRC frame header) into a Record carrying lsn — the decode
+// entry point for records arriving over a transport instead of off the
+// local log. Item strings are copied out of payload; Blob aliases it
+// and must be copied if retained past the payload's lifetime.
+func DecodePayload(lsn uint64, payload []byte) (Record, error) {
+	r := Record{LSN: lsn}
+	err := decodeRecord(payload, &r)
+	return r, err
+}
+
+// AppendFramed appends payload to dst framed exactly as the on-disk log
+// frames records (uint32 LE length, uint32 LE CRC32, payload), so a
+// replication stream carries byte-identical frames and the follower's
+// re-append reproduces the primary's log bit for bit.
+func AppendFramed(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// CutFrame parses one framed record off the front of b, returning its
+// payload (aliasing b) and the remainder. err is non-nil on a torn or
+// corrupt frame; a clean empty b returns (nil, nil, nil).
+func CutFrame(b []byte) (payload, rest []byte, err error) {
+	if len(b) == 0 {
+		return nil, nil, nil
+	}
+	if len(b) < frameOverhead {
+		return nil, nil, fmt.Errorf("store: torn frame header (%d bytes)", len(b))
+	}
+	plen := int64(binary.LittleEndian.Uint32(b))
+	sum := binary.LittleEndian.Uint32(b[4:])
+	if plen == 0 || plen > maxRecordBytes {
+		return nil, nil, fmt.Errorf("store: bad frame length %d", plen)
+	}
+	if int64(len(b))-frameOverhead < plen {
+		return nil, nil, fmt.Errorf("store: torn frame (%d of %d payload bytes)", int64(len(b))-frameOverhead, plen)
+	}
+	payload = b[frameOverhead : frameOverhead+plen]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, nil, fmt.Errorf("store: frame CRC mismatch")
+	}
+	return payload, b[frameOverhead+plen:], nil
+}
+
 // cutString reads a uvarint-length-prefixed string off the front of b.
 func cutString(b []byte) (string, []byte, error) {
 	l, w := binary.Uvarint(b)
@@ -288,13 +337,13 @@ func cutString(b []byte) (string, []byte, error) {
 // recordTypeName renders a record type for inspect output.
 func recordTypeName(t byte) string {
 	switch t {
-	case recCreate:
+	case TypeCreate:
 		return "create"
-	case recDelete:
+	case TypeDelete:
 		return "delete"
-	case recIngest:
+	case TypeIngest:
 		return "ingest"
-	case recSnapshot:
+	case TypeSnapshot:
 		return "snapshot"
 	default:
 		return fmt.Sprintf("type-%d", t)
