@@ -14,6 +14,8 @@
 //	uss wal replay -dir /var/lib/ussd -top 10
 //	uss repl status -url http://127.0.0.1:8632
 //	uss repl promote -url http://follower:8633
+//	uss cluster status -url http://node-a:8632 -name clicks
+//	uss cluster antientropy -url http://node-a:8632
 //
 // Rows are read one per line; -field selects a tab-separated column as the
 // item key (-1 uses the whole line).
@@ -60,6 +62,8 @@ func main() {
 		err = runWAL(os.Args[2:])
 	case "repl":
 		err = runRepl(os.Args[2:])
+	case "cluster":
+		err = runCluster(os.Args[2:])
 	default:
 		usage()
 	}
@@ -78,7 +82,9 @@ func usage() {
   uss wal inspect -dir DATADIR [-records]
   uss wal replay -dir DATADIR [-top K] [-out-dir DIR]
   uss repl status [-url URL]
-  uss repl promote -url URL`)
+  uss repl promote -url URL
+  uss cluster status [-url URL] [-name SKETCH]
+  uss cluster antientropy -url URL`)
 	os.Exit(2)
 }
 

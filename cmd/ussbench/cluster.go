@@ -1,0 +1,177 @@
+package main
+
+// -bench cluster: what the fault-tolerant cluster mode costs over a
+// single node — fan-out ingest throughput through real loopback HTTP,
+// scatter-gather read latency against three owners, and the degraded
+// path (one node stopped, reads hedged from anti-entropy copies).
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+// benchNode is one in-process cluster member.
+type benchNode struct {
+	srv   *server.Server
+	agent *cluster.Agent
+	hs    *http.Server
+	ln    net.Listener
+}
+
+// perfCluster boots a 3-node in-process cluster on loopback listeners
+// and measures fan ingest, gathered top-k latency, and the degraded
+// read path.
+func perfCluster(w io.Writer, rec *benchRecorder, scale float64) error {
+	batches := int(40 * scale)
+	if batches < 4 {
+		batches = 4
+	}
+	const rowsPerBatch = 500
+	queryReps := int(200 * scale)
+	if queryReps < 20 {
+		queryReps = 20
+	}
+
+	const n = 3
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*benchNode, n)
+	for i := range nodes {
+		srv := server.New(server.Config{IngestWorkers: 2, QueueDepth: 64})
+		ag, err := cluster.New(cluster.Config{
+			Self:              urls[i],
+			Peers:             append([]string(nil), urls...),
+			ReplicationFactor: 3,
+			ReadQuorum:        2,
+			HedgeDelay:        20 * time.Millisecond,
+		}, srv)
+		if err != nil {
+			return err
+		}
+		ag.Start()
+		hs := &http.Server{Handler: ag.Handler()}
+		go hs.Serve(lns[i])
+		nodes[i] = &benchNode{srv: srv, agent: ag, hs: hs, ln: lns[i]}
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.hs.Close()
+			_ = nd.agent.Shutdown(context.Background())
+			_ = nd.srv.Shutdown(context.Background())
+		}
+	}()
+
+	post := func(url, ctype string, body []byte) error {
+		resp, err := http.Post(url, ctype, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("POST %s: status %d", url, resp.StatusCode)
+		}
+		return nil
+	}
+	get := func(url string) error {
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+		}
+		return nil
+	}
+
+	if err := post(urls[0]+"/v1/sketches", "application/json",
+		[]byte(`{"name":"bench","kind":"weighted","bins":1024,"seed":20180614}`)); err != nil {
+		return err
+	}
+
+	// Pre-render batch bodies so the driver measures the fan, not fmt.
+	bodies := make([][]byte, batches)
+	for b := range bodies {
+		var buf strings.Builder
+		for i := 0; i < rowsPerBatch; i++ {
+			fmt.Fprintf(&buf, "item-%05d\t%d\n", (b*rowsPerBatch+i)%2000, 1+i%5)
+		}
+		bodies[b] = []byte(buf.String())
+	}
+	totalRows := batches * rowsPerBatch
+	fmt.Fprintf(w, "# cluster: 3 nodes rf=3, %d sync batches × %d rows fanned by partition, then %d reps/query\n",
+		batches, rowsPerBatch, queryReps)
+
+	ingestStart := time.Now()
+	for b, body := range bodies {
+		if err := post(urls[b%n]+"/v1/sketches/bench/ingest?sync=1", "text/plain", body); err != nil {
+			return err
+		}
+	}
+	ingestD := time.Since(ingestStart)
+	fmt.Fprintf(w, "%-34s %14v %14.0f rows/s\n", "sync fan ingest", ingestD,
+		float64(totalRows)/ingestD.Seconds())
+	rec.set("ingest_rows", totalRows)
+	rec.set("ingest_total", ingestD)
+	rec.set("ingest_rows_per_second", float64(totalRows)/ingestD.Seconds())
+
+	measure := func(label, key string, run func() error) error {
+		if err := run(); err != nil { // warm
+			return err
+		}
+		lat := make([]time.Duration, queryReps)
+		for i := range lat {
+			t0 := time.Now()
+			if err := run(); err != nil {
+				return err
+			}
+			lat[i] = time.Since(t0)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		fmt.Fprintf(w, "%-34s %14v %14v %14v\n", label,
+			percentile(lat, 0.50), percentile(lat, 0.99), lat[len(lat)-1])
+		rec.set(key+"_p50", percentile(lat, 0.50))
+		rec.set(key+"_p99", percentile(lat, 0.99))
+		return nil
+	}
+
+	fmt.Fprintf(w, "%-34s %14s %14s %14s\n", "read (scatter-gather)", "p50", "p99", "max")
+	if err := measure("topk k=10, all owners up", "topk_healthy",
+		func() error { return get(urls[0] + "/v1/sketches/bench/topk?k=10") }); err != nil {
+		return err
+	}
+
+	// Anti-entropy copies, then stop one node: the degraded path hedges
+	// the dead owner's partial from a co-owner copy.
+	for _, u := range urls {
+		if err := post(u+"/v1/cluster/antientropy", "", nil); err != nil {
+			return err
+		}
+	}
+	nodes[2].hs.Close()
+	if err := measure("topk k=10, one node down (hedged)", "topk_degraded",
+		func() error { return get(urls[0] + "/v1/sketches/bench/topk?k=10") }); err != nil {
+		return err
+	}
+	return nil
+}

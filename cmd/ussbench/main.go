@@ -10,11 +10,14 @@
 //	ussbench -bench server
 //	ussbench -bench wal
 //	ussbench -bench repl
+//	ussbench -bench cluster
 //
 // Each experiment prints the same rows/series the corresponding paper
 // figure plots, plus a note stating the qualitative shape to expect. See
 // internal/experiments for the per-figure drivers and DESIGN.md for the
-// engineering notes behind the perf modes.
+// engineering notes behind the perf modes. Every -bench run also emits
+// its headline numbers as BENCH_<mode>.json (see -json-dir) for CI and
+// tooling.
 package main
 
 import (
@@ -32,11 +35,12 @@ func main() {
 		list  = flag.Bool("list", false, "list available experiments and exit")
 		name  = flag.String("experiment", "", "experiment to run (e.g. figure-3)")
 		all   = flag.Bool("all", false, "run every experiment in paper order")
-		bench = flag.String("bench", "", "run a perf comparison instead: codec | rollup-range | server | wal | repl")
+		bench = flag.String("bench", "", "run a perf comparison instead: codec | rollup-range | server | wal | repl | cluster")
 		scale = flag.Float64("scale", 1, "workload size multiplier")
 		reps  = flag.Float64("reps", 1, "replicate count multiplier")
 		seed  = flag.Int64("seed", 20180614, "random seed")
 		out   = flag.String("out", "", "also write results to this file")
+		jdir  = flag.String("json-dir", ".", "directory for the machine-readable BENCH_<mode>.json a -bench run emits")
 	)
 	flag.Parse()
 
@@ -58,7 +62,7 @@ func main() {
 	}
 
 	if *bench != "" {
-		if err := runPerf(w, *bench, *scale); err != nil {
+		if err := runPerf(w, *bench, *scale, *jdir); err != nil {
 			fatal(err)
 		}
 		return

@@ -27,22 +27,37 @@ import (
 	"repro/internal/rollup"
 )
 
-// runPerf dispatches a -bench mode.
-func runPerf(w io.Writer, mode string, scale float64) error {
+// runPerf dispatches a -bench mode, then drops the mode's
+// machine-readable results as BENCH_<mode>.json in jsonDir.
+func runPerf(w io.Writer, mode string, scale float64, jsonDir string) error {
+	rec := newRecorder(mode)
+	rec.set("scale", scale)
+	var err error
 	switch mode {
 	case "codec":
-		return perfCodec(w, scale)
+		err = perfCodec(w, rec, scale)
 	case "rollup-range":
-		return perfRollupRange(w, scale)
+		err = perfRollupRange(w, rec, scale)
 	case "server":
-		return perfServer(w, scale)
+		err = perfServer(w, rec, scale)
 	case "wal":
-		return perfWAL(w, scale)
+		err = perfWAL(w, rec, scale)
 	case "repl":
-		return perfRepl(w, scale)
+		err = perfRepl(w, rec, scale)
+	case "cluster":
+		err = perfCluster(w, rec, scale)
 	default:
-		return fmt.Errorf("unknown -bench mode %q (want codec, rollup-range, server, wal or repl)", mode)
+		return fmt.Errorf("unknown -bench mode %q (want codec, rollup-range, server, wal, repl or cluster)", mode)
 	}
+	if err != nil {
+		return err
+	}
+	path, err := rec.write(jsonDir)
+	if err != nil {
+		return fmt.Errorf("write bench json: %w", err)
+	}
+	fmt.Fprintf(w, "# results → %s\n", path)
+	return nil
 }
 
 // timeOp measures fn's per-op wall time, running it for at least minTime.
@@ -71,7 +86,7 @@ type v1GobSnapshot struct {
 	Bins          []uss.Bin
 }
 
-func perfCodec(w io.Writer, scale float64) error {
+func perfCodec(w io.Writer, rec *benchRecorder, scale float64) error {
 	bins := int(65536 * scale)
 	if bins < 16 {
 		bins = 16
@@ -133,10 +148,18 @@ func perfCodec(w io.Writer, scale float64) error {
 	row("decode bins only (merge path)", tGobDec, tV2DecBins)
 	fmt.Fprintf(w, "%-34s %13dB %13dB %7.2fx\n", "snapshot size", len(gobBlob), len(v2Blob),
 		float64(len(gobBlob))/float64(len(v2Blob)))
+	rec.set("bins", bins)
+	rec.set("encode_gob", tGobEnc)
+	rec.set("encode_v2", tV2Enc)
+	rec.set("decode_gob", tGobDec)
+	rec.set("decode_v2", tV2Dec)
+	rec.set("decode_v2_bins_only", tV2DecBins)
+	rec.set("size_gob_bytes", len(gobBlob))
+	rec.set("size_v2_bytes", len(v2Blob))
 	return nil
 }
 
-func perfRollupRange(w io.Writer, scale float64) error {
+func perfRollupRange(w io.Writer, rec *benchRecorder, scale float64) error {
 	const windows = 90
 	rows := int(2000 * scale)
 	if rows < 10 {
@@ -186,5 +209,10 @@ func perfRollupRange(w io.Writer, scale float64) error {
 	fmt.Fprintf(w, "%-34s %14v %7.1fx\n", "cold (re-merge all windows)", tCold, 1.0)
 	fmt.Fprintf(w, "%-34s %14v %7.1fx\n", "cached, quiescent windows", tQuiescent, float64(tCold)/float64(tQuiescent))
 	fmt.Fprintf(w, "%-34s %14v %7.1fx\n", "cached, live-window delta", tLiveDelta, float64(tCold)/float64(tLiveDelta))
+	rec.set("windows", windows)
+	rec.set("rows_per_window", rows)
+	rec.set("cold", tCold)
+	rec.set("cached_quiescent", tQuiescent)
+	rec.set("cached_live_delta", tLiveDelta)
 	return nil
 }

@@ -1,0 +1,66 @@
+package main
+
+// Machine-readable bench output: every -bench mode records its headline
+// numbers into a flat key→value map that lands next to the text table
+// as BENCH_<mode>.json, so CI and tooling can track perf without
+// scraping the human tables.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// benchRecorder accumulates one -bench run's machine-readable results.
+type benchRecorder struct {
+	mode    string
+	results map[string]any
+}
+
+func newRecorder(mode string) *benchRecorder {
+	return &benchRecorder{mode: mode, results: make(map[string]any)}
+}
+
+// set records one result. Durations are stored as float seconds under
+// key and as a human string under key_human.
+func (r *benchRecorder) set(key string, v any) {
+	if d, ok := v.(time.Duration); ok {
+		r.results[key+"_seconds"] = d.Seconds()
+		r.results[key+"_human"] = d.String()
+		return
+	}
+	r.results[key] = v
+}
+
+// write dumps the run as BENCH_<mode>.json in dir.
+func (r *benchRecorder) write(dir string) (string, error) {
+	doc := map[string]any{
+		"bench":   r.mode,
+		"results": r.results,
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", sanitizeMode(r.mode)))
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// sanitizeMode keeps bench filenames flat ("rollup-range" → "rollup-range").
+func sanitizeMode(mode string) string {
+	out := make([]rune, 0, len(mode))
+	for _, c := range mode {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -21,7 +21,7 @@ import (
 
 // perfRepl populates a primary's log over HTTP, then times a cold
 // follower catching up from LSN 1 to the log end.
-func perfRepl(w io.Writer, scale float64) error {
+func perfRepl(w io.Writer, rec *benchRecorder, scale float64) error {
 	rowsPerBatch := int(256 * scale)
 	if rowsPerBatch < 8 {
 		rowsPerBatch = 8
@@ -90,6 +90,9 @@ func perfRepl(w io.Writer, scale float64) error {
 	fmt.Fprintf(w, "%-34s %14s %14s\n", "catch-up", "total", "rows/s")
 	fmt.Fprintf(w, "%-34s %14v %14.0f\n",
 		fmt.Sprintf("%7d rows (%d records)", total, target-1), elapsed, float64(total)/elapsed.Seconds())
+	rec.set("catchup_rows", total)
+	rec.set("catchup_total", elapsed)
+	rec.set("catchup_rows_per_second", float64(total)/elapsed.Seconds())
 	return nil
 }
 

@@ -69,7 +69,7 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 
 // perfServer runs the service workload: async text ingest to a sharded
 // sketch, a drain barrier, then repeated top-k and group-by queries.
-func perfServer(w io.Writer, scale float64) error {
+func perfServer(w io.Writer, rec *benchRecorder, scale float64) error {
 	batches := int(100 * scale)
 	if batches < 4 {
 		batches = 4
@@ -141,21 +141,25 @@ func perfServer(w io.Writer, scale float64) error {
 	ingestD := time.Since(ingestStart)
 	fmt.Fprintf(w, "%-34s %14v %14.0f rows/s\n", "ingest (accept + apply)", ingestD,
 		float64(totalRows)/ingestD.Seconds())
+	rec.set("ingest_rows", totalRows)
+	rec.set("ingest_total", ingestD)
+	rec.set("ingest_rows_per_second", float64(totalRows)/ingestD.Seconds())
 
 	queries := []struct {
 		name string
+		key  string
 		run  func() error
 	}{
-		{"topk k=10", func() error {
+		{"topk k=10", "topk", func() error {
 			_, err := c.get("/v1/sketches/bench/topk?k=10")
 			return err
 		}},
-		{"query group_by country", func() error {
+		{"query group_by country", "groupby", func() error {
 			_, err := c.post("/v1/sketches/bench/query", "application/json",
 				[]byte(`{"where":[{"dim":"country","in":["us","de"]}],"group_by":["country"]}`))
 			return err
 		}},
-		{"sum prefix", func() error {
+		{"sum prefix", "sum", func() error {
 			_, err := c.get("/v1/sketches/bench/sum?prefix=country=jp")
 			return err
 		}},
@@ -176,6 +180,8 @@ func perfServer(w io.Writer, scale float64) error {
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 		fmt.Fprintf(w, "%-34s %14v %14v %14v\n", q.name,
 			percentile(lat, 0.50), percentile(lat, 0.99), lat[len(lat)-1])
+		rec.set(q.key+"_p50", percentile(lat, 0.50))
+		rec.set(q.key+"_p99", percentile(lat, 0.99))
 	}
 	return nil
 }

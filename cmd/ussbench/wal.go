@@ -16,7 +16,7 @@ import (
 
 // perfWAL drives append throughput across the fsync policies and
 // recovery (checkpoint-free Rebuild) across log sizes.
-func perfWAL(w io.Writer, scale float64) error {
+func perfWAL(w io.Writer, rec *benchRecorder, scale float64) error {
 	rows := int(256 * scale)
 	if rows < 8 {
 		rows = 8
@@ -47,6 +47,8 @@ func perfWAL(w io.Writer, scale float64) error {
 		os.RemoveAll(dir)
 		fmt.Fprintf(w, "%-34s %14v %14.0f\n", "fsync="+policy.String(), per,
 			float64(rows)/per.Seconds())
+		rec.set("append_"+policy.String(), per)
+		rec.set("append_"+policy.String()+"_rows_per_second", float64(rows)/per.Seconds())
 	}
 
 	fmt.Fprintf(w, "\n%-34s %14s %14s\n", "recovery (replay, no checkpoint)", "total", "rows/s")
@@ -85,6 +87,8 @@ func perfWAL(w io.Writer, scale float64) error {
 		}
 		fmt.Fprintf(w, "%-34s %14v %14.0f\n", fmt.Sprintf("%7d rows (%d batches)", total, batches),
 			elapsed, float64(total)/elapsed.Seconds())
+		rec.set(fmt.Sprintf("recovery_%d_batches", batches), elapsed)
+		rec.set(fmt.Sprintf("recovery_%d_batches_rows_per_second", batches), float64(total)/elapsed.Seconds())
 	}
 	return nil
 }

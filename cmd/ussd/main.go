@@ -34,6 +34,18 @@
 //
 //	ussd -addr :8633 -data-dir /var/lib/ussd-b -follow http://primary:8632 -auto-promote
 //
+// With -cluster the node joins a consistent-hash cluster instead: every
+// node serves the full public API, routes each ingested row to its
+// partition's owner, answers reads by scatter-gather merge across the
+// owner set (degraded, never 5xx, while a quorum answers), and runs
+// periodic snapshot anti-entropy so a rejoining node converges. A node
+// restarted after losing its disk pulls its partitions back from its
+// co-owners' copies before serving. See internal/cluster and DESIGN.md
+// §13.
+//
+//	ussd -addr :8632 -data-dir /var/lib/ussd-a -cluster \
+//	  -cluster-self http://a:8632 -peers http://a:8632,http://b:8633,http://c:8634
+//
 // ussd shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // finish, every ingest batch acknowledged with 202 is applied, and a
 // durable server takes a final checkpoint before exit.
@@ -47,11 +59,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -77,6 +92,14 @@ func main() {
 		follow  = flag.String("follow", "", "boot as a replication follower of this primary URL (requires -data-dir)")
 		autoPro = flag.Bool("auto-promote", false, "with -follow: promote to primary when the primary is unreachable past -heartbeat-timeout")
 		hbTO    = flag.Duration("heartbeat-timeout", 10*time.Second, "with -follow: primary-unreachable window before auto-promotion")
+		clMode  = flag.Bool("cluster", false, "join a consistent-hash cluster (requires -cluster-self and -peers)")
+		clSelf  = flag.String("cluster-self", "", "with -cluster: this node's base URL exactly as listed in -peers")
+		clPeers = flag.String("peers", "", "with -cluster: comma-separated base URLs of every cluster member, including this node")
+		clRF    = flag.Int("replication-factor", 2, "with -cluster: owner-set size per sketch")
+		clRQ    = flag.Int("read-quorum", 0, "with -cluster: owner partials needed to answer a read (0 = majority of the replication factor)")
+		clHedge = flag.Duration("hedge-delay", 75*time.Millisecond, "with -cluster: wait on an owner before racing a co-owner copy")
+		clAE    = flag.Duration("anti-entropy-interval", 5*time.Second, "with -cluster: periodic anti-entropy interval (0 = manual only)")
+		clVN    = flag.Int("vnodes", 64, "with -cluster: virtual ring points per node")
 		creates multiFlag
 	)
 	flag.Var(&creates, "create", "pre-create a sketch from a SketchConfig JSON object (repeatable)")
@@ -84,6 +107,12 @@ func main() {
 
 	if *follow != "" && *dataDir == "" {
 		log.Fatalf("ussd: -follow requires -data-dir (the follower keeps a full replica of the primary's log)")
+	}
+	if *clMode && *follow != "" {
+		log.Fatalf("ussd: -cluster and -follow are mutually exclusive (a cluster node converges by anti-entropy, not WAL streaming)")
+	}
+	if *clMode && (*clSelf == "" || *clPeers == "") {
+		log.Fatalf("ussd: -cluster requires -cluster-self and -peers")
 	}
 
 	s := server.New(server.Config{
@@ -162,8 +191,47 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
-	go func() { errc <- s.Serve(ln) }()
-	log.Printf("ussd: listening on %s", ln.Addr())
+
+	var agent *cluster.Agent
+	var clusterHS *http.Server
+	if *clMode {
+		agent, err = cluster.New(cluster.Config{
+			Self:                *clSelf,
+			Peers:               strings.Split(*clPeers, ","),
+			ReplicationFactor:   *clRF,
+			ReadQuorum:          *clRQ,
+			VirtualNodes:        *clVN,
+			HedgeDelay:          *clHedge,
+			AntiEntropyInterval: *clAE,
+			MaxBodyBytes:        *maxBody,
+		}, s)
+		if err != nil {
+			log.Fatalf("ussd: %v", err)
+		}
+		// Pull this node's partitions back from co-owner copies before
+		// serving: a node that lost its disk converges here, a node with
+		// intact state is a no-op (its digests already cover the copies).
+		rs := agent.BootRepair(context.Background())
+		log.Printf("ussd: cluster boot repair: restored %d, created %d, %d errors",
+			rs.Restored, rs.Created, len(rs.Errors))
+		for _, e := range rs.Errors {
+			log.Printf("ussd: boot repair: %s", e)
+		}
+		agent.Start()
+		clusterHS = &http.Server{Handler: agent.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			err := clusterHS.Serve(ln)
+			if err == http.ErrServerClosed {
+				err = nil
+			}
+			errc <- err
+		}()
+		log.Printf("ussd: cluster node %s (%d peers, rf=%d, anti-entropy=%v) listening on %s",
+			*clSelf, len(agent.Peers()), *clRF, *clAE, ln.Addr())
+	} else {
+		go func() { errc <- s.Serve(ln) }()
+		log.Printf("ussd: listening on %s", ln.Addr())
+	}
 
 	var fol *replica.Follower
 	if *follow != "" {
@@ -189,6 +257,14 @@ func main() {
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		if clusterHS != nil {
+			if err := clusterHS.Shutdown(ctx); err != nil {
+				log.Printf("ussd: cluster listener shutdown: %v", err)
+			}
+			if err := agent.Shutdown(ctx); err != nil {
+				log.Printf("ussd: cluster agent shutdown: %v", err)
+			}
+		}
 		if err := s.Shutdown(ctx); err != nil {
 			log.Fatalf("ussd: shutdown: %v", err)
 		}

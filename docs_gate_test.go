@@ -32,6 +32,7 @@ var docsGatePackages = []string{
 	"internal/server",
 	"internal/store",
 	"internal/replica",
+	"internal/cluster",
 	"internal/faultinject",
 	"internal/hierarchy",
 	"internal/hashx",

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/faultinject"
+	"repro/internal/replica"
+)
+
+// errDropFan is the injected delivery failure of the cluster.drop-fan
+// faultpoint: the task is "dropped on the wire" before the request is
+// sent, so a retry is always safe.
+var errDropFan = errors.New("faultpoint cluster.drop-fan dropped the send")
+
+// fanTask is one unit of fan-out work bound for an owner set: a request
+// to deliver to owners[idx], with fallback to the next owners in the
+// set when delivery fails terminally. done (when non-nil, buffered 1)
+// receives exactly one final result.
+type fanTask struct {
+	owners []string
+	idx    int // current target's position in owners
+	tried  int // owners attempted so far (including current)
+
+	method   string
+	path     string // target path, e.g. /v1/cluster/sketches/x/ingest
+	rawQuery string
+	ctype    string
+	body     []byte
+
+	done chan fanResult
+}
+
+// fanResult is a task's terminal outcome: the last HTTP status (0 when
+// no request completed) and the delivery error, nil on success.
+type fanResult struct {
+	status int
+	peer   string
+	err    error
+}
+
+// finish reports the task's terminal result to a waiting caller.
+func (t *fanTask) finish(res fanResult) {
+	if t.done != nil {
+		t.done <- res
+	}
+}
+
+// peerQueue is one peer's bounded fan queue; a single worker drains it,
+// so per-peer delivery is ordered and a slow peer backpressures only
+// its own queue.
+type peerQueue struct {
+	url string
+	ch  chan *fanTask
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// enqueue offers t without blocking; false means the queue is full or
+// closed.
+func (q *peerQueue) enqueue(t *fanTask) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.ch <- t:
+		return true
+	default:
+		return false
+	}
+}
+
+func (q *peerQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// fanWorker drains one peer's queue until shutdown.
+func (a *Agent) fanWorker(pq *peerQueue) {
+	defer a.wg.Done()
+	for t := range pq.ch {
+		a.deliver(pq.url, t)
+	}
+}
+
+// deliver pushes one task at its current target with retries, then
+// fails over to the next owner in the set. Retries use replica's
+// jittered exponential backoff; the cluster.drop-fan faultpoint injects
+// pre-send losses that the retry loop heals.
+func (a *Agent) deliver(url string, t *fanTask) {
+	var status int
+	var peer = url
+	first := true
+	err := replica.Retry(a.ctx, a.cfg.FanAttempts, a.cfg.FanBackoffMin, a.cfg.FanBackoffMax, func() error {
+		if !first {
+			a.met.fanRetries.Add(1)
+		}
+		first = false
+		if faultinject.Hit("cluster.drop-fan") {
+			return errDropFan
+		}
+		st, e := a.send(url, t)
+		status = st
+		return e
+	})
+	if err == nil {
+		a.markUp(url)
+		a.met.fanned.Add(1)
+		t.finish(fanResult{status: status, peer: peer, err: nil})
+		return
+	}
+	a.markDown(url)
+	if a.failover(t) {
+		a.met.fanFallbacks.Add(1)
+		return
+	}
+	a.met.fanShed.Add(1)
+	t.finish(fanResult{status: status, peer: peer, err: err})
+}
+
+// failover re-enqueues t to the next untried owner, skipping the ones
+// already attempted. False means the set is exhausted.
+func (a *Agent) failover(t *fanTask) bool {
+	for t.tried < len(t.owners) {
+		t.idx = (t.idx + 1) % len(t.owners)
+		t.tried++
+		if pq := a.queues[t.owners[t.idx]]; pq != nil && pq.enqueue(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// send issues t's request to url once. Connection errors and 5xx are
+// delivery failures (retryable — the cluster holds no non-idempotent
+// 5xx); any other status is a delivered outcome, including 4xx.
+func (a *Agent) send(url string, t *fanTask) (int, error) {
+	u := url + t.path
+	if t.rawQuery != "" {
+		u += "?" + t.rawQuery
+	}
+	req, err := http.NewRequestWithContext(a.ctx, t.method, u, bytes.NewReader(t.body))
+	if err != nil {
+		return 0, err
+	}
+	if t.ctype != "" {
+		req.Header.Set("Content-Type", t.ctype)
+	}
+	resp, err := a.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		return resp.StatusCode, fmt.Errorf("%s %s: status %d", t.method, u, resp.StatusCode)
+	}
+	return resp.StatusCode, nil
+}
+
+// fanOut enqueues a task per owner-set target, preferring the slot's
+// owner but starting at the first live owner (dead ones are skipped up
+// front rather than waiting out their retry budget; the skipped owner
+// stays in the set and is retried by failover if the live ones fail
+// too). Returns false when every owner's queue refused the task.
+func (a *Agent) fanOut(t *fanTask) bool {
+	for t.tried <= len(t.owners) {
+		target := t.owners[t.idx]
+		if !a.alive(target) && t.tried < len(t.owners) {
+			t.idx = (t.idx + 1) % len(t.owners)
+			t.tried++
+			continue
+		}
+		if pq := a.queues[target]; pq != nil && pq.enqueue(t) {
+			return true
+		}
+		if t.tried >= len(t.owners) {
+			break
+		}
+		t.idx = (t.idx + 1) % len(t.owners)
+		t.tried++
+	}
+	return false
+}

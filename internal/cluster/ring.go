@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/hashx"
+)
+
+// Ring is a consistent-hash ring over node URLs: each node projects
+// VirtualNodes points onto the 64-bit hash circle, and a name's owner
+// set is the first n distinct nodes clockwise from the name's hash.
+// Virtual nodes smooth ownership to within a few percent of uniform;
+// when two points collide on the same hash value, the winner is chosen
+// by rendezvous hashing of (name, node) so the tie resolves per name
+// instead of by list position — adding a node can never flip a tie it
+// is not part of.
+//
+// The ring is immutable after construction; membership changes build a
+// new one. Lookups allocate only the returned owner slice.
+type Ring struct {
+	nodes  []string
+	points []ringPoint
+}
+
+// ringPoint is one virtual node: a position on the circle and the index
+// of the node that owns it.
+type ringPoint struct {
+	hash uint64
+	node int32
+}
+
+// NewRing builds a ring over nodes (deduplicated, order-insensitive)
+// with vnodes virtual points per node (minimum 1).
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	seen := make(map[string]bool, len(nodes))
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq, points: make([]ringPoint, 0, len(uniq)*vnodes)}
+	for i, n := range uniq {
+		for v := 0; v < vnodes; v++ {
+			h := hashx.Sum64a(n + "#" + strconv.Itoa(v))
+			r.points = append(r.points, ringPoint{hash: h, node: int32(i)})
+		}
+	}
+	// Sort by position; colliding points keep a deterministic node order
+	// here, but Owners re-orders collision runs by rendezvous score.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the ring's member list, sorted.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Owners maps a name to its first n distinct owner nodes clockwise from
+// the name's hash. n is clamped to the member count. Runs of points
+// sharing one hash value are visited in rendezvous order — highest
+// hash(name, node) first — so hash collisions between virtual nodes
+// break ties per name.
+func (r *Ring) Owners(name string, n int) []string {
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	h := hashx.Sum64a(name)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, n)
+	taken := make(map[int32]bool, n)
+	add := func(node int32) bool {
+		if taken[node] {
+			return false
+		}
+		taken[node] = true
+		owners = append(owners, r.nodes[node])
+		return len(owners) == n
+	}
+	for scanned := 0; scanned < len(r.points); {
+		i := (start + scanned) % len(r.points)
+		// Collect the run of points sharing this hash (collisions).
+		run := []int32{r.points[i].node}
+		j := 1
+		for ; scanned+j < len(r.points); j++ {
+			k := (start + scanned + j) % len(r.points)
+			if r.points[k].hash != r.points[i].hash {
+				break
+			}
+			run = append(run, r.points[k].node)
+		}
+		scanned += j
+		if len(run) > 1 {
+			// Rendezvous tiebreak: order the run by hash(name, node).
+			sort.Slice(run, func(x, y int) bool {
+				hx := hashx.Sum64a(name + "@" + r.nodes[run[x]])
+				hy := hashx.Sum64a(name + "@" + r.nodes[run[y]])
+				if hx != hy {
+					return hx > hy
+				}
+				return r.nodes[run[x]] < r.nodes[run[y]]
+			})
+		}
+		for _, node := range run {
+			if add(node) {
+				return owners
+			}
+		}
+	}
+	return owners
+}

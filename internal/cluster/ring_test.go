@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://node%d:86%02d", i, 32+i)
+	}
+	return nodes
+}
+
+func TestRingOwnersDistinct(t *testing.T) {
+	ring := NewRing(testNodes(5), 64)
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("sketch-%d", i)
+		for rf := 1; rf <= 5; rf++ {
+			owners := ring.Owners(name, rf)
+			if len(owners) != rf {
+				t.Fatalf("Owners(%q, %d) returned %d nodes: %v", name, rf, len(owners), owners)
+			}
+			seen := make(map[string]bool, rf)
+			for _, o := range owners {
+				if seen[o] {
+					t.Fatalf("Owners(%q, %d) repeated %q: %v", name, rf, o, owners)
+				}
+				seen[o] = true
+			}
+		}
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(testNodes(4), 64)
+	b := NewRing(testNodes(4), 64)
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("k%d", i)
+		ao, bo := a.Owners(name, 3), b.Owners(name, 3)
+		for j := range ao {
+			if ao[j] != bo[j] {
+				t.Fatalf("rings disagree for %q: %v vs %v", name, ao, bo)
+			}
+		}
+	}
+}
+
+// TestRingPeerOrderIrrelevant pins that every node builds the same ring
+// regardless of the order peers were listed — the property that lets
+// each proxy route independently.
+func TestRingPeerOrderIrrelevant(t *testing.T) {
+	nodes := testNodes(4)
+	shuffled := []string{nodes[2], nodes[0], nodes[3], nodes[1]}
+	a, b := NewRing(nodes, 64), NewRing(shuffled, 64)
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("k%d", i)
+		ao, bo := a.Owners(name, 2), b.Owners(name, 2)
+		if ao[0] != bo[0] || ao[1] != bo[1] {
+			t.Fatalf("peer order changed owners for %q: %v vs %v", name, ao, bo)
+		}
+	}
+}
+
+// TestRingDistribution checks that virtual nodes spread primary
+// ownership roughly evenly: no node far below its fair share.
+func TestRingDistribution(t *testing.T) {
+	nodes := testNodes(3)
+	ring := NewRing(nodes, 64)
+	counts := make(map[string]int, len(nodes))
+	const total = 9000
+	for i := 0; i < total; i++ {
+		counts[ring.Owners(fmt.Sprintf("sketch-%d", i), 1)[0]]++
+	}
+	fair := total / len(nodes)
+	for _, n := range nodes {
+		if counts[n] < fair/2 {
+			t.Fatalf("node %s owns %d of %d names (fair share %d): %v", n, counts[n], total, fair, counts)
+		}
+	}
+}
+
+// TestRingStability pins the consistent-hashing property: removing one
+// node never changes the primary of a name the removed node did not
+// own.
+func TestRingStability(t *testing.T) {
+	nodes := testNodes(4)
+	before := NewRing(nodes, 64)
+	after := NewRing(nodes[:3], 64) // drop node3
+	removed := nodes[3]
+	moved := 0
+	const total = 2000
+	for i := 0; i < total; i++ {
+		name := fmt.Sprintf("sketch-%d", i)
+		p := before.Owners(name, 1)[0]
+		q := after.Owners(name, 1)[0]
+		if p == removed {
+			moved++
+			continue
+		}
+		if p != q {
+			t.Fatalf("primary of %q moved %s -> %s though %s was not its owner", name, p, q, removed)
+		}
+	}
+	if moved == 0 || moved == total {
+		t.Fatalf("expected some (not all) names on the removed node, got %d of %d", moved, total)
+	}
+}

@@ -21,11 +21,14 @@
 //
 // # Known points
 //
-//	wal.torn-write     store: write only a prefix of the framed record, then fail
-//	wal.stall-fsync    store: sleep before the fsync that acks an append
-//	repl.drop-frame    primary stream: skip a frame (follower must re-request)
-//	repl.dup-frame     primary stream: send a frame twice (follower must dedupe)
-//	repl.delay-frame   primary stream: stall mid-stream before a frame
+//	wal.torn-write        store: write only a prefix of the framed record, then fail
+//	wal.stall-fsync       store: sleep before the fsync that acks an append
+//	repl.drop-frame       primary stream: skip a frame (follower must re-request)
+//	repl.dup-frame        primary stream: send a frame twice (follower must dedupe)
+//	repl.delay-frame      primary stream: stall mid-stream before a frame
+//	cluster.drop-fan      cluster fan: drop a queued delivery before the send (retries heal)
+//	cluster.slow-peer     cluster: stall a node before it serves an exact-state read
+//	cluster.partial-read  cluster gather: force one owner partial to miss (degraded path)
 //
 // The names are a convention, not a registry: a site fires whatever
 // name it asks for, so adding a point is one call at the site.

@@ -1,0 +1,157 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBackoffNextWithinBounds checks every emitted delay lands inside
+// the jitter envelope: [base/2, base], with the base doubling from Min
+// and capping at Max.
+func TestBackoffNextWithinBounds(t *testing.T) {
+	const min, max = 100 * time.Millisecond, 800 * time.Millisecond
+	b := NewBackoff(min, max)
+	base := min
+	for i := 0; i < 12; i++ {
+		d := b.Next()
+		if d < base/2 || d > base {
+			t.Fatalf("step %d: delay %v outside [%v, %v]", i, d, base/2, base)
+		}
+		if base *= 2; base > max {
+			base = max
+		}
+	}
+}
+
+// TestBackoffCapsAtMax checks the un-jittered base never exceeds Max:
+// after enough doublings every delay is at most Max.
+func TestBackoffCapsAtMax(t *testing.T) {
+	b := NewBackoff(time.Millisecond, 8*time.Millisecond)
+	for i := 0; i < 20; i++ {
+		if d := b.Next(); d > 8*time.Millisecond {
+			t.Fatalf("step %d: delay %v exceeds max", i, d)
+		}
+	}
+}
+
+// TestBackoffReset checks Reset drops the schedule back to Min: the
+// next delay after a reset sits in the first step's envelope again.
+func TestBackoffReset(t *testing.T) {
+	const min, max = 100 * time.Millisecond, 10 * time.Second
+	b := NewBackoff(min, max)
+	for i := 0; i < 8; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if d := b.Next(); d < min/2 || d > min {
+		t.Fatalf("post-reset delay %v outside first-step envelope [%v, %v]", d, min/2, min)
+	}
+}
+
+// TestBackoffDefaults checks NewBackoff's zero-value defaulting.
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(0, 0)
+	if b.Min != 100*time.Millisecond || b.Max != 10*time.Second {
+		t.Fatalf("defaults: got Min=%v Max=%v", b.Min, b.Max)
+	}
+	b = NewBackoff(time.Minute, time.Second) // max below min: min wins
+	if b.Max < b.Min {
+		t.Fatalf("max %v below min %v", b.Max, b.Min)
+	}
+}
+
+// TestRetrySucceedsAfterFailures checks Retry stops at the first
+// success and reports how many attempts it consumed.
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), 5, time.Microsecond, time.Millisecond, func() error {
+		if calls++; calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("Retry ran fn %d times, want 3", calls)
+	}
+}
+
+// TestRetryExhaustsAttempts checks the attempt budget is honored and
+// the last error surfaces.
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("always down")
+	err := Retry(context.Background(), 4, time.Microsecond, time.Millisecond, func() error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Retry returned %v, want the last error", err)
+	}
+	if calls != 4 {
+		t.Fatalf("Retry ran fn %d times, want 4", calls)
+	}
+}
+
+// TestRetryHonorsContextMidSleep checks a context cancelled while Retry
+// is sleeping between attempts aborts the loop promptly with the last
+// fn error, instead of sleeping out the full backoff.
+func TestRetryHonorsContextMidSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sentinel := errors.New("peer down")
+	calls := 0
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		// Unlimited attempts with a long backoff: only the cancel below
+		// can end this loop.
+		done <- Retry(ctx, 0, time.Hour, time.Hour, func() error {
+			calls++
+			return sentinel
+		})
+	}()
+	time.Sleep(20 * time.Millisecond) // let Retry enter its backoff sleep
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("Retry returned %v, want the last fn error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Retry did not observe cancellation mid-sleep")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Retry took %v to abort; it slept through the backoff", elapsed)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want exactly 1 before the cancelled sleep", calls)
+	}
+}
+
+// TestRetryStopsWhenContextAlreadyDone checks a pre-cancelled context
+// still runs fn once (the caller's first attempt is free) and then
+// stops without sleeping.
+func TestRetryStopsWhenContextAlreadyDone(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	sentinel := errors.New("nope")
+	start := time.Now()
+	err := Retry(ctx, 0, time.Hour, time.Hour, func() error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Retry returned %v, want the fn error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Retry slept despite a cancelled context")
+	}
+}

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	uss "repro"
+	"repro/internal/store"
+)
+
+// Cluster support: the exported surface internal/cluster drives a node
+// through. A cluster agent needs four things from the server it wraps
+// that the HTTP API does not expose directly: exact per-sketch state
+// blobs (the checkpoint encoding, not a lossy snapshot), the inverse
+// restore, cheap divergence digests for anti-entropy, and the ingest
+// body parser so the proxy can partition rows without re-implementing
+// the wire formats.
+
+// SketchStats is the exported counter snapshot that travels with a
+// sketch state blob, so a restore lands the counters and the state as
+// one consistent cut.
+type SketchStats struct {
+	// Rows is the applied ingest row count.
+	Rows int64 `json:"rows"`
+	// Pushes is the merged-snapshot count.
+	Pushes int64 `json:"pushes"`
+	// Dropped counts rollup rows past the retention horizon.
+	Dropped int64 `json:"dropped"`
+}
+
+// SketchDigest is one sketch's anti-entropy fingerprint: enough to
+// detect divergence between an owner's partial and a peer's copy of it
+// without shipping state. Counters only — comparing (rows, pushes,
+// total) is exact for the cluster's disjoint-substream partials, where
+// equal history implies equal state.
+type SketchDigest struct {
+	// Name is the sketch name.
+	Name string `json:"name"`
+	// Kind is the sketch kind.
+	Kind Kind `json:"kind"`
+	// Rows is the applied ingest row count.
+	Rows int64 `json:"rows"`
+	// Pushes is the merged-snapshot count.
+	Pushes int64 `json:"pushes"`
+	// Total is the sketch's total mass (sum over windows for rollups).
+	Total float64 `json:"total"`
+}
+
+// Covers reports whether d's history is at least as long as other's —
+// the replace-if-ahead test anti-entropy uses. Counters are monotone,
+// so a digest that leads on every axis strictly covers the other's
+// history for the same substream.
+func (d SketchDigest) Covers(other SketchDigest) bool {
+	return d.Rows >= other.Rows && d.Pushes >= other.Pushes
+}
+
+// SketchState returns one sketch's config, counters and exact state
+// blob — the checkpoint encoding (AppendBinary for unit/weighted,
+// AppendShards for sharded, AppendWindows for rollup), cut under the
+// entry lock so blob and counters describe the same instant. The blob
+// restores through RestoreSketch; unit/weighted blobs also decode
+// directly with uss.DecodeBins (see StateBins).
+func (s *Server) SketchState(name string) (SketchConfig, SketchStats, []byte, error) {
+	e, ok := s.reg.Get(name)
+	if !ok {
+		return SketchConfig{}, SketchStats{}, nil, fmt.Errorf("sketch %q: %w", name, ErrNotFound)
+	}
+	e.mu.Lock()
+	blob, err := e.encodeState()
+	st := SketchStats{Rows: e.rows.Load(), Pushes: e.pushes.Load(), Dropped: e.dropped.Load()}
+	e.mu.Unlock()
+	if err != nil {
+		return SketchConfig{}, SketchStats{}, nil, fmt.Errorf("sketch %q: encode state: %w", name, err)
+	}
+	return e.cfg, st, blob, nil
+}
+
+// RestoreSketch installs a sketch from a peer-shipped (config, stats,
+// state) triple: create-or-replace. A missing sketch is created (with a
+// WAL create record on a durable server); an existing one with the same
+// config has its state and counters replaced wholesale. Replacement is
+// sound only because cluster partials are snapshots of one monotone
+// substream — the caller must have checked that the incoming digest
+// Covers the local one, or history is lost.
+//
+// Quiesced use only (boot repair, before the node serves traffic): the
+// replace path moves the durable watermarks to the log's LastLSN so
+// already-logged records do not replay on top of the restored state,
+// which assumes nothing for this sketch is in flight. Durable callers
+// must Checkpoint() after the last restore to make the adopted state
+// the recovery baseline.
+func (s *Server) RestoreSketch(cfg SketchConfig, stats SketchStats, blob []byte) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	rb, err := store.NewRebuilt(specFromConfig(cfg))
+	if err != nil {
+		return err
+	}
+	if len(blob) > 0 {
+		if err := rb.RestoreState(blob); err != nil {
+			return fmt.Errorf("sketch %q: restore state: %w", cfg.Name, err)
+		}
+	}
+	if e, ok := s.reg.Get(cfg.Name); ok {
+		if e.cfg != cfg {
+			return fmt.Errorf("sketch %q: config mismatch: have %+v, restoring %+v", cfg.Name, e.cfg, cfg)
+		}
+		e.mu.Lock()
+		e.unit, e.weighted, e.sharded, e.rollup = rb.Unit, rb.Weighted, rb.Sharded, rb.Rollup
+		e.qe, e.prep = nil, nil // engines are bound to the replaced sketch
+		e.rows.Store(stats.Rows)
+		e.pushes.Store(stats.Pushes)
+		e.dropped.Store(stats.Dropped)
+		if s.dur != nil {
+			lsn := s.dur.st.LastLSN()
+			e.appliedLSN.Store(lsn)
+			e.appendedLSN.Store(lsn)
+		}
+		e.mu.Unlock()
+		return nil
+	}
+	ne := &entry{cfg: cfg}
+	ne.unit, ne.weighted, ne.sharded, ne.rollup = rb.Unit, rb.Weighted, rb.Sharded, rb.Rollup
+	ne.rows.Store(stats.Rows)
+	ne.pushes.Store(stats.Pushes)
+	ne.dropped.Store(stats.Dropped)
+	if s.dur == nil {
+		return s.reg.adopt(ne)
+	}
+	s.dur.walMu.Lock()
+	defer s.dur.walMu.Unlock()
+	spec, err := json.Marshal(specFromConfig(cfg))
+	if err != nil {
+		return err
+	}
+	if _, err := s.dur.st.AppendCreate(spec); err != nil {
+		return err
+	}
+	lsn := s.dur.st.LastLSN()
+	ne.appliedLSN.Store(lsn)
+	ne.appendedLSN.Store(lsn)
+	return s.reg.adopt(ne)
+}
+
+// StateBins flattens a SketchState blob into a mergeable bin list for
+// scatter-gather reads: unit and weighted blobs are wire-v2 snapshots
+// and decode directly; sharded blobs are restored into a scratch
+// ShardedSketch and collapsed through Snapshot (an exact merge when the
+// union fits the combined shard capacity, as a faithful copy always
+// does). Rollup state is windowed and has no flat bin view — range
+// reads forward the query instead.
+func StateBins(cfg SketchConfig, blob []byte) ([]uss.Bin, error) {
+	switch cfg.Kind {
+	case KindUnit, KindWeighted:
+		return uss.DecodeBins(blob)
+	case KindSharded:
+		sh := uss.NewSharded(cfg.Shards, cfg.Bins, cfg.options()...)
+		if err := sh.RestoreShards(blob); err != nil {
+			return nil, err
+		}
+		return sh.Snapshot(0).Bins(), nil
+	default:
+		return nil, fmt.Errorf("sketch %q: %s state has no flat bin view", cfg.Name, cfg.Kind)
+	}
+}
+
+// Digests fingerprints every hosted sketch for anti-entropy gossip,
+// sorted by name.
+func (s *Server) Digests() []SketchDigest {
+	entries := s.reg.List()
+	out := make([]SketchDigest, len(entries))
+	for i, e := range entries {
+		info := e.info()
+		out[i] = SketchDigest{
+			Name: e.cfg.Name, Kind: e.cfg.Kind,
+			Rows: info.Rows, Pushes: info.Pushes, Total: info.Total,
+		}
+	}
+	return out
+}
+
+// SketchConfigOf reports a hosted sketch's config.
+func (s *Server) SketchConfigOf(name string) (SketchConfig, bool) {
+	e, ok := s.reg.Get(name)
+	if !ok {
+		return SketchConfig{}, false
+	}
+	return e.cfg, true
+}
+
+// DeleteSketch drops a hosted sketch exactly as DELETE /v1/sketches
+// does, including the WAL delete record on a durable server — the
+// programmatic entry point the cluster delete broadcast uses. The bool
+// reports whether the sketch existed.
+func (s *Server) DeleteSketch(name string) (bool, error) {
+	return s.deleteSketch(name)
+}
+
+// SumPredicate exposes the sum endpoints' prefix/suffix/items predicate
+// parser, so cluster scatter-gather sums evaluate exactly the
+// single-node semantics.
+func SumPredicate(r *http.Request) (func(string) bool, error) {
+	return sumPredicate(r)
+}
+
+// IngestRows is a decoded ingest body in columnar form: one item per
+// row, with the weight column populated for weighted sketches and the
+// timestamp column for rollups.
+type IngestRows struct {
+	// Items is the item label column.
+	Items []string
+	// Weights aligns with Items for weighted sketches (else empty).
+	Weights []float64
+	// Ats aligns with Items for rollups (else empty).
+	Ats []int64
+}
+
+// ParseIngestBody decodes an ingest request body exactly as the ingest
+// handler does — newline text unless contentType is application/json —
+// into columnar rows. The cluster proxy uses it to partition a batch
+// across owner nodes without re-implementing either wire format;
+// rejected bodies fail here with the same errors the handler returns.
+func ParseIngestBody(kind Kind, contentType string, body []byte) (IngestRows, error) {
+	b := &ingestBatch{buf: body}
+	if !strings.HasPrefix(contentType, "application/json") {
+		if err := b.parseText(kind); err != nil {
+			return IngestRows{}, err
+		}
+		return IngestRows{Items: b.items, Weights: b.ws, Ats: b.ats}, nil
+	}
+	var req ingestJSON
+	if err := json.Unmarshal(body, &req); err != nil {
+		return IngestRows{}, fmt.Errorf("decode ingest body: %w", err)
+	}
+	if err := b.appendJSONRows(kind, &req); err != nil {
+		return IngestRows{}, err
+	}
+	return IngestRows{Items: b.items, Weights: b.ws, Ats: b.ats}, nil
+}

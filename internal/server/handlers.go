@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"maps"
 	"net/http"
@@ -22,6 +23,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // writeError reports a failure as {"error": ...}.
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// statusFor maps a registry error to its status: ErrExists is a
+// conflict, ErrNotFound a miss, anything else the caller's bad request.
+// Every handler routes registry errors through this one table so the
+// API's error contract cannot drift per endpoint (it briefly did:
+// create used to answer 409 for validation errors).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 // sketchInfo is the list/info response shape.
@@ -82,7 +99,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	e, err := s.createSketch(cfg)
 	if err != nil {
-		writeError(w, http.StatusConflict, err)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, e.info())
@@ -115,7 +132,8 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no sketch %q", r.PathValue("name")))
+		err := fmt.Errorf("sketch %q: %w", r.PathValue("name"), ErrNotFound)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -256,6 +274,13 @@ func (s *Server) decodeIngest(r *http.Request, kind Kind, b *ingestBatch) error 
 	if err := dec.Decode(&req); err != nil {
 		return fmt.Errorf("decode ingest body: %w", err)
 	}
+	return b.appendJSONRows(kind, &req)
+}
+
+// appendJSONRows validates a decoded JSON ingest body and appends its
+// rows to the batch's columns — shared by the ingest handler and
+// ParseIngestBody so the proxy and the node reject identical bodies.
+func (b *ingestBatch) appendJSONRows(kind Kind, req *ingestJSON) error {
 	if len(req.Items) > 0 {
 		if kind == KindRollup {
 			return fmt.Errorf("rollup ingest needs rows with timestamps, not bare items")

@@ -15,6 +15,11 @@ import (
 // errors.Is.
 var ErrExists = errors.New("sketch already exists")
 
+// ErrNotFound reports a lookup for a name the registry does not hold.
+// Every handler maps it to 404 through statusFor; detect it with
+// errors.Is.
+var ErrNotFound = errors.New("no such sketch")
+
 // Kind names a sketch flavour the registry can host.
 type Kind string
 

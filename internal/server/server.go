@@ -429,12 +429,13 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sketches/{name}/range/total", s.handleRangeTotal)
 }
 
-// lookup resolves {name} or writes a 404.
+// lookup resolves {name} or writes the statusFor-mapped 404.
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*entry, bool) {
 	name := r.PathValue("name")
 	e, ok := s.reg.Get(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no sketch %q", name))
+		err := fmt.Errorf("sketch %q: %w", name, ErrNotFound)
+		writeError(w, statusFor(err), err)
 	}
 	return e, ok
 }

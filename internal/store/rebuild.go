@@ -109,9 +109,12 @@ func NewRebuilt(sp SketchSpec) (*RebuiltSketch, error) {
 	return rb, nil
 }
 
-// restoreState loads a checkpoint state blob into an empty rebuilt
-// sketch.
-func (rb *RebuiltSketch) restoreState(state []byte) error {
+// RestoreState loads a checkpoint-encoded state blob (AppendBinary for
+// unit/weighted, AppendShards for sharded, AppendWindows for rollup)
+// into an empty rebuilt sketch. Exported because cluster anti-entropy
+// restores a rejoining node's partition from a peer's copy through the
+// same per-kind dispatch checkpoint recovery uses.
+func (rb *RebuiltSketch) RestoreState(state []byte) error {
 	switch {
 	case rb.Unit != nil:
 		return rb.Unit.UnmarshalBinary(state)
@@ -245,7 +248,7 @@ func (a *Applier) LoadCheckpoint(dir string) error {
 		if err != nil {
 			return err
 		}
-		if err := rb.restoreState(blob); err != nil {
+		if err := rb.RestoreState(blob); err != nil {
 			return fmt.Errorf("store: restore %q from checkpoint: %w", ms.Spec.Name, err)
 		}
 		rb.LSN, rb.Rows, rb.Pushes, rb.Dropped = ms.LSN, ms.Rows, ms.Pushes, ms.Dropped
