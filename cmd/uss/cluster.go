@@ -46,7 +46,8 @@ type clusterStatus struct {
 		} `json:"stats"`
 		Total float64 `json:"total"`
 	} `json:"copies"`
-	Counters map[string]int64 `json:"counters"`
+	Breakers map[string]string `json:"breakers"`
+	Counters map[string]int64  `json:"counters"`
 }
 
 func runClusterStatus(args []string) error {
@@ -75,13 +76,20 @@ func runClusterStatus(args []string) error {
 	}
 	fmt.Printf("%s\n", st.Self)
 	fmt.Printf("  replication %d, read quorum %d\n", st.ReplicationFactor, st.ReadQuorum)
+	if line := pressureLine(cli, strings.TrimSuffix(*url, "/")); line != "" {
+		fmt.Printf("  pressure    %s\n", line)
+	}
 	peers := make([]string, 0, len(st.Peers))
 	for p := range st.Peers {
 		peers = append(peers, p)
 	}
 	sort.Strings(peers)
 	for _, p := range peers {
-		fmt.Printf("  peer        %-32s %s\n", p, st.Peers[p])
+		breaker := st.Breakers[p]
+		if breaker == "" {
+			breaker = "closed"
+		}
+		fmt.Printf("  peer        %-32s %-5s breaker %s\n", p, st.Peers[p], breaker)
 	}
 	if len(st.Owners) > 0 {
 		fmt.Printf("  owners(%s)  %s\n", *name, strings.Join(st.Owners, ", "))
@@ -96,9 +104,42 @@ func runClusterStatus(args []string) error {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Printf("  %-12s%d\n", k, st.Counters[k])
+		fmt.Printf("  %-18s%d\n", k, st.Counters[k])
 	}
 	return nil
+}
+
+// pressureLine summarizes the node's /readyz pressure fields: disk
+// pressure, read-only and shedding flags. Empty when the probe is
+// unreachable or predates the pressure report.
+func pressureLine(cli *http.Client, base string) string {
+	resp, err := cli.Get(base + "/readyz")
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	var rz struct {
+		Pressure string `json:"pressure"`
+		ReadOnly bool   `json:"read_only"`
+		Shedding bool   `json:"shedding"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
+		return ""
+	}
+	parts := []string{}
+	if rz.Pressure != "" {
+		parts = append(parts, "disk "+rz.Pressure)
+	}
+	if rz.ReadOnly {
+		parts = append(parts, "READ-ONLY")
+	}
+	if rz.Shedding {
+		parts = append(parts, "SHEDDING")
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return strings.Join(parts, ", ")
 }
 
 func runClusterAE(args []string) error {

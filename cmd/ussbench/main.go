@@ -11,6 +11,7 @@
 //	ussbench -bench wal
 //	ussbench -bench repl
 //	ussbench -bench cluster
+//	ussbench -bench soak
 //
 // Each experiment prints the same rows/series the corresponding paper
 // figure plots, plus a note stating the qualitative shape to expect. See
@@ -35,7 +36,7 @@ func main() {
 		list  = flag.Bool("list", false, "list available experiments and exit")
 		name  = flag.String("experiment", "", "experiment to run (e.g. figure-3)")
 		all   = flag.Bool("all", false, "run every experiment in paper order")
-		bench = flag.String("bench", "", "run a perf comparison instead: codec | rollup-range | server | wal | repl | cluster")
+		bench = flag.String("bench", "", "run a perf comparison instead: codec | rollup-range | server | wal | repl | cluster | soak")
 		scale = flag.Float64("scale", 1, "workload size multiplier")
 		reps  = flag.Float64("reps", 1, "replicate count multiplier")
 		seed  = flag.Int64("seed", 20180614, "random seed")

@@ -46,8 +46,10 @@ func runPerf(w io.Writer, mode string, scale float64, jsonDir string) error {
 		err = perfRepl(w, rec, scale)
 	case "cluster":
 		err = perfCluster(w, rec, scale)
+	case "soak":
+		err = perfSoak(w, rec, scale)
 	default:
-		return fmt.Errorf("unknown -bench mode %q (want codec, rollup-range, server, wal, repl or cluster)", mode)
+		return fmt.Errorf("unknown -bench mode %q (want codec, rollup-range, server, wal, repl, cluster or soak)", mode)
 	}
 	if err != nil {
 		return err

@@ -1,0 +1,519 @@
+package main
+
+// -bench soak: the chaos soak harness. A 3-node durable cluster runs a
+// seeded read/write workload while a fault schedule walks through disk
+// exhaustion (disk.enospc), slow peers (cluster.slow-peer), fan losses
+// (cluster.drop-fan) and a dead node, then releases every fault and
+// checks the invariants the resilience layer promises:
+//
+//   - the process never dies: every phase runs to completion in-process;
+//   - reads never answer 5xx while a read quorum holds — degraded,
+//     hedged, but 200;
+//   - a read-only store refuses mutations with 503 + Retry-After on the
+//     direct node path;
+//   - every acked write survives: after the faults lift, the cluster
+//     top-k is bit-identical to a ground truth accumulated from exactly
+//     the batches that were acknowledged 200.
+//
+// Exactness under partial fan failures is arranged, not hoped for: each
+// workload batch is pre-partitioned by the same item-hash slot the
+// proxy uses, so every POST maps to exactly one fan task and an ack is
+// all-or-nothing. Weights are small integers, the item universe is far
+// smaller than the bin budget, and sums stay below 2^53 — so the sketch
+// holds every item exactly and float equality is meaningful.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faultinject"
+	"repro/internal/hashx"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// soakPhase is one slice of the fault schedule.
+type soakPhase struct {
+	name      string
+	spec      string // faultpoint spec for faultinject.Enable ("" = none)
+	pressured bool   // latencies bucket: healthy vs pressured
+	nodeDown  bool   // node 2's listener is closed for this phase
+}
+
+// soakStats accumulates the workload's outcome counters.
+type soakStats struct {
+	acked, shed  int // write batches acknowledged / refused
+	reads        int
+	readFailures []string
+	healthyLat   []time.Duration
+	pressuredLat []time.Duration
+}
+
+// perfSoak runs the chaos soak against a 3-node durable in-process
+// cluster and fails on any invariant violation.
+func perfSoak(w io.Writer, rec *benchRecorder, scale float64) error {
+	faultinject.Reset()
+	defer faultinject.Reset()
+
+	phaseDur := time.Duration(float64(1500*time.Millisecond) * scale)
+	if phaseDur < 500*time.Millisecond {
+		phaseDur = 500 * time.Millisecond
+	}
+	const (
+		n           = 3
+		universe    = 1200
+		rowsPerTick = 60
+		sketch      = "soak"
+	)
+
+	sc, err := newSoakCluster(n)
+	if err != nil {
+		return err
+	}
+	defer sc.teardown()
+
+	if err := sc.post(0, "/v1/sketches", "application/json",
+		`{"name":"soak","kind":"weighted","bins":4096,"seed":20180614}`, nil); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(20180614))
+	truth := make(map[string]float64, universe)
+	var st soakStats
+
+	// One workload tick: a batch of skewed rows, pre-partitioned so each
+	// POST is a single fan task (all-or-nothing), then one gathered read.
+	tick := func(liveNodes []int, pressured bool) error {
+		parts := make([]strings.Builder, n)
+		weights := make([]map[string]float64, n)
+		for i := range weights {
+			weights[i] = make(map[string]float64)
+		}
+		for i := 0; i < rowsPerTick; i++ {
+			idx := rng.Intn(universe)
+			if i < 10 {
+				idx = rng.Intn(16) // a persistent hot set keeps top-k contested
+			}
+			item := fmt.Sprintf("item-%04d", idx)
+			wgt := float64(1 + idx%5)
+			slot := int(hashx.Sum64a(item) % uint64(n))
+			fmt.Fprintf(&parts[slot], "%s\t%.0f\n", item, wgt)
+			weights[slot][item] += wgt
+		}
+		for slot := range parts {
+			if parts[slot].Len() == 0 {
+				continue
+			}
+			node := liveNodes[rng.Intn(len(liveNodes))]
+			code, err := sc.postStatus(node, "/v1/sketches/"+sketch+"/ingest?sync=1",
+				"text/plain", parts[slot].String())
+			switch {
+			case err == nil && code == http.StatusOK:
+				st.acked++
+				for item, wgt := range weights[slot] {
+					truth[item] += wgt
+				}
+			default:
+				// Refused or failed before any delivery: the batch was a
+				// single fan task, so none of its rows were applied.
+				st.shed++
+			}
+		}
+		node := liveNodes[rng.Intn(len(liveNodes))]
+		t0 := time.Now()
+		code, err := sc.getStatus(node, "/v1/sketches/"+sketch+"/topk?k=10")
+		lat := time.Since(t0)
+		st.reads++
+		if err != nil || code != http.StatusOK {
+			st.readFailures = append(st.readFailures,
+				fmt.Sprintf("node %d: code %d err %v", node, code, err))
+		}
+		if pressured {
+			st.pressuredLat = append(st.pressuredLat, lat)
+		} else {
+			st.healthyLat = append(st.healthyLat, lat)
+		}
+		return nil
+	}
+
+	phases := []soakPhase{
+		{name: "healthy", spec: ""},
+		{name: "enospc", spec: "disk.enospc", pressured: true},
+		{name: "slow-peer", spec: "cluster.slow-peer:0.4", pressured: true},
+		{name: "drop-fan", spec: "cluster.drop-fan:0.3", pressured: true},
+		{name: "node-down", spec: "", pressured: true, nodeDown: true},
+		{name: "released", spec: ""},
+	}
+	for _, ph := range phases {
+		if ph.spec != "" {
+			if err := faultinject.Enable(ph.spec); err != nil {
+				return err
+			}
+		}
+		live := []int{0, 1, 2}
+		if ph.nodeDown {
+			sc.stopListener(2)
+			live = []int{0, 1}
+		}
+		ticks := 0
+		for end := time.Now().Add(phaseDur); time.Now().Before(end); {
+			if err := tick(live, ph.pressured); err != nil {
+				return fmt.Errorf("phase %s: %w", ph.name, err)
+			}
+			ticks++
+		}
+		fmt.Fprintf(w, "# soak phase %-10s %4d ticks, %d acked, %d shed so far\n",
+			ph.name, ticks, st.acked, st.shed)
+
+		if ph.name == "enospc" {
+			// Invariant: the direct node path refuses read-only mutations
+			// with 503 + Retry-After (the fan does not forward headers, so
+			// this is checked against the wrapped server itself).
+			code, hdr, err := sc.postWithHeader(0,
+				"/v1/cluster/sketches/"+sketch+"/ingest?sync=1", "text/plain", "item-0000\t1\n")
+			if err != nil {
+				return fmt.Errorf("read-only probe: %w", err)
+			}
+			if code != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+				return fmt.Errorf("read-only mutation answered %d with Retry-After %q; want 503 with a hint",
+					code, hdr.Get("Retry-After"))
+			}
+		}
+		if ph.name == "healthy" {
+			// Seed anti-entropy copies so later phases can hedge dead and
+			// slow owners from co-owner state.
+			for i := 0; i < n; i++ {
+				if err := sc.post(i, "/v1/cluster/antientropy", "", "", nil); err != nil {
+					return err
+				}
+			}
+		}
+		if ph.nodeDown {
+			if err := sc.restartListener(2); err != nil {
+				return err
+			}
+		}
+		faultinject.Reset()
+	}
+
+	// Invariant: reads never answered 5xx (quorum held in every phase).
+	if len(st.readFailures) > 0 {
+		return fmt.Errorf("%d of %d reads failed under fault schedule: %s",
+			len(st.readFailures), st.reads, strings.Join(st.readFailures, "; "))
+	}
+
+	// Post-release writes must land: retry a final batch until acked.
+	landed := false
+	for attempt := 0; attempt < 50; attempt++ {
+		code, err := sc.postStatus(0, "/v1/sketches/"+sketch+"/ingest?sync=1",
+			"text/plain", "item-0001\t2\n")
+		if err == nil && code == http.StatusOK {
+			truth["item-0001"] += 2
+			landed = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !landed {
+		return fmt.Errorf("post-release ingest never acked: the cluster did not heal")
+	}
+	for i := 0; i < n; i++ {
+		if err := sc.post(i, "/v1/cluster/antientropy", "", "", nil); err != nil {
+			return err
+		}
+	}
+
+	// Invariant: the reconciled top-k is bit-identical to ground truth.
+	const k = 15
+	for node := 0; node < n; node++ {
+		if err := sc.checkTopK(node, sketch, k, truth); err != nil {
+			return fmt.Errorf("post-release top-k on node %d: %w", node, err)
+		}
+	}
+	fmt.Fprintf(w, "# soak: top-%d bit-identical to ground truth on all %d nodes (%d items acked)\n",
+		k, n, len(truth))
+
+	trips, counters := sc.collectCounters()
+	sort.Slice(st.healthyLat, func(i, j int) bool { return st.healthyLat[i] < st.healthyLat[j] })
+	sort.Slice(st.pressuredLat, func(i, j int) bool { return st.pressuredLat[i] < st.pressuredLat[j] })
+	shedRate := 0.0
+	if st.acked+st.shed > 0 {
+		shedRate = float64(st.shed) / float64(st.acked+st.shed)
+	}
+	fmt.Fprintf(w, "%-34s %14s %14s\n", "read latency", "p50", "p99")
+	fmt.Fprintf(w, "%-34s %14v %14v\n", "healthy phases",
+		percentile(st.healthyLat, 0.50), percentile(st.healthyLat, 0.99))
+	fmt.Fprintf(w, "%-34s %14v %14v\n", "pressured phases",
+		percentile(st.pressuredLat, 0.50), percentile(st.pressuredLat, 0.99))
+	fmt.Fprintf(w, "%-34s %14d acked %8d shed (%.1f%%), %d breaker trips\n",
+		"writes", st.acked, st.shed, 100*shedRate, trips)
+
+	rec.set("writes_acked", st.acked)
+	rec.set("writes_shed", st.shed)
+	rec.set("shed_rate", shedRate)
+	rec.set("reads_total", st.reads)
+	rec.set("read_failures", len(st.readFailures))
+	rec.set("breaker_trips", trips)
+	rec.set("read_healthy_p50", percentile(st.healthyLat, 0.50))
+	rec.set("read_healthy_p99", percentile(st.healthyLat, 0.99))
+	rec.set("read_pressured_p50", percentile(st.pressuredLat, 0.50))
+	rec.set("read_pressured_p99", percentile(st.pressuredLat, 0.99))
+	rec.set("topk_exact", true)
+	for key, v := range counters {
+		rec.set("cluster_"+key, v)
+	}
+	return nil
+}
+
+// checkTopK fetches a gathered top-k and verifies exactness against the
+// acked ground truth: every returned count equals the truth count bit
+// for bit, and no excluded item outweighs the returned tail.
+func (sc *soakCluster) checkTopK(node int, name string, k int, truth map[string]float64) error {
+	var out struct {
+		Items []struct {
+			Item  string  `json:"item"`
+			Count float64 `json:"count"`
+		} `json:"items"`
+	}
+	if err := sc.getJSON(node, fmt.Sprintf("/v1/sketches/%s/topk?k=%d", name, k), &out); err != nil {
+		return err
+	}
+	if len(out.Items) == 0 {
+		return fmt.Errorf("empty top-%d", k)
+	}
+	returned := make(map[string]bool, len(out.Items))
+	minReturned := out.Items[0].Count
+	for _, it := range out.Items {
+		if want, ok := truth[it.Item]; !ok || want != it.Count {
+			return fmt.Errorf("item %s: count %v, ground truth %v", it.Item, it.Count, truth[it.Item])
+		}
+		returned[it.Item] = true
+		if it.Count < minReturned {
+			minReturned = it.Count
+		}
+	}
+	for item, wgt := range truth {
+		if !returned[item] && wgt > minReturned {
+			return fmt.Errorf("item %s (weight %v) missing from top-%d whose tail is %v",
+				item, wgt, k, minReturned)
+		}
+	}
+	return nil
+}
+
+// soakNode is one durable cluster member with a restartable listener.
+type soakNode struct {
+	*benchNode
+	addr string
+	dir  string
+}
+
+// soakCluster is the 3-node durable in-process cluster the soak drives.
+type soakCluster struct {
+	nodes []*soakNode
+	urls  []string
+}
+
+// newSoakCluster boots n durable nodes (each with its own WAL dir and a
+// per-append disk probe, so disk.enospc bites immediately) wired into
+// one rf=n cluster with aggressive hedge and breaker settings.
+func newSoakCluster(n int) (*soakCluster, error) {
+	sc := &soakCluster{}
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			sc.teardown()
+			return nil, err
+		}
+		lns[i] = ln
+		sc.urls = append(sc.urls, "http://"+ln.Addr().String())
+	}
+	for i := 0; i < n; i++ {
+		dir, err := os.MkdirTemp("", "soak-node-")
+		if err != nil {
+			sc.teardown()
+			return nil, err
+		}
+		rebuilt, err := store.Rebuild(dir)
+		if err != nil {
+			sc.teardown()
+			return nil, err
+		}
+		st, err := store.Open(store.Options{Dir: dir, Sync: store.SyncNever, DiskCheckEvery: 1})
+		if err != nil {
+			sc.teardown()
+			return nil, err
+		}
+		srv := server.New(server.Config{IngestWorkers: 2, QueueDepth: 64, MaxInflightBytes: 1 << 20})
+		if err := srv.AttachStore(st, rebuilt, 0); err != nil {
+			sc.teardown()
+			return nil, err
+		}
+		ag, err := cluster.New(cluster.Config{
+			Self:              sc.urls[i],
+			Peers:             append([]string(nil), sc.urls...),
+			ReplicationFactor: n,
+			ReadQuorum:        n/2 + 1,
+			HedgeDelay:        20 * time.Millisecond,
+			DownFor:           300 * time.Millisecond,
+			BreakerThreshold:  3,
+			BreakerCooldown:   200 * time.Millisecond,
+			Client:            &http.Client{Timeout: 5 * time.Second},
+		}, srv)
+		if err != nil {
+			sc.teardown()
+			return nil, err
+		}
+		ag.Start()
+		hs := &http.Server{Handler: ag.Handler()}
+		go hs.Serve(lns[i])
+		sc.nodes = append(sc.nodes, &soakNode{
+			benchNode: &benchNode{srv: srv, agent: ag, hs: hs, ln: lns[i]},
+			addr:      lns[i].Addr().String(),
+			dir:       dir,
+		})
+	}
+	return sc, nil
+}
+
+// stopListener kills node i's HTTP front end (the node "crashes"); the
+// server and agent keep running so a restart is just a new listener.
+func (sc *soakCluster) stopListener(i int) {
+	sc.nodes[i].hs.Close()
+}
+
+// restartListener brings node i's front end back on its original
+// address, retrying briefly while the OS releases the port.
+func (sc *soakCluster) restartListener(i int) error {
+	nd := sc.nodes[i]
+	var ln net.Listener
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		ln, err = net.Listen("tcp", nd.addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("rebind %s: %w", nd.addr, err)
+	}
+	nd.ln = ln
+	nd.hs = &http.Server{Handler: nd.agent.Handler()}
+	go nd.hs.Serve(ln)
+	return nil
+}
+
+// teardown stops every node and removes the WAL dirs.
+func (sc *soakCluster) teardown() {
+	for _, nd := range sc.nodes {
+		nd.hs.Close()
+		_ = nd.agent.Shutdown(context.Background())
+		_ = nd.srv.Shutdown(context.Background())
+		if nd.dir != "" {
+			os.RemoveAll(nd.dir)
+		}
+	}
+}
+
+// postStatus POSTs and reports just the status code.
+func (sc *soakCluster) postStatus(node int, path, ctype, body string) (int, error) {
+	resp, err := http.Post(sc.urls[node]+path, ctype, strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// postWithHeader POSTs and returns the status code plus response headers.
+func (sc *soakCluster) postWithHeader(node int, path, ctype, body string) (int, http.Header, error) {
+	resp, err := http.Post(sc.urls[node]+path, ctype, strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, resp.Header, nil
+}
+
+// post POSTs and fails on any non-2xx; when out is non-nil the JSON
+// response is decoded into it.
+func (sc *soakCluster) post(node int, path, ctype, body string, out any) error {
+	resp, err := http.Post(sc.urls[node]+path, ctype, strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, truncateStr(data, 160))
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// getStatus GETs and reports just the status code.
+func (sc *soakCluster) getStatus(node int, path string) (int, error) {
+	resp, err := http.Get(sc.urls[node] + path)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// getJSON GETs and decodes a 200 JSON response into out.
+func (sc *soakCluster) getJSON(node int, path string, out any) error {
+	resp, err := http.Get(sc.urls[node] + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d: %s", path, resp.StatusCode, truncateStr(data, 160))
+	}
+	return json.Unmarshal(data, out)
+}
+
+// collectCounters sums breaker trips across the cluster and folds every
+// node's agent counters into one map for the bench record.
+func (sc *soakCluster) collectCounters() (trips int64, counters map[string]int64) {
+	counters = make(map[string]int64)
+	for node := range sc.nodes {
+		var st struct {
+			Counters map[string]int64 `json:"counters"`
+		}
+		if err := sc.getJSON(node, "/v1/cluster/status", &st); err != nil {
+			continue
+		}
+		for k, v := range st.Counters {
+			counters[k] += v
+		}
+	}
+	return counters["breaker_trips"], counters
+}
+
+// truncateStr clips a response body for error messages.
+func truncateStr(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}

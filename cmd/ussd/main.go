@@ -100,6 +100,11 @@ func main() {
 		clHedge = flag.Duration("hedge-delay", 75*time.Millisecond, "with -cluster: wait on an owner before racing a co-owner copy")
 		clAE    = flag.Duration("anti-entropy-interval", 5*time.Second, "with -cluster: periodic anti-entropy interval (0 = manual only)")
 		clVN    = flag.Int("vnodes", 64, "with -cluster: virtual ring points per node")
+		inRate  = flag.Float64("ingest-rate-rows", 0, "per-sketch ingest rate limit in rows/second (0 = unlimited)")
+		inBurst = flag.Float64("ingest-burst-rows", 0, "per-sketch ingest burst capacity in rows (0 = 2× -ingest-rate-rows)")
+		maxInfl = flag.Int64("max-inflight-bytes", 0, "global in-flight mutation-body budget; breaches shed 503 + Retry-After (0 = unlimited)")
+		memSoft = flag.Int64("memory-soft-bytes", 0, "resident sketch-memory watermark: above it idle sketches demote to cold blobs (0 = never; needs -data-dir)")
+		coldAft = flag.Duration("cold-after", 5*time.Minute, "idle time before a sketch is a demotion candidate (keep above -request-timeout)")
 		creates multiFlag
 	)
 	flag.Var(&creates, "create", "pre-create a sketch from a SketchConfig JSON object (repeatable)")
@@ -116,11 +121,16 @@ func main() {
 	}
 
 	s := server.New(server.Config{
-		Addr:           *addr,
-		IngestWorkers:  *workers,
-		QueueDepth:     *queue,
-		MaxBodyBytes:   *maxBody,
-		RequestTimeout: *reqTO,
+		Addr:             *addr,
+		IngestWorkers:    *workers,
+		QueueDepth:       *queue,
+		MaxBodyBytes:     *maxBody,
+		RequestTimeout:   *reqTO,
+		IngestRateRows:   *inRate,
+		IngestBurstRows:  *inBurst,
+		MaxInflightBytes: *maxInfl,
+		MemorySoftBytes:  *memSoft,
+		ColdAfter:        *coldAft,
 	})
 
 	if *follow != "" {

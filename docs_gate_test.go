@@ -36,6 +36,7 @@ var docsGatePackages = []string{
 	"internal/faultinject",
 	"internal/hierarchy",
 	"internal/hashx",
+	"internal/leakcheck",
 }
 
 // parseDir loads a directory's non-test files with comments attached.

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -164,7 +165,10 @@ func mustPost(url, ct string, body []byte) []byte {
 }
 
 // tryPost posts body and returns an error instead of panicking — the
-// retried snapshot-push path.
+// retried snapshot-push path. A refusal carrying Retry-After (the
+// server shedding load or running read-only) is surfaced as a
+// RetryAfterError so replica.Retry waits out the server's hint instead
+// of its own fixed backoff.
 func tryPost(url, ct string, body []byte) error {
 	resp, err := http.Post(url, ct, bytes.NewReader(body))
 	if err != nil {
@@ -173,7 +177,11 @@ func tryPost(url, ct string, body []byte) error {
 	defer resp.Body.Close()
 	data, _ := io.ReadAll(resp.Body)
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, data)
+		err := fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, data)
+		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+			return &replica.RetryAfterError{After: time.Duration(secs) * time.Second, Err: err}
+		}
+		return err
 	}
 	return nil
 }

@@ -180,7 +180,7 @@ func (a *Agent) fetchDigest(ctx context.Context, peer string) (nodeDigest, error
 	if err != nil {
 		return nodeDigest{}, err
 	}
-	resp, err := a.cfg.Client.Do(req)
+	resp, err := a.doPeer(peer, req)
 	if err != nil {
 		return nodeDigest{}, err
 	}
@@ -202,7 +202,7 @@ func (a *Agent) fetchCopies(ctx context.Context, peer, owner string) ([]copyDTO,
 	if err != nil {
 		return nil, err
 	}
-	resp, err := a.cfg.Client.Do(req)
+	resp, err := a.doPeer(peer, req)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/replica"
+)
+
+// TestPeerBreakerOpensOnDeadPeer drives the per-peer circuit breaker
+// through its states against a peer whose listener is gone: transport
+// failures open the circuit, an open circuit refuses instantly with
+// ErrBreakerOpen, and both the status endpoint and the wrapped server's
+// /metrics scrape report the transition.
+func TestPeerBreakerOpensOnDeadPeer(t *testing.T) {
+	tc := newTestCluster(t, 2, func(c *Config) {
+		c.BreakerThreshold = 3
+		c.BreakerCooldown = 50 * time.Millisecond
+	})
+	dead := tc.urls[1]
+	tc.https[1].Close() // every dial to this peer now fails at transport level
+	ag := tc.agents[0]
+
+	for i := 0; i < 3; i++ {
+		req, _ := http.NewRequest(http.MethodGet, dead+"/v1/cluster/digest", nil)
+		if _, err := ag.doPeer(dead, req); err == nil {
+			t.Fatalf("request %d to dead peer succeeded", i)
+		}
+	}
+	if st := ag.breakers[dead].State(); st != "open" {
+		t.Fatalf("breaker state after %d failures = %q, want open", 3, st)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, dead+"/v1/cluster/digest", nil)
+	if _, err := ag.doPeer(dead, req); !errors.Is(err, replica.ErrBreakerOpen) {
+		t.Fatalf("open breaker returned %v, want ErrBreakerOpen", err)
+	}
+	if got := ag.met.breakerFast.Load(); got == 0 {
+		t.Fatal("fast-fail counter did not move")
+	}
+
+	// Status reports the open link and the trip count.
+	code, body := tc.get(0, "/v1/cluster/status")
+	if code != http.StatusOK {
+		t.Fatalf("status: %d %s", code, body)
+	}
+	var st statusDTO
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Breakers[dead]; got != "open" && got != "half-open" {
+		t.Fatalf("status breakers[%s] = %q, want open", dead, got)
+	}
+	if st.Counters["breaker_trips"] == 0 {
+		t.Fatal("status counters report zero breaker trips")
+	}
+
+	// The agent's series ride the wrapped server's scrape endpoint.
+	code, body = tc.get(0, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	if !strings.Contains(string(body), "ussd_cluster_breaker_trips_total") {
+		t.Fatal("metrics scrape is missing the cluster breaker series")
+	}
+
+	// After the cooldown a probe is admitted; the still-dead peer fails
+	// it and the circuit re-opens rather than closing.
+	time.Sleep(60 * time.Millisecond)
+	req, _ = http.NewRequest(http.MethodGet, dead+"/v1/cluster/digest", nil)
+	if _, err := ag.doPeer(dead, req); err == nil {
+		t.Fatal("half-open probe to dead peer succeeded")
+	}
+	if st := ag.breakers[dead].State(); st != "open" {
+		t.Fatalf("breaker state after failed probe = %q, want open", st)
+	}
+}
+
+// TestBreakerIgnoresCancelledRequests pins the hedge-loser contract: a
+// request that dies because our own context was cancelled must not be
+// held against the peer, or every hedged read would poison a healthy
+// link.
+func TestBreakerIgnoresCancelledRequests(t *testing.T) {
+	tc := newTestCluster(t, 2, func(c *Config) {
+		c.BreakerThreshold = 1 // a single counted failure would trip it
+	})
+	ag, peer := tc.agents[0], tc.urls[1]
+	for i := 0; i < 3; i++ {
+		req, _ := http.NewRequest(http.MethodGet, peer+"/v1/cluster/digest", nil)
+		ctx, cancel := context.WithCancel(req.Context())
+		cancel() // cancelled before the dial: Do fails with our error
+		if _, err := ag.doPeer(peer, req.WithContext(ctx)); err == nil {
+			t.Fatal("cancelled request succeeded")
+		}
+	}
+	if st := ag.breakers[peer].State(); st != "closed" {
+		t.Fatalf("breaker state after cancelled requests = %q, want closed", st)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/hashx"
+	"repro/internal/replica"
 	"repro/internal/server"
 )
 
@@ -68,6 +70,12 @@ type Config struct {
 	DownFor time.Duration
 	// MaxBodyBytes caps proxied request bodies (default 32 MiB).
 	MaxBodyBytes int64
+	// BreakerThreshold is how many consecutive transport failures open a
+	// peer's circuit breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses before
+	// admitting a half-open probe (default 2s).
+	BreakerCooldown time.Duration
 	// Client issues intra-cluster requests (default: a pooled client
 	// with a 10s timeout).
 	Client *http.Client
@@ -163,6 +171,7 @@ type metrics struct {
 	degraded     atomic.Int64 // reads answered degraded
 	aeRounds     atomic.Int64 // anti-entropy rounds run
 	aePulls      atomic.Int64 // state blobs pulled by anti-entropy
+	breakerFast  atomic.Int64 // requests refused instantly by an open breaker
 }
 
 // Agent is one cluster node: the proxy endpoints it serves, the fan
@@ -177,8 +186,9 @@ type Agent struct {
 	ring  *Ring
 	mux   *http.ServeMux
 
-	queues map[string]*peerQueue
-	health map[string]*peerHealth
+	queues   map[string]*peerQueue
+	health   map[string]*peerHealth
+	breakers map[string]*replica.Breaker
 
 	copyMu sync.Mutex
 	copies map[copyKey]*sketchCopy
@@ -199,23 +209,95 @@ func New(cfg Config, srv *server.Server) (*Agent, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	a := &Agent{
-		cfg:    cfg,
-		srv:    srv,
-		inner:  srv.Handler(),
-		ring:   NewRing(cfg.Peers, cfg.VirtualNodes),
-		mux:    http.NewServeMux(),
-		queues: make(map[string]*peerQueue, len(cfg.Peers)),
-		health: make(map[string]*peerHealth, len(cfg.Peers)),
-		copies: make(map[copyKey]*sketchCopy),
-		ctx:    ctx,
-		cancel: cancel,
+		cfg:      cfg,
+		srv:      srv,
+		inner:    srv.Handler(),
+		ring:     NewRing(cfg.Peers, cfg.VirtualNodes),
+		mux:      http.NewServeMux(),
+		queues:   make(map[string]*peerQueue, len(cfg.Peers)),
+		health:   make(map[string]*peerHealth, len(cfg.Peers)),
+		breakers: make(map[string]*replica.Breaker, len(cfg.Peers)),
+		copies:   make(map[copyKey]*sketchCopy),
+		ctx:      ctx,
+		cancel:   cancel,
 	}
 	for _, p := range cfg.Peers {
 		a.queues[p] = &peerQueue{url: p, ch: make(chan *fanTask, cfg.FanQueueDepth)}
 		a.health[p] = &peerHealth{}
+		a.breakers[p] = replica.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	a.routes()
+	srv.RegisterMetrics(a.emitMetrics)
 	return a, nil
+}
+
+// doPeer issues one intra-cluster request through peer's circuit
+// breaker: an open breaker refuses instantly with ErrBreakerOpen before
+// any dial, a transport failure feeds the breaker, and any HTTP
+// response — whatever its status — closes it, because an answering peer
+// is alive. A failure caused by our own context (hedge losers are
+// cancelled when the winner returns) is not held against the peer.
+func (a *Agent) doPeer(peer string, req *http.Request) (*http.Response, error) {
+	br := a.breakers[peer]
+	if br != nil && !br.Allow() {
+		a.met.breakerFast.Add(1)
+		return nil, fmt.Errorf("peer %s: %w", peer, replica.ErrBreakerOpen)
+	}
+	resp, err := a.cfg.Client.Do(req)
+	if br != nil {
+		switch {
+		case err == nil:
+			br.Success()
+		case req.Context().Err() == nil:
+			br.Failure()
+		}
+	}
+	return resp, err
+}
+
+// breakerTrips sums closed→open transitions across every peer link.
+func (a *Agent) breakerTrips() int64 {
+	var n int64
+	for _, br := range a.breakers {
+		n += br.Trips()
+	}
+	return n
+}
+
+// emitMetrics appends the agent's series to the wrapped server's
+// /metrics scrape, registered at construction via RegisterMetrics.
+func (a *Agent) emitMetrics(w io.Writer) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# TYPE ussd_cluster_fanned_total counter\n")
+	p("ussd_cluster_fanned_total %d\n", a.met.fanned.Load())
+	p("# TYPE ussd_cluster_fan_retries_total counter\n")
+	p("ussd_cluster_fan_retries_total %d\n", a.met.fanRetries.Load())
+	p("# TYPE ussd_cluster_fan_fallbacks_total counter\n")
+	p("ussd_cluster_fan_fallbacks_total %d\n", a.met.fanFallbacks.Load())
+	p("# TYPE ussd_cluster_fan_shed_total counter\n")
+	p("ussd_cluster_fan_shed_total %d\n", a.met.fanShed.Load())
+	p("# TYPE ussd_cluster_hedges_total counter\n")
+	p("ussd_cluster_hedges_total %d\n", a.met.hedges.Load())
+	p("# TYPE ussd_cluster_degraded_reads_total counter\n")
+	p("ussd_cluster_degraded_reads_total %d\n", a.met.degraded.Load())
+	p("# TYPE ussd_cluster_ae_rounds_total counter\n")
+	p("ussd_cluster_ae_rounds_total %d\n", a.met.aeRounds.Load())
+	p("# TYPE ussd_cluster_ae_pulls_total counter\n")
+	p("ussd_cluster_ae_pulls_total %d\n", a.met.aePulls.Load())
+	p("# TYPE ussd_cluster_breaker_fastfails_total counter\n")
+	p("ussd_cluster_breaker_fastfails_total %d\n", a.met.breakerFast.Load())
+	p("# TYPE ussd_cluster_breaker_trips_total counter\n")
+	for _, peer := range a.cfg.Peers {
+		p("ussd_cluster_breaker_trips_total{peer=%q} %d\n", peer, a.breakers[peer].Trips())
+	}
+	p("# TYPE ussd_cluster_breaker_open gauge\n")
+	for _, peer := range a.cfg.Peers {
+		open := 0
+		if a.breakers[peer].State() != "closed" {
+			open = 1
+		}
+		p("ussd_cluster_breaker_open{peer=%q} %d\n", peer, open)
+	}
 }
 
 // Handler returns the node's routed handler: proxy semantics for the
@@ -252,6 +334,10 @@ func (a *Agent) Shutdown(_ context.Context) error {
 		pq.close()
 	}
 	a.wg.Wait()
+	// Drop pooled keep-alive connections so a stopped agent leaves no
+	// idle readers behind (the cluster tests' goroutine leak check
+	// depends on this).
+	a.cfg.Client.CloseIdleConnections()
 	return nil
 }
 
@@ -368,6 +454,9 @@ type statusDTO struct {
 	Owners []string `json:"owners,omitempty"`
 	// Copies lists the co-owner partials this node holds.
 	Copies []copyDTO `json:"copies"`
+	// Breakers maps each peer to its circuit-breaker state: "closed",
+	// "open" or "half-open".
+	Breakers map[string]string `json:"breakers"`
 	// Counters is the agent metric snapshot.
 	Counters map[string]int64 `json:"counters"`
 }
@@ -388,17 +477,20 @@ func (a *Agent) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st := statusDTO{
 		Self:              a.cfg.Self,
 		Peers:             make(map[string]string, len(a.cfg.Peers)),
+		Breakers:          make(map[string]string, len(a.cfg.Peers)),
 		ReplicationFactor: a.cfg.ReplicationFactor,
 		ReadQuorum:        a.cfg.ReadQuorum,
 		Counters: map[string]int64{
-			"fanned":        a.met.fanned.Load(),
-			"fan_retries":   a.met.fanRetries.Load(),
-			"fan_fallbacks": a.met.fanFallbacks.Load(),
-			"fan_shed":      a.met.fanShed.Load(),
-			"hedges":        a.met.hedges.Load(),
-			"degraded":      a.met.degraded.Load(),
-			"ae_rounds":     a.met.aeRounds.Load(),
-			"ae_pulls":      a.met.aePulls.Load(),
+			"fanned":            a.met.fanned.Load(),
+			"fan_retries":       a.met.fanRetries.Load(),
+			"fan_fallbacks":     a.met.fanFallbacks.Load(),
+			"fan_shed":          a.met.fanShed.Load(),
+			"hedges":            a.met.hedges.Load(),
+			"degraded":          a.met.degraded.Load(),
+			"ae_rounds":         a.met.aeRounds.Load(),
+			"ae_pulls":          a.met.aePulls.Load(),
+			"breaker_trips":     a.breakerTrips(),
+			"breaker_fastfails": a.met.breakerFast.Load(),
 		},
 	}
 	for _, p := range a.cfg.Peers {
@@ -407,6 +499,7 @@ func (a *Agent) handleStatus(w http.ResponseWriter, r *http.Request) {
 		} else {
 			st.Peers[p] = "down"
 		}
+		st.Breakers[p] = a.breakers[p].State()
 	}
 	if name := r.URL.Query().Get("name"); name != "" {
 		st.Owners = a.owners(name)

@@ -87,6 +87,9 @@ func newTestCluster(t *testing.T, n int, mut func(*Config)) *testCluster {
 		for _, ag := range tc.agents {
 			_ = ag.Shutdown(context.Background())
 		}
+		for _, s := range tc.srvs {
+			_ = s.Shutdown(context.Background())
+		}
 		for _, hs := range tc.https {
 			hs.Close()
 		}
@@ -321,6 +324,7 @@ func TestClusterBootRepair(t *testing.T) {
 	// Node 0 loses its disk: all local partials gone.
 	tc.swaps[0].set(nil)
 	_ = tc.agents[0].Shutdown(ctx)
+	_ = tc.srvs[0].Shutdown(ctx)
 	fresh := server.New(server.Config{})
 	ag, err := New(Config{
 		Self:              tc.urls[0],

@@ -157,7 +157,7 @@ func (a *Agent) send(url string, t *fanTask) (int, error) {
 	if t.ctype != "" {
 		req.Header.Set("Content-Type", t.ctype)
 	}
-	resp, err := a.cfg.Client.Do(req)
+	resp, err := a.doPeer(url, req)
 	if err != nil {
 		return 0, err
 	}

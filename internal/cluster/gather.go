@@ -130,6 +130,11 @@ func (a *Agent) fetchPartial(ctx context.Context, name, owner string, owners []s
 	if faultinject.Hit("cluster.partial-read") {
 		return nil, "miss", fmt.Errorf("faultpoint cluster.partial-read dropped owner %s", owner)
 	}
+	// The primary and its hedge race; whichever loses must not keep its
+	// request (and the goroutine reading the response) alive until the
+	// caller's deadline. Cancelling on return reels the loser in.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	type res struct {
 		bins []uss.Bin
 		src  string
@@ -252,7 +257,7 @@ func (a *Agent) getBlob(ctx context.Context, peer, path string, hdr *stateHeader
 	if err != nil {
 		return nil, err
 	}
-	resp, err := a.cfg.Client.Do(req)
+	resp, err := a.doPeer(peer, req)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,15 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: fan workers, the
+// anti-entropy loop, hedged partial reads and pooled intra-cluster
+// connections must all be gone once every agent is shut down, or the
+// leak check dumps their stacks and fails the run.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

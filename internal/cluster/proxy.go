@@ -683,7 +683,7 @@ func (a *Agent) handleRange(w http.ResponseWriter, r *http.Request) {
 				results[i] = rangeRes{owner: o, err: err}
 				return
 			}
-			resp, err := a.cfg.Client.Do(req)
+			resp, err := a.doPeer(o, req)
 			if err != nil {
 				results[i] = rangeRes{owner: o, err: err}
 				return

@@ -29,6 +29,8 @@
 //	cluster.drop-fan      cluster fan: drop a queued delivery before the send (retries heal)
 //	cluster.slow-peer     cluster: stall a node before it serves an exact-state read
 //	cluster.partial-read  cluster gather: force one owner partial to miss (degraded path)
+//	disk.enospc           store: report zero free disk space to the watermark check
+//	wal.fail-fsync        store: fail the fsync call itself (not just the write)
 //
 // The names are a convention, not a registry: a site fires whatever
 // name it asks for, so adding a point is one call at the site.

@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -79,6 +80,81 @@ func TestBadSpecsRejected(t *testing.T) {
 			t.Errorf("Enable(%q) accepted a bad spec", spec)
 		}
 	}
+}
+
+func TestEmptyPartsIgnored(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable(" , x.on , "); err != nil {
+		t.Fatalf("Enable with stray commas/space: %v", err)
+	}
+	if !Hit("x.on") {
+		t.Fatal("trimmed point did not fire")
+	}
+}
+
+func TestUnknownNameIgnoredWhileArmed(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("x.armed:1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if Hit("x.unknown") {
+			t.Fatal("unknown point fired while another was armed")
+		}
+	}
+	if Hits("x.unknown") != 0 {
+		t.Fatalf("Hits(unknown) = %d, want 0", Hits("x.unknown"))
+	}
+}
+
+func TestZeroLimitNeverFires(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("x.zero:1:0"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if Hit("x.zero") {
+			t.Fatal("limit-0 point fired")
+		}
+	}
+}
+
+// TestConcurrentArmAndHit races Enable/Reset against firing sites; the
+// race detector (CI runs this package with -race) keeps the locking
+// honest, and the test itself asserts nothing panics or wedges.
+func TestConcurrentArmAndHit(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					Hit("x.contended")
+					Hits("x.contended")
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if err := Enable("x.contended:0.5:10"); err != nil {
+			t.Errorf("Enable: %v", err)
+		}
+		if i%5 == 0 {
+			Reset()
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestSleepOnlyWhenFiring(t *testing.T) {

@@ -1,0 +1,68 @@
+// Package leakcheck fails a test binary that leaks goroutines. Wiring
+// it into a package's TestMain records the goroutine count before any
+// test runs and, after a passing run, insists the count settles back to
+// that baseline (plus a small slack for the runtime's own workers).
+// Goroutines that are merely slow to exit — pooled keep-alive readers,
+// timers unwinding — get a grace window with idle-connection sweeps and
+// GC nudges between samples; goroutines that never exit fail the run
+// with a full stack dump, which is how the hedged-read context leak in
+// the cluster gatherer was pinned down. A failing test run is reported
+// as-is without the leak gate, so the first error stays the loudest.
+package leakcheck
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// slack is how many goroutines above the baseline a settled process may
+// hold: the runtime and the test framework park a few workers that are
+// not the tests' fault.
+const slack = 5
+
+// settleTimeout bounds how long Main waits for goroutines to drain.
+const settleTimeout = 10 * time.Second
+
+// Main runs a package's tests with the leak gate: use it as the body of
+// TestMain(m). The gate only arms when the tests themselves passed.
+func Main(m *testing.M) {
+	base := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		if err := settle(base); err != nil {
+			fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// settle polls until the goroutine count returns to base+slack, sweeping
+// idle HTTP connections and nudging the GC between samples so pooled
+// keep-alive readers and finalizer-driven cleanups get their chance to
+// exit. Past the timeout it reports the count and every live stack.
+func settle(base int) error {
+	deadline := time.Now().Add(settleTimeout)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+slack {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		http.DefaultClient.CloseIdleConnections()
+		if t, ok := http.DefaultTransport.(*http.Transport); ok {
+			t.CloseIdleConnections()
+		}
+		runtime.GC()
+		time.Sleep(100 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	return fmt.Errorf("%d goroutines still running after %v (baseline %d, slack %d); stacks:\n%s",
+		runtime.NumGoroutine(), settleTimeout, base, slack, buf)
+}

@@ -10,6 +10,8 @@ package replica
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math/rand"
 	"time"
 )
@@ -57,10 +59,30 @@ func (b *Backoff) Next() time.Duration {
 // Reset drops the delay back to Min after a success.
 func (b *Backoff) Reset() { b.cur = 0 }
 
+// RetryAfterError wraps an error with the server's Retry-After hint so
+// Retry can wait exactly as long as an overloaded or read-only server
+// asked instead of guessing with backoff alone.
+type RetryAfterError struct {
+	// After is the server-provided minimum wait before retrying.
+	After time.Duration
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error renders the wrapped failure with its hint.
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %s)", e.Err, e.After)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
 // Retry runs fn until it succeeds, ctx ends, or attempts are exhausted
 // (attempts <= 0 means unlimited), sleeping a jittered exponential
-// delay between tries. It returns the last error on give-up. The
-// snapshot-push example and the follower loop share it.
+// delay between tries. When fn's error carries a Retry-After hint (a
+// *RetryAfterError anywhere in its chain), the sleep honors the hint if
+// it is longer than the backoff. It returns the last error on give-up.
+// The snapshot-push example and the follower loop share it.
 func Retry(ctx context.Context, attempts int, min, max time.Duration, fn func() error) error {
 	b := NewBackoff(min, max)
 	var err error
@@ -71,10 +93,15 @@ func Retry(ctx context.Context, attempts int, min, max time.Duration, fn func() 
 		if ctx.Err() != nil {
 			return err
 		}
+		wait := b.Next()
+		var ra *RetryAfterError
+		if errors.As(err, &ra) && ra.After > wait {
+			wait = ra.After
+		}
 		select {
 		case <-ctx.Done():
 			return err
-		case <-time.After(b.Next()):
+		case <-time.After(wait):
 		}
 	}
 	return err

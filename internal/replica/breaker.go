@@ -1,0 +1,106 @@
+package replica
+
+// Breaker is a per-peer circuit breaker shared by every outbound HTTP
+// link in the repo (replication client, cluster fan/gather/anti-entropy).
+// It exists so a dead peer costs one atomic load instead of a dial
+// timeout: after Threshold consecutive transport failures the breaker
+// opens for Cooldown, during which Allow refuses instantly; when the
+// cooldown lapses exactly one caller is admitted as a half-open probe,
+// and its outcome either closes the breaker or re-opens it for another
+// cooldown.
+//
+// Only transport-level failures should be reported through Failure —
+// an HTTP response, whatever its status, proves the peer is alive and
+// application errors must not sever the link.
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBreakerOpen is returned by callers that consult a Breaker and find
+// the peer's circuit open — the fast-fail path, distinguishable from a
+// real transport error.
+var ErrBreakerOpen = errors.New("replica: circuit open")
+
+// Breaker is the closed→open→half-open state machine for one peer link.
+// The zero value is not usable; construct with NewBreaker.
+type Breaker struct {
+	threshold int32
+	cooldown  time.Duration
+
+	fails     atomic.Int32 // consecutive transport failures while closed
+	openUntil atomic.Int64 // unix nanos the open state lapses; 0 = closed
+	probing   atomic.Bool  // a half-open probe is in flight
+	trips     atomic.Int64 // closed→open transitions
+}
+
+// NewBreaker returns a breaker opening after threshold consecutive
+// failures (default 5) for cooldown per open period (default 2s).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &Breaker{threshold: int32(threshold), cooldown: cooldown}
+}
+
+// Allow reports whether a request may proceed: always while closed, and
+// for exactly one probe per cooldown lapse while open. The steady-state
+// cost (closed, or open mid-cooldown) is one atomic load.
+func (b *Breaker) Allow() bool {
+	until := b.openUntil.Load()
+	if until == 0 {
+		return true
+	}
+	if time.Now().UnixNano() < until {
+		return false
+	}
+	// Cooldown lapsed: admit one half-open probe; everyone else keeps
+	// failing fast until the probe reports.
+	return b.probing.CompareAndSwap(false, true)
+}
+
+// Success reports a request that reached the peer; it closes the
+// breaker and clears the failure run.
+func (b *Breaker) Success() {
+	b.fails.Store(0)
+	b.openUntil.Store(0)
+	b.probing.Store(false)
+}
+
+// Failure reports a transport-level failure. While closed it extends
+// the consecutive-failure run and opens the breaker at the threshold;
+// while half-open it re-opens for another cooldown.
+func (b *Breaker) Failure() {
+	if b.openUntil.Load() != 0 {
+		// A failed half-open probe: push the open window out.
+		b.openUntil.Store(time.Now().Add(b.cooldown).UnixNano())
+		b.probing.Store(false)
+		return
+	}
+	if b.fails.Add(1) >= b.threshold {
+		b.fails.Store(0)
+		b.openUntil.Store(time.Now().Add(b.cooldown).UnixNano())
+		b.trips.Add(1)
+	}
+}
+
+// State renders the breaker's current state for status endpoints:
+// "closed", "open" or "half-open".
+func (b *Breaker) State() string {
+	until := b.openUntil.Load()
+	if until == 0 {
+		return "closed"
+	}
+	if b.probing.Load() || time.Now().UnixNano() >= until {
+		return "half-open"
+	}
+	return "open"
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 { return b.trips.Load() }

@@ -1,0 +1,110 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("breaker opened after %d failures, threshold 3", i+1)
+		}
+	}
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker still closed after threshold failures")
+	}
+	if got := b.State(); got != "open" {
+		t.Fatalf("State = %q, want open", got)
+	}
+	if got := b.Trips(); got != 1 {
+		t.Fatalf("Trips = %d, want 1", got)
+	}
+}
+
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("success did not reset the consecutive-failure run")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := NewBreaker(1, 10*time.Millisecond)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker should be open")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown lapsed; one probe should be admitted")
+	}
+	if b.Allow() {
+		t.Fatal("second caller admitted while a probe is in flight")
+	}
+	if got := b.State(); got != "half-open" {
+		t.Fatalf("State = %q, want half-open", got)
+	}
+	// Probe fails: re-open for another cooldown.
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker should re-open after a failed probe")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe should be admitted after the re-open lapses")
+	}
+	// Probe succeeds: closed again for everyone.
+	b.Success()
+	if !b.Allow() || b.State() != "closed" {
+		t.Fatalf("breaker should close after a successful probe (state %q)", b.State())
+	}
+}
+
+func TestClientBreakerFastFails(t *testing.T) {
+	// Nothing listens on this port; every call is a transport failure.
+	c := NewClient("http://127.0.0.1:1", 100*time.Millisecond)
+	ctx := context.Background()
+	var err error
+	for i := 0; i < 6; i++ {
+		_, err = c.Status(ctx)
+		if err == nil {
+			t.Fatal("Status against a dead address succeeded")
+		}
+	}
+	if _, err = c.Status(ctx); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("after %d transport failures err = %v, want ErrBreakerOpen", 6, err)
+	}
+	if c.Breaker().Trips() == 0 {
+		t.Fatal("breaker never tripped")
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	start := time.Now()
+	calls := 0
+	err := Retry(context.Background(), 2, time.Millisecond, 2*time.Millisecond, func() error {
+		calls++
+		return &RetryAfterError{After: 150 * time.Millisecond, Err: errors.New("overloaded")}
+	})
+	if err == nil || calls != 2 {
+		t.Fatalf("err = %v calls = %d, want error after 2 calls", err, calls)
+	}
+	if elapsed := time.Since(start); elapsed < 140*time.Millisecond {
+		t.Fatalf("Retry slept %s; the 150ms Retry-After hint was not honored", elapsed)
+	}
+	var ra *RetryAfterError
+	if !errors.As(err, &ra) || ra.After != 150*time.Millisecond {
+		t.Fatalf("returned error lost the hint: %v", err)
+	}
+}

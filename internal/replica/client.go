@@ -27,11 +27,14 @@ var ErrDiverged = errors.New("replica: follower log is ahead of primary")
 // Client calls a primary's replication (and, for tail reconciliation,
 // regular mutation) endpoints. Every RPC is bounded by the configured
 // per-request timeout on top of the caller's context — a hung primary
-// costs one deadline, never a stuck goroutine.
+// costs one deadline, never a stuck goroutine — and flows through a
+// per-peer circuit breaker, so a dead primary costs one atomic load
+// per call while the breaker is open.
 type Client struct {
 	base    string
 	hc      *http.Client
 	timeout time.Duration
+	br      *Breaker
 }
 
 // NewClient returns a client for the primary at base (e.g.
@@ -41,8 +44,16 @@ func NewClient(base string, timeout time.Duration) *Client {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}, timeout: timeout}
+	return &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{},
+		timeout: timeout,
+		br:      NewBreaker(0, 0),
+	}
 }
+
+// Breaker exposes the client's circuit breaker for status reporting.
+func (c *Client) Breaker() *Breaker { return c.br }
 
 // get issues a GET with the client deadline and returns the response.
 func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
@@ -52,6 +63,9 @@ func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 // do issues one deadlined request. The caller must close the body on
 // success.
 func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, timeout time.Duration) (*http.Response, error) {
+	if !c.br.Allow() {
+		return nil, fmt.Errorf("%w: %s", ErrBreakerOpen, c.base)
+	}
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	var rd io.Reader
@@ -67,8 +81,13 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		// Transport-level failure: the peer never answered. Responses of
+		// any status count as success below — an alive peer returning
+		// errors must not sever the link.
+		c.br.Failure()
 		return nil, err
 	}
+	c.br.Success()
 	// The context is cancelled when this function returns, which would
 	// kill the body mid-read; drain it here and hand back a detached
 	// body.

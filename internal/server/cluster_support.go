@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	uss "repro"
 	"repro/internal/store"
@@ -67,6 +68,7 @@ func (s *Server) SketchState(name string) (SketchConfig, SketchStats, []byte, er
 	if !ok {
 		return SketchConfig{}, SketchStats{}, nil, fmt.Errorf("sketch %q: %w", name, ErrNotFound)
 	}
+	e.lastAccess.Store(time.Now().UnixNano())
 	e.mu.Lock()
 	blob, err := e.encodeState()
 	st := SketchStats{Rows: e.rows.Load(), Pushes: e.pushes.Load(), Dropped: e.dropped.Load()}
@@ -111,6 +113,7 @@ func (s *Server) RestoreSketch(cfg SketchConfig, stats SketchStats, blob []byte)
 		e.mu.Lock()
 		e.unit, e.weighted, e.sharded, e.rollup = rb.Unit, rb.Weighted, rb.Sharded, rb.Rollup
 		e.qe, e.prep = nil, nil // engines are bound to the replaced sketch
+		e.cold.Store(false)     // the restored state supersedes any cold blob
 		e.rows.Store(stats.Rows)
 		e.pushes.Store(stats.Pushes)
 		e.dropped.Store(stats.Dropped)

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -98,6 +99,12 @@ func (s *Server) AttachStore(st *store.Store, rebuilt *store.RebuildResult, chec
 	}
 	s.epoch.Store(tl.Epoch)
 	s.promoteLSN.Store(tl.PromoteLSN)
+	// The pressure loop always runs on a durable server: it answers disk
+	// watermark trips with an emergency checkpoint (truncating the log is
+	// how the server gives disk space back) and enforces the memory soft
+	// watermark by demoting cold sketches.
+	d.wg.Add(1)
+	go s.pressureLoop()
 	if checkpointEvery > 0 {
 		d.wg.Add(1)
 		go s.checkpointLoop()
@@ -123,6 +130,7 @@ func entryFromRebuilt(rb *store.RebuiltSketch) (*entry, error) {
 		return nil, err
 	}
 	e := &entry{cfg: cfg}
+	e.lastAccess.Store(time.Now().UnixNano())
 	e.unit, e.weighted, e.sharded, e.rollup = rb.Unit, rb.Weighted, rb.Sharded, rb.Rollup
 	e.rows.Store(rb.Rows)
 	e.pushes.Store(rb.Pushes)
@@ -196,6 +204,12 @@ func (s *Server) deleteSketch(name string) (bool, error) {
 // holds e.mu, which on a durable server excludes the entry's (single)
 // applier, so the blob is one consistent cut.
 func (e *entry) encodeState() ([]byte, error) {
+	if e.cold.Load() {
+		// A demoted entry's exact state is its cold blob (it was encoded
+		// by this very function at demotion time), so checkpoints and
+		// cluster state pulls stay correct without reviving it.
+		return os.ReadFile(e.coldPath)
+	}
 	switch e.cfg.Kind {
 	case KindUnit:
 		return e.unit.AppendBinary(nil)
@@ -298,6 +312,9 @@ func (s *Server) appendIngestWAL(e *entry, b *ingestBatch) (uint64, error) {
 // DecodeBins → MergeBins fast path — and records the applied LSN (0 =
 // not durable).
 func (s *Server) applyPush(e *entry, pushed []uss.Bin, red uss.Reduction, lsn uint64) applyResult {
+	if err := s.ensureLive(e); err != nil {
+		return applyResult{err: err}
+	}
 	m := e.cfg.Bins
 	e.mu.Lock()
 	merged := uss.MergeBins(m, red, e.weighted.Bins(), pushed)

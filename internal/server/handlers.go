@@ -9,8 +9,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	uss "repro"
+	"repro/internal/store"
 )
 
 // writeJSON serializes v with a status code.
@@ -53,7 +55,10 @@ type sketchInfo struct {
 	Dropped  int64   `json:"dropped_rows,omitempty"`
 }
 
-// info assembles the stats snapshot for one entry.
+// info assembles the stats snapshot for one entry. A demoted entry
+// answers from its preserved cold stats without reviving, so listing
+// sketches (and anti-entropy digests, which build on info) never drags
+// cold state back into memory.
 func (e *entry) info() sketchInfo {
 	out := sketchInfo{
 		SketchConfig: e.cfg,
@@ -62,28 +67,28 @@ func (e *entry) info() sketchInfo {
 		Pushes:       e.pushes.Load(),
 		Dropped:      e.dropped.Load(),
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cold.Load() {
+		out.Size, out.Total = e.coldSize, e.coldTotal
+		return out
+	}
 	switch e.cfg.Kind {
 	case KindSharded:
 		out.Size = e.sharded.Size()
 		out.Total = e.sharded.Total()
 	case KindUnit:
-		e.mu.Lock()
 		out.Size = e.unit.Size()
 		out.Total = e.unit.Total()
-		e.mu.Unlock()
 	case KindWeighted:
-		e.mu.Lock()
 		out.Size = e.weighted.Size()
 		out.Total = e.weighted.Total()
-		e.mu.Unlock()
 	case KindRollup:
-		e.mu.Lock()
 		ws := e.rollup.Windows()
 		out.Windows = len(ws)
 		if len(ws) > 0 {
 			out.Total = e.rollup.TotalRange(ws[0], ws[len(ws)-1])
 		}
-		e.mu.Unlock()
 	}
 	return out
 }
@@ -99,6 +104,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	e, err := s.createSketch(cfg)
 	if err != nil {
+		if errors.Is(err, store.ErrReadOnly) {
+			writeRetryError(w, http.StatusServiceUnavailable, readOnlyRetryAfter, err)
+			return
+		}
 		writeError(w, statusFor(err), err)
 		return
 	}
@@ -115,8 +124,14 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.lookup(w, r)
+	// Stats only — resolved without lookup's revive step, so polling a
+	// demoted sketch's info (like listing it) never drags it back into
+	// memory.
+	name := r.PathValue("name")
+	e, ok := s.reg.Get(name)
 	if !ok {
+		err := fmt.Errorf("sketch %q: %w", name, ErrNotFound)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, e.info())
@@ -128,6 +143,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	ok, err := s.deleteSketch(r.PathValue("name"))
 	if err != nil {
+		if errors.Is(err, store.ErrReadOnly) {
+			writeRetryError(w, http.StatusServiceUnavailable, readOnlyRetryAfter, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -151,11 +170,24 @@ type ingestJSON struct {
 }
 
 // handleIngest decodes a batch (pooled text fast path, or JSON) and either
-// queues it (default, 202) or applies it inline (?sync=1, 200).
+// queues it (default, 202) or applies it inline (?sync=1, 200). Admission
+// runs first: the body's bytes charge the global in-flight budget before
+// decoding, and the decoded row count draws from the sketch's token
+// bucket; either gate sheds with a Retry-After hint.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.followerRejects(w) {
 		return
 	}
+	charge, admitted := s.admitBody(w, r)
+	if !admitted {
+		return
+	}
+	handedOff := false
+	defer func() {
+		if !handedOff {
+			s.adm.release(charge)
+		}
+	}()
 	e, ok := s.lookup(w, r)
 	if !ok {
 		return
@@ -173,10 +205,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"rows": 0})
 		return
 	}
+	if rate := s.cfg.IngestRateRows; rate > 0 {
+		if ok, wait := e.takeTokens(float64(n), rate, s.cfg.IngestBurstRows); !ok {
+			putBatch(b)
+			s.met.shed429.Add(1)
+			writeRetryError(w, http.StatusTooManyRequests, wait,
+				fmt.Errorf("sketch %q over its ingest rate (%g rows/s)", e.cfg.Name, rate))
+			return
+		}
+	}
 	s.met.batchesQueued.Add(1)
 	sync := r.URL.Query().Get("sync") != ""
 	if s.dur != nil {
-		s.ingestDurable(w, r, e, b, n, sync)
+		handedOff = s.ingestDurable(w, r, e, b, n, sync, charge)
 		return
 	}
 	if sync {
@@ -185,13 +226,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"rows": n})
 		return
 	}
-	queued, err := s.enqueue(r.Context(), ingestJob{e: e, b: b})
+	queued, err := s.enqueue(r.Context(), ingestJob{e: e, b: b, charge: charge})
 	if err != nil {
 		// Queue full until the client's deadline: shed the batch — the
 		// rows were never acknowledged, so dropping them here is the
 		// backpressure contract, not loss.
 		putBatch(b)
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("ingest queue full: %w", err))
+		writeRetryError(w, http.StatusServiceUnavailable, time.Second, fmt.Errorf("ingest queue full: %w", err))
 		return
 	}
 	if !queued {
@@ -202,6 +243,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"rows": n})
 		return
 	}
+	handedOff = true // the worker releases the charge after the apply
 	writeJSON(w, http.StatusAccepted, map[string]any{"rows": n, "queued": true})
 }
 
@@ -213,7 +255,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // inline, which would break per-entry ordering; the wait observes the
 // request context, so a dead client releases its handler while the
 // already-logged batch still applies in order.
-func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, e *entry, b *ingestBatch, n int, sync bool) {
+func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, e *entry, b *ingestBatch, n int, sync bool, charge int64) (handedOff bool) {
 	var done chan applyResult
 	if sync {
 		done = make(chan applyResult, 1)
@@ -223,15 +265,21 @@ func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, e *entry,
 	if err != nil {
 		s.dur.walMu.Unlock()
 		putBatch(b)
+		if errors.Is(err, store.ErrReadOnly) {
+			// Disk below the hard watermark: the store is read-only until
+			// space returns. The batch was never logged or acknowledged.
+			writeRetryError(w, http.StatusServiceUnavailable, readOnlyRetryAfter, err)
+			return false
+		}
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("wal append: %w", err))
-		return
+		return false
 	}
 	e.appendedLSN.Store(lsn)
 	// The record is on the log, so the batch must not be dropped on any
 	// path below: enqueue without a context deadline (the queue slot wait
 	// is bounded by shutdown, and the batch's worker never blocks on the
 	// buffered done channel).
-	queued, _ := s.enqueue(context.Background(), ingestJob{e: e, b: b, lsn: lsn, done: done})
+	queued, _ := s.enqueue(context.Background(), ingestJob{e: e, b: b, lsn: lsn, done: done, charge: charge})
 	s.dur.walMu.Unlock()
 	if !queued {
 		// Shutting down after the drain deadline: the queues are closed.
@@ -243,7 +291,7 @@ func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, e *entry,
 		// still means at-least-once, never loss.
 		putBatch(b)
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("shutting down; batch is logged and will apply on restart"))
-		return
+		return false
 	}
 	if sync {
 		select {
@@ -255,9 +303,10 @@ func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, e *entry,
 			writeError(w, http.StatusServiceUnavailable,
 				fmt.Errorf("request context done before apply (%w); batch is logged and queued", r.Context().Err()))
 		}
-		return
+		return true
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"rows": n, "queued": true})
+	return true
 }
 
 // decodeIngest parses the request body into b according to content type:
@@ -340,6 +389,16 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	if s.followerRejects(w) {
 		return
 	}
+	charge, admitted := s.admitBody(w, r)
+	if !admitted {
+		return
+	}
+	handedOff := false
+	defer func() {
+		if !handedOff {
+			s.adm.release(charge)
+		}
+	}()
 	e, ok := s.lookup(w, r)
 	if !ok {
 		return
@@ -376,11 +435,15 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 		lsn, err := s.dur.st.AppendSnapshot(e.cfg.Name, byte(red), b.buf)
 		if err != nil {
 			s.dur.walMu.Unlock()
+			if errors.Is(err, store.ErrReadOnly) {
+				writeRetryError(w, http.StatusServiceUnavailable, readOnlyRetryAfter, err)
+				return
+			}
 			writeError(w, http.StatusInternalServerError, fmt.Errorf("wal append: %w", err))
 			return
 		}
 		e.appendedLSN.Store(lsn)
-		queued, _ := s.enqueue(context.Background(), ingestJob{e: e, push: pushed, red: red, lsn: lsn, done: done})
+		queued, _ := s.enqueue(context.Background(), ingestJob{e: e, push: pushed, red: red, lsn: lsn, done: done, charge: charge})
 		s.dur.walMu.Unlock()
 		if !queued {
 			// See ingestDurable: applying inline post-drain could invert
@@ -389,6 +452,7 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("shutting down; snapshot is logged and will merge on restart"))
 			return
 		}
+		handedOff = true // the worker releases the charge after the merge
 		select {
 		case res = <-done:
 		case <-r.Context().Done():

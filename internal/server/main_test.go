@@ -1,0 +1,15 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: ingest workers,
+// checkpoint and pressure loops, and replication streams must all be
+// reeled in by Shutdown, or the leak check dumps their stacks and fails
+// the run.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,12 @@ type metrics struct {
 
 	checkpoints      atomic.Int64 // durable checkpoints committed
 	checkpointErrors atomic.Int64 // background checkpoint failures
+
+	shed429      atomic.Int64 // batches shed by the per-sketch token bucket
+	shed503      atomic.Int64 // bodies shed by the in-flight-bytes budget
+	demotions    atomic.Int64 // sketches demoted to cold blobs
+	revivals     atomic.Int64 // cold sketches revived on access
+	reviveErrors atomic.Int64 // cold blobs that failed to restore
 
 	promotions      atomic.Int64 // follower→primary promotions
 	replApplied     atomic.Int64 // records applied from the replication stream
@@ -101,6 +108,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("ussd_snapshots_pulled_total %d\n", m.snapshotsOut.Load())
 	p("# TYPE ussd_queries_total counter\n")
 	p("ussd_queries_total %d\n", m.queriesServed.Load())
+	p("# TYPE ussd_admission_shed_total counter\n")
+	p("ussd_admission_shed_total{code=\"429\"} %d\n", m.shed429.Load())
+	p("ussd_admission_shed_total{code=\"503\"} %d\n", m.shed503.Load())
+	p("# TYPE ussd_inflight_bytes gauge\n")
+	p("ussd_inflight_bytes %d\n", s.adm.inflight.Load())
+	p("# TYPE ussd_shedding gauge\n")
+	p("ussd_shedding %d\n", boolGauge(s.adm.shedding()))
+	p("# TYPE ussd_sketch_demotions_total counter\n")
+	p("ussd_sketch_demotions_total %d\n", m.demotions.Load())
+	p("# TYPE ussd_sketch_revivals_total counter\n")
+	p("ussd_sketch_revivals_total %d\n", m.revivals.Load())
+	p("# TYPE ussd_sketch_revive_errors_total counter\n")
+	p("ussd_sketch_revive_errors_total %d\n", m.reviveErrors.Load())
 
 	if d := s.dur; d != nil {
 		sm := d.st.Metrics()
@@ -118,6 +138,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		p("ussd_checkpoints_total %d\n", m.checkpoints.Load())
 		p("# TYPE ussd_checkpoint_errors_total counter\n")
 		p("ussd_checkpoint_errors_total %d\n", m.checkpointErrors.Load())
+		p("# TYPE ussd_wal_sync_errors_total counter\n")
+		p("ussd_wal_sync_errors_total %d\n", sm.SyncErrors.Load())
+		p("# TYPE ussd_disk_pressure gauge\n")
+		p("ussd_disk_pressure %d\n", d.st.Pressure())
+		p("# TYPE ussd_disk_soft_trips_total counter\n")
+		p("ussd_disk_soft_trips_total %d\n", sm.DiskSoftTrips.Load())
+		p("# TYPE ussd_disk_hard_trips_total counter\n")
+		p("ussd_disk_hard_trips_total %d\n", sm.DiskHardTrips.Load())
+		p("# TYPE ussd_readonly_rejects_total counter\n")
+		p("ussd_readonly_rejects_total %d\n", sm.ReadOnlyRejects.Load())
 	}
 
 	p("# TYPE ussd_replication_role gauge\n")
@@ -151,6 +181,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, e := range entries {
 		p("ussd_sketch_rows{name=%q,kind=%q} %d\n", e.cfg.Name, e.cfg.Kind, e.rows.Load())
 	}
+
+	s.extraMu.Lock()
+	extras := make([]func(io.Writer), len(s.extraMetrics))
+	copy(extras, s.extraMetrics)
+	s.extraMu.Unlock()
+	for _, f := range extras {
+		f(w)
+	}
+}
+
+// RegisterMetrics adds an emitter the /metrics endpoint appends after
+// the server's own series — how embedders (the cluster agent, the bench
+// harness) export their counters through the node's scrape endpoint.
+func (s *Server) RegisterMetrics(f func(w io.Writer)) {
+	s.extraMu.Lock()
+	s.extraMetrics = append(s.extraMetrics, f)
+	s.extraMu.Unlock()
 }
 
 // handleHealthz reports liveness. It never touches sketch state, so a

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	uss "repro"
 )
@@ -146,11 +147,31 @@ type entry struct {
 	// base LSN — otherwise an idle sketch would pin the truncation
 	// cutoff at its last write forever.
 	appendedLSN atomic.Uint64
+
+	// Per-sketch ingest token bucket (admission.go). Its own mutex: the
+	// bucket is consulted before the batch is queued, never under e.mu.
+	tbMu     sync.Mutex
+	tbTokens float64
+	tbLast   int64
+
+	// Memory-watermark demotion state (admission.go). lastAccess is
+	// stamped by ensureLive on every path that touches the sketch
+	// pointers; cold flips under e.mu (the atomic is the lock-free fast
+	// check) and while it is set the sketch pointers are nil and the
+	// entry's exact state lives in the blob at coldPath. coldSize and
+	// coldTotal preserve the stats snapshot so list/info and anti-entropy
+	// digests answer without reviving.
+	lastAccess atomic.Int64
+	cold       atomic.Bool
+	coldPath   string
+	coldSize   int
+	coldTotal  float64
 }
 
 // newEntry constructs the sketch for a validated config.
 func newEntry(cfg SketchConfig) (*entry, error) {
 	e := &entry{cfg: cfg}
+	e.lastAccess.Store(time.Now().UnixNano())
 	switch cfg.Kind {
 	case KindUnit:
 		e.unit = uss.New(cfg.Bins, cfg.options()...)

@@ -458,9 +458,15 @@ func CutStreamFrame(b []byte) (lsn uint64, payload, rest []byte, err error) {
 // on replication state.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	body := map[string]any{
-		"ready": s.Ready(),
-		"role":  s.Role().String(),
-		"epoch": s.Epoch(),
+		"ready":    s.Ready(),
+		"role":     s.Role().String(),
+		"epoch":    s.Epoch(),
+		"shedding": s.adm.shedding(),
+	}
+	if d := s.dur; d != nil {
+		pr := d.st.Pressure()
+		body["pressure"] = store.PressureString(pr)
+		body["read_only"] = pr == store.DiskHard
 	}
 	if s.Role() == RoleFollower {
 		lagLSNs, lagSec := s.replicationLag()

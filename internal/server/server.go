@@ -57,6 +57,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sync"
@@ -84,6 +85,26 @@ type Config struct {
 	// dead client can no longer park a sync ingest on a worker slot
 	// forever (default 60s; < 0 disables).
 	RequestTimeout time.Duration
+	// IngestRateRows caps each sketch's ingest rate in rows/second.
+	// Batches past the rate are shed with 429 + Retry-After computed
+	// from the deficit. 0 disables per-sketch admission control.
+	IngestRateRows float64
+	// IngestBurstRows is the token-bucket capacity — the largest batch
+	// admitted instantly (default 2× IngestRateRows). Size it above the
+	// biggest legitimate batch or that batch can never be admitted.
+	IngestBurstRows float64
+	// MaxInflightBytes bounds the total mutation-body bytes admitted but
+	// not yet applied; over budget, mutations are shed with 503 +
+	// Retry-After before decoding. 0 disables the budget.
+	MaxInflightBytes int64
+	// MemorySoftBytes is the resident sketch-memory watermark: above it
+	// a durable server demotes sketches idle longer than ColdAfter to
+	// on-disk blobs, reviving them on next access. 0 disables demotion.
+	MemorySoftBytes int64
+	// ColdAfter is how long a sketch must go untouched before it is a
+	// demotion candidate (default 5m). Keep it above RequestTimeout so
+	// an in-flight request can never see its sketch demoted under it.
+	ColdAfter time.Duration
 }
 
 func (c *Config) defaults() {
@@ -102,6 +123,12 @@ func (c *Config) defaults() {
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 60 * time.Second
 	}
+	if c.IngestBurstRows <= 0 {
+		c.IngestBurstRows = 2 * c.IngestRateRows
+	}
+	if c.ColdAfter <= 0 {
+		c.ColdAfter = 5 * time.Minute
+	}
 }
 
 // ingestJob is one queued unit of sketch work bound for one entry:
@@ -117,6 +144,9 @@ type ingestJob struct {
 	red  uss.Reduction
 	lsn  uint64
 	done chan applyResult
+	// charge is the job's admitted in-flight bytes, released by the
+	// worker after the apply (admission.go).
+	charge int64
 }
 
 // applyResult reports one applied job back to a waiting handler.
@@ -155,6 +185,14 @@ type Server struct {
 	// dur is the durability harness, nil unless AttachStore was called.
 	dur *durableState
 
+	// adm is the global in-flight-bytes admission gate (admission.go).
+	adm admission
+
+	// extraMetrics are embedder-registered /metrics emitters (the
+	// cluster agent exports its breaker states through one).
+	extraMu      sync.Mutex
+	extraMetrics []func(w io.Writer)
+
 	// Replication state: role and readiness gates, the timeline this
 	// node's log belongs to, and the follower lag gauges (see
 	// replication.go). A fresh server is a ready primary on epoch 0.
@@ -177,6 +215,7 @@ func New(cfg Config) *Server {
 		mux:  http.NewServeMux(),
 		jobs: make([]chan ingestJob, cfg.IngestWorkers),
 	}
+	s.adm.max = cfg.MaxInflightBytes
 	depth := cfg.QueueDepth / cfg.IngestWorkers
 	if depth < 1 {
 		depth = 1
@@ -267,10 +306,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.qmu.Unlock()
 	s.workers.Wait()
 	if d := s.dur; d != nil && first {
-		if d.every > 0 {
-			close(d.stop)
-			d.wg.Wait()
-		}
+		close(d.stop) // stops the checkpoint and pressure loops
+		d.wg.Wait()
 		cerr := s.Checkpoint() // checkpoint-on-drain: the clean-exit baseline
 		s.dur = nil
 		if serr := d.st.Close(); cerr == nil {
@@ -321,13 +358,16 @@ func (s *Server) ingestWorker(i int) {
 		s.met.queueDepth.Add(-1)
 		if j.b != nil {
 			s.applyBatch(j.e, j.b, j.lsn)
+			s.adm.release(j.charge)
 			if j.done != nil {
 				j.done <- applyResult{}
 			}
 			putBatch(j.b)
 			continue
 		}
-		j.done <- s.applyPush(j.e, j.push, j.red, j.lsn)
+		res := s.applyPush(j.e, j.push, j.red, j.lsn)
+		s.adm.release(j.charge)
+		j.done <- res
 	}
 }
 
@@ -349,6 +389,12 @@ func (s *Server) ingestWorker(i int) {
 // non-durable sharded path skips it so concurrent batches keep flowing
 // through UpdateBatch's per-shard locking.
 func (s *Server) applyBatch(e *entry, b *ingestBatch, lsn uint64) {
+	if s.ensureLive(e) != nil {
+		// The cold blob failed to restore; the batch cannot apply. The
+		// record (when durable) is still on the log and replays on the
+		// next boot against the checkpointed state.
+		return
+	}
 	rows := int64(len(b.items))
 	finish := func(dropped int64) { // caller holds e.mu (or is lock-free sharded)
 		e.rows.Add(rows)
@@ -429,13 +475,19 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sketches/{name}/range/total", s.handleRangeTotal)
 }
 
-// lookup resolves {name} or writes the statusFor-mapped 404.
+// lookup resolves {name} or writes the statusFor-mapped 404. It also
+// revives a demoted entry before the handler touches sketch pointers.
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*entry, bool) {
 	name := r.PathValue("name")
 	e, ok := s.reg.Get(name)
 	if !ok {
 		err := fmt.Errorf("sketch %q: %w", name, ErrNotFound)
 		writeError(w, statusFor(err), err)
+		return nil, false
 	}
-	return e, ok
+	if err := s.ensureLive(e); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return nil, false
+	}
+	return e, true
 }

@@ -1,0 +1,101 @@
+package store
+
+// Disk watermarks: the store polls free space on its filesystem and
+// degrades instead of crashing when the disk fills. Below the soft
+// watermark the store keeps appending but reports pressure so the owner
+// can shed load and checkpoint+truncate aggressively; below the hard
+// watermark appends are refused with ErrReadOnly (reads, checkpoints and
+// recovery stay untouched — a read-only node still answers exactly).
+// The disk.enospc faultpoint forces the free-space probe to report zero
+// so the whole path is testable without filling a real disk.
+
+import (
+	"errors"
+	"syscall"
+
+	"repro/internal/faultinject"
+)
+
+// ErrReadOnly is returned (wrapped) by appends while the disk is below
+// the hard watermark. The store re-probes on later appends and clears
+// the condition itself once space is reclaimed — callers should map it
+// to 503 + Retry-After, not tear anything down.
+var ErrReadOnly = errors.New("store: disk below hard watermark; log is read-only")
+
+// Disk pressure levels reported by Pressure.
+const (
+	// DiskHealthy: free space above both watermarks.
+	DiskHealthy = 0
+	// DiskSoft: free space below the soft watermark — keep appending,
+	// but checkpoint and shed ahead of the hard stop.
+	DiskSoft = 1
+	// DiskHard: free space below the hard watermark — appends refuse
+	// with ErrReadOnly until space returns.
+	DiskHard = 2
+)
+
+// PressureString renders a Pressure level for status endpoints.
+func PressureString(p int) string {
+	switch p {
+	case DiskSoft:
+		return "soft"
+	case DiskHard:
+		return "read_only"
+	default:
+		return "healthy"
+	}
+}
+
+// Pressure returns the store's current disk-pressure level. It is
+// refreshed by the append path (every DiskCheckEvery appends while
+// healthy, every append while degraded), so a quiescent store reports
+// the level as of its last append attempt.
+func (s *Store) Pressure() int { return int(s.pressure.Load()) }
+
+// diskFree reports the bytes available to unprivileged writes on the
+// filesystem holding path.
+func diskFree(path string) (int64, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(path, &st); err != nil {
+		return 0, err
+	}
+	return int64(st.Bavail) * int64(st.Bsize), nil
+}
+
+// checkDisk re-probes free space and moves the pressure state machine,
+// counting soft/hard transitions in Metrics. Probe errors keep the
+// previous state: a transient statfs failure must not flap a healthy
+// node into read-only or mask real pressure.
+func (s *Store) checkDisk() {
+	free, err := diskFree(s.opts.Dir)
+	if err != nil {
+		return
+	}
+	if faultinject.Hit("disk.enospc") {
+		free = 0
+	}
+	var next int32
+	switch {
+	case free <= s.opts.DiskHardBytes:
+		next = DiskHard
+	case free <= s.opts.DiskSoftBytes:
+		next = DiskSoft
+	default:
+		next = DiskHealthy
+	}
+	s.setPressure(next)
+}
+
+// setPressure swaps the pressure level in, counting transitions.
+func (s *Store) setPressure(next int32) {
+	prev := s.pressure.Swap(next)
+	if next == prev {
+		return
+	}
+	switch next {
+	case DiskSoft:
+		s.met.DiskSoftTrips.Add(1)
+	case DiskHard:
+		s.met.DiskHardTrips.Add(1)
+	}
+}

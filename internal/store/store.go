@@ -65,6 +65,17 @@ type Options struct {
 	// SegmentBytes rotates the active segment past this size (default
 	// 64 MiB).
 	SegmentBytes int64
+	// DiskSoftBytes is the soft free-space watermark: below it the
+	// store reports DiskSoft pressure so the owner sheds and
+	// checkpoints ahead of the hard stop (default 256 MiB).
+	DiskSoftBytes int64
+	// DiskHardBytes is the hard free-space watermark: below it appends
+	// refuse with ErrReadOnly (default 64 MiB).
+	DiskHardBytes int64
+	// DiskCheckEvery is how many appends pass between free-space probes
+	// while healthy; degraded stores probe on every append so recovery
+	// is prompt (default 64).
+	DiskCheckEvery int
 }
 
 func (o *Options) defaults() {
@@ -73,6 +84,15 @@ func (o *Options) defaults() {
 	}
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 64 << 20
+	}
+	if o.DiskSoftBytes <= 0 {
+		o.DiskSoftBytes = 256 << 20
+	}
+	if o.DiskHardBytes <= 0 {
+		o.DiskHardBytes = 64 << 20
+	}
+	if o.DiskCheckEvery <= 0 {
+		o.DiskCheckEvery = 64
 	}
 }
 
@@ -92,6 +112,15 @@ type Metrics struct {
 	Rotations atomic.Int64
 	// Checkpoints counts committed checkpoint generations.
 	Checkpoints atomic.Int64
+	// SyncErrors counts fsyncs that failed (the interval flusher
+	// retries on the next tick; SyncAlways appends report the error).
+	SyncErrors atomic.Int64
+	// DiskSoftTrips counts transitions into DiskSoft pressure.
+	DiskSoftTrips atomic.Int64
+	// DiskHardTrips counts transitions into DiskHard (read-only) mode.
+	DiskHardTrips atomic.Int64
+	// ReadOnlyRejects counts appends refused with ErrReadOnly.
+	ReadOnlyRejects atomic.Int64
 }
 
 // Store is the append side of the log: it owns the active segment and
@@ -112,6 +141,9 @@ type Store struct {
 	closed   bool
 
 	notify chan struct{} // closed and replaced on every append (WaitForLSN)
+
+	pressure   atomic.Int32 // disk pressure level (pressure.go)
+	sinceCheck int          // appends since the last free-space probe; guarded by mu
 
 	dirty    atomic.Bool // unsynced appends (SyncInterval)
 	loopDone chan struct{}
@@ -190,6 +222,10 @@ func Open(opts Options) (*Store, error) {
 		return nil, err
 	}
 
+	// Seed the pressure state so a store opened on an already-full disk
+	// refuses appends from the first call instead of the 65th.
+	s.checkDisk()
+
 	if opts.Sync == SyncInterval {
 		s.loopWG.Add(1)
 		go s.syncLoop()
@@ -234,6 +270,18 @@ func (s *Store) append() (uint64, error) {
 	if s.closed {
 		return 0, fmt.Errorf("store: append to closed store")
 	}
+	// Disk watermark gate: probe every DiskCheckEvery appends while
+	// healthy, every append while degraded so the read-only condition
+	// clears as soon as space returns.
+	s.sinceCheck++
+	if s.pressure.Load() != DiskHealthy || s.sinceCheck >= s.opts.DiskCheckEvery {
+		s.sinceCheck = 0
+		s.checkDisk()
+	}
+	if s.pressure.Load() == DiskHard {
+		s.met.ReadOnlyRejects.Add(1)
+		return 0, fmt.Errorf("%w (free space under %d bytes)", ErrReadOnly, s.opts.DiskHardBytes)
+	}
 	lsn := s.segFirst + uint64(s.segRecs)
 	if s.fsize >= s.opts.SegmentBytes {
 		if err := s.newSegment(lsn); err != nil {
@@ -252,7 +300,14 @@ func (s *Store) append() (uint64, error) {
 		return 0, fmt.Errorf("store: append record: injected torn write")
 	}
 	if _, err := s.f.Write(s.buf); err != nil {
-		return 0, fmt.Errorf("store: append record: %w", err)
+		// A failed WAL write is almost always the disk filling under us
+		// between probes. Roll the partial frame back so the tail stays
+		// a clean record boundary, flip to read-only and report it as
+		// such — degrade, don't wedge.
+		s.f.Truncate(s.fsize)
+		s.setPressure(DiskHard)
+		s.met.ReadOnlyRejects.Add(1)
+		return 0, fmt.Errorf("store: append record: %w: %v", ErrReadOnly, err)
 	}
 	s.fsize += int64(len(s.buf))
 	s.segRecs++
@@ -261,10 +316,9 @@ func (s *Store) append() (uint64, error) {
 	switch s.opts.Sync {
 	case SyncAlways:
 		faultinject.Sleep("wal.stall-fsync", 50*time.Millisecond)
-		if err := s.f.Sync(); err != nil {
+		if err := s.syncActive(); err != nil {
 			return 0, fmt.Errorf("store: fsync record: %w", err)
 		}
-		s.met.Syncs.Add(1)
 	case SyncInterval:
 		s.dirty.Store(true)
 	}
@@ -339,8 +393,22 @@ func (s *Store) Sync() error {
 	if s.closed || s.f == nil {
 		return nil
 	}
+	return s.syncActive()
+}
+
+// syncActive fsyncs the active segment, counting successes and failures
+// and honoring the wal.fail-fsync faultpoint. Caller holds mu.
+func (s *Store) syncActive() error {
+	if faultinject.Hit("wal.fail-fsync") {
+		s.met.SyncErrors.Add(1)
+		return fmt.Errorf("store: fsync: injected failure")
+	}
+	if err := s.f.Sync(); err != nil {
+		s.met.SyncErrors.Add(1)
+		return err
+	}
 	s.met.Syncs.Add(1)
-	return s.f.Sync()
+	return nil
 }
 
 // LastLSN returns the highest assigned LSN (0 when the log is empty).
@@ -398,8 +466,12 @@ func (s *Store) syncLoop() {
 			if s.dirty.Swap(false) {
 				s.mu.Lock()
 				if !s.closed && s.f != nil {
-					s.f.Sync()
-					s.met.Syncs.Add(1)
+					if err := s.syncActive(); err != nil {
+						// The appends are still unflushed: re-arm dirty
+						// so the next tick retries instead of silently
+						// dropping the interval's durability.
+						s.dirty.Store(true)
+					}
 				}
 				s.mu.Unlock()
 			}
