@@ -176,6 +176,49 @@ func TestShardedTopKZeroAllocsQuiescent(t *testing.T) {
 	}
 }
 
+// TestShardedTopKZeroAllocsParallelRefill: the quiescent zero-alloc
+// contract must hold regardless of merge parallelism — the parallel
+// refill only runs when a shard moved, and its output (and therefore
+// the cached snapshot reads serve) is bit-identical to the sequential
+// merge's.
+func TestShardedTopKZeroAllocsParallelRefill(t *testing.T) {
+	old := uss.MergeParallelism()
+	uss.SetMergeParallelism(8)
+	defer uss.SetMergeParallelism(old)
+
+	build := func() *uss.ShardedSketch {
+		s := uss.NewSharded(8, 64, uss.WithSeed(17))
+		s.UpdateBatch(allocTestStream(1 << 14))
+		return s
+	}
+	par := build()
+	if top := par.TopK(10); len(top) != 10 { // refill through the parallel merge
+		t.Fatalf("warm TopK returned %d bins", len(top))
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if top := par.TopK(10); len(top) != 10 {
+			t.Fatal("short TopK")
+		}
+	}); avg != 0 {
+		t.Errorf("quiescent TopK with parallel refill allocates %v/op, want 0", avg)
+	}
+
+	// Same data merged at parallelism 1 must read back bit-identically.
+	uss.SetMergeParallelism(1)
+	seqTop := build().TopK(64 * 8)
+	uss.SetMergeParallelism(8)
+	parTop := par.TopK(64 * 8)
+	if len(seqTop) != len(parTop) {
+		t.Fatalf("top-k lengths diverge: sequential %d, parallel %d", len(seqTop), len(parTop))
+	}
+	for i := range seqTop {
+		if seqTop[i] != parTop[i] {
+			t.Fatalf("top-k[%d]: sequential (%q, %v) != parallel (%q, %v)",
+				i, seqTop[i].Item, seqTop[i].Count, parTop[i].Item, parTop[i].Count)
+		}
+	}
+}
+
 // TestUpdateBatchMatchesUpdate: batched ingest must land every row in the
 // same shard as per-row ingest and preserve per-shard row order, so with a
 // fixed seed the resulting sketch state is identical.

@@ -1,0 +1,111 @@
+package main
+
+// The perf regression gate (satellite of the hardware-limit kernels PR):
+// unit tests pin the compare logic — which keys are gated, in which
+// direction, at what tolerance — and an env-gated test runs the real
+// `-check` against the committed baselines (USS_BENCH_GATE=1; too slow
+// and machine-dependent for the default test run).
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareBenchGatesThroughputDrops(t *testing.T) {
+	base := map[string]float64{
+		"ingest_rows_per_second":         1_000_000,
+		"durable_ingest_rows_per_second": 500_000,
+		"topk_p99_seconds":               0.010,
+		"scale":                          1, // not a gated suffix: ignored
+	}
+	// Within tolerance on every gated key: no findings.
+	ok := map[string]float64{
+		"ingest_rows_per_second":         900_000, // -10%
+		"durable_ingest_rows_per_second": 460_000, // -8%
+		"topk_p99_seconds":               0.011,   // +10%
+		"scale":                          99,      // wildly off but ungated
+	}
+	if bad := compareBench("server", base, ok, 0.15); len(bad) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", bad)
+	}
+	// Throughput 20% down: flagged.
+	slow := map[string]float64{
+		"ingest_rows_per_second":         800_000,
+		"durable_ingest_rows_per_second": 500_000,
+		"topk_p99_seconds":               0.010,
+	}
+	bad := compareBench("server", base, slow, 0.15)
+	if len(bad) != 1 || !strings.Contains(bad[0], "ingest_rows_per_second") {
+		t.Fatalf("20%% throughput drop not flagged correctly: %v", bad)
+	}
+	// p99 gates the other direction: 20% slower tail is flagged, 20%
+	// faster is not.
+	tail := map[string]float64{
+		"ingest_rows_per_second":         1_000_000,
+		"durable_ingest_rows_per_second": 500_000,
+		"topk_p99_seconds":               0.012,
+	}
+	if bad := compareBench("server", base, tail, 0.15); len(bad) != 1 || !strings.Contains(bad[0], "topk_p99_seconds") {
+		t.Fatalf("20%% p99 regression not flagged correctly: %v", bad)
+	}
+	tail["topk_p99_seconds"] = 0.008
+	if bad := compareBench("server", base, tail, 0.15); len(bad) != 0 {
+		t.Fatalf("faster p99 flagged as a regression: %v", bad)
+	}
+}
+
+func TestCompareBenchSkipsMissingAndZeroKeys(t *testing.T) {
+	base := map[string]float64{
+		"old_rows_per_second":  100,
+		"zero_rows_per_second": 0,
+	}
+	fresh := map[string]float64{
+		"new_rows_per_second": 5, // only in fresh: ignored
+	}
+	if bad := compareBench("m", base, fresh, 0.15); len(bad) != 0 {
+		t.Fatalf("missing/zero keys flagged: %v", bad)
+	}
+}
+
+func TestLoadBenchDocKeepsNumbersOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_x.json")
+	blob := []byte(`{"bench":"x","results":{"a_rows_per_second":12.5,"b_human":"3ms","c":7}}`)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := loadBenchDoc(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Bench != "x" {
+		t.Fatalf("bench = %q", doc.Bench)
+	}
+	if doc.Results["a_rows_per_second"] != 12.5 || doc.Results["c"] != 7 {
+		t.Fatalf("numeric results lost: %v", doc.Results)
+	}
+	if _, ok := doc.Results["b_human"]; ok {
+		t.Fatal("non-numeric result leaked into the gated map")
+	}
+}
+
+// TestBenchGateAgainstBaselines runs the real `-check` against the
+// committed baselines. Perf numbers are machine-dependent, so this only
+// runs when explicitly requested: USS_BENCH_GATE=1 go test -run BenchGate.
+func TestBenchGateAgainstBaselines(t *testing.T) {
+	if os.Getenv("USS_BENCH_GATE") != "1" {
+		t.Skip("set USS_BENCH_GATE=1 to run the perf gate against committed baselines")
+	}
+	baselineDir := filepath.Join("..", "..", "bench", "baselines")
+	if _, err := os.Stat(baselineDir); err != nil {
+		t.Fatalf("no committed baselines: %v", err)
+	}
+	var out bytes.Buffer
+	if err := runCheck(&out, baselineDir, 1, 0.15); err != nil {
+		t.Fatalf("perf gate failed:\n%s\n%v", out.String(), err)
+	}
+	t.Logf("perf gate:\n%s", out.String())
+}

@@ -1,0 +1,135 @@
+package main
+
+// ussbench -check: the perf regression gate. For every committed
+// BENCH_<mode>.json baseline it re-runs that bench mode fresh and
+// compares the headline numbers:
+//
+//   - keys ending _rows_per_second fail when fresh < baseline × (1-tol)
+//     (throughput regressed);
+//   - keys ending _p99_seconds fail when fresh > baseline × (1+tol)
+//     (tail latency regressed).
+//
+// Everything else in the baselines is informational. The default
+// tolerance is 15% — wide enough to absorb scheduler noise on shared CI
+// machines, tight enough that a dropped fast path (a merge running
+// sequentially, a batch encode re-serialized under the lock) trips it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// benchDoc mirrors the BENCH_<mode>.json layout.
+type benchDoc struct {
+	Bench   string             `json:"bench"`
+	Results map[string]float64 `json:"-"`
+	Raw     map[string]any     `json:"results"`
+}
+
+// loadBenchDoc reads one BENCH_<mode>.json, keeping only numeric results.
+func loadBenchDoc(path string) (*benchDoc, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	doc.Results = make(map[string]float64, len(doc.Raw))
+	for k, v := range doc.Raw {
+		if f, ok := v.(float64); ok {
+			doc.Results[k] = f
+		}
+	}
+	return &doc, nil
+}
+
+// compareBench diffs fresh numbers against a baseline and returns one
+// human-readable line per regression (empty means the gate passes).
+// Gated keys present in only one side are skipped — new benches may add
+// keys without invalidating old baselines.
+func compareBench(mode string, baseline, fresh map[string]float64, tol float64) []string {
+	var bad []string
+	keys := make([]string, 0, len(baseline))
+	for k := range baseline {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		base := baseline[k]
+		got, ok := fresh[k]
+		if !ok || base <= 0 {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(k, "_rows_per_second"):
+			if got < base*(1-tol) {
+				bad = append(bad, fmt.Sprintf("%s/%s: %.0f rows/s, baseline %.0f (-%.0f%% > %.0f%% tolerance)",
+					mode, k, got, base, 100*(1-got/base), 100*tol))
+			}
+		case strings.HasSuffix(k, "_p99_seconds"):
+			if got > base*(1+tol) {
+				bad = append(bad, fmt.Sprintf("%s/%s: p99 %.6fs, baseline %.6fs (+%.0f%% > %.0f%% tolerance)",
+					mode, k, got, base, 100*(got/base-1), 100*tol))
+			}
+		}
+	}
+	return bad
+}
+
+// runCheck re-runs every bench mode that has a committed baseline in
+// baselineDir and fails (non-nil error) on any regression past tol.
+func runCheck(w io.Writer, baselineDir string, scale, tol float64) error {
+	matches, err := filepath.Glob(filepath.Join(baselineDir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(matches) == 0 {
+		return fmt.Errorf("no BENCH_*.json baselines in %s", baselineDir)
+	}
+	sort.Strings(matches)
+
+	freshDir, err := os.MkdirTemp("", "ussbench-check-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(freshDir)
+
+	var regressions []string
+	for _, path := range matches {
+		base, err := loadBenchDoc(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "## check %s (baseline %s)\n", base.Bench, path)
+		if err := runPerf(w, base.Bench, scale, freshDir); err != nil {
+			return fmt.Errorf("re-run -bench %s: %w", base.Bench, err)
+		}
+		fresh, err := loadBenchDoc(filepath.Join(freshDir, fmt.Sprintf("BENCH_%s.json", sanitizeMode(base.Bench))))
+		if err != nil {
+			return err
+		}
+		bad := compareBench(base.Bench, base.Results, fresh.Results, tol)
+		if len(bad) == 0 {
+			fmt.Fprintf(w, "# %s: OK (within %.0f%% of baseline)\n\n", base.Bench, 100*tol)
+		} else {
+			for _, line := range bad {
+				fmt.Fprintf(w, "# REGRESSION %s\n", line)
+			}
+			fmt.Fprintln(w)
+			regressions = append(regressions, bad...)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d perf regression(s) past the %.0f%% gate:\n  %s",
+			len(regressions), 100*tol, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "# check: all %d baseline(s) within tolerance\n", len(matches))
+	return nil
+}

@@ -12,6 +12,8 @@
 //	ussbench -bench repl
 //	ussbench -bench cluster
 //	ussbench -bench soak
+//	ussbench -bench merge
+//	ussbench -check -baseline-dir bench/baselines
 //
 // Each experiment prints the same rows/series the corresponding paper
 // figure plots, plus a note stating the qualitative shape to expect. See
@@ -36,7 +38,10 @@ func main() {
 		list  = flag.Bool("list", false, "list available experiments and exit")
 		name  = flag.String("experiment", "", "experiment to run (e.g. figure-3)")
 		all   = flag.Bool("all", false, "run every experiment in paper order")
-		bench = flag.String("bench", "", "run a perf comparison instead: codec | rollup-range | server | wal | repl | cluster | soak")
+		bench = flag.String("bench", "", "run a perf comparison instead: codec | rollup-range | server | wal | repl | cluster | soak | merge")
+		check = flag.Bool("check", false, "re-run every bench with a committed baseline and fail on perf regressions")
+		bdir  = flag.String("baseline-dir", "bench/baselines", "directory of committed BENCH_<mode>.json baselines for -check")
+		tol   = flag.Float64("tolerance", 0.15, "-check regression tolerance (0.15 = 15%)")
 		scale = flag.Float64("scale", 1, "workload size multiplier")
 		reps  = flag.Float64("reps", 1, "replicate count multiplier")
 		seed  = flag.Int64("seed", 20180614, "random seed")
@@ -60,6 +65,13 @@ func main() {
 		}
 		defer fh.Close()
 		w = io.MultiWriter(os.Stdout, fh)
+	}
+
+	if *check {
+		if err := runCheck(w, *bdir, *scale, *tol); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *bench != "" {

@@ -8,6 +8,7 @@ package main
 //	ussbench -bench server       load-drive an in-process ussd over HTTP
 //	ussbench -bench wal          WAL append throughput + recovery vs log size
 //	ussbench -bench repl         follower catch-up rate over the WAL stream
+//	ussbench -bench merge        k-way shard merge, sequential vs parallel
 //
 // Each mode prints a small table of wall-clock per-op times and the
 // speedup, sized to the acceptance scenarios (a 64Ki-bin sketch; a
@@ -48,8 +49,10 @@ func runPerf(w io.Writer, mode string, scale float64, jsonDir string) error {
 		err = perfCluster(w, rec, scale)
 	case "soak":
 		err = perfSoak(w, rec, scale)
+	case "merge":
+		err = perfMerge(w, rec, scale)
 	default:
-		return fmt.Errorf("unknown -bench mode %q (want codec, rollup-range, server, wal, repl, cluster or soak)", mode)
+		return fmt.Errorf("unknown -bench mode %q (want codec, rollup-range, server, wal, repl, cluster, soak or merge)", mode)
 	}
 	if err != nil {
 		return err

@@ -14,10 +14,12 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
 	"sort"
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // serverClient wraps the load driver's HTTP plumbing.
@@ -183,5 +185,77 @@ func perfServer(w io.Writer, rec *benchRecorder, scale float64) error {
 		rec.set(q.key+"_p50", percentile(lat, 0.50))
 		rec.set(q.key+"_p99", percentile(lat, 0.99))
 	}
+
+	return perfServerDurable(w, rec, bodies, totalRows)
+}
+
+// perfServerDurable re-runs the ingest phase against a WAL-backed server
+// in group-commit mode: every 202 is withheld until a shared interval
+// fsync covers the batch, so the reported rate is durable rows/s — rows
+// that would survive a kill -9 the instant the ack was read.
+func perfServerDurable(w io.Writer, rec *benchRecorder, bodies [][]byte, totalRows int64) error {
+	dir, err := os.MkdirTemp("", "ussbench-wal-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(store.Options{
+		Dir: dir, Sync: store.SyncInterval, SyncEvery: 2 * time.Millisecond, GroupCommit: true,
+	})
+	if err != nil {
+		return err
+	}
+	rebuilt, err := store.Rebuild(dir)
+	if err != nil {
+		return err
+	}
+	s := server.New(server.Config{IngestWorkers: 4, QueueDepth: 64})
+	if err := s.AttachStore(st, rebuilt, 0); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	defer func() {
+		_ = s.Shutdown(context.Background())
+		<-done
+	}()
+	c := &serverClient{base: "http://" + ln.Addr().String(), hc: &http.Client{}}
+	if _, err := c.post("/v1/sketches", "application/json",
+		[]byte(`{"name":"bench","kind":"sharded","bins":1024,"shards":8,"seed":20180614}`)); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	for _, body := range bodies {
+		if _, err := c.post("/v1/sketches/bench/ingest", "text/plain", body); err != nil {
+			return err
+		}
+	}
+	for {
+		data, err := c.get("/v1/sketches/bench")
+		if err != nil {
+			return err
+		}
+		var info struct {
+			Rows int64 `json:"rows"`
+		}
+		if err := json.Unmarshal(data, &info); err != nil {
+			return err
+		}
+		if info.Rows >= totalRows {
+			break
+		}
+	}
+	d := time.Since(start)
+	syncs := st.Metrics().Syncs.Load()
+	fmt.Fprintf(w, "%-34s %14v %14.0f rows/s (%d fsyncs, group-committed)\n",
+		"durable ingest (ack after fsync)", d, float64(totalRows)/d.Seconds(), syncs)
+	rec.set("durable_ingest_total", d)
+	rec.set("durable_ingest_rows_per_second", float64(totalRows)/d.Seconds())
+	rec.set("durable_ingest_fsyncs", syncs)
 	return nil
 }

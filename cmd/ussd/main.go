@@ -87,6 +87,8 @@ func main() {
 		drain   = flag.Duration("shutdown-timeout", 10*time.Second, "connection drain deadline on shutdown")
 		dataDir = flag.String("data-dir", "", "durability directory: WAL + checkpoints (empty = in-memory only)")
 		fsync   = flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
+		fsEvery = flag.Duration("fsync-every", 100*time.Millisecond, "with -fsync interval: flush period (one fsync per period covers every append in it)")
+		grpCmt  = flag.Bool("group-commit", false, "with -fsync interval: acknowledge writes only after a covering fsync — SyncAlways durability at one fsync per -fsync-every")
 		ckptInt = flag.Duration("checkpoint-interval", time.Minute, "periodic checkpoint interval (0 disables; drain always checkpoints)")
 		reqTO   = flag.Duration("request-timeout", time.Minute, "per-request deadline on every handler (0 = default, negative disables)")
 		follow  = flag.String("follow", "", "boot as a replication follower of this primary URL (requires -data-dir)")
@@ -154,11 +156,14 @@ func main() {
 		if err != nil {
 			log.Fatalf("ussd: %v", err)
 		}
+		if *grpCmt && policy != store.SyncInterval {
+			log.Fatalf("ussd: -group-commit requires -fsync interval (always already acks after fsync; never has nothing to wait for)")
+		}
 		rebuilt, err := store.Rebuild(*dataDir)
 		if err != nil {
 			log.Fatalf("ussd: recover %s: %v", *dataDir, err)
 		}
-		st, err := store.Open(store.Options{Dir: *dataDir, Sync: policy})
+		st, err := store.Open(store.Options{Dir: *dataDir, Sync: policy, SyncEvery: *fsEvery, GroupCommit: *grpCmt})
 		if err != nil {
 			log.Fatalf("ussd: open store: %v", err)
 		}

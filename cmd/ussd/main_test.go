@@ -373,6 +373,96 @@ func TestKillDashNineRecovery(t *testing.T) {
 	}
 }
 
+// TestKillDashNineRecoveryGroupCommit is the same SIGKILL scenario under
+// group commit: `-fsync interval -group-commit` amortizes one fsync over
+// many appends but still withholds every ack until a covering fsync ran,
+// so a kill -9 straight after the last 200 must lose nothing. The
+// recovered top-k has to match the pre-kill answers and an in-process
+// replay bit for bit — group commit may batch durability, not weaken it.
+func TestKillDashNineRecoveryGroupCommit(t *testing.T) {
+	bin := buildUssd(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	args := []string{"-data-dir", dataDir,
+		"-fsync", "interval", "-fsync-every", "10ms", "-group-commit",
+		"-checkpoint-interval", "0",
+		"-create", `{"name":"clicks","kind":"unit","bins":128,"seed":31}`,
+	}
+	cmd, base := startUssd(t, bin, args...)
+
+	// Acknowledged synchronous ingests: each 200 means a shared interval
+	// fsync covered the batch before the ack left the server.
+	for batch := 0; batch < 8; batch++ {
+		var rows strings.Builder
+		for i := 0; i < 120; i++ {
+			fmt.Fprintf(&rows, "gc-click-%03d\n", (batch*120+i)%43)
+		}
+		mustPost(t, base+"/v1/sketches/clicks/ingest?sync=1", "text/plain", []byte(rows.String()))
+	}
+
+	var preKill struct {
+		Items []struct {
+			Item  string  `json:"item"`
+			Count float64 `json:"count"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(mustGet(t, base+"/v1/sketches/clicks/topk?k=20"), &preKill); err != nil {
+		t.Fatal(err)
+	}
+
+	// kill -9 immediately after the last ack: the group's fsync already
+	// happened, so nothing acknowledged may be missing.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	replay, err := store.Rebuild(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayTopK := replay.Sketches["clicks"].Unit.TopK(20)
+
+	cmd2, base2 := startUssd(t, bin, args...)
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+	var got struct {
+		Items []struct {
+			Item  string  `json:"item"`
+			Count float64 `json:"count"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(mustGet(t, base2+"/v1/sketches/clicks/topk?k=20"), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != len(preKill.Items) || len(got.Items) != len(replayTopK) {
+		t.Fatalf("top-k sizes diverge: got %d, pre-kill %d, replay %d",
+			len(got.Items), len(preKill.Items), len(replayTopK))
+	}
+	for i := range got.Items {
+		if got.Items[i] != preKill.Items[i] {
+			t.Fatalf("[%d]: recovered (%q, %v) != pre-kill (%q, %v)",
+				i, got.Items[i].Item, got.Items[i].Count, preKill.Items[i].Item, preKill.Items[i].Count)
+		}
+		if got.Items[i].Item != replayTopK[i].Item || got.Items[i].Count != replayTopK[i].Count {
+			t.Fatalf("[%d]: recovered (%q, %v) != in-process replay (%q, %v)",
+				i, got.Items[i].Item, got.Items[i].Count, replayTopK[i].Item, replayTopK[i].Count)
+		}
+	}
+
+	var info struct {
+		Rows  int64   `json:"rows"`
+		Total float64 `json:"total"`
+	}
+	if err := json.Unmarshal(mustGet(t, base2+"/v1/sketches/clicks"), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Rows != 960 || info.Total != 960 {
+		t.Fatalf("recovered clicks rows=%d total=%v, want 960 (8 acked batches × 120)", info.Rows, info.Total)
+	}
+}
+
 // TestServerSmokeIngestQueryShutdown drives the CLI-shaped path: create a
 // sharded sketch, async-ingest text batches, query, then shut down and
 // confirm the drain applied everything.

@@ -42,7 +42,9 @@ type gathered struct {
 
 // merged collapses the gathered partials into one exact bin list. The
 // partials are disjoint substreams, so with the merge budget set to the
-// union size nothing reduces and the result is the item-wise sum.
+// union size nothing reduces and the result is the item-wise sum. Large
+// gathers fan the sum out across uss.MergeParallelism goroutines; the
+// parallel merge is bit-identical to the sequential one.
 func (g *gathered) merged() []uss.Bin {
 	m := 0
 	for _, l := range g.lists {
@@ -51,7 +53,7 @@ func (g *gathered) merged() []uss.Bin {
 	if m == 0 {
 		return nil
 	}
-	return uss.MergeBins(m, uss.Pairwise, g.lists...)
+	return uss.MergeBinsParallel(m, uss.Pairwise, g.lists...)
 }
 
 // sketch materializes the merged partials as a weighted sketch sized to

@@ -33,7 +33,10 @@ func sortAscending(bins []Bin) {
 // SumBins adds bin lists item-wise, producing one exact bin per distinct
 // item in ascending count order. Items are grouped by sorting the
 // concatenation rather than hashing into a map: one output allocation, no
-// per-item map churn, identical output.
+// per-item map churn, identical output. The sort is stable, so a
+// duplicated item's counts always fold in concatenation order — the
+// canonical order that pins the floating-point sum and lets
+// SumBinsParallel reproduce this function bit for bit.
 //
 // The operation is associative with a canonical result: summing partial
 // sums of sublists yields the same output as summing all the lists at once,
@@ -52,7 +55,7 @@ func SumBins(lists ...[]Bin) []Bin {
 	if len(out) == 0 {
 		return out
 	}
-	slices.SortFunc(out, func(a, b Bin) int { return strings.Compare(a.Item, b.Item) })
+	sortByItemStable(out)
 	w := 0
 	for r := 0; r < len(out); {
 		item := out[r].Item
@@ -66,6 +69,13 @@ func SumBins(lists ...[]Bin) []Bin {
 	out = out[:w]
 	sortAscending(out)
 	return out
+}
+
+// sortByItemStable orders bins by item, preserving input order among
+// equal items. Both SumBins and the parallel merge tree sort with it so
+// they agree on the intermediate ordering bit for bit.
+func sortByItemStable(bins []Bin) {
+	slices.SortStableFunc(bins, func(a, b Bin) int { return strings.Compare(a.Item, b.Item) })
 }
 
 // SumDisjointAscending sums bin lists known to share no items — the

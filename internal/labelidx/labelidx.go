@@ -23,8 +23,9 @@ import (
 type Index struct {
 	dims     []dimension
 	dimID    map[string]int32
-	counts   []float64 // per bin
-	excluded []bool    // bins whose labels failed to parse
+	compID   map[string]uint64 // whole "dim=value" component → dim id <<32 | value id
+	counts   []float64         // per bin
+	excluded []bool            // bins whose labels failed to parse
 	skipped  int
 	nbins    int
 }
@@ -44,6 +45,7 @@ type dimension struct {
 func New(bins []core.Bin) *Index {
 	x := &Index{
 		dimID:    make(map[string]int32),
+		compID:   make(map[string]uint64),
 		counts:   make([]float64, len(bins)),
 		excluded: make([]bool, len(bins)),
 		nbins:    len(bins),
@@ -69,6 +71,12 @@ func (x *Index) Skipped() int { return x.skipped }
 // malformed label; earlier components of a label that fails midway may
 // have been written, which is harmless because excluded bins are skipped
 // before any column is read.
+//
+// The hot path is the packed component dictionary: whole "dim=value"
+// substrings map to a u64 packing (dim id << 32 | value id), so a
+// repeated component — the overwhelmingly common case across a
+// snapshot's bins — costs one map probe instead of the two (dimension,
+// then value) the create path pays, and skips the '=' scan entirely.
 func (x *Index) parseInto(bin int, label string) bool {
 	rest := label
 	for {
@@ -77,11 +85,17 @@ func (x *Index) parseInto(bin int, label string) bool {
 		if sep >= 0 {
 			comp = rest[:sep]
 		}
-		eq := strings.IndexByte(comp, '=')
-		if eq <= 0 {
-			return false
+		if packed, ok := x.compID[comp]; ok {
+			// Duplicate dims in one label: last occurrence wins,
+			// matching query.ParseRow's map-overwrite semantics.
+			x.dims[packed>>32].col[bin] = int32(uint32(packed))
+		} else {
+			eq := strings.IndexByte(comp, '=')
+			if eq <= 0 {
+				return false
+			}
+			x.set(bin, comp, comp[:eq], comp[eq+1:])
 		}
-		x.set(bin, comp[:eq], comp[eq+1:])
 		if sep < 0 {
 			return true
 		}
@@ -89,7 +103,10 @@ func (x *Index) parseInto(bin int, label string) bool {
 	}
 }
 
-func (x *Index) set(bin int, dim, val string) {
+// set is the component-create slow path: resolve (or create) the
+// dimension and value dictionary entries, record the packed component id
+// for next time, and write the bin's slot.
+func (x *Index) set(bin int, comp, dim, val string) {
 	di, ok := x.dimID[dim]
 	if !ok {
 		di = int32(len(x.dims))
@@ -107,8 +124,7 @@ func (x *Index) set(bin int, dim, val string) {
 		d.vals = append(d.vals, val)
 		d.valID[val] = vi
 	}
-	// Duplicate dims in one label: last occurrence wins, matching
-	// query.ParseRow's map-overwrite semantics.
+	x.compID[comp] = uint64(di)<<32 | uint64(uint32(vi))
 	d.col[bin] = vi
 }
 

@@ -39,6 +39,13 @@ type durableState struct {
 	st    *store.Store
 	walMu sync.Mutex
 
+	// ackAfterFsync gates every ingest/push acknowledgement on
+	// store.WaitDurable (group commit): the record is appended and
+	// queued under walMu as usual, but the HTTP response is not written
+	// until an interval fsync covers its LSN. The wait happens after
+	// walMu is released, so the flush never serializes the group.
+	ackAfterFsync bool
+
 	every time.Duration
 	stop  chan struct{}
 	wg    sync.WaitGroup
@@ -88,7 +95,7 @@ func (s *Server) AttachStore(st *store.Store, rebuilt *store.RebuildResult, chec
 			s.met.rowsIngested.Add(e.rows.Load())
 		}
 	}
-	d := &durableState{st: st, every: checkpointEvery, stop: make(chan struct{})}
+	d := &durableState{st: st, ackAfterFsync: st.AckAfterFsync(), every: checkpointEvery, stop: make(chan struct{})}
 	s.dur = d
 	// Adopt the data dir's replication timeline so a restarted node knows
 	// which epoch its log belongs to (a dir that predates replication is
@@ -269,6 +276,16 @@ func (s *Server) Checkpoint() error {
 			cw.Abort()
 			return err
 		}
+	}
+	// A checkpoint must never cover records the log has not fsynced:
+	// were the manifest committed first and the un-fsynced tail lost
+	// with the machine, recovery would resume numbering below the
+	// checkpoint's cutoff and the replay gate would skip the reused
+	// LSNs. Matters under -fsync interval (group commit); a no-op under
+	// -fsync always.
+	if err := s.dur.st.Sync(); err != nil {
+		cw.Abort()
+		return fmt.Errorf("server: checkpoint: sync wal: %w", err)
 	}
 	if err := cw.Commit(); err != nil {
 		return err

@@ -1,0 +1,157 @@
+package server
+
+// Server-level group-commit tests: the HTTP ack ordering over a
+// SyncInterval+GroupCommit store. An acknowledged request implies a
+// covering fsync ran; a store whose fsyncs fail must answer 503 without
+// acknowledging, even though the record is logged and will apply.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/store"
+)
+
+// groupCommitServer boots a durable server whose store acks after the
+// shared interval fsync.
+func groupCommitServer(t *testing.T, dir string, every time.Duration) (*Server, *httptest.Server, *store.Store) {
+	t.Helper()
+	rebuilt, err := store.Rebuild(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(store.Options{Dir: dir, Sync: store.SyncInterval, SyncEvery: every, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{IngestWorkers: 2, QueueDepth: 8, RequestTimeout: 500 * time.Millisecond})
+	if err := s.AttachStore(st, rebuilt, 0); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	return s, ts, st
+}
+
+// TestGroupCommitServerAckImpliesFsync ingests through the group-commit
+// ack gate and checks each acknowledged request was covered by an fsync,
+// then restarts and requires the acked rows back bit-for-bit.
+func TestGroupCommitServerAckImpliesFsync(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	s, ts, st := groupCommitServer(t, dir, time.Millisecond)
+
+	create(t, ts, SketchConfig{Name: "u", Kind: KindUnit, Bins: 64, Seed: 11})
+	for i := 0; i < 4; i++ {
+		resp, err := http.Post(ts.URL+"/v1/sketches/u/ingest?sync=1", "text/plain",
+			strings.NewReader("a\nb\nc\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sync ingest %d: status %d", i, resp.StatusCode)
+		}
+		// The ack gate: acknowledged means fsynced.
+		if st.SyncedLSN() < st.LastLSN() {
+			t.Fatalf("acked ingest %d with synced LSN %d behind last LSN %d", i, st.SyncedLSN(), st.LastLSN())
+		}
+	}
+	// Async acks ride the same gate.
+	resp, err := http.Post(ts.URL+"/v1/sketches/u/ingest", "text/plain", strings.NewReader("d\ne\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async ingest: status %d", resp.StatusCode)
+	}
+	if st.SyncedLSN() < st.LastLSN() {
+		t.Fatalf("202 sent with synced LSN %d behind last LSN %d", st.SyncedLSN(), st.LastLSN())
+	}
+
+	before := topk(t, ts, "u", 10)
+	shutdown(t, s, ts)
+
+	s2, ts2, _ := groupCommitServer(t, dir, time.Millisecond)
+	defer shutdown(t, s2, ts2)
+	after := topk(t, ts2, "u", 10)
+	if len(after) != len(before) {
+		t.Fatalf("recovered %d top-k items, want %d", len(after), len(before))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("recovered top-k[%d] = %+v, want %+v", i, after[i], before[i])
+		}
+	}
+}
+
+// TestGroupCommitServerNeverAcksUnfsynced arms wal.fail-fsync and checks
+// the server times the ack out with a 503 instead of acknowledging a
+// record no fsync covered. The batch is still logged and applies — group
+// commit weakens nothing about at-least-once, only the ack is withheld.
+func TestGroupCommitServerNeverAcksUnfsynced(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	s, ts, st := groupCommitServer(t, dir, time.Millisecond)
+
+	create(t, ts, SketchConfig{Name: "u", Kind: KindUnit, Bins: 64, Seed: 7})
+	// Let the create's records reach disk before breaking fsync.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := st.WaitDurable(ctx, st.LastLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Enable("wal.fail-fsync"); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/sketches/u/ingest", "text/plain", strings.NewReader("x\ny\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest under failing fsync: status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "durable") {
+		t.Fatalf("503 body %q does not explain the withheld ack", body)
+	}
+	if st.Metrics().SyncErrors.Load() == 0 {
+		t.Fatal("no injected fsync failure was recorded")
+	}
+
+	// Heal the disk: the flusher retries, the log catches up, and new
+	// writes ack normally again.
+	faultinject.Reset()
+	resp, err = http.Post(ts.URL+"/v1/sketches/u/ingest?sync=1", "text/plain", strings.NewReader("z\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest after fsyncs healed: status %d", resp.StatusCode)
+	}
+	shutdown(t, s, ts)
+
+	// Both batches were logged (the 503'd one included), so recovery
+	// replays all three rows.
+	rebuilt, err := store.Rebuild(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk := rebuilt.Sketches["u"]; sk == nil || sk.Rows != 3 {
+		t.Fatalf("recovered rows = %v, want 3 (2 logged-unacked + 1 acked)", rebuilt.Sketches["u"])
+	}
+}

@@ -111,6 +111,16 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
+	if s.dur != nil && s.dur.ackAfterFsync {
+		// Manifest records honor the same group-commit ack gate as
+		// ingest: no 201 before a covering fsync. Creates are rare, so
+		// waiting on the log's current tail is fine.
+		if err := s.dur.st.WaitDurable(r.Context(), s.dur.st.LastLSN()); err != nil {
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("create logged but not yet durable (%v); not acknowledged", err))
+			return
+		}
+	}
 	writeJSON(w, http.StatusCreated, e.info())
 }
 
@@ -154,6 +164,15 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		err := fmt.Errorf("sketch %q: %w", r.PathValue("name"), ErrNotFound)
 		writeError(w, statusFor(err), err)
 		return
+	}
+	if s.dur != nil && s.dur.ackAfterFsync {
+		// See handleCreate: the delete's manifest record must be fsynced
+		// before the 204.
+		if err := s.dur.st.WaitDurable(r.Context(), s.dur.st.LastLSN()); err != nil {
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("delete logged but not yet durable (%v); not acknowledged", err))
+			return
+		}
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -292,6 +311,19 @@ func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, e *entry,
 		putBatch(b)
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("shutting down; batch is logged and will apply on restart"))
 		return false
+	}
+	if s.dur.ackAfterFsync {
+		// Group commit: the record is logged and queued, but the ack
+		// must not outrun the interval fsync that covers it. The wait
+		// runs outside walMu, so many batches share one fsync. On
+		// timeout nothing was acknowledged — the batch still applies
+		// (and survives only if the log reached disk), exactly the
+		// SyncAlways contract.
+		if err := s.dur.st.WaitDurable(r.Context(), lsn); err != nil {
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("batch logged but not yet durable (%v); not acknowledged", err))
+			return true
+		}
 	}
 	if sync {
 		select {
@@ -453,6 +485,14 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		handedOff = true // the worker releases the charge after the merge
+		if s.dur.ackAfterFsync {
+			// See ingestDurable: no ack before a covering fsync.
+			if err := s.dur.st.WaitDurable(r.Context(), lsn); err != nil {
+				writeError(w, http.StatusServiceUnavailable,
+					fmt.Errorf("snapshot logged but not yet durable (%v); not acknowledged", err))
+				return
+			}
+		}
 		select {
 		case res = <-done:
 		case <-r.Context().Done():

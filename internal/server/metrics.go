@@ -10,20 +10,22 @@ import (
 
 // metrics holds the server's counters. Everything is an atomic so the hot
 // paths (ingest workers, query handlers) never share a lock with the
-// scrape endpoint.
+// scrape endpoint, and the hottest counters — touched on every row, batch,
+// query, and 2xx response — are striped across cache lines (stripedInt64)
+// so parallel workers don't serialize on one shared line either.
 type metrics struct {
 	start time.Time
 
-	requests2xx atomic.Int64
+	requests2xx stripedInt64
 	requests4xx atomic.Int64
 	requests5xx atomic.Int64
 
-	rowsIngested   atomic.Int64 // rows applied to sketches
-	batchesQueued  atomic.Int64 // ingest batches accepted (sync + async)
+	rowsIngested   stripedInt64 // rows applied to sketches
+	batchesQueued  stripedInt64 // ingest batches accepted (sync + async)
 	queueDepth     atomic.Int64 // batches currently waiting for a worker
 	snapshotsIn    atomic.Int64 // push requests merged
 	snapshotsOut   atomic.Int64 // pull responses served
-	queriesServed  atomic.Int64 // query/topk/estimate/sum/range requests
+	queriesServed  stripedInt64 // query/topk/estimate/sum/range requests
 	ingestRejected atomic.Int64 // ingest requests refused (parse, size, kind)
 
 	checkpoints      atomic.Int64 // durable checkpoints committed

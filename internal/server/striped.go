@@ -1,0 +1,56 @@
+package server
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// stripedInt64 is a write-hot monotonic counter spread across
+// cache-line-padded stripes so concurrent ingest workers and query
+// handlers on different Ps don't ping-pong one shared line (the classic
+// single-atomic bottleneck once everything else in the hot path is
+// contention-free). Writers pick a stripe from their own stack address —
+// stable for a goroutine's lifetime in practice, and merely a contention
+// (never a correctness) matter when a stack moves — and the scrape path
+// sums the stripes. The zero value is ready to use and the Add/Load
+// surface matches atomic.Int64, so hot counters swap in without touching
+// their call sites.
+type stripedInt64 struct {
+	stripes [counterStripes]paddedInt64
+}
+
+// counterStripes is the stripe fan-out: a power of two comfortably above
+// typical GOMAXPROCS. Idle stripes cost only their padding (64 B each)
+// and a handful of extra loads per scrape.
+const counterStripes = 32
+
+// paddedInt64 pads each stripe to its own cache line.
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// stripeIndex picks the calling goroutine's stripe by hashing a stack
+// address: goroutines get distinct stacks, so concurrent writers spread
+// across stripes without any runtime hooks or per-goroutine state.
+func stripeIndex() int {
+	var pin byte
+	p := uintptr(unsafe.Pointer(&pin))
+	return int((p>>6)^(p>>14)) & (counterStripes - 1)
+}
+
+// Add increments the caller's stripe.
+func (c *stripedInt64) Add(d int64) {
+	c.stripes[stripeIndex()].v.Add(d)
+}
+
+// Load sums the stripes. Like summing any set of independent atomics it
+// is a consistent total only once writers quiesce; for monotonic metrics
+// counters that is the same guarantee one atomic gave.
+func (c *stripedInt64) Load() int64 {
+	var t int64
+	for i := range c.stripes {
+		t += c.stripes[i].v.Load()
+	}
+	return t
+}

@@ -1,0 +1,47 @@
+package server
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStripedInt64Concurrent hammers one counter from many goroutines
+// and checks the stripe sum is exact — striping may spread increments
+// around, but it must never lose one. Run under -race in CI.
+func TestStripedInt64Concurrent(t *testing.T) {
+	const (
+		workers = 16
+		perG    = 10000
+	)
+	var c stripedInt64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Load(), int64(workers*perG); got != want {
+		t.Fatalf("striped counter lost increments: got %d, want %d", got, want)
+	}
+	c.Add(-3)
+	if got, want := c.Load(), int64(workers*perG-3); got != want {
+		t.Fatalf("after negative add: got %d, want %d", got, want)
+	}
+}
+
+// TestStripedInt64ZeroAlloc pins the hot-path cost: an Add must not
+// allocate (the stripe pick is pure arithmetic on a stack address).
+func TestStripedInt64ZeroAlloc(t *testing.T) {
+	var c stripedInt64
+	if allocs := testing.AllocsPerRun(100, func() { c.Add(1) }); allocs != 0 {
+		t.Fatalf("stripedInt64.Add allocates %.1f times per op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = c.Load() }); allocs != 0 {
+		t.Fatalf("stripedInt64.Load allocates %.1f times per op, want 0", allocs)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // FuzzWALRecord feeds arbitrary bytes to the log scanner as a segment
@@ -54,6 +55,40 @@ func FuzzWALRecord(f *testing.F) {
 	flipped[len(flipped)/3] ^= 0x40
 	f.Add(flipped)
 	f.Add(append(append([]byte(nil), valid...), valid[8:]...)) // duplicated records
+
+	// Group-commit frames: many back-to-back ingest records written under
+	// one covering fsync (SyncInterval + GroupCommit). The on-disk shape a
+	// crashed commit group leaves behind is a run of whole frames with the
+	// last one possibly torn mid-write — recovery must salvage every whole
+	// frame of the group.
+	gcDir := f.TempDir()
+	gst, err := Open(Options{Dir: gcDir, Sync: SyncInterval, SyncEvery: time.Hour, GroupCommit: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := gst.AppendCreate(spec); err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := gst.AppendIngest("x", []string{"g1", "g22", "g333"}, []float64{1, 2, 3}, nil); err != nil {
+			f.Fatal(err)
+		}
+	}
+	gst.Close()
+	gsegs, err := listSegments(gcDir)
+	if err != nil || len(gsegs) != 1 {
+		f.Fatalf("group-commit seed segment: %v (%d segments)", err, len(gsegs))
+	}
+	group, err := os.ReadFile(gsegs[0].path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(group)                  // whole commit group
+	f.Add(group[:len(group)-5])   // last frame of the group torn
+	f.Add(group[:2*len(group)/3]) // crash mid-group
+	gflip := append([]byte(nil), group...)
+	gflip[len(gflip)-10] ^= 0x08 // corrupt a late frame: prefix must survive
+	f.Add(gflip)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()

@@ -1,0 +1,260 @@
+package store
+
+// Group-commit fault tests: the ack-after-fsync contract under injected
+// fsync stalls and failures. The two properties the server leans on:
+//
+//   - no acked row lost: WaitDurable returns nil only after a successful
+//     fsync covered the LSN, so everything acknowledged is on stable
+//     storage and replays after kill -9;
+//   - un-fsynced acks are never sent: while fsyncs stall or fail, no
+//     waiter unblocks — callers time out without acknowledging.
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+func openGroupCommit(t *testing.T, every time.Duration) *Store {
+	t.Helper()
+	st, err := Open(Options{Dir: t.TempDir(), Sync: SyncInterval, SyncEvery: every, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestGroupCommitAcksAfterSharedFsync appends a burst of batches and
+// waits on each: every wait must resolve with the synced watermark at or
+// past its LSN, and the whole burst must share far fewer fsyncs than a
+// SyncAlways run would issue (that is the amortization group commit
+// exists for).
+func TestGroupCommitAcksAfterSharedFsync(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	st := openGroupCommit(t, 5*time.Millisecond)
+	if !st.AckAfterFsync() {
+		t.Fatal("AckAfterFsync = false on a group-commit store")
+	}
+
+	const batches = 64
+	lsns := make([]uint64, batches)
+	var wg sync.WaitGroup
+	errs := make([]error, batches)
+	for i := 0; i < batches; i++ {
+		lsn, err := st.AppendIngest("clicks", []string{"a", "b", "c"}, nil, nil)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		lsns[i] = lsn
+		wg.Add(1)
+		go func(i int, lsn uint64) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			errs[i] = st.WaitDurable(ctx, lsn)
+		}(i, lsn)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("WaitDurable(%d): %v", lsns[i], err)
+		}
+	}
+	if got := st.SyncedLSN(); got < lsns[batches-1] {
+		t.Fatalf("SyncedLSN = %d after all waits returned, want >= %d", got, lsns[batches-1])
+	}
+	if syncs := st.Metrics().Syncs.Load(); syncs >= batches {
+		t.Fatalf("group commit issued %d fsyncs for %d batches; wanted amortization", syncs, batches)
+	}
+	if st.Metrics().DurableWaits.Load() == 0 {
+		t.Fatal("no WaitDurable call blocked; the burst never exercised group commit")
+	}
+}
+
+// TestGroupCommitStallFsyncDelaysAck stalls the interval fsync: the ack
+// must arrive only after the stalled flush completes, never before.
+func TestGroupCommitStallFsyncDelaysAck(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	st := openGroupCommit(t, time.Millisecond)
+	// One stall (50ms) on the next fsync, then clean.
+	if err := faultinject.Enable("wal.stall-fsync:1:1"); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := st.AppendIngest("clicks", []string{"x"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := st.WaitDurable(ctx, lsn); err != nil {
+		t.Fatalf("WaitDurable: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("ack returned in %v, before the 50ms stalled fsync could have finished", elapsed)
+	}
+	if st.SyncedLSN() < lsn {
+		t.Fatalf("SyncedLSN = %d after ack, want >= %d", st.SyncedLSN(), lsn)
+	}
+}
+
+// TestGroupCommitFailFsyncNeverAcks makes every fsync fail: the append
+// lands on the log, but no ack may be released while the failure lasts —
+// the waiter times out. Once fsyncs heal, the retrying flusher covers
+// the record and the same wait succeeds.
+func TestGroupCommitFailFsyncNeverAcks(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	st := openGroupCommit(t, time.Millisecond)
+	if err := faultinject.Enable("wal.fail-fsync"); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := st.AppendIngest("clicks", []string{"y"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	err = st.WaitDurable(ctx, lsn)
+	if err == nil {
+		t.Fatal("WaitDurable returned nil while every fsync fails: an un-fsynced record was acked")
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("WaitDurable error = %v, want a deadline timeout", err)
+	}
+	if st.SyncedLSN() >= lsn {
+		t.Fatalf("SyncedLSN advanced to %d under failing fsyncs", st.SyncedLSN())
+	}
+	if st.Metrics().SyncErrors.Load() == 0 {
+		t.Fatal("SyncErrors did not count the injected failures")
+	}
+
+	// Heal the disk: the flusher's retry (dirty stays armed on error)
+	// must cover the record without any new append.
+	faultinject.Reset()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := st.WaitDurable(ctx2, lsn); err != nil {
+		t.Fatalf("WaitDurable after fsyncs healed: %v", err)
+	}
+}
+
+// TestGroupCommitAckedRowsSurviveCrash proves "no acked row lost": append
+// and ack a batch group, abandon the store without closing it (the
+// kill -9 analogue — Close would flush), and rebuild the directory. Every
+// acked record must come back; the replay is bit-for-bit the log's.
+func TestGroupCommitAckedRowsSurviveCrash(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, Sync: SyncInterval, SyncEvery: time.Millisecond, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendCreate([]byte(`{"name":"clicks","kind":"unit","bins":64}`)); err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 10; i++ {
+		lsn, err := st.AppendIngest("clicks", []string{"a", "b"}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = lsn
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := st.WaitDurable(ctx, last); err != nil {
+		t.Fatalf("WaitDurable: %v", err)
+	}
+	// "Crash": stop the flusher goroutine so it cannot touch the files
+	// again, but skip Close's final sync — everything acked must already
+	// be durable.
+	close(st.loopDone)
+	st.loopWG.Wait()
+
+	rebuilt, err := Rebuild(dir)
+	if err != nil {
+		t.Fatalf("rebuild after crash: %v", err)
+	}
+	if rebuilt.Stats.LastLSN < last {
+		t.Fatalf("rebuilt log ends at LSN %d, acked through %d — acked records lost", rebuilt.Stats.LastLSN, last)
+	}
+	sk, ok := rebuilt.Sketches["clicks"]
+	if !ok {
+		t.Fatal("acked sketch missing after crash recovery")
+	}
+	if sk.Rows != 20 {
+		t.Fatalf("recovered %d rows, want 20 (10 acked batches × 2)", sk.Rows)
+	}
+}
+
+// TestWaitDurableSyncPolicies pins the policy matrix: SyncAlways acks
+// have already synced (fast path), SyncNever opts out entirely, and a
+// closed store fails waiters instead of hanging them.
+func TestWaitDurableSyncPolicies(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+
+	always, err := Open(Options{Dir: t.TempDir(), Sync: SyncAlways, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer always.Close()
+	lsn, err := always.AppendIngest("s", []string{"a"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := always.WaitDurable(ctx, lsn); err != nil {
+		t.Fatalf("SyncAlways WaitDurable: %v", err)
+	}
+	if always.SyncedLSN() < lsn {
+		t.Fatalf("SyncAlways did not advance the durable watermark past %d", lsn)
+	}
+
+	never, err := Open(Options{Dir: t.TempDir(), Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer never.Close()
+	if never.AckAfterFsync() {
+		t.Fatal("AckAfterFsync = true under SyncNever")
+	}
+	if _, err := never.AppendIngest("s", []string{"a"}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := never.WaitDurable(context.Background(), 99); err != nil {
+		t.Fatalf("SyncNever WaitDurable must be a no-op, got %v", err)
+	}
+
+	closed := openGroupCommit(t, time.Hour) // flusher will never tick
+	lsn, err = closed.AppendIngest("s", []string{"a"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- closed.WaitDurable(context.Background(), lsn)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := closed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		// Close fsyncs on the way out, so the waiter may legitimately
+		// see the record become durable; what it must not do is hang.
+		_ = err
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitDurable hung across Close")
+	}
+}

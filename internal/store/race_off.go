@@ -1,0 +1,9 @@
+//go:build !race
+
+package store
+
+// raceEnabled reports whether the race detector is compiled in. The
+// alloc-bound tests consult it: under -race, sync.Pool intentionally
+// drops items at random, so pooled buffers cannot hold a deterministic
+// allocs/op bound.
+const raceEnabled = false

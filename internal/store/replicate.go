@@ -89,7 +89,7 @@ func (s *Store) AppendReplicated(lsn uint64, payload []byte) (applied bool, err 
 	}
 	buf := append(s.stage(), payload...)
 	s.sealFrame(buf)
-	if _, err := s.append(); err != nil {
+	if _, err := s.append(s.buf); err != nil {
 		return false, err
 	}
 	return true, nil

@@ -76,6 +76,14 @@ type Options struct {
 	// while healthy; degraded stores probe on every append so recovery
 	// is prompt (default 64).
 	DiskCheckEvery int
+	// GroupCommit makes the store's owner acknowledge appends only after
+	// a covering fsync (gate acks on WaitDurable). Meaningful with
+	// SyncInterval, where one interval fsync covers every append since
+	// the previous one — the group commit that amortizes the per-batch
+	// fsync cost of SyncAlways while keeping its "an acked record
+	// survives power loss" guarantee. SyncAlways already acks after
+	// fsync; under SyncNever WaitDurable is a no-op.
+	GroupCommit bool
 }
 
 func (o *Options) defaults() {
@@ -121,6 +129,9 @@ type Metrics struct {
 	DiskHardTrips atomic.Int64
 	// ReadOnlyRejects counts appends refused with ErrReadOnly.
 	ReadOnlyRejects atomic.Int64
+	// DurableWaits counts WaitDurable calls that actually blocked on an
+	// fsync (group-commit acks that waited for the interval flusher).
+	DurableWaits atomic.Int64
 }
 
 // Store is the append side of the log: it owns the active segment and
@@ -141,6 +152,9 @@ type Store struct {
 	closed   bool
 
 	notify chan struct{} // closed and replaced on every append (WaitForLSN)
+
+	syncedLSN  atomic.Uint64 // highest LSN covered by a successful fsync
+	syncNotify chan struct{} // closed and replaced when syncedLSN advances (WaitDurable)
 
 	pressure   atomic.Int32 // disk pressure level (pressure.go)
 	sinceCheck int          // appends since the last free-space probe; guarded by mu
@@ -167,7 +181,7 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{opts: opts, loopDone: make(chan struct{}), notify: make(chan struct{})}
+	s := &Store{opts: opts, loopDone: make(chan struct{}), notify: make(chan struct{}), syncNotify: make(chan struct{})}
 	s.cpGen = latestCheckpointGen(opts.Dir)
 
 	// A data dir with a checkpoint but no log (a follower that just
@@ -240,6 +254,8 @@ func (s *Store) newSegment(lsn uint64) error {
 		if err := s.f.Sync(); err != nil {
 			return fmt.Errorf("store: sync rotated segment: %w", err)
 		}
+		// Everything before the rotation point is on stable storage now.
+		s.markSynced(lsn - 1)
 		if err := s.f.Close(); err != nil {
 			return fmt.Errorf("store: close rotated segment: %w", err)
 		}
@@ -262,11 +278,13 @@ func (s *Store) newSegment(lsn uint64) error {
 	return nil
 }
 
-// append frames the payload staged in s.buf and writes it, returning the
-// record's LSN. Caller holds mu and has encoded the payload into
-// s.buf[frameOverhead:]; append patches the frame header in place so the
-// whole record is one Write.
-func (s *Store) append() (uint64, error) {
+// append writes one sealed frame (header already patched by sealFrame)
+// and returns the record's LSN. Caller holds mu. The frame arrives as an
+// explicit argument so encodes can happen outside the lock: the in-lock
+// Append* paths pass the store-owned stage buffer, while AppendIngest
+// passes a pooled buffer its caller encoded concurrently with other
+// batches (the batch-sharded half of group commit).
+func (s *Store) append(frame []byte) (uint64, error) {
 	if s.closed {
 		return 0, fmt.Errorf("store: append to closed store")
 	}
@@ -292,14 +310,16 @@ func (s *Store) append() (uint64, error) {
 		// Injected crash artifact: a prefix of the frame reaches the file,
 		// then the "process dies" — the store wedges so nothing appends
 		// after the tear, exactly like a real power cut mid-write.
-		s.f.Write(s.buf[:len(s.buf)/2])
+		s.f.Write(frame[:len(frame)/2])
 		s.f.Sync()
 		s.closed = true
 		close(s.notify)
 		s.notify = make(chan struct{})
+		close(s.syncNotify)
+		s.syncNotify = make(chan struct{})
 		return 0, fmt.Errorf("store: append record: injected torn write")
 	}
-	if _, err := s.f.Write(s.buf); err != nil {
+	if _, err := s.f.Write(frame); err != nil {
 		// A failed WAL write is almost always the disk filling under us
 		// between probes. Roll the partial frame back so the tail stays
 		// a clean record boundary, flip to read-only and report it as
@@ -309,13 +329,12 @@ func (s *Store) append() (uint64, error) {
 		s.met.ReadOnlyRejects.Add(1)
 		return 0, fmt.Errorf("store: append record: %w: %v", ErrReadOnly, err)
 	}
-	s.fsize += int64(len(s.buf))
+	s.fsize += int64(len(frame))
 	s.segRecs++
 	s.met.Appends.Add(1)
-	s.met.Bytes.Add(int64(len(s.buf)))
+	s.met.Bytes.Add(int64(len(frame)))
 	switch s.opts.Sync {
 	case SyncAlways:
-		faultinject.Sleep("wal.stall-fsync", 50*time.Millisecond)
 		if err := s.syncActive(); err != nil {
 			return 0, fmt.Errorf("store: fsync record: %w", err)
 		}
@@ -348,7 +367,7 @@ func (s *Store) AppendCreate(cfg []byte) (uint64, error) {
 	payload := append(s.stage(), TypeCreate)
 	payload = append(payload, cfg...)
 	s.sealFrame(payload)
-	return s.append()
+	return s.append(s.buf)
 }
 
 // AppendDelete logs a sketch deletion.
@@ -358,19 +377,36 @@ func (s *Store) AppendDelete(name string) (uint64, error) {
 	payload := append(s.stage(), TypeDelete)
 	payload = append(payload, name...)
 	s.sealFrame(payload)
-	return s.append()
+	return s.append(s.buf)
 }
+
+// encBuf is a pooled per-batch frame encode buffer; batchEncPool lets
+// concurrent ingest handlers frame their batches outside the store lock,
+// so under group commit the only serialized work per batch is the buffer
+// write itself.
+type encBuf struct{ b []byte }
+
+var batchEncPool = sync.Pool{New: func() any { return new(encBuf) }}
 
 // AppendIngest logs one ingest batch for a sketch: the item column plus
 // optional weights and timestamps (pass nil for columns the kind does not
-// use). The encode reuses a store-owned buffer, so steady-state appends
-// stay allocation-free on the caller's side of the fsync.
+// use). The frame is encoded into a pooled buffer before the store lock
+// is taken — concurrent callers encode their batches in parallel and
+// serialize only on the final buffer write — and steady-state appends
+// stay allocation-free.
 func (s *Store) AppendIngest(name string, items []string, ws []float64, ats []int64) (uint64, error) {
+	eb := batchEncPool.Get().(*encBuf)
+	frame := append(eb.b[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	frame = appendIngestPayload(frame, name, items, ws, ats)
+	sealFrameHeader(frame)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	payload := appendIngestPayload(s.stage(), name, items, ws, ats)
-	s.sealFrame(payload)
-	return s.append()
+	lsn, err := s.append(frame)
+	s.mu.Unlock()
+	if cap(frame) <= maxRetainedBuf {
+		eb.b = frame
+		batchEncPool.Put(eb)
+	}
+	return lsn, err
 }
 
 // AppendSnapshot logs a pushed wire-v2 snapshot and the reduction it was
@@ -383,7 +419,7 @@ func (s *Store) AppendSnapshot(name string, reduction byte, blob []byte) (uint64
 	payload = append(payload, reduction)
 	payload = append(payload, blob...)
 	s.sealFrame(payload)
-	return s.append()
+	return s.append(s.buf)
 }
 
 // Sync flushes the active segment to stable storage.
@@ -396,9 +432,11 @@ func (s *Store) Sync() error {
 	return s.syncActive()
 }
 
-// syncActive fsyncs the active segment, counting successes and failures
-// and honoring the wal.fail-fsync faultpoint. Caller holds mu.
+// syncActive fsyncs the active segment, counting successes and failures,
+// honoring the wal.stall-fsync and wal.fail-fsync faultpoints, and
+// advancing the durable watermark WaitDurable gates on. Caller holds mu.
 func (s *Store) syncActive() error {
+	faultinject.Sleep("wal.stall-fsync", 50*time.Millisecond)
 	if faultinject.Hit("wal.fail-fsync") {
 		s.met.SyncErrors.Add(1)
 		return fmt.Errorf("store: fsync: injected failure")
@@ -408,7 +446,20 @@ func (s *Store) syncActive() error {
 		return err
 	}
 	s.met.Syncs.Add(1)
+	s.markSynced(s.segFirst + uint64(s.segRecs) - 1)
 	return nil
+}
+
+// markSynced records that every LSN up to and including last is on
+// stable storage and wakes WaitDurable waiters. Caller holds mu (or is
+// single-threaded in Open).
+func (s *Store) markSynced(last uint64) {
+	if last == 0 || last <= s.syncedLSN.Load() {
+		return
+	}
+	s.syncedLSN.Store(last)
+	close(s.syncNotify)
+	s.syncNotify = make(chan struct{})
 }
 
 // LastLSN returns the highest assigned LSN (0 when the log is empty).
@@ -435,6 +486,8 @@ func (s *Store) Close() error {
 	s.closed = true
 	close(s.notify)
 	s.notify = make(chan struct{})
+	close(s.syncNotify)
+	s.syncNotify = make(chan struct{})
 	s.mu.Unlock()
 	if s.opts.Sync == SyncInterval {
 		close(s.loopDone)
@@ -446,6 +499,9 @@ func (s *Store) Close() error {
 		return nil
 	}
 	err := s.f.Sync()
+	if err == nil {
+		s.markSynced(s.segFirst + uint64(s.segRecs) - 1)
+	}
 	if cerr := s.f.Close(); err == nil {
 		err = cerr
 	}
@@ -479,12 +535,19 @@ func (s *Store) syncLoop() {
 	}
 }
 
-// sealFrame writes the length+CRC header into the placeholder stage
-// reserved, adopting buf as the staged record.
-func (s *Store) sealFrame(buf []byte) {
+// sealFrameHeader writes the length+CRC header into a frame's reserved
+// 8-byte placeholder. The buffer need not belong to the store — the
+// pooled ingest encode seals outside the lock.
+func sealFrameHeader(buf []byte) {
 	payload := buf[frameOverhead:]
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+}
+
+// sealFrame seals the staged record and adopts buf (possibly regrown by
+// payload appends) as the store's reusable stage buffer.
+func (s *Store) sealFrame(buf []byte) {
+	sealFrameHeader(buf)
 	s.buf = buf
 }
 

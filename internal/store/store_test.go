@@ -430,6 +430,9 @@ func TestSyncPolicies(t *testing.T) {
 // runs at ≤ 2 allocs/op in steady state (it is 0 outside the file
 // write), so durability does not reintroduce per-batch garbage.
 func TestWALAppendAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under -race; the pooled encode buffer cannot hold a deterministic alloc bound")
+	}
 	dir := t.TempDir()
 	st := mustOpen(t, dir, nil)
 	defer st.Close()

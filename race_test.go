@@ -145,3 +145,55 @@ func TestRaceConcurrentRunQueryQuiescentSketch(t *testing.T) {
 		}
 	}
 }
+
+// TestRaceParallelSnapshotRefill: concurrent writers keep invalidating
+// the sharded snapshot while concurrent readers trigger parallel cache
+// refills (merge parallelism forced above the shard count). The parallel
+// k-way merge runs behind the cache's rebuild lock, so -race must stay
+// silent and every reader must see a coherent snapshot.
+func TestRaceParallelSnapshotRefill(t *testing.T) {
+	old := uss.MergeParallelism()
+	uss.SetMergeParallelism(8)
+	defer uss.SetMergeParallelism(old)
+
+	s := uss.NewSharded(4, 64, uss.WithSeed(47))
+	rows := make([]string, 1<<12)
+	for i := range rows {
+		rows[i] = fmt.Sprintf("item-%d", i%301)
+	}
+	s.UpdateBatch(rows[:256])
+
+	var wg sync.WaitGroup
+	var writersDone atomic.Bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer writersDone.Store(true)
+		for pass := 0; pass < 20; pass++ {
+			for lo := 0; lo < len(rows); lo += 256 {
+				s.UpdateBatch(rows[lo : lo+256])
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !writersDone.Load() {
+				if top := s.TopK(10); len(top) == 0 {
+					t.Error("empty TopK during concurrent refill")
+					return
+				}
+				if sum := s.SubsetSum(func(string) bool { return true }); sum.Value <= 0 {
+					t.Error("non-positive total mass during concurrent refill")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got, want := s.Rows(), int64(256+20*len(rows)); got != want {
+		t.Fatalf("Rows = %d, want %d", got, want)
+	}
+}

@@ -285,7 +285,10 @@ func (s *ShardedSketch) upToDate(c *shardSnapshot) bool {
 // outside any lock, and publishes the result. Shards are copied at
 // slightly different times, the same consistency the uncached Snapshot
 // always had; concurrent rebuilds may race benignly, each publishing a
-// snapshot valid for the versions it recorded.
+// snapshot valid for the versions it recorded. Large merges fan out
+// across MergeParallelism goroutines; the parallel kernel is
+// bit-identical to the sequential one (disjoint items make the merged
+// order unique), so snapshots don't depend on the fan-out.
 func (s *ShardedSketch) rebuildSnapshot() *shardSnapshot {
 	c := &shardSnapshot{versions: make([]uint64, len(s.shards))}
 	lists := make([][]Bin, len(s.shards))
@@ -297,7 +300,7 @@ func (s *ShardedSketch) rebuildSnapshot() *shardSnapshot {
 		lists[i] = sh.sk.Bins()
 		sh.mu.Unlock()
 	}
-	c.bins = core.SumDisjointAscending(lists...)
+	c.bins = core.SumDisjointParallel(MergeParallelism(), lists...)
 	if len(c.bins) >= s.m && len(c.bins) > 0 {
 		c.minCount = c.bins[0].Count
 	}
