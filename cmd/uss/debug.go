@@ -1,0 +1,216 @@
+package main
+
+// uss trace / uss top — operator views over a running node's
+// observability endpoints: trace fetches the spans recorded for one
+// trace ID from the node's span ring (/debug/traces) and renders them
+// as an indented tree; top prints the node's self-instrumented
+// heavy-hitters view (/v1/introspect/hot) — the hottest tenants, item
+// keys, and endpoints as estimated by the server's own sketches.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// traceSpan mirrors one span in the /debug/traces response.
+type traceSpan struct {
+	Trace      string  `json:"trace"`
+	Span       string  `json:"span"`
+	Parent     string  `json:"parent"`
+	Name       string  `json:"name"`
+	Node       string  `json:"node"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Status     string  `json:"status"`
+}
+
+// tracePage mirrors the /debug/traces response shape.
+type tracePage struct {
+	Node  string      `json:"node"`
+	Drops uint64      `json:"drops"`
+	Spans []traceSpan `json:"spans"`
+}
+
+// runTrace implements `uss trace <id>`: fetch the spans for one trace
+// from each -url node's ring and render them as a tree rooted at the
+// span(s) with no in-ring parent. Multiple -url flags gather one
+// trace's spans scattered across a cluster.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	var urls stringList
+	fs.Var(&urls, "url", "node base URL (repeatable; default http://127.0.0.1:8632)")
+	timeout := fs.Duration("timeout", 5*time.Second, "request deadline")
+	raw := fs.Bool("json", false, "dump raw span JSON instead of the tree view")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace: need exactly one trace ID (32 hex digits)")
+	}
+	id := fs.Arg(0)
+	if len(urls) == 0 {
+		urls = stringList{"http://127.0.0.1:8632"}
+	}
+
+	cli := &http.Client{Timeout: *timeout}
+	var spans []traceSpan
+	var fetchErrs []string
+	for _, base := range urls {
+		u := strings.TrimSuffix(base, "/") + "/debug/traces?trace=" + url.QueryEscape(id)
+		resp, err := cli.Get(u)
+		if err != nil {
+			fetchErrs = append(fetchErrs, err.Error())
+			continue
+		}
+		var page tracePage
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fetchErrs = append(fetchErrs, fmt.Sprintf("GET %s: status %d", u, resp.StatusCode))
+			continue
+		}
+		if err != nil {
+			fetchErrs = append(fetchErrs, err.Error())
+			continue
+		}
+		spans = append(spans, page.Spans...)
+	}
+	if len(spans) == 0 && len(fetchErrs) > 0 {
+		return fmt.Errorf("trace: %s", strings.Join(fetchErrs, "; "))
+	}
+	for _, e := range fetchErrs {
+		fmt.Printf("warning: %s\n", e)
+	}
+	if len(spans) == 0 {
+		fmt.Printf("trace %s: no spans found (ring may have wrapped)\n", id)
+		return nil
+	}
+	if *raw {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(spans)
+	}
+
+	// Dedup (the same node may be queried twice) and index by span ID.
+	seen := make(map[string]bool, len(spans))
+	byID := make(map[string]traceSpan, len(spans))
+	kids := make(map[string][]traceSpan)
+	var roots []traceSpan
+	uniq := spans[:0]
+	for _, sp := range spans {
+		if seen[sp.Node+"/"+sp.Span] {
+			continue
+		}
+		seen[sp.Node+"/"+sp.Span] = true
+		uniq = append(uniq, sp)
+		byID[sp.Span] = sp
+	}
+	for _, sp := range uniq {
+		if sp.Parent != "" {
+			if _, ok := byID[sp.Parent]; ok {
+				kids[sp.Parent] = append(kids[sp.Parent], sp)
+				continue
+			}
+		}
+		roots = append(roots, sp)
+	}
+	byStart := func(s []traceSpan) {
+		sort.Slice(s, func(i, j int) bool { return s[i].Start < s[j].Start })
+	}
+	byStart(roots)
+	for _, c := range kids {
+		byStart(c)
+	}
+	fmt.Printf("trace %s: %d spans\n", spans[0].Trace, len(uniq))
+	var walk func(sp traceSpan, depth int)
+	walk = func(sp traceSpan, depth int) {
+		fmt.Printf("  %s%-*s %9.3fms  %-9s node=%s\n",
+			strings.Repeat("  ", depth), 32-2*depth, sp.Name, sp.DurationMS, sp.Status, sp.Node)
+		for _, c := range kids[sp.Span] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return nil
+}
+
+// hotEntry / hotPage mirror the /v1/introspect/hot response shape.
+type hotEntry struct {
+	Sketch string  `json:"sketch"`
+	Item   string  `json:"item"`
+	Count  float64 `json:"count"`
+}
+
+type hotPage struct {
+	RowsObserved     int64      `json:"rows_observed"`
+	RequestsObserved int64      `json:"requests_observed"`
+	ItemSampleEvery  int        `json:"item_sample_every"`
+	Tenants          []hotEntry `json:"tenants"`
+	Items            []hotEntry `json:"items"`
+	Requests         []hotEntry `json:"requests"`
+}
+
+// runTop implements `uss top`: the node's self-instrumented
+// heavy-hitters view, estimated by the same unbiased space-saving
+// sketches the server serves to clients.
+func runTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	base := fs.String("url", "http://127.0.0.1:8632", "node base URL")
+	k := fs.Int("k", 10, "rows per section")
+	timeout := fs.Duration("timeout", 5*time.Second, "request deadline")
+	fs.Parse(args)
+
+	u := strings.TrimSuffix(*base, "/") + fmt.Sprintf("/v1/introspect/hot?k=%d", *k)
+	cli := &http.Client{Timeout: *timeout}
+	resp, err := cli.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", u, resp.StatusCode)
+	}
+	var page hotPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d rows, %d requests observed\n", *base, page.RowsObserved, page.RequestsObserved)
+	section := func(title string, entries []hotEntry, item bool) {
+		if len(entries) == 0 {
+			return
+		}
+		fmt.Printf("  %s\n", title)
+		for _, e := range entries {
+			label := e.Sketch
+			if item && e.Item != "" {
+				label = e.Sketch + "/" + e.Item
+			}
+			fmt.Printf("    %-40s %12.1f\n", label, e.Count)
+		}
+	}
+	section("hot tenants (rows ingested per sketch)", page.Tenants, false)
+	if page.ItemSampleEvery > 1 {
+		section(fmt.Sprintf("hot items (1-in-%d row sample)", page.ItemSampleEvery), page.Items, true)
+	} else {
+		section("hot items", page.Items, true)
+	}
+	section("hot endpoints (requests)", page.Requests, false)
+	return nil
+}
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}

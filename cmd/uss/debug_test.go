@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	ferr := fn()
+	os.Stdout = old
+	w.Close()
+	out := <-done
+	r.Close()
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+// TestTraceAndTopCommands exercises `uss trace` and `uss top` against
+// a live server: a request sent with an explicit trace header must be
+// retrievable by that trace ID, and the hot view must reflect ingested
+// rows.
+func TestTraceAndTopCommands(t *testing.T) {
+	srv := server.New(server.Config{IngestWorkers: 2, QueueDepth: 64, Node: "test-node"})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cli := ts.Client()
+	mkReq, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sketches",
+		strings.NewReader(`{"name":"clicks","kind":"unit","bins":64}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkReq.Header.Set("Content-Type", "application/json")
+	if resp, err := cli.Do(mkReq); err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create sketch: %v status=%v", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sketches/clicks/ingest?sync=1",
+		strings.NewReader("a\nb\na\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	req.Header.Set("X-USS-Trace", traceID+"-00f067aa0ba902b7")
+	resp, err := cli.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+
+	out := captureStdout(t, func() error {
+		return runTrace([]string{"-url", ts.URL, traceID})
+	})
+	if !strings.Contains(out, traceID) {
+		t.Errorf("trace output missing trace ID:\n%s", out)
+	}
+	if !strings.Contains(out, "node=test-node") {
+		t.Errorf("trace output missing node:\n%s", out)
+	}
+
+	out = captureStdout(t, func() error {
+		return runTrace([]string{"-url", ts.URL, "-json", traceID})
+	})
+	if !strings.Contains(out, `"trace"`) {
+		t.Errorf("trace -json output not JSON:\n%s", out)
+	}
+
+	out = captureStdout(t, func() error {
+		return runTop([]string{"-url", ts.URL, "-k", "5"})
+	})
+	if !strings.Contains(out, "clicks") {
+		t.Errorf("top output missing hot tenant:\n%s", out)
+	}
+	if !strings.Contains(out, "rows") {
+		t.Errorf("top output missing rows header:\n%s", out)
+	}
+
+	if err := runTrace([]string{"-url", ts.URL}); err == nil {
+		t.Error("trace with no ID should fail")
+	}
+	if err := runTrace([]string{"-url", ts.URL, "not-hex"}); err == nil {
+		t.Error("trace with malformed ID should fail")
+	}
+}

@@ -16,6 +16,8 @@
 //	uss repl promote -url http://follower:8633
 //	uss cluster status -url http://node-a:8632 -name clicks
 //	uss cluster antientropy -url http://node-a:8632
+//	uss trace -url http://node-a:8632 -url http://node-b:8632 4bf92f3577b34da6a3ce929d0e0e4736
+//	uss top -url http://127.0.0.1:8632 -k 10
 //
 // Rows are read one per line; -field selects a tab-separated column as the
 // item key (-1 uses the whole line).
@@ -64,6 +66,10 @@ func main() {
 		err = runRepl(os.Args[2:])
 	case "cluster":
 		err = runCluster(os.Args[2:])
+	case "trace":
+		err = runTrace(os.Args[2:])
+	case "top":
+		err = runTop(os.Args[2:])
 	default:
 		usage()
 	}
@@ -84,7 +90,9 @@ func usage() {
   uss repl status [-url URL]
   uss repl promote -url URL
   uss cluster status [-url URL] [-name SKETCH]
-  uss cluster antientropy -url URL`)
+  uss cluster antientropy -url URL
+  uss trace [-url URL]... [-json] TRACEID
+  uss top [-url URL] [-k K]`)
 	os.Exit(2)
 }
 

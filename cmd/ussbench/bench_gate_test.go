@@ -109,3 +109,17 @@ func TestBenchGateAgainstBaselines(t *testing.T) {
 	}
 	t.Logf("perf gate:\n%s", out.String())
 }
+
+// TestObsOverheadGate runs the tracing-overhead comparison and fails if
+// tracing costs more than its 5% rows/s budget. Machine-dependent, so
+// env-gated like the baseline check: USS_BENCH_GATE=1 go test -run ObsOverhead.
+func TestObsOverheadGate(t *testing.T) {
+	if os.Getenv("USS_BENCH_GATE") != "1" {
+		t.Skip("set USS_BENCH_GATE=1 to run the tracing-overhead gate")
+	}
+	var out bytes.Buffer
+	if err := runPerf(&out, "obs", 1, t.TempDir()); err != nil {
+		t.Fatalf("obs overhead gate failed:\n%s\n%v", out.String(), err)
+	}
+	t.Logf("obs overhead:\n%s", out.String())
+}

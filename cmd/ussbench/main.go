@@ -13,6 +13,7 @@
 //	ussbench -bench cluster
 //	ussbench -bench soak
 //	ussbench -bench merge
+//	ussbench -bench obs
 //	ussbench -check -baseline-dir bench/baselines
 //
 // Each experiment prints the same rows/series the corresponding paper
@@ -38,7 +39,7 @@ func main() {
 		list  = flag.Bool("list", false, "list available experiments and exit")
 		name  = flag.String("experiment", "", "experiment to run (e.g. figure-3)")
 		all   = flag.Bool("all", false, "run every experiment in paper order")
-		bench = flag.String("bench", "", "run a perf comparison instead: codec | rollup-range | server | wal | repl | cluster | soak | merge")
+		bench = flag.String("bench", "", "run a perf comparison instead: codec | rollup-range | server | wal | repl | cluster | soak | merge | obs")
 		check = flag.Bool("check", false, "re-run every bench with a committed baseline and fail on perf regressions")
 		bdir  = flag.String("baseline-dir", "bench/baselines", "directory of committed BENCH_<mode>.json baselines for -check")
 		tol   = flag.Float64("tolerance", 0.15, "-check regression tolerance (0.15 = 15%)")

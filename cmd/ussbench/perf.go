@@ -51,8 +51,10 @@ func runPerf(w io.Writer, mode string, scale float64, jsonDir string) error {
 		err = perfSoak(w, rec, scale)
 	case "merge":
 		err = perfMerge(w, rec, scale)
+	case "obs":
+		err = perfObs(w, rec, scale)
 	default:
-		return fmt.Errorf("unknown -bench mode %q (want codec, rollup-range, server, wal, repl, cluster, soak or merge)", mode)
+		return fmt.Errorf("unknown -bench mode %q (want codec, rollup-range, server, wal, repl, cluster, soak, merge or obs)", mode)
 	}
 	if err != nil {
 		return err

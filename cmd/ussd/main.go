@@ -57,9 +57,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -67,6 +68,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -77,6 +79,35 @@ type multiFlag []string
 
 func (m *multiFlag) String() string     { return fmt.Sprint(*m) }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// fatal logs at error level and exits — slog's replacement for
+// log.Fatalf in this command.
+func fatal(l *slog.Logger, msg string, args ...any) {
+	l.Error(msg, args...)
+	os.Exit(1)
+}
+
+// serveDebug mounts net/http/pprof on its own listener so profiling
+// never rides the public port (and can be firewalled separately).
+func serveDebug(addr string, l *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(l, "debug listener failed", "addr", addr, "err", err)
+	}
+	l.Info("pprof listening", "addr", ln.Addr().String())
+	go func() {
+		hs := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			l.Error("debug listener failed", "err", err)
+		}
+	}()
+}
 
 func main() {
 	var (
@@ -107,23 +138,38 @@ func main() {
 		maxInfl = flag.Int64("max-inflight-bytes", 0, "global in-flight mutation-body budget; breaches shed 503 + Retry-After (0 = unlimited)")
 		memSoft = flag.Int64("memory-soft-bytes", 0, "resident sketch-memory watermark: above it idle sketches demote to cold blobs (0 = never; needs -data-dir)")
 		coldAft = flag.Duration("cold-after", 5*time.Minute, "idle time before a sketch is a demotion candidate (keep above -request-timeout)")
+		logFmt  = flag.String("log-format", "text", "structured log format: text | json")
+		logLvl  = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+		dbgAddr = flag.String("debug-addr", "", "separate listener for /debug/pprof/* (empty = profiling disabled)")
+		slowReq = flag.Duration("slow-request", 0, "log a warning for requests slower than this (0 = disabled)")
 		creates multiFlag
 	)
 	flag.Var(&creates, "create", "pre-create a sketch from a SketchConfig JSON object (repeatable)")
 	flag.Parse()
 
+	logger := obs.NewLogger(os.Stderr, *logFmt, *logLvl)
+	l := logger.With("component", "ussd")
+
 	if *follow != "" && *dataDir == "" {
-		log.Fatalf("ussd: -follow requires -data-dir (the follower keeps a full replica of the primary's log)")
+		fatal(l, "-follow requires -data-dir (the follower keeps a full replica of the primary's log)")
 	}
 	if *clMode && *follow != "" {
-		log.Fatalf("ussd: -cluster and -follow are mutually exclusive (a cluster node converges by anti-entropy, not WAL streaming)")
+		fatal(l, "-cluster and -follow are mutually exclusive (a cluster node converges by anti-entropy, not WAL streaming)")
 	}
 	if *clMode && (*clSelf == "" || *clPeers == "") {
-		log.Fatalf("ussd: -cluster requires -cluster-self and -peers")
+		fatal(l, "-cluster requires -cluster-self and -peers")
+	}
+	if *dbgAddr != "" {
+		serveDebug(*dbgAddr, l)
 	}
 
+	node := *addr
+	if *clMode {
+		node = *clSelf
+	}
 	s := server.New(server.Config{
 		Addr:             *addr,
+		Node:             node,
 		IngestWorkers:    *workers,
 		QueueDepth:       *queue,
 		MaxBodyBytes:     *maxBody,
@@ -133,6 +179,8 @@ func main() {
 		MaxInflightBytes: *maxInfl,
 		MemorySoftBytes:  *memSoft,
 		ColdAfter:        *coldAft,
+		Log:              logger,
+		SlowRequest:      *slowReq,
 	})
 
 	if *follow != "" {
@@ -143,9 +191,9 @@ func main() {
 			Primary: *follow,
 			Server:  s,
 			DataDir: *dataDir,
-			Logf:    log.Printf,
+			Log:     logger,
 		}); err != nil {
-			log.Fatalf("ussd: prepare follower data dir: %v", err)
+			fatal(l, "prepare follower data dir failed", "err", err)
 		}
 		s.SetRole(server.RoleFollower)
 		s.SetReady(false)
@@ -154,54 +202,56 @@ func main() {
 	if *dataDir != "" {
 		policy, err := store.ParseSyncPolicy(*fsync)
 		if err != nil {
-			log.Fatalf("ussd: %v", err)
+			fatal(l, "bad -fsync flag", "err", err)
 		}
 		if *grpCmt && policy != store.SyncInterval {
-			log.Fatalf("ussd: -group-commit requires -fsync interval (always already acks after fsync; never has nothing to wait for)")
+			fatal(l, "-group-commit requires -fsync interval (always already acks after fsync; never has nothing to wait for)")
 		}
 		rebuilt, err := store.Rebuild(*dataDir)
 		if err != nil {
-			log.Fatalf("ussd: recover %s: %v", *dataDir, err)
+			fatal(l, "recovery failed", "dir", *dataDir, "err", err)
 		}
-		st, err := store.Open(store.Options{Dir: *dataDir, Sync: policy, SyncEvery: *fsEvery, GroupCommit: *grpCmt})
+		st, err := store.Open(store.Options{Dir: *dataDir, Sync: policy, SyncEvery: *fsEvery, GroupCommit: *grpCmt, Log: logger})
 		if err != nil {
-			log.Fatalf("ussd: open store: %v", err)
+			fatal(l, "open store failed", "err", err)
 		}
 		if err := s.AttachStore(st, rebuilt, *ckptInt); err != nil {
-			log.Fatalf("ussd: attach store: %v", err)
+			fatal(l, "attach store failed", "err", err)
 		}
-		log.Printf("ussd: durable in %s (fsync=%s): recovered %d sketches from checkpoint gen %d + %d log records (last LSN %d)",
-			*dataDir, policy, len(rebuilt.Sketches), rebuilt.Stats.CheckpointGen, rebuilt.Stats.Applied, rebuilt.Stats.LastLSN)
+		l.Info("durable mode",
+			"dir", *dataDir, "fsync", policy.String(), "sketches", len(rebuilt.Sketches),
+			"checkpoint_gen", rebuilt.Stats.CheckpointGen, "log_records", rebuilt.Stats.Applied,
+			"last_lsn", rebuilt.Stats.LastLSN)
 		for _, warn := range rebuilt.Stats.Warnings {
-			log.Printf("ussd: recovery warning: %s", warn)
+			l.Warn("recovery warning", "detail", warn)
 		}
 		if rebuilt.Stats.TornTail {
-			log.Printf("ussd: recovery truncated a torn record at the log tail (crash artifact)")
+			l.Warn("recovery truncated a torn record at the log tail (crash artifact)")
 		}
 	}
 
 	if *follow != "" && len(creates) > 0 {
-		log.Printf("ussd: ignoring -create flags on a follower (sketches replicate from the primary)")
+		l.Warn("ignoring -create flags on a follower (sketches replicate from the primary)")
 		creates = nil
 	}
 	for _, spec := range creates {
 		var cfg server.SketchConfig
 		if err := json.Unmarshal([]byte(spec), &cfg); err != nil {
-			log.Fatalf("ussd: -create %q: %v", spec, err)
+			fatal(l, "bad -create flag", "spec", spec, "err", err)
 		}
 		switch err := s.CreateSketch(cfg); {
 		case err == nil:
-			log.Printf("ussd: created sketch %q (%s)", cfg.Name, cfg.Kind)
+			l.Info("created sketch", "name", cfg.Name, "kind", string(cfg.Kind))
 		case errors.Is(err, server.ErrExists):
-			log.Printf("ussd: sketch %q already exists (recovered); keeping its state", cfg.Name)
+			l.Info("sketch already exists (recovered); keeping its state", "name", cfg.Name)
 		default:
-			log.Fatalf("ussd: -create: %v", err)
+			fatal(l, "-create failed", "err", err)
 		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("ussd: %v", err)
+		fatal(l, "listen failed", "addr", *addr, "err", err)
 	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -221,16 +271,16 @@ func main() {
 			MaxBodyBytes:        *maxBody,
 		}, s)
 		if err != nil {
-			log.Fatalf("ussd: %v", err)
+			fatal(l, "cluster setup failed", "err", err)
 		}
 		// Pull this node's partitions back from co-owner copies before
 		// serving: a node that lost its disk converges here, a node with
 		// intact state is a no-op (its digests already cover the copies).
 		rs := agent.BootRepair(context.Background())
-		log.Printf("ussd: cluster boot repair: restored %d, created %d, %d errors",
-			rs.Restored, rs.Created, len(rs.Errors))
+		l.Info("cluster boot repair",
+			"restored", rs.Restored, "created", rs.Created, "errors", len(rs.Errors))
 		for _, e := range rs.Errors {
-			log.Printf("ussd: boot repair: %s", e)
+			l.Warn("boot repair error", "detail", e)
 		}
 		agent.Start()
 		clusterHS = &http.Server{Handler: agent.Handler(), ReadHeaderTimeout: 10 * time.Second}
@@ -241,11 +291,12 @@ func main() {
 			}
 			errc <- err
 		}()
-		log.Printf("ussd: cluster node %s (%d peers, rf=%d, anti-entropy=%v) listening on %s",
-			*clSelf, len(agent.Peers()), *clRF, *clAE, ln.Addr())
+		l.Info("cluster node listening",
+			"self", *clSelf, "peers", len(agent.Peers()), "rf", *clRF,
+			"anti_entropy", clAE.String(), "addr", ln.Addr().String())
 	} else {
 		go func() { errc <- s.Serve(ln) }()
-		log.Printf("ussd: listening on %s", ln.Addr())
+		l.Info("listening", "addr", ln.Addr().String())
 	}
 
 	var fol *replica.Follower
@@ -256,17 +307,17 @@ func main() {
 			DataDir:          *dataDir,
 			AutoPromote:      *autoPro,
 			HeartbeatTimeout: *hbTO,
-			Logf:             log.Printf,
+			Log:              logger,
 		})
 		if err != nil {
-			log.Fatalf("ussd: start follower: %v", err)
+			fatal(l, "start follower failed", "err", err)
 		}
-		log.Printf("ussd: following %s (auto-promote=%v, heartbeat-timeout=%v)", *follow, *autoPro, *hbTO)
+		l.Info("following primary", "primary", *follow, "auto_promote", *autoPro, "heartbeat_timeout", hbTO.String())
 	}
 
 	select {
 	case sig := <-stop:
-		log.Printf("ussd: %v, draining", sig)
+		l.Info("signal received, draining", "signal", sig.String())
 		if fol != nil {
 			fol.Stop()
 		}
@@ -274,19 +325,19 @@ func main() {
 		defer cancel()
 		if clusterHS != nil {
 			if err := clusterHS.Shutdown(ctx); err != nil {
-				log.Printf("ussd: cluster listener shutdown: %v", err)
+				l.Warn("cluster listener shutdown", "err", err)
 			}
 			if err := agent.Shutdown(ctx); err != nil {
-				log.Printf("ussd: cluster agent shutdown: %v", err)
+				l.Warn("cluster agent shutdown", "err", err)
 			}
 		}
 		if err := s.Shutdown(ctx); err != nil {
-			log.Fatalf("ussd: shutdown: %v", err)
+			fatal(l, "shutdown failed", "err", err)
 		}
-		log.Printf("ussd: drained, bye")
+		l.Info("drained, bye")
 	case err := <-errc:
 		if err != nil {
-			log.Fatalf("ussd: %v", err)
+			fatal(l, "serve failed", "err", err)
 		}
 	}
 }

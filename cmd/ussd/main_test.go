@@ -233,10 +233,19 @@ func startUssdEnv(t *testing.T, bin string, env []string, args ...string) (*exec
 		for sc.Scan() {
 			line := sc.Text()
 			t.Logf("ussd: %s", line)
-			if _, rest, ok := strings.Cut(line, "listening on "); ok {
-				select {
-				case addrc <- strings.TrimSpace(rest):
-				default:
+			// The slog text handler renders the startup line as
+			// `msg=listening ... addr=HOST:PORT` (quoted msg for the
+			// cluster variant); grab the addr field.
+			if !strings.Contains(line, "msg=listening") &&
+				!strings.Contains(line, `msg="cluster node listening"`) {
+				continue
+			}
+			if _, rest, ok := strings.Cut(line, "addr="); ok {
+				if f := strings.Fields(rest); len(f) > 0 {
+					select {
+					case addrc <- strings.Trim(f[0], `"`):
+					default:
+					}
 				}
 			}
 		}

@@ -33,6 +33,7 @@ var docsGatePackages = []string{
 	"internal/store",
 	"internal/replica",
 	"internal/cluster",
+	"internal/obs",
 	"internal/faultinject",
 	"internal/hierarchy",
 	"internal/hashx",

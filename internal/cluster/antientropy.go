@@ -13,6 +13,7 @@ import (
 
 	uss "repro"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -228,6 +229,9 @@ func (a *Agent) fetchCopies(ctx context.Context, peer, owner string) ([]copyDTO,
 // its co-owners already saved.
 func (a *Agent) AntiEntropyRound(ctx context.Context) AEStats {
 	a.met.aeRounds.Add(1)
+	parent, _ := obs.FromContext(ctx)
+	sp := a.ob.Tracer().Start(parent, "cluster.antientropy")
+	ctx = obs.ContextWith(ctx, sp.Context())
 	var st AEStats
 	for _, p := range a.cfg.Peers {
 		if p == a.cfg.Self {
@@ -288,6 +292,18 @@ func (a *Agent) AntiEntropyRound(ctx context.Context) AEStats {
 			}
 		}
 		a.copyMu.Unlock()
+	}
+	if len(st.Errors) > 0 {
+		sp.Finish(obs.StatusError)
+		a.log.Warn("anti-entropy round finished with errors",
+			"peers", st.Peers, "pulled", st.Pulled, "created", st.Created,
+			"dropped", st.Dropped, "errors", len(st.Errors), "first_error", st.Errors[0])
+	} else {
+		sp.Finish(obs.StatusOK)
+		if st.Pulled > 0 || st.Created > 0 || st.Dropped > 0 {
+			a.log.Info("anti-entropy round converged state",
+				"peers", st.Peers, "pulled", st.Pulled, "created", st.Created, "dropped", st.Dropped)
+		}
 	}
 	return st
 }
@@ -379,6 +395,8 @@ func (a *Agent) BootRepair(ctx context.Context) RepairStats {
 		if err := a.srv.Checkpoint(); err != nil {
 			st.Errors = append(st.Errors, fmt.Sprintf("checkpoint: %v", err))
 		}
+		a.log.Info("boot repair adopted peer state",
+			"restored", st.Restored, "created", st.Created, "errors", len(st.Errors))
 	}
 	return st
 }

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/hashx"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/server"
 )
@@ -185,6 +187,8 @@ type Agent struct {
 	inner http.Handler
 	ring  *Ring
 	mux   *http.ServeMux
+	ob    *obs.Observer
+	log   *slog.Logger
 
 	queues   map[string]*peerQueue
 	health   map[string]*peerHealth
@@ -212,6 +216,8 @@ func New(cfg Config, srv *server.Server) (*Agent, error) {
 		cfg:      cfg,
 		srv:      srv,
 		inner:    srv.Handler(),
+		ob:       srv.Obs(),
+		log:      srv.Log().With("component", "cluster", "self", cfg.Self),
 		ring:     NewRing(cfg.Peers, cfg.VirtualNodes),
 		mux:      http.NewServeMux(),
 		queues:   make(map[string]*peerQueue, len(cfg.Peers)),
@@ -243,6 +249,7 @@ func (a *Agent) doPeer(peer string, req *http.Request) (*http.Response, error) {
 		a.met.breakerFast.Add(1)
 		return nil, fmt.Errorf("peer %s: %w", peer, replica.ErrBreakerOpen)
 	}
+	obs.InjectTrace(req.Context(), req.Header)
 	resp, err := a.cfg.Client.Do(req)
 	if br != nil {
 		switch {
@@ -268,29 +275,33 @@ func (a *Agent) breakerTrips() int64 {
 // /metrics scrape, registered at construction via RegisterMetrics.
 func (a *Agent) emitMetrics(w io.Writer) {
 	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
-	p("# TYPE ussd_cluster_fanned_total counter\n")
+	fam := func(name, typ, help string) {
+		p("# HELP %s %s\n", name, help)
+		p("# TYPE %s %s\n", name, typ)
+	}
+	fam("ussd_cluster_fanned_total", "counter", "Ingest fan tasks delivered to owners.")
 	p("ussd_cluster_fanned_total %d\n", a.met.fanned.Load())
-	p("# TYPE ussd_cluster_fan_retries_total counter\n")
+	fam("ussd_cluster_fan_retries_total", "counter", "Fan delivery attempts past the first.")
 	p("ussd_cluster_fan_retries_total %d\n", a.met.fanRetries.Load())
-	p("# TYPE ussd_cluster_fan_fallbacks_total counter\n")
+	fam("ussd_cluster_fan_fallbacks_total", "counter", "Fan tasks re-routed to a fallback owner.")
 	p("ussd_cluster_fan_fallbacks_total %d\n", a.met.fanFallbacks.Load())
-	p("# TYPE ussd_cluster_fan_shed_total counter\n")
+	fam("ussd_cluster_fan_shed_total", "counter", "Fan tasks that failed on every owner.")
 	p("ussd_cluster_fan_shed_total %d\n", a.met.fanShed.Load())
-	p("# TYPE ussd_cluster_hedges_total counter\n")
+	fam("ussd_cluster_hedges_total", "counter", "Hedged copy reads fired by slow or dead owners.")
 	p("ussd_cluster_hedges_total %d\n", a.met.hedges.Load())
-	p("# TYPE ussd_cluster_degraded_reads_total counter\n")
+	fam("ussd_cluster_degraded_reads_total", "counter", "Scatter-gather reads answered with the degraded marker.")
 	p("ussd_cluster_degraded_reads_total %d\n", a.met.degraded.Load())
-	p("# TYPE ussd_cluster_ae_rounds_total counter\n")
+	fam("ussd_cluster_ae_rounds_total", "counter", "Anti-entropy rounds run.")
 	p("ussd_cluster_ae_rounds_total %d\n", a.met.aeRounds.Load())
-	p("# TYPE ussd_cluster_ae_pulls_total counter\n")
+	fam("ussd_cluster_ae_pulls_total", "counter", "Exact-state blobs pulled by anti-entropy on digest divergence.")
 	p("ussd_cluster_ae_pulls_total %d\n", a.met.aePulls.Load())
-	p("# TYPE ussd_cluster_breaker_fastfails_total counter\n")
+	fam("ussd_cluster_breaker_fastfails_total", "counter", "Peer requests refused instantly by an open circuit breaker.")
 	p("ussd_cluster_breaker_fastfails_total %d\n", a.met.breakerFast.Load())
-	p("# TYPE ussd_cluster_breaker_trips_total counter\n")
+	fam("ussd_cluster_breaker_trips_total", "counter", "Closed-to-open circuit breaker transitions, per peer link.")
 	for _, peer := range a.cfg.Peers {
 		p("ussd_cluster_breaker_trips_total{peer=%q} %d\n", peer, a.breakers[peer].Trips())
 	}
-	p("# TYPE ussd_cluster_breaker_open gauge\n")
+	fam("ussd_cluster_breaker_open", "gauge", "Whether the peer's circuit breaker is currently open or half-open.")
 	for _, peer := range a.cfg.Peers {
 		open := 0
 		if a.breakers[peer].State() != "closed" {
@@ -303,7 +314,11 @@ func (a *Agent) emitMetrics(w io.Writer) {
 // Handler returns the node's routed handler: proxy semantics for the
 // public sketch API, /v1/cluster/* internals, and passthrough to the
 // wrapped server for everything else (health, metrics, replication).
-func (a *Agent) Handler() http.Handler { return a.mux }
+// The obs middleware wraps the whole table, so proxied requests get
+// their edge span and latency sample here; the wrapped server's own
+// middleware recognizes the same observer and records only a child
+// span, never a second histogram sample.
+func (a *Agent) Handler() http.Handler { return a.ob.Middleware(a.mux) }
 
 // Start launches the fan workers and, when configured, the anti-entropy
 // loop. Call after BootRepair and before serving traffic.

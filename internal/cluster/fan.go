@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/replica"
 )
 
@@ -20,7 +21,9 @@ var errDropFan = errors.New("faultpoint cluster.drop-fan dropped the send")
 // fanTask is one unit of fan-out work bound for an owner set: a request
 // to deliver to owners[idx], with fallback to the next owners in the
 // set when delivery fails terminally. done (when non-nil, buffered 1)
-// receives exactly one final result.
+// receives exactly one final result. trace carries the originating
+// request's span context across the queue hop, so deliveries made long
+// after the proxy handler returned still join its trace.
 type fanTask struct {
 	owners []string
 	idx    int // current target's position in owners
@@ -31,6 +34,7 @@ type fanTask struct {
 	rawQuery string
 	ctype    string
 	body     []byte
+	trace    obs.SpanContext
 
 	done chan fanResult
 }
@@ -126,6 +130,8 @@ func (a *Agent) deliver(url string, t *fanTask) {
 		return
 	}
 	a.met.fanShed.Add(1)
+	a.log.Warn("fan task shed: every owner failed",
+		"path", t.path, "owners", len(t.owners), "last_peer", peer, "err", err)
 	t.finish(fanResult{status: status, peer: peer, err: err})
 }
 
@@ -144,14 +150,20 @@ func (a *Agent) failover(t *fanTask) bool {
 
 // send issues t's request to url once. Connection errors and 5xx are
 // delivery failures (retryable — the cluster holds no non-idempotent
-// 5xx); any other status is a delivered outcome, including 4xx.
+// 5xx); any other status is a delivered outcome, including 4xx. The
+// request runs on the agent context (the task outlives its originating
+// request) but carries the task's recorded trace, under a fresh
+// "cluster.fan" span.
 func (a *Agent) send(url string, t *fanTask) (int, error) {
 	u := url + t.path
 	if t.rawQuery != "" {
 		u += "?" + t.rawQuery
 	}
-	req, err := http.NewRequestWithContext(a.ctx, t.method, u, bytes.NewReader(t.body))
+	sp := a.ob.Tracer().Start(t.trace, "cluster.fan")
+	ctx := obs.ContextWith(a.ctx, sp.Context())
+	req, err := http.NewRequestWithContext(ctx, t.method, u, bytes.NewReader(t.body))
 	if err != nil {
+		sp.FinishErr(err)
 		return 0, err
 	}
 	if t.ctype != "" {
@@ -159,13 +171,16 @@ func (a *Agent) send(url string, t *fanTask) (int, error) {
 	}
 	resp, err := a.doPeer(url, req)
 	if err != nil {
+		sp.FinishErr(err)
 		return 0, err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode >= 500 {
+		sp.Finish(int32(resp.StatusCode))
 		return resp.StatusCode, fmt.Errorf("%s %s: status %d", t.method, u, resp.StatusCode)
 	}
+	sp.Finish(int32(resp.StatusCode))
 	return resp.StatusCode, nil
 }
 

@@ -12,6 +12,7 @@ import (
 
 	uss "repro"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -80,6 +81,11 @@ func (a *Agent) gatherBins(ctx context.Context, name string) (*gathered, int, er
 		return nil, http.StatusNotFound, fmt.Errorf("sketch %q: %w", name, server.ErrNotFound)
 	}
 	owners := a.owners(name)
+	tr := a.ob.Tracer()
+	parent, _ := obs.FromContext(ctx)
+	gsp := tr.Start(parent, "cluster.gather")
+	start := time.Now()
+	ctx = obs.ContextWith(ctx, gsp.Context())
 	g := &gathered{cfg: cfg, reads: make([]peerRead, len(owners))}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -102,12 +108,14 @@ func (a *Agent) gatherBins(ctx context.Context, name string) (*gathered, int, er
 		}(i, o)
 	}
 	wg.Wait()
+	a.ob.GatherHist.RecordSince(start)
 	for _, pr := range g.reads {
 		if pr.Error != "" || (pr.Source != "owner" && pr.Source != "local") {
 			g.degraded = true
 		}
 	}
 	if g.answered < a.cfg.ReadQuorum {
+		gsp.Finish(obs.StatusError)
 		return g, http.StatusServiceUnavailable,
 			fmt.Errorf("read quorum not met for %q: %d of %d owner partials answered (need %d)",
 				name, g.answered, len(owners), a.cfg.ReadQuorum)
@@ -115,6 +123,7 @@ func (a *Agent) gatherBins(ctx context.Context, name string) (*gathered, int, er
 	if g.degraded {
 		a.met.degraded.Add(1)
 	}
+	gsp.Finish(obs.StatusOK)
 	return g, 0, nil
 }
 
@@ -134,9 +143,13 @@ func (a *Agent) fetchPartial(ctx context.Context, name, owner string, owners []s
 	}
 	// The primary and its hedge race; whichever loses must not keep its
 	// request (and the goroutine reading the response) alive until the
-	// caller's deadline. Cancelling on return reels the loser in.
+	// caller's deadline. Cancelling on return reels the loser in. Each
+	// racer runs under its own span finished with FinishErr, so the loser
+	// shows up in the trace as status "cancelled" — visible, not leaked.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	tr := a.ob.Tracer()
+	parent, _ := obs.FromContext(ctx)
 	type res struct {
 		bins []uss.Bin
 		src  string
@@ -144,7 +157,9 @@ func (a *Agent) fetchPartial(ctx context.Context, name, owner string, owners []s
 	}
 	ch := make(chan res, 2)
 	go func() {
-		bins, err := a.fetchOwnerBins(ctx, owner, name)
+		sp := tr.Start(parent, "cluster.fetch-owner")
+		bins, err := a.fetchOwnerBins(obs.ContextWith(ctx, sp.Context()), owner, name)
+		sp.FinishErr(err)
 		ch <- res{bins, "owner", err}
 	}()
 	inflight := 1
@@ -197,6 +212,8 @@ func (a *Agent) startHedge(ctx context.Context, name, owner string, owners []str
 			selfOwns = true
 		}
 	}
+	tr := a.ob.Tracer()
+	parent, _ := obs.FromContext(ctx)
 	if selfOwns {
 		a.copyMu.Lock()
 		c := a.copies[copyKey{name: name, owner: owner}]
@@ -205,7 +222,9 @@ func (a *Agent) startHedge(ctx context.Context, name, owner string, owners []str
 			return false
 		}
 		go func() {
+			sp := tr.Start(parent, "cluster.hedge-copy")
 			bins, err := server.StateBins(c.cfg, c.blob)
+			sp.FinishErr(err)
 			deliver(bins, err)
 		}()
 		return true
@@ -215,12 +234,15 @@ func (a *Agent) startHedge(ctx context.Context, name, owner string, owners []str
 			continue
 		}
 		go func(p string) {
-			cfg, _, blob, err := a.pullCopy(ctx, p, name, owner)
+			sp := tr.Start(parent, "cluster.hedge-copy")
+			cfg, _, blob, err := a.pullCopy(obs.ContextWith(ctx, sp.Context()), p, name, owner)
 			if err != nil {
+				sp.FinishErr(err)
 				deliver(nil, err)
 				return
 			}
 			bins, err := server.StateBins(cfg, blob)
+			sp.FinishErr(err)
 			deliver(bins, err)
 		}(p)
 		return true

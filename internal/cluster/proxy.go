@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"sync"
 
 	uss "repro"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -58,6 +60,13 @@ func (g *gathered) degradedFields(m map[string]any) map[string]any {
 	return m
 }
 
+// traceOf extracts the request's span context for attachment to queued
+// fan tasks (zero when tracing found no edge span).
+func traceOf(r *http.Request) obs.SpanContext {
+	sc, _ := obs.FromContext(r.Context())
+	return sc
+}
+
 // readBody slurps a request body under the configured cap.
 func (a *Agent) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, a.cfg.MaxBodyBytes))
@@ -91,7 +100,7 @@ func (a *Agent) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, err)
 		return
 	}
-	peers, degraded := a.broadcastOthers(http.MethodPost, "/v1/cluster/sketches", "", "application/json", body, http.StatusCreated, http.StatusConflict)
+	peers, degraded := a.broadcastOthers(r.Context(), http.MethodPost, "/v1/cluster/sketches", "", "application/json", body, http.StatusCreated, http.StatusConflict)
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"name": cfg.Name, "owners": a.owners(cfg.Name), "peers": peers, "degraded": degraded,
 	})
@@ -112,7 +121,7 @@ func (a *Agent) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	a.dropCopies(name)
-	a.broadcastOthers(http.MethodDelete, "/v1/cluster/sketches/"+name, "", "", nil, http.StatusNoContent, http.StatusNotFound)
+	a.broadcastOthers(r.Context(), http.MethodDelete, "/v1/cluster/sketches/"+name, "", "", nil, http.StatusNoContent, http.StatusNotFound)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -130,7 +139,8 @@ func (a *Agent) dropCopies(name string) {
 // broadcastOthers sends one request to every peer but self and folds
 // the results into a per-peer status map; statuses outside okStatuses
 // and transport failures mark the broadcast degraded.
-func (a *Agent) broadcastOthers(method, path, rawQuery, ctype string, body []byte, okStatuses ...int) (map[string]string, bool) {
+func (a *Agent) broadcastOthers(ctx context.Context, method, path, rawQuery, ctype string, body []byte, okStatuses ...int) (map[string]string, bool) {
+	trace, _ := obs.FromContext(ctx)
 	peers := make(map[string]string, len(a.cfg.Peers))
 	degraded := false
 	var mu sync.Mutex
@@ -142,7 +152,7 @@ func (a *Agent) broadcastOthers(method, path, rawQuery, ctype string, body []byt
 		wg.Add(1)
 		go func(p string) {
 			defer wg.Done()
-			t := &fanTask{method: method, path: path, rawQuery: rawQuery, ctype: ctype, body: body}
+			t := &fanTask{method: method, path: path, rawQuery: rawQuery, ctype: ctype, body: body, trace: trace}
 			status, err := a.send(p, t)
 			mu.Lock()
 			defer mu.Unlock()
@@ -218,7 +228,7 @@ func (a *Agent) handleIngest(w http.ResponseWriter, r *http.Request) {
 			owners: owners, idx: idx, tried: 1,
 			method: http.MethodPost, path: "/v1/cluster/sketches/" + name + "/ingest",
 			rawQuery: rawQuery, ctype: "application/json", body: pbody,
-			done: make(chan fanResult, 1),
+			trace: traceOf(r), done: make(chan fanResult, 1),
 		}
 		if !a.fanOut(t) {
 			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("ingest fan queues full"))
@@ -354,7 +364,7 @@ func (a *Agent) handlePushFan(w http.ResponseWriter, r *http.Request) {
 			owners: owners, idx: idx, tried: 1,
 			method: http.MethodPost, path: "/v1/cluster/sketches/" + name + "/snapshot",
 			rawQuery: rawQuery, ctype: "application/octet-stream", body: blob,
-			done: make(chan fanResult, 1),
+			trace: traceOf(r), done: make(chan fanResult, 1),
 		}
 		if !a.fanOut(t) {
 			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("snapshot fan queues full"))

@@ -1,0 +1,51 @@
+package obs
+
+import "testing"
+
+// TestHistogramRecordZeroAlloc pins the histogram hot path at 0
+// allocs/op: Record is a handful of atomic adds on the caller's stripe.
+func TestHistogramRecordZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc bounds are not meaningful under -race")
+	}
+	h := NewHistogram(`class="alloc"`)
+	n := testing.AllocsPerRun(1000, func() {
+		h.Record(12345)
+	})
+	if n != 0 {
+		t.Fatalf("Histogram.Record allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestSpanStartFinishZeroAlloc pins the span hot path at 0 allocs/op:
+// the ActiveSpan lives on the stack and Finish copies it into a
+// preallocated ring slot.
+func TestSpanStartFinishZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc bounds are not meaningful under -race")
+	}
+	tr := NewTracer("alloc-node", 1024)
+	parent := tr.NewRoot()
+	n := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start(parent, "alloc.span")
+		sp.Finish(StatusOK)
+	})
+	if n != 0 {
+		t.Fatalf("span Start/Finish allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestRingRecordZeroAlloc covers the ring on its own (Finish's core).
+func TestRingRecordZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc bounds are not meaningful under -race")
+	}
+	r := NewRing(256)
+	sp := Span{Name: "x", Node: "n"}
+	n := testing.AllocsPerRun(1000, func() {
+		r.Record(sp)
+	})
+	if n != 0 {
+		t.Fatalf("Ring.Record allocates %.1f/op, want 0", n)
+	}
+}

@@ -1,0 +1,32 @@
+// Package obs is the observability spine of ussd: request tracing,
+// latency histograms, structured logging, and a self-instrumented
+// heavy-hitters view of the server's own traffic.
+//
+// The package is deliberately dependency-free (stdlib only) and built
+// around three hot-path-safe primitives:
+//
+//   - Tracer / Span: 16-byte trace IDs and 8-byte span IDs minted from a
+//     splitmix64 counter, carried across processes in the X-USS-Trace
+//     header and across goroutines in a context.Context. Finished spans
+//     are recorded into a fixed-size lock-free Ring (seqlock slots,
+//     drop-on-contention) served by GET /debug/traces. Start/Finish is
+//     allocation-free; spans slower than a configurable threshold are
+//     additionally emitted as structured slog events.
+//
+//   - Histogram: a fixed log2-bucket latency/size histogram whose
+//     buckets are striped across cache-line-padded slots (the same trick
+//     as the server's striped counters), so Record is a single atomic
+//     add on a line private to the calling goroutine's stripe. Families
+//     render in the Prometheus text exposition format (cumulative
+//     _bucket/_sum/_count).
+//
+//   - HotTracker: the paper's own unbiased space-saving sketches turned
+//     on the server itself — a weighted sketch of rows per tenant
+//     sketch, a unit sketch of sampled (sketch, item) pairs, and a unit
+//     sketch of per-request tenant touches, served by
+//     GET /v1/introspect/hot and the `uss top` CLI.
+//
+// An Observer bundles one of each per server instance (not per process:
+// in-process multi-node cluster tests need distinct rings and node
+// labels) plus the slog.Logger all components share.
+package obs

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// histBuckets is the fixed log2 bucket count: bucket i has the upper
+// bound 2^i, so 40 buckets span 1ns..~550s for durations and 1..~5e11
+// for sizes. Values above the top bound count toward _sum/_count (and
+// thus +Inf) only.
+const histBuckets = 40
+
+// histStripes spreads concurrent recorders across cache lines, same
+// policy as the server's striped counters.
+const histStripes = 8
+
+// histStripe is one recorder lane: a bucket vector plus overflow, count
+// and sum, padded so adjacent stripes never share a cache line.
+type histStripe struct {
+	buckets  [histBuckets]atomic.Uint64
+	overflow atomic.Uint64
+	count    atomic.Uint64
+	sum      atomic.Int64
+	_        [56]byte
+}
+
+// Histogram is a fixed log2-bucket histogram safe for concurrent
+// 0-allocation recording. Labels is the pre-rendered Prometheus label
+// body for this series within its family (e.g. `class="ingest"`), empty
+// for unlabelled families.
+type Histogram struct {
+	labels  string
+	stripes [histStripes]histStripe
+}
+
+// NewHistogram returns a histogram whose series carry the given
+// pre-rendered label body (may be empty).
+func NewHistogram(labels string) *Histogram {
+	return &Histogram{labels: labels}
+}
+
+// histStripeIndex hashes a stack address to a stripe, like the server's
+// stripeIndex: distinct goroutines get distinct stacks, so concurrent
+// recorders spread out with no per-goroutine state.
+func histStripeIndex() int {
+	var pin byte
+	p := uintptr(unsafe.Pointer(&pin))
+	return int((p>>6)^(p>>14)) & (histStripes - 1)
+}
+
+// Record adds one observation. Values < 1 clamp to 1 (bucket 0); values
+// above the top bucket bound count only toward _sum/_count. Record is a
+// few atomic adds on the caller's stripe — no locks, no allocation. A
+// nil receiver records nothing, so optional wiring (the store's
+// histograms) needs no call-site guards.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	s := &h.stripes[histStripeIndex()]
+	u := uint64(1)
+	if v > 1 {
+		u = uint64(v)
+	}
+	if idx := bits.Len64(u - 1); idx < histBuckets {
+		s.buckets[idx].Add(1)
+	} else {
+		s.overflow.Add(1)
+	}
+	s.count.Add(1)
+	s.sum.Add(v)
+}
+
+// RecordSince records the elapsed nanoseconds since start.
+func (h *Histogram) RecordSince(start time.Time) {
+	h.Record(int64(time.Since(start)))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var t uint64
+	for i := range h.stripes {
+		t += h.stripes[i].count.Load()
+	}
+	return t
+}
+
+// Sum returns the sum of observed values in raw units.
+func (h *Histogram) Sum() int64 {
+	var t int64
+	for i := range h.stripes {
+		t += h.stripes[i].sum.Load()
+	}
+	return t
+}
+
+// snapshot sums the stripes into one consistent-enough view (the usual
+// metrics caveat: exact only once writers quiesce).
+func (h *Histogram) snapshot() (buckets [histBuckets]uint64, count uint64, sum int64) {
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		for b := range s.buckets {
+			buckets[b] += s.buckets[b].Load()
+		}
+		count += s.count.Load()
+		sum += s.sum.Load()
+	}
+	return
+}
+
+// HistUnit selects how a histogram family renders bounds and sums.
+type HistUnit int
+
+const (
+	// UnitSeconds renders nanosecond observations as seconds.
+	UnitSeconds HistUnit = iota
+	// UnitCount renders raw integer observations.
+	UnitCount
+)
+
+// bound renders bucket i's upper bound for the unit.
+func (u HistUnit) bound(i int) string {
+	v := uint64(1) << uint(i)
+	if u == UnitSeconds {
+		return strconv.FormatFloat(float64(v)/1e9, 'g', -1, 64)
+	}
+	return strconv.FormatUint(v, 10)
+}
+
+// sum renders a raw sum for the unit.
+func (u HistUnit) sum(v int64) string {
+	if u == UnitSeconds {
+		return strconv.FormatFloat(float64(v)/1e9, 'g', -1, 64)
+	}
+	return strconv.FormatInt(v, 10)
+}
+
+// EmitHistogramFamily writes one Prometheus histogram family (# HELP,
+// # TYPE, then cumulative _bucket/_sum/_count per member) in text
+// exposition format. Empty buckets between the first and last non-empty
+// bound are emitted (cumulative counts repeat), leading/trailing empty
+// bounds are elided to keep scrapes small.
+func EmitHistogramFamily(w io.Writer, name, help string, unit HistUnit, hs ...*Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for _, h := range hs {
+		buckets, count, sum := h.snapshot()
+		lo, hi := histBuckets, -1
+		for i, c := range buckets {
+			if c > 0 {
+				if i < lo {
+					lo = i
+				}
+				hi = i
+			}
+		}
+		sep := ""
+		if h.labels != "" {
+			sep = ","
+		}
+		var cum uint64
+		for i := lo; i <= hi; i++ {
+			cum += buckets[i]
+			fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, h.labels, sep, unit.bound(i), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, h.labels, sep, count)
+		if h.labels != "" {
+			fmt.Fprintf(w, "%s_sum{%s} %s\n", name, h.labels, unit.sum(sum))
+			fmt.Fprintf(w, "%s_count{%s} %d\n", name, h.labels, count)
+		} else {
+			fmt.Fprintf(w, "%s_sum %s\n", name, unit.sum(sum))
+			fmt.Fprintf(w, "%s_count %d\n", name, count)
+		}
+	}
+}

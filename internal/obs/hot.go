@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// hotItemSep joins (sketch, item) into one composite key for the item
+// sketch; \x1f (ASCII unit separator) cannot appear in sketch names,
+// which the server restricts to [a-zA-Z0-9_-].
+const hotItemSep = "\x1f"
+
+// hotSampleEvery is the item-level sampling rate: one in every N
+// ingested rows feeds the (sketch, item) sketch. Tenant-level row
+// counts stay exact (one weighted update per batch); only the per-item
+// view is sampled, keeping the ingest overhead well under the 5% budget.
+const hotSampleEvery = 64
+
+// HotTracker dogfoods the paper's sketches on the server's own traffic:
+// which tenant sketches are ingesting the most rows, which individual
+// (sketch, item) pairs are hottest, and which sketches requests touch
+// most. All three views are unbiased space-saving sketches, so the
+// introspection endpoint answers from ~fixed memory no matter how many
+// tenants or items the server sees.
+type HotTracker struct {
+	mu       sync.Mutex
+	tenants  *core.WeightedSketch // rows ingested per sketch name
+	items    *core.Sketch         // sampled (sketch \x1f item) pairs
+	requests *core.Sketch         // sketch names touched by requests
+	tick     atomic.Uint64        // global row counter driving sampling
+	rows     atomic.Int64         // total rows observed (pre-sampling)
+	reqs     atomic.Int64         // total request touches observed
+}
+
+// NewHotTracker returns a tracker with m bins per view.
+func NewHotTracker(m int) *HotTracker {
+	if m <= 0 {
+		m = 128
+	}
+	return &HotTracker{
+		tenants:  core.NewWeighted(m, rand.New(rand.NewSource(1))),
+		items:    core.New(m, core.Unbiased, rand.New(rand.NewSource(2))),
+		requests: core.New(m, core.Unbiased, rand.New(rand.NewSource(3))),
+	}
+}
+
+// ObserveIngest records a batch of items ingested into sketch name. The
+// tenant view gets the exact row count; the item view gets a 1-in-N
+// sample so large batches cost a handful of updates, not len(items).
+func (h *HotTracker) ObserveIngest(name string, items []string) {
+	n := len(items)
+	if n == 0 {
+		return
+	}
+	h.rows.Add(int64(n))
+	base := h.tick.Add(uint64(n)) - uint64(n)
+	// First sampled offset ≥ base that is ≡ 0 mod hotSampleEvery.
+	first := (hotSampleEvery - base%hotSampleEvery) % hotSampleEvery
+	h.mu.Lock()
+	h.tenants.Update(name, float64(n))
+	for i := int(first); i < n; i += hotSampleEvery {
+		h.items.Update(name + hotItemSep + items[i])
+	}
+	h.mu.Unlock()
+}
+
+// ObserveRequest records that a request touched sketch name.
+func (h *HotTracker) ObserveRequest(name string) {
+	h.reqs.Add(1)
+	h.mu.Lock()
+	h.requests.Update(name)
+	h.mu.Unlock()
+}
+
+// HotEntry is one ranked row of a hot view.
+type HotEntry struct {
+	Sketch string  `json:"sketch"`
+	Item   string  `json:"item,omitempty"`
+	Count  float64 `json:"count"`
+}
+
+// HotReport is the full introspection payload served by
+// GET /v1/introspect/hot.
+type HotReport struct {
+	RowsObserved     int64      `json:"rows_observed"`
+	RequestsObserved int64      `json:"requests_observed"`
+	ItemSampleEvery  int        `json:"item_sample_every"`
+	Tenants          []HotEntry `json:"tenants"`
+	Items            []HotEntry `json:"items"`
+	Requests         []HotEntry `json:"requests"`
+}
+
+// Report returns the top-k rows of each view. Item counts are scaled
+// back up by the sampling rate so they estimate true row counts.
+func (h *HotTracker) Report(k int) HotReport {
+	if k <= 0 {
+		k = 10
+	}
+	r := HotReport{
+		RowsObserved:     h.rows.Load(),
+		RequestsObserved: h.reqs.Load(),
+		ItemSampleEvery:  hotSampleEvery,
+	}
+	h.mu.Lock()
+	tenants := h.tenants.Bins()
+	items := h.items.TopK(k)
+	reqs := h.requests.TopK(k)
+	h.mu.Unlock()
+
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].Count > tenants[j].Count })
+	if len(tenants) > k {
+		tenants = tenants[:k]
+	}
+	for _, b := range tenants {
+		r.Tenants = append(r.Tenants, HotEntry{Sketch: b.Item, Count: b.Count})
+	}
+	for _, b := range items {
+		sketch, item, _ := strings.Cut(b.Item, hotItemSep)
+		r.Items = append(r.Items, HotEntry{Sketch: sketch, Item: item, Count: b.Count * hotSampleEvery})
+	}
+	for _, b := range reqs {
+		r.Requests = append(r.Requests, HotEntry{Sketch: b.Item, Count: b.Count})
+	}
+	return r
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the process logger: format is "text" or "json",
+// level one of debug/info/warn/error. Unknown values fall back to text
+// at info, so a typo'd flag degrades instead of crashing startup.
+func NewLogger(w io.Writer, format, level string) *slog.Logger {
+	lv := ParseLevel(level)
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if strings.EqualFold(format, "json") {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}
+
+// ParseLevel maps a flag string to a slog.Level, defaulting to Info.
+func ParseLevel(level string) slog.Level {
+	switch strings.ToLower(level) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// discardHandler drops every record (slog.DiscardHandler arrives in a
+// later Go; this is the 1.22 equivalent).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// NopLogger returns a logger that discards everything — the default for
+// embedded servers (tests, benches) that didn't wire one.
+func NopLogger() *slog.Logger { return slog.New(discardHandler{}) }
+
+// Printf adapts a slog.Logger to the printf-style hooks some packages
+// still expose (e.g. an embedder that wants replica-style callbacks).
+func Printf(l *slog.Logger) func(format string, args ...any) {
+	return func(format string, args ...any) {
+		l.Info(fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,351 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	tr := NewTracer("node-a", 64)
+	sc := tr.NewRoot()
+	if !sc.Valid() {
+		t.Fatal("NewRoot returned invalid context")
+	}
+	hv := sc.HeaderValue()
+	if len(hv) != 49 || hv[32] != '-' {
+		t.Fatalf("header value %q: want 32hex-16hex", hv)
+	}
+	got, err := ParseHeader(hv)
+	if err != nil {
+		t.Fatalf("ParseHeader(%q): %v", hv, err)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v want %+v", got, sc)
+	}
+	for _, bad := range []string{"", "xyz", strings.Repeat("0", 49), hv[:48], hv + "0"} {
+		if _, err := ParseHeader(bad); err == nil {
+			t.Errorf("ParseHeader(%q): want error", bad)
+		}
+	}
+}
+
+func TestTracerParenting(t *testing.T) {
+	tr := NewTracer("node-a", 64)
+	root := tr.Start(SpanContext{}, "root")
+	child := tr.Start(root.Context(), "child")
+	if child.Context().Trace != root.Context().Trace {
+		t.Fatal("child span did not inherit trace ID")
+	}
+	if child.Context().Span == root.Context().Span {
+		t.Fatal("child span reused parent span ID")
+	}
+	child.Finish(StatusOK)
+	root.Finish(StatusOK)
+
+	spans := tr.Ring().ByTrace(root.Context().Trace, nil)
+	if len(spans) != 2 {
+		t.Fatalf("ring has %d spans for trace, want 2", len(spans))
+	}
+	var foundChild bool
+	for _, sp := range spans {
+		if sp.Name == "child" {
+			foundChild = true
+			if sp.Parent != root.Context().Span {
+				t.Fatalf("child parent = %v, want %v", sp.Parent, root.Context().Span)
+			}
+		}
+	}
+	if !foundChild {
+		t.Fatal("child span not recorded")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := NewTracer("n", 16)
+	sc := tr.NewRoot()
+	ctx := ContextWith(context.Background(), sc)
+	got, ok := FromContext(ctx)
+	if !ok || got != sc {
+		t.Fatalf("FromContext = %+v %v, want %+v true", got, ok, sc)
+	}
+	if _, ok := FromContext(context.Background()); ok {
+		t.Fatal("FromContext on empty ctx: want false")
+	}
+	h := http.Header{}
+	InjectTrace(ctx, h)
+	if h.Get(TraceHeader) != sc.HeaderValue() {
+		t.Fatalf("InjectTrace header = %q, want %q", h.Get(TraceHeader), sc.HeaderValue())
+	}
+}
+
+func TestRingWrapAndConcurrency(t *testing.T) {
+	r := NewRing(64)
+	if r.Cap() != 64 {
+		t.Fatalf("Cap = %d, want 64", r.Cap())
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(Span{Name: "s", Start: int64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	spans := r.Snapshot(nil)
+	if len(spans)+int(r.Drops()) < 64 {
+		t.Fatalf("snapshot %d + drops %d: ring should be full", len(spans), r.Drops())
+	}
+	for _, sp := range spans {
+		if sp.Name != "s" {
+			t.Fatalf("torn span read: %+v", sp)
+		}
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	h := NewHistogram(`class="test"`)
+	for _, v := range []int64{1, 2, 3, 1000, 1_000_000, 0, -5} {
+		h.Record(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", h.Count())
+	}
+	var b strings.Builder
+	EmitHistogramFamily(&b, "test_seconds", "help text", UnitSeconds, h)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_seconds help text\n",
+		"# TYPE test_seconds histogram\n",
+		`test_seconds_bucket{class="test",le="+Inf"} 7`,
+		`test_seconds_count{class="test"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be non-decreasing and end at count.
+	var last uint64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "test_seconds_bucket") {
+			continue
+		}
+		c, err := strconv.ParseUint(strings.Fields(line)[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q", line)
+		}
+		if c < last {
+			t.Fatalf("bucket counts decreased: %q after %d", line, last)
+		}
+		last = c
+	}
+	if last != 7 {
+		t.Fatalf("final cumulative bucket = %d, want 7", last)
+	}
+}
+
+func TestHistogramOverflowGoesToInfOnly(t *testing.T) {
+	h := NewHistogram("")
+	h.Record(1 << 45) // above the top bucket bound
+	var b strings.Builder
+	EmitHistogramFamily(&b, "x", "h", UnitCount, h)
+	out := b.String()
+	if !strings.Contains(out, `x_bucket{le="+Inf"} 1`) {
+		t.Fatalf("overflow not in +Inf:\n%s", out)
+	}
+	if strings.Contains(out, `le="1"} 1`) {
+		t.Fatalf("overflow leaked into a finite bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "x_count 1") {
+		t.Fatalf("missing count:\n%s", out)
+	}
+}
+
+func TestMiddlewareTraceAndClasses(t *testing.T) {
+	o := New(Options{Node: "n1"})
+	var sawCtx SpanContext
+	h := o.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawCtx, _ = FromContext(r.Context())
+		w.WriteHeader(http.StatusTeapot)
+	}))
+
+	req := httptest.NewRequest("POST", "/v1/sketches/ad/ingest", nil)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	if !sawCtx.Valid() {
+		t.Fatal("handler saw no trace context")
+	}
+	hv := rw.Header().Get(TraceHeader)
+	if hv == "" {
+		t.Fatal("response missing trace header")
+	}
+	sc, err := ParseHeader(hv)
+	if err != nil || sc != sawCtx {
+		t.Fatalf("response header %q does not match handler context %+v", hv, sawCtx)
+	}
+	spans := o.Tracer().Ring().ByTrace(sc.Trace, nil)
+	if len(spans) != 1 || spans[0].Name != "http.ingest" || spans[0].Status != 418 {
+		t.Fatalf("edge span wrong: %+v", spans)
+	}
+
+	// Propagated trace: incoming header parents the server span.
+	parent := o.Tracer().NewRoot()
+	req = httptest.NewRequest("GET", "/v1/sketches/ad/topk", nil)
+	req.Header.Set(TraceHeader, parent.HeaderValue())
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	spans = o.Tracer().Ring().ByTrace(parent.Trace, nil)
+	if len(spans) != 1 || spans[0].Parent != parent.Span || spans[0].Name != "http.query" {
+		t.Fatalf("propagated span wrong: %+v", spans)
+	}
+}
+
+func TestMiddlewareDoubleWrapCountsOnce(t *testing.T) {
+	o := New(Options{Node: "n1"})
+	inner := o.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	outer := o.Middleware(inner)
+	outer.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/v1/sketches/a/ingest", nil))
+	if c := o.reqHist[ClassIngest].Count(); c != 1 {
+		t.Fatalf("double-wrapped request recorded %d histogram samples, want 1", c)
+	}
+	spans := o.Tracer().Ring().Snapshot(nil)
+	var names []string
+	for _, sp := range spans {
+		names = append(names, sp.Name)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("want edge + local spans, got %v", names)
+	}
+}
+
+func TestHandleTracesFilterAndJSON(t *testing.T) {
+	o := New(Options{Node: "n1"})
+	h := o.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/v1/sketches/x/topk", nil))
+	sc, _ := ParseHeader(rw.Header().Get(TraceHeader))
+
+	req := httptest.NewRequest("GET", "/debug/traces?trace="+sc.Trace.String(), nil)
+	rw = httptest.NewRecorder()
+	o.HandleTraces(rw, req)
+	var out struct {
+		Node  string `json:"node"`
+		Spans []struct {
+			Trace  string `json:"trace"`
+			Name   string `json:"name"`
+			Status string `json:"status"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &out); err != nil {
+		t.Fatalf("traces JSON: %v\n%s", err, rw.Body.String())
+	}
+	if out.Node != "n1" || len(out.Spans) != 1 || out.Spans[0].Trace != sc.Trace.String() ||
+		out.Spans[0].Name != "http.query" || out.Spans[0].Status != "200" {
+		t.Fatalf("traces payload wrong: %+v", out)
+	}
+
+	rw = httptest.NewRecorder()
+	o.HandleTraces(rw, httptest.NewRequest("GET", "/debug/traces?trace=zzz", nil))
+	if rw.Code != http.StatusBadRequest {
+		t.Fatalf("bad trace filter: code %d, want 400", rw.Code)
+	}
+}
+
+func TestSlowRequestLogged(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	log := NewLogger(&syncWriter{mu: &mu, w: &b}, "json", "info")
+	o := New(Options{Node: "n1", SlowRequest: time.Nanosecond, Log: log})
+	h := o.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(100 * time.Microsecond)
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/healthz", nil))
+	mu.Lock()
+	out := b.String()
+	mu.Unlock()
+	if !strings.Contains(out, "slow span") || !strings.Contains(out, `"trace"`) {
+		t.Fatalf("slow request not logged: %q", out)
+	}
+}
+
+// syncWriter serializes writes for the race detector.
+type syncWriter struct {
+	mu *sync.Mutex
+	w  *strings.Builder
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+func TestHotTrackerViews(t *testing.T) {
+	h := NewHotTracker(16)
+	items := make([]string, 640)
+	for i := range items {
+		items[i] = "item-hot"
+	}
+	h.ObserveIngest("ads", items)
+	h.ObserveIngest("logs", items[:64])
+	h.ObserveRequest("ads")
+	h.ObserveRequest("ads")
+	h.ObserveRequest("logs")
+
+	r := h.Report(5)
+	if r.RowsObserved != 704 || r.RequestsObserved != 3 {
+		t.Fatalf("observed rows=%d reqs=%d, want 704/3", r.RowsObserved, r.RequestsObserved)
+	}
+	if len(r.Tenants) == 0 || r.Tenants[0].Sketch != "ads" {
+		t.Fatalf("tenants = %+v, want ads first", r.Tenants)
+	}
+	if len(r.Items) == 0 || r.Items[0].Sketch == "" || r.Items[0].Item != "item-hot" {
+		t.Fatalf("items = %+v, want sampled item-hot", r.Items)
+	}
+	if len(r.Requests) == 0 || r.Requests[0].Sketch != "ads" {
+		t.Fatalf("requests = %+v, want ads first", r.Requests)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := map[string]int{
+		"/v1/sketches/a/ingest":       ClassIngest,
+		"/v1/sketches/a/snapshot":     ClassSnapshot,
+		"/v1/sketches/a/topk":         ClassQuery,
+		"/v1/sketches/a/estimate":     ClassQuery,
+		"/v1/sketches/a/range/topk":   ClassRange,
+		"/v1/cluster/sketches/a/topk": ClassCluster,
+		"/v1/replication/wal":         ClassReplication,
+		"/metrics":                    ClassAdmin,
+		"/healthz":                    ClassAdmin,
+		"/debug/traces":               ClassAdmin,
+		"/v1/introspect/hot":          ClassAdmin,
+		"/v1/sketches":                ClassAdmin,
+		"/nonsense":                   ClassOther,
+	}
+	for path, want := range cases {
+		if got := ClassOf(path); got != want {
+			t.Errorf("ClassOf(%q) = %s, want %s", path, classNames[got], classNames[want])
+		}
+	}
+}
+
+func TestRecorderFlushAndUnwrap(t *testing.T) {
+	rec := &responseRecorder{ResponseWriter: httptest.NewRecorder()}
+	var w http.ResponseWriter = rec
+	if _, ok := w.(http.Flusher); !ok {
+		t.Fatal("responseRecorder must satisfy http.Flusher")
+	}
+	rec.Flush() // must not panic
+	if rec.Unwrap() == nil {
+		t.Fatal("Unwrap returned nil")
+	}
+}

@@ -1,0 +1,315 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Endpoint classes for the request-latency histogram family. Fixed at
+// compile time so the middleware indexes an array instead of a map.
+const (
+	ClassIngest = iota
+	ClassSnapshot
+	ClassQuery
+	ClassRange
+	ClassCluster
+	ClassReplication
+	ClassAdmin
+	ClassOther
+	numClasses
+)
+
+// classNames maps class indices to their label values and span names.
+var classNames = [numClasses]string{
+	"ingest", "snapshot", "query", "range", "cluster", "replication", "admin", "other",
+}
+
+// classSpanNames pre-renders "http.<class>" span names so the edge
+// middleware never concatenates on the hot path.
+var classSpanNames = [numClasses]string{
+	"http.ingest", "http.snapshot", "http.query", "http.range",
+	"http.cluster", "http.replication", "http.admin", "http.other",
+}
+
+// classLocalSpanNames name the inner server span when a request already
+// passed the same observer's edge middleware (cluster passthrough).
+var classLocalSpanNames = [numClasses]string{
+	"local.ingest", "local.snapshot", "local.query", "local.range",
+	"local.cluster", "local.replication", "local.admin", "local.other",
+}
+
+// ClassOf buckets a request path into an endpoint class.
+func ClassOf(path string) int {
+	switch {
+	case strings.HasPrefix(path, "/v1/cluster/"):
+		return ClassCluster
+	case strings.HasPrefix(path, "/v1/replication/"):
+		return ClassReplication
+	case strings.HasSuffix(path, "/ingest"):
+		return ClassIngest
+	case strings.HasSuffix(path, "/snapshot"):
+		return ClassSnapshot
+	case strings.Contains(path, "/range/"):
+		return ClassRange
+	case strings.HasSuffix(path, "/topk"), strings.HasSuffix(path, "/estimate"),
+		strings.HasSuffix(path, "/sum"), strings.HasSuffix(path, "/query"),
+		strings.HasSuffix(path, "/frequent"):
+		return ClassQuery
+	case path == "/metrics", path == "/healthz", path == "/readyz",
+		strings.HasPrefix(path, "/debug/"), strings.HasPrefix(path, "/v1/introspect/"),
+		path == "/v1/sketches" || strings.HasPrefix(path, "/v1/sketches/"):
+		return ClassAdmin
+	default:
+		return ClassOther
+	}
+}
+
+// Options configures an Observer.
+type Options struct {
+	// Node labels every span this observer records (addr or peer URL).
+	Node string
+	// RingSize is the span ring capacity (0 → DefaultRingSize).
+	RingSize int
+	// SlowRequest is the slow-span log threshold (0 disables).
+	SlowRequest time.Duration
+	// Disabled turns off span recording and histogram updates; trace
+	// propagation still works so disabling one node degrades, not breaks.
+	Disabled bool
+	// Log receives structured events (slow spans); nil discards.
+	Log *slog.Logger
+	// HotBins sizes each HotTracker sketch (0 → 128).
+	HotBins int
+}
+
+// Observer bundles one server instance's telemetry: tracer + span ring,
+// request/WAL/gather histograms, the hot-traffic tracker, and the
+// shared structured logger.
+type Observer struct {
+	tracer   *Tracer
+	log      *slog.Logger
+	disabled bool
+
+	reqHist [numClasses]*Histogram
+
+	// FsyncHist times WAL fsyncs (nanoseconds; store wiring).
+	FsyncHist *Histogram
+	// GroupCommitHist records WAL records covered per fsync.
+	GroupCommitHist *Histogram
+	// GatherHist times scatter-gather fan-in (cluster wiring).
+	GatherHist *Histogram
+
+	// Hot is the self-instrumented heavy-hitters view.
+	Hot *HotTracker
+}
+
+// New returns an Observer for one server instance.
+func New(o Options) *Observer {
+	if o.Log == nil {
+		o.Log = NopLogger()
+	}
+	ob := &Observer{
+		tracer:          NewTracer(o.Node, o.RingSize),
+		log:             o.Log,
+		disabled:        o.Disabled,
+		FsyncHist:       NewHistogram(""),
+		GroupCommitHist: NewHistogram(""),
+		GatherHist:      NewHistogram(""),
+		Hot:             NewHotTracker(o.HotBins),
+	}
+	for c := 0; c < numClasses; c++ {
+		ob.reqHist[c] = NewHistogram(`class="` + classNames[c] + `"`)
+	}
+	ob.tracer.SetDisabled(o.Disabled)
+	if o.SlowRequest > 0 {
+		log := o.Log
+		ob.tracer.SetSlowThreshold(o.SlowRequest, func(sp Span) {
+			log.Warn("slow span",
+				"trace", sp.Trace.String(),
+				"span", sp.ID.String(),
+				"name", sp.Name,
+				"node", sp.Node,
+				"duration", time.Duration(sp.Duration),
+				"status", StatusString(sp.Status))
+		})
+	}
+	return ob
+}
+
+// Tracer returns the observer's tracer.
+func (o *Observer) Tracer() *Tracer { return o.tracer }
+
+// Log returns the observer's structured logger.
+func (o *Observer) Log() *slog.Logger { return o.log }
+
+// Disabled reports whether recording is off (the overhead benchmark's
+// baseline mode).
+func (o *Observer) Disabled() bool { return o.disabled }
+
+// handledKey marks a request context as already counted by an observer,
+// so the cluster agent's edge middleware and the inner server's
+// middleware (same process, same observer) don't double-count latency.
+type handledKey struct{}
+
+// responseRecorder captures the status code while forwarding the
+// optional ResponseWriter interfaces middleware must not swallow.
+type responseRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *responseRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so long-poll/streaming
+// responses still flush through the middleware.
+func (r *responseRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (r *responseRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// Middleware wraps h with tracing + per-class latency recording. It
+// parses or mints the trace context, stores it (and the span) in the
+// request context, stamps the response with the trace header so callers
+// can find their trace, and records a span at completion. The request
+// histogram is recorded only at the outermost middleware of this
+// observer (see handledKey).
+func (o *Observer) Middleware(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		class := ClassOf(req.URL.Path)
+		ctx := req.Context()
+
+		parent, _ := FromContext(ctx)
+		if !parent.Valid() {
+			if hv := req.Header.Get(TraceHeader); hv != "" {
+				if sc, err := ParseHeader(hv); err == nil {
+					parent = sc
+				}
+			}
+		}
+		edge := ctx.Value(handledKey{}) != o // outermost for this observer?
+		name := classSpanNames[class]
+		if !edge {
+			name = classLocalSpanNames[class]
+		}
+		sp := o.tracer.Start(parent, name)
+		ctx = ContextWith(ctx, sp.Context())
+		if edge {
+			ctx = context.WithValue(ctx, handledKey{}, o)
+		}
+		w.Header().Set(TraceHeader, sp.Context().HeaderValue())
+
+		rec := &responseRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(rec, req.WithContext(ctx))
+
+		sp.Finish(int32(rec.code))
+		if edge && !o.disabled {
+			o.reqHist[class].RecordSince(start)
+		}
+	})
+}
+
+// spanJSON is the /debug/traces wire form of one span.
+type spanJSON struct {
+	Trace      string  `json:"trace"`
+	Span       string  `json:"span"`
+	Parent     string  `json:"parent,omitempty"`
+	Name       string  `json:"name"`
+	Node       string  `json:"node"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Status     string  `json:"status"`
+}
+
+// HandleTraces serves GET /debug/traces: the node's span ring as JSON,
+// filterable by ?trace=<32 hex> and truncated by ?limit=N (default 256,
+// applied after sorting newest-first so the freshest spans survive).
+func (o *Observer) HandleTraces(w http.ResponseWriter, req *http.Request) {
+	var spans []Span
+	if tq := req.URL.Query().Get("trace"); tq != "" {
+		sc, err := ParseHeader(tq)
+		if err != nil {
+			// Accept a bare 32-hex trace ID as well as the full
+			// trace-span header form.
+			sc, err = ParseHeader(tq + "-0000000000000000")
+		}
+		if err != nil {
+			http.Error(w, `{"error":"trace must be 32 hex digits"}`, http.StatusBadRequest)
+			return
+		}
+		spans = o.tracer.Ring().ByTrace(sc.Trace, nil)
+	} else {
+		spans = o.tracer.Ring().Snapshot(nil)
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start > spans[j].Start })
+	limit := 256
+	if lq := req.URL.Query().Get("limit"); lq != "" {
+		if n, err := strconv.Atoi(lq); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	if len(spans) > limit {
+		spans = spans[:limit]
+	}
+	out := struct {
+		Node  string     `json:"node"`
+		Drops uint64     `json:"drops"`
+		Spans []spanJSON `json:"spans"`
+	}{Node: o.tracer.Node(), Drops: o.tracer.Ring().Drops(), Spans: make([]spanJSON, 0, len(spans))}
+	for _, sp := range spans {
+		j := spanJSON{
+			Trace:      sp.Trace.String(),
+			Span:       sp.ID.String(),
+			Name:       sp.Name,
+			Node:       sp.Node,
+			Start:      time.Unix(0, sp.Start).UTC().Format(time.RFC3339Nano),
+			DurationMS: float64(sp.Duration) / 1e6,
+			Status:     StatusString(sp.Status),
+		}
+		if sp.Parent != 0 {
+			j.Parent = sp.Parent.String()
+		}
+		out.Spans = append(out.Spans, j)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// EmitMetrics writes the observer's histogram families and trace-ring
+// gauges in Prometheus text exposition format; the server appends it to
+// /metrics via RegisterMetrics-style wiring.
+func (o *Observer) EmitMetrics(w io.Writer) {
+	EmitHistogramFamily(w, "ussd_request_duration_seconds",
+		"HTTP request latency by endpoint class.", UnitSeconds, o.reqHist[:]...)
+	EmitHistogramFamily(w, "ussd_wal_fsync_duration_seconds",
+		"WAL fsync latency.", UnitSeconds, o.FsyncHist)
+	EmitHistogramFamily(w, "ussd_wal_group_commit_records",
+		"WAL records made durable per fsync (group-commit batch size).", UnitCount, o.GroupCommitHist)
+	EmitHistogramFamily(w, "ussd_gather_fanin_duration_seconds",
+		"Scatter-gather fan-in latency (cluster reads).", UnitSeconds, o.GatherHist)
+	io.WriteString(w, "# HELP ussd_trace_spans_dropped_total Spans dropped by ring wrap contention.\n")
+	io.WriteString(w, "# TYPE ussd_trace_spans_dropped_total counter\n")
+	io.WriteString(w, "ussd_trace_spans_dropped_total "+strconv.FormatUint(o.tracer.Ring().Drops(), 10)+"\n")
+}
+
+// InjectTrace copies the trace context from ctx (if any) onto an
+// outbound request header — the one-liner every peer/replica client
+// calls to propagate traces.
+func InjectTrace(ctx context.Context, h http.Header) {
+	if sc, ok := FromContext(ctx); ok {
+		h.Set(TraceHeader, sc.HeaderValue())
+	}
+}

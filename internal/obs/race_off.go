@@ -1,0 +1,8 @@
+//go:build !race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in. The
+// 0-alloc regression tests consult it: instrumented atomics make
+// testing.AllocsPerRun unreliable under -race.
+const raceEnabled = false

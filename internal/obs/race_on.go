@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in. See
+// race_off.go.
+const raceEnabled = true

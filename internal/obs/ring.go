@@ -1,0 +1,96 @@
+package obs
+
+import "sync/atomic"
+
+// Ring is a fixed-size lock-free span buffer. Writers claim a slot with
+// one atomic add on a global cursor, then publish through the slot's
+// sequence word (a per-slot seqlock): CAS even→odd, write the span,
+// store back even+2. A writer that loses the CAS — only possible when
+// the ring has wrapped all the way around onto a slot someone else is
+// mid-writing — drops its span rather than spin; under that much churn
+// the span would be overwritten within microseconds anyway. Readers
+// snapshot slots optimistically and discard any whose sequence was odd
+// or moved during the copy.
+type Ring struct {
+	mask  uint64
+	next  atomic.Uint64
+	drops atomic.Uint64
+	slots []ringSlot
+}
+
+// ringSlot pairs a span with its seqlock word.
+type ringSlot struct {
+	seq  atomic.Uint64
+	span Span
+}
+
+// DefaultRingSize is the span capacity used when NewRing gets n ≤ 0:
+// roughly the last few seconds of traffic on a busy node, ~512 KiB.
+const DefaultRingSize = 4096
+
+// NewRing returns a ring holding n spans, n rounded up to a power of two.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &Ring{mask: uint64(size - 1), slots: make([]ringSlot, size)}
+}
+
+// Cap returns the ring's span capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Drops returns how many spans were discarded to wrap contention.
+func (r *Ring) Drops() uint64 { return r.drops.Load() }
+
+// Record stores sp, overwriting the oldest span once the ring is full.
+// It never blocks and never allocates.
+func (r *Ring) Record(sp Span) {
+	idx := (r.next.Add(1) - 1) & r.mask
+	slot := &r.slots[idx]
+	seq := slot.seq.Load()
+	if seq&1 != 0 || !slot.seq.CompareAndSwap(seq, seq+1) {
+		r.drops.Add(1)
+		return
+	}
+	slot.span = sp
+	slot.seq.Store(seq + 2)
+}
+
+// Snapshot appends every consistently-readable span to dst and returns
+// it. Order is slot order, not time order; callers sort if they care.
+func (r *Ring) Snapshot(dst []Span) []Span {
+	for i := range r.slots {
+		slot := &r.slots[i]
+		seq := slot.seq.Load()
+		if seq == 0 || seq&1 != 0 {
+			continue
+		}
+		sp := slot.span
+		if slot.seq.Load() != seq {
+			continue // torn read: writer moved underneath us
+		}
+		dst = append(dst, sp)
+	}
+	return dst
+}
+
+// ByTrace appends the spans belonging to trace to dst and returns it.
+func (r *Ring) ByTrace(trace TraceID, dst []Span) []Span {
+	for i := range r.slots {
+		slot := &r.slots[i]
+		seq := slot.seq.Load()
+		if seq == 0 || seq&1 != 0 {
+			continue
+		}
+		sp := slot.span
+		if slot.seq.Load() != seq || sp.Trace != trace {
+			continue
+		}
+		dst = append(dst, sp)
+	}
+	return dst
+}

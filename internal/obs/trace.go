@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP header that propagates trace context between
+// nodes: "<32 hex trace id>-<16 hex span id>". The span half names the
+// caller's span so the receiving node can parent its server span under it.
+const TraceHeader = "X-USS-Trace"
+
+// TraceID is the 16-byte identifier shared by every span of one request.
+type TraceID [16]byte
+
+// IsZero reports whether the trace ID is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string {
+	var b [32]byte
+	hex.Encode(b[:], t[:])
+	return string(b[:])
+}
+
+// SpanID identifies one span within a trace.
+type SpanID uint64
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string {
+	var raw [8]byte
+	for i := 0; i < 8; i++ {
+		raw[i] = byte(uint64(s) >> (56 - 8*i))
+	}
+	var b [16]byte
+	hex.Encode(b[:], raw[:])
+	return string(b[:])
+}
+
+// SpanContext is the wire-visible half of a span: enough to propagate a
+// trace to another goroutine or node and parent children under it.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context carries a real trace.
+func (sc SpanContext) Valid() bool { return !sc.Trace.IsZero() }
+
+// HeaderValue renders the context in X-USS-Trace wire form.
+func (sc SpanContext) HeaderValue() string {
+	return sc.Trace.String() + "-" + sc.Span.String()
+}
+
+// ParseHeader parses an X-USS-Trace value back into a SpanContext.
+func ParseHeader(v string) (SpanContext, error) {
+	var sc SpanContext
+	tr, sp, ok := strings.Cut(v, "-")
+	if !ok || len(tr) != 32 || len(sp) != 16 {
+		return sc, errors.New("obs: malformed trace header")
+	}
+	if _, err := hex.Decode(sc.Trace[:], []byte(tr)); err != nil {
+		return sc, errors.New("obs: malformed trace id")
+	}
+	var raw [8]byte
+	if _, err := hex.Decode(raw[:], []byte(sp)); err != nil {
+		return sc, errors.New("obs: malformed span id")
+	}
+	var id uint64
+	for _, b := range raw {
+		id = id<<8 | uint64(b)
+	}
+	sc.Span = SpanID(id)
+	return sc, nil
+}
+
+// ctxKey keys the SpanContext stored in a context.Context.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sc, so downstream code (peer clients,
+// child spans) can find the active trace.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext returns the SpanContext stored in ctx, if any.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok && sc.Valid()
+}
+
+// Span statuses. Non-negative values ≥ 100 are HTTP response codes;
+// the named values cover everything else.
+const (
+	StatusOK        int32 = 0
+	StatusCancelled int32 = -1
+	StatusError     int32 = -2
+)
+
+// StatusString renders a span status for humans and JSON.
+func StatusString(s int32) string {
+	switch {
+	case s == StatusOK:
+		return "ok"
+	case s == StatusCancelled:
+		return "cancelled"
+	case s == StatusError:
+		return "error"
+	case s >= 100:
+		return httpStatusText(int(s))
+	default:
+		return "unknown"
+	}
+}
+
+// httpStatusText renders an HTTP code status without fmt (keeps the
+// trace read path simple); e.g. 200 → "200".
+func httpStatusText(code int) string {
+	var b [3]byte
+	b[0] = byte('0' + code/100%10)
+	b[1] = byte('0' + code/10%10)
+	b[2] = byte('0' + code%10)
+	return string(b[:])
+}
+
+// Span is one finished operation, as stored in the ring buffer. Strings
+// (Name, Node) are interned constants at every call site, so recording a
+// Span copies two pointers — no per-span allocation.
+type Span struct {
+	Trace    TraceID
+	ID       SpanID
+	Parent   SpanID
+	Name     string
+	Node     string
+	Start    int64 // unix nanoseconds
+	Duration int64 // nanoseconds
+	Status   int32
+}
+
+// Tracer mints IDs, tracks the node label, and records finished spans
+// into its ring. The zero Tracer is unusable; build one with NewTracer.
+type Tracer struct {
+	node     string
+	ring     *Ring
+	seq      atomic.Uint64
+	seed     uint64
+	slow     int64 // slow-span threshold, ns; 0 disables
+	disabled bool
+	onSlow   func(sp Span) // called outside the hot path for slow spans
+}
+
+// NewTracer returns a tracer labelled node recording into a ring of the
+// given capacity (rounded up to a power of two; ≤ 0 picks a default).
+func NewTracer(node string, ringSize int) *Tracer {
+	return &Tracer{
+		node: node,
+		ring: NewRing(ringSize),
+		seed: splitmix64(uint64(time.Now().UnixNano())),
+	}
+}
+
+// SetSlowThreshold arranges for spans at least d long to be passed to
+// onSlow after recording. d ≤ 0 disables the slow-span hook.
+func (t *Tracer) SetSlowThreshold(d time.Duration, onSlow func(sp Span)) {
+	t.slow = int64(d)
+	t.onSlow = onSlow
+}
+
+// SetDisabled turns span recording off (ID minting still works, so trace
+// propagation headers remain stable); used by the overhead benchmark.
+func (t *Tracer) SetDisabled(v bool) { t.disabled = v }
+
+// Node returns the tracer's node label.
+func (t *Tracer) Node() string { return t.node }
+
+// Ring exposes the span ring for the /debug/traces handler.
+func (t *Tracer) Ring() *Ring { return t.ring }
+
+// splitmix64 is the splitmix64 finalizer: a cheap, well-mixed 64-bit
+// permutation, good enough for trace IDs (uniqueness, not secrecy).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// nextID returns a fresh non-zero 64-bit ID.
+func (t *Tracer) nextID() uint64 {
+	for {
+		if id := splitmix64(t.seq.Add(1) + t.seed); id != 0 {
+			return id
+		}
+	}
+}
+
+// NewRoot mints a fresh root span context (new trace ID, new span ID).
+func (t *Tracer) NewRoot() SpanContext {
+	var sc SpanContext
+	hi, lo := t.nextID(), t.nextID()
+	for i := 0; i < 8; i++ {
+		sc.Trace[i] = byte(hi >> (56 - 8*i))
+		sc.Trace[8+i] = byte(lo >> (56 - 8*i))
+	}
+	sc.Span = SpanID(t.nextID())
+	return sc
+}
+
+// ActiveSpan is an in-progress span. It lives on the caller's stack —
+// recording happens only at Finish — so a Start/Finish pair allocates
+// nothing.
+type ActiveSpan struct {
+	t      *Tracer
+	sc     SpanContext
+	parent SpanID
+	name   string
+	start  int64
+}
+
+// Context returns the span's SpanContext for propagation to children.
+func (a ActiveSpan) Context() SpanContext { return a.sc }
+
+// Start begins a span named name under parent. If parent is invalid a
+// new root trace is minted, so callers never need to special-case the
+// edge. name must be a constant (it is retained in the ring).
+func (t *Tracer) Start(parent SpanContext, name string) ActiveSpan {
+	a := ActiveSpan{t: t, name: name, start: time.Now().UnixNano()}
+	if parent.Valid() {
+		a.sc.Trace = parent.Trace
+		a.parent = parent.Span
+	} else {
+		root := t.NewRoot()
+		a.sc.Trace = root.Trace
+	}
+	a.sc.Span = SpanID(t.nextID())
+	return a
+}
+
+// Finish completes the span with the given status and records it.
+func (a ActiveSpan) Finish(status int32) {
+	t := a.t
+	if t == nil || t.disabled {
+		return
+	}
+	dur := time.Now().UnixNano() - a.start
+	t.ring.Record(Span{
+		Trace:    a.sc.Trace,
+		ID:       a.sc.Span,
+		Parent:   a.parent,
+		Name:     a.name,
+		Node:     t.node,
+		Start:    a.start,
+		Duration: dur,
+		Status:   status,
+	})
+	if t.slow > 0 && dur >= t.slow && t.onSlow != nil {
+		t.onSlow(Span{
+			Trace: a.sc.Trace, ID: a.sc.Span, Parent: a.parent,
+			Name: a.name, Node: t.node, Start: a.start,
+			Duration: dur, Status: status,
+		})
+	}
+}
+
+// FinishErr completes the span, deriving the status from err: nil → OK,
+// context cancellation → cancelled, anything else → error.
+func (a ActiveSpan) FinishErr(err error) {
+	switch {
+	case err == nil:
+		a.Finish(StatusOK)
+	case errors.Is(err, context.Canceled):
+		a.Finish(StatusCancelled)
+	default:
+		a.Finish(StatusError)
+	}
+}

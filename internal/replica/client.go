@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -76,6 +77,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 	if err != nil {
 		return nil, err
 	}
+	obs.InjectTrace(ctx, req.Header)
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}

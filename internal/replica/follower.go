@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -34,8 +36,9 @@ type Options struct {
 	// Poll is the WAL stream's long-poll wait — it doubles as the
 	// heartbeat interval while caught up (default 1s).
 	Poll time.Duration
-	// Logf receives progress and warning lines (default: discard).
-	Logf func(format string, args ...any)
+	// Log receives structured progress and warning events (default:
+	// discard). A "component=replica" field is attached automatically.
+	Log *slog.Logger
 }
 
 // defaults fills zero fields in place.
@@ -49,9 +52,10 @@ func (o *Options) defaults() {
 	if o.Poll <= 0 {
 		o.Poll = time.Second
 	}
-	if o.Logf == nil {
-		o.Logf = func(string, ...any) {}
+	if o.Log == nil {
+		o.Log = obs.NopLogger()
 	}
+	o.Log = o.Log.With("component", "replica")
 }
 
 // PrepareDataDir readies a follower's data dir before the store opens:
@@ -64,7 +68,7 @@ func (o *Options) defaults() {
 func PrepareDataDir(ctx context.Context, opts Options) error {
 	opts.defaults()
 	cli := NewClient(opts.Primary, opts.RequestTimeout)
-	logf := opts.Logf
+	log := opts.Log
 
 	// Wait out primary startup: keep retrying until it answers and
 	// reports itself primary.
@@ -73,7 +77,7 @@ func PrepareDataDir(ctx context.Context, opts Options) error {
 		var err error
 		st, err = cli.Status(ctx)
 		if err != nil {
-			logf("replica: waiting for primary %s: %v", opts.Primary, err)
+			log.Info("waiting for primary", "primary", opts.Primary, "err", err)
 			return err
 		}
 		if st.Role != server.RolePrimary.String() {
@@ -108,13 +112,13 @@ func PrepareDataDir(ctx context.Context, opts Options) error {
 		// Those records were acknowledged to clients — merge them into the
 		// new primary instead of dropping them, then start over from the
 		// new timeline.
-		logf("replica: local log ends at %d but epoch %d forked at %d; merging the diverged tail into %s",
-			localLast, st.Epoch, st.PromoteLSN, opts.Primary)
-		merged, err := mergeTail(ctx, cli, opts.DataDir, st.PromoteLSN, logf)
+		log.Warn("merging diverged tail into new primary",
+			"local_last", localLast, "epoch", st.Epoch, "fork_lsn", st.PromoteLSN, "primary", opts.Primary)
+		merged, err := mergeTail(ctx, cli, opts.DataDir, st.PromoteLSN, log)
 		if err != nil {
 			return fmt.Errorf("replica: reconcile diverged tail: %w", err)
 		}
-		logf("replica: merged %d diverged record(s); resetting local state to the new timeline", merged)
+		log.Info("merged diverged tail; resetting local state to the new timeline", "records", merged)
 		if opts.Server != nil {
 			opts.Server.NoteMergedTail(merged)
 		}
@@ -171,7 +175,7 @@ func PrepareDataDir(ctx context.Context, opts Options) error {
 		if opts.Server != nil {
 			opts.Server.NoteResync()
 		}
-		logf("replica: installed checkpoint bundle gen %d from %s", gen, opts.Primary)
+		log.Info("installed checkpoint bundle", "gen", gen, "primary", opts.Primary)
 	}
 
 	return store.SaveTimeline(opts.DataDir, store.Timeline{Epoch: st.Epoch, PromoteLSN: st.PromoteLSN})
@@ -184,7 +188,7 @@ func PrepareDataDir(ctx context.Context, opts Options) error {
 // so re-submission reconciles totals exactly. Records a checkpoint
 // already folded in below promoteLSN cannot be separated; mergeTail
 // warns when the local log no longer reaches back to the fork point.
-func mergeTail(ctx context.Context, cli *Client, dir string, promoteLSN uint64, logf func(string, ...any)) (int64, error) {
+func mergeTail(ctx context.Context, cli *Client, dir string, promoteLSN uint64, log *slog.Logger) (int64, error) {
 	var merged int64
 	submit := func(rec store.Record) error {
 		switch rec.Type {
@@ -203,7 +207,7 @@ func mergeTail(ctx context.Context, cli *Client, dir string, promoteLSN uint64, 
 	oldest, err := store.StreamPayloads(dir, promoteLSN+1, 0, func(lsn uint64, payload []byte) error {
 		rec, err := store.DecodePayload(lsn, payload)
 		if err != nil {
-			logf("replica: skipping undecodable local record %d during reconciliation: %v", lsn, err)
+			log.Warn("skipping undecodable local record during reconciliation", "lsn", lsn, "err", err)
 			return nil
 		}
 		if err := Retry(ctx, 5, 100*time.Millisecond, 2*time.Second, func() error { return submit(rec) }); err != nil {
@@ -216,8 +220,8 @@ func mergeTail(ctx context.Context, cli *Client, dir string, promoteLSN uint64, 
 		return merged, err
 	}
 	if oldest > promoteLSN+1 {
-		logf("replica: warning: local log starts at %d, past the fork point %d — records folded into a local checkpoint cannot be re-submitted individually",
-			oldest, promoteLSN+1)
+		log.Warn("local log starts past the fork point; checkpoint-folded records cannot be re-submitted individually",
+			"oldest", oldest, "fork_lsn", promoteLSN+1)
 	}
 	return merged, nil
 }
@@ -300,17 +304,27 @@ func (f *Follower) Err() error {
 func (f *Follower) run(ctx context.Context) {
 	defer close(f.done)
 	srv := f.opts.Server
-	logf := f.opts.Logf
+	log := f.opts.Log
 	bo := NewBackoff(100*time.Millisecond, 5*time.Second)
 	lastContact := time.Now()
 
+	// The whole streaming session shares one root trace so every
+	// StreamWAL request the follower issues (and the primary's matching
+	// server spans) can be pulled up together from /debug/traces.
+	tracer := srv.Obs().Tracer()
+	session := tracer.NewRoot()
+	ctx = obs.ContextWith(ctx, session)
+	log = log.With("trace", session.Trace.String())
+
 	for ctx.Err() == nil {
 		if srv.Role() != server.RoleFollower {
-			logf("replica: no longer a follower; replication loop exiting")
+			log.Info("no longer a follower; replication loop exiting")
 			return
 		}
 		from := srv.WALNextLSN()
-		res, err := f.cli.StreamWAL(ctx, from, f.opts.Poll)
+		sp := tracer.Start(session, "repl.stream")
+		res, err := f.cli.StreamWAL(obs.ContextWith(ctx, sp.Context()), from, f.opts.Poll)
+		sp.FinishErr(err)
 		if err != nil {
 			if ctx.Err() != nil {
 				return
@@ -320,21 +334,22 @@ func (f *Follower) run(ctx context.Context) {
 				// re-runs PrepareDataDir, which resyncs or reconciles.
 				srv.SetReady(false)
 				f.err = fmt.Errorf("replica: stream at %d unavailable: %w (restart this follower to resync)", from, err)
-				logf("%v", f.err)
+				log.Error("stream unavailable", "from", from, "err", err)
 				return
 			}
 			if f.opts.AutoPromote && time.Since(lastContact) > f.opts.HeartbeatTimeout {
-				logf("replica: primary %s unreachable for %v; promoting", f.opts.Primary, time.Since(lastContact).Round(time.Millisecond))
+				log.Warn("primary unreachable; promoting",
+					"primary", f.opts.Primary, "silence", time.Since(lastContact).Round(time.Millisecond))
 				if perr := srv.Promote(); perr != nil {
 					f.err = fmt.Errorf("replica: promote: %w", perr)
-					logf("%v", f.err)
+					log.Error("promote failed", "err", perr)
 					return
 				}
-				logf("replica: promoted to primary (epoch %d, promote LSN %d)", srv.Epoch(), srv.PromoteLSN())
+				log.Warn("promoted to primary", "epoch", srv.Epoch(), "promote_lsn", srv.PromoteLSN())
 				return
 			}
 			srv.NoteReconnect()
-			logf("replica: stream from %s failed: %v; reconnecting", f.opts.Primary, err)
+			log.Info("stream failed; reconnecting", "primary", f.opts.Primary, "err", err)
 			select {
 			case <-ctx.Done():
 				return
@@ -353,15 +368,16 @@ func (f *Follower) run(ctx context.Context) {
 			if from-1 <= res.PromoteLSN {
 				if err := srv.AdoptTimeline(store.Timeline{Epoch: res.Epoch, PromoteLSN: res.PromoteLSN}); err != nil {
 					f.err = fmt.Errorf("replica: adopt epoch %d: %w", res.Epoch, err)
-					logf("%v", f.err)
+					log.Error("adopt timeline failed", "epoch", res.Epoch, "err", err)
 					return
 				}
-				logf("replica: primary moved to epoch %d (fork at %d); adopted", res.Epoch, res.PromoteLSN)
+				log.Info("primary moved to a new epoch; adopted", "epoch", res.Epoch, "fork_lsn", res.PromoteLSN)
 			} else {
 				srv.SetReady(false)
 				f.err = fmt.Errorf("replica: primary is on epoch %d forked at %d but local log ends at %d; restart this follower to reconcile",
 					res.Epoch, res.PromoteLSN, from-1)
-				logf("%v", f.err)
+				log.Error("epoch conflict; restart this follower to reconcile",
+					"epoch", res.Epoch, "fork_lsn", res.PromoteLSN, "local_last", from-1)
 				return
 			}
 		}
@@ -371,7 +387,7 @@ func (f *Follower) run(ctx context.Context) {
 		for len(frames) > 0 {
 			lsn, payload, rest, err := server.CutStreamFrame(frames)
 			if err != nil {
-				logf("replica: bad stream frame after %d: %v; re-requesting", applied, err)
+				log.Warn("bad stream frame; re-requesting", "after", applied, "err", err)
 				break
 			}
 			if payload == nil {
@@ -382,15 +398,15 @@ func (f *Follower) run(ctx context.Context) {
 				continue // duplicated frame (dup-frame fault, overlap on resume)
 			}
 			if lsn > applied+1 {
-				logf("replica: stream gap (have %d, got %d); re-requesting", applied, lsn)
+				log.Warn("stream gap; re-requesting", "have", applied, "got", lsn)
 				break
 			}
 			if err := srv.ApplyReplicated(lsn, payload); err != nil {
 				if errors.Is(err, server.ErrNotFollower) {
-					logf("replica: promoted mid-apply; replication loop exiting")
+					log.Info("promoted mid-apply; replication loop exiting")
 					return
 				}
-				logf("replica: apply %d: %v; re-requesting", lsn, err)
+				log.Warn("apply failed; re-requesting", "lsn", lsn, "err", err)
 				break
 			}
 			applied = lsn
@@ -403,7 +419,7 @@ func (f *Follower) run(ctx context.Context) {
 		srv.SetReplicationLag(lag)
 		if lag == 0 && !srv.Ready() {
 			srv.SetReady(true)
-			logf("replica: caught up with %s at LSN %d; ready", f.opts.Primary, applied)
+			log.Info("caught up; ready", "primary", f.opts.Primary, "lsn", applied)
 		}
 	}
 }

@@ -118,7 +118,6 @@ func followerOpts(n *node, primary string) Options {
 		DataDir:        n.dir,
 		Poll:           50 * time.Millisecond,
 		RequestTimeout: 5 * time.Second,
-		Logf:           func(string, ...any) {},
 	}
 }
 

@@ -162,16 +162,19 @@ func (s *Server) ensureLive(e *entry) error {
 	blob, err := os.ReadFile(e.coldPath)
 	if err != nil {
 		s.met.reviveErrors.Add(1)
+		s.log.Warn("sketch revive failed", "sketch", e.cfg.Name, "err", err)
 		return fmt.Errorf("revive sketch %q: %w", e.cfg.Name, err)
 	}
 	rb, err := store.NewRebuilt(specFromConfig(e.cfg))
 	if err != nil {
 		s.met.reviveErrors.Add(1)
+		s.log.Warn("sketch revive failed", "sketch", e.cfg.Name, "err", err)
 		return fmt.Errorf("revive sketch %q: %w", e.cfg.Name, err)
 	}
 	if len(blob) > 0 {
 		if err := rb.RestoreState(blob); err != nil {
 			s.met.reviveErrors.Add(1)
+			s.log.Warn("sketch revive failed", "sketch", e.cfg.Name, "err", err)
 			return fmt.Errorf("revive sketch %q: %w", e.cfg.Name, err)
 		}
 	}
@@ -288,6 +291,7 @@ func (s *Server) pressureLoop() {
 				seenTrips = trips
 				if err := s.Checkpoint(); err != nil {
 					s.met.checkpointErrors.Add(1)
+					s.log.Warn("emergency checkpoint failed under disk pressure", "err", err)
 				}
 			}
 			s.maybeDemote()

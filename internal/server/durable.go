@@ -95,6 +95,7 @@ func (s *Server) AttachStore(st *store.Store, rebuilt *store.RebuildResult, chec
 			s.met.rowsIngested.Add(e.rows.Load())
 		}
 	}
+	st.WireObs(s.ob.FsyncHist, s.ob.GroupCommitHist, s.cfg.Log)
 	d := &durableState{st: st, ackAfterFsync: st.AckAfterFsync(), every: checkpointEvery, stop: make(chan struct{})}
 	s.dur = d
 	// Adopt the data dir's replication timeline so a restarted node knows
@@ -306,6 +307,7 @@ func (s *Server) checkpointLoop() {
 		case <-t.C:
 			if err := s.Checkpoint(); err != nil {
 				s.met.checkpointErrors.Add(1)
+				s.log.Warn("interval checkpoint failed", "err", err)
 			}
 		}
 	}

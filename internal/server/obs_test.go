@@ -1,0 +1,277 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// checkExposition is a strict Prometheus text-exposition checker: every
+// sample's family must have declared # HELP and # TYPE (in that order)
+// before its first sample, no family may declare TYPE or HELP twice,
+// histogram families may only emit _bucket/_sum/_count samples, and
+// every non-comment line must parse as "name{labels} value".
+func checkExposition(t *testing.T, body string) {
+	t.Helper()
+	help := map[string]bool{}
+	typ := map[string]string{}
+	sampled := map[string]bool{}
+	lineNo := 0
+	for _, line := range strings.Split(body, "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found {
+				t.Fatalf("line %d: HELP without text: %q", lineNo, line)
+			}
+			if help[name] {
+				t.Fatalf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			if sampled[name] {
+				t.Fatalf("line %d: HELP for %s after its first sample", lineNo, name)
+			}
+			help[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, found := strings.Cut(rest, " ")
+			if !found {
+				t.Fatalf("line %d: TYPE without kind: %q", lineNo, line)
+			}
+			if _, dup := typ[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			if sampled[name] {
+				t.Fatalf("line %d: TYPE for %s after its first sample", lineNo, name)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown TYPE %q", lineNo, kind)
+			}
+			typ[name] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", lineNo, line)
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		rest := line[len(name):]
+		if strings.HasPrefix(rest, "{") {
+			close := strings.LastIndex(rest, "}")
+			if close < 0 {
+				t.Fatalf("line %d: unterminated label set: %q", lineNo, line)
+			}
+			rest = rest[close+1:]
+		}
+		if !strings.HasPrefix(rest, " ") || len(strings.Fields(rest)) != 1 {
+			t.Fatalf("line %d: malformed sample: %q", lineNo, line)
+		}
+		// Map histogram sample suffixes back to their family.
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && typ[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		k, ok := typ[family]
+		if !ok {
+			t.Fatalf("line %d: sample %s has no TYPE declaration", lineNo, name)
+		}
+		if !help[family] {
+			t.Fatalf("line %d: sample %s has no HELP declaration", lineNo, name)
+		}
+		if k == "histogram" && family == name {
+			t.Fatalf("line %d: histogram %s emitted a bare sample (want _bucket/_sum/_count)", lineNo, name)
+		}
+		sampled[family] = true
+	}
+	if len(typ) == 0 {
+		t.Fatal("exposition body declared no families")
+	}
+}
+
+// TestMetricsExpositionStrict scrapes a working server (durable off) and
+// runs the full output through the strict checker: every series has
+// HELP+TYPE exactly once before its samples, including the per-name
+// ussd_sketch_rows series and the obs histogram families.
+func TestMetricsExpositionStrict(t *testing.T) {
+	_, ts := testServer(t)
+	create(t, ts, SketchConfig{Name: "exp", Kind: KindUnit, Bins: 8})
+	ingestText(t, ts, "exp", "a\nb\nc\n")
+	getAndDiscard(t, ts.URL+"/v1/sketches/exp/topk?k=2")
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	checkExposition(t, out)
+	for _, want := range []string{
+		`ussd_sketch_rows{name="exp",kind="unit"} 3`,
+		"# HELP ussd_sketch_rows ",
+		"# HELP ussd_request_duration_seconds ",
+		"# TYPE ussd_request_duration_seconds histogram",
+		`ussd_request_duration_seconds_bucket{class="ingest",le="+Inf"} 1`,
+		"# TYPE ussd_wal_fsync_duration_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// getAndDiscard GETs url and drains+closes the body so the client
+// connection returns to the pool (the package leak gate watches).
+func getAndDiscard(t *testing.T, url string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// ingestText posts newline-separated rows with ?sync=1 and asserts 200.
+func ingestText(t *testing.T, ts *httptest.Server, name, rows string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/sketches/"+name+"/ingest?sync=1",
+		"text/plain", strings.NewReader(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest %s: status %d", name, resp.StatusCode)
+	}
+}
+
+// TestStatusRecorderFlusher pins satellite regression: the metrics
+// middleware's wrapped writer must still satisfy http.Flusher (and
+// expose Unwrap for http.ResponseController) so streaming endpoints
+// flush through it.
+func TestStatusRecorderFlusher(t *testing.T) {
+	var isFlusher, flushed bool
+	probe := &flushProbe{ResponseWriter: httptest.NewRecorder(), flushed: &flushed}
+	m := &metrics{}
+	h := m.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, isFlusher = w.(http.Flusher)
+		rc := http.NewResponseController(w)
+		if err := rc.Flush(); err != nil {
+			t.Errorf("ResponseController.Flush: %v", err)
+		}
+	}))
+	h.ServeHTTP(probe, httptest.NewRequest("GET", "/v1/replication/wal", nil))
+	if !isFlusher {
+		t.Fatal("statusRecorder does not satisfy http.Flusher")
+	}
+	if !flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+
+	var sr any = &statusRecorder{ResponseWriter: httptest.NewRecorder()}
+	if _, ok := sr.(interface{ Unwrap() http.ResponseWriter }); !ok {
+		t.Fatal("statusRecorder does not expose Unwrap")
+	}
+}
+
+// flushProbe records whether Flush propagated all the way down.
+type flushProbe struct {
+	http.ResponseWriter
+	flushed *bool
+}
+
+func (f *flushProbe) Flush() { *f.flushed = true }
+
+// TestIntrospectHot drives ingest + queries through the API and asserts
+// the dogfooded sketches rank the hot tenant and hot item first.
+func TestIntrospectHot(t *testing.T) {
+	_, ts := testServer(t)
+	create(t, ts, SketchConfig{Name: "hot", Kind: KindUnit, Bins: 16})
+	create(t, ts, SketchConfig{Name: "cold", Kind: KindUnit, Bins: 16})
+	var rows strings.Builder
+	for i := 0; i < 640; i++ {
+		rows.WriteString("popular\n")
+	}
+	ingestText(t, ts, "hot", rows.String())
+	ingestText(t, ts, "cold", "x\n")
+	for i := 0; i < 3; i++ {
+		getAndDiscard(t, ts.URL+"/v1/sketches/hot/topk?k=1")
+	}
+
+	var rep obs.HotReport
+	doJSON(t, "GET", ts.URL+"/v1/introspect/hot?k=5", nil, &rep)
+	if rep.RowsObserved != 641 {
+		t.Fatalf("rows observed = %d, want 641", rep.RowsObserved)
+	}
+	if len(rep.Tenants) == 0 || rep.Tenants[0].Sketch != "hot" {
+		t.Fatalf("tenants = %+v, want hot first", rep.Tenants)
+	}
+	if len(rep.Items) == 0 || rep.Items[0].Item != "popular" || rep.Items[0].Sketch != "hot" {
+		t.Fatalf("items = %+v, want (hot, popular) first", rep.Items)
+	}
+	if len(rep.Requests) == 0 || rep.Requests[0].Sketch != "hot" {
+		t.Fatalf("requests = %+v, want hot first", rep.Requests)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/introspect/hot?k=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("k=0: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDebugTracesEndpoint exercises the tracing edge end to end over
+// HTTP: a request's response names its trace, and /debug/traces can
+// retrieve the span by that ID.
+func TestDebugTracesEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	create(t, ts, SketchConfig{Name: "tr", Kind: KindUnit, Bins: 8})
+	resp, err := http.Get(ts.URL + "/v1/sketches/tr/topk?k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	hv := resp.Header.Get(obs.TraceHeader)
+	if hv == "" {
+		t.Fatal("response missing trace header")
+	}
+	sc, err := obs.ParseHeader(hv)
+	if err != nil {
+		t.Fatalf("parse %q: %v", hv, err)
+	}
+
+	var out struct {
+		Spans []struct {
+			Trace string `json:"trace"`
+			Name  string `json:"name"`
+		} `json:"spans"`
+	}
+	doJSON(t, "GET", fmt.Sprintf("%s/debug/traces?trace=%s", ts.URL, sc.Trace), nil, &out)
+	if len(out.Spans) != 1 || out.Spans[0].Name != "http.query" {
+		t.Fatalf("trace lookup = %+v, want one http.query span", out.Spans)
+	}
+}

@@ -22,7 +22,9 @@
 //	GET    /v1/sketches/{name}/range/total   rollup: exact row count
 //	GET    /healthz                          liveness
 //	GET    /readyz                           readiness (recovery/catch-up done; follower lag)
-//	GET    /metrics                          Prometheus text counters
+//	GET    /metrics                          Prometheus text counters + histograms
+//	GET    /debug/traces                     span ring (?trace=<32 hex> filters)
+//	GET    /v1/introspect/hot                self-instrumented heavy hitters (?k=)
 //	GET    /v1/replication/status            role, timeline, log position
 //	GET    /v1/replication/wal?from=&wait_ms= WAL stream (long-poll, framed records)
 //	GET    /v1/replication/checkpoint        checkpoint bundle (follower catch-up)
@@ -58,6 +60,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -66,6 +69,7 @@ import (
 
 	uss "repro"
 	"repro/internal/hashx"
+	"repro/internal/obs"
 )
 
 // Config parameterizes a Server.
@@ -105,6 +109,17 @@ type Config struct {
 	// demotion candidate (default 5m). Keep it above RequestTimeout so
 	// an in-flight request can never see its sketch demoted under it.
 	ColdAfter time.Duration
+	// Node labels this instance's spans and log lines (default Addr).
+	Node string
+	// Log receives structured events; nil discards. Handlers and the
+	// background loops attach component + trace fields to it.
+	Log *slog.Logger
+	// SlowRequest is the slow-span structured-log threshold; spans at
+	// least this long are logged at Warn (0 disables).
+	SlowRequest time.Duration
+	// TraceDisabled turns off span/histogram recording (the overhead
+	// benchmark's baseline; trace *propagation* still works).
+	TraceDisabled bool
 }
 
 func (c *Config) defaults() {
@@ -128,6 +143,12 @@ func (c *Config) defaults() {
 	}
 	if c.ColdAfter <= 0 {
 		c.ColdAfter = 5 * time.Minute
+	}
+	if c.Node == "" {
+		c.Node = c.Addr
+	}
+	if c.Log == nil {
+		c.Log = obs.NopLogger()
 	}
 }
 
@@ -164,6 +185,13 @@ type Server struct {
 	reg *Registry
 	met *metrics
 	mux *http.ServeMux
+
+	// ob is the instance's observability bundle: tracer + span ring,
+	// latency histograms, hot-traffic sketches, structured logger. Per
+	// instance, not per process, so in-process multi-node tests keep
+	// separate rings with distinct node labels.
+	ob  *obs.Observer
+	log *slog.Logger
 
 	// hs is built in New (never nil), so Shutdown always has a server to
 	// stop even when it races a Serve goroutine that has not run yet —
@@ -214,7 +242,15 @@ func New(cfg Config) *Server {
 		met:  &metrics{start: time.Now()},
 		mux:  http.NewServeMux(),
 		jobs: make([]chan ingestJob, cfg.IngestWorkers),
+		ob: obs.New(obs.Options{
+			Node:        cfg.Node,
+			SlowRequest: cfg.SlowRequest,
+			Disabled:    cfg.TraceDisabled,
+			Log:         cfg.Log,
+		}),
 	}
+	s.log = cfg.Log.With("component", "server", "node", cfg.Node)
+	s.RegisterMetrics(s.ob.EmitMetrics)
 	s.adm.max = cfg.MaxInflightBytes
 	depth := cfg.QueueDepth / cfg.IngestWorkers
 	if depth < 1 {
@@ -237,9 +273,20 @@ func New(cfg Config) *Server {
 // driver, examples) pre-create sketches without an HTTP round-trip.
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Handler returns the routed handler with metrics instrumentation and
-// the request-timeout context wrapper, for mounting under httptest or
-// an external server.
+// Obs exposes the instance's observability bundle so embedders (the
+// cluster agent, the store wiring in cmd/ussd) record into the same
+// tracer, histograms and hot-traffic sketches the node exports.
+func (s *Server) Obs() *obs.Observer { return s.ob }
+
+// Log exposes the instance's structured logger so embedders log with the
+// same handler and node field.
+func (s *Server) Log() *slog.Logger { return s.cfg.Log }
+
+// Handler returns the routed handler with tracing, metrics
+// instrumentation and the request-timeout context wrapper, for mounting
+// under httptest or an external server. The obs middleware is outermost
+// so the per-class latency histograms and the edge span cover the whole
+// request, timeout wrapper included.
 func (s *Server) Handler() http.Handler {
 	h := http.Handler(s.mux)
 	if s.cfg.RequestTimeout > 0 {
@@ -250,7 +297,7 @@ func (s *Server) Handler() http.Handler {
 			inner.ServeHTTP(w, r.WithContext(ctx))
 		})
 	}
-	return s.met.instrument(h)
+	return s.ob.Middleware(s.met.instrument(h))
 }
 
 // ListenAndServe binds cfg.Addr and serves until Shutdown. It returns
@@ -442,6 +489,9 @@ func (s *Server) applyBatch(e *entry, b *ingestBatch, lsn uint64) {
 		e.mu.Unlock()
 	}
 	s.met.rowsIngested.Add(rows)
+	if !s.ob.Disabled() {
+		s.ob.Hot.ObserveIngest(e.cfg.Name, b.items)
+	}
 }
 
 // routes wires the endpoint table. Method-qualified patterns need the
@@ -450,6 +500,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.ob.HandleTraces)
+	s.mux.HandleFunc("GET /v1/introspect/hot", s.handleIntrospectHot)
 
 	s.mux.HandleFunc("GET /v1/replication/status", s.handleReplStatus)
 	s.mux.HandleFunc("GET /v1/replication/wal", s.handleReplWAL)
@@ -488,6 +540,9 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*entry, bool) {
 	if err := s.ensureLive(e); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return nil, false
+	}
+	if !s.ob.Disabled() {
+		s.ob.Hot.ObserveRequest(name)
 	}
 	return e, true
 }

@@ -86,7 +86,8 @@ func (s *Store) checkDisk() {
 	s.setPressure(next)
 }
 
-// setPressure swaps the pressure level in, counting transitions.
+// setPressure swaps the pressure level in, counting and logging
+// transitions.
 func (s *Store) setPressure(next int32) {
 	prev := s.pressure.Swap(next)
 	if next == prev {
@@ -95,7 +96,13 @@ func (s *Store) setPressure(next int32) {
 	switch next {
 	case DiskSoft:
 		s.met.DiskSoftTrips.Add(1)
+		s.opts.Log.Warn("disk pressure changed",
+			"from", PressureString(int(prev)), "to", PressureString(int(next)))
 	case DiskHard:
 		s.met.DiskHardTrips.Add(1)
+		s.opts.Log.Error("disk below hard watermark; log is read-only",
+			"from", PressureString(int(prev)))
+	default:
+		s.opts.Log.Info("disk pressure cleared", "from", PressureString(int(prev)))
 	}
 }

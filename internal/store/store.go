@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 )
 
 // SyncPolicy selects when appends reach stable storage.
@@ -84,6 +86,15 @@ type Options struct {
 	// survives power loss" guarantee. SyncAlways already acks after
 	// fsync; under SyncNever WaitDurable is a no-op.
 	GroupCommit bool
+	// FsyncHist, when non-nil, receives every active-segment fsync's
+	// latency in nanoseconds (exported as a /metrics histogram).
+	FsyncHist *obs.Histogram
+	// GroupCommitHist, when non-nil, receives the number of records each
+	// successful fsync newly covered — the group-commit batch size.
+	GroupCommitHist *obs.Histogram
+	// Log receives structured warnings — pressure transitions, fsync
+	// failures (default: discard).
+	Log *slog.Logger
 }
 
 func (o *Options) defaults() {
@@ -102,6 +113,10 @@ func (o *Options) defaults() {
 	if o.DiskCheckEvery <= 0 {
 		o.DiskCheckEvery = 64
 	}
+	if o.Log == nil {
+		o.Log = obs.NopLogger()
+	}
+	o.Log = o.Log.With("component", "store")
 }
 
 // maxRetainedBuf is the encode buffer's high-water mark: one oversized
@@ -439,14 +454,24 @@ func (s *Store) syncActive() error {
 	faultinject.Sleep("wal.stall-fsync", 50*time.Millisecond)
 	if faultinject.Hit("wal.fail-fsync") {
 		s.met.SyncErrors.Add(1)
+		s.opts.Log.Warn("fsync failed", "err", "injected failure", "lsn", s.segFirst+uint64(s.segRecs)-1)
 		return fmt.Errorf("store: fsync: injected failure")
 	}
+	start := time.Now()
 	if err := s.f.Sync(); err != nil {
 		s.met.SyncErrors.Add(1)
+		s.opts.Log.Warn("fsync failed", "err", err, "lsn", s.segFirst+uint64(s.segRecs)-1)
 		return err
 	}
+	s.opts.FsyncHist.Record(int64(time.Since(start)))
 	s.met.Syncs.Add(1)
-	s.markSynced(s.segFirst + uint64(s.segRecs) - 1)
+	last := s.segFirst + uint64(s.segRecs) - 1
+	if covered := int64(last) - int64(s.syncedLSN.Load()); covered > 0 {
+		// The batch this fsync made durable — 1 under SyncAlways, the
+		// whole inter-tick window under group commit.
+		s.opts.GroupCommitHist.Record(covered)
+	}
+	s.markSynced(last)
 	return nil
 }
 
@@ -471,6 +496,25 @@ func (s *Store) LastLSN() uint64 {
 
 // Dir returns the store's data directory.
 func (s *Store) Dir() string { return s.opts.Dir }
+
+// WireObs attaches observability sinks after Open: the fsync-latency and
+// group-commit batch histograms plus a structured logger. The server
+// calls this from AttachStore, so every embedder that hands its store to
+// a server gets wired without touching its Open call. Nil arguments
+// leave the current sink in place.
+func (s *Store) WireObs(fsync, group *obs.Histogram, log *slog.Logger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fsync != nil {
+		s.opts.FsyncHist = fsync
+	}
+	if group != nil {
+		s.opts.GroupCommitHist = group
+	}
+	if log != nil {
+		s.opts.Log = log.With("component", "store")
+	}
+}
 
 // Metrics returns the store's counters for scraping.
 func (s *Store) Metrics() *Metrics { return &s.met }
